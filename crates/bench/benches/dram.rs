@@ -1,0 +1,48 @@
+//! Microbenchmarks: DRAM engine throughput — how many transactions per
+//! second the timing model sustains under streaming and random traffic,
+//! and the cost of a probe.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bwpart_dram::{DramConfig, DramSystem, MemTransaction};
+
+fn drive(pattern: impl Fn(u64) -> u64, n: u64) -> u64 {
+    let mut sys = DramSystem::new(DramConfig::ddr2_400());
+    sys.set_app_count(4);
+    let mut now = 40_000; // past the first refresh blackouts
+    for i in 0..n {
+        let txn = MemTransaction {
+            app: (i % 4) as usize,
+            addr: pattern(i),
+            is_write: i % 5 == 0,
+        };
+        let p = sys.probe(&txn, now);
+        let c = sys.issue(&txn, p.start.max(now));
+        now = c.start_cycle;
+    }
+    now
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram");
+    g.bench_function("streaming_1k_txns", |b| {
+        b.iter(|| drive(|i| (1 << 24) + i * 64, 1_000))
+    });
+    g.bench_function("random_1k_txns", |b| {
+        b.iter(|| drive(|i| i.wrapping_mul(0x9E3779B97F4A7C15) & 0x3FFF_FFC0, 1_000))
+    });
+    g.bench_function("probe_only", |b| {
+        let mut sys = DramSystem::new(DramConfig::ddr2_400());
+        sys.set_app_count(4);
+        let txn = MemTransaction {
+            app: 0,
+            addr: 0x123440,
+            is_write: false,
+        };
+        b.iter(|| sys.probe(&txn, 40_000))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Benchmark: regenerate Figure 1 (motivation experiment) at reduced
+//! fidelity. The full-fidelity run is `cargo run --release -p
+//! bwpart-experiments --bin fig1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use bwpart_experiments::fig1;
+use bwpart_experiments::harness::ExpConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10).measurement_time(Duration::from_secs(20));
+    g.bench_function("motivation_mix_5_schemes", |b| {
+        b.iter(|| {
+            let r = fig1::run(&ExpConfig::fast());
+            assert!(r.normalized.len() == fig1::FIG1_SCHEMES.len());
+            r
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Benchmark: one representative heterogeneous mix through all seven
+//! schemes (the Figure 2 inner loop). The full 14-mix grid is `cargo run
+//! --release -p bwpart-experiments --bin fig2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use bwpart_core::schemes::PartitionScheme;
+use bwpart_experiments::harness::ExpConfig;
+use bwpart_workloads::mixes;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10).measurement_time(Duration::from_secs(25));
+    let cfg = ExpConfig::fast();
+    let mix = mixes::hetero_mixes().remove(4); // the Figure 1/2 hetero-5 mix
+    g.bench_function("hetero5_all_schemes", |b| {
+        b.iter(|| cfg.run_schemes(&mix, &PartitionScheme::PAPER_SCHEMES))
+    });
+    g.bench_function("hetero5_one_scheme", |b| {
+        b.iter(|| cfg.run_one(&mix, PartitionScheme::SquareRoot))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

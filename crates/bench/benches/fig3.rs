@@ -1,0 +1,19 @@
+//! Benchmark: the Figure 3 QoS-guarantee pipeline on one mix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use bwpart_experiments::fig3;
+use bwpart_experiments::harness::ExpConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10).measurement_time(Duration::from_secs(30));
+    g.bench_function("qos_two_mixes", |b| {
+        b.iter(|| fig3::run(&ExpConfig::fast()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

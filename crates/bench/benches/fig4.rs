@@ -1,0 +1,20 @@
+//! Benchmark: the Figure 4 scalability sweep (one mix, three bandwidth
+//! points, 4→16 cores).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use bwpart_experiments::fig4;
+use bwpart_experiments::harness::ExpConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10).measurement_time(Duration::from_secs(40));
+    g.bench_function("scaling_one_mix", |b| {
+        b.iter(|| fig4::run_with_limit(&ExpConfig::fast(), 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

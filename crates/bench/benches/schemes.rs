@@ -1,0 +1,62 @@
+//! Microbenchmarks: the analytical model itself — share-vector
+//! computation, the solvers, and forward prediction. These are the
+//! operations a production memory controller's firmware would run every
+//! repartitioning epoch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bwpart_core::prelude::*;
+use bwpart_core::solver;
+
+fn apps(n: usize) -> Vec<AppProfile> {
+    (0..n)
+        .map(|i| {
+            AppProfile::new(
+                format!("app{i}"),
+                0.002 + 0.003 * (i % 7) as f64,
+                0.0005 + 0.0009 * (i % 11) as f64,
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schemes");
+    for n in [4usize, 16, 64] {
+        let a = apps(n);
+        let b = 0.01 * (n as f64 / 4.0);
+        g.bench_with_input(BenchmarkId::new("square_root_shares", n), &n, |bch, _| {
+            bch.iter(|| PartitionScheme::SquareRoot.shares(&a, b).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("priority_apc_alloc", n), &n, |bch, _| {
+            bch.iter(|| PartitionScheme::PriorityApc.allocation(&a, b).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("predict_all_metrics", n), &n, |bch, _| {
+            bch.iter(|| {
+                let p = predict::evaluate_scheme(&a, PartitionScheme::SquareRoot, b).unwrap();
+                p.all_metrics()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("qos_partition", n), &n, |bch, _| {
+            let req = [QosRequest {
+                app: 0,
+                target_ipc: 0.25 * a[0].ipc_alone(),
+            }];
+            bch.iter(|| qos::partition(&a, &req, PartitionScheme::SquareRoot, b).unwrap())
+        });
+    }
+    let a4 = apps(4);
+    g.bench_function("water_fill_4", |bch| {
+        let caps: Vec<f64> = a4.iter().map(|x| x.apc_alone).collect();
+        let w: Vec<f64> = a4.iter().map(|x| x.apc_alone.sqrt()).collect();
+        bch.iter(|| solver::water_fill(&w, &caps, 0.008))
+    });
+    g.bench_function("numeric_optimizer_4", |bch| {
+        bch.iter(|| solver::maximize_on_simplex(4, |beta| beta.iter().map(|x| x.sqrt()).sum(), 50))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

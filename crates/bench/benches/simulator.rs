@@ -1,0 +1,56 @@
+//! Microbenchmarks: full-system simulation speed (cycles/second), cache
+//! access cost and policy-pick cost — the numbers that size experiment
+//! wall-clock budgets.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+use bwpart_cmp::cache::{Cache, CacheConfig};
+use bwpart_cmp::{CmpConfig, CmpSystem};
+use bwpart_mc::policy::Candidate;
+use bwpart_mc::Policy;
+use bwpart_workloads::mixes;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10).measurement_time(Duration::from_secs(15));
+    let cycles = 200_000u64;
+    g.throughput(Throughput::Elements(cycles));
+    g.bench_function("four_core_hetero_cycles", |b| {
+        b.iter(|| {
+            let mix = mixes::hetero_mixes().remove(4);
+            let (w, cc) = mix.build(1, 42);
+            let mut sys = CmpSystem::new(&CmpConfig::default(), w, cc, Policy::fcfs(4));
+            sys.run(cycles);
+            sys.snapshot()
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("micro");
+    g.bench_function("l2_cache_access", |b| {
+        let mut cache = Cache::new(CacheConfig::l2());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E3779B97F4A7C15);
+            cache.access(i & 0xF_FFC0, i.is_multiple_of(4))
+        })
+    });
+    g.bench_function("stf_pick_4apps", |b| {
+        let mut policy = Policy::stf(vec![0.4, 0.3, 0.2, 0.1]);
+        let cands: Vec<Candidate> = (0..4)
+            .map(|app| Candidate {
+                app,
+                arrival: app as u64,
+                issuable: true,
+                row_hit: false,
+                queue_len: 4,
+            })
+            .collect();
+        b.iter(|| policy.pick(&cands))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

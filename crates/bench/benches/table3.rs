@@ -1,0 +1,30 @@
+//! Benchmark: Table III standalone profiling — a single benchmark and the
+//! whole 16-benchmark sweep at reduced fidelity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use bwpart_cmp::{CmpConfig, PhaseConfig, Runner};
+use bwpart_experiments::harness::ExpConfig;
+use bwpart_experiments::table3;
+use bwpart_workloads::BenchProfile;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10).measurement_time(Duration::from_secs(20));
+    let runner = Runner {
+        cmp: CmpConfig::default(),
+        phases: PhaseConfig::fast(),
+    };
+    let lbm = BenchProfile::by_name("lbm").unwrap();
+    g.bench_function("lbm_alone", |b| {
+        b.iter(|| runner.run_alone(lbm.spawn(1), lbm.core_config()))
+    });
+    g.bench_function("all_16_alone", |b| {
+        b.iter(|| table3::run(&ExpConfig::fast()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,318 @@
+//! Hand-rolled argument parsing (no external dependency needed for six
+//! subcommands).
+
+use bwpart_core::prelude::*;
+
+/// Parsed application spec from `--app name:api:apc_alone`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    /// Display name.
+    pub name: String,
+    /// Accesses per instruction.
+    pub api: f64,
+    /// Standalone accesses per cycle.
+    pub apc_alone: f64,
+}
+
+impl AppSpec {
+    /// Parse `name:api:apc_alone`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!("--app expects name:api:apc_alone, got `{s}`"));
+        }
+        let api: f64 = parts[1].parse().map_err(|_| format!("bad api in `{s}`"))?;
+        let apc: f64 = parts[2]
+            .parse()
+            .map_err(|_| format!("bad apc_alone in `{s}`"))?;
+        Ok(AppSpec {
+            name: parts[0].to_string(),
+            api,
+            apc_alone: apc,
+        })
+    }
+
+    /// Convert to a model profile.
+    pub fn to_profile(&self) -> Result<AppProfile, String> {
+        AppProfile::new(self.name.clone(), self.api, self.apc_alone).map_err(|e| e.to_string())
+    }
+}
+
+/// Parse a scheme name (the paper's spellings, case-sensitive, plus
+/// `power:<alpha>`).
+pub fn parse_scheme(s: &str) -> Result<PartitionScheme, String> {
+    if let Some(alpha) = s.strip_prefix("power:") {
+        let a: f64 = alpha
+            .parse()
+            .map_err(|_| format!("bad power exponent `{alpha}`"))?;
+        return Ok(PartitionScheme::Power(a));
+    }
+    match s {
+        "No_partitioning" => Ok(PartitionScheme::NoPartitioning),
+        "Equal" => Ok(PartitionScheme::Equal),
+        "Proportional" => Ok(PartitionScheme::Proportional),
+        "Square_root" => Ok(PartitionScheme::SquareRoot),
+        "2/3_power" => Ok(PartitionScheme::TwoThirdsPower),
+        "Priority_APC" => Ok(PartitionScheme::PriorityApc),
+        "Priority_API" => Ok(PartitionScheme::PriorityApi),
+        other => Err(format!("unknown scheme `{other}`")),
+    }
+}
+
+/// One fully parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Parsed {
+    /// `partition`: derive a share vector.
+    Partition {
+        /// The scheme to apply.
+        scheme: PartitionScheme,
+        /// Total bandwidth (APC).
+        bandwidth: f64,
+        /// The applications.
+        apps: Vec<AppSpec>,
+    },
+    /// `predict`: share vector plus forward-model metrics.
+    Predict {
+        /// The scheme to apply.
+        scheme: PartitionScheme,
+        /// Total bandwidth (APC).
+        bandwidth: f64,
+        /// The applications.
+        apps: Vec<AppSpec>,
+    },
+    /// `simulate`: run one mix × scheme on the simulator.
+    Simulate {
+        /// Mix name.
+        mix: String,
+        /// Scheme.
+        scheme: PartitionScheme,
+        /// Reduced-fidelity phases.
+        fast: bool,
+        /// Stream seed.
+        seed: u64,
+    },
+    /// `profile`: online APC_alone estimates for a mix.
+    Profile {
+        /// Mix name.
+        mix: String,
+        /// Reduced-fidelity phases.
+        fast: bool,
+        /// Stream seed.
+        seed: u64,
+    },
+    /// `mixes`: list the available mixes.
+    Mixes,
+    /// `experiment`: regenerate a paper artifact.
+    Experiment {
+        /// Artifact name.
+        artifact: String,
+        /// Reduced-fidelity run.
+        fast: bool,
+    },
+}
+
+fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+impl Parsed {
+    /// Parse a raw argument vector (without the program name).
+    pub fn parse(args: &[String]) -> Result<Parsed, String> {
+        let cmd = args.first().ok_or("missing subcommand")?;
+        match cmd.as_str() {
+            "partition" | "predict" => {
+                let mut scheme = None;
+                let mut bandwidth = None;
+                let mut apps = Vec::new();
+                let mut i = 1;
+                while i < args.len() {
+                    match args[i].as_str() {
+                        "--scheme" => {
+                            scheme = Some(parse_scheme(take_value(args, &mut i, "--scheme")?)?)
+                        }
+                        "--bandwidth" => {
+                            let v = take_value(args, &mut i, "--bandwidth")?;
+                            bandwidth =
+                                Some(v.parse().map_err(|_| format!("bad bandwidth `{v}`"))?);
+                        }
+                        "--app" => apps.push(AppSpec::parse(take_value(args, &mut i, "--app")?)?),
+                        other => return Err(format!("unexpected argument `{other}`")),
+                    }
+                    i += 1;
+                }
+                let scheme = scheme.ok_or("--scheme is required")?;
+                let bandwidth = bandwidth.ok_or("--bandwidth is required")?;
+                if apps.is_empty() {
+                    return Err("at least one --app is required".into());
+                }
+                if cmd == "partition" {
+                    Ok(Parsed::Partition {
+                        scheme,
+                        bandwidth,
+                        apps,
+                    })
+                } else {
+                    Ok(Parsed::Predict {
+                        scheme,
+                        bandwidth,
+                        apps,
+                    })
+                }
+            }
+            "simulate" | "profile" => {
+                let mut mix = None;
+                let mut scheme = PartitionScheme::NoPartitioning;
+                let mut fast = false;
+                let mut seed = 0xB417_2013u64;
+                let mut i = 1;
+                while i < args.len() {
+                    match args[i].as_str() {
+                        "--mix" => mix = Some(take_value(args, &mut i, "--mix")?.to_string()),
+                        "--scheme" => scheme = parse_scheme(take_value(args, &mut i, "--scheme")?)?,
+                        "--fast" => fast = true,
+                        "--seed" => {
+                            let v = take_value(args, &mut i, "--seed")?;
+                            seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+                        }
+                        other => return Err(format!("unexpected argument `{other}`")),
+                    }
+                    i += 1;
+                }
+                let mix = mix.ok_or("--mix is required")?;
+                if cmd == "simulate" {
+                    Ok(Parsed::Simulate {
+                        mix,
+                        scheme,
+                        fast,
+                        seed,
+                    })
+                } else {
+                    Ok(Parsed::Profile { mix, fast, seed })
+                }
+            }
+            "mixes" => Ok(Parsed::Mixes),
+            "experiment" => {
+                let artifact = args
+                    .get(1)
+                    .ok_or("experiment requires an artifact name")?
+                    .clone();
+                let fast = args.iter().any(|a| a == "--fast");
+                Ok(Parsed::Experiment { artifact, fast })
+            }
+            other => Err(format!("unknown subcommand `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn app_spec_parses() {
+        let a = AppSpec::parse("lbm:0.053:0.0094").unwrap();
+        assert_eq!(a.name, "lbm");
+        assert!((a.api - 0.053).abs() < 1e-12);
+        assert!((a.apc_alone - 0.0094).abs() < 1e-12);
+        assert!(AppSpec::parse("missing:fields").is_err());
+        assert!(AppSpec::parse("x:abc:1").is_err());
+    }
+
+    #[test]
+    fn scheme_names_parse() {
+        assert_eq!(
+            parse_scheme("Square_root").unwrap(),
+            PartitionScheme::SquareRoot
+        );
+        assert_eq!(
+            parse_scheme("2/3_power").unwrap(),
+            PartitionScheme::TwoThirdsPower
+        );
+        assert_eq!(
+            parse_scheme("power:0.8").unwrap(),
+            PartitionScheme::Power(0.8)
+        );
+        assert!(parse_scheme("sqrt").is_err());
+        assert!(parse_scheme("power:x").is_err());
+    }
+
+    #[test]
+    fn partition_command_parses() {
+        let p = Parsed::parse(&v(&[
+            "partition",
+            "--scheme",
+            "Equal",
+            "--bandwidth",
+            "0.0095",
+            "--app",
+            "a:0.01:0.005",
+            "--app",
+            "b:0.02:0.003",
+        ]))
+        .unwrap();
+        match p {
+            Parsed::Partition {
+                scheme,
+                bandwidth,
+                apps,
+            } => {
+                assert_eq!(scheme, PartitionScheme::Equal);
+                assert!((bandwidth - 0.0095).abs() < 1e-12);
+                assert_eq!(apps.len(), 2);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_flags_error() {
+        assert!(Parsed::parse(&v(&["partition", "--scheme", "Equal"])).is_err());
+        assert!(Parsed::parse(&v(&["simulate", "--scheme", "Equal"])).is_err());
+        assert!(Parsed::parse(&v(&["unknown"])).is_err());
+        assert!(Parsed::parse(&[]).is_err());
+        assert!(Parsed::parse(&v(&["partition", "--scheme"])).is_err());
+    }
+
+    #[test]
+    fn simulate_defaults_and_flags() {
+        let p = Parsed::parse(&v(&[
+            "simulate",
+            "--mix",
+            "hetero-5",
+            "--scheme",
+            "Priority_APC",
+            "--fast",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(
+            p,
+            Parsed::Simulate {
+                mix: "hetero-5".into(),
+                scheme: PartitionScheme::PriorityApc,
+                fast: true,
+                seed: 7,
+            }
+        );
+    }
+
+    #[test]
+    fn experiment_parses() {
+        let p = Parsed::parse(&v(&["experiment", "fig1", "--fast"])).unwrap();
+        assert_eq!(
+            p,
+            Parsed::Experiment {
+                artifact: "fig1".into(),
+                fast: true
+            }
+        );
+    }
+}

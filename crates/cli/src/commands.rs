@@ -1,0 +1,288 @@
+//! Command implementations: each returns its printable output.
+
+use bwpart_cmp::{CmpConfig, Runner, ShareSource};
+use bwpart_core::prelude::*;
+use bwpart_experiments::harness::ExpConfig;
+use bwpart_experiments::{
+    ablation, adaptation, fig1, fig2, fig3, fig4, model_vs_sim, profiling, table3, table4,
+};
+use bwpart_workloads::{mixes, Mix};
+
+use crate::args::{AppSpec, Parsed};
+
+fn profiles_of(apps: &[AppSpec]) -> Result<Vec<AppProfile>, String> {
+    apps.iter().map(|a| a.to_profile()).collect()
+}
+
+fn find_mix(name: &str) -> Result<Mix, String> {
+    mixes::all_mixes()
+        .into_iter()
+        .chain([mixes::fig1_mix()])
+        .chain(mixes::qos_mixes())
+        .find(|m| m.name == name)
+        .ok_or_else(|| format!("unknown mix `{name}` (try `bwpart mixes`)"))
+}
+
+fn exp_config(fast: bool) -> ExpConfig {
+    if fast {
+        ExpConfig::fast()
+    } else {
+        ExpConfig::default()
+    }
+}
+
+/// Execute a parsed invocation.
+pub fn dispatch(parsed: &Parsed) -> Result<String, String> {
+    match parsed {
+        Parsed::Partition {
+            scheme,
+            bandwidth,
+            apps,
+        } => {
+            let profiles = profiles_of(apps)?;
+            let beta = scheme
+                .shares(&profiles, *bandwidth)
+                .map_err(|e| e.to_string())?;
+            let alloc = scheme
+                .allocation(&profiles, *bandwidth)
+                .map_err(|e| e.to_string())?;
+            let mut out = format!("{} over B = {bandwidth} APC\n", scheme.name());
+            for ((p, b), a) in profiles.iter().zip(&beta).zip(&alloc) {
+                out.push_str(&format!(
+                    "  {:<16} β = {:.4}   allocation = {:.6} APC\n",
+                    p.name, b, a
+                ));
+            }
+            Ok(out)
+        }
+        Parsed::Predict {
+            scheme,
+            bandwidth,
+            apps,
+        } => {
+            let profiles = profiles_of(apps)?;
+            let pred = predict::evaluate_scheme(&profiles, *scheme, *bandwidth)
+                .map_err(|e| e.to_string())?;
+            let mut out = format!("{} over B = {bandwidth} APC\n", scheme.name());
+            for (p, (s, a)) in profiles
+                .iter()
+                .zip(pred.ipc_shared.iter().zip(&pred.ipc_alone))
+            {
+                out.push_str(&format!(
+                    "  {:<16} IPC {:.4} / alone {:.4}  (speedup {:.3})\n",
+                    p.name,
+                    s,
+                    a,
+                    s / a
+                ));
+            }
+            for (m, v) in pred.all_metrics() {
+                out.push_str(&format!("  {:<7} = {v:.4}\n", m.label()));
+            }
+            Ok(out)
+        }
+        Parsed::Simulate {
+            mix,
+            scheme,
+            fast,
+            seed,
+        } => {
+            let mix = find_mix(mix)?;
+            let mut cfg = exp_config(*fast);
+            cfg.seed = *seed;
+            let runner = Runner {
+                cmp: CmpConfig {
+                    dram: cfg.dram.clone(),
+                    ..CmpConfig::default()
+                },
+                phases: cfg.phases,
+            };
+            let (w, cc) = mix.build(1, cfg.seed);
+            let out = runner.run_scheme(*scheme, w, cc, ShareSource::OnlineProfile);
+            let mut s = format!(
+                "{} × {} (measure {} cycles, seed {seed})\n",
+                mix.name,
+                scheme.name(),
+                cfg.phases.measure
+            );
+            for st in &out.stats {
+                s.push_str(&format!(
+                    "  {:<12} IPC {:.4}  APKC {:.3}  APKI {:.3}\n",
+                    st.name,
+                    st.ipc(),
+                    st.apkc(),
+                    st.apki()
+                ));
+            }
+            for m in Metric::ALL {
+                s.push_str(&format!("  {:<7} = {:.4}\n", m.label(), out.metric(m)));
+            }
+            s.push_str(&format!(
+                "  utilized bandwidth = {:.5} APC\n",
+                out.total_bandwidth
+            ));
+            Ok(s)
+        }
+        Parsed::Profile { mix, fast, seed } => {
+            let mix = find_mix(mix)?;
+            let mut cfg = exp_config(*fast);
+            cfg.seed = *seed;
+            let runner = Runner {
+                cmp: CmpConfig {
+                    dram: cfg.dram.clone(),
+                    ..CmpConfig::default()
+                },
+                phases: cfg.phases,
+            };
+            let (w, cc) = mix.build(1, cfg.seed);
+            let out = runner.run_scheme(
+                PartitionScheme::NoPartitioning,
+                w,
+                cc,
+                ShareSource::OnlineProfile,
+            );
+            let mut s = format!("online profile of {} (Eq. 12-13 estimates)\n", mix.name);
+            for (st, (apc, api)) in out
+                .stats
+                .iter()
+                .zip(out.apc_alone_ref.iter().zip(&out.api_ref))
+            {
+                s.push_str(&format!(
+                    "  {:<12} APC_alone ≈ {:.5}  API ≈ {:.5}  (IPC_alone ≈ {:.3})\n",
+                    st.name,
+                    apc,
+                    api,
+                    apc / api.max(1e-12)
+                ));
+            }
+            Ok(s)
+        }
+        Parsed::Mixes => {
+            let mut s = String::from("available mixes:\n");
+            for m in mixes::all_mixes()
+                .into_iter()
+                .chain([mixes::fig1_mix()])
+                .chain(mixes::qos_mixes())
+            {
+                s.push_str(&format!("  {:<10} {}\n", m.name, m.benches.join("-")));
+            }
+            Ok(s)
+        }
+        Parsed::Experiment { artifact, fast } => {
+            let cfg = exp_config(*fast);
+            match artifact.as_str() {
+                "table3" => {
+                    let rows = table3::run(&cfg);
+                    Ok(format!(
+                        "{}\nconcordance {:.1}%",
+                        table3::render(&rows),
+                        table3::ordering_concordance(&rows) * 100.0
+                    ))
+                }
+                "table4" => Ok(table4::render(&table4::run(&cfg))),
+                "fig1" => Ok(fig1::render(&fig1::run(&cfg))),
+                "fig2" => Ok(fig2::render(&fig2::run(&cfg))),
+                "fig3" => Ok(fig3::render(&fig3::run(&cfg))),
+                "fig4" => {
+                    let r = if *fast {
+                        fig4::run_with_limit(&cfg, 2)
+                    } else {
+                        fig4::run(&cfg)
+                    };
+                    Ok(fig4::render(&r))
+                }
+                "model_vs_sim" => Ok(model_vs_sim::render(&model_vs_sim::run(&cfg))),
+                "profiling" => Ok(profiling::render(&profiling::run(&cfg))),
+                "adaptation" => Ok(adaptation::render(&adaptation::run(&cfg))),
+                "ablation" => {
+                    let mut s =
+                        ablation::render_window(&ablation::window_sweep(&cfg, &[1, 2, 4, 8, 16]));
+                    s.push('\n');
+                    s.push_str(&ablation::render_alpha(&ablation::alpha_sweep(
+                        &cfg,
+                        &[0.0, 0.25, 0.5, 2.0 / 3.0, 1.0, 1.25, 1.5],
+                    )));
+                    s.push('\n');
+                    s.push_str(&ablation::render_page_policy(&ablation::page_policy(&cfg)));
+                    Ok(s)
+                }
+                other => Err(format!("unknown artifact `{other}`")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Parsed;
+
+    fn spec(name: &str, api: f64, apc: f64) -> AppSpec {
+        AppSpec {
+            name: name.into(),
+            api,
+            apc_alone: apc,
+        }
+    }
+
+    #[test]
+    fn partition_command_output() {
+        let p = Parsed::Partition {
+            scheme: PartitionScheme::SquareRoot,
+            bandwidth: 0.0095,
+            apps: vec![spec("a", 0.03, 0.007), spec("b", 0.004, 0.002)],
+        };
+        let out = dispatch(&p).unwrap();
+        assert!(out.contains("Square_root"));
+        assert!(out.contains("β ="));
+        assert!(out.contains('a') && out.contains('b'));
+    }
+
+    #[test]
+    fn predict_command_reports_metrics() {
+        let p = Parsed::Predict {
+            scheme: PartitionScheme::Equal,
+            bandwidth: 0.008,
+            apps: vec![spec("x", 0.03, 0.007), spec("y", 0.004, 0.002)],
+        };
+        let out = dispatch(&p).unwrap();
+        for label in ["Hsp", "Wsp", "IPCsum", "MinF"] {
+            assert!(out.contains(label), "missing {label} in {out}");
+        }
+    }
+
+    #[test]
+    fn mixes_lists_table4_names() {
+        let out = dispatch(&Parsed::Mixes).unwrap();
+        assert!(out.contains("hetero-7"));
+        assert!(out.contains("mix-2"));
+        assert!(out.contains("libquantum"));
+    }
+
+    #[test]
+    fn unknown_mix_and_artifact_error() {
+        let e = dispatch(&Parsed::Profile {
+            mix: "nope".into(),
+            fast: true,
+            seed: 1,
+        })
+        .unwrap_err();
+        assert!(e.contains("unknown mix"));
+        let e = dispatch(&Parsed::Experiment {
+            artifact: "fig9".into(),
+            fast: true,
+        })
+        .unwrap_err();
+        assert!(e.contains("unknown artifact"));
+    }
+
+    #[test]
+    fn invalid_app_values_error_cleanly() {
+        let p = Parsed::Partition {
+            scheme: PartitionScheme::Equal,
+            bandwidth: 0.008,
+            apps: vec![spec("bad", -1.0, 0.001)],
+        };
+        assert!(dispatch(&p).is_err());
+    }
+}

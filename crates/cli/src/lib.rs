@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Library half of the `bwpart` CLI: argument parsing and command
+//! implementations, kept out of `main.rs` so they are unit-testable.
+
+pub mod args;
+pub mod commands;
+
+/// Usage text shown on argument errors.
+pub const USAGE: &str = "\
+bwpart — analytical off-chip memory bandwidth partitioning
+
+USAGE:
+  bwpart partition  --scheme <name> --bandwidth <apc> --app n:api:apc [...]
+  bwpart predict    --scheme <name> --bandwidth <apc> --app n:api:apc [...]
+  bwpart simulate   --mix <mix> --scheme <name> [--fast] [--seed <u64>]
+  bwpart profile    --mix <mix> [--fast] [--seed <u64>]
+  bwpart mixes
+  bwpart experiment <artifact> [--fast]
+
+SCHEMES:
+  No_partitioning | Equal | Proportional | Square_root | 2/3_power |
+  Priority_APC | Priority_API | power:<alpha>
+
+MIXES:
+  homo-1..7, hetero-1..7, fig1, mix-1, mix-2 (see `bwpart mixes`)
+
+ARTIFACTS:
+  table3 table4 fig1 fig2 fig3 fig4 model_vs_sim ablation adaptation profiling
+
+EXAMPLES:
+  bwpart partition --scheme Square_root --bandwidth 0.0095 \\
+      --app libquantum:0.0341:0.00692 --app gobmk:0.0041:0.00191
+  bwpart simulate --mix hetero-5 --scheme Priority_APC --fast
+  bwpart experiment fig1 --fast
+";

@@ -1,0 +1,37 @@
+//! `bwpart` — command-line front end.
+//!
+//! ```text
+//! bwpart partition --scheme <name> --bandwidth <apc> --app name:api:apc_alone [...]
+//! bwpart predict   --scheme <name> --bandwidth <apc> --app name:api:apc_alone [...]
+//! bwpart simulate  --mix <mix> --scheme <name> [--fast]
+//! bwpart profile   --mix <mix> [--fast]
+//! bwpart mixes
+//! bwpart experiment <table3|table4|fig1|fig2|fig3|fig4|ablation|adaptation|profiling|model_vs_sim> [--fast]
+//! ```
+
+use std::process::ExitCode;
+
+use bwpart_cli::args::Parsed;
+use bwpart_cli::commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Parsed::parse(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", bwpart_cli::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

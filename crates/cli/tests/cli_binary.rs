@@ -1,0 +1,104 @@
+//! End-to-end tests of the compiled `bwpart` binary.
+
+use std::process::Command;
+
+fn bwpart(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bwpart"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn partition_prints_shares() {
+    let (ok, stdout, _) = bwpart(&[
+        "partition",
+        "--scheme",
+        "Square_root",
+        "--bandwidth",
+        "0.0095",
+        "--app",
+        "libquantum:0.0341:0.00692",
+        "--app",
+        "gobmk:0.0041:0.00191",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Square_root"));
+    assert!(stdout.contains("libquantum"));
+    assert!(stdout.contains("β ="));
+}
+
+#[test]
+fn predict_prints_all_metrics() {
+    let (ok, stdout, _) = bwpart(&[
+        "predict",
+        "--scheme",
+        "Proportional",
+        "--bandwidth",
+        "0.008",
+        "--app",
+        "a:0.03:0.006",
+        "--app",
+        "b:0.005:0.002",
+    ]);
+    assert!(ok);
+    for m in ["Hsp", "MinF", "Wsp", "IPCsum"] {
+        assert!(stdout.contains(m), "missing {m}: {stdout}");
+    }
+}
+
+#[test]
+fn mixes_lists_everything() {
+    let (ok, stdout, _) = bwpart(&["mixes"]);
+    assert!(ok);
+    for name in ["homo-1", "hetero-7", "fig1", "mix-1", "mix-2"] {
+        assert!(stdout.contains(name));
+    }
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    let (ok, _, stderr) = bwpart(&["partition", "--scheme", "bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown scheme"));
+    assert!(stderr.contains("USAGE"));
+
+    let (ok, _, stderr) = bwpart(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("missing subcommand"));
+}
+
+#[test]
+fn power_scheme_via_cli() {
+    let (ok, stdout, _) = bwpart(&[
+        "partition",
+        "--scheme",
+        "power:0.5",
+        "--bandwidth",
+        "0.008",
+        "--app",
+        "a:0.03:0.008",
+        "--app",
+        "b:0.005:0.002",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Power(0.5)"));
+}
+
+/// The simulate path is slow even in --fast mode under the debug profile;
+/// run a single tiny mix to prove the wiring end to end.
+#[test]
+fn simulate_fast_runs_end_to_end() {
+    let (ok, stdout, stderr) = bwpart(&[
+        "simulate", "--mix", "homo-7", "--scheme", "Equal", "--fast", "--seed", "3",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("homo-7"));
+    assert!(stdout.contains("utilized bandwidth"));
+    assert!(stdout.contains("Hsp"));
+}

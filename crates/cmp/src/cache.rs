@@ -1,0 +1,360 @@
+//! Set-associative caches with true LRU, write-back/write-allocate.
+//!
+//! Table II hierarchy: private L1 I/D 32 KB 2-way and a private unified L2
+//! of 256 KB 8-way, 64 B lines. The simulator models the D-side hierarchy
+//! (the synthetic workloads' instruction footprints are assumed resident,
+//! as SPEC CPU2006 instruction working sets largely are).
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// Table II L1 D-cache: 32 KB, 2-way, 64 B lines.
+    pub fn l1d() -> Self {
+        CacheConfig {
+            capacity: 32 * 1024,
+            ways: 2,
+            line_bytes: 64,
+        }
+    }
+
+    /// Table II private unified L2: 256 KB, 8-way, 64 B lines.
+    pub fn l2() -> Self {
+        CacheConfig {
+            capacity: 256 * 1024,
+            ways: 8,
+            line_bytes: 64,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.capacity / (self.ways * self.line_bytes)
+    }
+
+    /// Check geometry consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.capacity == 0 || self.ways == 0 || self.line_bytes == 0 {
+            return Err("cache fields must be non-zero".into());
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err("line size must be a power of two".into());
+        }
+        if !self.capacity.is_multiple_of(self.ways * self.line_bytes) {
+            return Err("capacity must divide evenly into sets".into());
+        }
+        if !self.sets().is_power_of_two() {
+            return Err("set count must be a power of two".into());
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent; if filling evicted a dirty line, its address.
+    Miss {
+        /// Writeback address of the evicted dirty victim, if any.
+        writeback: Option<u64>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU timestamp (higher = more recent).
+    lru: u64,
+}
+
+/// One cache level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    clock: u64,
+    set_mask: u64,
+    line_shift: u32,
+    /// Hits observed.
+    pub hits: u64,
+    /// Misses observed.
+    pub misses: u64,
+    /// Dirty evictions produced.
+    pub writebacks: u64,
+}
+
+impl Cache {
+    /// Build an empty cache.
+    ///
+    /// # Panics
+    /// Panics if the configuration is inconsistent.
+    pub fn new(cfg: CacheConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid cache configuration: {e}");
+        }
+        let sets = cfg.sets();
+        Cache {
+            cfg,
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    lru: 0,
+                };
+                sets * cfg.ways
+            ],
+            clock: 0,
+            set_mask: (sets - 1) as u64,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn set_of(&self, addr: u64) -> (usize, u64) {
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.set_mask.count_ones();
+        (set, tag)
+    }
+
+    /// Access `addr`. On a miss the line is filled (write-allocate) and the
+    /// LRU victim evicted; a dirty victim's address is returned for the
+    /// writeback. `is_write` marks the (new or present) line dirty.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> CacheOutcome {
+        self.clock += 1;
+        let (set, tag) = self.set_of(addr);
+        let base = set * self.cfg.ways;
+        let ways = &mut self.lines[base..base + self.cfg.ways];
+
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.clock;
+            line.dirty |= is_write;
+            self.hits += 1;
+            return CacheOutcome::Hit;
+        }
+
+        self.misses += 1;
+        // Victim: an invalid way, else the LRU way.
+        let victim = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| (l.valid, l.lru))
+            .map(|(i, _)| i)
+            .expect("ways is non-empty");
+        let v = &mut ways[victim];
+        let writeback = if v.valid && v.dirty {
+            self.writebacks += 1;
+            // Reconstruct the victim's address.
+            let line_addr = (v.tag << self.set_mask.count_ones()) | set as u64;
+            Some(line_addr << self.line_shift)
+        } else {
+            None
+        };
+        *v = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            lru: self.clock,
+        };
+        CacheOutcome::Miss { writeback }
+    }
+
+    /// Probe without modifying state (diagnostics).
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_of(addr);
+        let base = set * self.cfg.ways;
+        self.lines[base..base + self.cfg.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Number of valid lines (diagnostics / capacity invariants).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Miss rate so far.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Reset counters only (state persists across phase boundaries).
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets × 2 ways × 64 B = 512 B.
+        Cache::new(CacheConfig {
+            capacity: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = small();
+        assert!(matches!(c.access(0x100, false), CacheOutcome::Miss { .. }));
+        assert_eq!(c.access(0x100, false), CacheOutcome::Hit);
+        assert!(c.contains(0x100));
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn same_line_different_offsets_hit() {
+        let mut c = small();
+        c.access(0x100, false);
+        assert_eq!(c.access(0x13F, false), CacheOutcome::Hit);
+        assert!(matches!(c.access(0x140, false), CacheOutcome::Miss { .. }));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Set stride is 4 sets × 64 B = 256 B; these three map to set 0.
+        c.access(0x000, false);
+        c.access(0x400, false);
+        c.access(0x000, false); // touch: 0x000 is MRU
+        c.access(0x800, false); // evicts 0x400
+        assert!(c.contains(0x000));
+        assert!(!c.contains(0x400));
+        assert!(c.contains(0x800));
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback_address() {
+        let mut c = small();
+        c.access(0x000, true); // dirty
+        c.access(0x400, false);
+        let out = c.access(0x800, false); // evicts dirty 0x000
+        match out {
+            CacheOutcome::Miss {
+                writeback: Some(wb),
+            } => assert_eq!(wb, 0x000),
+            other => panic!("expected dirty writeback, got {other:?}"),
+        }
+        assert_eq!(c.writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = small();
+        c.access(0x000, false);
+        c.access(0x400, false);
+        let out = c.access(0x800, false);
+        assert!(matches!(out, CacheOutcome::Miss { writeback: None }));
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        c.access(0x000, false); // clean fill
+        c.access(0x000, true); // dirty via write hit
+        c.access(0x400, false);
+        let out = c.access(0x800, false);
+        assert!(matches!(out, CacheOutcome::Miss { writeback: Some(0) }));
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = small();
+        for i in 0..100u64 {
+            c.access(i * 64, i % 3 == 0);
+        }
+        assert!(c.valid_lines() <= 8);
+        assert_eq!(c.valid_lines(), 8); // fully warm
+    }
+
+    #[test]
+    fn working_set_within_capacity_stops_missing() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        // 16 KB working set in a 32 KB cache: after one pass, all hits.
+        let lines = 16 * 1024 / 64;
+        for i in 0..lines as u64 {
+            c.access(i * 64, false);
+        }
+        c.reset_counters();
+        for i in 0..lines as u64 {
+            c.access(i * 64, false);
+        }
+        assert_eq!(c.misses, 0);
+        assert_eq!(c.hits, lines as u64);
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes_with_lru() {
+        let mut c = small(); // 512 B
+                             // Cyclic sweep over 1 KB: LRU yields 0% hits on a cyclic pattern
+                             // larger than capacity.
+        for _round in 0..4 {
+            for i in 0..16u64 {
+                c.access(i * 64, false);
+            }
+        }
+        assert_eq!(c.hits, 0);
+    }
+
+    #[test]
+    fn table2_geometries_validate() {
+        assert!(CacheConfig::l1d().validate().is_ok());
+        assert!(CacheConfig::l2().validate().is_ok());
+        assert_eq!(CacheConfig::l1d().sets(), 256);
+        assert_eq!(CacheConfig::l2().sets(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache configuration")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheConfig {
+            capacity: 500,
+            ways: 2,
+            line_bytes: 64,
+        });
+    }
+
+    #[test]
+    fn miss_rate_math() {
+        let mut c = small();
+        c.access(0x000, false);
+        c.access(0x000, false);
+        c.access(0x040, false);
+        c.access(0x080, false);
+        assert!((c.miss_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,571 @@
+//! The core model and the workload interface it executes.
+//!
+//! A core consumes an abstract instruction stream — runs of non-memory
+//! instructions punctuated by memory accesses — through its private L1/L2
+//! hierarchy. Out-of-order execution is abstracted to three limits, which
+//! are the only core properties that matter for bandwidth-partitioning
+//! behaviour:
+//!
+//! * **issue width** — non-memory IPC ceiling (Table II: 8-wide),
+//! * **ROB window** — how many instructions the core may run past its
+//!   oldest outstanding L2 miss (Table II: 192 entries),
+//! * **MSHRs** — the maximum outstanding L2 misses, i.e. the application's
+//!   memory-level parallelism.
+//!
+//! When the memory system is the bottleneck these limits make
+//! `IPC = APC / API` (Eq. 1) emerge naturally: the core retires exactly one
+//! inter-miss instruction gap per serviced miss.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use bwpart_mc::{MemRequest, MemoryController};
+
+use crate::cache::{Cache, CacheConfig, CacheOutcome};
+
+/// One element of an application's instruction stream: `gap` non-memory
+/// instructions followed by one memory instruction at `addr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    /// Non-memory instructions preceding this access.
+    pub gap: u32,
+    /// Byte address of the access (application-local; the core adds its
+    /// physical region base).
+    pub addr: u64,
+    /// Store (true) or load (false).
+    pub is_write: bool,
+}
+
+/// An application's dynamic instruction stream.
+///
+/// Implementations must be deterministic for a given construction seed; the
+/// simulator's reproducibility rests on it.
+pub trait Workload {
+    /// Produce the next access (streams are infinite; generators wrap).
+    fn next_access(&mut self) -> Access;
+
+    /// Identifier used in reports.
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+/// Core parameters (Table II defaults via [`CoreConfig::default`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Instructions retired per cycle at most (decode/issue/retire width).
+    pub width: u32,
+    /// Reorder-buffer window in instructions.
+    pub rob_window: u64,
+    /// Maximum outstanding L2 misses (application MLP).
+    pub mshrs: usize,
+    /// Serialized penalty cycles charged per L2 hit (the un-overlapped
+    /// remainder of the 5 ns L2 latency in an OoO core).
+    pub l2_hit_penalty: u32,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            width: 8,
+            rob_window: 192,
+            mshrs: 8,
+            l2_hit_penalty: 2,
+        }
+    }
+}
+
+/// Per-core counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CoreCounters {
+    /// Instructions retired.
+    pub retired: u64,
+    /// L1 data hits.
+    pub l1_hits: u64,
+    /// L1 data misses.
+    pub l1_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses (demand reads sent to memory, before MSHR merges).
+    pub l2_misses: u64,
+    /// Demand reads actually issued to the controller.
+    pub mem_reads: u64,
+    /// Writebacks issued to the controller (L2 dirty evictions).
+    pub mem_writes: u64,
+    /// Cycles fully stalled on ROB/MSHR limits.
+    pub stall_cycles: u64,
+}
+
+/// One core with its private cache hierarchy and workload.
+pub struct Core {
+    app: usize,
+    cfg: CoreConfig,
+    l1: Cache,
+    l2: Cache,
+    workload: Box<dyn Workload>,
+    /// Physical base of this application's DRAM region.
+    app_base: u64,
+    /// Mask confining workload addresses to the region.
+    region_mask: u64,
+    /// The access whose gap is currently being executed.
+    current: Access,
+    /// Non-memory instructions left before `current`'s memory op.
+    gap_left: u32,
+    /// Sequence numbers (instruction indices) of outstanding L2 misses,
+    /// oldest first, with completion flags.
+    outstanding: VecDeque<(u64, u64, bool)>, // (seq, line_addr, done)
+    /// Serialized L2-hit penalty cycles pending.
+    l2_wait: u32,
+    /// Instructions started (sequence counter).
+    seq: u64,
+    /// Counters.
+    pub counters: CoreCounters,
+}
+
+impl Core {
+    /// Build a core for application `app`, confining its traffic to a
+    /// `region_bytes`-sized physical region at `app_base`.
+    pub fn new(
+        app: usize,
+        cfg: CoreConfig,
+        l1: CacheConfig,
+        l2: CacheConfig,
+        mut workload: Box<dyn Workload>,
+        app_base: u64,
+        region_bytes: u64,
+    ) -> Self {
+        assert!(
+            region_bytes.is_power_of_two(),
+            "region must be a power of two"
+        );
+        assert!(cfg.width >= 1 && cfg.mshrs >= 1 && cfg.rob_window >= 1);
+        let current = workload.next_access();
+        let gap_left = current.gap;
+        Core {
+            app,
+            cfg,
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            workload,
+            app_base,
+            region_mask: region_bytes - 1,
+            current,
+            gap_left,
+            outstanding: VecDeque::new(),
+            l2_wait: 0,
+            seq: 0,
+            counters: CoreCounters::default(),
+        }
+    }
+
+    /// Application index.
+    pub fn app(&self) -> usize {
+        self.app
+    }
+
+    /// The workload's name.
+    pub fn workload_name(&self) -> &str {
+        self.workload.name()
+    }
+
+    /// Outstanding L2 misses right now.
+    pub fn outstanding_misses(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    fn phys(&self, addr: u64) -> u64 {
+        self.app_base | (addr & self.region_mask)
+    }
+
+    /// Route a completed memory read back to the core. All outstanding
+    /// entries for the line resolve together (MSHR-merged accesses share
+    /// one DRAM transaction).
+    pub fn complete(&mut self, addr: u64) {
+        let line = addr & !63u64;
+        for entry in self.outstanding.iter_mut() {
+            if entry.1 == line {
+                entry.2 = true;
+            }
+        }
+        while matches!(self.outstanding.front(), Some((_, _, true))) {
+            self.outstanding.pop_front();
+        }
+    }
+
+    fn limits_block(&self) -> bool {
+        if self.outstanding.len() >= self.cfg.mshrs {
+            return true;
+        }
+        if let Some(&(oldest, _, _)) = self.outstanding.front() {
+            if self.seq.saturating_sub(oldest) >= self.cfg.rob_window {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Advance the next access from the workload.
+    fn fetch_next(&mut self) {
+        self.current = self.workload.next_access();
+        self.gap_left = self.current.gap;
+    }
+
+    /// Execute one CPU cycle, possibly issuing memory requests to `mc`.
+    pub fn step(&mut self, now: u64, mc: &mut MemoryController) {
+        if self.l2_wait > 0 {
+            self.l2_wait -= 1;
+            return;
+        }
+        let mut budget = self.cfg.width;
+        let mut progressed = false;
+        while budget > 0 {
+            if self.gap_left > 0 {
+                let k = self.gap_left.min(budget);
+                self.gap_left -= k;
+                budget -= k;
+                self.seq += k as u64;
+                self.counters.retired += k as u64;
+                progressed = true;
+                continue;
+            }
+            // The memory instruction of `current` is due.
+            if self.limits_block() {
+                break;
+            }
+            let addr = self.phys(self.current.addr);
+            let is_write = self.current.is_write;
+            match self.l1.access(addr, is_write) {
+                CacheOutcome::Hit => {
+                    self.counters.l1_hits += 1;
+                    self.retire_mem();
+                    budget -= 1;
+                    progressed = true;
+                }
+                CacheOutcome::Miss { writeback } => {
+                    self.counters.l1_misses += 1;
+                    if let Some(wb) = writeback {
+                        // L1 dirty victim installs into L2 (no memory fetch:
+                        // the data moves downward); L2's own dirty victim
+                        // goes to DRAM.
+                        if let CacheOutcome::Miss {
+                            writeback: Some(l2wb),
+                        } = self.l2.access(wb, true)
+                        {
+                            self.counters.mem_writes += 1;
+                            mc.enqueue(MemRequest::write(self.app, l2wb, now));
+                        }
+                    }
+                    // Demand fill from L2 (the L1 copy carries dirtiness for
+                    // stores; the L2 copy stays clean on a pure fill).
+                    match self.l2.access(addr, false) {
+                        CacheOutcome::Hit => {
+                            self.counters.l2_hits += 1;
+                            self.retire_mem();
+                            self.l2_wait = self.cfg.l2_hit_penalty;
+                            progressed = true;
+                            break; // serialized L2-hit penalty starts next cycle
+                        }
+                        CacheOutcome::Miss { writeback: l2wb } => {
+                            self.counters.l2_misses += 1;
+                            if let Some(wb) = l2wb {
+                                self.counters.mem_writes += 1;
+                                mc.enqueue(MemRequest::write(self.app, wb, now));
+                            }
+                            let line = addr & !63u64;
+                            // MSHR merge: a pending miss to the same line
+                            // absorbs this access without a new request.
+                            let merged = self
+                                .outstanding
+                                .iter()
+                                .any(|(_, l, done)| *l == line && !done);
+                            if !merged {
+                                self.counters.mem_reads += 1;
+                                mc.enqueue(MemRequest::read(self.app, addr, now));
+                            }
+                            self.outstanding.push_back((self.seq, line, false));
+                            self.retire_mem();
+                            budget -= 1;
+                            progressed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !progressed {
+            self.counters.stall_cycles += 1;
+        }
+    }
+
+    fn retire_mem(&mut self) {
+        self.seq += 1;
+        self.counters.retired += 1;
+        self.fetch_next();
+    }
+
+    /// Reset counters at a phase boundary (caches and in-flight state are
+    /// preserved, like a real machine crossing a measurement boundary).
+    pub fn reset_counters(&mut self) {
+        self.counters = CoreCounters::default();
+        self.l1.reset_counters();
+        self.l2.reset_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwpart_dram::DramConfig;
+    use bwpart_mc::Policy;
+
+    /// A workload issuing a fixed gap and a striding address pattern.
+    struct Stride {
+        gap: u32,
+        next: u64,
+        step: u64,
+        is_write: bool,
+    }
+
+    impl Workload for Stride {
+        fn next_access(&mut self) -> Access {
+            let addr = self.next;
+            self.next = self.next.wrapping_add(self.step);
+            Access {
+                gap: self.gap,
+                addr,
+                is_write: self.is_write,
+            }
+        }
+        fn name(&self) -> &str {
+            "stride"
+        }
+    }
+
+    fn mk_core(gap: u32, step: u64, mshrs: usize) -> Core {
+        Core::new(
+            0,
+            CoreConfig {
+                mshrs,
+                ..CoreConfig::default()
+            },
+            CacheConfig::l1d(),
+            CacheConfig::l2(),
+            Box::new(Stride {
+                gap,
+                next: 0,
+                step,
+                is_write: false,
+            }),
+            0,
+            1 << 29,
+        )
+    }
+
+    fn mk_mc() -> MemoryController {
+        MemoryController::new(DramConfig::ddr2_400(), 1, Policy::fcfs(1))
+    }
+
+    #[test]
+    fn cache_resident_workload_runs_at_full_width() {
+        // Tiny working set (one line revisited): all L1 hits after warm-up.
+        let mut core = mk_core(7, 0, 8);
+        let mut mc = mk_mc();
+        // Long enough to amortize the single cold miss's stall.
+        for now in 0..20_000 {
+            core.step(now, &mut mc);
+            for c in mc.drain_completions(now) {
+                core.complete(c.addr);
+            }
+            mc.tick(now);
+        }
+        let ipc = core.counters.retired as f64 / 20_000.0;
+        assert!(ipc > 7.5, "L1-resident IPC should be ~8, got {ipc}");
+        assert_eq!(core.counters.mem_reads, 1); // only the first touch
+    }
+
+    #[test]
+    fn streaming_workload_is_bandwidth_bound() {
+        // Every access misses (64 B stride over a huge region), tiny gap:
+        // the core's demand far exceeds DDR2-400.
+        let mut core = mk_core(10, 64, 8);
+        let mut mc = mk_mc();
+        let cycles = 200_000u64;
+        for now in 0..cycles {
+            mc.tick(now);
+            for c in mc.drain_completions(now) {
+                core.complete(c.addr);
+            }
+            core.step(now, &mut mc);
+        }
+        let apc = core.counters.mem_reads as f64 / cycles as f64;
+        // DDR2-400 peak is 0.01 APC; a single saturating stream should get
+        // close (no competing traffic, minor refresh overhead).
+        assert!(apc > 0.008, "streaming APC {apc} should approach 0.01");
+        // And IPC follows Eq. 1: IPC ≈ APC / API with API = 1/11.
+        let ipc = core.counters.retired as f64 / cycles as f64;
+        let api = 1.0 / 11.0;
+        assert!(
+            (ipc - apc / api).abs() / ipc < 0.15,
+            "Eq.1: ipc {ipc} vs apc/api {}",
+            apc / api
+        );
+    }
+
+    #[test]
+    fn mshr_limit_bounds_outstanding_misses() {
+        let mut core = mk_core(0, 64, 4);
+        let mut mc = mk_mc();
+        for now in 0..10_000 {
+            mc.tick(now);
+            for c in mc.drain_completions(now) {
+                core.complete(c.addr);
+            }
+            core.step(now, &mut mc);
+            assert!(core.outstanding_misses() <= 4);
+        }
+        assert!(core.counters.stall_cycles > 0, "MSHR limit should stall");
+    }
+
+    #[test]
+    fn lower_mlp_means_lower_alone_bandwidth() {
+        let run = |mshrs: usize| {
+            let mut core = mk_core(20, 64, mshrs);
+            let mut mc = mk_mc();
+            let cycles = 200_000u64;
+            for now in 0..cycles {
+                mc.tick(now);
+                for c in mc.drain_completions(now) {
+                    core.complete(c.addr);
+                }
+                core.step(now, &mut mc);
+            }
+            core.counters.mem_reads as f64 / cycles as f64
+        };
+        let low = run(1);
+        let high = run(8);
+        assert!(
+            high > low * 1.5,
+            "MLP should raise standalone bandwidth: {low} vs {high}"
+        );
+    }
+
+    #[test]
+    fn rob_window_limits_run_ahead() {
+        // gap 300 > rob 192: after one outstanding miss the core cannot
+        // reach the next memory instruction, so misses never overlap.
+        let mut core = Core::new(
+            0,
+            CoreConfig {
+                rob_window: 192,
+                mshrs: 8,
+                ..CoreConfig::default()
+            },
+            CacheConfig::l1d(),
+            CacheConfig::l2(),
+            Box::new(Stride {
+                gap: 300,
+                next: 0,
+                step: 64,
+                is_write: false,
+            }),
+            0,
+            1 << 29,
+        );
+        let mut mc = mk_mc();
+        let mut max_out = 0;
+        for now in 0..100_000 {
+            mc.tick(now);
+            for c in mc.drain_completions(now) {
+                core.complete(c.addr);
+            }
+            core.step(now, &mut mc);
+            max_out = max_out.max(core.outstanding_misses());
+        }
+        assert_eq!(max_out, 1, "ROB window should serialize distant misses");
+    }
+
+    #[test]
+    fn stores_generate_writeback_traffic() {
+        // Write-streaming through a footprint larger than L2: dirty lines
+        // must come back out as DRAM writes.
+        let mut core = Core::new(
+            0,
+            CoreConfig::default(),
+            CacheConfig::l1d(),
+            CacheConfig::l2(),
+            Box::new(Stride {
+                gap: 10,
+                next: 0,
+                step: 64,
+                is_write: true,
+            }),
+            0,
+            1 << 19, // 512 KB region: twice L2, so dirty lines cycle out
+        );
+        let mut mc = mk_mc();
+        for now in 0..800_000 {
+            mc.tick(now);
+            for c in mc.drain_completions(now) {
+                core.complete(c.addr);
+            }
+            core.step(now, &mut mc);
+        }
+        assert!(
+            core.counters.mem_writes > 0,
+            "dirty evictions must reach DRAM (reads {})",
+            core.counters.mem_reads
+        );
+        // Once L2 is full, fills displace dirty lines (the run spends its
+        // first half warming the hierarchy, so the ratio is well below 1).
+        let ratio = core.counters.mem_writes as f64 / core.counters.mem_reads as f64;
+        assert!(ratio > 0.1, "writeback ratio {ratio}");
+    }
+
+    #[test]
+    fn addresses_confined_to_region() {
+        let mut core = Core::new(
+            3,
+            CoreConfig::default(),
+            CacheConfig::l1d(),
+            CacheConfig::l2(),
+            Box::new(Stride {
+                gap: 0,
+                next: 0,
+                step: 64,
+                is_write: false,
+            }),
+            3 << 29,
+            1 << 29,
+        );
+        let mut mc = MemoryController::new(DramConfig::ddr2_400(), 4, Policy::fcfs(4));
+        for now in 0..5_000 {
+            mc.tick(now);
+            for c in mc.drain_completions(now) {
+                assert!(c.addr >= 3 << 29 && c.addr < 4 << 29);
+                core.complete(c.addr);
+            }
+            core.step(now, &mut mc);
+        }
+    }
+
+    #[test]
+    fn reset_counters_keeps_cache_state() {
+        let mut core = mk_core(7, 0, 8);
+        let mut mc = mk_mc();
+        for now in 0..2_000 {
+            mc.tick(now);
+            for c in mc.drain_completions(now) {
+                core.complete(c.addr);
+            }
+            core.step(now, &mut mc);
+        }
+        core.reset_counters();
+        assert_eq!(core.counters.retired, 0);
+        // Cache stays warm: continuing produces no new memory reads.
+        for now in 2_000..3_000 {
+            mc.tick(now);
+            core.step(now, &mut mc);
+        }
+        assert_eq!(core.counters.mem_reads, 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the cache model: structural invariants under
+//! arbitrary access streams, and the reference behaviours (containment
+//! after access, LRU stack property, writeback address correctness).
+
+use bwpart_cmp::cache::{Cache, CacheConfig, CacheOutcome};
+use proptest::prelude::*;
+
+fn small_cfg() -> CacheConfig {
+    CacheConfig {
+        capacity: 2048, // 8 sets × 4 ways × 64 B
+        ways: 4,
+        line_bytes: 64,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The just-accessed line is always present afterwards; valid-line
+    /// count never exceeds capacity; hit+miss counts equal accesses.
+    #[test]
+    fn structural_invariants(stream in prop::collection::vec((0u64..1024, any::<bool>()), 1..300)) {
+        let mut c = Cache::new(small_cfg());
+        for &(line, w) in &stream {
+            let addr = line * 64;
+            c.access(addr, w);
+            prop_assert!(c.contains(addr), "line {line:#x} absent after access");
+            prop_assert!(c.valid_lines() <= 32);
+        }
+        prop_assert_eq!(c.hits + c.misses, stream.len() as u64);
+    }
+
+    /// A working set no larger than one set's ways never self-evicts:
+    /// after the first pass everything hits (the LRU stack property).
+    #[test]
+    fn within_set_working_set_always_hits(start in 0u64..64, rounds in 2usize..6) {
+        let cfg = small_cfg();
+        let mut c = Cache::new(cfg);
+        let sets = cfg.sets() as u64;
+        // `ways` lines all mapping to the same set.
+        let lines: Vec<u64> = (0..cfg.ways as u64)
+            .map(|i| (start + i * sets) * 64)
+            .collect();
+        for addr in &lines {
+            c.access(*addr, false);
+        }
+        c.reset_counters();
+        for _ in 0..rounds {
+            for addr in &lines {
+                prop_assert_eq!(c.access(*addr, false), CacheOutcome::Hit);
+            }
+        }
+        prop_assert_eq!(c.misses, 0);
+    }
+
+    /// Writeback addresses always map to the same set as the line that
+    /// displaced them, and only dirty lines generate writebacks.
+    #[test]
+    fn writeback_addresses_are_consistent(
+        stream in prop::collection::vec((0u64..256, any::<bool>()), 1..300),
+    ) {
+        let cfg = small_cfg();
+        let mut c = Cache::new(cfg);
+        let sets = cfg.sets() as u64;
+        let set_of = |addr: u64| (addr / 64) % sets;
+        let mut dirtied = std::collections::HashSet::new();
+        for &(line, w) in &stream {
+            let addr = line * 64;
+            if w {
+                dirtied.insert(addr);
+            }
+            if let CacheOutcome::Miss { writeback: Some(wb) } = c.access(addr, w) {
+                prop_assert_eq!(set_of(wb), set_of(addr), "writeback set mismatch");
+                prop_assert_eq!(wb % 64, 0, "writeback must be line-aligned");
+                prop_assert!(
+                    dirtied.contains(&wb),
+                    "clean line {wb:#x} produced a writeback"
+                );
+            }
+        }
+    }
+
+    /// Determinism: the same stream yields identical hit/miss sequences.
+    #[test]
+    fn cache_is_deterministic(stream in prop::collection::vec((0u64..512, any::<bool>()), 1..200)) {
+        let run = || {
+            let mut c = Cache::new(small_cfg());
+            stream
+                .iter()
+                .map(|&(line, w)| matches!(c.access(line * 64, w), CacheOutcome::Hit))
+                .collect::<Vec<bool>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Doubling associativity (same capacity) never increases misses for
+    /// a working set that fits entirely in the cache.
+    #[test]
+    fn more_ways_help_fitting_sets(lines in prop::collection::vec(0u64..32, 20..120)) {
+        // 32 distinct lines fit a 2 KB cache exactly.
+        let run = |ways: usize| {
+            let mut c = Cache::new(CacheConfig {
+                capacity: 2048,
+                ways,
+                line_bytes: 64,
+            });
+            // Warm with two passes over the unique lines, then measure.
+            for _ in 0..2 {
+                for l in 0..32u64 {
+                    c.access(l * 64, false);
+                }
+            }
+            c.reset_counters();
+            for &l in &lines {
+                c.access(l * 64, false);
+            }
+            c.misses
+        };
+        // Fully-associative (32-way) on an exactly-fitting set: zero misses.
+        prop_assert_eq!(run(32), 0);
+    }
+}

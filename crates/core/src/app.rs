@@ -1,0 +1,231 @@
+//! Application descriptors consumed by the analytical model.
+//!
+//! The model characterizes an application by exactly two numbers (Table I of
+//! the paper):
+//!
+//! * `API` — memory **A**ccesses **P**er **I**nstruction: a property of the
+//!   program and its input set, *invariant* under bandwidth partitioning.
+//! * `APC_alone` — memory **A**ccesses **P**er **C**ycle the application
+//!   sustains when it owns the whole memory system. This is its inherent
+//!   memory access frequency and doubles as an upper bound on the bandwidth
+//!   it can usefully consume when sharing.
+//!
+//! Everything else (`IPC_alone`, classification thresholds, ...) derives from
+//! those two.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+/// Memory-intensity class used by the paper's benchmark taxonomy
+/// (Section V-C1): thresholds are on `APKC_alone` = `APC_alone × 1000`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntensityClass {
+    /// `APKC_alone > 8`.
+    High,
+    /// `4 < APKC_alone ≤ 8`.
+    Middle,
+    /// `APKC_alone ≤ 4`.
+    Low,
+}
+
+impl IntensityClass {
+    /// Classify from an `APKC_alone` (accesses per kilo-cycle) value.
+    pub fn from_apkc(apkc: f64) -> Self {
+        if apkc > 8.0 {
+            IntensityClass::High
+        } else if apkc > 4.0 {
+            IntensityClass::Middle
+        } else {
+            IntensityClass::Low
+        }
+    }
+
+    /// Human-readable label matching the paper's Table III.
+    pub fn label(self) -> &'static str {
+        match self {
+            IntensityClass::High => "high",
+            IntensityClass::Middle => "middle",
+            IntensityClass::Low => "low",
+        }
+    }
+}
+
+/// The per-application inputs to the analytical model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Identifier used in reports (benchmark name in the paper's tables).
+    pub name: String,
+    /// Memory accesses per instruction (strictly positive).
+    pub api: f64,
+    /// Memory accesses per cycle when running alone (strictly positive).
+    pub apc_alone: f64,
+}
+
+impl AppProfile {
+    /// Build a profile, validating that both rates are finite and positive.
+    pub fn new(name: impl Into<String>, api: f64, apc_alone: f64) -> Result<Self, ModelError> {
+        if !(api.is_finite() && api > 0.0) {
+            return Err(ModelError::InvalidInput {
+                what: "api",
+                value: api,
+            });
+        }
+        if !(apc_alone.is_finite() && apc_alone > 0.0) {
+            return Err(ModelError::InvalidInput {
+                what: "apc_alone",
+                value: apc_alone,
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            api,
+            apc_alone,
+        })
+    }
+
+    /// Build a profile from the units the paper's Table III reports:
+    /// accesses per *kilo*-instruction and per *kilo*-cycle.
+    pub fn from_kilo_units(
+        name: impl Into<String>,
+        apki: f64,
+        apkc_alone: f64,
+    ) -> Result<Self, ModelError> {
+        Self::new(name, apki / 1000.0, apkc_alone / 1000.0)
+    }
+
+    /// Instructions per cycle when running alone: `APC_alone / API` (Eq. 1).
+    pub fn ipc_alone(&self) -> f64 {
+        self.apc_alone / self.api
+    }
+
+    /// Accesses per kilo-instruction, the paper's `APKI` unit.
+    pub fn apki(&self) -> f64 {
+        self.api * 1000.0
+    }
+
+    /// Accesses per kilo-cycle when alone, the paper's `APKC_alone` unit.
+    pub fn apkc_alone(&self) -> f64 {
+        self.apc_alone * 1000.0
+    }
+
+    /// The paper's memory-intensity class for this application.
+    pub fn intensity(&self) -> IntensityClass {
+        IntensityClass::from_apkc(self.apkc_alone())
+    }
+}
+
+/// Convert an `APC` figure (accesses per CPU cycle) to bytes per second:
+/// `GB/s = APC × line_bytes × cpu_hz` (Section III-A's unit conversion).
+pub fn apc_to_bytes_per_sec(apc: f64, line_bytes: u64, cpu_hz: f64) -> f64 {
+    apc * line_bytes as f64 * cpu_hz
+}
+
+/// Convert bytes per second of line-granular traffic back to `APC`.
+pub fn bytes_per_sec_to_apc(bps: f64, line_bytes: u64, cpu_hz: f64) -> f64 {
+    bps / (line_bytes as f64 * cpu_hz)
+}
+
+/// Relative standard deviation (%) of the `APC_alone`s of a workload —
+/// the paper's *heterogeneity* measure (Section V-C2). A workload is
+/// heterogeneous when this exceeds 30. Uses the sample (n−1) standard
+/// deviation, which is what reproduces the paper's Table IV values
+/// exactly from its Table III data.
+pub fn heterogeneity_rsd(apps: &[AppProfile]) -> f64 {
+    if apps.len() < 2 {
+        return 0.0;
+    }
+    let n = apps.len() as f64;
+    let mean = apps.iter().map(|a| a.apc_alone).sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = apps
+        .iter()
+        .map(|a| (a.apc_alone - mean).powi(2))
+        .sum::<f64>()
+        / (n - 1.0);
+    100.0 * var.sqrt() / mean
+}
+
+/// The paper's cut-off: heterogeneity (RSD) above this marks a workload mix
+/// as *heterogeneous*.
+pub const HETEROGENEITY_THRESHOLD: f64 = 30.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(AppProfile::new("x", 0.0, 0.01).is_err());
+        assert!(AppProfile::new("x", -0.1, 0.01).is_err());
+        assert!(AppProfile::new("x", f64::NAN, 0.01).is_err());
+        assert!(AppProfile::new("x", 0.01, 0.0).is_err());
+        assert!(AppProfile::new("x", 0.01, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn ipc_alone_is_eq1() {
+        let a = AppProfile::new("lbm", 0.0531331, 0.00938517).unwrap();
+        let ipc = a.ipc_alone();
+        assert!((ipc - 0.00938517 / 0.0531331).abs() < 1e-12);
+        // lbm runs slowly when alone: bandwidth-bound.
+        assert!(ipc < 0.2);
+    }
+
+    #[test]
+    fn kilo_units_round_trip() {
+        let a = AppProfile::from_kilo_units("milc", 42.2216, 6.87143).unwrap();
+        assert!((a.apki() - 42.2216).abs() < 1e-9);
+        assert!((a.apkc_alone() - 6.87143).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intensity_classes_match_table3() {
+        // Table III spot checks.
+        let lbm = AppProfile::from_kilo_units("lbm", 53.1331, 9.38517).unwrap();
+        assert_eq!(lbm.intensity(), IntensityClass::High);
+        let milc = AppProfile::from_kilo_units("milc", 42.2216, 6.87143).unwrap();
+        assert_eq!(milc.intensity(), IntensityClass::Middle);
+        let gobmk = AppProfile::from_kilo_units("gobmk", 4.0668, 1.91485).unwrap();
+        assert_eq!(gobmk.intensity(), IntensityClass::Low);
+        // Boundary behaviour: exactly 8 and exactly 4 are not in the upper class.
+        assert_eq!(IntensityClass::from_apkc(8.0), IntensityClass::Middle);
+        assert_eq!(IntensityClass::from_apkc(4.0), IntensityClass::Low);
+    }
+
+    #[test]
+    fn apc_unit_conversion_matches_paper_example() {
+        // Section III-A: 0.01 APC with 64 B lines at 5 GHz is 3.2 GB/s.
+        let bps = apc_to_bytes_per_sec(0.01, 64, 5.0e9);
+        assert!((bps - 3.2e9).abs() < 1.0);
+        let apc = bytes_per_sec_to_apc(3.2e9, 64, 5.0e9);
+        assert!((apc - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rsd_zero_for_identical_apps() {
+        let apps: Vec<_> = (0..4)
+            .map(|i| AppProfile::new(format!("a{i}"), 0.01, 0.002).unwrap())
+            .collect();
+        assert!(heterogeneity_rsd(&apps) < 1e-12);
+    }
+
+    #[test]
+    fn rsd_flags_heterogeneous_mixes() {
+        // hetero-7 style mix: one heavy streamer with three light apps.
+        let apps = vec![
+            AppProfile::new("lbm", 0.053, 0.0094).unwrap(),
+            AppProfile::new("milc", 0.042, 0.0069).unwrap(),
+            AppProfile::new("gobmk", 0.004, 0.0019).unwrap(),
+            AppProfile::new("zeusmp", 0.0045, 0.0024).unwrap(),
+        ];
+        assert!(heterogeneity_rsd(&apps) > HETEROGENEITY_THRESHOLD);
+    }
+
+    #[test]
+    fn rsd_handles_empty() {
+        assert_eq!(heterogeneity_rsd(&[]), 0.0);
+    }
+}

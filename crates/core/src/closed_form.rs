@@ -1,0 +1,194 @@
+//! Closed-form results of Section III (Eq. 4, 6 and 8) and the Cauchy
+//! comparisons drawn from them.
+//!
+//! With `a_i = APC_alone,i` and total utilized bandwidth `B`:
+//!
+//! * **Eq. 4** — maximum harmonic weighted speedup (achieved by
+//!   `Square_root`): `Hsp* = N·B / (Σ √a_i)²`.
+//! * **Eq. 6** — weighted speedup *of* the `Square_root` scheme:
+//!   `Wsp^sqrt = (B/N) · (Σ a_i^{-1/2}) / (Σ a_i^{1/2})`.
+//!   (The camera-ready PDF typesets this formula ambiguously; the form here
+//!   is the one that follows from substituting Eq. 5 into Eq. 9 and is the
+//!   one consistent with the paper's own Cauchy-inequality argument.)
+//! * **Eq. 8** — both speedup metrics of the `Proportional` scheme:
+//!   `Hsp^prop = Wsp^prop = B / Σ a_i`.
+//!
+//! The derivations assume shares below standalone caps
+//! (`β_i·B ≤ APC_alone,i`), i.e. contended bandwidth; all formulas here
+//! inherit that assumption.
+
+use crate::app::AppProfile;
+use crate::error::ModelError;
+
+fn check(apps: &[AppProfile], b: f64) -> Result<(), ModelError> {
+    if apps.is_empty() {
+        return Err(ModelError::NoApplications);
+    }
+    if !(b.is_finite() && b > 0.0) {
+        return Err(ModelError::InvalidInput {
+            what: "total_bandwidth",
+            value: b,
+        });
+    }
+    Ok(())
+}
+
+/// Eq. 4: the maximum achievable harmonic weighted speedup,
+/// `N·B / (Σ √APC_alone,i)²`, attained by the `Square_root` scheme.
+pub fn max_hsp(apps: &[AppProfile], b: f64) -> Result<f64, ModelError> {
+    check(apps, b)?;
+    let n = apps.len() as f64;
+    let s: f64 = apps.iter().map(|a| a.apc_alone.sqrt()).sum();
+    Ok(n * b / (s * s))
+}
+
+/// Eq. 5: the bandwidth allocation achieving [`max_hsp`]:
+/// `APC_shared,i = B · √a_i / Σ √a_j`.
+pub fn hsp_optimal_allocation(apps: &[AppProfile], b: f64) -> Result<Vec<f64>, ModelError> {
+    check(apps, b)?;
+    let s: f64 = apps.iter().map(|a| a.apc_alone.sqrt()).sum();
+    Ok(apps.iter().map(|a| b * a.apc_alone.sqrt() / s).collect())
+}
+
+/// Eq. 6: the weighted speedup achieved by the `Square_root` scheme,
+/// `(B/N) · (Σ a_i^{-1/2}) / (Σ a_i^{1/2})`.
+pub fn wsp_of_sqrt(apps: &[AppProfile], b: f64) -> Result<f64, ModelError> {
+    check(apps, b)?;
+    let n = apps.len() as f64;
+    let inv: f64 = apps.iter().map(|a| 1.0 / a.apc_alone.sqrt()).sum();
+    let fwd: f64 = apps.iter().map(|a| a.apc_alone.sqrt()).sum();
+    Ok(b / n * inv / fwd)
+}
+
+/// Eq. 8: harmonic weighted speedup and weighted speedup of the
+/// `Proportional` scheme (they coincide because every speedup is equal):
+/// `B / Σ APC_alone,i`.
+pub fn hsp_wsp_of_proportional(apps: &[AppProfile], b: f64) -> Result<f64, ModelError> {
+    check(apps, b)?;
+    Ok(b / apps.iter().map(|a| a.apc_alone).sum::<f64>())
+}
+
+/// The common speedup every application receives under `Proportional`
+/// partitioning: `B / Σ a_j` (each app's speedup equals the system Wsp).
+pub fn proportional_common_speedup(apps: &[AppProfile], b: f64) -> Result<f64, ModelError> {
+    hsp_wsp_of_proportional(apps, b)
+}
+
+/// Section III-C's Cauchy-inequality conclusions, as machine-checkable
+/// predicates: both return the (lhs, rhs) pair so callers can assert
+/// `lhs ≥ rhs`.
+pub mod cauchy {
+    use super::*;
+
+    /// `Hsp(Square_root) ≥ Hsp(Proportional)` (Eq. 4 vs Eq. 8).
+    pub fn hsp_sqrt_vs_prop(apps: &[AppProfile], b: f64) -> Result<(f64, f64), ModelError> {
+        Ok((max_hsp(apps, b)?, hsp_wsp_of_proportional(apps, b)?))
+    }
+
+    /// `Wsp(Square_root) ≥ Wsp(Proportional)` (Eq. 6 vs Eq. 8).
+    pub fn wsp_sqrt_vs_prop(apps: &[AppProfile], b: f64) -> Result<(f64, f64), ModelError> {
+        Ok((wsp_of_sqrt(apps, b)?, hsp_wsp_of_proportional(apps, b)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use crate::schemes::PartitionScheme;
+
+    fn apps() -> Vec<AppProfile> {
+        vec![
+            AppProfile::new("lbm", 0.0531, 0.00939).unwrap(),
+            AppProfile::new("milc", 0.0422, 0.00687).unwrap(),
+            AppProfile::new("gobmk", 0.0041, 0.00191).unwrap(),
+            AppProfile::new("zeusmp", 0.0045, 0.00242).unwrap(),
+        ]
+    }
+
+    const B: f64 = 0.008;
+
+    /// Eq. 4 agrees with evaluating Hsp at the Eq. 5 allocation.
+    #[test]
+    fn eq4_consistent_with_eq5() {
+        let a = apps();
+        let alloc = hsp_optimal_allocation(&a, B).unwrap();
+        assert!((alloc.iter().sum::<f64>() - B).abs() < 1e-12);
+        let ipc_shared: Vec<f64> = alloc.iter().zip(&a).map(|(x, p)| x / p.api).collect();
+        let ipc_alone: Vec<f64> = a.iter().map(|p| p.ipc_alone()).collect();
+        let hsp = metrics::harmonic_weighted_speedup(&ipc_shared, &ipc_alone).unwrap();
+        assert!((hsp - max_hsp(&a, B).unwrap()).abs() < 1e-12);
+    }
+
+    /// Eq. 5 equals the SquareRoot scheme's allocation (uncapped regime).
+    #[test]
+    fn eq5_matches_square_root_scheme() {
+        let a = apps();
+        let from_scheme = PartitionScheme::SquareRoot.allocation(&a, B).unwrap();
+        let from_eq5 = hsp_optimal_allocation(&a, B).unwrap();
+        for (x, y) in from_scheme.iter().zip(&from_eq5) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    /// Eq. 6 agrees with evaluating Wsp at the sqrt allocation.
+    #[test]
+    fn eq6_consistent_with_direct_evaluation() {
+        let a = apps();
+        let alloc = hsp_optimal_allocation(&a, B).unwrap();
+        let ipc_shared: Vec<f64> = alloc.iter().zip(&a).map(|(x, p)| x / p.api).collect();
+        let ipc_alone: Vec<f64> = a.iter().map(|p| p.ipc_alone()).collect();
+        let wsp = metrics::weighted_speedup(&ipc_shared, &ipc_alone).unwrap();
+        assert!(
+            (wsp - wsp_of_sqrt(&a, B).unwrap()).abs() < 1e-12,
+            "direct {wsp} vs closed form {}",
+            wsp_of_sqrt(&a, B).unwrap()
+        );
+    }
+
+    /// Eq. 8: proportional equalizes speedups; Hsp == Wsp == B/Σa.
+    #[test]
+    fn eq8_consistent_with_direct_evaluation() {
+        let a = apps();
+        let alloc = PartitionScheme::Proportional.allocation(&a, B).unwrap();
+        let ipc_shared: Vec<f64> = alloc.iter().zip(&a).map(|(x, p)| x / p.api).collect();
+        let ipc_alone: Vec<f64> = a.iter().map(|p| p.ipc_alone()).collect();
+        let hsp = metrics::harmonic_weighted_speedup(&ipc_shared, &ipc_alone).unwrap();
+        let wsp = metrics::weighted_speedup(&ipc_shared, &ipc_alone).unwrap();
+        let expect = hsp_wsp_of_proportional(&a, B).unwrap();
+        assert!((hsp - expect).abs() < 1e-12);
+        assert!((wsp - expect).abs() < 1e-12);
+        // Every app's speedup equals the common value.
+        for (s, al) in ipc_shared.iter().zip(&ipc_alone) {
+            assert!((s / al - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cauchy_orderings_hold() {
+        let a = apps();
+        let (lhs, rhs) = cauchy::hsp_sqrt_vs_prop(&a, B).unwrap();
+        assert!(lhs >= rhs - 1e-15, "Hsp: {lhs} < {rhs}");
+        let (lhs, rhs) = cauchy::wsp_sqrt_vs_prop(&a, B).unwrap();
+        assert!(lhs >= rhs - 1e-15, "Wsp: {lhs} < {rhs}");
+    }
+
+    #[test]
+    fn cauchy_tight_for_identical_apps() {
+        // When all APC_alone are equal the inequalities collapse to equality.
+        let a: Vec<_> = (0..4)
+            .map(|i| AppProfile::new(format!("x{i}"), 0.01, 0.004).unwrap())
+            .collect();
+        let (lhs, rhs) = cauchy::hsp_sqrt_vs_prop(&a, B).unwrap();
+        assert!((lhs - rhs).abs() < 1e-12);
+        let (lhs, rhs) = cauchy::wsp_sqrt_vs_prop(&a, B).unwrap();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(max_hsp(&[], 0.01).is_err());
+        assert!(max_hsp(&apps(), 0.0).is_err());
+        assert!(wsp_of_sqrt(&apps(), f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! QoS-guaranteed partitioning (Section III-G, Eq. 11).
+//!
+//! Applications are split into a **QoS-guaranteed** group — each with a
+//! target IPC that must be met — and a **best-effort** group. The QoS group
+//! is first granted exactly the bandwidth its targets require
+//! (`B_QoS,i = IPC_target,i × API_i`); the remainder
+//! (`B_BE = B − Σ B_QoS,i`) is then partitioned among the best-effort
+//! applications with whichever optimal scheme matches the chosen objective.
+
+use serde::{Deserialize, Serialize};
+
+use crate::app::AppProfile;
+use crate::error::ModelError;
+use crate::predict::{self, Prediction};
+use crate::schemes::PartitionScheme;
+
+/// One application's QoS demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosRequest {
+    /// Index of the application in the workload's profile list.
+    pub app: usize,
+    /// The IPC the system must guarantee for it.
+    pub target_ipc: f64,
+}
+
+/// The outcome of a QoS-aware partitioning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QosPartition {
+    /// Full per-application allocation in APC units (QoS + best effort).
+    pub allocation: Vec<f64>,
+    /// Bandwidth reserved for the QoS group (`Σ B_QoS,i`).
+    pub qos_bandwidth: f64,
+    /// Bandwidth left for the best-effort group (`B_BE`, Eq. 11).
+    pub best_effort_bandwidth: f64,
+    /// Indices of the best-effort applications.
+    pub best_effort_apps: Vec<usize>,
+}
+
+impl QosPartition {
+    /// Share vector `β` over the full application list.
+    pub fn shares(&self) -> Vec<f64> {
+        let total: f64 = self.allocation.iter().sum();
+        self.allocation.iter().map(|a| a / total).collect()
+    }
+
+    /// Model-predicted outcome of this allocation.
+    pub fn predict(&self, apps: &[AppProfile]) -> Result<Prediction, ModelError> {
+        predict::evaluate_allocation(apps, &self.allocation)
+    }
+}
+
+/// Compute the QoS-guaranteed partition: reserve `target_ipc × API` for each
+/// QoS application, then partition the remainder among best-effort
+/// applications with `be_scheme`.
+///
+/// Errors if a target exceeds an application's standalone IPC, if the same
+/// application appears in two requests, or if the reservations exceed `b`.
+/// `be_scheme` must not be [`PartitionScheme::NoPartitioning`].
+pub fn partition(
+    apps: &[AppProfile],
+    requests: &[QosRequest],
+    be_scheme: PartitionScheme,
+    b: f64,
+) -> Result<QosPartition, ModelError> {
+    if apps.is_empty() {
+        return Err(ModelError::NoApplications);
+    }
+    if !(b.is_finite() && b > 0.0) {
+        return Err(ModelError::InvalidInput {
+            what: "total_bandwidth",
+            value: b,
+        });
+    }
+
+    let mut allocation = vec![0.0; apps.len()];
+    let mut is_qos = vec![false; apps.len()];
+    let mut qos_bandwidth = 0.0;
+    for req in requests {
+        if req.app >= apps.len() {
+            return Err(ModelError::LengthMismatch {
+                expected: apps.len(),
+                got: req.app + 1,
+            });
+        }
+        if is_qos[req.app] {
+            return Err(ModelError::InvalidInput {
+                what: "duplicate QoS request for application",
+                value: req.app as f64,
+            });
+        }
+        if !(req.target_ipc.is_finite() && req.target_ipc > 0.0) {
+            return Err(ModelError::InvalidInput {
+                what: "target_ipc",
+                value: req.target_ipc,
+            });
+        }
+        let app = &apps[req.app];
+        if req.target_ipc > app.ipc_alone() {
+            return Err(ModelError::QosTargetUnreachable {
+                app: req.app,
+                target_ipc: req.target_ipc,
+                ipc_alone: app.ipc_alone(),
+            });
+        }
+        // Eq. 11 reservation: B_QoS = IPC_target × API.
+        let reserve = req.target_ipc * app.api;
+        allocation[req.app] = reserve;
+        qos_bandwidth += reserve;
+        is_qos[req.app] = true;
+    }
+    if qos_bandwidth > b {
+        return Err(ModelError::QosInfeasible {
+            required: qos_bandwidth,
+            available: b,
+        });
+    }
+
+    let best_effort_apps: Vec<usize> = (0..apps.len()).filter(|&i| !is_qos[i]).collect();
+    let best_effort_bandwidth = b - qos_bandwidth;
+
+    if !best_effort_apps.is_empty() && best_effort_bandwidth > 0.0 {
+        let be_profiles: Vec<AppProfile> =
+            best_effort_apps.iter().map(|&i| apps[i].clone()).collect();
+        let be_alloc = be_scheme.allocation(&be_profiles, best_effort_bandwidth)?;
+        for (&i, a) in best_effort_apps.iter().zip(be_alloc) {
+            allocation[i] = a;
+        }
+    }
+
+    Ok(QosPartition {
+        allocation,
+        qos_bandwidth,
+        best_effort_bandwidth,
+        best_effort_apps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metric;
+
+    /// Mix-1-like workload: hmmer is the QoS app with target IPC 0.6.
+    fn mix() -> Vec<AppProfile> {
+        vec![
+            AppProfile::new("lbm", 0.0531, 0.00939).unwrap(),
+            AppProfile::new("libquantum", 0.0341, 0.00692).unwrap(),
+            AppProfile::new("omnetpp", 0.0306, 0.00519).unwrap(),
+            AppProfile::new("hmmer", 0.0046, 0.00529).unwrap(),
+        ]
+    }
+
+    const B: f64 = 0.0095;
+
+    #[test]
+    fn reservation_is_eq11() {
+        let apps = mix();
+        let req = [QosRequest {
+            app: 3,
+            target_ipc: 0.6,
+        }];
+        let part = partition(&apps, &req, PartitionScheme::SquareRoot, B).unwrap();
+        // B_QoS = 0.6 × 0.0046
+        assert!((part.qos_bandwidth - 0.6 * 0.0046).abs() < 1e-12);
+        assert!((part.allocation[3] - 0.6 * 0.0046).abs() < 1e-12);
+        assert!((part.best_effort_bandwidth - (B - part.qos_bandwidth)).abs() < 1e-12);
+        assert_eq!(part.best_effort_apps, vec![0, 1, 2]);
+        // Full allocation sums to B when best-effort caps don't bind.
+        assert!((part.allocation.iter().sum::<f64>() - B).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicted_qos_ipc_hits_target() {
+        let apps = mix();
+        let req = [QosRequest {
+            app: 3,
+            target_ipc: 0.6,
+        }];
+        let part = partition(&apps, &req, PartitionScheme::PriorityApc, B).unwrap();
+        let pred = part.predict(&apps).unwrap();
+        assert!((pred.ipc_shared[3] - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_effort_scheme_changes_split_not_reservation() {
+        let apps = mix();
+        let req = [QosRequest {
+            app: 3,
+            target_ipc: 0.6,
+        }];
+        let a = partition(&apps, &req, PartitionScheme::SquareRoot, B).unwrap();
+        let b = partition(&apps, &req, PartitionScheme::Proportional, B).unwrap();
+        assert_eq!(a.allocation[3], b.allocation[3]);
+        assert_ne!(a.allocation[0], b.allocation[0]);
+    }
+
+    #[test]
+    fn multiple_qos_apps() {
+        let apps = mix();
+        let req = [
+            QosRequest {
+                app: 3,
+                target_ipc: 0.6,
+            },
+            QosRequest {
+                app: 2,
+                target_ipc: 0.05,
+            },
+        ];
+        let part = partition(&apps, &req, PartitionScheme::Equal, B).unwrap();
+        assert_eq!(part.best_effort_apps, vec![0, 1]);
+        let pred = part.predict(&apps).unwrap();
+        assert!((pred.ipc_shared[3] - 0.6).abs() < 1e-9);
+        assert!((pred.ipc_shared[2] - 0.05).abs() < 1e-9);
+        // Best-effort apps split the remainder equally (both uncapped here).
+        assert!((part.allocation[0] - part.allocation[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_target_is_rejected() {
+        let apps = mix();
+        let ipc_alone = apps[3].ipc_alone();
+        let req = [QosRequest {
+            app: 3,
+            target_ipc: ipc_alone * 1.01,
+        }];
+        assert!(matches!(
+            partition(&apps, &req, PartitionScheme::Equal, B),
+            Err(ModelError::QosTargetUnreachable { app: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn infeasible_reservation_is_rejected() {
+        let apps = mix();
+        let req = [QosRequest {
+            app: 3,
+            target_ipc: 1.0, // needs 0.0046 APC...
+        }];
+        // ...but only 0.004 available.
+        let r = partition(&apps, &req, PartitionScheme::Equal, 0.004);
+        assert!(matches!(r, Err(ModelError::QosInfeasible { .. })));
+    }
+
+    #[test]
+    fn duplicate_and_out_of_range_requests_rejected() {
+        let apps = mix();
+        let dup = [
+            QosRequest {
+                app: 3,
+                target_ipc: 0.3,
+            },
+            QosRequest {
+                app: 3,
+                target_ipc: 0.2,
+            },
+        ];
+        assert!(partition(&apps, &dup, PartitionScheme::Equal, B).is_err());
+        let oob = [QosRequest {
+            app: 9,
+            target_ipc: 0.3,
+        }];
+        assert!(partition(&apps, &oob, PartitionScheme::Equal, B).is_err());
+    }
+
+    #[test]
+    fn qos_improves_best_effort_over_nothing_left() {
+        // Sanity: best-effort Wsp under PriorityApc beats Equal on the same
+        // residual bandwidth (the Section VI-B observation).
+        let apps = mix();
+        let req = [QosRequest {
+            app: 3,
+            target_ipc: 0.6,
+        }];
+        let greedy = partition(&apps, &req, PartitionScheme::PriorityApc, B).unwrap();
+        let equal = partition(&apps, &req, PartitionScheme::Equal, B).unwrap();
+        let wsp = |p: &QosPartition| {
+            let pred = p.predict(&apps).unwrap();
+            // Weighted speedup over the best-effort subset only.
+            let (s, a): (Vec<f64>, Vec<f64>) = p
+                .best_effort_apps
+                .iter()
+                .map(|&i| (pred.ipc_shared[i], pred.ipc_alone[i]))
+                .unzip();
+            crate::metrics::evaluate(Metric::WeightedSpeedup, &s, &a).unwrap()
+        };
+        assert!(wsp(&greedy) >= wsp(&equal) - 1e-12);
+    }
+
+    #[test]
+    fn empty_request_list_is_plain_partitioning() {
+        let apps = mix();
+        let part = partition(&apps, &[], PartitionScheme::SquareRoot, B).unwrap();
+        assert_eq!(part.qos_bandwidth, 0.0);
+        let direct = PartitionScheme::SquareRoot.allocation(&apps, B).unwrap();
+        for (x, y) in part.allocation.iter().zip(&direct) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

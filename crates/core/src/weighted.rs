@@ -1,0 +1,304 @@
+//! Priority-weighted objectives and their optimal partitions.
+//!
+//! Section II-B motivates weights — "the system performance metric may be
+//! defined in such a way that applications with higher priority have more
+//! weights" — but the paper only derives the uniform-weight optima. This
+//! module supplies the weighted generalization, following the same
+//! constrained-optimization recipe (it is exactly the "any IPC-based
+//! metric" claim of Section III-F made concrete):
+//!
+//! * **Weighted harmonic speedup** `N / Σ (w_i · IPC_alone,i/IPC_shared,i)`
+//!   (higher weight = that application's slowdown hurts more). Lagrange
+//!   gives the optimum at `APC_shared,i ∝ √(w_i · APC_alone,i)` — the
+//!   `Square_root` rule with weights folded in.
+//! * **Weighted speedup** `Σ w_i · IPC_shared,i/IPC_alone,i`: the knapsack
+//!   value density becomes `w_i / APC_alone,i`, so strict priority goes to
+//!   the highest `w_i / APC_alone,i` (uniform weights recover
+//!   `Priority_APC`).
+//! * **Weighted sum of IPCs** `Σ w_i · IPC_shared,i`: density
+//!   `w_i / API_i` (uniform weights recover `Priority_API`).
+
+use crate::app::AppProfile;
+use crate::error::ModelError;
+use crate::solver;
+
+fn check(apps: &[AppProfile], weights: &[f64], b: f64) -> Result<(), ModelError> {
+    if apps.is_empty() {
+        return Err(ModelError::NoApplications);
+    }
+    if weights.len() != apps.len() {
+        return Err(ModelError::LengthMismatch {
+            expected: apps.len(),
+            got: weights.len(),
+        });
+    }
+    for &w in weights {
+        if !(w.is_finite() && w > 0.0) {
+            return Err(ModelError::InvalidInput {
+                what: "weight",
+                value: w,
+            });
+        }
+    }
+    if !(b.is_finite() && b > 0.0) {
+        return Err(ModelError::InvalidInput {
+            what: "total_bandwidth",
+            value: b,
+        });
+    }
+    Ok(())
+}
+
+/// Weighted harmonic speedup of an outcome:
+/// `N / Σ (w_i · IPC_alone,i / IPC_shared,i)`.
+pub fn weighted_hsp(
+    ipc_shared: &[f64],
+    ipc_alone: &[f64],
+    weights: &[f64],
+) -> Result<f64, ModelError> {
+    if ipc_shared.len() != ipc_alone.len() || ipc_shared.len() != weights.len() {
+        return Err(ModelError::LengthMismatch {
+            expected: ipc_shared.len(),
+            got: weights.len(),
+        });
+    }
+    if ipc_shared.is_empty() {
+        return Err(ModelError::NoApplications);
+    }
+    if ipc_shared.contains(&0.0) {
+        return Ok(0.0);
+    }
+    let denom: f64 = ipc_shared
+        .iter()
+        .zip(ipc_alone)
+        .zip(weights)
+        .map(|((&s, &a), &w)| w * a / s)
+        .sum();
+    Ok(ipc_shared.len() as f64 / denom)
+}
+
+/// Weighted speedup: `Σ w_i · IPC_shared,i / IPC_alone,i / N`.
+pub fn weighted_wsp(
+    ipc_shared: &[f64],
+    ipc_alone: &[f64],
+    weights: &[f64],
+) -> Result<f64, ModelError> {
+    if ipc_shared.len() != weights.len() || ipc_shared.len() != ipc_alone.len() {
+        return Err(ModelError::LengthMismatch {
+            expected: ipc_shared.len(),
+            got: weights.len(),
+        });
+    }
+    if ipc_shared.is_empty() {
+        return Err(ModelError::NoApplications);
+    }
+    Ok(ipc_shared
+        .iter()
+        .zip(ipc_alone)
+        .zip(weights)
+        .map(|((&s, &a), &w)| w * s / a)
+        .sum::<f64>()
+        / ipc_shared.len() as f64)
+}
+
+/// Optimal allocation for weighted harmonic speedup:
+/// `APC_shared,i ∝ √(w_i · APC_alone,i)`, capped at standalone rates.
+pub fn hsp_optimal_allocation(
+    apps: &[AppProfile],
+    weights: &[f64],
+    b: f64,
+) -> Result<Vec<f64>, ModelError> {
+    check(apps, weights, b)?;
+    let wvec: Vec<f64> = apps
+        .iter()
+        .zip(weights)
+        .map(|(a, &w)| (w * a.apc_alone).sqrt())
+        .collect();
+    let caps: Vec<f64> = apps.iter().map(|a| a.apc_alone).collect();
+    Ok(solver::water_fill(&wvec, &caps, b))
+}
+
+/// Optimal allocation for weighted speedup: strict priority by descending
+/// value density `w_i / APC_alone,i` (fractional knapsack).
+pub fn wsp_optimal_allocation(
+    apps: &[AppProfile],
+    weights: &[f64],
+    b: f64,
+) -> Result<Vec<f64>, ModelError> {
+    check(apps, weights, b)?;
+    // knapsack_greedy fills ascending keys; use the reciprocal density.
+    let keys: Vec<f64> = apps
+        .iter()
+        .zip(weights)
+        .map(|(a, &w)| a.apc_alone / w)
+        .collect();
+    let caps: Vec<f64> = apps.iter().map(|a| a.apc_alone).collect();
+    Ok(solver::knapsack_greedy(&keys, &caps, b))
+}
+
+/// Optimal allocation for weighted sum of IPCs: strict priority by
+/// descending `w_i / API_i`.
+pub fn ipcsum_optimal_allocation(
+    apps: &[AppProfile],
+    weights: &[f64],
+    b: f64,
+) -> Result<Vec<f64>, ModelError> {
+    check(apps, weights, b)?;
+    let keys: Vec<f64> = apps.iter().zip(weights).map(|(a, &w)| a.api / w).collect();
+    let caps: Vec<f64> = apps.iter().map(|a| a.apc_alone).collect();
+    Ok(solver::knapsack_greedy(&keys, &caps, b))
+}
+
+/// Weighted-fair allocation: equalize *weighted* speedups
+/// (`speedup_i / w_i` equal), i.e. `APC_shared,i ∝ w_i · APC_alone,i`.
+pub fn fairness_optimal_allocation(
+    apps: &[AppProfile],
+    weights: &[f64],
+    b: f64,
+) -> Result<Vec<f64>, ModelError> {
+    check(apps, weights, b)?;
+    let wvec: Vec<f64> = apps
+        .iter()
+        .zip(weights)
+        .map(|(a, &w)| w * a.apc_alone)
+        .collect();
+    let caps: Vec<f64> = apps.iter().map(|a| a.apc_alone).collect();
+    Ok(solver::water_fill(&wvec, &caps, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict;
+    use crate::solver::sample_simplex;
+
+    fn apps() -> Vec<AppProfile> {
+        vec![
+            AppProfile::new("a", 0.04, 0.008).unwrap(),
+            AppProfile::new("b", 0.03, 0.005).unwrap(),
+            AppProfile::new("c", 0.006, 0.002).unwrap(),
+        ]
+    }
+
+    const B: f64 = 0.009;
+
+    fn ipc_from_alloc(apps: &[AppProfile], alloc: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let pred = predict::evaluate_allocation(apps, alloc).unwrap();
+        (pred.ipc_shared, pred.ipc_alone)
+    }
+
+    #[test]
+    fn uniform_weights_recover_paper_schemes() {
+        let a = apps();
+        let w = vec![1.0; 3];
+        let weighted = hsp_optimal_allocation(&a, &w, B).unwrap();
+        let unweighted = crate::schemes::PartitionScheme::SquareRoot
+            .allocation(&a, B)
+            .unwrap();
+        for (x, y) in weighted.iter().zip(&unweighted) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        let weighted = wsp_optimal_allocation(&a, &w, B).unwrap();
+        let unweighted = crate::schemes::PartitionScheme::PriorityApc
+            .allocation(&a, B)
+            .unwrap();
+        assert_eq!(weighted, unweighted);
+        let weighted = ipcsum_optimal_allocation(&a, &w, B).unwrap();
+        let unweighted = crate::schemes::PartitionScheme::PriorityApi
+            .allocation(&a, B)
+            .unwrap();
+        assert_eq!(weighted, unweighted);
+    }
+
+    #[test]
+    fn weighted_hsp_optimum_beats_sampled_allocations() {
+        let a = apps();
+        let w = vec![4.0, 1.0, 1.0];
+        let alloc = hsp_optimal_allocation(&a, &w, B).unwrap();
+        let (s, al) = ipc_from_alloc(&a, &alloc);
+        let best = weighted_hsp(&s, &al, &w).unwrap();
+        for beta in sample_simplex(3, 200, 0xFEED) {
+            let cand: Vec<f64> = beta.iter().map(|&x| x * B).collect();
+            let (s, al) = ipc_from_alloc(&a, &cand);
+            let v = weighted_hsp(&s, &al, &w).unwrap();
+            assert!(v <= best + 1e-9, "beta {beta:?} scored {v} > {best}");
+        }
+    }
+
+    #[test]
+    fn weighted_wsp_optimum_beats_sampled_allocations() {
+        let a = apps();
+        let w = vec![1.0, 5.0, 1.0];
+        let alloc = wsp_optimal_allocation(&a, &w, B).unwrap();
+        let (s, al) = ipc_from_alloc(&a, &alloc);
+        let best = weighted_wsp(&s, &al, &w).unwrap();
+        for beta in sample_simplex(3, 200, 0xBEEF) {
+            let cand: Vec<f64> = beta.iter().map(|&x| x * B).collect();
+            let (s, al) = ipc_from_alloc(&a, &cand);
+            let v = weighted_wsp(&s, &al, &w).unwrap();
+            assert!(v <= best + 1e-9);
+        }
+    }
+
+    #[test]
+    fn raising_a_weight_raises_its_share() {
+        let a = apps();
+        let low = hsp_optimal_allocation(&a, &[1.0, 1.0, 1.0], B).unwrap();
+        let high = hsp_optimal_allocation(&a, &[4.0, 1.0, 1.0], B).unwrap();
+        assert!(high[0] > low[0], "weight 4 should grow app 0's share");
+        assert!(high[1] < low[1] && high[2] < low[2]);
+    }
+
+    #[test]
+    fn weighted_fairness_equalizes_weighted_speedups() {
+        let a = apps();
+        let w = vec![2.0, 1.0, 0.5];
+        let alloc = fairness_optimal_allocation(&a, &w, B).unwrap();
+        let (s, al) = ipc_from_alloc(&a, &alloc);
+        // speedup_i / w_i equal across apps (uncapped regime check).
+        let ratios: Vec<f64> = s
+            .iter()
+            .zip(&al)
+            .zip(&w)
+            .map(|((&s, &a), &w)| s / a / w)
+            .collect();
+        for pair in ratios.windows(2) {
+            assert!(
+                (pair[0] - pair[1]).abs() < 1e-9,
+                "weighted speedups not equal: {ratios:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wsp_priority_ordering_follows_density() {
+        let a = apps();
+        // App b gets weight 10: its density w/APC = 2000 dominates.
+        let w = vec![1.0, 10.0, 1.0];
+        // Scarce bandwidth (below b's standalone cap): b soaks it all up.
+        let alloc = wsp_optimal_allocation(&a, &w, 0.004).unwrap();
+        assert!(
+            (alloc[1] - 0.004).abs() < 1e-12,
+            "b served first: {alloc:?}"
+        );
+        assert_eq!(alloc[0], 0.0);
+        assert_eq!(alloc[2], 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let a = apps();
+        assert!(hsp_optimal_allocation(&a, &[1.0, 1.0], B).is_err());
+        assert!(hsp_optimal_allocation(&a, &[1.0, 0.0, 1.0], B).is_err());
+        assert!(hsp_optimal_allocation(&a, &[1.0, -1.0, 1.0], B).is_err());
+        assert!(weighted_hsp(&[1.0], &[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn starved_app_zeroes_weighted_hsp() {
+        assert_eq!(
+            weighted_hsp(&[0.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]).unwrap(),
+            0.0
+        );
+    }
+}

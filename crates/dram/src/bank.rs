@@ -1,0 +1,390 @@
+//! Per-bank timing state machine.
+//!
+//! A bank tracks its row buffer and the earliest cycle each command class
+//! may be driven, derived from the JEDEC-style constraints: tRC = tRAS + tRP
+//! between activates, tRCD from ACT to CAS, CL/CWL from CAS to data, tRTP
+//! and tWR from the last column access to precharge.
+//!
+//! All times are CPU cycles. The bank itself is policy-agnostic: it reports
+//! what an access would cost under the configured [`PagePolicy`] via
+//! [`Bank::probe`], and [`Bank::commit`] applies the state update once the
+//! channel has resolved rank/bus-level constraints and chosen the actual
+//! start cycle.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{DramConfig, PagePolicy};
+
+/// Bank/channel timing parameters pre-converted to CPU cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timings {
+    /// DRAM clock period.
+    pub tck: u64,
+    /// Row precharge.
+    pub trp: u64,
+    /// ACT-to-CAS.
+    pub trcd: u64,
+    /// CAS-to-read-data.
+    pub cl: u64,
+    /// CAS-to-write-data.
+    pub cwl: u64,
+    /// Minimum row-active time.
+    pub tras: u64,
+    /// Write recovery (after last write data beat, before precharge).
+    pub twr: u64,
+    /// Write-to-read turnaround (after last write data beat).
+    pub twtr: u64,
+    /// Read-to-precharge.
+    pub trtp: u64,
+    /// ACT-to-ACT same rank.
+    pub trrd: u64,
+    /// Four-activate window.
+    pub tfaw: u64,
+    /// Refresh cycle time.
+    pub trfc: u64,
+    /// Refresh interval.
+    pub trefi: u64,
+    /// Data-bus occupancy of one line burst.
+    pub tburst: u64,
+}
+
+impl Timings {
+    /// Convert a configuration's nanosecond parameters to CPU cycles.
+    pub fn from_config(cfg: &DramConfig) -> Self {
+        Timings {
+            tck: cfg.tck_cycles(),
+            trp: cfg.ns_to_cycles(cfg.timing.trp),
+            trcd: cfg.ns_to_cycles(cfg.timing.trcd),
+            cl: cfg.ns_to_cycles(cfg.timing.cl),
+            cwl: cfg.ns_to_cycles(cfg.cwl_ns()),
+            tras: cfg.ns_to_cycles(cfg.timing.tras),
+            twr: cfg.ns_to_cycles(cfg.timing.twr),
+            twtr: cfg.ns_to_cycles(cfg.timing.twtr),
+            trtp: cfg.ns_to_cycles(cfg.timing.trtp),
+            trrd: cfg.ns_to_cycles(cfg.timing.trrd),
+            tfaw: cfg.ns_to_cycles(cfg.timing.tfaw),
+            trfc: cfg.ns_to_cycles(cfg.timing.trfc),
+            trefi: cfg.ns_to_cycles(cfg.timing.trefi),
+            tburst: cfg.burst_cycles(),
+        }
+    }
+}
+
+/// How an access will be serviced, and therefore its command structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Open-page hit: CAS only.
+    RowHit,
+    /// Bank closed (or close-page policy): ACT + CAS.
+    RowMiss,
+    /// Open-page conflict: PRE + ACT + CAS.
+    RowConflict,
+}
+
+impl AccessKind {
+    /// Offset from the access start cycle to the CAS command.
+    pub fn cas_offset(self, t: &Timings) -> u64 {
+        match self {
+            AccessKind::RowHit => 0,
+            AccessKind::RowMiss => t.trcd,
+            AccessKind::RowConflict => t.trp + t.trcd,
+        }
+    }
+}
+
+/// Result of probing a bank for an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Probe {
+    /// Earliest cycle the access's first command may be driven, considering
+    /// only this bank's constraints.
+    pub earliest_start: u64,
+    /// Command structure of the access.
+    pub kind: AccessKind,
+}
+
+/// One DRAM bank.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct Bank {
+    /// Currently open row, if any (always `None` under close-page).
+    pub open_row: Option<usize>,
+    /// Cycle of the last ACT.
+    act_time: u64,
+    /// Earliest cycle a precharge could be driven.
+    pre_ready: u64,
+    /// Earliest cycle a new ACT may be driven (bank idle and tRC honoured).
+    act_ready: u64,
+    /// Earliest cycle a CAS to the open row may be driven.
+    cas_ready: u64,
+    /// Application that most recently used this bank (interference owner).
+    pub last_owner: Option<usize>,
+    /// Cycle the bank finishes all committed work (incl. auto-precharge).
+    pub busy_until: u64,
+}
+
+impl Bank {
+    /// Earliest start and command structure for an access to `row` under
+    /// `policy`, considering only this bank's own timing state.
+    pub fn probe(&self, row: usize, policy: PagePolicy, _t: &Timings) -> Probe {
+        match (policy, self.open_row) {
+            (PagePolicy::ClosePage, _) | (PagePolicy::OpenPage, None) => Probe {
+                earliest_start: self.act_ready,
+                kind: AccessKind::RowMiss,
+            },
+            (PagePolicy::OpenPage, Some(open)) if open == row => Probe {
+                earliest_start: self.cas_ready,
+                kind: AccessKind::RowHit,
+            },
+            (PagePolicy::OpenPage, Some(_)) => Probe {
+                earliest_start: self.pre_ready,
+                kind: AccessKind::RowConflict,
+            },
+        }
+    }
+
+    /// Commit an access whose first command is driven at `start` (the
+    /// channel guarantees `start ≥ probe.earliest_start` plus rank/bus
+    /// constraints). Returns the cycle the burst leaves/enters the data bus:
+    /// `(data_start, data_end)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn commit(
+        &mut self,
+        start: u64,
+        kind: AccessKind,
+        row: usize,
+        is_write: bool,
+        app: usize,
+        policy: PagePolicy,
+        t: &Timings,
+    ) -> (u64, u64) {
+        let cas = start + kind.cas_offset(t);
+        let act = match kind {
+            AccessKind::RowHit => self.act_time,
+            AccessKind::RowMiss => start,
+            AccessKind::RowConflict => start + t.trp,
+        };
+        let data_start = cas + if is_write { t.cwl } else { t.cl };
+        let data_end = data_start + t.tburst;
+
+        // When could this bank precharge after this access?
+        let pre_after = if is_write {
+            (data_end + t.twr).max(act + t.tras)
+        } else {
+            (cas + t.trtp).max(act + t.tras)
+        };
+
+        self.act_time = act;
+        self.last_owner = Some(app);
+        match policy {
+            PagePolicy::ClosePage => {
+                // Auto-precharge: bank is idle (and ACT-ready) tRP after the
+                // precharge point.
+                self.open_row = None;
+                self.pre_ready = pre_after;
+                self.act_ready = pre_after + t.trp;
+                self.cas_ready = u64::MAX;
+                self.busy_until = self.act_ready;
+            }
+            PagePolicy::OpenPage => {
+                self.open_row = Some(row);
+                self.pre_ready = pre_after;
+                // A future conflict pays PRE+ACT from pre_ready; a future
+                // hit only needs CAS-to-CAS spacing on the data bus (the
+                // channel enforces bus occupancy), so CAS is ready once the
+                // current CAS is consumed.
+                self.cas_ready = cas + t.tburst.max(t.tck);
+                self.act_ready = pre_after + t.trp;
+                self.busy_until = data_end;
+            }
+        }
+        (data_start, data_end)
+    }
+
+    /// Apply a refresh that occupies the bank until `done` (row buffer is
+    /// closed by refresh).
+    pub fn refresh_until(&mut self, done: u64) {
+        self.open_row = None;
+        self.act_ready = self.act_ready.max(done);
+        self.pre_ready = self.pre_ready.max(done);
+        self.cas_ready = u64::MAX;
+        self.busy_until = self.busy_until.max(done);
+    }
+
+    /// Earliest cycle a new ACT may be driven.
+    pub fn act_ready(&self) -> u64 {
+        self.act_ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Timings {
+        Timings::from_config(&DramConfig::ddr2_400())
+    }
+
+    #[test]
+    fn timings_convert_to_cpu_cycles() {
+        let t = t();
+        assert_eq!(t.tck, 25);
+        assert_eq!(t.trp, 63);
+        assert_eq!(t.trcd, 63);
+        assert_eq!(t.cl, 63);
+        assert_eq!(t.cwl, 38); // 7.5 ns
+        assert_eq!(t.tras, 225);
+        assert_eq!(t.tburst, 100);
+    }
+
+    #[test]
+    fn close_page_read_timing() {
+        let t = t();
+        let mut b = Bank::default();
+        let p = b.probe(7, PagePolicy::ClosePage, &t);
+        assert_eq!(p.earliest_start, 0);
+        assert_eq!(p.kind, AccessKind::RowMiss);
+        let (ds, de) = b.commit(0, p.kind, 7, false, 0, PagePolicy::ClosePage, &t);
+        // ACT at 0, RD at tRCD, data at tRCD + CL.
+        assert_eq!(ds, t.trcd + t.cl);
+        assert_eq!(de, ds + t.tburst);
+        // Close page: no row remains open; next ACT after pre point + tRP.
+        assert_eq!(b.open_row, None);
+        let pre_point = (t.trcd + t.trtp).max(t.tras);
+        assert_eq!(b.act_ready(), pre_point + t.trp);
+    }
+
+    #[test]
+    fn close_page_write_has_write_recovery() {
+        let t = t();
+        let mut b = Bank::default();
+        let (ds, de) = b.commit(
+            0,
+            AccessKind::RowMiss,
+            3,
+            true,
+            1,
+            PagePolicy::ClosePage,
+            &t,
+        );
+        assert_eq!(ds, t.trcd + t.cwl);
+        let pre_point = (de + t.twr).max(t.tras);
+        assert_eq!(b.act_ready(), pre_point + t.trp);
+        assert_eq!(b.last_owner, Some(1));
+    }
+
+    #[test]
+    fn consecutive_close_page_accesses_respect_trc_like_spacing() {
+        let t = t();
+        let mut b = Bank::default();
+        b.commit(
+            0,
+            AccessKind::RowMiss,
+            1,
+            false,
+            0,
+            PagePolicy::ClosePage,
+            &t,
+        );
+        let next = b.probe(2, PagePolicy::ClosePage, &t).earliest_start;
+        // tRAS + tRP at minimum (read-to-precharge path may extend it).
+        assert!(next >= t.tras + t.trp, "next {next}");
+        let (_, _) = b.commit(
+            next,
+            AccessKind::RowMiss,
+            2,
+            false,
+            0,
+            PagePolicy::ClosePage,
+            &t,
+        );
+        assert!(b.act_ready() >= next + t.tras + t.trp);
+    }
+
+    #[test]
+    fn open_page_hit_skips_act() {
+        let t = t();
+        let mut b = Bank::default();
+        b.commit(
+            0,
+            AccessKind::RowMiss,
+            9,
+            false,
+            0,
+            PagePolicy::OpenPage,
+            &t,
+        );
+        assert_eq!(b.open_row, Some(9));
+        let p = b.probe(9, PagePolicy::OpenPage, &t);
+        assert_eq!(p.kind, AccessKind::RowHit);
+        let (ds, _) = b.commit(
+            p.earliest_start,
+            p.kind,
+            9,
+            false,
+            0,
+            PagePolicy::OpenPage,
+            &t,
+        );
+        // Hit: data after just CL from the CAS.
+        assert_eq!(ds, p.earliest_start + t.cl);
+    }
+
+    #[test]
+    fn open_page_conflict_pays_pre_act_cas() {
+        let t = t();
+        let mut b = Bank::default();
+        b.commit(
+            0,
+            AccessKind::RowMiss,
+            9,
+            false,
+            0,
+            PagePolicy::OpenPage,
+            &t,
+        );
+        let p = b.probe(10, PagePolicy::OpenPage, &t);
+        assert_eq!(p.kind, AccessKind::RowConflict);
+        // Precharge can't precede tRAS / read-to-pre constraints.
+        assert!(p.earliest_start >= (t.trcd + t.trtp).max(t.tras));
+        let (ds, _) = b.commit(
+            p.earliest_start,
+            p.kind,
+            10,
+            false,
+            0,
+            PagePolicy::OpenPage,
+            &t,
+        );
+        assert_eq!(ds, p.earliest_start + t.trp + t.trcd + t.cl);
+        assert_eq!(b.open_row, Some(10));
+    }
+
+    #[test]
+    fn refresh_closes_row_and_delays_act() {
+        let t = t();
+        let mut b = Bank::default();
+        b.commit(
+            0,
+            AccessKind::RowMiss,
+            9,
+            false,
+            0,
+            PagePolicy::OpenPage,
+            &t,
+        );
+        b.refresh_until(10_000);
+        assert_eq!(b.open_row, None);
+        assert!(b.act_ready() >= 10_000);
+        assert_eq!(
+            b.probe(9, PagePolicy::OpenPage, &t).kind,
+            AccessKind::RowMiss
+        );
+    }
+
+    #[test]
+    fn cas_offsets_by_kind() {
+        let t = t();
+        assert_eq!(AccessKind::RowHit.cas_offset(&t), 0);
+        assert_eq!(AccessKind::RowMiss.cas_offset(&t), t.trcd);
+        assert_eq!(AccessKind::RowConflict.cas_offset(&t), t.trp + t.trcd);
+    }
+}

@@ -1,0 +1,316 @@
+//! DRAM geometry, timing and policy configuration.
+//!
+//! Timing parameters are specified in **nanoseconds** and converted to CPU
+//! cycles at construction. This mirrors the paper's scalability methodology
+//! (Section VI-C): bandwidth is scaled "by only changing the memory bus
+//! frequency, while the latency related parameters are not changed (i.e.
+//! tRP-tRCD-CL is 12.5-12.5-12.5 ns for all bandwidths)". Here, raising
+//! bandwidth shrinks only `tck_ns`; every latency stays fixed in ns.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::MappingScheme;
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PagePolicy {
+    /// Auto-precharge after every column access (the paper's Table II
+    /// baseline). Every access pays ACT + RD/WR; there are no row hits.
+    ClosePage,
+    /// Rows stay open until a conflicting access or refresh; row hits skip
+    /// the ACT. Needed by FR-FCFS-style scheduling experiments.
+    OpenPage,
+}
+
+/// DRAM timing parameters in nanoseconds (DDR2-style).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingNs {
+    /// DRAM bus clock period. DDR2-400 has a 200 MHz bus: 5 ns.
+    pub tck: f64,
+    /// Row precharge.
+    pub trp: f64,
+    /// RAS-to-CAS delay.
+    pub trcd: f64,
+    /// CAS (read) latency.
+    pub cl: f64,
+    /// Minimum row-active time.
+    pub tras: f64,
+    /// Write recovery after the last write data beat.
+    pub twr: f64,
+    /// Write-to-read turnaround (after last write data beat).
+    pub twtr: f64,
+    /// Read-to-precharge.
+    pub trtp: f64,
+    /// ACT-to-ACT delay, same rank.
+    pub trrd: f64,
+    /// Four-activate window, per rank.
+    pub tfaw: f64,
+    /// Refresh cycle time.
+    pub trfc: f64,
+    /// Average refresh interval.
+    pub trefi: f64,
+}
+
+impl TimingNs {
+    /// DDR2-400 timings per the paper's Table II (12.5 ns tRP-tRCD-CL) with
+    /// JEDEC-typical values for the parameters the paper doesn't list.
+    pub fn ddr2_400() -> Self {
+        TimingNs {
+            tck: 5.0,
+            trp: 12.5,
+            trcd: 12.5,
+            cl: 12.5,
+            tras: 45.0,
+            twr: 15.0,
+            twtr: 7.5,
+            trtp: 7.5,
+            trrd: 7.5,
+            tfaw: 50.0,
+            trfc: 127.5,
+            trefi: 7800.0,
+        }
+    }
+}
+
+/// Full DRAM subsystem configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Timing parameters in ns.
+    pub timing: TimingNs,
+    /// CPU clock in GHz; converts ns to CPU cycles (Table II: 5 GHz cores).
+    pub cpu_ghz: f64,
+    /// Number of independent channels (the paper's config uses one).
+    pub channels: usize,
+    /// Ranks per channel.
+    pub ranks: usize,
+    /// Banks per rank (Table II: 4 ranks × 8 banks = 32 DRAM banks).
+    pub banks_per_rank: usize,
+    /// Rows per bank.
+    pub rows: usize,
+    /// Data bus width in bytes (Table II: 8 B).
+    pub bus_bytes: usize,
+    /// Cache line (transaction) size in bytes (Table II: 64 B).
+    pub line_bytes: usize,
+    /// Row-buffer policy (Table II: close page).
+    pub page_policy: PagePolicy,
+    /// Physical-address mapping (Table II: `channel:row:col:bank:rank`).
+    pub mapping: MappingScheme,
+}
+
+impl DramConfig {
+    /// The paper's baseline: DDR2-400 (PC3200), 3.2 GB/s peak, close page,
+    /// 32 banks, 5 GHz CPU.
+    pub fn ddr2_400() -> Self {
+        DramConfig {
+            timing: TimingNs::ddr2_400(),
+            cpu_ghz: 5.0,
+            channels: 1,
+            ranks: 4,
+            banks_per_rank: 8,
+            rows: 32768,
+            bus_bytes: 8,
+            line_bytes: 64,
+            page_policy: PagePolicy::ClosePage,
+            mapping: MappingScheme::ChRowColBankRank,
+        }
+    }
+
+    /// The ~6.4 GB/s scalability point: bus frequency doubled, latencies
+    /// unchanged in ns (Section VI-C). The period is nudged from 2.5 ns to
+    /// 2.4 ns so a bus clock stays an integer number of 5 GHz CPU cycles
+    /// (12); the resulting 2.08× peak-bandwidth step is immaterial to the
+    /// scalability trend.
+    pub fn ddr2_800() -> Self {
+        let mut cfg = Self::ddr2_400();
+        cfg.timing.tck = 2.4;
+        cfg
+    }
+
+    /// The ~12.8 GB/s scalability point: bus frequency quadrupled (1.2 ns
+    /// period = 6 CPU cycles; see [`DramConfig::ddr2_800`] on the rounding).
+    pub fn ddr2_1600() -> Self {
+        let mut cfg = Self::ddr2_400();
+        cfg.timing.tck = 1.2;
+        cfg
+    }
+
+    /// Convert nanoseconds to CPU cycles, rounding up (conservative).
+    pub fn ns_to_cycles(&self, ns: f64) -> u64 {
+        (ns * self.cpu_ghz).ceil() as u64
+    }
+
+    /// DRAM clock period in CPU cycles.
+    pub fn tck_cycles(&self) -> u64 {
+        self.ns_to_cycles(self.timing.tck).max(1)
+    }
+
+    /// Data-bus occupancy of one line transfer in CPU cycles:
+    /// `line_bytes / bus_bytes` beats at two beats per DRAM clock (DDR).
+    pub fn burst_cycles(&self) -> u64 {
+        let beats = (self.line_bytes / self.bus_bytes) as u64;
+        (beats / 2).max(1) * self.tck_cycles()
+    }
+
+    /// Peak line-transfer bandwidth in bytes/second.
+    pub fn peak_bandwidth_bytes_per_sec(&self) -> f64 {
+        let cycles_per_line = self.burst_cycles() as f64 / self.channels as f64;
+        let secs_per_cycle = 1e-9 / self.cpu_ghz;
+        self.line_bytes as f64 / (cycles_per_line * secs_per_cycle)
+    }
+
+    /// Peak bandwidth expressed in the model's APC unit (memory accesses —
+    /// i.e. line transfers — per CPU cycle).
+    pub fn peak_apc(&self) -> f64 {
+        self.channels as f64 / self.burst_cycles() as f64
+    }
+
+    /// Total number of banks across the system.
+    pub fn total_banks(&self) -> usize {
+        self.channels * self.ranks * self.banks_per_rank
+    }
+
+    /// CAS write latency in ns (DDR2 convention: CL − tCK).
+    pub fn cwl_ns(&self) -> f64 {
+        (self.timing.cl - self.timing.tck).max(self.timing.tck)
+    }
+
+    /// Validate internal consistency (power-of-two geometry, non-zero
+    /// timing, line/bus compatibility).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 || self.ranks == 0 || self.banks_per_rank == 0 || self.rows == 0 {
+            return Err("geometry fields must be non-zero".into());
+        }
+        for (name, v) in [
+            ("channels", self.channels),
+            ("ranks", self.ranks),
+            ("banks_per_rank", self.banks_per_rank),
+            ("rows", self.rows),
+        ] {
+            if !v.is_power_of_two() {
+                return Err(format!("{name} must be a power of two, got {v}"));
+            }
+        }
+        if self.line_bytes == 0
+            || self.bus_bytes == 0
+            || !self.line_bytes.is_multiple_of(self.bus_bytes)
+        {
+            return Err("line_bytes must be a positive multiple of bus_bytes".into());
+        }
+        if !(self.line_bytes.is_power_of_two() && self.bus_bytes.is_power_of_two()) {
+            return Err("line_bytes and bus_bytes must be powers of two".into());
+        }
+        let t = &self.timing;
+        for (name, v) in [
+            ("tck", t.tck),
+            ("trp", t.trp),
+            ("trcd", t.trcd),
+            ("cl", t.cl),
+            ("tras", t.tras),
+            ("twr", t.twr),
+            ("twtr", t.twtr),
+            ("trtp", t.trtp),
+            ("trrd", t.trrd),
+            ("tfaw", t.tfaw),
+            ("trfc", t.trfc),
+            ("trefi", t.trefi),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("timing {name} must be positive, got {v}"));
+            }
+        }
+        if !(self.cpu_ghz.is_finite() && self.cpu_ghz > 0.0) {
+            return Err("cpu_ghz must be positive".into());
+        }
+        if t.trefi <= t.trfc {
+            return Err("trefi must exceed trfc".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr2_400_matches_table2() {
+        let cfg = DramConfig::ddr2_400();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.total_banks(), 32);
+        assert_eq!(cfg.bus_bytes, 8);
+        assert_eq!(cfg.line_bytes, 64);
+        assert_eq!(cfg.page_policy, PagePolicy::ClosePage);
+        // 200 MHz bus at 5 GHz CPU: 25 CPU cycles per DRAM clock.
+        assert_eq!(cfg.tck_cycles(), 25);
+        // 64 B / 8 B = 8 beats = 4 DRAM clocks = 100 CPU cycles.
+        assert_eq!(cfg.burst_cycles(), 100);
+        // Peak bandwidth: one line per 100 CPU cycles at 5 GHz = 3.2 GB/s.
+        assert!((cfg.peak_bandwidth_bytes_per_sec() - 3.2e9).abs() < 1e6);
+        // In model units: 0.01 APC — the paper's Section III-A example.
+        assert!((cfg.peak_apc() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_cycles_from_ns() {
+        let cfg = DramConfig::ddr2_400();
+        // 12.5 ns at 5 GHz = 62.5 -> 63 CPU cycles.
+        assert_eq!(cfg.ns_to_cycles(cfg.timing.trp), 63);
+        assert_eq!(cfg.ns_to_cycles(cfg.timing.trcd), 63);
+        assert_eq!(cfg.ns_to_cycles(cfg.timing.cl), 63);
+    }
+
+    #[test]
+    fn scaling_presets_double_bandwidth_keep_latency() {
+        let base = DramConfig::ddr2_400();
+        let x2 = DramConfig::ddr2_800();
+        let x4 = DramConfig::ddr2_1600();
+        assert!(
+            (x2.peak_bandwidth_bytes_per_sec() / base.peak_bandwidth_bytes_per_sec() - 2.0).abs()
+                < 0.1
+        );
+        assert!(
+            (x4.peak_bandwidth_bytes_per_sec() / base.peak_bandwidth_bytes_per_sec() - 4.0).abs()
+                < 0.2
+        );
+        assert_eq!(x2.tck_cycles(), 12);
+        assert_eq!(x4.tck_cycles(), 6);
+        // Latency parameters unchanged in ns.
+        assert_eq!(base.timing.trp, x2.timing.trp);
+        assert_eq!(base.timing.cl, x4.timing.cl);
+        x2.validate().unwrap();
+        x4.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_geometry() {
+        let mut cfg = DramConfig::ddr2_400();
+        cfg.ranks = 3;
+        assert!(cfg.validate().is_err());
+        let mut cfg = DramConfig::ddr2_400();
+        cfg.line_bytes = 60;
+        assert!(cfg.validate().is_err());
+        let mut cfg = DramConfig::ddr2_400();
+        cfg.timing.tras = -1.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = DramConfig::ddr2_400();
+        cfg.timing.trefi = cfg.timing.trfc;
+        assert!(cfg.validate().is_err());
+        let mut cfg = DramConfig::ddr2_400();
+        cfg.channels = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn cwl_is_cl_minus_one_clock() {
+        let cfg = DramConfig::ddr2_400();
+        assert!((cfg.cwl_ns() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_channel_scales_peak_apc() {
+        let mut cfg = DramConfig::ddr2_400();
+        cfg.channels = 2;
+        cfg.validate().unwrap();
+        assert!((cfg.peak_apc() - 0.02).abs() < 1e-12);
+    }
+}

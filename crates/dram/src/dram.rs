@@ -1,0 +1,366 @@
+//! The top-level DRAM system: address decoding, channel dispatch, and the
+//! transaction interface consumed by the memory controller.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::{AddressMapper, Location};
+use crate::bank::Timings;
+use crate::channel::{BlockReason, Channel, ChannelProbe};
+use crate::config::DramConfig;
+use crate::stats::DramStats;
+
+/// One line-granular memory transaction presented by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemTransaction {
+    /// Issuing application (core) index.
+    pub app: usize,
+    /// Physical byte address (line-aligned or not; offset bits ignored).
+    pub addr: u64,
+    /// Write (true) or read (false).
+    pub is_write: bool,
+}
+
+/// Completion record for an issued transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// Issuing application.
+    pub app: usize,
+    /// The transaction's address.
+    pub addr: u64,
+    /// Write flag.
+    pub is_write: bool,
+    /// Cycle the first command was driven.
+    pub start_cycle: u64,
+    /// Cycle the data burst finishes — when a read's data is available.
+    pub done_cycle: u64,
+    /// Whether the access hit an open row (open-page only).
+    pub row_hit: bool,
+}
+
+/// The DRAM system: `channels` × (`ranks` × `banks`) with a shared stats
+/// block. See the crate docs for the timing model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DramSystem {
+    cfg: DramConfig,
+    mapper: AddressMapper,
+    channels: Vec<Channel>,
+    stats: DramStats,
+}
+
+impl DramSystem {
+    /// Build an idle DRAM system. Panics on an invalid configuration (use
+    /// [`DramConfig::validate`] to check first if the config is untrusted).
+    pub fn new(cfg: DramConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid DRAM configuration: {e}");
+        }
+        let mapper = AddressMapper::new(&cfg);
+        let channels = (0..cfg.channels).map(|_| Channel::new(&cfg)).collect();
+        let stats = DramStats::new(0, cfg.total_banks());
+        DramSystem {
+            cfg,
+            mapper,
+            channels,
+            stats,
+        }
+    }
+
+    /// Size the per-application stats vectors (call once before simulating).
+    pub fn set_app_count(&mut self, apps: usize) {
+        self.stats = DramStats::new(apps, self.cfg.total_banks());
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// The timing table (CPU cycles) of channel 0.
+    pub fn timings(&self) -> &Timings {
+        self.channels[0].timings()
+    }
+
+    /// Decode an address to DRAM coordinates.
+    pub fn decode(&self, addr: u64) -> Location {
+        self.mapper.decode(addr)
+    }
+
+    /// Probe: earliest start cycle and blocking information for `txn` at
+    /// cycle `now`.
+    pub fn probe(&self, txn: &MemTransaction, now: u64) -> ChannelProbe {
+        let loc = self.decode(txn.addr);
+        self.channels[loc.channel].probe(loc.rank, loc.bank, loc.row, txn.is_write, now)
+    }
+
+    /// Whether `txn`'s first command can be driven exactly at `now`
+    /// (the controller ticks on the DRAM clock grid).
+    pub fn can_issue(&self, txn: &MemTransaction, now: u64) -> bool {
+        self.probe(txn, now).start <= now
+    }
+
+    /// If `txn` cannot issue at `now`, the application whose traffic owns
+    /// the blocking resource (bank, bus, or rank window) — `None` when the
+    /// block is self-inflicted, refresh-caused, or absent. This feeds the
+    /// paper's `T_cyc,interference` counters (Section IV-C).
+    pub fn blocking_app(&self, txn: &MemTransaction, now: u64) -> Option<usize> {
+        let p = self.probe(txn, now);
+        match p.block {
+            Some(BlockReason::Refresh) | None => None,
+            _ => p.blocker.filter(|&b| b != txn.app),
+        }
+    }
+
+    /// Issue `txn` at cycle `now` (its first command is driven at the probe
+    /// start, which must equal the aligned `now` for a controller that
+    /// checked [`can_issue`](Self::can_issue) first; issuing "late" is
+    /// allowed and simply starts at the earliest legal cycle ≥ `now`).
+    pub fn issue(&mut self, txn: &MemTransaction, now: u64) -> Completion {
+        let loc = self.decode(txn.addr);
+        let mut probe =
+            self.channels[loc.channel].probe(loc.rank, loc.bank, loc.row, txn.is_write, now);
+        if probe.start < now {
+            probe.start = now;
+        }
+        let (_, data_end) = self.channels[loc.channel].commit(
+            loc.rank,
+            loc.bank,
+            loc.row,
+            txn.is_write,
+            txn.app,
+            &probe,
+        );
+        let row_hit = probe.kind == crate::bank::AccessKind::RowHit;
+        self.stats.record(
+            txn.app,
+            loc.flat_bank(&self.cfg),
+            txn.is_write,
+            probe.kind,
+            self.timings().tburst,
+            data_end.saturating_sub(now),
+        );
+        Completion {
+            app: txn.app,
+            addr: txn.addr,
+            is_write: txn.is_write,
+            start_cycle: probe.start,
+            done_cycle: data_end,
+            row_hit,
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Reset statistics at a phase boundary (timing state is preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> DramSystem {
+        let mut s = DramSystem::new(DramConfig::ddr2_400());
+        s.set_app_count(4);
+        s
+    }
+
+    /// Skip past every rank's initial refresh blackout.
+    fn warm_start(s: &DramSystem) -> u64 {
+        s.timings().trfc + s.timings().trefi / 2
+    }
+
+    #[test]
+    fn single_read_latency_is_act_rcd_cl_burst() {
+        let mut s = sys();
+        let t = *s.timings();
+        let now = warm_start(&s);
+        let txn = MemTransaction {
+            app: 0,
+            addr: 1 << 20,
+            is_write: false,
+        };
+        let c = s.issue(&txn, now);
+        // Idle-bank read: start aligned at/after now, done = start + tRCD +
+        // CL + burst.
+        assert!(c.start_cycle >= now);
+        assert_eq!(c.done_cycle, c.start_cycle + t.trcd + t.cl + t.tburst);
+        assert!(!c.row_hit);
+        assert_eq!(s.stats().served, 1);
+        assert_eq!(s.stats().per_app_served[0], 1);
+    }
+
+    #[test]
+    fn streaming_different_banks_is_bus_limited() {
+        let mut s = sys();
+        let t = *s.timings();
+        let now = warm_start(&s);
+        // 64 consecutive lines interleave ranks/banks; issue as fast as
+        // possible and measure the steady-state rate.
+        let mut done = Vec::new();
+        let mut cycle = now;
+        for i in 0..64u64 {
+            let txn = MemTransaction {
+                app: 0,
+                addr: (1 << 22) + i * 64,
+                is_write: false,
+            };
+            let p = s.probe(&txn, cycle);
+            let c = s.issue(&txn, p.start.max(cycle));
+            done.push(c.done_cycle);
+            cycle = p.start;
+        }
+        // Steady-state spacing between completions approaches tburst
+        // (refresh may add occasional gaps; use the median).
+        let mut gaps: Vec<u64> = done.windows(2).map(|w| w[1] - w[0]).collect();
+        gaps.sort_unstable();
+        let median = gaps[gaps.len() / 2];
+        assert!(
+            median <= t.tburst + t.tck,
+            "median completion gap {median} should be ≈ tburst {}",
+            t.tburst
+        );
+    }
+
+    #[test]
+    fn same_bank_stream_is_trc_limited() {
+        let mut s = sys();
+        let t = *s.timings();
+        let now = warm_start(&s);
+        // Same bank, different rows: every access pays the full row cycle.
+        let lines_per_sweep = 4 * 8 * (8192 / 64) as u64; // rank*bank*col lines per row
+        let mut completions = Vec::new();
+        let mut cycle = now;
+        for i in 0..8u64 {
+            let txn = MemTransaction {
+                app: 0,
+                addr: i * lines_per_sweep * 64, // same rank 0 / bank 0, new row
+                is_write: false,
+            };
+            let p = s.probe(&txn, cycle);
+            let c = s.issue(&txn, p.start.max(cycle));
+            completions.push(c.done_cycle);
+            cycle = p.start;
+        }
+        let min_gap = completions.windows(2).map(|w| w[1] - w[0]).min().unwrap();
+        assert!(
+            min_gap >= t.tras + t.trp,
+            "same-bank gap {min_gap} < tRC {}",
+            t.tras + t.trp
+        );
+    }
+
+    #[test]
+    fn blocking_app_attributes_cross_app_interference() {
+        let mut s = sys();
+        let now = warm_start(&s);
+        // App 0 occupies bank (rank 0, bank 0).
+        let txn0 = MemTransaction {
+            app: 0,
+            addr: 1 << 22,
+            is_write: false,
+        };
+        let c = s.issue(&txn0, now);
+        // App 1 wants the same bank, different row → blocked by app 0.
+        let lines_per_sweep = (4 * 8 * (8192 / 64)) as u64;
+        let txn1 = MemTransaction {
+            app: 1,
+            addr: (1 << 22) + lines_per_sweep * 64,
+            is_write: false,
+        };
+        let during = c.start_cycle + 50;
+        assert!(!s.can_issue(&txn1, during));
+        assert_eq!(s.blocking_app(&txn1, during), Some(0));
+        // App 0 probing its own blocked bank sees no *interference*.
+        let txn0b = MemTransaction {
+            app: 0,
+            addr: (1 << 22) + 2 * lines_per_sweep * 64,
+            is_write: false,
+        };
+        assert_eq!(s.blocking_app(&txn0b, during), None);
+    }
+
+    #[test]
+    fn peak_bandwidth_approached_under_saturation() {
+        let mut s = sys();
+        let t = *s.timings();
+        let start = warm_start(&s);
+        let horizon = 500_000u64;
+        let mut served = 0u64;
+        let mut cycle = start;
+        let mut line = 0u64;
+        while cycle < start + horizon {
+            let txn = MemTransaction {
+                app: 0,
+                addr: (1 << 24) + line * 64,
+                is_write: false,
+            };
+            let p = s.probe(&txn, cycle);
+            if p.start >= start + horizon {
+                break;
+            }
+            s.issue(&txn, p.start);
+            served += 1;
+            line += 1;
+            cycle = p.start;
+        }
+        let apc = served as f64 / horizon as f64;
+        let peak = 1.0 / t.tburst as f64;
+        // Within 15% of peak (refresh and turnaround overheads).
+        assert!(
+            apc > peak * 0.85,
+            "achieved APC {apc} far below peak {peak}"
+        );
+        // Bus utilization consistent with served count.
+        let util = s.stats().bus_utilization(horizon);
+        assert!(util > 0.8 && util <= 1.01, "util {util}");
+    }
+
+    #[test]
+    fn issue_late_never_starts_before_now() {
+        let mut s = sys();
+        let now = warm_start(&s) + 12_345; // deliberately unaligned
+        let txn = MemTransaction {
+            app: 2,
+            addr: 0x8000,
+            is_write: true,
+        };
+        let c = s.issue(&txn, now);
+        assert!(c.start_cycle >= now);
+        assert_eq!(s.stats().writes, 1);
+    }
+
+    #[test]
+    fn determinism_same_sequence_same_completions() {
+        let run = || {
+            let mut s = sys();
+            let mut out = Vec::new();
+            let mut cycle = warm_start(&s);
+            for i in 0..100u64 {
+                let txn = MemTransaction {
+                    app: (i % 4) as usize,
+                    addr: i.wrapping_mul(0x9E3779B97F4A7C15) & 0xFFF_FFC0,
+                    is_write: i % 5 == 0,
+                };
+                let p = s.probe(&txn, cycle);
+                let c = s.issue(&txn, p.start.max(cycle));
+                out.push(c);
+                cycle = p.start;
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DRAM configuration")]
+    fn invalid_config_panics() {
+        let mut cfg = DramConfig::ddr2_400();
+        cfg.ranks = 5;
+        let _ = DramSystem::new(cfg);
+    }
+}

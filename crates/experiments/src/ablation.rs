@@ -1,0 +1,334 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! * [`window_sweep`] — the memory controller's per-application scheduling
+//!   window (1 = strict FIFO … 16): DESIGN.md claims head-of-line blocking
+//!   caps a single streamer far below bus bandwidth; this quantifies it.
+//! * [`alpha_sweep`] — the power family `β ∝ APC_alone^α` *on the
+//!   simulator* (the model's α*-per-metric predictions, validated with the
+//!   full machine in the loop).
+//! * [`page_policy`] — close page + FCFS (the paper's Table II baseline)
+//!   vs open page + FR-FCFS: row-hit rate and utilization, demonstrating
+//!   the bandwidth-utilization mechanisms of Section II-A1 that the
+//!   partitioning model deliberately holds constant.
+
+use bwpart_cmp::{CmpConfig, CmpSystem, Runner, ShareSource};
+use bwpart_core::prelude::*;
+use bwpart_dram::{MappingScheme, PagePolicy};
+use bwpart_mc::Policy;
+use bwpart_workloads::{mixes, BenchProfile};
+use serde::{Deserialize, Serialize};
+
+use crate::harness::{f3, ExpConfig, Table};
+
+/// One row of the scheduling-window ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowPoint {
+    /// Window depth.
+    pub window: usize,
+    /// Standalone lbm bandwidth (APKC) at this depth.
+    pub lbm_alone_apkc: f64,
+    /// Hetero-mix Hsp under Square_root at this depth.
+    pub mix_hsp: f64,
+}
+
+/// Sweep the scheduling window.
+pub fn window_sweep(cfg: &ExpConfig, windows: &[usize]) -> Vec<WindowPoint> {
+    let lbm = BenchProfile::by_name("lbm").unwrap();
+    let mix = mixes::hetero_mixes().remove(4);
+    windows
+        .iter()
+        .map(|&window| {
+            let runner = Runner {
+                cmp: CmpConfig {
+                    dram: cfg.dram.clone(),
+                    sched_window: window,
+                    ..CmpConfig::default()
+                },
+                phases: cfg.phases,
+            };
+            let alone = runner.run_alone(lbm.spawn(cfg.seed), lbm.core_config());
+            let (w, cc) = mix.build(1, cfg.seed);
+            let out = runner.run_scheme(
+                PartitionScheme::SquareRoot,
+                w,
+                cc,
+                ShareSource::OnlineProfile,
+            );
+            WindowPoint {
+                window,
+                lbm_alone_apkc: alone.stats.apkc(),
+                mix_hsp: out.metric(Metric::HarmonicWeightedSpeedup),
+            }
+        })
+        .collect()
+}
+
+/// Render the window sweep.
+pub fn render_window(points: &[WindowPoint]) -> String {
+    let mut t = Table::new(&["window", "lbm alone APKC", "hetero-5 Hsp (sqrt)"]);
+    for p in points {
+        t.row(vec![
+            p.window.to_string(),
+            f3(p.lbm_alone_apkc),
+            f3(p.mix_hsp),
+        ]);
+    }
+    let mut out = String::from("Scheduling-window ablation\n");
+    out.push_str(&t.render());
+    out.push_str("\n(window 1 = strict per-app FIFO: head-of-line blocking costs\n bandwidth; ≥8 approaches the saturated bus)\n");
+    out
+}
+
+/// One row of the α sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlphaPoint {
+    /// The power-family exponent.
+    pub alpha: f64,
+    /// Simulated metrics in `Metric::ALL` order.
+    pub metrics: Vec<f64>,
+}
+
+/// Sweep `α` on the simulator over one heterogeneous mix.
+pub fn alpha_sweep(cfg: &ExpConfig, alphas: &[f64]) -> Vec<AlphaPoint> {
+    let mix = mixes::hetero_mixes().remove(4);
+    alphas
+        .iter()
+        .map(|&alpha| {
+            let out = cfg.run_one(&mix, PartitionScheme::Power(alpha));
+            AlphaPoint {
+                alpha,
+                metrics: Metric::ALL.iter().map(|&m| out.metric(m)).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Render the α sweep, marking each metric's simulated argmax.
+pub fn render_alpha(points: &[AlphaPoint]) -> String {
+    let mut t = Table::new(&["alpha", "Hsp", "MinF", "Wsp", "IPCsum"]);
+    let argmax: Vec<usize> = (0..4)
+        .map(|mi| {
+            (0..points.len())
+                .max_by(|&a, &b| {
+                    points[a].metrics[mi]
+                        .partial_cmp(&points[b].metrics[mi])
+                        .unwrap()
+                })
+                .unwrap()
+        })
+        .collect();
+    for (pi, p) in points.iter().enumerate() {
+        let mut row = vec![format!("{:.2}", p.alpha)];
+        for (mi, &v) in p.metrics.iter().enumerate() {
+            row.push(format!(
+                "{}{}",
+                f3(v),
+                if argmax[mi] == pi { "*" } else { "" }
+            ));
+        }
+        t.row(row);
+    }
+    let mut out = String::from("Power-family α ablation on the simulator (hetero-5)\n");
+    out.push_str(&t.render());
+    out.push_str("\n(model predicts: Hsp* at α=0.5, MinF* at α=1.0; * marks the\n simulated argmax per metric)\n");
+    out
+}
+
+/// Page-policy ablation result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PagePolicyResult {
+    /// Policy label.
+    pub label: String,
+    /// Row-buffer hit rate.
+    pub row_hit_rate: f64,
+    /// Data-bus utilization over the run.
+    pub bus_utilization: f64,
+    /// Sum of IPCs achieved.
+    pub ipc_sum: f64,
+}
+
+/// Compare close page + FCFS against open page + FR-FCFS, both for a
+/// single sequential streamer running alone (row locality survives: open
+/// page wins) and for a multiprogrammed heterogeneous mix (cross-
+/// application row conflicts destroy locality under the paper's
+/// rank-interleaved mapping — which is precisely why Table II's close-page
+/// baseline is reasonable).
+pub fn page_policy(cfg: &ExpConfig) -> Vec<PagePolicyResult> {
+    let mix = mixes::hetero_mixes().remove(5); // lbm+libquantum: long row runs
+    let libq = BenchProfile::by_name("libquantum").unwrap();
+    let paper_map = MappingScheme::ChRowColBankRank;
+    let row_major = MappingScheme::ChRowBankRankCol;
+    let cases = [
+        (
+            "alone: close page + FCFS",
+            PagePolicy::ClosePage,
+            false,
+            true,
+            paper_map,
+        ),
+        (
+            "alone: open page + FR-FCFS",
+            PagePolicy::OpenPage,
+            true,
+            true,
+            paper_map,
+        ),
+        (
+            "alone: open page + FR-FCFS, row-major map",
+            PagePolicy::OpenPage,
+            true,
+            true,
+            row_major,
+        ),
+        (
+            "mix: close page + FCFS",
+            PagePolicy::ClosePage,
+            false,
+            false,
+            paper_map,
+        ),
+        (
+            "mix: open page + FCFS",
+            PagePolicy::OpenPage,
+            false,
+            false,
+            paper_map,
+        ),
+        (
+            "mix: open page + FR-FCFS",
+            PagePolicy::OpenPage,
+            true,
+            false,
+            paper_map,
+        ),
+        (
+            "mix: open page + FR-FCFS, row-major map",
+            PagePolicy::OpenPage,
+            true,
+            false,
+            row_major,
+        ),
+    ];
+    cases
+        .iter()
+        .map(|(label, policy, fr, alone, mapping)| {
+            let mut dram = cfg.dram.clone();
+            dram.page_policy = *policy;
+            dram.mapping = *mapping;
+            let cmp_cfg = CmpConfig {
+                dram,
+                ..CmpConfig::default()
+            };
+            let (w, cc) = if *alone {
+                (vec![libq.spawn(cfg.seed)], vec![libq.core_config()])
+            } else {
+                mix.build(1, cfg.seed)
+            };
+            let n = w.len();
+            let pol = if *fr {
+                Policy::fr_fcfs(n)
+            } else {
+                Policy::fcfs(n)
+            };
+            let mut sys = CmpSystem::new(&cmp_cfg, w, cc, pol);
+            sys.run(cfg.phases.warmup);
+            sys.reset_phase_counters();
+            sys.mc_mut().dram(); // no-op read to keep the borrow simple
+            let start = sys.snapshot();
+            let dram_stats_start = sys.mc().dram().stats().clone();
+            sys.run(cfg.phases.measure);
+            let end = sys.snapshot();
+            let stats = sys.window_stats(&start, &end);
+            let ds = sys.mc().dram().stats();
+            let served = ds.served - dram_stats_start.served;
+            let hits = ds.row_hits - dram_stats_start.row_hits;
+            let busy = ds.bus_busy_cycles - dram_stats_start.bus_busy_cycles;
+            PagePolicyResult {
+                label: label.to_string(),
+                row_hit_rate: if served == 0 {
+                    0.0
+                } else {
+                    hits as f64 / served as f64
+                },
+                bus_utilization: busy as f64 / cfg.phases.measure as f64,
+                ipc_sum: stats.iter().map(|s| s.ipc()).sum(),
+            }
+        })
+        .collect()
+}
+
+/// Render the page-policy comparison.
+pub fn render_page_policy(rows: &[PagePolicyResult]) -> String {
+    let mut t = Table::new(&["configuration", "row hit rate", "bus util", "IPCsum"]);
+    for r in rows {
+        t.row(vec![
+            r.label.clone(),
+            format!("{:.1}%", r.row_hit_rate * 100.0),
+            format!("{:.1}%", r.bus_utilization * 100.0),
+            f3(r.ipc_sum),
+        ]);
+    }
+    let mut out = String::from("Page-policy / scheduler ablation (No_partitioning)\n");
+    out.push_str(&t.render());
+    out.push_str("\n(close page: zero row hits by construction. A lone sequential\n streamer row-hits under open page + FR-FCFS; in the multiprogrammed\n mix, cross-application conflicts under the rank-interleaved mapping\n destroy row locality — the Section II-A1 utilization mechanisms,\n orthogonal to partitioning.)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_one_loses_bandwidth() {
+        let cfg = ExpConfig::fast();
+        let pts = window_sweep(&cfg, &[1, 8]);
+        assert_eq!(pts.len(), 2);
+        assert!(
+            pts[1].lbm_alone_apkc > pts[0].lbm_alone_apkc * 1.2,
+            "window 8 ({}) should beat strict FIFO ({})",
+            pts[1].lbm_alone_apkc,
+            pts[0].lbm_alone_apkc
+        );
+    }
+
+    #[test]
+    fn close_page_has_no_row_hits_open_page_does() {
+        let mut cfg = ExpConfig::fast();
+        cfg.phases.measure = 300_000;
+        let rows = page_policy(&cfg);
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0].row_hit_rate, 0.0, "close page cannot row-hit");
+        assert_eq!(rows[3].row_hit_rate, 0.0, "close page cannot row-hit");
+        assert!(
+            rows[1].row_hit_rate > 0.3,
+            "a lone sequential streamer should row-hit under open page, got {}",
+            rows[1].row_hit_rate
+        );
+        // The row-major mapping concentrates a sequential stream in one
+        // row: even more hits than the paper's rank-interleaved mapping.
+        assert!(
+            rows[2].row_hit_rate > rows[1].row_hit_rate,
+            "row-major mapping should maximize standalone row hits: {} vs {}",
+            rows[2].row_hit_rate,
+            rows[1].row_hit_rate
+        );
+        // Multiprogrammed: conflicts destroy most locality under the
+        // paper's mapping.
+        assert!(
+            rows[5].row_hit_rate < rows[1].row_hit_rate,
+            "mix hit rate should be below the standalone streamer's"
+        );
+    }
+
+    #[test]
+    fn alpha_sweep_is_finite_and_marked() {
+        let cfg = ExpConfig::fast();
+        let pts = alpha_sweep(&cfg, &[0.0, 0.5, 1.0]);
+        assert_eq!(pts.len(), 3);
+        for p in &pts {
+            assert!(p.metrics.iter().all(|v| v.is_finite() && *v > 0.0));
+        }
+        let s = render_alpha(&pts);
+        assert!(s.contains('*'));
+    }
+}

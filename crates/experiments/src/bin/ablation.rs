@@ -1,0 +1,28 @@
+//! Run the ablation studies: scheduling window, power-family α on the
+//! simulator, and page policy / FR-FCFS.
+
+use bwpart_experiments::ablation;
+use bwpart_experiments::harness::ExpConfig;
+
+fn main() {
+    let cfg = if std::env::args().any(|a| a == "--fast") {
+        ExpConfig::fast()
+    } else {
+        ExpConfig::default()
+    };
+    println!(
+        "{}",
+        ablation::render_window(&ablation::window_sweep(&cfg, &[1, 2, 4, 8, 16]))
+    );
+    println!(
+        "{}",
+        ablation::render_alpha(&ablation::alpha_sweep(
+            &cfg,
+            &[0.0, 0.25, 0.5, 2.0 / 3.0, 1.0, 1.25, 1.5],
+        ))
+    );
+    println!(
+        "{}",
+        ablation::render_page_policy(&ablation::page_policy(&cfg))
+    );
+}

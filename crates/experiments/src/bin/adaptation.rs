@@ -1,0 +1,13 @@
+//! Run the adaptive-repartitioning experiment (behaviour change mid-run).
+
+use bwpart_experiments::adaptation;
+use bwpart_experiments::harness::ExpConfig;
+
+fn main() {
+    let cfg = if std::env::args().any(|a| a == "--fast") {
+        ExpConfig::fast()
+    } else {
+        ExpConfig::default()
+    };
+    println!("{}", adaptation::render(&adaptation::run(&cfg)));
+}

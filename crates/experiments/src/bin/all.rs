@@ -1,0 +1,83 @@
+//! Run every experiment in sequence (the full paper regeneration).
+
+use bwpart_experiments::harness::ExpConfig;
+use bwpart_experiments::{
+    ablation, adaptation, fig1, fig2, fig3, fig4, heuristics, model_vs_sim, profiling, shared_l2,
+    table3, table4,
+};
+
+fn main() {
+    let cfg = if std::env::args().any(|a| a == "--fast") {
+        ExpConfig::fast()
+    } else {
+        ExpConfig::default()
+    };
+
+    println!("=== Table III ===\n");
+    let t3 = table3::run(&cfg);
+    println!("{}", table3::render(&t3));
+    println!(
+        "APKC ordering concordance: {:.1}%  class agreement: {}/{}\n",
+        table3::ordering_concordance(&t3) * 100.0,
+        t3.iter().filter(|r| r.class == r.paper_class).count(),
+        t3.len()
+    );
+
+    println!("=== Table IV ===\n");
+    let t4 = table4::from_table3(&t3);
+    println!("{}", table4::render(&t4));
+
+    println!("\n=== Figure 1 ===\n");
+    println!("{}", fig1::render(&fig1::run(&cfg)));
+
+    println!("\n=== Figure 2 ===");
+    println!("{}", fig2::render(&fig2::run(&cfg)));
+
+    println!("\n=== Figure 3 ===\n");
+    println!("{}", fig3::render(&fig3::run(&cfg)));
+
+    println!("\n=== Figure 4 ===\n");
+    let f4 = if std::env::args().any(|a| a == "--fast") {
+        fig4::run_with_limit(&cfg, 2)
+    } else {
+        fig4::run(&cfg)
+    };
+    println!("{}", fig4::render(&f4));
+
+    println!("\n=== Model vs simulator ===\n");
+    println!("{}", model_vs_sim::render(&model_vs_sim::run(&cfg)));
+
+    println!("\n=== Ablations ===\n");
+    println!(
+        "{}",
+        ablation::render_window(&ablation::window_sweep(&cfg, &[1, 2, 4, 8, 16]))
+    );
+    println!(
+        "{}",
+        ablation::render_alpha(&ablation::alpha_sweep(
+            &cfg,
+            &[0.0, 0.25, 0.5, 2.0 / 3.0, 1.0, 1.25, 1.5],
+        ))
+    );
+    println!(
+        "{}",
+        ablation::render_page_policy(&ablation::page_policy(&cfg))
+    );
+
+    println!("\n=== Adaptation ===\n");
+    println!("{}", adaptation::render(&adaptation::run(&cfg)));
+
+    println!("\n=== Profiling accuracy ===\n");
+    println!("{}", profiling::render(&profiling::run(&cfg)));
+
+    println!("\n=== Shared L2 (footnote 1) ===\n");
+    println!("{}", shared_l2::render(&shared_l2::run(&cfg)));
+
+    println!("\n=== Heuristic schedulers ===\n");
+    let h = if std::env::args().any(|a| a == "--fast") {
+        heuristics::run_with_limit(&cfg, 2)
+    } else {
+        heuristics::run(&cfg)
+    };
+    println!("{}", heuristics::render(&h));
+}

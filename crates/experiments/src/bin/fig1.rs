@@ -1,0 +1,16 @@
+//! Regenerate Figure 1: the motivation experiment.
+
+use bwpart_experiments::fig1;
+use bwpart_experiments::harness::ExpConfig;
+
+fn main() {
+    let cfg = if std::env::args().any(|a| a == "--fast") {
+        ExpConfig::fast()
+    } else {
+        ExpConfig::default()
+    };
+    let r = fig1::run(&cfg);
+    println!("Figure 1 — normalized performance on libquantum-milc-gromacs-gobmk\n");
+    println!("{}", fig1::render(&r));
+    println!("expected winners (paper): Hsp→Square_root, MinF→Proportional, Wsp→Priority_APC, IPCsum→Priority_API");
+}

@@ -1,0 +1,15 @@
+//! Regenerate Figure 2: the main evaluation grid.
+
+use bwpart_experiments::fig2;
+use bwpart_experiments::harness::ExpConfig;
+
+fn main() {
+    let cfg = if std::env::args().any(|a| a == "--fast") {
+        ExpConfig::fast()
+    } else {
+        ExpConfig::default()
+    };
+    let r = fig2::run(&cfg);
+    println!("Figure 2 — 14 mixes × 6 schemes × 4 metrics");
+    println!("{}", fig2::render(&r));
+}

@@ -1,0 +1,15 @@
+//! Regenerate Figure 3: QoS-guaranteed partitioning.
+
+use bwpart_experiments::fig3;
+use bwpart_experiments::harness::ExpConfig;
+
+fn main() {
+    let cfg = if std::env::args().any(|a| a == "--fast") {
+        ExpConfig::fast()
+    } else {
+        ExpConfig::default()
+    };
+    let r = fig3::run(&cfg);
+    println!("Figure 3 — QoS guarantee (hmmer target IPC 0.6)\n");
+    println!("{}", fig3::render(&r));
+}

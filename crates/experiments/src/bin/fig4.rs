@@ -1,0 +1,20 @@
+//! Regenerate Figure 4: scalability with bandwidth and core count.
+
+use bwpart_experiments::fig4;
+use bwpart_experiments::harness::ExpConfig;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let cfg = if fast {
+        ExpConfig::fast()
+    } else {
+        ExpConfig::default()
+    };
+    let r = if fast {
+        fig4::run_with_limit(&cfg, 2)
+    } else {
+        fig4::run(&cfg)
+    };
+    println!("Figure 4 — scalability (optimal schemes normalized to Equal)\n");
+    println!("{}", fig4::render(&r));
+}

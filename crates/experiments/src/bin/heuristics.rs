@@ -1,0 +1,20 @@
+//! Compare heuristic schedulers (PARBS/ATLAS-style) against the paper's
+//! derived per-objective optima.
+
+use bwpart_experiments::harness::ExpConfig;
+use bwpart_experiments::heuristics;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let cfg = if fast {
+        ExpConfig::fast()
+    } else {
+        ExpConfig::default()
+    };
+    let r = if fast {
+        heuristics::run_with_limit(&cfg, 2)
+    } else {
+        heuristics::run(&cfg)
+    };
+    println!("{}", heuristics::render(&r));
+}

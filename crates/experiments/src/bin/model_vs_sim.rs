@@ -1,0 +1,14 @@
+//! Extension: analytical-model predictions vs cycle-level simulation.
+
+use bwpart_experiments::harness::ExpConfig;
+use bwpart_experiments::model_vs_sim;
+
+fn main() {
+    let cfg = if std::env::args().any(|a| a == "--fast") {
+        ExpConfig::fast()
+    } else {
+        ExpConfig::default()
+    };
+    let r = model_vs_sim::run(&cfg);
+    println!("{}", model_vs_sim::render(&r));
+}

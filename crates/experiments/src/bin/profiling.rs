@@ -1,0 +1,13 @@
+//! Quantify the Eq. 12-13 online APC_alone estimator against ground truth.
+
+use bwpart_experiments::harness::ExpConfig;
+use bwpart_experiments::profiling;
+
+fn main() {
+    let cfg = if std::env::args().any(|a| a == "--fast") {
+        ExpConfig::fast()
+    } else {
+        ExpConfig::default()
+    };
+    println!("{}", profiling::render(&profiling::run(&cfg)));
+}

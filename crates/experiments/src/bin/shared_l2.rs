@@ -1,0 +1,13 @@
+//! Run the shared-L2 way-partitioning experiment (footnote 1).
+
+use bwpart_experiments::harness::ExpConfig;
+use bwpart_experiments::shared_l2;
+
+fn main() {
+    let cfg = if std::env::args().any(|a| a == "--fast") {
+        ExpConfig::fast()
+    } else {
+        ExpConfig::default()
+    };
+    println!("{}", shared_l2::render(&shared_l2::run(&cfg)));
+}

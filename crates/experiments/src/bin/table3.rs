@@ -1,0 +1,20 @@
+//! Regenerate Table III: standalone benchmark classification.
+
+use bwpart_experiments::harness::ExpConfig;
+use bwpart_experiments::table3;
+
+fn main() {
+    let mut cfg = ExpConfig::default();
+    if std::env::args().any(|a| a == "--fast") {
+        cfg = ExpConfig::fast();
+    }
+    let rows = table3::run(&cfg);
+    println!("Table III — standalone benchmark classification (DDR2-400)\n");
+    println!("{}", table3::render(&rows));
+    println!(
+        "APKC ordering concordance vs paper: {:.1}%",
+        table3::ordering_concordance(&rows) * 100.0
+    );
+    let class_match = rows.iter().filter(|r| r.class == r.paper_class).count();
+    println!("intensity class agreement: {class_match}/{}", rows.len());
+}

@@ -1,0 +1,23 @@
+//! Regenerate Table IV: workload heterogeneity classification.
+
+use bwpart_experiments::harness::ExpConfig;
+use bwpart_experiments::table4;
+
+fn main() {
+    let cfg = if std::env::args().any(|a| a == "--fast") {
+        ExpConfig::fast()
+    } else {
+        ExpConfig::default()
+    };
+    let rows = table4::run(&cfg);
+    println!("Table IV — workload construction and heterogeneity\n");
+    println!("{}", table4::render(&rows));
+    let agree = rows
+        .iter()
+        .filter(|r| r.is_hetero() == r.paper_is_hetero())
+        .count();
+    println!(
+        "homo/hetero classification agreement: {agree}/{}",
+        rows.len()
+    );
+}

@@ -1,0 +1,139 @@
+//! Figure 1: the motivation experiment.
+//!
+//! Four SPEC2006 applications (libquantum, milc, gromacs, gobmk) on a
+//! four-core CMP with DDR2-400, under five partitioning schemes (Equal,
+//! Proportional, Square_root, Priority_API, Priority_APC). Four system
+//! objectives, all normalized to No_partitioning. The qualitative claim to
+//! reproduce: *each derived scheme wins its own metric, and no single
+//! scheme wins everything*.
+
+use bwpart_core::prelude::*;
+use bwpart_workloads::mixes::fig1_mix;
+use serde::{Deserialize, Serialize};
+
+use crate::harness::{f3, ExpConfig, MixResults, Table};
+
+/// The five enforced schemes Figure 1 compares.
+pub const FIG1_SCHEMES: [PartitionScheme; 5] = [
+    PartitionScheme::Equal,
+    PartitionScheme::Proportional,
+    PartitionScheme::SquareRoot,
+    PartitionScheme::PriorityApi,
+    PartitionScheme::PriorityApc,
+];
+
+/// Figure 1 results: normalized metric values per scheme.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Result {
+    /// `norm[scheme_idx][metric_idx]` in `FIG1_SCHEMES` × `Metric::ALL`
+    /// order, normalized to No_partitioning.
+    pub normalized: Vec<Vec<f64>>,
+}
+
+impl Fig1Result {
+    /// The winning scheme (index into `FIG1_SCHEMES`) per metric.
+    pub fn winner(&self, metric_idx: usize) -> usize {
+        (0..FIG1_SCHEMES.len())
+            .max_by(|&a, &b| {
+                self.normalized[a][metric_idx]
+                    .partial_cmp(&self.normalized[b][metric_idx])
+                    .unwrap()
+            })
+            .unwrap()
+    }
+}
+
+/// Run the motivation experiment.
+pub fn run(cfg: &ExpConfig) -> Fig1Result {
+    let mix = fig1_mix();
+    let mut schemes = vec![PartitionScheme::NoPartitioning];
+    schemes.extend(FIG1_SCHEMES);
+    let results = MixResults {
+        mix: mix.name.clone(),
+        results: cfg.run_schemes(&mix, &schemes),
+    };
+    let normalized = FIG1_SCHEMES
+        .iter()
+        .map(|&s| {
+            Metric::ALL
+                .iter()
+                .map(|&m| {
+                    results
+                        .normalized(s, PartitionScheme::NoPartitioning, m)
+                        .expect("all schemes were run")
+                })
+                .collect()
+        })
+        .collect();
+    Fig1Result { normalized }
+}
+
+/// Render the normalized table (rows = metrics, columns = schemes, as in
+/// the figure).
+pub fn render(r: &Fig1Result) -> String {
+    let mut header = vec!["metric"];
+    for s in FIG1_SCHEMES {
+        header.push(match s {
+            PartitionScheme::Equal => "Equal",
+            PartitionScheme::Proportional => "Proportional",
+            PartitionScheme::SquareRoot => "Square_root",
+            PartitionScheme::PriorityApi => "Priority_API",
+            PartitionScheme::PriorityApc => "Priority_APC",
+            _ => unreachable!(),
+        });
+    }
+    let mut t = Table::new(&header);
+    for (mi, m) in Metric::ALL.iter().enumerate() {
+        let mut row = vec![m.label().to_string()];
+        for (si, _) in FIG1_SCHEMES.iter().enumerate() {
+            let v = r.normalized[si][mi];
+            let mark = if r.winner(mi) == si { "*" } else { "" };
+            row.push(format!("{}{}", f3(v), mark));
+        }
+        t.row(row);
+    }
+    let mut out = t.render();
+    out.push_str("\n(normalized to No_partitioning; * marks the per-metric winner)\n");
+    out
+}
+
+/// The paper's qualitative expectations: metric index in `Metric::ALL` →
+/// expected winner index in `FIG1_SCHEMES`.
+pub fn expected_winners() -> [(Metric, PartitionScheme); 4] {
+    [
+        (Metric::HarmonicWeightedSpeedup, PartitionScheme::SquareRoot),
+        (Metric::MinFairness, PartitionScheme::Proportional),
+        (Metric::WeightedSpeedup, PartitionScheme::PriorityApc),
+        (Metric::SumOfIpcs, PartitionScheme::PriorityApi),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemes_and_metrics_align() {
+        let ws = expected_winners();
+        for (i, (m, _)) in ws.iter().enumerate() {
+            assert_eq!(*m, Metric::ALL[i]);
+        }
+    }
+
+    /// End-to-end smoke: the experiment runs in fast mode and every
+    /// normalized value is positive and finite.
+    #[test]
+    fn fast_run_produces_finite_ratios() {
+        let r = run(&ExpConfig::fast());
+        assert_eq!(r.normalized.len(), FIG1_SCHEMES.len());
+        for row in &r.normalized {
+            assert_eq!(row.len(), 4);
+            for &v in row {
+                assert!(v.is_finite() && v > 0.0, "bad normalized value {v}");
+            }
+        }
+        let rendered = render(&r);
+        assert!(rendered.contains("Square_root"));
+        assert!(rendered.contains('*'));
+    }
+}

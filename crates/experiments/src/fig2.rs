@@ -1,0 +1,277 @@
+//! Figure 2: the main evaluation.
+//!
+//! All 14 Table IV mixes × six partitioning schemes (Equal, Proportional,
+//! Square_root, 2/3_power, Priority_APC, Priority_API) × four system
+//! objectives, normalized to No_partitioning — plus the per-group averages
+//! behind the paper's headline numbers:
+//!
+//! * vs **No_partitioning** (hetero): Hsp +20.3%, MinF +49.8%, Wsp +32.8%,
+//!   IPCsum +64.2% with the corresponding optimal schemes;
+//! * vs **Equal** (hetero): +2.1%, +38.7%, +7.6%, +24%.
+
+use bwpart_core::prelude::*;
+use bwpart_workloads::mixes::{hetero_mixes, homo_mixes};
+use serde::{Deserialize, Serialize};
+
+use crate::harness::{geomean, pct, ExpConfig, MixResults, Table};
+
+/// Per-mix, per-scheme normalized metric values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Result {
+    /// Mix names in run order (7 homo then 7 hetero).
+    pub mixes: Vec<String>,
+    /// Whether each mix is in the heterogeneous group.
+    pub is_hetero: Vec<bool>,
+    /// `normalized[mix][scheme][metric]` over
+    /// [`PartitionScheme::ENFORCED_SCHEMES`] × [`Metric::ALL`], normalized
+    /// to No_partitioning.
+    pub normalized: Vec<Vec<Vec<f64>>>,
+}
+
+/// The paper's headline averages for heterogeneous workloads: per metric,
+/// (optimal scheme, improvement over No_partitioning, over Equal).
+pub const PAPER_HETERO_HEADLINE: [(Metric, PartitionScheme, f64, f64); 4] = [
+    (
+        Metric::HarmonicWeightedSpeedup,
+        PartitionScheme::SquareRoot,
+        0.203,
+        0.021,
+    ),
+    (
+        Metric::MinFairness,
+        PartitionScheme::Proportional,
+        0.498,
+        0.387,
+    ),
+    (
+        Metric::WeightedSpeedup,
+        PartitionScheme::PriorityApc,
+        0.328,
+        0.076,
+    ),
+    (Metric::SumOfIpcs, PartitionScheme::PriorityApi, 0.642, 0.24),
+];
+
+/// Run the full grid.
+pub fn run(cfg: &ExpConfig) -> Fig2Result {
+    let mut mixes = homo_mixes();
+    let n_homo = mixes.len();
+    mixes.extend(hetero_mixes());
+    let grid = cfg.run_grid(&mixes, &PartitionScheme::PAPER_SCHEMES);
+    collect(grid, n_homo)
+}
+
+fn collect(grid: Vec<MixResults>, n_homo: usize) -> Fig2Result {
+    let mut out = Fig2Result {
+        mixes: Vec::new(),
+        is_hetero: Vec::new(),
+        normalized: Vec::new(),
+    };
+    for (i, mr) in grid.iter().enumerate() {
+        out.mixes.push(mr.mix.clone());
+        out.is_hetero.push(i >= n_homo);
+        let per_scheme = PartitionScheme::ENFORCED_SCHEMES
+            .iter()
+            .map(|&s| {
+                Metric::ALL
+                    .iter()
+                    .map(|&m| {
+                        mr.normalized(s, PartitionScheme::NoPartitioning, m)
+                            .expect("scheme was run")
+                    })
+                    .collect()
+            })
+            .collect();
+        out.normalized.push(per_scheme);
+    }
+    out
+}
+
+impl Fig2Result {
+    /// Geometric-mean normalized value of `scheme` on `metric` over one
+    /// group (`hetero = true/false`).
+    pub fn group_avg(&self, scheme: PartitionScheme, metric: Metric, hetero: bool) -> f64 {
+        let si = PartitionScheme::ENFORCED_SCHEMES
+            .iter()
+            .position(|&s| s == scheme)
+            .expect("enforced scheme");
+        let mi = Metric::ALL.iter().position(|&m| m == metric).unwrap();
+        let vals: Vec<f64> = self
+            .normalized
+            .iter()
+            .zip(&self.is_hetero)
+            .filter(|(_, &h)| h == hetero)
+            .map(|(mix, _)| mix[si][mi])
+            .collect();
+        geomean(&vals)
+    }
+
+    /// Improvement of each optimal scheme over No_partitioning and over
+    /// Equal for the heterogeneous group: `(metric, vs_nopart, vs_equal)`.
+    pub fn hetero_headline(&self) -> Vec<(Metric, f64, f64)> {
+        PAPER_HETERO_HEADLINE
+            .iter()
+            .map(|&(metric, scheme, _, _)| {
+                let opt = self.group_avg(scheme, metric, true);
+                let equal = self.group_avg(PartitionScheme::Equal, metric, true);
+                (metric, opt - 1.0, opt / equal - 1.0)
+            })
+            .collect()
+    }
+}
+
+/// Render per-metric tables (one per sub-figure) plus the averages.
+pub fn render(r: &Fig2Result) -> String {
+    let mut out = String::new();
+    for (mi, m) in Metric::ALL.iter().enumerate() {
+        out.push_str(&format!(
+            "\nFigure 2{} — {} (normalized to No_partitioning)\n",
+            ["a", "b", "c", "d"][mi],
+            m.label()
+        ));
+        let mut header = vec!["workload".to_string()];
+        for s in PartitionScheme::ENFORCED_SCHEMES {
+            header.push(s.name());
+        }
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(&header_refs);
+        for (i, mix) in r.mixes.iter().enumerate() {
+            let mut row = vec![mix.clone()];
+            for (si, _) in PartitionScheme::ENFORCED_SCHEMES.iter().enumerate() {
+                row.push(format!("{:.3}", r.normalized[i][si][mi]));
+            }
+            t.row(row);
+        }
+        for hetero in [false, true] {
+            let mut row = vec![if hetero {
+                "avg(hetero)".to_string()
+            } else {
+                "avg(homo)".to_string()
+            }];
+            for &s in &PartitionScheme::ENFORCED_SCHEMES {
+                row.push(format!("{:.3}", r.group_avg(s, *m, hetero)));
+            }
+            t.row(row);
+        }
+        out.push_str(&t.render());
+    }
+
+    out.push_str("\nHeadline (heterogeneous workloads, optimal scheme per metric):\n");
+    let mut t = Table::new(&[
+        "metric",
+        "scheme",
+        "vs No_part (meas)",
+        "vs No_part (paper)",
+        "vs Equal (meas)",
+        "vs Equal (paper)",
+    ]);
+    let headline = r.hetero_headline();
+    for ((metric, vs_np, vs_eq), (pm, scheme, p_np, p_eq)) in
+        headline.iter().zip(PAPER_HETERO_HEADLINE)
+    {
+        assert_eq!(*metric, pm);
+        t.row(vec![
+            metric.label().into(),
+            scheme.name(),
+            pct(1.0 + vs_np),
+            pct(1.0 + p_np),
+            pct(1.0 + vs_eq),
+            pct(1.0 + p_eq),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwpart_workloads::Mix;
+
+    /// Build a tiny fake grid to validate aggregation without simulating.
+    fn fake() -> Fig2Result {
+        // Two mixes (one homo, one hetero); values chosen so group averages
+        // are easy to verify.
+        Fig2Result {
+            mixes: vec!["homo-x".into(), "hetero-x".into()],
+            is_hetero: vec![false, true],
+            normalized: vec![
+                vec![vec![1.0; 4]; 6],
+                vec![
+                    vec![1.1, 1.2, 1.3, 1.4], // Equal
+                    vec![1.0, 1.5, 1.0, 1.0], // Proportional
+                    vec![1.2, 1.3, 1.2, 1.2], // SquareRoot
+                    vec![1.1, 1.3, 1.1, 1.1], // TwoThirdsPower
+                    vec![1.0, 0.5, 1.4, 1.5], // PriorityApc
+                    vec![1.0, 0.5, 1.4, 1.6], // PriorityApi
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn group_avg_filters_by_group() {
+        let r = fake();
+        let eq_hetero = r.group_avg(
+            PartitionScheme::Equal,
+            Metric::HarmonicWeightedSpeedup,
+            true,
+        );
+        assert!((eq_hetero - 1.1).abs() < 1e-12);
+        let eq_homo = r.group_avg(
+            PartitionScheme::Equal,
+            Metric::HarmonicWeightedSpeedup,
+            false,
+        );
+        assert!((eq_homo - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn headline_compares_optimal_to_baselines() {
+        let r = fake();
+        let h = r.hetero_headline();
+        // Hsp: sqrt 1.2 → +20% vs No_partitioning; vs Equal = 1.2/1.1 − 1.
+        assert_eq!(h[0].0, Metric::HarmonicWeightedSpeedup);
+        assert!((h[0].1 - 0.2).abs() < 1e-12);
+        assert!((h[0].2 - (1.2 / 1.1 - 1.0)).abs() < 1e-12);
+        // IPCsum: Priority_API 1.6 → +60%.
+        assert!((h[3].1 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_all_subfigures() {
+        let s = render(&fake());
+        for sub in ["Figure 2a", "Figure 2b", "Figure 2c", "Figure 2d"] {
+            assert!(s.contains(sub));
+        }
+        assert!(s.contains("avg(hetero)"));
+        assert!(s.contains("Headline"));
+    }
+
+    /// One real (but tiny) simulated mix through the collect path.
+    #[test]
+    fn collect_on_real_run() {
+        let cfg = ExpConfig::fast();
+        let mix = Mix {
+            name: "hetero-5-mini".into(),
+            benches: vec![
+                "libquantum".into(),
+                "milc".into(),
+                "gromacs".into(),
+                "gobmk".into(),
+            ],
+        };
+        let grid = vec![crate::harness::MixResults {
+            mix: mix.name.clone(),
+            results: cfg.run_schemes(&mix, &PartitionScheme::PAPER_SCHEMES),
+        }];
+        let r = collect(grid, 0);
+        assert_eq!(r.mixes.len(), 1);
+        assert!(r.is_hetero[0]);
+        for scheme_row in &r.normalized[0] {
+            for &v in scheme_row {
+                assert!(v.is_finite() && v > 0.0);
+            }
+        }
+    }
+}

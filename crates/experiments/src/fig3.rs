@@ -1,0 +1,236 @@
+//! Figure 3: QoS-guaranteed partitioning (Section VI-B).
+//!
+//! Two mixes — Mix-1 (lbm, libquantum, omnetpp, hmmer) and Mix-2 (h264ref,
+//! zeusmp, leslie3d, hmmer) — where `hmmer` must be guaranteed an IPC of
+//! 0.6 while the remaining best-effort applications are optimized. The
+//! reproduction targets: (a) under No_partitioning hmmer's IPC is *not*
+//! controlled; (b) the Eq. 11 reservation pins it at the target; (c) the
+//! best-effort group's Hsp/Wsp/IPCsum improve over No_partitioning.
+
+use bwpart_cmp::{CmpConfig, Runner, ShareSource, SimOutcome};
+use bwpart_core::prelude::*;
+use bwpart_workloads::mixes::qos_mixes;
+use bwpart_workloads::Mix;
+use serde::{Deserialize, Serialize};
+
+use crate::harness::{f3, ExpConfig, Table};
+
+/// The paper's IPC target for hmmer.
+pub const HMMER_TARGET_IPC: f64 = 0.6;
+
+/// Best-effort optimization variants shown in the figure.
+pub const BE_VARIANTS: [(Metric, PartitionScheme); 3] = [
+    (Metric::HarmonicWeightedSpeedup, PartitionScheme::SquareRoot),
+    (Metric::WeightedSpeedup, PartitionScheme::PriorityApc),
+    (Metric::SumOfIpcs, PartitionScheme::PriorityApi),
+];
+
+/// Results for one QoS mix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Mix {
+    /// Mix name.
+    pub mix: String,
+    /// The QoS application's IPC under No_partitioning.
+    pub qos_ipc_nopart: f64,
+    /// The QoS application's IPC under each QoS-guaranteed variant
+    /// (same order as [`BE_VARIANTS`]).
+    pub qos_ipc_guaranteed: Vec<f64>,
+    /// The enforced target.
+    pub target: f64,
+    /// Best-effort group metric under each variant, normalized to the same
+    /// metric under No_partitioning.
+    pub be_normalized: Vec<f64>,
+}
+
+/// Full Figure 3 results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Result {
+    /// One entry per mix (Mix-1, Mix-2).
+    pub mixes: Vec<Fig3Mix>,
+}
+
+/// Metric over the best-effort subset of an outcome.
+fn be_metric(out: &SimOutcome, be: &[usize], metric: Metric) -> f64 {
+    let ipc_shared = out.ipc_shared();
+    let ipc_alone = out.ipc_alone_ref();
+    let s: Vec<f64> = be.iter().map(|&i| ipc_shared[i]).collect();
+    let a: Vec<f64> = be.iter().map(|&i| ipc_alone[i]).collect();
+    metrics::evaluate(metric, &s, &a).expect("well-formed subset")
+}
+
+fn run_mix(cfg: &ExpConfig, mix: &Mix, qos_app: usize) -> Fig3Mix {
+    let runner = Runner {
+        cmp: CmpConfig {
+            dram: cfg.dram.clone(),
+            ..CmpConfig::default()
+        },
+        phases: cfg.phases,
+    };
+
+    // Baseline: No_partitioning, with online profiling for reference values.
+    let (w, cc) = mix.build(1, cfg.seed);
+    let base = runner.run_scheme(
+        PartitionScheme::NoPartitioning,
+        w,
+        cc,
+        ShareSource::OnlineProfile,
+    );
+    let profiles: Vec<AppProfile> = base
+        .stats
+        .iter()
+        .zip(base.apc_alone_ref.iter().zip(&base.api_ref))
+        .map(|(s, (&apc, &api))| {
+            AppProfile::new(s.name.clone(), api.max(1e-9), apc.max(1e-9)).unwrap()
+        })
+        .collect();
+    let b = base.total_bandwidth;
+    // The target must be reachable given the profiled standalone IPC.
+    let ipc_alone_est = profiles[qos_app].ipc_alone();
+    let target = HMMER_TARGET_IPC.min(0.9 * ipc_alone_est);
+
+    let be: Vec<usize> = (0..mix.len()).filter(|&i| i != qos_app).collect();
+    let mut qos_ipc_guaranteed = Vec::new();
+    let mut be_normalized = Vec::new();
+    for &(metric, be_scheme) in &BE_VARIANTS {
+        // Closed-loop reservation: Eq. 11 sizes the initial reserve; if the
+        // work-conserving enforcement leaks share (a bursty QoS application
+        // cannot always use its slot the instant it is offered), scale the
+        // reservation up and retry — the paper's periodic repartitioning
+        // performs the same correction online.
+        let mut reserve_ipc = target;
+        let mut out = None;
+        for _ in 0..4 {
+            let request = [QosRequest {
+                app: qos_app,
+                target_ipc: reserve_ipc.min(0.95 * ipc_alone_est),
+            }];
+            let part = qos::partition(&profiles, &request, be_scheme, b)
+                .expect("reservation is feasible by construction");
+            let (w, cc) = mix.build(1, cfg.seed);
+            let o = runner.run_with_shares(
+                part.shares(),
+                &format!("QoS+{}", be_scheme.name()),
+                w,
+                cc,
+                base.apc_alone_ref.clone(),
+                base.api_ref.clone(),
+            );
+            let achieved = o.ipc_shared()[qos_app];
+            let done = achieved >= 0.97 * target;
+            out = Some(o);
+            if done {
+                break;
+            }
+            reserve_ipc =
+                (reserve_ipc * (target / achieved.max(1e-6)).min(1.5)).min(0.95 * ipc_alone_est);
+        }
+        let out = out.expect("at least one iteration ran");
+        qos_ipc_guaranteed.push(out.ipc_shared()[qos_app]);
+        let baseline = be_metric(&base, &be, metric);
+        be_normalized.push(be_metric(&out, &be, metric) / baseline);
+    }
+
+    Fig3Mix {
+        mix: mix.name.clone(),
+        qos_ipc_nopart: base.ipc_shared()[qos_app],
+        qos_ipc_guaranteed,
+        target,
+        be_normalized,
+    }
+}
+
+/// Run the Figure 3 experiment on both mixes (hmmer is app index 3).
+pub fn run(cfg: &ExpConfig) -> Fig3Result {
+    Fig3Result {
+        mixes: qos_mixes().iter().map(|m| run_mix(cfg, m, 3)).collect(),
+    }
+}
+
+/// Render the figure's two groups: QoS IPC and best-effort performance.
+pub fn render(r: &Fig3Result) -> String {
+    let mut t = Table::new(&[
+        "mix",
+        "hmmer IPC (No_part)",
+        "hmmer IPC (QoS)",
+        "target",
+        "BE Hsp (norm)",
+        "BE Wsp (norm)",
+        "BE IPCsum (norm)",
+    ]);
+    for m in &r.mixes {
+        t.row(vec![
+            m.mix.clone(),
+            f3(m.qos_ipc_nopart),
+            f3(m.qos_ipc_guaranteed[0]),
+            f3(m.target),
+            f3(m.be_normalized[0]),
+            f3(m.be_normalized[1]),
+            f3(m.be_normalized[2]),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(
+        "\n(BE columns: best-effort group's metric under the QoS partition,\n normalized to No_partitioning; paper Figure 3 shape: hmmer pinned at\n the target while best-effort performance improves)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn be_metric_restricts_to_subset() {
+        let out = SimOutcome {
+            scheme: "x".into(),
+            stats: vec![
+                bwpart_cmp::AppStats {
+                    name: "a".into(),
+                    instructions: 100,
+                    mem_accesses: 10,
+                    cycles: 100,
+                    l1_misses: 0,
+                    l2_misses: 0,
+                    interference_cycles: 0,
+                },
+                bwpart_cmp::AppStats {
+                    name: "b".into(),
+                    instructions: 200,
+                    mem_accesses: 10,
+                    cycles: 100,
+                    l1_misses: 0,
+                    l2_misses: 0,
+                    interference_cycles: 0,
+                },
+            ],
+            apc_alone_ref: vec![0.2, 0.1],
+            api_ref: vec![0.1, 0.005],
+            total_bandwidth: 0.2,
+        };
+        // Only app 1 in the subset: IPCsum = its IPC = 2.0.
+        let v = be_metric(&out, &[1], Metric::SumOfIpcs);
+        assert!((v - 2.0).abs() < 1e-12);
+    }
+
+    /// Fast end-to-end: the QoS machinery holds hmmer near its target even
+    /// at reduced fidelity, and reports finite best-effort ratios.
+    #[test]
+    fn fast_qos_run_hits_target_approximately() {
+        let cfg = ExpConfig::fast();
+        let mix = qos_mixes().remove(1); // mix-2 is lighter: faster + stable
+        let m = run_mix(&cfg, &mix, 3);
+        assert!(m.target > 0.0);
+        for (&ipc, &(metric, _)) in m.qos_ipc_guaranteed.iter().zip(&BE_VARIANTS) {
+            // Enforcement is statistical; allow a loose band in fast mode.
+            assert!(
+                ipc > 0.55 * m.target,
+                "{}: QoS IPC {ipc} far below target {} ({metric})",
+                mix.name,
+                m.target
+            );
+        }
+        for &v in &m.be_normalized {
+            assert!(v.is_finite() && v > 0.0);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Figure 4: scalability (Section VI-C).
+//!
+//! Off-chip bandwidth scales 3.2 → 6.4 → 12.8 GB/s (bus frequency only;
+//! latency parameters fixed in ns) while the core count scales 4 → 8 → 16
+//! (1, 2, 4 copies of each heterogeneous mix). Each metric is reported for
+//! its optimal partitioning scheme, normalized to Equal partitioning. The
+//! paper's claim: the improvements *grow* with scale, because bandwidth-
+//! bound applications' `APC_alone` grows faster than latency-bound ones',
+//! making the workloads more heterogeneous.
+
+use bwpart_core::prelude::*;
+use bwpart_dram::DramConfig;
+use bwpart_workloads::mixes::hetero_mixes;
+use serde::{Deserialize, Serialize};
+
+use crate::harness::{geomean, ExpConfig, Table};
+
+/// The optimal scheme per metric, in `Metric::ALL` order.
+pub const OPTIMAL: [(Metric, PartitionScheme); 4] = [
+    (Metric::HarmonicWeightedSpeedup, PartitionScheme::SquareRoot),
+    (Metric::MinFairness, PartitionScheme::Proportional),
+    (Metric::WeightedSpeedup, PartitionScheme::PriorityApc),
+    (Metric::SumOfIpcs, PartitionScheme::PriorityApi),
+];
+
+/// One bandwidth/core-count scaling point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Point {
+    /// Label, e.g. "3.2GB/s (4 cores)".
+    pub label: String,
+    /// Per-metric (in `Metric::ALL` order): geomean over the heterogeneous
+    /// mixes of optimal-scheme performance normalized to Equal.
+    pub normalized_to_equal: [f64; 4],
+}
+
+/// Full scalability results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Result {
+    /// The three scaling points, in increasing bandwidth order.
+    pub points: Vec<Fig4Point>,
+}
+
+/// The three scaling points: (label, DRAM config, mix copies).
+pub fn scaling_points() -> Vec<(String, DramConfig, usize)> {
+    vec![
+        ("3.2GB/s-4core".into(), DramConfig::ddr2_400(), 1),
+        ("6.4GB/s-8core".into(), DramConfig::ddr2_800(), 2),
+        ("12.8GB/s-16core".into(), DramConfig::ddr2_1600(), 4),
+    ]
+}
+
+/// Run the scalability sweep. `mix_limit` bounds how many heterogeneous
+/// mixes are used (all 7 in full runs; fewer for smoke tests).
+pub fn run_with_limit(cfg: &ExpConfig, mix_limit: usize) -> Fig4Result {
+    let mixes: Vec<_> = hetero_mixes().into_iter().take(mix_limit).collect();
+    let schemes: Vec<PartitionScheme> = std::iter::once(PartitionScheme::Equal)
+        .chain(OPTIMAL.iter().map(|&(_, s)| s))
+        .collect();
+    let mut points = Vec::new();
+    for (label, dram, copies) in scaling_points() {
+        let point_cfg = ExpConfig {
+            dram,
+            copies,
+            ..cfg.clone()
+        };
+        let grid = point_cfg.run_grid(&mixes, &schemes);
+        let mut normalized = [0.0f64; 4];
+        for (mi, &(metric, scheme)) in OPTIMAL.iter().enumerate() {
+            let vals: Vec<f64> = grid
+                .iter()
+                .filter_map(|mr| mr.normalized(scheme, PartitionScheme::Equal, metric))
+                .collect();
+            normalized[mi] = geomean(&vals);
+        }
+        points.push(Fig4Point {
+            label,
+            normalized_to_equal: normalized,
+        });
+    }
+    Fig4Result { points }
+}
+
+/// Run with all seven heterogeneous mixes.
+pub fn run(cfg: &ExpConfig) -> Fig4Result {
+    run_with_limit(cfg, usize::MAX)
+}
+
+/// Render the figure's series.
+pub fn render(r: &Fig4Result) -> String {
+    let mut t = Table::new(&[
+        "scaling point",
+        "Hsp (Square_root)",
+        "MinF (Proportional)",
+        "Wsp (Priority_APC)",
+        "IPCsum (Priority_API)",
+    ]);
+    for p in &r.points {
+        let mut row = vec![p.label.clone()];
+        for v in p.normalized_to_equal {
+            row.push(format!("{v:.3}"));
+        }
+        t.row(row);
+    }
+    let mut out = t.render();
+    out.push_str("\n(optimal scheme per metric, normalized to Equal partitioning;\n the paper's Figure 4 shape: every column grows with bandwidth)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_points_double_bandwidth() {
+        let pts = scaling_points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].2, 1);
+        assert_eq!(pts[1].2, 2);
+        assert_eq!(pts[2].2, 4);
+        let b0 = pts[0].1.peak_bandwidth_bytes_per_sec();
+        let b1 = pts[1].1.peak_bandwidth_bytes_per_sec();
+        let b2 = pts[2].1.peak_bandwidth_bytes_per_sec();
+        assert!(b1 > 1.8 * b0 && b2 > 3.6 * b0);
+    }
+
+    #[test]
+    fn optimal_table_covers_all_metrics_in_order() {
+        for (i, (m, _)) in OPTIMAL.iter().enumerate() {
+            assert_eq!(*m, Metric::ALL[i]);
+        }
+    }
+
+    /// Smoke: one mix, all three scaling points, fast phases.
+    #[test]
+    fn fast_scaling_run_is_finite() {
+        let r = run_with_limit(&ExpConfig::fast(), 1);
+        assert_eq!(r.points.len(), 3);
+        for p in &r.points {
+            for v in p.normalized_to_equal {
+                assert!(v.is_finite() && v > 0.0, "{}: {v}", p.label);
+            }
+        }
+        let s = render(&r);
+        assert!(s.contains("12.8GB/s-16core"));
+    }
+}

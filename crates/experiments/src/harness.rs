@@ -1,0 +1,256 @@
+//! Shared experiment machinery: configurations, parallel sweeps,
+//! normalization, geometric means and ASCII tables.
+
+use bwpart_cmp::{CmpConfig, PhaseConfig, Runner, ShareSource, SimOutcome};
+use bwpart_core::prelude::*;
+use bwpart_dram::DramConfig;
+use bwpart_workloads::Mix;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Experiment-wide configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExpConfig {
+    /// Phase budgets for every simulation.
+    pub phases: PhaseConfig,
+    /// Stream seed (all experiments are deterministic given this).
+    pub seed: u64,
+    /// Copies of each mix (Figure 4 scaling).
+    pub copies: usize,
+    /// DRAM configuration.
+    pub dram: DramConfig,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            phases: PhaseConfig::default(),
+            seed: 0xB417_2013,
+            copies: 1,
+            dram: DramConfig::ddr2_400(),
+        }
+    }
+}
+
+impl ExpConfig {
+    /// A fast configuration for tests and smoke runs.
+    pub fn fast() -> Self {
+        ExpConfig {
+            phases: PhaseConfig {
+                warmup: 200_000,
+                profile: 400_000,
+                measure: 600_000,
+                repartition_epoch: None,
+            },
+            ..Default::default()
+        }
+    }
+
+    fn runner(&self) -> Runner {
+        Runner {
+            cmp: CmpConfig {
+                dram: self.dram.clone(),
+                ..CmpConfig::default()
+            },
+            phases: self.phases,
+        }
+    }
+
+    /// Run one mix under one scheme with online profiling (the paper's
+    /// methodology).
+    pub fn run_one(&self, mix: &Mix, scheme: PartitionScheme) -> SimOutcome {
+        let (workloads, cfgs) = mix.build(self.copies, self.seed);
+        self.runner()
+            .run_scheme(scheme, workloads, cfgs, ShareSource::OnlineProfile)
+    }
+
+    /// Run one mix under every scheme in `schemes`, in parallel.
+    pub fn run_schemes(
+        &self,
+        mix: &Mix,
+        schemes: &[PartitionScheme],
+    ) -> Vec<(PartitionScheme, SimOutcome)> {
+        schemes
+            .par_iter()
+            .map(|&s| (s, self.run_one(mix, s)))
+            .collect()
+    }
+
+    /// Run many (mix, scheme) pairs in parallel.
+    pub fn run_grid(&self, mixes: &[Mix], schemes: &[PartitionScheme]) -> Vec<MixResults> {
+        mixes
+            .par_iter()
+            .map(|mix| MixResults {
+                mix: mix.name.clone(),
+                results: self.run_schemes(mix, schemes),
+            })
+            .collect()
+    }
+}
+
+/// All scheme outcomes for one mix.
+#[derive(Debug, Clone)]
+pub struct MixResults {
+    /// Mix name.
+    pub mix: String,
+    /// Outcomes per scheme.
+    pub results: Vec<(PartitionScheme, SimOutcome)>,
+}
+
+impl MixResults {
+    /// The outcome for `scheme`, if it was run.
+    pub fn outcome(&self, scheme: PartitionScheme) -> Option<&SimOutcome> {
+        self.results
+            .iter()
+            .find(|(s, _)| *s == scheme)
+            .map(|(_, o)| o)
+    }
+
+    /// `metric` under `scheme`, normalized to the same metric under `base`.
+    pub fn normalized(
+        &self,
+        scheme: PartitionScheme,
+        base: PartitionScheme,
+        metric: Metric,
+    ) -> Option<f64> {
+        let s = self.outcome(scheme)?.metric(metric);
+        let b = self.outcome(base)?.metric(metric);
+        if b > 0.0 {
+            Some(s / b)
+        } else {
+            None
+        }
+    }
+}
+
+/// Geometric mean of strictly positive values (0 if empty or any ≤ 0 input
+/// is filtered out first by the caller).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Minimal fixed-width ASCII table renderer.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&line(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with 3 decimal places.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a ratio as a percent improvement over 1.0 (e.g. 1.203 → "+20.3%").
+pub fn pct(v: f64) -> String {
+    format!("{:+.1}%", (v - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_and_mean() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((mean(&[1.0, 4.0]) - 2.5).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1.0".into()]);
+        t.row(vec!["longer".into(), "2.25".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].contains("longer"));
+        // All data lines share the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(1.203), "+20.3%");
+        assert_eq!(pct(0.9), "-10.0%");
+    }
+
+    #[test]
+    fn fast_config_runs_fig1_mix_quickly() {
+        let cfg = ExpConfig::fast();
+        let mix = bwpart_workloads::mixes::fig1_mix();
+        let out = cfg.run_one(&mix, PartitionScheme::Equal);
+        assert_eq!(out.stats.len(), 4);
+        assert!(out.metric(Metric::SumOfIpcs) > 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # bwpart-experiments — the paper's evaluation, regenerated
+//!
+//! One module (and one binary) per table/figure of the IPDPS'13 paper:
+//!
+//! | module | artifact | what it reproduces |
+//! |---|---|---|
+//! | [`table3`] | Table III | standalone benchmark classification (APKC/APKI) |
+//! | [`table4`] | Table IV | workload mixes and their heterogeneity (RSD) |
+//! | [`fig1`] | Figure 1 | motivation: 4 metrics × 5 schemes on one mix |
+//! | [`fig2`] | Figure 2 | 14 mixes × 6 schemes × 4 metrics vs No_partitioning |
+//! | [`fig3`] | Figure 3 | QoS-guaranteed partitioning on two mixes |
+//! | [`fig4`] | Figure 4 | scalability: 3.2→12.8 GB/s with 4→16 cores |
+//! | [`model_vs_sim`] | (extension) | analytical predictions vs simulation |
+//!
+//! Extensions beyond the paper: [`model_vs_sim`] (prediction accuracy),
+//! [`profiling`] (Eq. 12 estimator accuracy vs ground truth),
+//! [`heuristics`] (PARBS/ATLAS-style schedulers vs the derived optima),
+//! [`adaptation`] (epoch repartitioning tracking a behaviour change),
+//! [`shared_l2`] (the footnote-1 way-partitioned shared L2) and
+//! [`ablation`] (scheduling window, power-family α on the simulator, page
+//! policy / FR-FCFS / address mapping).
+//!
+//! [`harness`] holds the shared machinery: parallel sweeps (rayon),
+//! normalization, averaging, and ASCII table rendering. Binaries named
+//! after each module print the same rows/series the paper reports,
+//! side-by-side with the paper's numbers where available.
+
+pub mod ablation;
+pub mod adaptation;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod harness;
+pub mod heuristics;
+pub mod model_vs_sim;
+pub mod profiling;
+pub mod shared_l2;
+pub mod table3;
+pub mod table4;

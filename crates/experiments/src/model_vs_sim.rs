@@ -1,0 +1,145 @@
+//! Model-vs-simulation validation (extension experiment).
+//!
+//! The analytical model of Section III predicts every metric from nothing
+//! but `(API, APC_alone)` per application, the total bandwidth `B`, and
+//! the share vector. This experiment closes the loop: for each enforced
+//! scheme on a mix, compare the model's *predicted* metrics against the
+//! cycle-level simulator's *measured* metrics.
+
+use bwpart_core::prelude::*;
+use bwpart_workloads::Mix;
+use serde::{Deserialize, Serialize};
+
+use crate::harness::{f3, ExpConfig, Table};
+
+/// Predicted-vs-measured for one scheme.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchemeComparison {
+    /// Scheme name.
+    pub scheme: String,
+    /// `(metric, predicted, measured)` in `Metric::ALL` order.
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+/// Full comparison for one mix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelVsSim {
+    /// Mix name.
+    pub mix: String,
+    /// One comparison per enforced scheme.
+    pub schemes: Vec<SchemeComparison>,
+}
+
+/// Run the comparison on `mix`.
+pub fn run_mix(cfg: &ExpConfig, mix: &Mix) -> ModelVsSim {
+    let mut schemes = Vec::new();
+    for &scheme in &PartitionScheme::ENFORCED_SCHEMES {
+        let out = cfg.run_one(mix, scheme);
+        // Feed the model exactly what the runner used: the profiled
+        // reference values and the measured total bandwidth.
+        let profiles: Vec<AppProfile> = out
+            .stats
+            .iter()
+            .zip(out.apc_alone_ref.iter().zip(&out.api_ref))
+            .map(|(s, (&apc, &api))| {
+                AppProfile::new(s.name.clone(), api.max(1e-9), apc.max(1e-9)).unwrap()
+            })
+            .collect();
+        let pred = predict::evaluate_scheme(&profiles, scheme, out.total_bandwidth)
+            .expect("enforced schemes predict");
+        let rows = Metric::ALL
+            .iter()
+            .map(|&m| (m.label().to_string(), pred.metric(m), out.metric(m)))
+            .collect();
+        schemes.push(SchemeComparison {
+            scheme: scheme.name(),
+            rows,
+        });
+    }
+    ModelVsSim {
+        mix: mix.name.clone(),
+        schemes,
+    }
+}
+
+/// Run on the Figure 1 motivation mix.
+pub fn run(cfg: &ExpConfig) -> ModelVsSim {
+    run_mix(cfg, &bwpart_workloads::mixes::fig1_mix())
+}
+
+/// Mean absolute relative error between prediction and measurement.
+pub fn mean_abs_rel_error(r: &ModelVsSim) -> f64 {
+    let mut errs = Vec::new();
+    for s in &r.schemes {
+        for (_, pred, meas) in &s.rows {
+            if *meas > 0.0 {
+                errs.push((pred - meas).abs() / meas);
+            }
+        }
+    }
+    if errs.is_empty() {
+        0.0
+    } else {
+        errs.iter().sum::<f64>() / errs.len() as f64
+    }
+}
+
+/// Render the table.
+pub fn render(r: &ModelVsSim) -> String {
+    let mut t = Table::new(&["scheme", "metric", "model", "simulator", "rel.err"]);
+    for s in &r.schemes {
+        for (m, pred, meas) in &s.rows {
+            let err = if *meas > 0.0 {
+                format!("{:+.1}%", (pred - meas) / meas * 100.0)
+            } else {
+                "n/a".into()
+            };
+            t.row(vec![s.scheme.clone(), m.clone(), f3(*pred), f3(*meas), err]);
+        }
+    }
+    let mut out = format!("Model vs simulator on {}\n", r.mix);
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nmean |relative error| = {:.1}%\n",
+        mean_abs_rel_error(r) * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_math() {
+        let r = ModelVsSim {
+            mix: "m".into(),
+            schemes: vec![SchemeComparison {
+                scheme: "Equal".into(),
+                rows: vec![("Hsp".into(), 1.1, 1.0), ("Wsp".into(), 0.9, 1.0)],
+            }],
+        };
+        assert!((mean_abs_rel_error(&r) - 0.1).abs() < 1e-12);
+        let s = render(&r);
+        assert!(s.contains("+10.0%"));
+        assert!(s.contains("-10.0%"));
+    }
+
+    /// Fast end-to-end: the model tracks the simulator within a loose bound
+    /// even at reduced fidelity.
+    #[test]
+    fn model_tracks_simulator_loosely() {
+        let cfg = ExpConfig::fast();
+        let mix = Mix {
+            name: "mini".into(),
+            benches: vec!["libquantum".into(), "gobmk".into()],
+        };
+        let r = run_mix(&cfg, &mix);
+        assert_eq!(r.schemes.len(), 6);
+        let err = mean_abs_rel_error(&r);
+        assert!(
+            err < 0.6,
+            "model should loosely track the simulator, err {err}"
+        );
+    }
+}

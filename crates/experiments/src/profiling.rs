@@ -1,0 +1,177 @@
+//! Online-profiler accuracy (extension experiment).
+//!
+//! Section IV-C concedes that the Eq. 12 `APC_alone` estimate "is an
+//! approximation" whose inaccuracy "will not affect the efficiency of our
+//! partitioning scheme since APC_alone,i is just a reference value". This
+//! experiment quantifies the approximation: for every heterogeneous mix,
+//! compare each application's online estimate (from the contended profile
+//! phase, with interference subtraction) against its ground-truth
+//! standalone rate — and then check the paper's consistency claim by
+//! showing the *share vectors* derived from estimates vs ground truth are
+//! close.
+
+use bwpart_cmp::{CmpConfig, Runner, ShareSource};
+use bwpart_core::prelude::*;
+use bwpart_workloads::mixes::hetero_mixes;
+use bwpart_workloads::BenchProfile;
+use serde::{Deserialize, Serialize};
+
+use crate::harness::{f3, ExpConfig, Table};
+
+/// Estimate-vs-truth for one application in one mix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfiledApp {
+    /// Mix name.
+    pub mix: String,
+    /// Benchmark name.
+    pub bench: String,
+    /// Online estimate of `APC_alone` (Eq. 12).
+    pub estimate: f64,
+    /// Ground truth from a standalone run.
+    pub truth: f64,
+}
+
+/// Full profiling-accuracy results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfilingResult {
+    /// Per-application rows.
+    pub apps: Vec<ProfiledApp>,
+    /// Mean share-vector L1 distance between estimate-derived and
+    /// truth-derived Square_root shares, per mix.
+    pub mean_share_l1: f64,
+}
+
+/// Run the accuracy sweep over the heterogeneous mixes.
+pub fn run(cfg: &ExpConfig) -> ProfilingResult {
+    let runner = Runner {
+        cmp: CmpConfig {
+            dram: cfg.dram.clone(),
+            ..CmpConfig::default()
+        },
+        phases: cfg.phases,
+    };
+
+    // Ground truth per benchmark (each runs alone once).
+    let mut truth = std::collections::HashMap::new();
+    for p in bwpart_workloads::table3_profiles() {
+        let alone = runner.run_alone(p.spawn(cfg.seed), p.core_config());
+        truth.insert(p.name.to_string(), alone.apc_alone);
+    }
+
+    let mut apps = Vec::new();
+    let mut share_l1 = Vec::new();
+    for mix in hetero_mixes() {
+        let (w, cc) = mix.build(1, cfg.seed);
+        let out = runner.run_scheme(
+            PartitionScheme::NoPartitioning,
+            w,
+            cc,
+            ShareSource::OnlineProfile,
+        );
+        let mut est_profiles = Vec::new();
+        let mut true_profiles = Vec::new();
+        for (i, bench) in mix.benches.iter().enumerate() {
+            let estimate = out.apc_alone_ref[i];
+            let t = truth[bench];
+            apps.push(ProfiledApp {
+                mix: mix.name.clone(),
+                bench: bench.clone(),
+                estimate,
+                truth: t,
+            });
+            let api = BenchProfile::by_name(bench).unwrap();
+            let _ = api;
+            est_profiles.push(
+                AppProfile::new(bench.clone(), out.api_ref[i].max(1e-9), estimate.max(1e-9))
+                    .unwrap(),
+            );
+            true_profiles.push(
+                AppProfile::new(bench.clone(), out.api_ref[i].max(1e-9), t.max(1e-9)).unwrap(),
+            );
+        }
+        let b = out.total_bandwidth;
+        let est_shares = PartitionScheme::SquareRoot
+            .shares(&est_profiles, b)
+            .unwrap();
+        let true_shares = PartitionScheme::SquareRoot
+            .shares(&true_profiles, b)
+            .unwrap();
+        let l1: f64 = est_shares
+            .iter()
+            .zip(&true_shares)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        share_l1.push(l1);
+    }
+
+    ProfilingResult {
+        apps,
+        mean_share_l1: share_l1.iter().sum::<f64>() / share_l1.len().max(1) as f64,
+    }
+}
+
+/// Mean |relative error| of the estimates.
+pub fn mean_abs_rel_error(r: &ProfilingResult) -> f64 {
+    if r.apps.is_empty() {
+        return 0.0;
+    }
+    r.apps
+        .iter()
+        .map(|a| (a.estimate - a.truth).abs() / a.truth.max(1e-12))
+        .sum::<f64>()
+        / r.apps.len() as f64
+}
+
+/// Render the accuracy table.
+pub fn render(r: &ProfilingResult) -> String {
+    let mut t = Table::new(&["mix", "benchmark", "APKC est", "APKC truth", "rel.err"]);
+    for a in &r.apps {
+        t.row(vec![
+            a.mix.clone(),
+            a.bench.clone(),
+            f3(a.estimate * 1000.0),
+            f3(a.truth * 1000.0),
+            format!("{:+.0}%", (a.estimate - a.truth) / a.truth * 100.0),
+        ]);
+    }
+    let mut out = String::from("Online APC_alone profiling accuracy (Eq. 12-13)\n");
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nmean |relative error| of estimates: {:.1}%\n\
+         mean L1 distance of derived Square_root share vectors: {:.3}\n\
+         (the paper's consistency claim: the derived *shares* matter, not\n  the absolute estimates)\n",
+        mean_abs_rel_error(r) * 100.0,
+        r.mean_share_l1
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_math() {
+        let r = ProfilingResult {
+            apps: vec![
+                ProfiledApp {
+                    mix: "m".into(),
+                    bench: "a".into(),
+                    estimate: 1.2,
+                    truth: 1.0,
+                },
+                ProfiledApp {
+                    mix: "m".into(),
+                    bench: "b".into(),
+                    estimate: 0.9,
+                    truth: 1.0,
+                },
+            ],
+            mean_share_l1: 0.05,
+        };
+        assert!((mean_abs_rel_error(&r) - 0.15).abs() < 1e-12);
+        let s = render(&r);
+        assert!(s.contains("+20%"));
+        assert!(s.contains("-10%"));
+    }
+}

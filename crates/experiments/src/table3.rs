@@ -1,0 +1,162 @@
+//! Table III: standalone benchmark classification.
+//!
+//! Runs every Table III benchmark alone on the DDR2-400 system and reports
+//! measured `APKC_alone`, `APKI` and `IPC_alone` next to the paper's
+//! values. The reproduction target is the memory-intensity *classes* and
+//! *ordering*, which drive every downstream experiment.
+
+use bwpart_cmp::{CmpConfig, Runner};
+use bwpart_core::app::IntensityClass;
+use bwpart_workloads::profile::{table3_profiles, PAPER_TABLE3};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::harness::{f3, ExpConfig, Table};
+
+/// One row of the reproduced Table III.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Measured accesses per kilo-cycle, standalone.
+    pub apkc: f64,
+    /// Measured accesses per kilo-instruction.
+    pub apki: f64,
+    /// Measured standalone IPC.
+    pub ipc_alone: f64,
+    /// Measured memory-intensity class.
+    pub class: IntensityClass,
+    /// Paper's APKC.
+    pub paper_apkc: f64,
+    /// Paper's APKI.
+    pub paper_apki: f64,
+    /// Paper's class.
+    pub paper_class: IntensityClass,
+}
+
+/// Run the standalone sweep.
+pub fn run(cfg: &ExpConfig) -> Vec<Table3Row> {
+    let runner = Runner {
+        cmp: CmpConfig {
+            dram: cfg.dram.clone(),
+            ..CmpConfig::default()
+        },
+        phases: cfg.phases,
+    };
+    table3_profiles()
+        .par_iter()
+        .map(|p| {
+            let alone = runner.run_alone(p.spawn(cfg.seed), p.core_config());
+            let (_, paper_apkc, paper_apki) = PAPER_TABLE3
+                .iter()
+                .find(|(n, _, _)| *n == p.name)
+                .copied()
+                .expect("every profile has a paper row");
+            Table3Row {
+                name: p.name.to_string(),
+                apkc: alone.stats.apkc(),
+                apki: alone.stats.apki(),
+                ipc_alone: alone.ipc_alone,
+                class: IntensityClass::from_apkc(alone.stats.apkc()),
+                paper_apkc,
+                paper_apki,
+                paper_class: IntensityClass::from_apkc(paper_apkc),
+            }
+        })
+        .collect()
+}
+
+/// Render the paper-vs-measured table.
+pub fn render(rows: &[Table3Row]) -> String {
+    let mut t = Table::new(&[
+        "benchmark",
+        "APKC(meas)",
+        "APKC(paper)",
+        "APKI(meas)",
+        "APKI(paper)",
+        "IPC(meas)",
+        "IPC(paper)",
+        "class(meas)",
+        "class(paper)",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.name.clone(),
+            f3(r.apkc),
+            f3(r.paper_apkc),
+            f3(r.apki),
+            f3(r.paper_apki),
+            f3(r.ipc_alone),
+            f3(r.paper_apkc / r.paper_apki),
+            r.class.label().into(),
+            r.paper_class.label().into(),
+        ]);
+    }
+    t.render()
+}
+
+/// Spearman-style concordance: fraction of benchmark pairs whose measured
+/// APKC ordering matches the paper's ordering.
+pub fn ordering_concordance(rows: &[Table3Row]) -> f64 {
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..rows.len() {
+        for j in (i + 1)..rows.len() {
+            total += 1;
+            let meas = rows[i].apkc.partial_cmp(&rows[j].apkc).unwrap();
+            let paper = rows[i].paper_apkc.partial_cmp(&rows[j].paper_apkc).unwrap();
+            if meas == paper {
+                agree += 1;
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        agree as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A single fast standalone run sanity-checks the plumbing; the full
+    /// 16-benchmark calibration runs via the binary/bench in release mode.
+    #[test]
+    fn lbm_alone_is_high_intensity_even_in_fast_mode() {
+        let mut cfg = ExpConfig::fast();
+        cfg.phases.measure = 400_000;
+        let runner = Runner {
+            cmp: CmpConfig::default(),
+            phases: cfg.phases,
+        };
+        let p = bwpart_workloads::BenchProfile::by_name("lbm").unwrap();
+        let alone = runner.run_alone(p.spawn(cfg.seed), p.core_config());
+        assert!(
+            alone.stats.apkc() > 8.0,
+            "lbm should saturate DDR2-400, got APKC {}",
+            alone.stats.apkc()
+        );
+    }
+
+    #[test]
+    fn concordance_math() {
+        let mk = |apkc: f64, paper: f64| Table3Row {
+            name: "x".into(),
+            apkc,
+            apki: 1.0,
+            ipc_alone: 1.0,
+            class: IntensityClass::from_apkc(apkc),
+            paper_apkc: paper,
+            paper_apki: 1.0,
+            paper_class: IntensityClass::from_apkc(paper),
+        };
+        // Perfectly concordant.
+        let rows = vec![mk(3.0, 30.0), mk(2.0, 20.0), mk(1.0, 10.0)];
+        assert!((ordering_concordance(&rows) - 1.0).abs() < 1e-12);
+        // One inversion out of three pairs.
+        let rows = vec![mk(2.0, 30.0), mk(3.0, 20.0), mk(1.0, 10.0)];
+        assert!((ordering_concordance(&rows) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,167 @@
+//! Table IV: workload construction and heterogeneity.
+//!
+//! Computes each mix's heterogeneity — the relative standard deviation
+//! (RSD) of its applications' measured `APC_alone`s — and compares the
+//! homogeneous/heterogeneous classification against the paper's.
+
+use bwpart_core::app::{heterogeneity_rsd, AppProfile, HETEROGENEITY_THRESHOLD};
+use bwpart_workloads::mixes::{all_mixes, PAPER_TABLE4_RSD};
+use serde::{Deserialize, Serialize};
+
+use crate::harness::{f3, ExpConfig, Table};
+use crate::table3::{self, Table3Row};
+
+/// One row of the reproduced Table IV.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Mix name.
+    pub mix: String,
+    /// Benchmarks in the mix.
+    pub benches: Vec<String>,
+    /// Measured heterogeneity (RSD of measured `APC_alone`s, %).
+    pub rsd: f64,
+    /// Paper's RSD.
+    pub paper_rsd: f64,
+}
+
+impl Table4Row {
+    /// Heterogeneous under the measured profile (RSD > 30).
+    pub fn is_hetero(&self) -> bool {
+        self.rsd > HETEROGENEITY_THRESHOLD
+    }
+
+    /// Heterogeneous in the paper.
+    pub fn paper_is_hetero(&self) -> bool {
+        self.paper_rsd > HETEROGENEITY_THRESHOLD
+    }
+}
+
+/// Compute Table IV from standalone profiles (reuses a Table III run).
+pub fn from_table3(rows: &[Table3Row]) -> Vec<Table4Row> {
+    let apc_of = |name: &str| -> f64 {
+        rows.iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("no Table III row for {name}"))
+            .apkc
+            / 1000.0
+    };
+    all_mixes()
+        .into_iter()
+        .map(|mix| {
+            let apps: Vec<AppProfile> = mix
+                .benches
+                .iter()
+                .map(|b| AppProfile::new(b.clone(), 1e-3, apc_of(b)).unwrap())
+                .collect();
+            let paper_rsd = PAPER_TABLE4_RSD
+                .iter()
+                .find(|(n, _)| *n == mix.name)
+                .map(|(_, r)| *r)
+                .expect("every mix has a paper RSD");
+            Table4Row {
+                mix: mix.name.clone(),
+                benches: mix.benches.clone(),
+                rsd: heterogeneity_rsd(&apps),
+                paper_rsd,
+            }
+        })
+        .collect()
+}
+
+/// Run the standalone sweep and derive Table IV.
+pub fn run(cfg: &ExpConfig) -> Vec<Table4Row> {
+    from_table3(&table3::run(cfg))
+}
+
+/// Render the paper-vs-measured table.
+pub fn render(rows: &[Table4Row]) -> String {
+    let mut t = Table::new(&[
+        "workload",
+        "benchmarks",
+        "RSD(meas)",
+        "RSD(paper)",
+        "class(meas)",
+        "class(paper)",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.mix.clone(),
+            r.benches.join("-"),
+            f3(r.rsd),
+            f3(r.paper_rsd),
+            if r.is_hetero() { "hetero" } else { "homo" }.into(),
+            if r.paper_is_hetero() {
+                "hetero"
+            } else {
+                "homo"
+            }
+            .into(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bwpart_core::app::IntensityClass;
+
+    fn fake_rows() -> Vec<Table3Row> {
+        // Use the paper's own APKCs as "measured" to validate the RSD math.
+        bwpart_workloads::profile::PAPER_TABLE3
+            .iter()
+            .map(|&(name, apkc, apki)| Table3Row {
+                name: name.into(),
+                apkc,
+                apki,
+                ipc_alone: apkc / apki,
+                class: IntensityClass::from_apkc(apkc),
+                paper_apkc: apkc,
+                paper_apki: apki,
+                paper_class: IntensityClass::from_apkc(apkc),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paper_apcs_reproduce_paper_classification() {
+        let rows = from_table3(&fake_rows());
+        assert_eq!(rows.len(), 14);
+        for r in &rows {
+            // homo-7 is an inconsistency in the paper itself: recomputing
+            // the RSD from its own Table III APKCs gives 30.6, yet Table IV
+            // prints 29.71 (just under the 30 threshold). Skip it.
+            if r.mix == "homo-7" {
+                continue;
+            }
+            // With the paper's own APC_alone values, our RSD must agree
+            // with the paper's homo/hetero split for every other mix.
+            assert_eq!(
+                r.is_hetero(),
+                r.paper_is_hetero(),
+                "{}: RSD {} vs paper {}",
+                r.mix,
+                r.rsd,
+                r.paper_rsd
+            );
+            // And be numerically close to the printed RSD values (hetero-1
+            // and homo-3 match to all printed digits with the sample
+            // standard deviation).
+            assert!(
+                (r.rsd - r.paper_rsd).abs() < 2.0,
+                "{}: {} vs {}",
+                r.mix,
+                r.rsd,
+                r.paper_rsd
+            );
+        }
+    }
+
+    #[test]
+    fn render_includes_all_mixes() {
+        let s = render(&from_table3(&fake_rows()));
+        for (name, _) in PAPER_TABLE4_RSD {
+            assert!(s.contains(name));
+        }
+    }
+}

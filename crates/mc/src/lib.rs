@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # bwpart-mc — the partitioning memory controller
+//!
+//! Implements Section IV of the paper: the machinery that *enforces* a
+//! bandwidth partition and *profiles* the inputs the analytical model needs.
+//!
+//! * [`request`] / [`queue`] — per-application transaction queues.
+//! * [`policy`] — the scheduling policies:
+//!   - **FCFS** (`No_partitioning` baseline): oldest issuable request first.
+//!   - **FR-FCFS**: row hits first, then oldest (open-page utilization
+//!     baseline).
+//!   - **STF** — the paper's modified DRAM Start-Time Fair mechanism
+//!     (Section IV-B): per-application virtual start tags
+//!     `S_i = S_{i-1} + 1/β` that do **not** depend on arrival time, so an
+//!     application that under-used its share earlier can catch up.
+//!   - **Priority** — strict priority order (realizes `Priority_APC` /
+//!     `Priority_API`, Section III-D/E).
+//! * [`interference`] — Section IV-C detection: cycles an application's
+//!   head request is blocked by another application's traffic (DRAM bus and
+//!   bank conflicts) or passed over by the scheduler in favour of another
+//!   application.
+//! * [`profiler`] — Eq. 12–13 online `APC_alone` estimation from the three
+//!   per-application counters (`N_accesses`, `T_cyc,shared`,
+//!   `T_cyc,interference`).
+//! * [`controller`] — the [`MemoryController`] tying it together on the
+//!   DRAM command clock.
+
+pub mod controller;
+pub mod interference;
+pub mod policy;
+pub mod profiler;
+pub mod queue;
+pub mod request;
+
+pub use controller::{McStats, MemoryController};
+pub use policy::{Policy, PolicyKind};
+pub use profiler::{ApcProfiler, ProfileSnapshot};
+pub use request::MemRequest;

@@ -1,0 +1,168 @@
+//! Online `APC_alone` estimation (Section IV-C, Eq. 12–13).
+//!
+//! Three counters per application suffice:
+//!
+//! * `N_accesses,i` — memory accesses served (reads and writes),
+//! * `T_cyc,shared,i` — cycles elapsed in the shared context (the epoch
+//!   length for continuously-running applications), and
+//! * `T_cyc,interference,i` — cycles the application was blocked by other
+//!   applications' traffic.
+//!
+//! Then `T_cyc,alone,i = T_cyc,shared,i − T_cyc,interference,i` (Eq. 13) and
+//! `APC_alone,i = N_accesses,i / T_cyc,alone,i` (Eq. 12).
+//!
+//! The estimate is an approximation; as the paper notes, consistency is
+//! what matters — the same estimated values feed both the partitioning
+//! computation and the metric denominators.
+
+use serde::{Deserialize, Serialize};
+
+/// One epoch's profile estimate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileSnapshot {
+    /// Epoch length in cycles (`T_cyc,shared`).
+    pub elapsed: u64,
+    /// Accesses served per application (`N_accesses`).
+    pub accesses: Vec<u64>,
+    /// Interference cycles per application (`T_cyc,interference`).
+    pub interference: Vec<u64>,
+    /// Estimated standalone bandwidth per application (`APC_alone`, Eq. 12).
+    pub apc_alone: Vec<f64>,
+    /// Observed shared-mode bandwidth per application (`APC_shared`).
+    pub apc_shared: Vec<f64>,
+}
+
+/// Epoch-based profiler: feed it the controller's counters at an epoch
+/// boundary and it produces the Eq. 12 estimates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ApcProfiler {
+    epoch_start: u64,
+    /// Floor on `T_cyc,alone` as a fraction of the epoch, guarding the
+    /// estimate against pathological interference counts.
+    min_alone_fraction: f64,
+}
+
+impl ApcProfiler {
+    /// Start profiling at `now`.
+    pub fn new(now: u64) -> Self {
+        ApcProfiler {
+            epoch_start: now,
+            min_alone_fraction: 0.02,
+        }
+    }
+
+    /// Cycle the current epoch began.
+    pub fn epoch_start(&self) -> u64 {
+        self.epoch_start
+    }
+
+    /// Produce the Eq. 12 estimate for the epoch `[epoch_start, now)` and
+    /// begin a new epoch at `now`. `accesses[i]` and `interference[i]` must
+    /// be the per-application counts accumulated over this epoch.
+    pub fn take_snapshot(
+        &mut self,
+        now: u64,
+        accesses: &[u64],
+        interference: &[u64],
+    ) -> ProfileSnapshot {
+        assert_eq!(accesses.len(), interference.len());
+        assert!(now > self.epoch_start, "epoch must have non-zero length");
+        let elapsed = now - self.epoch_start;
+        let floor = (elapsed as f64 * self.min_alone_fraction) as u64;
+        let apc_alone = accesses
+            .iter()
+            .zip(interference)
+            .map(|(&n, &intf)| {
+                // Eq. 13: T_alone = T_shared − T_interference, floored.
+                let t_alone = elapsed.saturating_sub(intf).max(floor).max(1);
+                n as f64 / t_alone as f64
+            })
+            .collect();
+        let apc_shared = accesses
+            .iter()
+            .map(|&n| n as f64 / elapsed as f64)
+            .collect();
+        let snap = ProfileSnapshot {
+            elapsed,
+            accesses: accesses.to_vec(),
+            interference: interference.to_vec(),
+            apc_alone,
+            apc_shared,
+        };
+        self.epoch_start = now;
+        snap
+    }
+}
+
+impl ProfileSnapshot {
+    /// Estimated `API` per application given instruction counts retired
+    /// over the same epoch (the core-side counter).
+    pub fn api(&self, instructions: &[u64]) -> Vec<f64> {
+        assert_eq!(instructions.len(), self.accesses.len());
+        self.accesses
+            .iter()
+            .zip(instructions)
+            .map(|(&n, &instr)| n as f64 / instr.max(1) as f64)
+            .collect()
+    }
+
+    /// Estimated standalone IPC per application (Eq. 1 applied to the
+    /// estimates): `APC_alone / API`.
+    pub fn ipc_alone(&self, instructions: &[u64]) -> Vec<f64> {
+        self.apc_alone
+            .iter()
+            .zip(self.api(instructions))
+            .map(|(&apc, api)| if api > 0.0 { apc / api } else { 0.0 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq12_eq13_arithmetic() {
+        let mut p = ApcProfiler::new(1000);
+        // Over 10_000 cycles: app 0 served 50 accesses with 5_000 cycles of
+        // interference → APC_alone = 50 / 5_000 = 0.01.
+        let snap = p.take_snapshot(11_000, &[50, 20], &[5_000, 0]);
+        assert_eq!(snap.elapsed, 10_000);
+        assert!((snap.apc_alone[0] - 0.01).abs() < 1e-12);
+        // No interference → alone rate equals shared rate.
+        assert!((snap.apc_alone[1] - 0.002).abs() < 1e-12);
+        assert!((snap.apc_shared[1] - 0.002).abs() < 1e-12);
+        // Next epoch starts at the snapshot point.
+        assert_eq!(p.epoch_start(), 11_000);
+    }
+
+    #[test]
+    fn interference_floor_prevents_blowup() {
+        let mut p = ApcProfiler::new(0);
+        // Interference ≈ the whole epoch: without the floor the estimate
+        // would explode.
+        let snap = p.take_snapshot(10_000, &[10], &[10_000]);
+        let floor_alone = (10_000.0 * 0.02) as u64;
+        assert!((snap.apc_alone[0] - 10.0 / floor_alone as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn api_and_ipc_alone_derivations() {
+        let mut p = ApcProfiler::new(0);
+        let snap = p.take_snapshot(10_000, &[100, 0], &[2_000, 0]);
+        let api = snap.api(&[20_000, 5_000]);
+        assert!((api[0] - 0.005).abs() < 1e-12);
+        assert_eq!(api[1], 0.0);
+        let ipc = snap.ipc_alone(&[20_000, 5_000]);
+        // APC_alone = 100/8000 = 0.0125; IPC = 0.0125 / 0.005 = 2.5.
+        assert!((ipc[0] - 2.5).abs() < 1e-12);
+        assert_eq!(ipc[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero length")]
+    fn zero_length_epoch_rejected() {
+        let mut p = ApcProfiler::new(5);
+        let _ = p.take_snapshot(5, &[1], &[0]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Per-application transaction queues.
+//!
+//! The controller keeps one FIFO per application. Scheduling policies pick
+//! *which application* to serve next; within an application, requests are
+//! served oldest-first among the *issuable* ones inside a bounded
+//! scheduling window — mirroring a real controller's transaction queue,
+//! which reorders around bank-timing stalls regardless of policy.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::request::MemRequest;
+
+/// Per-application FIFO queues with occupancy accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppQueues {
+    queues: Vec<VecDeque<MemRequest>>,
+    total: usize,
+    /// High-water mark of total occupancy (diagnostics).
+    peak: usize,
+}
+
+impl AppQueues {
+    /// Create queues for `apps` applications.
+    pub fn new(apps: usize) -> Self {
+        AppQueues {
+            queues: (0..apps).map(|_| VecDeque::new()).collect(),
+            total: 0,
+            peak: 0,
+        }
+    }
+
+    /// Number of applications.
+    pub fn apps(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Append a request to its application's FIFO.
+    ///
+    /// # Panics
+    /// Panics if the request's application index is out of range.
+    pub fn push(&mut self, req: MemRequest) {
+        self.queues[req.app].push_back(req);
+        self.total += 1;
+        self.peak = self.peak.max(self.total);
+    }
+
+    /// The oldest pending request of `app`, if any.
+    pub fn head(&self, app: usize) -> Option<&MemRequest> {
+        self.queues[app].front()
+    }
+
+    /// Remove and return `app`'s head request.
+    pub fn pop(&mut self, app: usize) -> Option<MemRequest> {
+        let r = self.queues[app].pop_front();
+        if r.is_some() {
+            self.total -= 1;
+        }
+        r
+    }
+
+    /// The request at position `idx` in `app`'s FIFO (0 = head).
+    pub fn get(&self, app: usize, idx: usize) -> Option<&MemRequest> {
+        self.queues[app].get(idx)
+    }
+
+    /// Remove and return the request at position `idx` in `app`'s FIFO
+    /// (scheduling-window out-of-order service).
+    pub fn remove(&mut self, app: usize, idx: usize) -> Option<MemRequest> {
+        let r = self.queues[app].remove(idx);
+        if r.is_some() {
+            self.total -= 1;
+        }
+        r
+    }
+
+    /// Pending requests for `app`.
+    pub fn len(&self, app: usize) -> usize {
+        self.queues[app].len()
+    }
+
+    /// Total pending requests across all applications.
+    pub fn total_len(&self) -> usize {
+        self.total
+    }
+
+    /// True when no application has pending requests.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Highest total occupancy observed.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+
+    /// Iterator over application indices that have pending requests.
+    pub fn pending_apps(&self) -> impl Iterator<Item = usize> + '_ {
+        self.queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_within_app() {
+        let mut q = AppQueues::new(2);
+        q.push(MemRequest::read(0, 0x40, 1));
+        q.push(MemRequest::read(0, 0x80, 2));
+        q.push(MemRequest::read(1, 0xC0, 3));
+        assert_eq!(q.total_len(), 3);
+        assert_eq!(q.len(0), 2);
+        assert_eq!(q.head(0).unwrap().addr, 0x40);
+        assert_eq!(q.pop(0).unwrap().addr, 0x40);
+        assert_eq!(q.head(0).unwrap().addr, 0x80);
+        assert_eq!(q.total_len(), 2);
+    }
+
+    #[test]
+    fn pending_apps_lists_nonempty_only() {
+        let mut q = AppQueues::new(4);
+        q.push(MemRequest::read(1, 0x40, 1));
+        q.push(MemRequest::read(3, 0x80, 1));
+        let pending: Vec<usize> = q.pending_apps().collect();
+        assert_eq!(pending, vec![1, 3]);
+        q.pop(1);
+        let pending: Vec<usize> = q.pending_apps().collect();
+        assert_eq!(pending, vec![3]);
+    }
+
+    #[test]
+    fn pop_empty_returns_none() {
+        let mut q = AppQueues::new(1);
+        assert!(q.pop(0).is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut q = AppQueues::new(1);
+        for i in 0..5 {
+            q.push(MemRequest::read(0, i * 64, i));
+        }
+        for _ in 0..5 {
+            q.pop(0);
+        }
+        q.push(MemRequest::read(0, 0, 9));
+        assert_eq!(q.peak_occupancy(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_out_of_range_panics() {
+        let mut q = AppQueues::new(2);
+        q.push(MemRequest::read(2, 0, 0));
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the scheduling policies and the controller's
+//! enforcement behaviour under randomized share vectors and workloads.
+
+use bwpart_dram::DramConfig;
+use bwpart_mc::policy::Candidate;
+use bwpart_mc::{MemRequest, MemoryController, Policy};
+use proptest::prelude::*;
+
+/// Saturating synthetic driver: every app always has backlog.
+fn run_saturated(policy: Policy, apps: usize, cycles: u64) -> Vec<u64> {
+    let mut mc = MemoryController::new(DramConfig::ddr2_400(), apps, policy);
+    let mut next_line: Vec<u64> = (0..apps as u64).map(|a| a << 32).collect();
+    for now in 0..cycles {
+        for (app, line) in next_line.iter_mut().enumerate() {
+            while mc.queue_len(app) < 4 {
+                mc.enqueue(MemRequest::read(app, *line * 64, now));
+                *line += 1;
+            }
+        }
+        mc.tick(now);
+        let _ = mc.drain_completions(now);
+    }
+    mc.stats().served.clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// STF enforces arbitrary share vectors within a few percent under
+    /// saturation (the Section IV-B guarantee).
+    #[test]
+    fn stf_enforces_random_shares(raw in prop::collection::vec(0.1f64..1.0, 2..5)) {
+        let sum: f64 = raw.iter().sum();
+        let shares: Vec<f64> = raw.iter().map(|r| r / sum).collect();
+        let n = shares.len();
+        let served = run_saturated(Policy::stf(shares.clone()), n, 400_000);
+        let total: u64 = served.iter().sum();
+        prop_assert!(total > 2_000);
+        for (i, (&s, &target)) in served.iter().zip(&shares).enumerate() {
+            let frac = s as f64 / total as f64;
+            prop_assert!(
+                (frac - target).abs() < 0.06,
+                "app {i}: served {frac:.3} vs share {target:.3} (all: {served:?})"
+            );
+        }
+    }
+
+    /// Strict priority: the best-priority app's service dominates, and
+    /// service counts are monotone in priority order under saturation.
+    #[test]
+    fn priority_service_is_monotone_in_keys(perm in 0usize..6) {
+        // All permutations of three distinct keys.
+        let perms = [
+            [1.0, 2.0, 3.0], [1.0, 3.0, 2.0], [2.0, 1.0, 3.0],
+            [2.0, 3.0, 1.0], [3.0, 1.0, 2.0], [3.0, 2.0, 1.0],
+        ];
+        let keys = perms[perm];
+        let served = run_saturated(Policy::priority(keys.to_vec()), 3, 300_000);
+        // Sort apps by key; served counts must be non-increasing.
+        let mut order: Vec<usize> = (0..3).collect();
+        order.sort_by(|&a, &b| keys[a].partial_cmp(&keys[b]).unwrap());
+        prop_assert!(
+            served[order[0]] >= served[order[1]]
+                && served[order[1]] >= served[order[2]],
+            "keys {keys:?} served {served:?}"
+        );
+        // The top app takes the overwhelming majority.
+        let total: u64 = served.iter().sum();
+        prop_assert!(served[order[0]] as f64 / total as f64 > 0.8);
+    }
+
+    /// The policy pick function never selects a non-issuable candidate and
+    /// never returns an app that is not a candidate.
+    #[test]
+    fn pick_respects_issuability(
+        flags in prop::collection::vec(any::<bool>(), 1..6),
+        kind in 0usize..4,
+    ) {
+        let n = flags.len();
+        let mut policy = match kind {
+            0 => Policy::fcfs(n),
+            1 => Policy::fr_fcfs(n),
+            2 => Policy::stf(vec![1.0 / n as f64; n]),
+            _ => Policy::priority((0..n).map(|i| i as f64).collect()),
+        };
+        let cands: Vec<Candidate> = flags
+            .iter()
+            .enumerate()
+            .map(|(app, &issuable)| Candidate {
+                app,
+                arrival: (n - app) as u64,
+                issuable,
+                row_hit: app % 2 == 0,
+                queue_len: 4,
+            })
+            .collect();
+        match policy.pick(&cands) {
+            Some(app) => {
+                prop_assert!(flags[app], "picked non-issuable app {app}");
+            }
+            None => {
+                prop_assert!(flags.iter().all(|f| !f), "pick=None with issuable apps");
+            }
+        }
+    }
+
+    /// STF tags are monotone non-decreasing and advance by exactly 1/β per
+    /// service.
+    #[test]
+    fn stf_tags_advance_by_inverse_share(
+        raw in prop::collection::vec(0.05f64..1.0, 2..5),
+        services in prop::collection::vec(0usize..4, 1..40),
+    ) {
+        let sum: f64 = raw.iter().sum();
+        let shares: Vec<f64> = raw.iter().map(|r| r / sum).collect();
+        let n = shares.len();
+        let mut policy = Policy::stf(shares.clone());
+        let mut expected = vec![0.0f64; n];
+        for &app in services.iter().filter(|&&a| a < n) {
+            policy.on_served(app);
+            expected[app] += 1.0 / shares[app];
+            prop_assert!((policy.tag(app) - expected[app]).abs() < 1e-9);
+        }
+    }
+
+    /// Conservation: the controller serves exactly what was enqueued once
+    /// drained, for any request pattern.
+    #[test]
+    fn controller_conserves_requests(
+        pattern in prop::collection::vec((0usize..3, 0u64..512, any::<bool>()), 1..60),
+    ) {
+        let mut mc = MemoryController::new(
+            DramConfig::ddr2_400(),
+            3,
+            Policy::stf(vec![0.5, 0.3, 0.2]),
+        );
+        let mut pushed = [0u64; 3];
+        for (i, &(app, line, w)) in pattern.iter().enumerate() {
+            let addr = ((app as u64) << 32) | (line * 64);
+            let req = if w {
+                MemRequest::write(app, addr, i as u64)
+            } else {
+                MemRequest::read(app, addr, i as u64)
+            };
+            mc.enqueue(req);
+            pushed[app] += 1;
+        }
+        let mut drained = [0u64; 3];
+        for now in 0..3_000_000u64 {
+            mc.tick(now);
+            for c in mc.drain_completions(now) {
+                drained[c.app] += 1;
+            }
+            if !mc.busy() {
+                break;
+            }
+        }
+        prop_assert!(!mc.busy(), "controller failed to drain");
+        prop_assert_eq!(drained, pushed);
+    }
+}

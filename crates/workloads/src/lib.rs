@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # bwpart-workloads — synthetic SPEC CPU2006-like benchmarks
+//!
+//! The paper evaluates on SPEC CPU2006 reference runs (Simpoint slices).
+//! Those binaries and traces are not reproducible here, so this crate
+//! substitutes *synthetic statistical twins*: deterministic address-stream
+//! generators whose parameters (memory intensity, hot-set size, streaming
+//! footprint, spatial locality, memory-level parallelism, intrinsic ILP)
+//! are calibrated so that the standalone `APKC`/`APKI` profile of each
+//! generator, measured through the full cache + DRAM simulator, lands in
+//! the same memory-intensity class — and preserves the intensity *ordering*
+//! — of the paper's Table III.
+//!
+//! That is exactly the property the analytical model consumes: every result
+//! in the paper is a function of each application's `(API, APC_alone)`
+//! pair, not of its instruction semantics.
+//!
+//! * [`profile`] — [`BenchProfile`]: the generator parameters plus the 16
+//!   calibrated benchmarks of Table III.
+//! * [`stream`] — the [`SyntheticWorkload`] generator.
+//! * [`mixes`] — Table IV's 14 workload mixes, the Figure 1 motivation mix,
+//!   the Figure 3 QoS mixes, and the Figure 4 scaled copies.
+
+//! * [`trace`] — record/replay of access streams ([`Trace`]).
+//! * [`phased`] — behaviour-changing workloads ([`PhasedWorkload`]) for
+//!   the adaptive-repartitioning experiments.
+
+pub mod mixes;
+pub mod phased;
+pub mod profile;
+pub mod stream;
+pub mod trace;
+
+pub use mixes::Mix;
+pub use phased::PhasedWorkload;
+pub use profile::{table3_profiles, BenchProfile};
+pub use stream::SyntheticWorkload;
+pub use trace::{Trace, TraceWorkload};

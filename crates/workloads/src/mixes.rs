@@ -1,0 +1,199 @@
+//! Workload mixes: Table IV's 7 homogeneous + 7 heterogeneous four-app
+//! mixes, the Figure 1 motivation mix, the Figure 3 QoS mixes, and the
+//! Figure 4 scaled copies.
+
+use serde::{Deserialize, Serialize};
+
+use bwpart_cmp::{CoreConfig, Workload};
+
+use crate::profile::BenchProfile;
+
+/// One co-scheduled workload mix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mix {
+    /// Mix identifier (the paper's `homo-N` / `hetero-N` names).
+    pub name: String,
+    /// Benchmarks, one per core.
+    pub benches: Vec<String>,
+}
+
+impl Mix {
+    fn new(name: &str, benches: &[&str]) -> Self {
+        Mix {
+            name: name.into(),
+            benches: benches.iter().map(|b| b.to_string()).collect(),
+        }
+    }
+
+    /// Number of applications (before scaling).
+    pub fn len(&self) -> usize {
+        self.benches.len()
+    }
+
+    /// True when the mix has no applications.
+    pub fn is_empty(&self) -> bool {
+        self.benches.is_empty()
+    }
+
+    /// The profiles of this mix's benchmarks.
+    pub fn profiles(&self) -> Vec<BenchProfile> {
+        self.benches
+            .iter()
+            .map(|n| BenchProfile::by_name(n).unwrap_or_else(|| panic!("unknown benchmark {n}")))
+            .collect()
+    }
+
+    /// Instantiate workload generators and matching core configs for
+    /// `copies` copies of the mix (Figure 4 scales 1/2/4 copies with
+    /// bandwidth). Copies are seeded distinctly so they decorrelate.
+    pub fn build(&self, copies: usize, seed: u64) -> (Vec<Box<dyn Workload>>, Vec<CoreConfig>) {
+        assert!(copies >= 1);
+        let profiles = self.profiles();
+        let mut workloads = Vec::with_capacity(profiles.len() * copies);
+        let mut cfgs = Vec::with_capacity(profiles.len() * copies);
+        for copy in 0..copies {
+            for p in &profiles {
+                workloads.push(p.spawn(seed ^ ((copy as u64 + 1) << 32)));
+                cfgs.push(p.core_config());
+            }
+        }
+        (workloads, cfgs)
+    }
+}
+
+/// Table IV's homogeneous mixes (heterogeneity RSD < 30 in the paper).
+pub fn homo_mixes() -> Vec<Mix> {
+    vec![
+        Mix::new("homo-1", &["libquantum", "milc", "soplex", "hmmer"]),
+        Mix::new("homo-2", &["libquantum", "milc", "soplex", "omnetpp"]),
+        Mix::new("homo-3", &["hmmer", "gromacs", "sphinx3", "leslie3d"]),
+        Mix::new("homo-4", &["hmmer", "gromacs", "bzip2", "leslie3d"]),
+        Mix::new("homo-5", &["h264ref", "zeusmp", "bzip2", "gromacs"]),
+        Mix::new("homo-6", &["h264ref", "zeusmp", "gobmk", "gromacs"]),
+        Mix::new("homo-7", &["h264ref", "zeusmp", "gobmk", "bzip2"]),
+    ]
+}
+
+/// Table IV's heterogeneous mixes (heterogeneity RSD > 30 in the paper).
+pub fn hetero_mixes() -> Vec<Mix> {
+    vec![
+        Mix::new("hetero-1", &["milc", "soplex", "zeusmp", "bzip2"]),
+        Mix::new("hetero-2", &["soplex", "hmmer", "gromacs", "gobmk"]),
+        Mix::new("hetero-3", &["libquantum", "soplex", "zeusmp", "h264ref"]),
+        Mix::new("hetero-4", &["lbm", "soplex", "h264ref", "bzip2"]),
+        Mix::new("hetero-5", &["libquantum", "milc", "gromacs", "gobmk"]),
+        Mix::new("hetero-6", &["lbm", "libquantum", "gromacs", "zeusmp"]),
+        Mix::new("hetero-7", &["lbm", "milc", "gobmk", "zeusmp"]),
+    ]
+}
+
+/// All 14 Table IV mixes, homogeneous first.
+pub fn all_mixes() -> Vec<Mix> {
+    let mut v = homo_mixes();
+    v.extend(hetero_mixes());
+    v
+}
+
+/// The Figure 1 motivation mix (Section II-B).
+pub fn fig1_mix() -> Mix {
+    Mix::new("fig1", &["libquantum", "milc", "gromacs", "gobmk"])
+}
+
+/// The Figure 3 QoS mixes; in both, `hmmer` (index 3) is the QoS-guaranteed
+/// application with a 0.6 IPC target.
+pub fn qos_mixes() -> Vec<Mix> {
+    vec![
+        Mix::new("mix-1", &["lbm", "libquantum", "omnetpp", "hmmer"]),
+        Mix::new("mix-2", &["h264ref", "zeusmp", "leslie3d", "hmmer"]),
+    ]
+}
+
+/// The paper's Table IV heterogeneity values `(mix, RSD)` for reference.
+pub const PAPER_TABLE4_RSD: [(&str, f64); 14] = [
+    ("homo-1", 12.27),
+    ("homo-2", 13.02),
+    ("homo-3", 18.55),
+    ("homo-4", 19.16),
+    ("homo-5", 19.74),
+    ("homo-6", 24.06),
+    ("homo-7", 29.71),
+    ("hetero-1", 41.93),
+    ("hetero-2", 45.10),
+    ("hetero-3", 47.92),
+    ("hetero-4", 50.31),
+    ("hetero-5", 52.99),
+    ("hetero-6", 58.31),
+    ("hetero-7", 69.84),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_mixes_of_four() {
+        let mixes = all_mixes();
+        assert_eq!(mixes.len(), 14);
+        for m in &mixes {
+            assert_eq!(m.len(), 4, "{}", m.name);
+            assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_mix_benchmark_has_a_profile() {
+        for m in all_mixes()
+            .into_iter()
+            .chain([fig1_mix()])
+            .chain(qos_mixes())
+        {
+            let profiles = m.profiles();
+            assert_eq!(profiles.len(), m.len());
+        }
+    }
+
+    #[test]
+    fn mix_names_match_paper_table4() {
+        let mixes = all_mixes();
+        for (m, (name, _)) in mixes.iter().zip(PAPER_TABLE4_RSD) {
+            assert_eq!(m.name, name);
+        }
+    }
+
+    #[test]
+    fn build_scales_copies() {
+        let m = fig1_mix();
+        let (w1, c1) = m.build(1, 42);
+        assert_eq!(w1.len(), 4);
+        assert_eq!(c1.len(), 4);
+        let (w4, c4) = m.build(4, 42);
+        assert_eq!(w4.len(), 16);
+        assert_eq!(c4.len(), 16);
+    }
+
+    #[test]
+    fn copies_are_decorrelated() {
+        let m = fig1_mix();
+        let (mut w, _) = m.build(2, 7);
+        // Same benchmark, different copy: streams must differ.
+        let mut a = w.remove(0); // libquantum copy 0
+        let mut b = w.remove(3); // libquantum copy 1
+        assert_eq!(a.name(), b.name());
+        let identical = (0..256).all(|_| a.next_access() == b.next_access());
+        assert!(!identical);
+    }
+
+    #[test]
+    fn qos_mixes_put_hmmer_last() {
+        for m in qos_mixes() {
+            assert_eq!(m.benches.last().unwrap(), "hmmer");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_benchmark_panics() {
+        let m = Mix::new("bad", &["not-a-bench"]);
+        let _ = m.profiles();
+    }
+}

@@ -1,0 +1,197 @@
+//! Phase-changing workloads.
+//!
+//! Section IV-C of the paper: "`APC_alone,i` is profiled periodically
+//! (e.g., every 10 million cycles). When an application's behavior
+//! changes, its `APC_alone,i` will be updated correspondingly \[and\] our
+//! partitioning schemes will change an application's bandwidth share."
+//!
+//! [`PhasedWorkload`] makes that scenario constructible: it chains several
+//! generator phases, switching after a fixed number of *accesses* (a
+//! program-progress notion, so phase boundaries land at the same point in
+//! the instruction stream regardless of how fast the memory system lets
+//! the core run). The `adaptation` experiment uses it to show epoch
+//! repartitioning tracking a behaviour change while static shares go
+//! stale.
+
+use bwpart_cmp::{Access, Workload};
+
+/// One phase: a workload plus how many accesses it lasts (`None` = final,
+/// runs forever).
+pub struct Phase {
+    /// The generator active during this phase.
+    pub workload: Box<dyn Workload>,
+    /// Accesses before advancing to the next phase (`None` for the last).
+    pub accesses: Option<u64>,
+}
+
+/// A workload that switches behaviour at access-count boundaries.
+pub struct PhasedWorkload {
+    name: String,
+    phases: Vec<Phase>,
+    current: usize,
+    left_in_phase: Option<u64>,
+}
+
+impl PhasedWorkload {
+    /// Chain `phases` (at least one; every phase except possibly the last
+    /// should have a length, and the final phase's length is ignored —
+    /// it runs forever).
+    ///
+    /// # Panics
+    /// Panics if `phases` is empty or a non-final phase has no length.
+    pub fn new(name: impl Into<String>, phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "at least one phase required");
+        for (i, p) in phases.iter().enumerate() {
+            if i + 1 < phases.len() {
+                assert!(
+                    p.accesses.is_some(),
+                    "non-final phase {i} must have a length"
+                );
+            }
+        }
+        let left = phases[0].accesses;
+        PhasedWorkload {
+            name: name.into(),
+            phases,
+            current: 0,
+            left_in_phase: left,
+        }
+    }
+
+    /// Convenience: two-phase workload switching after `switch_after`
+    /// accesses.
+    pub fn two_phase(
+        name: impl Into<String>,
+        first: Box<dyn Workload>,
+        switch_after: u64,
+        second: Box<dyn Workload>,
+    ) -> Self {
+        Self::new(
+            name,
+            vec![
+                Phase {
+                    workload: first,
+                    accesses: Some(switch_after),
+                },
+                Phase {
+                    workload: second,
+                    accesses: None,
+                },
+            ],
+        )
+    }
+
+    /// Index of the phase currently generating accesses.
+    pub fn current_phase(&self) -> usize {
+        self.current
+    }
+}
+
+impl Workload for PhasedWorkload {
+    fn next_access(&mut self) -> Access {
+        if let Some(0) = self.left_in_phase {
+            if self.current + 1 < self.phases.len() {
+                self.current += 1;
+                self.left_in_phase = self.phases[self.current].accesses;
+            } else {
+                self.left_in_phase = None;
+            }
+        }
+        if let Some(n) = &mut self.left_in_phase {
+            *n -= 1;
+        }
+        self.phases[self.current].workload.next_access()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::BenchProfile;
+
+    #[test]
+    fn switches_at_access_boundary() {
+        let light = BenchProfile::by_name("povray").unwrap();
+        let heavy = BenchProfile::by_name("libquantum").unwrap();
+        let mut w = PhasedWorkload::two_phase("morph", light.spawn(1), 100, heavy.spawn(1));
+        assert_eq!(w.current_phase(), 0);
+        let first: Vec<Access> = (0..100).map(|_| w.next_access()).collect();
+        assert_eq!(w.current_phase(), 0);
+        let _ = w.next_access();
+        assert_eq!(w.current_phase(), 1);
+
+        // Phase 1 accesses come from the light generator verbatim.
+        let mut fresh = light.spawn(1);
+        for a in &first {
+            assert_eq!(*a, fresh.next_access());
+        }
+    }
+
+    #[test]
+    fn final_phase_runs_forever() {
+        let a = BenchProfile::by_name("namd").unwrap();
+        let b = BenchProfile::by_name("lbm").unwrap();
+        let mut w = PhasedWorkload::two_phase("x", a.spawn(2), 10, b.spawn(2));
+        for _ in 0..10_000 {
+            let _ = w.next_access();
+        }
+        assert_eq!(w.current_phase(), 1);
+    }
+
+    #[test]
+    fn three_phases_advance_in_order() {
+        let p = BenchProfile::by_name("milc").unwrap();
+        let mut w = PhasedWorkload::new(
+            "tri",
+            vec![
+                Phase {
+                    workload: p.spawn(1),
+                    accesses: Some(5),
+                },
+                Phase {
+                    workload: p.spawn(2),
+                    accesses: Some(5),
+                },
+                Phase {
+                    workload: p.spawn(3),
+                    accesses: None,
+                },
+            ],
+        );
+        let mut seen = Vec::new();
+        for _ in 0..12 {
+            let _ = w.next_access();
+            seen.push(w.current_phase());
+        }
+        assert_eq!(seen, vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_rejected() {
+        let _ = PhasedWorkload::new("e", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have a length")]
+    fn unbounded_middle_phase_rejected() {
+        let p = BenchProfile::by_name("milc").unwrap();
+        let _ = PhasedWorkload::new(
+            "bad",
+            vec![
+                Phase {
+                    workload: p.spawn(1),
+                    accesses: None,
+                },
+                Phase {
+                    workload: p.spawn(2),
+                    accesses: None,
+                },
+            ],
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the synthetic workload generators: statistical
+//! targets hold for arbitrary profiles, addresses stay in bounds, and all
+//! the calibrated Table III profiles generate well-formed streams.
+
+use bwpart_cmp::Workload;
+use bwpart_workloads::profile::{table3_profiles, BenchProfile};
+use bwpart_workloads::stream::SyntheticWorkload;
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = BenchProfile> {
+    (
+        1u32..40,    // gap
+        0.0f64..0.9, // stream_ratio
+        0.0f64..0.5, // write_ratio
+        1u32..64,    // row_run
+        1u32..8,     // miss_burst
+    )
+        .prop_map(
+            |(gap, stream_ratio, write_ratio, row_run, miss_burst)| BenchProfile {
+                name: "prop",
+                gap,
+                stream_ratio,
+                write_ratio,
+                footprint: 32 << 20,
+                hot_bytes: 16 << 10,
+                row_run,
+                miss_burst,
+                mlp: 4,
+                width: 4,
+                seed_salt: 0,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Overall stream fraction tracks `stream_ratio` regardless of the
+    /// burst size (the derated cluster-start math).
+    #[test]
+    fn stream_fraction_matches_target(p in arb_profile(), seed in any::<u64>()) {
+        let mut w = SyntheticWorkload::new(&p, seed);
+        let n = 30_000;
+        let mut streams = 0usize;
+        for _ in 0..n {
+            if w.next_access().addr >= (1 << 27) {
+                streams += 1;
+            }
+        }
+        let frac = streams as f64 / n as f64;
+        prop_assert!(
+            (frac - p.stream_ratio).abs() < 0.04,
+            "stream fraction {frac:.3} vs target {:.3} (burst {})",
+            p.stream_ratio,
+            p.miss_burst
+        );
+    }
+
+    /// Write fraction tracks `write_ratio`.
+    #[test]
+    fn write_fraction_matches_target(p in arb_profile(), seed in any::<u64>()) {
+        let mut w = SyntheticWorkload::new(&p, seed);
+        let n = 20_000;
+        let writes = (0..n).filter(|_| w.next_access().is_write).count();
+        let frac = writes as f64 / n as f64;
+        prop_assert!((frac - p.write_ratio).abs() < 0.03);
+    }
+
+    /// Addresses stay inside the declared regions: hot set below the
+    /// stream base, streaming inside the footprint.
+    #[test]
+    fn addresses_stay_in_bounds(p in arb_profile(), seed in any::<u64>()) {
+        let mut w = SyntheticWorkload::new(&p, seed);
+        for _ in 0..5_000 {
+            let a = w.next_access();
+            if a.addr < (1 << 27) {
+                prop_assert!(a.addr < p.hot_bytes);
+            } else {
+                prop_assert!(a.addr < (1 << 27) + p.footprint);
+            }
+            prop_assert!(a.addr.is_multiple_of(64), "line-aligned generation");
+        }
+    }
+
+    /// Streams are reproducible from (profile, seed) and differ across
+    /// seeds.
+    #[test]
+    fn determinism_and_seed_sensitivity(p in arb_profile(), seed in any::<u64>()) {
+        let mut a = SyntheticWorkload::new(&p, seed);
+        let mut b = SyntheticWorkload::new(&p, seed);
+        let mut c = SyntheticWorkload::new(&p, seed.wrapping_add(1));
+        let mut any_diff = false;
+        for _ in 0..512 {
+            let x = a.next_access();
+            prop_assert_eq!(x, b.next_access());
+            if x != c.next_access() {
+                any_diff = true;
+            }
+        }
+        prop_assert!(any_diff, "different seeds should diverge");
+    }
+}
+
+/// All 16 calibrated profiles generate sane streams (non-property batch
+/// check kept here with the generator tests).
+#[test]
+fn all_table3_profiles_generate_well_formed_streams() {
+    for p in table3_profiles() {
+        let mut w = SyntheticWorkload::new(&p, 1);
+        let n = 10_000;
+        let mut streams = 0usize;
+        let mut instr = 0u64;
+        for _ in 0..n {
+            let a = w.next_access();
+            instr += a.gap as u64 + 1;
+            if a.addr >= (1 << 27) {
+                streams += 1;
+            }
+        }
+        let frac = streams as f64 / n as f64;
+        assert!(
+            (frac - p.stream_ratio).abs() < 0.05,
+            "{}: stream fraction {frac} vs {}",
+            p.name,
+            p.stream_ratio
+        );
+        // Implied APKI (memory instructions are not all DRAM accesses, but
+        // stream ones are): sanity range.
+        let implied_miss_apki = 1000.0 * streams as f64 / instr as f64;
+        assert!(
+            implied_miss_apki > 0.1 && implied_miss_apki < 120.0,
+            "{}: implied miss APKI {implied_miss_apki}",
+            p.name
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: the analytical model in five minutes.
+//!
+//! Characterize four co-scheduled applications by `(API, APC_alone)`,
+//! derive the optimal bandwidth partition for each system objective, and
+//! predict the outcome of every scheme — no simulation required.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bwpart::prelude::*;
+
+fn main() {
+    // Application profiles: memory Accesses Per Instruction and standalone
+    // Accesses Per Cycle — e.g. from Table III of the paper, from hardware
+    // counters, or from the online profiler in `bwpart_mc`.
+    let apps = vec![
+        AppProfile::from_kilo_units("libquantum", 34.12, 6.92).unwrap(),
+        AppProfile::from_kilo_units("milc", 42.22, 6.87).unwrap(),
+        AppProfile::from_kilo_units("gromacs", 5.20, 3.37).unwrap(),
+        AppProfile::from_kilo_units("gobmk", 4.07, 1.91).unwrap(),
+    ];
+
+    // Total utilized off-chip bandwidth: DDR2-400 with 64 B lines at 5 GHz
+    // serves at most 0.01 accesses per CPU cycle.
+    let b = DramConfig::ddr2_400().peak_apc() * 0.95;
+
+    println!("workload:");
+    for a in &apps {
+        println!(
+            "  {:<12} API {:.4}  APC_alone {:.4}  IPC_alone {:.3}  ({})",
+            a.name,
+            a.api,
+            a.apc_alone,
+            a.ipc_alone(),
+            a.intensity().label()
+        );
+    }
+    println!("\ntotal bandwidth B = {b:.4} APC\n");
+
+    // Derive each scheme's share vector and predicted metrics.
+    for scheme in [
+        PartitionScheme::Equal,
+        PartitionScheme::Proportional,
+        PartitionScheme::SquareRoot,
+        PartitionScheme::TwoThirdsPower,
+        PartitionScheme::PriorityApc,
+        PartitionScheme::PriorityApi,
+    ] {
+        let beta = scheme.shares(&apps, b).unwrap();
+        let pred = predict::evaluate_scheme(&apps, scheme, b).unwrap();
+        print!("{:<14} β = [", scheme.name());
+        for (i, x) in beta.iter().enumerate() {
+            print!("{}{:.3}", if i > 0 { ", " } else { "" }, x);
+        }
+        print!("]  ");
+        for m in Metric::ALL {
+            print!("{}={:.3} ", m.label(), pred.metric(m));
+        }
+        println!();
+    }
+
+    println!(
+        "\noptimal per objective:\n  Hsp    → {}\n  MinF   → {}\n  Wsp    → {}\n  IPCsum → {}",
+        Metric::HarmonicWeightedSpeedup.optimal_scheme_name(),
+        Metric::MinFairness.optimal_scheme_name(),
+        Metric::WeightedSpeedup.optimal_scheme_name(),
+        Metric::SumOfIpcs.optimal_scheme_name(),
+    );
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # bwpart — analytical off-chip memory bandwidth partitioning
+//!
+//! A full reproduction of *"An Analytical Performance Model for
+//! Partitioning Off-Chip Memory Bandwidth"* (Wang, Chen, Pinkston — IPDPS
+//! 2013), including every substrate the paper's evaluation depends on:
+//!
+//! * [`model`] ([`bwpart_core`]) — the analytical model: metrics, optimal
+//!   partitioning schemes, solvers and QoS-guaranteed allocation;
+//! * [`dram`] ([`bwpart_dram`]) — a cycle-level DDR2 DRAM simulator;
+//! * [`mc`] ([`bwpart_mc`]) — the partitioning memory controller
+//!   (start-time-fair enforcement, priority scheduling, interference
+//!   detection, online `APC_alone` profiling);
+//! * [`cmp`] ([`bwpart_cmp`]) — the chip-multiprocessor simulator (cores,
+//!   private caches, phase runner);
+//! * [`workloads`] ([`bwpart_workloads`]) — synthetic SPEC CPU2006-like
+//!   benchmarks calibrated to the paper's Table III;
+//! * [`experiments`] ([`bwpart_experiments`]) — one module per table and
+//!   figure of the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bwpart::prelude::*;
+//!
+//! // Describe a workload analytically...
+//! let apps = vec![
+//!     AppProfile::from_kilo_units("libquantum", 34.1, 6.92).unwrap(),
+//!     AppProfile::from_kilo_units("gobmk", 4.07, 1.91).unwrap(),
+//! ];
+//! // ...and derive the optimal split for harmonic weighted speedup.
+//! let beta = PartitionScheme::SquareRoot.shares(&apps, 0.01).unwrap();
+//! assert!(beta[0] > beta[1]);
+//! ```
+//!
+//! See `examples/` for end-to-end simulated scenarios.
+
+pub use bwpart_cmp as cmp;
+pub use bwpart_core as model;
+pub use bwpart_dram as dram;
+pub use bwpart_experiments as experiments;
+pub use bwpart_mc as mc;
+pub use bwpart_workloads as workloads;
+
+/// One-stop imports for applications using the library.
+pub mod prelude {
+    pub use bwpart_cmp::{
+        CmpConfig, CmpSystem, CoreConfig, PhaseConfig, Runner, ShareSource, SimOutcome, Workload,
+    };
+    pub use bwpart_core::prelude::*;
+    pub use bwpart_dram::{DramConfig, DramSystem, PagePolicy};
+    pub use bwpart_mc::{MemoryController, Policy};
+    pub use bwpart_workloads::{mixes, table3_profiles, BenchProfile, Mix};
+}
