@@ -104,6 +104,7 @@ impl Cache {
     /// Panics if the configuration is inconsistent.
     pub fn new(cfg: CacheConfig) -> Self {
         if let Err(e) = cfg.validate() {
+            // lint: allow(R1): documented panic on invalid config (see # Panics)
             panic!("invalid cache configuration: {e}");
         }
         let sets = cfg.sets();
@@ -162,6 +163,7 @@ impl Cache {
             .enumerate()
             .min_by_key(|(_, l)| (l.valid, l.lru))
             .map(|(i, _)| i)
+            // lint: allow(R1): cfg.validate() rejects ways == 0, min_by_key is Some
             .expect("ways is non-empty");
         let v = &mut ways[victim];
         let writeback = if v.valid && v.dirty {

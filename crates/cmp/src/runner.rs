@@ -121,12 +121,14 @@ impl SimOutcome {
     /// Evaluate one of the paper's four objectives on this outcome.
     pub fn metric(&self, m: Metric) -> f64 {
         metrics::evaluate(m, &self.ipc_shared(), &self.ipc_alone_ref())
+            // lint: allow(R1): ipc_alone_ref() clamps to positive finite values
             .expect("well-formed outcome vectors")
     }
 
     /// Per-application speedups.
     pub fn speedups(&self) -> Vec<f64> {
         metrics::speedups(&self.ipc_shared(), &self.ipc_alone_ref())
+            // lint: allow(R1): ipc_alone_ref() clamps to positive finite values
             .expect("well-formed outcome vectors")
     }
 }
@@ -154,6 +156,7 @@ fn profiles_from(names: &[String], apc_alone: &[f64], api: &[f64]) -> Vec<AppPro
         .zip(apc_alone.iter().zip(api))
         .map(|(n, (&apc, &a))| {
             AppProfile::new(n.clone(), clamp_pos(a), clamp_pos(apc))
+                // lint: allow(R1): clamp_pos guarantees finite positive inputs
                 .expect("clamped values are valid")
         })
         .collect()
@@ -175,6 +178,7 @@ impl Runner {
             _ => Policy::stf(
                 scheme
                     .shares(profiles, b)
+                    // lint: allow(R1): the match covers every non-power scheme above
                     .expect("power-family schemes always yield shares"),
             ),
         }

@@ -137,7 +137,9 @@ pub fn heterogeneity_rsd(apps: &[AppProfile]) -> f64 {
     }
     let n = apps.len() as f64;
     let mean = apps.iter().map(|a| a.apc_alone).sum::<f64>() / n;
-    if mean == 0.0 {
+    // AppProfile guarantees apc_alone > 0, so this only guards degenerate
+    // hand-built profiles (and avoids an exact float-zero comparison).
+    if mean.is_nan() || mean <= 0.0 {
         return 0.0;
     }
     let var = apps
@@ -153,6 +155,8 @@ pub fn heterogeneity_rsd(apps: &[AppProfile]) -> f64 {
 pub const HETEROGENEITY_THRESHOLD: f64 = 30.0;
 
 #[cfg(test)]
+// exact float equality is intentional: these check pass-through/zero paths
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

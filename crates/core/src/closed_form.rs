@@ -47,7 +47,14 @@ pub fn max_hsp(apps: &[AppProfile], b: f64) -> Result<f64, ModelError> {
 pub fn hsp_optimal_allocation(apps: &[AppProfile], b: f64) -> Result<Vec<f64>, ModelError> {
     check(apps, b)?;
     let s: f64 = apps.iter().map(|a| a.apc_alone.sqrt()).sum();
-    Ok(apps.iter().map(|a| b * a.apc_alone.sqrt() / s).collect())
+    let alloc: Vec<f64> = apps.iter().map(|a| b * a.apc_alone.sqrt() / s).collect();
+    crate::invariant!(
+        crate::contracts::approx_eq(alloc.iter().sum::<f64>(), b, crate::contracts::TOLERANCE),
+        "Eq. 5 allocation must exhaust B = {} (Eq. 2), got {}",
+        b,
+        alloc.iter().sum::<f64>()
+    );
+    Ok(alloc)
 }
 
 /// Eq. 6: the weighted speedup achieved by the `Square_root` scheme,

@@ -40,6 +40,9 @@
 //! ## Crate layout
 //!
 //! * [`app`] — application descriptors ([`AppProfile`]): `API`, `APC_alone`.
+//! * [`contracts`] — debug-mode model invariants ([`invariant!`],
+//!   [`ensures_simplex!`], [`ensures_capped!`]) and the approved
+//!   floating-point comparison helpers.
 //! * [`metrics`] — the four system objectives of Section V-A.
 //! * [`schemes`] — the seven partitioning schemes of Section V-D.
 //! * [`solver`] — the optimization machinery: Lagrange power-family solver,
@@ -81,6 +84,7 @@
 
 pub mod app;
 pub mod closed_form;
+pub mod contracts;
 pub mod error;
 pub mod metrics;
 pub mod predict;
@@ -97,6 +101,7 @@ pub use schemes::PartitionScheme;
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
     pub use crate::app::AppProfile;
+    pub use crate::contracts;
     pub use crate::error::ModelError;
     pub use crate::metrics::{self, Metric};
     pub use crate::predict;

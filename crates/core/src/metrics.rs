@@ -95,6 +95,7 @@ fn check_pairs(shared: &[f64], alone: &[f64]) -> Result<(), ModelError> {
 }
 
 /// Per-application speedups `IPC_shared,i / IPC_alone,i`.
+// lint: allow(R3): speedups are per-app ratios, not a share/allocation vector
 pub fn speedups(ipc_shared: &[f64], ipc_alone: &[f64]) -> Result<Vec<f64>, ModelError> {
     check_pairs(ipc_shared, ipc_alone)?;
     Ok(ipc_shared
@@ -157,7 +158,7 @@ pub fn max_slowdown(ipc_shared: &[f64], ipc_alone: &[f64]) -> Result<f64, ModelE
     Ok(ipc_shared
         .iter()
         .zip(ipc_alone)
-        .map(|(&s, &a)| if s == 0.0 { f64::INFINITY } else { a / s })
+        .map(|(&s, &a)| if s > 0.0 { a / s } else { f64::INFINITY })
         .fold(0.0, f64::max))
 }
 
@@ -172,6 +173,8 @@ pub fn evaluate(metric: Metric, ipc_shared: &[f64], ipc_alone: &[f64]) -> Result
 }
 
 #[cfg(test)]
+// exact float equality is intentional: these check pass-through/zero paths
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

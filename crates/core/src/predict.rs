@@ -32,6 +32,7 @@ impl Prediction {
     /// Evaluate one of the paper's objectives on this prediction.
     pub fn metric(&self, metric: Metric) -> f64 {
         metrics::evaluate(metric, &self.ipc_shared, &self.ipc_alone)
+            // lint: allow(R1): vectors are validated by the evaluate* constructors
             .expect("prediction vectors are well-formed by construction")
     }
 
@@ -41,8 +42,10 @@ impl Prediction {
     }
 
     /// Per-application speedups.
+    // lint: allow(R3): speedups are per-app ratios, not a share vector
     pub fn speedups(&self) -> Vec<f64> {
         metrics::speedups(&self.ipc_shared, &self.ipc_alone)
+            // lint: allow(R1): vectors are validated by the evaluate* constructors
             .expect("prediction vectors are well-formed by construction")
     }
 

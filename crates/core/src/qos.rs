@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::app::AppProfile;
+use crate::contracts;
 use crate::error::ModelError;
 use crate::predict::{self, Prediction};
 use crate::schemes::PartitionScheme;
@@ -40,7 +41,9 @@ impl QosPartition {
     /// Share vector `β` over the full application list.
     pub fn shares(&self) -> Vec<f64> {
         let total: f64 = self.allocation.iter().sum();
-        self.allocation.iter().map(|a| a / total).collect()
+        let beta: Vec<f64> = self.allocation.iter().map(|a| a / total).collect();
+        crate::ensures_simplex!(beta);
+        beta
     }
 
     /// Model-predicted outcome of this allocation.
@@ -127,6 +130,24 @@ pub fn partition(
         }
     }
 
+    // Eq. 11 certificates: the reservation fits inside B, each QoS
+    // reservation is within the application's standalone rate (implied by
+    // target ≤ IPC_alone), and the full allocation never over-commits B.
+    crate::invariant!(
+        contracts::approx_le(qos_bandwidth, b, contracts::TOLERANCE),
+        "QoS reservation {} exceeds total bandwidth {} (Eq. 11)",
+        qos_bandwidth,
+        b
+    );
+    let caps: Vec<f64> = apps.iter().map(|a| a.apc_alone).collect();
+    crate::ensures_capped!(allocation, caps);
+    crate::invariant!(
+        contracts::approx_le(allocation.iter().sum::<f64>(), b, contracts::TOLERANCE),
+        "QoS partition over-commits bandwidth: Σ alloc = {} > B = {}",
+        allocation.iter().sum::<f64>(),
+        b
+    );
+
     Ok(QosPartition {
         allocation,
         qos_bandwidth,
@@ -136,6 +157,8 @@ pub fn partition(
 }
 
 #[cfg(test)]
+// exact float equality is intentional: these check pass-through/zero paths
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::metrics::Metric;

@@ -125,23 +125,30 @@ impl PartitionScheme {
             });
         }
         let caps: Vec<f64> = apps.iter().map(|a| a.apc_alone).collect();
-        match self {
-            PartitionScheme::NoPartitioning => Err(ModelError::InvalidInput {
-                what: "scheme (No_partitioning has no analytic allocation)",
-                value: f64::NAN,
-            }),
+        let alloc = match self {
+            PartitionScheme::NoPartitioning => {
+                return Err(ModelError::InvalidInput {
+                    what: "scheme (No_partitioning has no analytic allocation)",
+                    value: f64::NAN,
+                })
+            }
             PartitionScheme::PriorityApc => {
                 let keys: Vec<f64> = apps.iter().map(|a| a.apc_alone).collect();
-                Ok(solver::knapsack_greedy(&keys, &caps, b))
+                solver::knapsack_greedy(&keys, &caps, b)
             }
             PartitionScheme::PriorityApi => {
                 let keys: Vec<f64> = apps.iter().map(|a| a.api).collect();
-                Ok(solver::knapsack_greedy(&keys, &caps, b))
+                solver::knapsack_greedy(&keys, &caps, b)
             }
             _ => {
-                let alpha = self
-                    .power_exponent()
-                    .expect("non-priority schemes are power-family");
+                // Every remaining variant is power-family, but route the
+                // impossible case through ModelError rather than panicking.
+                let Some(alpha) = self.power_exponent() else {
+                    return Err(ModelError::InvalidInput {
+                        what: "scheme (expected a power-family scheme)",
+                        value: f64::NAN,
+                    });
+                };
                 if !alpha.is_finite() {
                     return Err(ModelError::InvalidInput {
                         what: "power exponent",
@@ -149,9 +156,11 @@ impl PartitionScheme {
                     });
                 }
                 let weights: Vec<f64> = apps.iter().map(|a| a.apc_alone.powf(alpha)).collect();
-                Ok(solver::water_fill(&weights, &caps, b))
+                solver::water_fill(&weights, &caps, b)
             }
-        }
+        };
+        crate::ensures_capped!(alloc, caps);
+        Ok(alloc)
     }
 
     /// The *nominal* share vector `β` (fractions summing to 1). This is
@@ -174,13 +183,20 @@ impl PartitionScheme {
             }
             let weights: Vec<f64> = apps.iter().map(|a| a.apc_alone.powf(alpha)).collect();
             let sum: f64 = weights.iter().sum();
-            debug_assert!(sum > 0.0);
-            return Ok(weights.iter().map(|&w| w / sum).collect());
+            crate::invariant!(sum > 0.0, "power-family weights must have positive mass");
+            let beta: Vec<f64> = weights.iter().map(|&w| w / sum).collect();
+            crate::ensures_simplex!(beta);
+            return Ok(beta);
         }
         let alloc = self.allocation(apps, b)?;
         let total: f64 = alloc.iter().sum();
-        debug_assert!(total > 0.0);
-        Ok(alloc.iter().map(|&a| a / total).collect())
+        crate::invariant!(
+            total > 0.0,
+            "priority allocation must grant positive bandwidth"
+        );
+        let beta: Vec<f64> = alloc.iter().map(|&a| a / total).collect();
+        crate::ensures_simplex!(beta);
+        Ok(beta)
     }
 }
 
@@ -215,6 +231,8 @@ pub fn validate_shares(beta: &[f64], n: usize) -> Result<(), ModelError> {
 }
 
 #[cfg(test)]
+// exact float equality is intentional: these check pass-through/zero paths
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -15,6 +15,12 @@
 //! simplex sampler ([`sample_simplex`]) are provided so tests and the
 //! `model_vs_sim` experiment can verify the closed forms against brute
 //! force.
+//!
+//! Both solvers certify their outputs with the debug-mode contracts of
+//! [`crate::contracts`]: allocations stay within the standalone caps and
+//! conserve exactly `min(b, Σ caps)`.
+
+use crate::contracts;
 
 /// Distribute `b` units proportionally to `weights`, capping each recipient
 /// at `caps[i]` and redistributing the surplus among the uncapped
@@ -99,6 +105,17 @@ pub fn water_fill(weights: &[f64], caps: &[f64], b: f64) -> Vec<f64> {
             }
         }
     }
+    crate::ensures_capped!(alloc, caps);
+    crate::invariant!(
+        contracts::approx_eq(
+            alloc.iter().sum::<f64>(),
+            b.min(total_cap),
+            contracts::TOLERANCE
+        ),
+        "water_fill must conserve min(b, Σ caps) = {} (Eq. 2), got {}",
+        b.min(total_cap),
+        alloc.iter().sum::<f64>()
+    );
     alloc
 }
 
@@ -111,21 +128,43 @@ pub fn knapsack_greedy(keys: &[f64], caps: &[f64], b: f64) -> Vec<f64> {
     assert_eq!(keys.len(), caps.len(), "keys/caps length mismatch");
     assert!(b > 0.0 && b.is_finite(), "bandwidth must be positive");
     let mut order: Vec<usize> = (0..keys.len()).collect();
-    order.sort_by(|&i, &j| {
-        keys[i]
-            .partial_cmp(&keys[j])
-            .expect("priority keys must be comparable")
-            .then(i.cmp(&j))
-    });
+    // total_cmp gives a total order even for NaN keys (NaN sorts last), so a
+    // pathological profile degrades gracefully instead of panicking.
+    order.sort_by(|&i, &j| keys[i].total_cmp(&keys[j]).then(i.cmp(&j)));
     let mut alloc = vec![0.0; keys.len()];
     let mut remaining = b;
-    for i in order {
+    for &i in &order {
         if remaining <= 0.0 {
             break;
         }
         let grant = caps[i].min(remaining);
         alloc[i] = grant;
         remaining -= grant;
+    }
+    crate::ensures_capped!(alloc, caps);
+    if cfg!(debug_assertions) {
+        // Greedy-order certificate: once any lower-priority application
+        // holds bandwidth, every higher-priority one must be saturated.
+        let mut lower_holds = false;
+        for &i in order.iter().rev() {
+            crate::invariant!(
+                !lower_holds || contracts::approx_le(caps[i], alloc[i], contracts::TOLERANCE),
+                "knapsack order violated: app {} unsaturated ({} < cap {}) while a \
+                 lower-priority app holds bandwidth",
+                i,
+                alloc[i],
+                caps[i]
+            );
+            lower_holds |= alloc[i] > contracts::TOLERANCE;
+        }
+        let granted: f64 = alloc.iter().sum();
+        let total_cap: f64 = caps.iter().sum();
+        crate::invariant!(
+            contracts::approx_eq(granted, b.min(total_cap), contracts::TOLERANCE),
+            "knapsack_greedy must conserve min(b, Σ caps) = {}, got {}",
+            b.min(total_cap),
+            granted
+        );
     }
     alloc
 }
@@ -145,7 +184,7 @@ pub fn sample_simplex(n: usize, count: usize, seed: u64) -> Vec<Vec<f64>> {
         z ^= z >> 31;
         (z >> 11) as f64 / (1u64 << 53) as f64
     };
-    (0..count)
+    let samples: Vec<Vec<f64>> = (0..count)
         .map(|_| {
             // Exponential spacings give a uniform Dirichlet(1,...,1) sample.
             let mut v: Vec<f64> = (0..n)
@@ -160,7 +199,13 @@ pub fn sample_simplex(n: usize, count: usize, seed: u64) -> Vec<Vec<f64>> {
             }
             v
         })
-        .collect()
+        .collect();
+    if cfg!(debug_assertions) {
+        for v in &samples {
+            crate::ensures_simplex!(*v);
+        }
+    }
+    samples
 }
 
 /// Numerically maximize `objective(β)` over the unit simplex with a simple
@@ -215,10 +260,13 @@ where
             }
         }
     }
+    crate::ensures_simplex!(best);
     (best, best_val)
 }
 
 #[cfg(test)]
+// exact float equality is intentional: these check pass-through/zero paths
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

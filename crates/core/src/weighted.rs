@@ -115,7 +115,9 @@ pub fn hsp_optimal_allocation(
         .map(|(a, &w)| (w * a.apc_alone).sqrt())
         .collect();
     let caps: Vec<f64> = apps.iter().map(|a| a.apc_alone).collect();
-    Ok(solver::water_fill(&wvec, &caps, b))
+    let alloc = solver::water_fill(&wvec, &caps, b);
+    crate::ensures_capped!(alloc, caps);
+    Ok(alloc)
 }
 
 /// Optimal allocation for weighted speedup: strict priority by descending
@@ -133,7 +135,9 @@ pub fn wsp_optimal_allocation(
         .map(|(a, &w)| a.apc_alone / w)
         .collect();
     let caps: Vec<f64> = apps.iter().map(|a| a.apc_alone).collect();
-    Ok(solver::knapsack_greedy(&keys, &caps, b))
+    let alloc = solver::knapsack_greedy(&keys, &caps, b);
+    crate::ensures_capped!(alloc, caps);
+    Ok(alloc)
 }
 
 /// Optimal allocation for weighted sum of IPCs: strict priority by
@@ -146,7 +150,9 @@ pub fn ipcsum_optimal_allocation(
     check(apps, weights, b)?;
     let keys: Vec<f64> = apps.iter().zip(weights).map(|(a, &w)| a.api / w).collect();
     let caps: Vec<f64> = apps.iter().map(|a| a.apc_alone).collect();
-    Ok(solver::knapsack_greedy(&keys, &caps, b))
+    let alloc = solver::knapsack_greedy(&keys, &caps, b);
+    crate::ensures_capped!(alloc, caps);
+    Ok(alloc)
 }
 
 /// Weighted-fair allocation: equalize *weighted* speedups
@@ -163,10 +169,14 @@ pub fn fairness_optimal_allocation(
         .map(|(a, &w)| w * a.apc_alone)
         .collect();
     let caps: Vec<f64> = apps.iter().map(|a| a.apc_alone).collect();
-    Ok(solver::water_fill(&wvec, &caps, b))
+    let alloc = solver::water_fill(&wvec, &caps, b);
+    crate::ensures_capped!(alloc, caps);
+    Ok(alloc)
 }
 
 #[cfg(test)]
+// exact float equality is intentional: these check pass-through/zero paths
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::predict;

@@ -1,0 +1,77 @@
+//! NaN robustness regression tests.
+//!
+//! Ordering in the solver and schemes goes through `f64::total_cmp`, under
+//! which NaN sorts *after* every number. A NaN priority key therefore
+//! degrades gracefully — the malformed application is served last — instead
+//! of panicking inside a comparator, which is what the previous
+//! `partial_cmp().expect(...)` implementation did.
+
+use bwpart_core::prelude::*;
+use bwpart_core::solver;
+
+#[test]
+fn knapsack_greedy_tolerates_nan_keys() {
+    let keys = [f64::NAN, 2.0, 1.0];
+    let caps = [1.0, 1.0, 1.0];
+    let alloc = solver::knapsack_greedy(&keys, &caps, 2.5);
+    // Ascending keys with NaN last: app 2, then app 1, then the NaN app.
+    assert!((alloc[2] - 1.0).abs() < 1e-12);
+    assert!((alloc[1] - 1.0).abs() < 1e-12);
+    assert!((alloc[0] - 0.5).abs() < 1e-12);
+    // Eq. 2 conservation survives the malformed key.
+    assert!((alloc.iter().sum::<f64>() - 2.5).abs() < 1e-9);
+}
+
+#[test]
+fn knapsack_greedy_all_nan_keys_still_conserves() {
+    let keys = [f64::NAN, f64::NAN];
+    let caps = [0.6, 0.6];
+    let alloc = solver::knapsack_greedy(&keys, &caps, 1.0);
+    assert!((alloc.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    for (a, c) in alloc.iter().zip(&caps) {
+        assert!(*a >= 0.0 && *a <= c + 1e-12);
+    }
+}
+
+#[test]
+fn priority_api_tolerates_nan_profile() {
+    // AppProfile::new rejects NaN, but the fields are public so a profile
+    // can be built literally (e.g. from deserialized or computed data). The
+    // scheme must degrade gracefully, not panic.
+    let apps = vec![
+        AppProfile {
+            name: "nan".into(),
+            api: f64::NAN,
+            apc_alone: 0.004,
+        },
+        AppProfile {
+            name: "ok".into(),
+            api: 0.02,
+            apc_alone: 0.006,
+        },
+    ];
+    let alloc = PartitionScheme::PriorityApi
+        .allocation(&apps, 0.008)
+        .unwrap();
+    assert_eq!(alloc.len(), 2);
+    // The NaN-keyed app sorts last: the well-formed app saturates first.
+    assert!((alloc[1] - 0.006).abs() < 1e-12);
+    assert!((alloc[0] - 0.002).abs() < 1e-12);
+}
+
+#[test]
+fn priority_apc_ranks_finite_keys_totally() {
+    // Sanity companion: with well-formed profiles Priority_APC saturates
+    // ascending APC_alone order (smallest standalone appetite first).
+    let apps = vec![
+        AppProfile::new("big", 0.03, 0.009).unwrap(),
+        AppProfile::new("small", 0.02, 0.002).unwrap(),
+        AppProfile::new("mid", 0.01, 0.004).unwrap(),
+    ];
+    let alloc = PartitionScheme::PriorityApc
+        .allocation(&apps, 0.007)
+        .unwrap();
+    assert!((alloc[1] - 0.002).abs() < 1e-12);
+    assert!((alloc[2] - 0.004).abs() < 1e-12);
+    assert!((alloc[0] - 0.001).abs() < 1e-12);
+}

@@ -2,6 +2,10 @@
 //! Section III hold against randomized adversarial share vectors, and the
 //! solver primitives preserve their invariants on arbitrary inputs.
 
+// Strategy helpers run outside #[test] functions, so the tests exemption
+// does not reach them; unwraps on generator-validated data are fine.
+#![allow(clippy::unwrap_used)]
+
 use bwpart_core::prelude::*;
 use bwpart_core::{closed_form, solver};
 use proptest::prelude::*;
@@ -186,6 +190,24 @@ proptest! {
         }
         // Determinism.
         prop_assert_eq!(alloc, solver::water_fill(&weights, &caps, b));
+    }
+
+    /// water_fill allocations are monotone in total bandwidth: raising `b`
+    /// never shrinks any application's allocation (the water level only
+    /// rises), so online repartitioning after a bandwidth upgrade can never
+    /// take bandwidth away from an application.
+    #[test]
+    fn water_fill_monotone_in_b(
+        pairs in prop::collection::vec((0.0f64..5.0, 0.0f64..2.0), 1..10),
+        b in 0.01f64..10.0,
+        extra in 0.01f64..10.0,
+    ) {
+        let (weights, caps): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let lo = solver::water_fill(&weights, &caps, b);
+        let hi = solver::water_fill(&weights, &caps, b + extra);
+        for (l, h) in lo.iter().zip(&hi) {
+            prop_assert!(*h >= *l - 1e-9, "allocation shrank: {l} -> {h}");
+        }
     }
 
     /// knapsack_greedy grants full caps to every app with a strictly lower

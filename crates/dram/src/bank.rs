@@ -145,6 +145,7 @@ impl Bank {
     /// channel guarantees `start ≥ probe.earliest_start` plus rank/bus
     /// constraints). Returns the cycle the burst leaves/enters the data bus:
     /// `(data_start, data_end)`.
+    // the argument list mirrors the DDR command fields; a struct would obscure them
     #[allow(clippy::too_many_arguments)]
     pub fn commit(
         &mut self,

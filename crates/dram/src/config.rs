@@ -55,7 +55,7 @@ impl TimingNs {
     /// DDR2-400 timings per the paper's Table II (12.5 ns tRP-tRCD-CL) with
     /// JEDEC-typical values for the parameters the paper doesn't list.
     pub fn ddr2_400() -> Self {
-        TimingNs {
+        let t = TimingNs {
             tck: 5.0,
             trp: 12.5,
             trcd: 12.5,
@@ -68,7 +68,45 @@ impl TimingNs {
             tfaw: 50.0,
             trfc: 127.5,
             trefi: 7800.0,
-        }
+        };
+        t.check_sanity();
+        t
+    }
+
+    /// Debug-mode sanity contract over the JEDEC ordering relations every
+    /// coherent DDR timing set obeys. [`DramConfig::validate`] reports bad
+    /// *user* configurations as `Err`; this contract guards the presets and
+    /// scaling paths that are supposed to be correct by construction.
+    pub fn check_sanity(&self) {
+        bwpart_core::invariant!(
+            self.tck > 0.0 && self.tck.is_finite(),
+            "tCK must be a positive, finite period (got {} ns)",
+            self.tck
+        );
+        bwpart_core::invariant!(
+            self.tras >= self.trcd,
+            "tRAS ({} ns) must cover at least the RAS-to-CAS delay tRCD ({} ns)",
+            self.tras,
+            self.trcd
+        );
+        bwpart_core::invariant!(
+            self.tfaw >= self.trrd,
+            "tFAW ({} ns) cannot be shorter than one ACT-to-ACT gap tRRD ({} ns)",
+            self.tfaw,
+            self.trrd
+        );
+        bwpart_core::invariant!(
+            self.trefi > self.trfc,
+            "refresh interval tREFI ({} ns) must exceed refresh cycle tRFC ({} ns)",
+            self.trefi,
+            self.trfc
+        );
+        bwpart_core::invariant!(
+            self.cl >= self.tck,
+            "CAS latency CL ({} ns) cannot be shorter than one bus clock ({} ns)",
+            self.cl,
+            self.tck
+        );
     }
 }
 
@@ -123,6 +161,7 @@ impl DramConfig {
     pub fn ddr2_800() -> Self {
         let mut cfg = Self::ddr2_400();
         cfg.timing.tck = 2.4;
+        cfg.timing.check_sanity();
         cfg
     }
 
@@ -131,6 +170,7 @@ impl DramConfig {
     pub fn ddr2_1600() -> Self {
         let mut cfg = Self::ddr2_400();
         cfg.timing.tck = 1.2;
+        cfg.timing.check_sanity();
         cfg
     }
 
@@ -229,6 +269,8 @@ impl DramConfig {
 }
 
 #[cfg(test)]
+// exact float equality is intentional: these check pass-through/zero paths
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

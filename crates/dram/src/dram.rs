@@ -52,6 +52,7 @@ impl DramSystem {
     /// [`DramConfig::validate`] to check first if the config is untrusted).
     pub fn new(cfg: DramConfig) -> Self {
         if let Err(e) = cfg.validate() {
+            // lint: allow(R1): documented panic; untrusted configs go via validate()
             panic!("invalid DRAM configuration: {e}");
         }
         let mapper = AddressMapper::new(&cfg);

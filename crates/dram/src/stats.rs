@@ -109,6 +109,8 @@ impl DramStats {
 }
 
 #[cfg(test)]
+// exact float equality is intentional: these check pass-through/zero paths
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

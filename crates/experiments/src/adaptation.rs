@@ -41,8 +41,10 @@ fn build_workloads(
     Vec<Box<dyn bwpart_cmp::Workload>>,
     Vec<bwpart_cmp::CoreConfig>,
 ) {
-    let light = BenchProfile::by_name("povray").unwrap();
-    let heavy = BenchProfile::by_name("libquantum").unwrap();
+    // lint: allow(R1): both names are in the compile-time benchmark table
+    let light = BenchProfile::by_name("povray").expect("povray is a known benchmark");
+    // lint: allow(R1): both names are in the compile-time benchmark table
+    let heavy = BenchProfile::by_name("libquantum").expect("libquantum is a known benchmark");
     let statics = Mix {
         name: "static".into(),
         benches: vec!["milc".into(), "gromacs".into(), "gobmk".into()],
@@ -75,7 +77,8 @@ pub fn run(cfg: &ExpConfig) -> AdaptationResult {
     // instructions). Place it roughly one third into the measurement
     // window: during the light phase the app runs at IPC ≈ 0.8 and issues
     // one memory instruction every (gap + 1) instructions.
-    let light_profile = BenchProfile::by_name("povray").unwrap();
+    // lint: allow(R1): "povray" is in the compile-time benchmark table
+    let light_profile = BenchProfile::by_name("povray").expect("povray is a known benchmark");
     let pre_cycles = cfg.phases.warmup + cfg.phases.profile + cfg.phases.measure / 3;
     let light_ipc = 0.8;
     let switch_after = (pre_cycles as f64 * light_ipc / (light_profile.gap as f64 + 1.0)) as u64;
@@ -109,7 +112,8 @@ pub fn run(cfg: &ExpConfig) -> AdaptationResult {
             .iter()
             .map(|&m| {
                 bwpart_core::metrics::evaluate(m, &out.ipc_shared(), &static_out.ipc_alone_ref())
-                    .unwrap()
+                    // lint: allow(R1): ipc_alone_ref() clamps to positive finite values
+                    .expect("reference vectors are clamped positive")
             })
             .collect()
     };

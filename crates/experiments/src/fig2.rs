@@ -77,6 +77,7 @@ fn collect(grid: Vec<MixResults>, n_homo: usize) -> Fig2Result {
                     .iter()
                     .map(|&m| {
                         mr.normalized(s, PartitionScheme::NoPartitioning, m)
+                            // lint: allow(R1): run_schemes covered every enforced scheme
                             .expect("scheme was run")
                     })
                     .collect()
@@ -94,8 +95,13 @@ impl Fig2Result {
         let si = PartitionScheme::ENFORCED_SCHEMES
             .iter()
             .position(|&s| s == scheme)
+            // lint: allow(R1): callers pass a scheme from ENFORCED_SCHEMES
             .expect("enforced scheme");
-        let mi = Metric::ALL.iter().position(|&m| m == metric).unwrap();
+        let mi = Metric::ALL
+            .iter()
+            .position(|&m| m == metric)
+            // lint: allow(R1): Metric::ALL contains every Metric variant
+            .expect("Metric::ALL is exhaustive");
         let vals: Vec<f64> = self
             .normalized
             .iter()

@@ -55,6 +55,7 @@ fn be_metric(out: &SimOutcome, be: &[usize], metric: Metric) -> f64 {
     let ipc_alone = out.ipc_alone_ref();
     let s: Vec<f64> = be.iter().map(|&i| ipc_shared[i]).collect();
     let a: Vec<f64> = be.iter().map(|&i| ipc_alone[i]).collect();
+    // lint: allow(R1): ipc_alone_ref() clamps to positive finite values
     metrics::evaluate(metric, &s, &a).expect("well-formed subset")
 }
 
@@ -80,7 +81,9 @@ fn run_mix(cfg: &ExpConfig, mix: &Mix, qos_app: usize) -> Fig3Mix {
         .iter()
         .zip(base.apc_alone_ref.iter().zip(&base.api_ref))
         .map(|(s, (&apc, &api))| {
-            AppProfile::new(s.name.clone(), api.max(1e-9), apc.max(1e-9)).unwrap()
+            AppProfile::new(s.name.clone(), api.max(1e-9), apc.max(1e-9))
+                // lint: allow(R1): inputs are clamped to positive finite values
+                .expect("clamped profile values are valid")
         })
         .collect();
     let b = base.total_bandwidth;
@@ -105,6 +108,7 @@ fn run_mix(cfg: &ExpConfig, mix: &Mix, qos_app: usize) -> Fig3Mix {
                 target_ipc: reserve_ipc.min(0.95 * ipc_alone_est),
             }];
             let part = qos::partition(&profiles, &request, be_scheme, b)
+                // lint: allow(R1): target_ipc is clamped below ipc_alone, Eq. 11 holds
                 .expect("reservation is feasible by construction");
             let (w, cc) = mix.build(1, cfg.seed);
             let o = runner.run_with_shares(
@@ -124,6 +128,7 @@ fn run_mix(cfg: &ExpConfig, mix: &Mix, qos_app: usize) -> Fig3Mix {
             reserve_ipc =
                 (reserve_ipc * (target / achieved.max(1e-6)).min(1.5)).min(0.95 * ipc_alone_est);
         }
+        // lint: allow(R1): the retry loop always runs at least once
         let out = out.expect("at least one iteration ran");
         qos_ipc_guaranteed.push(out.ipc_shared()[qos_app]);
         let baseline = be_metric(&base, &be, metric);

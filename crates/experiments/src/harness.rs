@@ -206,6 +206,8 @@ pub fn pct(v: f64) -> String {
 }
 
 #[cfg(test)]
+// exact float equality is intentional: these check pass-through/zero paths
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

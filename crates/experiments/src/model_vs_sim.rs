@@ -42,10 +42,13 @@ pub fn run_mix(cfg: &ExpConfig, mix: &Mix) -> ModelVsSim {
             .iter()
             .zip(out.apc_alone_ref.iter().zip(&out.api_ref))
             .map(|(s, (&apc, &api))| {
-                AppProfile::new(s.name.clone(), api.max(1e-9), apc.max(1e-9)).unwrap()
+                AppProfile::new(s.name.clone(), api.max(1e-9), apc.max(1e-9))
+                    // lint: allow(R1): inputs are clamped to positive finite values
+                    .expect("clamped profile values are valid")
             })
             .collect();
         let pred = predict::evaluate_scheme(&profiles, scheme, out.total_bandwidth)
+            // lint: allow(R1): ENFORCED_SCHEMES excludes NoPartitioning
             .expect("enforced schemes predict");
         let rows = Metric::ALL
             .iter()

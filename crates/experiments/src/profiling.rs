@@ -13,7 +13,6 @@
 use bwpart_cmp::{CmpConfig, Runner, ShareSource};
 use bwpart_core::prelude::*;
 use bwpart_workloads::mixes::hetero_mixes;
-use bwpart_workloads::BenchProfile;
 use serde::{Deserialize, Serialize};
 
 use crate::harness::{f3, ExpConfig, Table};
@@ -79,23 +78,26 @@ pub fn run(cfg: &ExpConfig) -> ProfilingResult {
                 estimate,
                 truth: t,
             });
-            let api = BenchProfile::by_name(bench).unwrap();
-            let _ = api;
             est_profiles.push(
                 AppProfile::new(bench.clone(), out.api_ref[i].max(1e-9), estimate.max(1e-9))
-                    .unwrap(),
+                    // lint: allow(R1): inputs are clamped to positive finite values
+                    .expect("clamped profile values are valid"),
             );
             true_profiles.push(
-                AppProfile::new(bench.clone(), out.api_ref[i].max(1e-9), t.max(1e-9)).unwrap(),
+                AppProfile::new(bench.clone(), out.api_ref[i].max(1e-9), t.max(1e-9))
+                    // lint: allow(R1): inputs are clamped to positive finite values
+                    .expect("clamped profile values are valid"),
             );
         }
         let b = out.total_bandwidth;
         let est_shares = PartitionScheme::SquareRoot
             .shares(&est_profiles, b)
-            .unwrap();
+            // lint: allow(R1): SquareRoot is power-family, shares never fails
+            .expect("power-family schemes always yield shares");
         let true_shares = PartitionScheme::SquareRoot
             .shares(&true_profiles, b)
-            .unwrap();
+            // lint: allow(R1): SquareRoot is power-family, shares never fails
+            .expect("power-family schemes always yield shares");
         let l1: f64 = est_shares
             .iter()
             .zip(&true_shares)

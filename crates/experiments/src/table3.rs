@@ -51,6 +51,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table3Row> {
                 .iter()
                 .find(|(n, _, _)| *n == p.name)
                 .copied()
+                // lint: allow(R1): table3_profiles() is derived from PAPER_TABLE3
                 .expect("every profile has a paper row");
             Table3Row {
                 name: p.name.to_string(),
@@ -103,8 +104,8 @@ pub fn ordering_concordance(rows: &[Table3Row]) -> f64 {
     for i in 0..rows.len() {
         for j in (i + 1)..rows.len() {
             total += 1;
-            let meas = rows[i].apkc.partial_cmp(&rows[j].apkc).unwrap();
-            let paper = rows[i].paper_apkc.partial_cmp(&rows[j].paper_apkc).unwrap();
+            let meas = rows[i].apkc.total_cmp(&rows[j].apkc);
+            let paper = rows[i].paper_apkc.total_cmp(&rows[j].paper_apkc);
             if meas == paper {
                 agree += 1;
             }

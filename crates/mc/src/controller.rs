@@ -186,6 +186,7 @@ impl MemoryController {
         for app in self.queues.pending_apps() {
             let mut chosen: Option<(usize, u64, bool)> = None; // (pos, arrival, row_hit)
             for pos in 0..self.sched_window.min(self.queues.len(app)) {
+                // lint: allow(R1): pos < queues.len(app) by the loop bound
                 let req = self.queues.get(app, pos).expect("in range");
                 let txn = MemTransaction {
                     app: req.app,
@@ -211,6 +212,7 @@ impl MemoryController {
                     positions.push(pos);
                 }
                 None => {
+                    // lint: allow(R1): app came from pending_apps(), its queue is non-empty
                     let head = self.queues.head(app).expect("pending app has a head");
                     candidates.push(Candidate {
                         app,
@@ -229,10 +231,12 @@ impl MemoryController {
             let idx = candidates
                 .iter()
                 .position(|c| c.app == app)
+                // lint: allow(R1): Policy::pick returns an app from `candidates`
                 .expect("picked app is a candidate");
             let req = self
                 .queues
                 .remove(app, positions[idx])
+                // lint: allow(R1): positions[idx] was probed in the gather loop above
                 .expect("picked request exists");
             let txn = MemTransaction {
                 app: req.app,
@@ -268,6 +272,7 @@ impl MemoryController {
             } else {
                 // Blocked by a DRAM resource: charge only if that resource
                 // is held by another application's traffic.
+                // lint: allow(R1): candidates only contains apps with queued requests
                 let head = self.queues.head(c.app).expect("still pending");
                 let txn = MemTransaction {
                     app: head.app,
@@ -284,11 +289,14 @@ impl MemoryController {
     /// Pop all completions with `done_cycle ≤ now`, in completion order.
     pub fn drain_completions(&mut self, now: u64) -> Vec<Completion> {
         let mut out = Vec::new();
-        while let Some(Reverse(p)) = self.completions.peek() {
-            if p.done > now {
-                break;
+        while self
+            .completions
+            .peek()
+            .is_some_and(|Reverse(p)| p.done <= now)
+        {
+            if let Some(Reverse(p)) = self.completions.pop() {
+                out.push(p.completion);
             }
-            out.push(self.completions.pop().unwrap().0.completion);
         }
         out
     }

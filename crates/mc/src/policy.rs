@@ -222,16 +222,14 @@ impl Policy {
             PolicyKind::Stf => eligible
                 .min_by(|a, b| {
                     self.tags[a.app]
-                        .partial_cmp(&self.tags[b.app])
-                        .expect("tags are finite")
+                        .total_cmp(&self.tags[b.app])
                         .then(a.app.cmp(&b.app))
                 })
                 .map(|c| c.app),
             PolicyKind::Priority => eligible
                 .min_by(|a, b| {
                     self.keys[a.app]
-                        .partial_cmp(&self.keys[b.app])
-                        .expect("keys are finite")
+                        .total_cmp(&self.keys[b.app])
                         .then(a.app.cmp(&b.app))
                 })
                 .map(|c| c.app),
@@ -261,8 +259,7 @@ impl Policy {
             PolicyKind::Atlas => eligible
                 .min_by(|a, b| {
                     self.attained[a.app]
-                        .partial_cmp(&self.attained[b.app])
-                        .expect("attained service is finite")
+                        .total_cmp(&self.attained[b.app])
                         .then(a.app.cmp(&b.app))
                 })
                 .map(|c| c.app),
@@ -294,7 +291,16 @@ impl Policy {
                 let beta = self.shares[app];
                 // β = 0 means "no share": push the tag to the far future so
                 // the app is only served when it is alone in the queue.
+                let previous = self.tags[app];
                 self.tags[app] += if beta > 0.0 { 1.0 / beta } else { 1e18 };
+                bwpart_core::invariant!(
+                    self.tags[app] >= previous,
+                    "DSTF start tag regressed for app {}: {} -> {} (S_i = S_i-1 + 1/β must be \
+                     monotone, Section IV-B)",
+                    app,
+                    previous,
+                    self.tags[app]
+                );
             }
             PolicyKind::Parbs => {
                 self.batch[app] = self.batch[app].saturating_sub(1);
@@ -346,6 +352,8 @@ impl Policy {
 }
 
 #[cfg(test)]
+// exact float equality is intentional: these check pass-through/zero paths
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -118,6 +118,8 @@ impl ProfileSnapshot {
 }
 
 #[cfg(test)]
+// exact float equality is intentional: these check pass-through/zero paths
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -39,6 +39,7 @@ impl Mix {
     pub fn profiles(&self) -> Vec<BenchProfile> {
         self.benches
             .iter()
+            // lint: allow(R1): mixes are built from the compile-time benchmark table
             .map(|n| BenchProfile::by_name(n).unwrap_or_else(|| panic!("unknown benchmark {n}")))
             .collect()
     }

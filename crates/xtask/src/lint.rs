@@ -1,0 +1,957 @@
+//! bwpart-audit: the model-invariant lint pass.
+//!
+//! A dependency-free line/token scanner over `crates/*/src` that enforces
+//! the repository's model-safety rules. It deliberately avoids rustc
+//! internals: the scanner strips comments and string literals, skips
+//! `#[cfg(test)]` modules, and then pattern-matches the remaining code. The
+//! rules are type-blind heuristics tuned to this codebase; anything flagged
+//! can be suppressed with an explicit, reasoned annotation on the same line
+//! or the line above:
+//!
+//! ```text
+//! // lint: allow(R1): reason the reviewer should read
+//! ```
+//!
+//! # Rules
+//!
+//! * **R1** — no `unwrap()` / `expect()` / `panic!` / `unreachable!` /
+//!   `todo!` / `unimplemented!` in non-test library code. Model code must
+//!   surface bad inputs as `ModelError`, not aborts.
+//! * **R2** — no `==` / `!=` against floating-point literals and no bare
+//!   `.partial_cmp(...)` calls. Ordering goes through `f64::total_cmp`;
+//!   tolerance comparisons go through `bwpart_core::contracts`.
+//! * **R3** — in `bwpart-core`, every `pub fn` returning a share/allocation
+//!   vector (`Vec<f64>` anywhere in the return type) must certify its output
+//!   via `validate_shares` or a contract macro (`ensures_simplex!`,
+//!   `ensures_capped!`, `invariant!`).
+//! * **R4** — no `#[allow(clippy::...)]` without a justification comment
+//!   (a plain `//` comment on the same line or the line above).
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One enforced rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// No panicking constructs in non-test library code.
+    R1,
+    /// No float-literal equality or bare `partial_cmp`.
+    R2,
+    /// Share/allocation producers must certify their outputs.
+    R3,
+    /// Clippy suppressions need a justification comment.
+    R4,
+}
+
+impl Rule {
+    /// Short code used in reports and `lint: allow(...)` annotations.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::R1 => "R1",
+            Rule::R2 => "R2",
+            Rule::R3 => "R3",
+            Rule::R4 => "R4",
+        }
+    }
+
+    /// One-line description for `cargo xtask lint --rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::R1 => "no unwrap()/expect()/panic!/unreachable! in non-test library code",
+            Rule::R2 => "no ==/!= against float literals, no bare partial_cmp (use total_cmp)",
+            Rule::R3 => {
+                "pub fns returning share/allocation Vec<f64> in bwpart-core must \
+                         route through validate_shares or a contract macro"
+            }
+            Rule::R4 => "#[allow(clippy::...)] requires a justification comment",
+        }
+    }
+
+    /// All rules, report order.
+    pub const ALL: [Rule; 4] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4];
+}
+
+/// One finding: a rule violated at a specific line.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Path of the offending file (as given to the scanner).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.code(),
+            self.message
+        )
+    }
+}
+
+/// Source text split into scannable code and per-line comment text.
+struct Prepared {
+    /// Lines of code with comment and string/char-literal contents blanked
+    /// to spaces (byte offsets preserved).
+    code_lines: Vec<String>,
+    /// The full blanked code as one string (for multi-line constructs).
+    code: String,
+    /// Concatenated comment text per 0-based line, including the `//`.
+    comments: Vec<String>,
+    /// `true` for each 0-based line inside a `#[cfg(test)]` item.
+    test_line: Vec<bool>,
+}
+
+/// Blank comments, strings and char literals out of `src`, collecting the
+/// comment text per line. Byte length and newline positions are preserved so
+/// offsets map 1:1 onto the original source.
+fn prepare(src: &str) -> Prepared {
+    let bytes = src.as_bytes();
+    let len = bytes.len();
+    let mut code = bytes.to_vec();
+    let n_lines = src.split('\n').count();
+    let mut comments = vec![String::new(); n_lines];
+    let mut line = 0usize;
+    let mut i = 0usize;
+
+    // Record a comment span [start, end) into `comments`, blanking it in
+    // `code` and advancing the line counter across embedded newlines.
+    let record_comment = |code: &mut [u8],
+                          comments: &mut [String],
+                          line: &mut usize,
+                          src: &str,
+                          start: usize,
+                          end: usize| {
+        let mut seg_start = start;
+        let seg_bytes = src.as_bytes();
+        for j in start..end {
+            if seg_bytes[j] == b'\n' {
+                if let Some(seg) = src.get(seg_start..j) {
+                    comments[*line].push_str(seg);
+                }
+                *line += 1;
+                seg_start = j + 1;
+            } else {
+                code[j] = b' ';
+            }
+        }
+        if let Some(seg) = src.get(seg_start..end) {
+            comments[*line].push_str(seg);
+        }
+    };
+
+    while i < len {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if i + 1 < len && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < len && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                record_comment(&mut code, &mut comments, &mut line, src, start, i);
+            }
+            b'/' if i + 1 < len && bytes[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < len && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < len && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < len && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                record_comment(&mut code, &mut comments, &mut line, src, start, i);
+            }
+            b'"' => {
+                // Plain string literal: blank the contents and delimiters.
+                code[i] = b' ';
+                i += 1;
+                while i < len {
+                    match bytes[i] {
+                        b'\\' => {
+                            code[i] = b' ';
+                            if i + 1 < len && bytes[i + 1] != b'\n' {
+                                code[i + 1] = b' ';
+                            }
+                            i += 2;
+                        }
+                        b'"' => {
+                            code[i] = b' ';
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => {
+                            code[i] = b' ';
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'r' | b'b' => {
+                // Possible raw-string prefix (r", r#", br#"...). Only treat
+                // as one when the full prefix pattern matches; otherwise the
+                // byte is ordinary code (identifier, lifetime, ...).
+                let mut j = i;
+                if bytes[j] == b'b' && j + 1 < len && bytes[j + 1] == b'r' {
+                    j += 1;
+                }
+                let mut k = j + 1;
+                let mut hashes = 0usize;
+                while k < len && bytes[k] == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                let prev_ident =
+                    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+                if !prev_ident && bytes[j] == b'r' && k < len && bytes[k] == b'"' {
+                    // Raw string: runs until `"` followed by `hashes` hashes.
+                    for c in code.iter_mut().take(k + 1).skip(i) {
+                        *c = b' ';
+                    }
+                    i = k + 1;
+                    loop {
+                        if i >= len {
+                            break;
+                        }
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                            i += 1;
+                            continue;
+                        }
+                        if bytes[i] == b'"' {
+                            let mut h = 0usize;
+                            while i + 1 + h < len && h < hashes && bytes[i + 1 + h] == b'#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                for c in code.iter_mut().take(i + 1 + h).skip(i) {
+                                    *c = b' ';
+                                }
+                                i += 1 + h;
+                                break;
+                            }
+                        }
+                        code[i] = b' ';
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime. `'\x'`, `'a'` are literals; a
+                // quote not closed within two chars is a lifetime tick.
+                if i + 1 < len && bytes[i + 1] == b'\\' {
+                    code[i] = b' ';
+                    i += 1;
+                    while i < len && bytes[i] != b'\'' {
+                        code[i] = b' ';
+                        i += 1;
+                    }
+                    if i < len {
+                        code[i] = b' ';
+                        i += 1;
+                    }
+                } else if i + 2 < len && bytes[i + 2] == b'\'' {
+                    code[i] = b' ';
+                    code[i + 1] = b' ';
+                    code[i + 2] = b' ';
+                    i += 3;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+
+    let code = String::from_utf8_lossy(&code).into_owned();
+    let code_lines: Vec<String> = code.split('\n').map(str::to_string).collect();
+    let test_line = test_line_mask(&code, code_lines.len());
+    Prepared {
+        code_lines,
+        code,
+        comments,
+        test_line,
+    }
+}
+
+/// Mark every line belonging to a `#[cfg(test)]` item (attribute through the
+/// item's closing brace or semicolon).
+fn test_line_mask(code: &str, n_lines: usize) -> Vec<bool> {
+    let bytes = code.as_bytes();
+    let len = bytes.len();
+    let mut mask = vec![false; n_lines];
+    // line number of each byte offset
+    let line_of = |pos: usize| code[..pos].matches('\n').count();
+
+    let mut i = 0usize;
+    while i < len {
+        if bytes[i] != b'#' {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let mut j = i + 1;
+        while j < len && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j >= len || bytes[j] != b'[' {
+            i += 1;
+            continue;
+        }
+        // bracket-match the attribute
+        let mut depth = 0usize;
+        let mut k = j;
+        while k < len {
+            match bytes[k] {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if k >= len {
+            break;
+        }
+        let attr: String = code[j..=k].chars().filter(|c| !c.is_whitespace()).collect();
+        if attr != "[cfg(test)]" {
+            i = k + 1;
+            continue;
+        }
+        // Scan forward to the end of the annotated item: the matching close
+        // brace, or a semicolon that appears before any brace opens.
+        let mut m = k + 1;
+        let mut brace = 0usize;
+        let mut end = len.saturating_sub(1);
+        while m < len {
+            match bytes[m] {
+                b'{' => brace += 1,
+                b'}' => {
+                    brace -= 1;
+                    if brace == 0 {
+                        end = m;
+                        break;
+                    }
+                }
+                b';' if brace == 0 => {
+                    end = m;
+                    break;
+                }
+                _ => {}
+            }
+            m += 1;
+        }
+        let first = line_of(attr_start);
+        let last = line_of(end.min(len.saturating_sub(1)));
+        let last = last.min(n_lines.saturating_sub(1));
+        for flag in mask.iter_mut().take(last + 1).skip(first) {
+            *flag = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Byte positions where `ident` occurs as a whole token in `line`.
+fn ident_positions(line: &str, ident: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let lb = line.as_bytes();
+    let mut from = 0usize;
+    while let Some(rel) = line[from..].find(ident) {
+        let pos = from + rel;
+        let before_ok = pos == 0 || !is_ident_byte(lb[pos - 1]);
+        let after = pos + ident.len();
+        let after_ok = after >= lb.len() || !is_ident_byte(lb[after]);
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+        from = pos + ident.len().max(1);
+    }
+    out
+}
+
+fn prev_nonspace(line: &str, pos: usize) -> Option<u8> {
+    line.as_bytes()[..pos]
+        .iter()
+        .rev()
+        .copied()
+        .find(|b| !b.is_ascii_whitespace())
+}
+
+fn next_nonspace(line: &str, pos: usize) -> Option<u8> {
+    line.as_bytes()[pos..]
+        .iter()
+        .copied()
+        .find(|b| !b.is_ascii_whitespace())
+}
+
+/// Extract the token (identifier/number/field-path characters) ending
+/// immediately before `pos`, and the one starting at `pos`.
+fn token_before(line: &str, mut pos: usize) -> &str {
+    let lb = line.as_bytes();
+    while pos > 0 && lb[pos - 1].is_ascii_whitespace() {
+        pos -= 1;
+    }
+    let end = pos;
+    while pos > 0 && (is_ident_byte(lb[pos - 1]) || lb[pos - 1] == b'.') {
+        pos -= 1;
+    }
+    &line[pos..end]
+}
+
+fn token_after(line: &str, mut pos: usize) -> &str {
+    let lb = line.as_bytes();
+    while pos < lb.len() && lb[pos].is_ascii_whitespace() {
+        pos += 1;
+    }
+    let start = pos;
+    let mut neg = false;
+    if pos < lb.len() && lb[pos] == b'-' {
+        neg = true;
+        pos += 1;
+    }
+    while pos < lb.len() && (is_ident_byte(lb[pos]) || lb[pos] == b'.') {
+        pos += 1;
+    }
+    if neg && pos == start + 1 {
+        // a lone '-' is not a token
+        return "";
+    }
+    &line[start..pos]
+}
+
+/// Type-blind float-literal detector: `1.0`, `1e-9`, `2f64`, `-0.5`, ...
+fn is_float_literal(token: &str) -> bool {
+    let t = token.strip_prefix('-').unwrap_or(token);
+    let Some(first) = t.chars().next() else {
+        return false;
+    };
+    if !first.is_ascii_digit() {
+        return false;
+    }
+    if t.starts_with("0x") || t.starts_with("0b") || t.starts_with("0o") {
+        return false;
+    }
+    t.contains('.')
+        || t.ends_with("f32")
+        || t.ends_with("f64")
+        || t.chars().any(|c| c == 'e' || c == 'E')
+}
+
+/// Does line `idx` (or the line above) carry a `lint: allow(<rule>)` marker?
+fn allowed(prepared: &Prepared, idx: usize, rule: Rule) -> bool {
+    let marker_plain = format!("lint: allow({})", rule.code());
+    let marker_tight = format!("lint:allow({})", rule.code());
+    let check = |l: usize| {
+        prepared
+            .comments
+            .get(l)
+            .is_some_and(|c| c.contains(&marker_plain) || c.contains(&marker_tight))
+    };
+    check(idx) || (idx > 0 && check(idx - 1))
+}
+
+/// Does line `idx` (or the line above) carry a plain, non-doc comment
+/// (accepted as an R4 justification)?
+fn has_justification(prepared: &Prepared, idx: usize) -> bool {
+    let check = |l: usize| {
+        prepared.comments.get(l).is_some_and(|c| {
+            let t = c.trim_start();
+            t.starts_with("//")
+                && !t.starts_with("///")
+                && !t.starts_with("//!")
+                && t.trim_start_matches('/').trim().len() > 2
+        })
+    };
+    check(idx) || (idx > 0 && check(idx - 1))
+}
+
+/// Scan one file's source. `is_core` enables the R3 producer rule (it only
+/// applies to the `bwpart-core` model crate).
+pub fn lint_source(file: &str, src: &str, is_core: bool) -> Vec<Violation> {
+    let prepared = prepare(src);
+    let mut out = Vec::new();
+
+    for (idx, line) in prepared.code_lines.iter().enumerate() {
+        if prepared.test_line.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        scan_r1(file, &prepared, idx, line, &mut out);
+        scan_r2(file, &prepared, idx, line, &mut out);
+        scan_r4(file, &prepared, idx, line, &mut out);
+    }
+    if is_core {
+        scan_r3(file, &prepared, &mut out);
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+fn scan_r1(file: &str, prepared: &Prepared, idx: usize, line: &str, out: &mut Vec<Violation>) {
+    for method in ["unwrap", "expect"] {
+        for pos in ident_positions(line, method) {
+            let called = next_nonspace(line, pos + method.len()) == Some(b'(');
+            if prev_nonspace(line, pos) == Some(b'.') && called && !allowed(prepared, idx, Rule::R1)
+            {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule: Rule::R1,
+                    message: format!(
+                        ".{method}() in library code: return ModelError (or annotate \
+                         `// lint: allow(R1): <reason>`)"
+                    ),
+                });
+            }
+        }
+    }
+    for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+        for pos in ident_positions(line, mac) {
+            if next_nonspace(line, pos + mac.len()) == Some(b'!')
+                && prev_nonspace(line, pos) != Some(b'.')
+                && !allowed(prepared, idx, Rule::R1)
+            {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule: Rule::R1,
+                    message: format!(
+                        "{mac}! in library code: return ModelError (or annotate \
+                         `// lint: allow(R1): <reason>`)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn scan_r2(file: &str, prepared: &Prepared, idx: usize, line: &str, out: &mut Vec<Violation>) {
+    for pos in ident_positions(line, "partial_cmp") {
+        if prev_nonspace(line, pos) == Some(b'.') && !allowed(prepared, idx, Rule::R2) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: idx + 1,
+                rule: Rule::R2,
+                message: "bare .partial_cmp(): use f64::total_cmp for a total order".into(),
+            });
+        }
+    }
+    let lb = line.as_bytes();
+    for op in ["==", "!="] {
+        let mut from = 0usize;
+        while let Some(rel) = line[from..].find(op) {
+            let pos = from + rel;
+            from = pos + 2;
+            // Exclude <=, >=, =>, === style neighbours.
+            if pos > 0 && matches!(lb[pos - 1], b'<' | b'>' | b'=' | b'!') {
+                continue;
+            }
+            if pos + 2 < lb.len() && lb[pos + 2] == b'=' {
+                continue;
+            }
+            let lhs = token_before(line, pos);
+            let rhs = token_after(line, pos + 2);
+            if (is_float_literal(lhs) || is_float_literal(rhs)) && !allowed(prepared, idx, Rule::R2)
+            {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule: Rule::R2,
+                    message: format!(
+                        "float-literal comparison `{} {} {}`: use contracts::approx_eq \
+                         or restructure",
+                        lhs, op, rhs
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn scan_r4(file: &str, prepared: &Prepared, idx: usize, line: &str, out: &mut Vec<Violation>) {
+    let tight: String = line.chars().filter(|c| !c.is_whitespace()).collect();
+    if tight.contains("[allow(clippy::") && !has_justification(prepared, idx) {
+        out.push(Violation {
+            file: file.to_string(),
+            line: idx + 1,
+            rule: Rule::R4,
+            message: "#[allow(clippy::...)] needs a justification comment on the same \
+                      or previous line"
+                .into(),
+        });
+    }
+}
+
+/// The certification calls R3 accepts inside a producer's body.
+const R3_CERTIFIERS: [&str; 4] = [
+    "validate_shares",
+    "ensures_simplex",
+    "ensures_capped",
+    "invariant!",
+];
+
+fn scan_r3(file: &str, prepared: &Prepared, out: &mut Vec<Violation>) {
+    let code = &prepared.code;
+    let bytes = code.as_bytes();
+    let len = bytes.len();
+    let line_of = |pos: usize| code[..pos].matches('\n').count();
+
+    let mut search = 0usize;
+    while let Some(rel) = code[search..].find("pub") {
+        let pub_pos = search + rel;
+        search = pub_pos + 3;
+        let before_ok = pub_pos == 0 || !is_ident_byte(bytes[pub_pos - 1]);
+        let after_ok = pub_pos + 3 >= len || !is_ident_byte(bytes[pub_pos + 3]);
+        if !(before_ok && after_ok) {
+            continue;
+        }
+        let pub_line = line_of(pub_pos);
+        if prepared.test_line.get(pub_line).copied().unwrap_or(false) {
+            continue;
+        }
+        // Parse: pub [(...)] [const|async|unsafe]* fn name
+        let mut i = pub_pos + 3;
+        let skip_ws = |i: &mut usize| {
+            while *i < len && bytes[*i].is_ascii_whitespace() {
+                *i += 1;
+            }
+        };
+        skip_ws(&mut i);
+        if i < len && bytes[i] == b'(' {
+            let mut depth = 0usize;
+            while i < len {
+                match bytes[i] {
+                    b'(' => depth += 1,
+                    b')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        let mut is_fn = false;
+        for _ in 0..4 {
+            skip_ws(&mut i);
+            let start = i;
+            while i < len && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            match &code[start..i] {
+                "fn" => {
+                    is_fn = true;
+                    break;
+                }
+                "const" | "async" | "unsafe" => continue,
+                _ => break,
+            }
+        }
+        if !is_fn {
+            continue;
+        }
+        skip_ws(&mut i);
+        let name_start = i;
+        while i < len && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        let fn_name = code[name_start..i].to_string();
+        // Signature: scan to the body `{` (or `;` for a bodiless decl),
+        // tracking angle/paren/bracket depth and skipping `->` arrows.
+        let mut arrow: Option<usize> = None;
+        let mut angle = 0isize;
+        let mut paren = 0isize;
+        let mut body_start: Option<usize> = None;
+        while i < len {
+            match bytes[i] {
+                b'-' if i + 1 < len && bytes[i + 1] == b'>' => {
+                    if arrow.is_none() && angle == 0 && paren == 0 {
+                        arrow = Some(i + 2);
+                    }
+                    i += 2;
+                    continue;
+                }
+                b'<' => angle += 1,
+                b'>' => angle -= 1,
+                b'(' | b'[' => paren += 1,
+                b')' | b']' => paren -= 1,
+                b'{' if angle <= 0 && paren == 0 => {
+                    body_start = Some(i);
+                    break;
+                }
+                b';' if angle <= 0 && paren == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        let (Some(arrow_pos), Some(body_open)) = (arrow, body_start) else {
+            continue;
+        };
+        let mut ret: String = code[arrow_pos..body_open]
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        if let Some(w) = ret.find("where") {
+            ret.truncate(w);
+        }
+        if !ret.contains("Vec<f64>") {
+            continue;
+        }
+        // Brace-match the body and look for a certification call.
+        let mut depth = 0usize;
+        let mut j = body_open;
+        let mut body_end = len;
+        while j < len {
+            match bytes[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        body_end = j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let body = &code[body_open..body_end.min(len)];
+        let certified = R3_CERTIFIERS.iter().any(|c| body.contains(c));
+        if !certified && !allowed(prepared, pub_line, Rule::R3) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: pub_line + 1,
+                rule: Rule::R3,
+                message: format!(
+                    "pub fn {fn_name} returns a Vec<f64> without certifying it via \
+                     validate_shares / ensures_simplex! / ensures_capped! / invariant!"
+                ),
+            });
+        }
+        search = i.max(search);
+    }
+}
+
+/// Collect `.rs` files under `dir`, recursively.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every `crates/*/src/**/*.rs` under `root`. Returns violations in
+/// deterministic (path, line) order.
+pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    for entry in fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .into_owned();
+        let is_core = rel.replace('\\', "/").starts_with("crates/core/");
+        let src = fs::read_to_string(&path)?;
+        out.extend(lint_source(&rel, &src, is_core));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(vs: &[Violation]) -> Vec<&'static str> {
+        vs.iter().map(|v| v.rule.code()).collect()
+    }
+
+    #[test]
+    fn r1_catches_seeded_unwrap_and_panic() {
+        let src = r#"
+pub fn f(x: Option<u32>) -> u32 {
+    let y = x.unwrap();
+    if y == 0 { panic!("zero"); }
+    y
+}
+"#;
+        let vs = lint_source("fixture.rs", src, false);
+        assert_eq!(codes(&vs), vec!["R1", "R1"]);
+        assert_eq!(vs[0].line, 3);
+        assert_eq!(vs[1].line, 4);
+    }
+
+    #[test]
+    fn r1_allows_annotated_sites_and_unwrap_or() {
+        let src = r#"
+pub fn f(x: Option<u32>) -> u32 {
+    // lint: allow(R1): length checked two lines up
+    let y = x.unwrap();
+    let z = x.unwrap_or(7);
+    y + z + x.unwrap_or_else(|| 9)
+}
+"#;
+        assert!(lint_source("fixture.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn r1_skips_cfg_test_modules_and_strings() {
+        let src = r#"
+pub fn describe() -> &'static str {
+    "call .unwrap() and panic! at will"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn boom() {
+        super::describe().to_string().parse::<u32>().unwrap();
+        panic!("fine in tests");
+    }
+}
+"#;
+        assert!(lint_source("fixture.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn r2_catches_partial_cmp_and_float_eq() {
+        let src = r#"
+pub fn f(a: f64, b: f64) -> bool {
+    let _ = a.partial_cmp(&b);
+    a == 0.5 || b != 1e-9
+}
+"#;
+        let vs = lint_source("fixture.rs", src, false);
+        assert_eq!(codes(&vs), vec!["R2", "R2", "R2"]);
+    }
+
+    #[test]
+    fn r2_permits_total_cmp_int_eq_and_fn_definitions() {
+        let src = r#"
+pub fn partial_cmp_like(a: f64, b: f64, n: usize) -> bool {
+    let _ = a.total_cmp(&b);
+    n == 3 && a <= 0.5 && b >= 1.0
+}
+"#;
+        assert!(lint_source("fixture.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn r3_requires_certification_in_core() {
+        let bad = r#"
+pub fn shares(n: usize) -> Vec<f64> {
+    vec![1.0 / n as f64; n]
+}
+"#;
+        let vs = lint_source("core.rs", bad, true);
+        assert_eq!(codes(&vs), vec!["R3"]);
+        assert!(vs[0].message.contains("shares"));
+        // The same file is fine outside bwpart-core...
+        assert!(lint_source("other.rs", bad, false).is_empty());
+        // ...and fine once the output is certified.
+        let good = r#"
+pub fn shares(n: usize) -> Vec<f64> {
+    let beta = vec![1.0 / n as f64; n];
+    crate::ensures_simplex!(beta);
+    beta
+}
+"#;
+        assert!(lint_source("core.rs", good, true).is_empty());
+    }
+
+    #[test]
+    fn r3_sees_through_result_wrappers() {
+        let src = r#"
+pub fn allocation(b: f64) -> Result<Vec<f64>, ModelError> {
+    Ok(vec![b])
+}
+"#;
+        let vs = lint_source("core.rs", src, true);
+        assert_eq!(codes(&vs), vec!["R3"]);
+    }
+
+    #[test]
+    fn r4_requires_justification() {
+        let bad = "#[allow(clippy::too_many_arguments)]\npub fn f() {}\n";
+        let vs = lint_source("fixture.rs", bad, false);
+        assert_eq!(codes(&vs), vec!["R4"]);
+        let good = "// the signature mirrors the paper's Eq. 7 terms\n\
+                    #[allow(clippy::too_many_arguments)]\npub fn f() {}\n";
+        assert!(lint_source("fixture.rs", good, false).is_empty());
+    }
+
+    #[test]
+    fn comments_and_raw_strings_do_not_leak_into_code() {
+        let src = r##"
+// a.unwrap() in a comment is fine
+/* block with panic! and == 0.5 */
+pub fn f() -> &'static str {
+    r#"raw with .unwrap() and == 1.0"#
+}
+"##;
+        assert!(lint_source("fixture.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn lifetimes_do_not_derail_the_scanner() {
+        let src = "
+pub fn f<'a>(x: &'a Option<u32>) -> u32 {
+    x.unwrap()
+}
+";
+        let vs = lint_source("fixture.rs", src, false);
+        assert_eq!(codes(&vs), vec!["R1"]);
+        assert_eq!(vs[0].line, 3);
+    }
+}

@@ -1,0 +1,72 @@
+//! `cargo xtask` — repo-local automation for the bwpart workspace.
+//!
+//! The only subcommand today is `lint`, the bwpart-audit model-invariant
+//! pass (see [`lint`] for the rules). Run it as:
+//!
+//! ```text
+//! cargo xtask lint            # scan crates/*/src, exit 1 on violations
+//! cargo xtask lint --rules    # print the rule catalogue
+//! ```
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+mod lint;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask lint [--rules]");
+    eprintln!();
+    eprintln!("subcommands:");
+    eprintln!("  lint     run the bwpart-audit model-invariant lint over crates/*/src");
+    ExitCode::from(2)
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR` is `crates/xtask`, so two up.
+fn workspace_root() -> PathBuf {
+    let manifest = env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+    let mut root = PathBuf::from(manifest);
+    root.pop();
+    root.pop();
+    root
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--rules") {
+        println!("bwpart-audit rules (suppress with `// lint: allow(<rule>): <reason>`):");
+        for rule in lint::Rule::ALL {
+            println!("  {}  {}", rule.code(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(unknown) = args.iter().find(|a| *a != "lint") {
+        eprintln!("unknown argument `{unknown}`");
+        return usage();
+    }
+    let root = workspace_root();
+    match lint::lint_tree(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("bwpart-audit: clean (rules R1-R4 over crates/*/src)");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("bwpart-audit: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bwpart-audit: failed to scan {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        _ => usage(),
+    }
+}

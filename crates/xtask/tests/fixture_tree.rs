@@ -1,0 +1,117 @@
+//! End-to-end check that the lint driver catches deliberately seeded
+//! violations in a scratch crate tree, and accepts a clean one.
+//!
+//! The fixture workspace is materialized under `CARGO_TARGET_TMPDIR` so the
+//! test never writes outside the repository's target directory.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_root(name: &str) -> PathBuf {
+    let base = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let root = base.join(name);
+    if root.exists() {
+        fs::remove_dir_all(&root).expect("clear stale fixture");
+    }
+    fs::create_dir_all(root.join("crates/demo/src")).expect("create fixture tree");
+    root
+}
+
+fn write(root: &Path, rel: &str, contents: &str) {
+    fs::write(root.join(rel), contents).expect("write fixture file");
+}
+
+fn run_lint(root: &Path) -> (bool, String) {
+    let exe = env!("CARGO_BIN_EXE_xtask");
+    // The binary resolves the workspace root as CARGO_MANIFEST_DIR/../..,
+    // so point the manifest dir at a synthetic crates/xtask inside the tree.
+    let out = Command::new(exe)
+        .arg("lint")
+        .env("CARGO_MANIFEST_DIR", root.join("crates/xtask"))
+        .output()
+        .expect("run xtask lint");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    (out.status.success(), stdout)
+}
+
+#[test]
+fn seeded_violations_are_caught() {
+    let root = fixture_root("bwpart-audit-seeded");
+    write(
+        &root,
+        "crates/demo/src/lib.rs",
+        r#"
+pub fn broken(x: Option<f64>) -> f64 {
+    let v = x.unwrap();
+    if v == 0.5 { panic!("boom"); }
+    v
+}
+
+#[allow(clippy::needless_range_loop)]
+pub fn silent() {}
+"#,
+    );
+    let (ok, stdout) = run_lint(&root);
+    assert!(!ok, "lint must fail on seeded violations:\n{stdout}");
+    assert!(
+        stdout.contains("[R1]"),
+        "unwrap/panic not caught:\n{stdout}"
+    );
+    assert!(stdout.contains("[R2]"), "float eq not caught:\n{stdout}");
+    assert!(
+        stdout.contains("[R4]"),
+        "bare clippy allow not caught:\n{stdout}"
+    );
+    assert!(stdout.contains("crates/demo/src/lib.rs:3"), "{stdout}");
+}
+
+#[test]
+fn seeded_core_producer_without_contract_is_caught() {
+    let root = fixture_root("bwpart-audit-core");
+    fs::create_dir_all(root.join("crates/core/src")).expect("core tree");
+    write(
+        &root,
+        "crates/core/src/lib.rs",
+        r#"
+pub fn shares(n: usize) -> Vec<f64> {
+    vec![1.0 / n as f64; n]
+}
+"#,
+    );
+    let (ok, stdout) = run_lint(&root);
+    assert!(!ok, "uncertified producer must fail:\n{stdout}");
+    assert!(stdout.contains("[R3]"), "{stdout}");
+}
+
+#[test]
+fn clean_tree_passes() {
+    let root = fixture_root("bwpart-audit-clean");
+    write(
+        &root,
+        "crates/demo/src/lib.rs",
+        r#"
+//! A well-behaved module.
+
+/// Clamp helper using a total order.
+pub fn pick(a: f64, b: f64) -> f64 {
+    match a.total_cmp(&b) {
+        std::cmp::Ordering::Less => b,
+        _ => a,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<f64> = Some(1.0);
+        assert!(v.unwrap() > 0.5);
+    }
+}
+"#,
+    );
+    let (ok, stdout) = run_lint(&root);
+    assert!(ok, "clean fixture must pass:\n{stdout}");
+    assert!(stdout.contains("clean"), "{stdout}");
+}

@@ -8,6 +8,9 @@
 //!
 //! Run with: `cargo run --release --example custom_workload`
 
+// Examples favor brevity over error plumbing.
+#![allow(clippy::unwrap_used)]
+
 use bwpart::prelude::*;
 use bwpart_cmp::Access;
 

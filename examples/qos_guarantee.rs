@@ -12,6 +12,9 @@
 //!
 //! Run with: `cargo run --release --example qos_guarantee`
 
+// Examples favor brevity over error plumbing.
+#![allow(clippy::unwrap_used)]
+
 use bwpart::prelude::*;
 
 fn main() {

@@ -6,6 +6,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+// Examples favor brevity over error plumbing.
+#![allow(clippy::unwrap_used)]
+
 use bwpart::prelude::*;
 
 fn main() {

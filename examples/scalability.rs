@@ -10,6 +10,9 @@
 //!
 //! Run with: `cargo run --release --example scalability`
 
+// Examples favor brevity over error plumbing.
+#![allow(clippy::unwrap_used)]
+
 use bwpart::prelude::*;
 
 fn main() {

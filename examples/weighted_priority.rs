@@ -11,6 +11,9 @@
 //!
 //! Run with: `cargo run --release --example weighted_priority`
 
+// Examples favor brevity over error plumbing.
+#![allow(clippy::unwrap_used)]
+
 use bwpart::prelude::*;
 use bwpart_core::weighted;
 

@@ -1,6 +1,9 @@
 //! Serialization round trips: every public configuration and result type
 //! survives JSON, so experiment pipelines can persist and reload state.
 
+// Roundtrips must be bit-exact, so exact float equality is the point here.
+#![allow(clippy::float_cmp)]
+
 use bwpart::prelude::*;
 use bwpart_dram::MappingScheme;
 use bwpart_workloads::Trace;

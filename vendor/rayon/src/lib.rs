@@ -1,0 +1,60 @@
+//! Offline vendored rayon shim.
+//!
+//! The real rayon cannot be fetched in this build environment. This shim
+//! keeps the `par_iter()` / `into_par_iter()` call sites compiling by
+//! returning ordinary sequential iterators — every adapter and `collect`
+//! then comes from `std::iter::Iterator`. Correctness is identical;
+//! parallel speedup is forfeited until the real dependency is restorable.
+
+/// Drop-in for `rayon::prelude`.
+pub mod prelude {
+    /// `.par_iter()` on slices and vectors (sequential fallback).
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item: 'data;
+
+        /// Iterate by reference ("in parallel").
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `.into_par_iter()` on owned collections and ranges (sequential
+    /// fallback).
+    pub trait IntoParallelIterator {
+        /// The iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item;
+
+        /// Iterate by value ("in parallel").
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}

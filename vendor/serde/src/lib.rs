@@ -1,0 +1,292 @@
+//! Offline vendored mini-serde.
+//!
+//! The real `serde` crate cannot be fetched in this build environment, so
+//! this crate provides an API-compatible subset built around a concrete
+//! JSON-like [`Value`] tree instead of serde's visitor architecture:
+//!
+//! * [`Serialize`] / [`Deserialize`] traits (plus `de::DeserializeOwned`),
+//! * `#[derive(Serialize, Deserialize)]` via the sibling `serde_derive`
+//!   proc-macro crate (structs with named fields; enums with unit, tuple
+//!   and struct variants, encoded the same way serde's default "externally
+//!   tagged" representation encodes them),
+//! * impls for the primitive / std types the workspace uses.
+//!
+//! The sibling `serde_json` vendored crate renders [`Value`] to JSON text
+//! and parses it back. Round-tripping is exact for finite floats because
+//! Rust's `Display` for `f64` prints the shortest string that reparses to
+//! the same bits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+pub use value::{DeError, Value};
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+///
+/// The lifetime parameter exists only for signature compatibility with real
+/// serde (`for<'de> Deserialize<'de>` bounds in downstream code); this mini
+/// implementation always copies out of the tree.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstruct `Self` from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization helper traits, mirroring `serde::de`.
+pub mod de {
+    /// A type deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+}
+
+/// Fetch a struct field from an object `Value`, treating a missing key as
+/// `Null` (so `Option` fields default to `None`). Used by derived code.
+#[doc(hidden)]
+pub fn __from_field<T: for<'de> Deserialize<'de>>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(field) => {
+            T::from_value(field).map_err(|e| DeError::new(format!("field `{name}`: {e}")))
+        }
+        None => {
+            T::from_value(&Value::Null).map_err(|_| DeError::new(format!("missing field `{name}`")))
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let u = v.as_u64().ok_or_else(|| DeError::expected("unsigned integer", v))?;
+                <$t>::try_from(u).map_err(|_| DeError::new(format!("{u} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_i64().ok_or_else(|| DeError::expected("integer", v))?;
+                <$t>::try_from(i).map_err(|_| DeError::new(format!("{i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", v))
+    }
+}
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", v))
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", v))
+    }
+}
+impl<'de> Deserialize<'de> for &'static str {
+    // Real serde compiles derives over borrowed str fields and fails only
+    // when such a field is actually deserialized from owned data; this impl
+    // reproduces that effective behavior for `&'static str` fields.
+    fn from_value(_: &Value) -> Result<Self, DeError> {
+        Err(DeError::new(
+            "cannot deserialize into a borrowed &'static str; use String",
+        ))
+    }
+}
+impl<'de, T: for<'d> Deserialize<'d>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+impl<'de, T: for<'d> Deserialize<'d>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+impl<'de, T: for<'d> Deserialize<'d>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::new(format!("expected array of length {N}, got {got}")))
+    }
+}
+impl<'de, T: for<'d> Deserialize<'d>> Deserialize<'de> for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+impl<'de, T: for<'d> Deserialize<'d>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Vec::from_value(v)?.into())
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($($name:ident . $idx:tt),+ ; $len:literal))*) => {$(
+        impl<'de, $($name: for<'d> Deserialize<'d>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+                if items.len() != $len {
+                    return Err(DeError::new(format!(
+                        "expected tuple of length {}, got {}", $len, items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (A.0 ; 1)
+    (A.0, B.1 ; 2)
+    (A.0, B.1, C.2 ; 3)
+    (A.0, B.1, C.2, D.3 ; 4)
+}

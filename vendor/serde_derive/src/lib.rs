@@ -1,0 +1,404 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored mini-serde.
+//!
+//! Implemented with hand-rolled parsing over `proc_macro::TokenStream`
+//! (neither `syn` nor `quote` is available offline). Supports the shapes
+//! this workspace actually derives:
+//!
+//! * structs with named fields (no generics),
+//! * enums with unit, tuple, and struct variants (no generics),
+//!
+//! and encodes them the way serde's default externally-tagged JSON
+//! representation does, so snapshots stay interchangeable with real serde:
+//! unit variant → `"Name"`, newtype variant → `{"Name": payload}`,
+//! tuple variant → `{"Name": [..]}`, struct variant → `{"Name": {..}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Enum: `(variant_name, variant_kind)` pairs.
+    Enum(Vec<(String, VariantKind)>),
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this arity.
+    Tuple(usize),
+    /// Struct variant with these field names.
+    Struct(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(p) => gen_serialize(&p).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(p) => gen_deserialize(&p).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) and friends
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "mini-serde derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    // The body is the last brace group (skips any `where` clause tokens).
+    let body = tokens
+        .iter()
+        .skip(i)
+        .filter_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.clone()),
+            _ => None,
+        })
+        .last();
+    let body = match body {
+        Some(g) => g,
+        None => {
+            return Err(format!(
+                "mini-serde derive supports only brace-bodied structs/enums; `{name}` has none"
+            ))
+        }
+    };
+
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body.stream())?),
+        "enum" => Shape::Enum(parse_variants(body.stream())?),
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Parsed { name, shape })
+}
+
+/// Parse `field: Type, ...` inside a struct (or struct-variant) body,
+/// returning the field names. Commas inside generic argument lists are
+/// skipped by tracking `<`/`>` depth (`->` is recognized and ignored).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility before the field name.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{name}`, found {other:?}")),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        let mut prev_dash = false;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' && !prev_dash {
+                        angle_depth -= 1;
+                    } else if c == ',' && angle_depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                    prev_dash = c == '-';
+                }
+                _ => prev_dash = false,
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, VariantKind)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == ',' {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+        variants.push((name, kind));
+    }
+    Ok(variants)
+}
+
+/// Count elements of a tuple-variant payload (top-level commas + 1),
+/// ignoring commas nested in generic argument lists.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 1;
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    let mut saw_any = false;
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    for (idx, t) in tokens.iter().enumerate() {
+        saw_any = true;
+        if let TokenTree::Punct(p) = t {
+            let c = p.as_char();
+            if c == '<' {
+                angle_depth += 1;
+            } else if c == '>' && !prev_dash {
+                angle_depth -= 1;
+            } else if c == ',' && angle_depth == 0 && idx + 1 < tokens.len() {
+                arity += 1;
+            }
+            prev_dash = c == '-';
+        } else {
+            prev_dash = false;
+        }
+    }
+    if saw_any {
+        arity
+    } else {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::Struct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}, ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "::serde::Value::object_from_pairs(vec![{}])",
+                pairs.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, kind)| match kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{v} => ::serde::Value::String({v:?}.to_string()),"
+                    ),
+                    VariantKind::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::object_from_pairs(vec![({v:?}, ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::object_from_pairs(vec![({v:?}, ::serde::Value::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            elems.join(", ")
+                        )
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("({f:?}, ::serde::Serialize::to_value({f}))"))
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::object_from_pairs(vec![({v:?}, ::serde::Value::object_from_pairs(vec![{}]))]),",
+                            pairs.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__from_field(__v, {f:?})?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, k)| matches!(k, VariantKind::Unit))
+                .map(|(v, _)| format!("{v:?} => return ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, kind)| match kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Tuple(1) => Some(format!(
+                        "{v:?} => return ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__payload)?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!(
+                                "::serde::Deserialize::from_value(&__items[{k}])?"
+                            ))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => {{\n\
+                                 let __items = __payload.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", __payload))?;\n\
+                                 if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::new(\"wrong tuple arity\")); }}\n\
+                                 return ::std::result::Result::Ok({name}::{v}({}));\n\
+                             }}",
+                            elems.join(", ")
+                        ))
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::__from_field(__payload, {f:?})?"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => return ::std::result::Result::Ok({name}::{v} {{ {} }}),",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                     match __s {{ {unit_arms} _ => {{}} }}\n\
+                 }}\n\
+                 if let ::std::option::Option::Some((__tag, __payload)) = __v.as_variant() {{\n\
+                     match __tag {{ {tagged_arms} _ => {{}} }}\n\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::DeError::new(format!(\"unknown {name} variant: {{:?}}\", __v)))",
+                unit_arms = unit_arms.join(" "),
+                tagged_arms = tagged_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
