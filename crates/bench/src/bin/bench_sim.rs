@@ -1,0 +1,91 @@
+//! `bench_sim` — the perf-regression runner invoked by `cargo xtask bench`.
+//!
+//! ```text
+//! bench_sim [--smoke] [--reps N] [--out PATH]
+//! ```
+//!
+//! Times the canonical workloads (see [`bwpart_bench::perf`]), prints a
+//! human-readable summary, and writes the machine-readable report to
+//! `BENCH_sim.json` (or `--out PATH`). Exit status is non-zero only on a
+//! real failure (argument error, I/O error, or an outcome-determinism
+//! panic inside the harness) — never on timing, so CI smoke runs don't
+//! flake on slow runners.
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_sim [--smoke] [--reps N] [--out PATH]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut reps = 3usize;
+    let mut out_path = String::from("BENCH_sim.json");
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--reps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => reps = n,
+                _ => {
+                    eprintln!("--reps needs a positive integer");
+                    return usage();
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out needs a path");
+                    return usage();
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let report = bwpart_bench::perf::run(smoke, reps);
+
+    println!(
+        "bench_sim: {} mode, {} pool thread(s), best of {} rep(s)",
+        if report.smoke { "smoke" } else { "full" },
+        report.threads,
+        report.reps
+    );
+    for case in &report.cases {
+        println!(
+            "  {:>16}: baseline {:>9.3} ms  optimized {:>9.3} ms  speedup {:.2}x  \
+             ({:.2e} cyc/s optimized)",
+            case.name,
+            case.baseline.wall_ms,
+            case.optimized.wall_ms,
+            case.speedup,
+            case.optimized.cycles_per_sec,
+        );
+    }
+    println!(
+        "  snapshot: clone {:.1} ns/call, reuse {:.1} ns/call",
+        report.snapshot.clone_ns_per_call, report.snapshot.reuse_ns_per_call
+    );
+
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench_sim: serialize report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = fs::write(&out_path, json + "\n") {
+        eprintln!("bench_sim: write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_sim: wrote {out_path}");
+    ExitCode::SUCCESS
+}

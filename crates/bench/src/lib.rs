@@ -1,1 +1,11 @@
-//! Criterion bench crate; see benches/.
+//! Benchmark harnesses for the bwpart workspace.
+//!
+//! Two kinds live here:
+//!
+//! * `benches/` — criterion microbenches, one per paper table/figure plus
+//!   DRAM/simulator microbenches (`cargo bench -p bwpart-bench`).
+//! * [`perf`] — the perf-regression harness behind `cargo xtask bench`,
+//!   which times canonical workloads in seed mode vs the optimized default
+//!   and writes `BENCH_sim.json`.
+
+pub mod perf;

@@ -1,0 +1,304 @@
+//! Perf-regression harness behind `cargo xtask bench`.
+//!
+//! Times two canonical workloads — one mix end-to-end and one full scheme
+//! sweep — in *seed* mode (single-threaded pool, per-cycle stepping, the
+//! behaviour before the performance work) and in the *optimized* default
+//! mode (work-stealing pool + event-driven fast-forward), then emits the
+//! machine-readable [`BenchReport`] that `bench_sim` writes to
+//! `BENCH_sim.json`.
+//!
+//! Methodology notes:
+//!
+//! * **Best-of-N, interleaved.** Wall times on a shared machine fluctuate
+//!   by ±10 %; each mode runs `reps` times with modes alternating, and the
+//!   minimum is reported. The minimum is the right statistic for "how fast
+//!   can this code go" — noise only ever adds time.
+//! * **Bit-identical outcomes.** Every rep's outcomes are serialized and
+//!   compared against the baseline's: the harness panics on any divergence,
+//!   so a timing report doubles as a determinism check (parallel + skip vs
+//!   sequential + per-cycle).
+
+use std::time::{Duration, Instant};
+
+use bwpart_cmp::{CmpConfig, PhaseConfig, Runner, ShareSource, SimOutcome};
+use bwpart_core::schemes::PartitionScheme;
+use bwpart_workloads::mixes::fig1_mix;
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// Seed shared by every benchmark run so baseline and optimized modes
+/// simulate exactly the same instruction streams.
+const SEED: u64 = 0xB417_2013;
+
+/// Wall time and throughput for one mode of one benchmark case.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModeResult {
+    /// Best-of-N wall-clock time in milliseconds.
+    pub wall_ms: f64,
+    /// Simulated CPU cycles per wall-clock second at that best time.
+    pub cycles_per_sec: f64,
+}
+
+/// One benchmark case measured in both modes.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchCase {
+    /// Case name (`mix_end_to_end` or `scheme_sweep`).
+    pub name: String,
+    /// Total simulated cycles per run (all schemes, all phases).
+    pub simulated_cycles: u64,
+    /// Seed behaviour: `rayon` pool pinned to one thread, per-cycle
+    /// stepping (`fast_forward: false`).
+    pub baseline: ModeResult,
+    /// Default behaviour: work-stealing pool + event-driven fast-forward.
+    pub optimized: ModeResult,
+    /// `baseline.wall_ms / optimized.wall_ms`.
+    pub speedup: f64,
+    /// Whether every rep of both modes produced byte-identical serialized
+    /// outcomes (the harness panics if not, so a written report always
+    /// says `true`; the field documents that the check ran).
+    pub identical_outcomes: bool,
+}
+
+/// Cost per call of the two snapshot flavours (see
+/// `CmpSystem::snapshot_into`).
+#[derive(Debug, Clone, Serialize)]
+pub struct SnapshotMicrobench {
+    /// `snapshot()` — allocates four vectors per call.
+    pub clone_ns_per_call: f64,
+    /// `snapshot_into()` — reuses the caller's buffers.
+    pub reuse_ns_per_call: f64,
+}
+
+/// The full report serialized to `BENCH_sim.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Report schema tag.
+    pub schema: &'static str,
+    /// True when run with the CI smoke budget (timings not comparable to
+    /// full runs).
+    pub smoke: bool,
+    /// Worker threads the optimized mode's pool used.
+    pub threads: usize,
+    /// Reps per mode (best-of-N).
+    pub reps: usize,
+    /// The benchmark cases.
+    pub cases: Vec<BenchCase>,
+    /// Snapshot clone-vs-reuse micro-benchmark.
+    pub snapshot: SnapshotMicrobench,
+}
+
+/// Phase budgets for the benchmark runs.
+fn phases(smoke: bool) -> PhaseConfig {
+    if smoke {
+        PhaseConfig {
+            warmup: 20_000,
+            profile: 40_000,
+            measure: 60_000,
+            repartition_epoch: None,
+        }
+    } else {
+        PhaseConfig {
+            warmup: 200_000,
+            profile: 400_000,
+            measure: 600_000,
+            repartition_epoch: None,
+        }
+    }
+}
+
+fn runner(fast_forward: bool, phases: PhaseConfig) -> Runner {
+    Runner {
+        cmp: CmpConfig {
+            fast_forward,
+            ..CmpConfig::default()
+        },
+        phases,
+    }
+}
+
+/// Serialize outcomes for the bit-identity comparison.
+fn fingerprint(outcomes: &[SimOutcome]) -> String {
+    serde_json::to_string(outcomes)
+        // lint: allow(R1): serializing in-memory plain-data structs cannot fail
+        .expect("SimOutcome serializes")
+}
+
+/// One run of the mix-end-to-end case: `fig1_mix` under the first enforced
+/// scheme, warmup → profile → measure.
+fn run_mix(fast_forward: bool, phases: PhaseConfig) -> Vec<SimOutcome> {
+    let r = runner(fast_forward, phases);
+    let mix = fig1_mix();
+    let (w, cc) = mix.build(1, SEED);
+    vec![r.run_scheme(
+        PartitionScheme::ENFORCED_SCHEMES[0],
+        w,
+        cc,
+        ShareSource::OnlineProfile,
+    )]
+}
+
+/// One run of the scheme-sweep case: `fig1_mix` under every enforced
+/// scheme, fanned out over the `rayon` pool (sequential in baseline mode,
+/// where the pool is pinned to one thread).
+fn run_sweep(fast_forward: bool, phases: PhaseConfig) -> Vec<SimOutcome> {
+    let r = runner(fast_forward, phases);
+    let mix = fig1_mix();
+    PartitionScheme::ENFORCED_SCHEMES
+        .par_iter()
+        .map(|&s| {
+            let (w, cc) = mix.build(1, SEED);
+            r.run_scheme(s, w, cc, ShareSource::OnlineProfile)
+        })
+        .collect()
+}
+
+/// Time `f` once, in `mode_threads` pool mode, returning the wall time and
+/// the outcomes.
+fn timed<F: FnOnce() -> Vec<SimOutcome>>(mode_threads: usize, f: F) -> (Duration, Vec<SimOutcome>) {
+    rayon::pool::set_num_threads(mode_threads);
+    let t0 = Instant::now();
+    let out = f();
+    let wall = t0.elapsed();
+    rayon::pool::set_num_threads(0);
+    (wall, out)
+}
+
+/// Measure one case in both modes, best-of-`reps` interleaved, asserting
+/// outcome bit-identity across every rep of every mode.
+fn bench_case(
+    name: &str,
+    simulated_cycles: u64,
+    reps: usize,
+    run: impl Fn(bool) -> Vec<SimOutcome>,
+) -> BenchCase {
+    let mut best_base = Duration::MAX;
+    let mut best_opt = Duration::MAX;
+    let mut reference: Option<String> = None;
+    for _ in 0..reps.max(1) {
+        // Baseline: seed behaviour — one pool thread, per-cycle stepping.
+        let (wall, out) = timed(1, || run(false));
+        best_base = best_base.min(wall);
+        let fp = fingerprint(&out);
+        let expected = reference.get_or_insert(fp.clone());
+        assert_eq!(
+            *expected, fp,
+            "{name}: baseline outcomes diverged between reps"
+        );
+        // Optimized: default pool width + event-driven fast-forward.
+        let (wall, out) = timed(0, || run(true));
+        best_opt = best_opt.min(wall);
+        assert_eq!(
+            *expected,
+            fingerprint(&out),
+            "{name}: optimized outcomes diverged from the sequential baseline"
+        );
+    }
+    let per_sec = |wall: Duration| simulated_cycles as f64 / wall.as_secs_f64().max(1e-12);
+    let round = |ms: f64| (ms * 1000.0).round() / 1000.0;
+    BenchCase {
+        name: name.to_string(),
+        simulated_cycles,
+        baseline: ModeResult {
+            wall_ms: round(best_base.as_secs_f64() * 1e3),
+            cycles_per_sec: per_sec(best_base).round(),
+        },
+        optimized: ModeResult {
+            wall_ms: round(best_opt.as_secs_f64() * 1e3),
+            cycles_per_sec: per_sec(best_opt).round(),
+        },
+        speedup: {
+            let s = best_base.as_secs_f64() / best_opt.as_secs_f64().max(1e-12);
+            (s * 100.0).round() / 100.0
+        },
+        identical_outcomes: true,
+    }
+}
+
+/// Time `snapshot()` (allocating) vs `snapshot_into()` (buffer-reusing) on
+/// a warmed system.
+fn snapshot_microbench() -> SnapshotMicrobench {
+    use bwpart_cmp::{CmpSystem, Snapshot};
+    use bwpart_mc::Policy;
+
+    let mix = fig1_mix();
+    let (w, cc) = mix.build(1, SEED);
+    let n = w.len();
+    let mut sys = CmpSystem::new(&CmpConfig::default(), w, cc, Policy::fcfs(n));
+    sys.run(10_000);
+
+    const ITERS: u32 = 10_000;
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        std::hint::black_box(sys.snapshot());
+    }
+    let clone_ns = t0.elapsed().as_nanos() as f64 / f64::from(ITERS);
+
+    let mut snap = Snapshot::default();
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        sys.snapshot_into(&mut snap);
+        std::hint::black_box(&snap);
+    }
+    let reuse_ns = t0.elapsed().as_nanos() as f64 / f64::from(ITERS);
+
+    let round = |ns: f64| (ns * 10.0).round() / 10.0;
+    SnapshotMicrobench {
+        clone_ns_per_call: round(clone_ns),
+        reuse_ns_per_call: round(reuse_ns),
+    }
+}
+
+/// Run the full harness. `smoke` shrinks the cycle budgets ~10× for CI;
+/// `reps` is the best-of-N count per mode.
+pub fn run(smoke: bool, reps: usize) -> BenchReport {
+    let p = phases(smoke);
+    let per_run = p.warmup + p.profile + p.measure;
+    let n_schemes = PartitionScheme::ENFORCED_SCHEMES.len() as u64;
+    let threads = rayon::pool::current_num_threads();
+
+    let cases = vec![
+        bench_case("mix_end_to_end", per_run, reps, |ff| run_mix(ff, p)),
+        bench_case("scheme_sweep", per_run * n_schemes, reps, |ff| {
+            run_sweep(ff, p)
+        }),
+    ];
+
+    BenchReport {
+        schema: "bwpart-bench-sim/v1",
+        smoke,
+        threads,
+        reps,
+        cases,
+        snapshot: snapshot_microbench(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_is_complete_and_consistent() {
+        let report = run(true, 1);
+        assert_eq!(report.schema, "bwpart-bench-sim/v1");
+        assert!(report.smoke);
+        assert_eq!(report.cases.len(), 2);
+        assert_eq!(report.cases[0].name, "mix_end_to_end");
+        assert_eq!(report.cases[1].name, "scheme_sweep");
+        for case in &report.cases {
+            assert!(case.identical_outcomes);
+            assert!(case.baseline.wall_ms > 0.0);
+            assert!(case.optimized.wall_ms > 0.0);
+            assert!(case.speedup > 0.0);
+        }
+        assert_eq!(
+            report.cases[1].simulated_cycles,
+            report.cases[0].simulated_cycles * 6
+        );
+        assert!(report.snapshot.clone_ns_per_call > 0.0);
+        assert!(report.snapshot.reuse_ns_per_call > 0.0);
+        // The report must round-trip through serde_json for BENCH_sim.json.
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("scheme_sweep"));
+    }
+}

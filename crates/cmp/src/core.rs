@@ -77,7 +77,7 @@ impl Default for CoreConfig {
 }
 
 /// Per-core counters.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CoreCounters {
     /// Instructions retired.
     pub retired: u64,
@@ -95,6 +95,30 @@ pub struct CoreCounters {
     pub mem_writes: u64,
     /// Cycles fully stalled on ROB/MSHR limits.
     pub stall_cycles: u64,
+}
+
+/// What [`Core::step`] would do in the next cycle, classified for the
+/// event-driven fast-forward in `CmpSystem::run`.
+///
+/// The two idle variants have *exactly* one per-cycle counter effect each,
+/// which is what makes batch compensation via [`Core::apply_idle_cycles`]
+/// bit-identical to stepping:
+///
+/// * `L2Wait(w)` — `step` decrements the serialized L2-hit penalty and
+///   returns before the execute loop (no stall is charged);
+/// * `Blocked` — the ROB/MSHR limits block the very first instruction, so
+///   `step` only charges one `stall_cycles`.
+///
+/// Both states are stable until a memory completion arrives or (for
+/// `L2Wait`) the penalty counter reaches zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdleState {
+    /// The core would retire at least one instruction this cycle.
+    Executing,
+    /// Serialized L2-hit penalty with `w > 0` cycles left.
+    L2Wait(u32),
+    /// Fully stalled on the ROB window or MSHR limit.
+    Blocked,
 }
 
 /// One core with its private cache hierarchy and workload.
@@ -203,6 +227,82 @@ impl Core {
             }
         }
         false
+    }
+
+    /// Classify what [`step`](Self::step) would do in the next cycle. Pure:
+    /// repeated calls without intervening `step`/`complete` agree.
+    pub fn idle_state(&self) -> IdleState {
+        if self.l2_wait > 0 {
+            return IdleState::L2Wait(self.l2_wait);
+        }
+        if self.gap_left == 0 && self.limits_block() {
+            return IdleState::Blocked;
+        }
+        IdleState::Executing
+    }
+
+    /// Apply `cycles` cycles of idleness at once — the batch equivalent of
+    /// calling [`step`](Self::step) that many times while the core stays in
+    /// its current idle state. Callers (the fast-forward path) must ensure
+    /// the state really is stable for the whole span: no completion is
+    /// delivered inside it and, for `L2Wait(w)`, `cycles ≤ w`.
+    pub fn apply_idle_cycles(&mut self, cycles: u64) {
+        match self.idle_state() {
+            IdleState::L2Wait(w) => {
+                bwpart_core::invariant!(
+                    cycles <= u64::from(w),
+                    "skipping {cycles} cycles across the end of an L2 wait of {w}"
+                );
+                // Mirrors the `l2_wait -= 1; return` path: no stall charge.
+                self.l2_wait = w.saturating_sub(cycles as u32);
+            }
+            IdleState::Blocked => {
+                // Mirrors the blocked path: one stall cycle per cycle.
+                self.counters.stall_cycles += cycles;
+            }
+            IdleState::Executing => {
+                bwpart_core::invariant!(false, "apply_idle_cycles on a core that would execute");
+            }
+        }
+    }
+
+    /// How many upcoming cycles are *pure gap*: the core only retires
+    /// `width` non-memory instructions per cycle and cannot reach its
+    /// pending memory instruction — so it cannot touch the caches or the
+    /// memory controller. `step`'s execute loop consumes
+    /// `min(gap_left, width)` gap instructions before considering the
+    /// memory op, so a cycle is pure exactly while `gap_left ≥ width`;
+    /// `gap_left / width` such cycles remain. Only meaningful when
+    /// [`idle_state`](Self::idle_state) is [`IdleState::Executing`].
+    pub fn pure_gap_cycles(&self) -> u64 {
+        if self.l2_wait > 0 {
+            return 0;
+        }
+        u64::from(self.gap_left / self.cfg.width)
+    }
+
+    /// Batch-execute `cycles` pure-gap cycles at once — the exact effect of
+    /// calling [`step`](Self::step) that many times while each cycle stays
+    /// pure gap: `width` instructions retired per cycle, no stall, no cache
+    /// or controller traffic. Callers (the fast-forward path) must keep
+    /// `cycles ≤` [`pure_gap_cycles`](Self::pure_gap_cycles).
+    pub fn apply_gap_cycles(&mut self, cycles: u64) {
+        bwpart_core::invariant!(
+            self.l2_wait == 0,
+            "gap batching inside an L2 wait of {}",
+            self.l2_wait
+        );
+        let instrs = cycles.saturating_mul(u64::from(self.cfg.width));
+        bwpart_core::invariant!(
+            instrs <= u64::from(self.gap_left),
+            "batching {instrs} gap instructions with only {} left",
+            self.gap_left
+        );
+        self.gap_left = self
+            .gap_left
+            .saturating_sub(u32::try_from(instrs).unwrap_or(u32::MAX));
+        self.seq += instrs;
+        self.counters.retired += instrs;
     }
 
     /// Advance the next access from the workload.
@@ -482,6 +582,128 @@ mod tests {
             max_out = max_out.max(core.outstanding_misses());
         }
         assert_eq!(max_out, 1, "ROB window should serialize distant misses");
+    }
+
+    #[test]
+    fn idle_state_matches_step_effects() {
+        // gap 0 + MSHR limit 1: the core blocks as soon as one miss is out.
+        let mut core = mk_core(0, 64, 1);
+        let mut mc = mk_mc();
+        assert_eq!(core.idle_state(), IdleState::Executing);
+        core.step(0, &mut mc); // issues the first miss, then blocks
+        assert_eq!(core.idle_state(), IdleState::Blocked);
+        // Blocked stepping charges exactly one stall per cycle.
+        let stalls = core.counters.stall_cycles;
+        let retired = core.counters.retired;
+        for now in 1..4 {
+            core.step(now, &mut mc);
+        }
+        assert_eq!(core.counters.stall_cycles, stalls + 3);
+        assert_eq!(core.counters.retired, retired);
+        // Batch compensation produces the identical counter state.
+        core.apply_idle_cycles(5);
+        assert_eq!(core.counters.stall_cycles, stalls + 8);
+        assert_eq!(core.counters.retired, retired);
+        assert_eq!(core.idle_state(), IdleState::Blocked);
+    }
+
+    #[test]
+    fn l2_wait_batch_equals_stepping() {
+        // Two cores driven identically into an L2 wait; one steps, one
+        // batches. The 64 KB working set (1024 lines at stride 128 over a
+        // 128 KB region) overflows the 32 KB L1 but stays L2-resident, so
+        // steady state is a stream of L2 hits, each serializing a wait.
+        let mk = || {
+            Core::new(
+                0,
+                CoreConfig::default(),
+                CacheConfig::l1d(),
+                CacheConfig::l2(),
+                Box::new(Stride {
+                    gap: 0,
+                    next: 0,
+                    step: 128,
+                    is_write: false,
+                }),
+                0,
+                1 << 17,
+            )
+        };
+        let mut stepped = mk();
+        let mut batched = mk();
+        let mut mc = mk_mc();
+        let mut mc2 = mk_mc();
+        // Warm both identically until one lands in an L2 wait.
+        let mut now = 0;
+        while !matches!(stepped.idle_state(), IdleState::L2Wait(_)) && now < 400_000 {
+            stepped.step(now, &mut mc);
+            for c in mc.drain_completions(now) {
+                stepped.complete(c.addr);
+            }
+            batched.step(now, &mut mc2);
+            for c in mc2.drain_completions(now) {
+                batched.complete(c.addr);
+            }
+            mc.tick(now);
+            mc2.tick(now);
+            now += 1;
+        }
+        let IdleState::L2Wait(w) = stepped.idle_state() else {
+            panic!("expected an L2 wait, got {:?}", stepped.idle_state());
+        };
+        assert!(w > 0);
+        assert_eq!(batched.idle_state(), IdleState::L2Wait(w));
+        for k in 0..u64::from(w) {
+            stepped.step(now + k, &mut mc);
+        }
+        batched.apply_idle_cycles(u64::from(w));
+        assert_eq!(stepped.idle_state(), batched.idle_state());
+        assert_eq!(stepped.counters.stall_cycles, batched.counters.stall_cycles);
+        assert_eq!(stepped.counters.retired, batched.counters.retired);
+        // The wait is fully consumed in both (whatever follows it).
+        assert!(!matches!(stepped.idle_state(), IdleState::L2Wait(_)));
+    }
+
+    #[test]
+    fn pure_gap_batching_matches_stepping() {
+        // gap 64 at width 8: exactly 8 pure-gap cycles before the memory
+        // instruction can be reached.
+        let mut stepped = mk_core(64, 64, 8);
+        let mut batched = mk_core(64, 64, 8);
+        let mut mc = mk_mc();
+        assert_eq!(stepped.idle_state(), IdleState::Executing);
+        assert_eq!(stepped.pure_gap_cycles(), 8);
+        for now in 0..8 {
+            stepped.step(now, &mut mc);
+        }
+        // Pure-gap cycles never reach the memory system.
+        assert_eq!(mc.total_queued(), 0);
+        batched.apply_gap_cycles(8);
+        assert_eq!(stepped.counters, batched.counters);
+        assert_eq!(stepped.counters.retired, 64);
+        assert_eq!(stepped.pure_gap_cycles(), 0);
+        assert_eq!(batched.pure_gap_cycles(), 0);
+        assert_eq!(stepped.idle_state(), batched.idle_state());
+        // A partial batch also agrees with stepping.
+        let mut stepped2 = mk_core(64, 64, 8);
+        let mut batched2 = mk_core(64, 64, 8);
+        for now in 0..3 {
+            stepped2.step(now, &mut mc);
+        }
+        batched2.apply_gap_cycles(3);
+        assert_eq!(stepped2.counters, batched2.counters);
+        assert_eq!(batched2.pure_gap_cycles(), 5);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "contracts compile out in release")]
+    fn apply_idle_cycles_rejects_executing_core() {
+        let mut core = mk_core(10, 64, 8);
+        assert_eq!(core.idle_state(), IdleState::Executing);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            core.apply_idle_cycles(1);
+        }));
+        assert!(err.is_err());
     }
 
     #[test]

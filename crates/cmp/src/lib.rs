@@ -30,8 +30,8 @@ pub mod runner;
 pub mod stats;
 pub mod system;
 
-pub use crate::core::{Access, Core, CoreConfig, Workload};
+pub use crate::core::{Access, Core, CoreConfig, IdleState, Workload};
 pub use cache::{Cache, CacheConfig};
 pub use runner::{PhaseConfig, Runner, ShareSource, SimOutcome};
 pub use stats::AppStats;
-pub use system::{CmpConfig, CmpSystem};
+pub use system::{CmpConfig, CmpSystem, Snapshot};

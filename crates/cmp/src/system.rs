@@ -6,7 +6,7 @@ use bwpart_mc::{MemoryController, Policy};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheConfig;
-use crate::core::{Core, CoreConfig, Workload};
+use crate::core::{Core, CoreConfig, IdleState, Workload};
 use crate::stats::AppStats;
 
 /// System-level configuration (Table II defaults).
@@ -25,6 +25,15 @@ pub struct CmpConfig {
     /// application's FIFO head the controller looks for an issuable
     /// request; 1 = strict per-app FIFO).
     pub sched_window: usize,
+    /// Event-driven fast-forward: when every core is batchable (stalled on
+    /// outstanding misses, serializing an L2 hit, or executing pure
+    /// non-memory gap instructions), [`CmpSystem::run`] jumps straight to
+    /// the next memory-system event instead of stepping cycle by cycle,
+    /// bulk-applying each core's per-cycle counter effects.
+    /// Counter-identical to per-cycle stepping by
+    /// construction (see [`CmpSystem::run_per_cycle`] and the fast-forward
+    /// tests); disable only to cross-check timings.
+    pub fast_forward: bool,
 }
 
 impl Default for CmpConfig {
@@ -35,12 +44,13 @@ impl Default for CmpConfig {
             dram: DramConfig::ddr2_400(),
             region_bits: 29,
             sched_window: 8,
+            fast_forward: true,
         }
     }
 }
 
 /// Counter snapshot used to delta a measurement window.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Snapshot {
     /// Global cycle of the snapshot.
     pub cycle: u64,
@@ -61,6 +71,8 @@ pub struct CmpSystem {
     cycle: u64,
     /// Lifetime retired-instruction counters (survive per-phase resets).
     lifetime_instr: Vec<u64>,
+    /// Event-driven cycle skipping enabled (from [`CmpConfig`]).
+    fast_forward: bool,
 }
 
 impl CmpSystem {
@@ -113,6 +125,7 @@ impl CmpSystem {
             mc,
             cycle: 0,
             lifetime_instr: vec![0; n],
+            fast_forward: cfg.fast_forward,
         }
     }
 
@@ -145,7 +158,7 @@ impl CmpSystem {
     pub fn step(&mut self) {
         let now = self.cycle;
         self.mc.tick(now);
-        for c in self.mc.drain_completions(now) {
+        while let Some(c) = self.mc.pop_completion(now) {
             if !c.is_write {
                 self.cores[c.app].complete(c.addr);
             }
@@ -157,27 +170,136 @@ impl CmpSystem {
     }
 
     /// Run `cycles` CPU cycles.
+    ///
+    /// With [`CmpConfig::fast_forward`] enabled (the default), windows in
+    /// which every core is *batchable* — fully stalled on outstanding
+    /// misses, serializing an L2-hit penalty, or executing pure non-memory
+    /// gap instructions — are crossed in one jump to the next event instead
+    /// of cycle by cycle. A skipped window is *provably* counter-identical
+    /// to stepping it:
+    ///
+    /// * each idle core's only per-cycle effect is a single counter update
+    ///   ([`Core::apply_idle_cycles`] applies the batch equivalent), and a
+    ///   pure-gap core retires exactly `width` instructions per cycle
+    ///   without reaching memory ([`Core::apply_gap_cycles`] applies the
+    ///   batch equivalent, bounded by [`Core::pure_gap_cycles`]),
+    /// * the jump never crosses a DRAM scheduling tick while requests are
+    ///   queued, a pending completion, the end of an L2 wait, or `cycles`'
+    ///   end ([`MemoryController::next_event_cycle`] bounds the first two),
+    /// * no core enqueues requests while idle, so the controller sees the
+    ///   identical request stream at identical cycles.
+    ///
+    /// [`run_per_cycle`](Self::run_per_cycle) is the always-stepping
+    /// reference; the `fast_forward` integration tests and the debug-mode
+    /// contracts in the skip path hold the two bit-identical.
     pub fn run(&mut self, cycles: u64) {
+        let end = self.cycle + cycles;
+        while self.cycle < end {
+            if self.fast_forward {
+                if let Some(target) = self.skip_target(end) {
+                    self.fast_forward_to(target);
+                    continue;
+                }
+            }
+            self.step();
+        }
+    }
+
+    /// Run `cycles` CPU cycles strictly one [`step`](Self::step) at a time,
+    /// regardless of [`CmpConfig::fast_forward`] — the reference behaviour
+    /// the event-driven path must reproduce exactly.
+    pub fn run_per_cycle(&mut self, cycles: u64) {
         let end = self.cycle + cycles;
         while self.cycle < end {
             self.step();
         }
     }
 
+    /// If every core's next cycles are batchable at the current cycle, the
+    /// cycle (at most `end`) to jump to; `None` when any core is about to
+    /// reach a memory instruction or an event is due right now.
+    ///
+    /// Batchable means each core is either idle (`Blocked`, or inside an
+    /// `L2Wait` whose remaining cycles bound the jump) or executing *pure
+    /// gap* — retiring `width` non-memory instructions per cycle without
+    /// any chance of touching the memory system ([`Core::pure_gap_cycles`]
+    /// bounds the jump so the cycle that reaches the memory instruction is
+    /// still simulated by [`step`](Self::step)).
+    fn skip_target(&self, end: u64) -> Option<u64> {
+        let now = self.cycle;
+        let mut target = end;
+        for core in &self.cores {
+            match core.idle_state() {
+                IdleState::Executing => {
+                    let pure = core.pure_gap_cycles();
+                    if pure == 0 {
+                        return None;
+                    }
+                    target = target.min(now + pure);
+                }
+                // The wait's last cycle is `now + w - 1`; at `now + w` the
+                // core executes again, which `step` must simulate.
+                IdleState::L2Wait(w) => target = target.min(now + u64::from(w)),
+                IdleState::Blocked => {}
+            }
+        }
+        if let Some(event) = self.mc.next_event_cycle(now) {
+            target = target.min(event);
+        }
+        (target > now).then_some(target)
+    }
+
+    /// Jump from the current cycle to `target`, applying each core's batch
+    /// compensation — idle-counter updates for blocked/waiting cores, bulk
+    /// gap retirement for pure-gap cores. Debug contracts re-check the
+    /// soundness conditions [`skip_target`](Self::skip_target) established.
+    fn fast_forward_to(&mut self, target: u64) {
+        let delta = target - self.cycle;
+        bwpart_core::invariant!(delta > 0, "fast-forward must move time");
+        bwpart_core::invariant!(
+            self.mc
+                .next_event_cycle(self.cycle)
+                .is_none_or(|e| e >= target),
+            "fast-forward would jump a memory-system event"
+        );
+        for core in &mut self.cores {
+            if matches!(core.idle_state(), IdleState::Executing) {
+                core.apply_gap_cycles(delta);
+            } else {
+                core.apply_idle_cycles(delta);
+            }
+        }
+        self.cycle = target;
+    }
+
     /// Snapshot lifetime counters (for windowed deltas).
     pub fn snapshot(&self) -> Snapshot {
-        Snapshot {
-            cycle: self.cycle,
-            instructions: self
-                .cores
+        let mut snap = Snapshot::default();
+        self.snapshot_into(&mut snap);
+        snap
+    }
+
+    /// Fill `snap` with the current lifetime counters, reusing its buffers.
+    /// Equivalent to [`snapshot`](Self::snapshot) without the four vector
+    /// allocations — callers that snapshot in a loop (epoch repartitioning,
+    /// ablation sweeps) keep one scratch `Snapshot` per window edge.
+    pub fn snapshot_into(&self, snap: &mut Snapshot) {
+        snap.cycle = self.cycle;
+        snap.instructions.clear();
+        snap.instructions.extend(
+            self.cores
                 .iter()
                 .enumerate()
-                .map(|(i, c)| self.lifetime_instr[i] + c.counters.retired)
-                .collect(),
-            served: self.mc.stats().served.clone(),
-            l1_misses: self.cores.iter().map(|c| c.counters.l1_misses).collect(),
-            l2_misses: self.cores.iter().map(|c| c.counters.l2_misses).collect(),
-        }
+                .map(|(i, c)| self.lifetime_instr[i] + c.counters.retired),
+        );
+        snap.served.clear();
+        snap.served.extend_from_slice(&self.mc.stats().served);
+        snap.l1_misses.clear();
+        snap.l1_misses
+            .extend(self.cores.iter().map(|c| c.counters.l1_misses));
+        snap.l2_misses.clear();
+        snap.l2_misses
+            .extend(self.cores.iter().map(|c| c.counters.l2_misses));
     }
 
     /// Per-application stats for the window between two snapshots.
@@ -308,6 +430,108 @@ mod tests {
             (s.instructions, s.served)
         };
         assert_eq!(run(), run());
+    }
+
+    /// Everything observable about a system, for bit-identity assertions.
+    fn digest(sys: &CmpSystem) -> (u64, Snapshot, Vec<crate::core::CoreCounters>, McDigest) {
+        (
+            sys.cycle(),
+            sys.snapshot(),
+            (0..sys.cores())
+                .map(|i| sys.core(i).counters.clone())
+                .collect(),
+            (
+                sys.mc().stats().clone(),
+                (0..sys.cores())
+                    .map(|i| sys.mc().interference_cycles(i))
+                    .collect(),
+                sys.mc().dram().stats().clone(),
+            ),
+        )
+    }
+    type McDigest = (bwpart_mc::McStats, Vec<u64>, bwpart_dram::DramStats);
+
+    #[test]
+    fn fast_forward_is_counter_identical_to_per_cycle() {
+        // Saturating streams: long all-blocked windows, so the skip path is
+        // exercised heavily. gap 20 leaves execute bursts between stalls.
+        for gap in [5, 20, 80] {
+            let mut skipped = mk(3, gap);
+            skipped.run(150_000);
+            let mut stepped = mk(3, gap);
+            stepped.run_per_cycle(150_000);
+            assert_eq!(
+                digest(&skipped),
+                digest(&stepped),
+                "fast-forward diverged at gap {gap}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_forward_equivalence_survives_chunked_runs() {
+        // Phase boundaries land mid-skip-window; resuming must not change
+        // anything relative to one uninterrupted run.
+        let mut chunked = mk(2, 10);
+        for chunk in [1_000, 37, 99_963, 29_000] {
+            chunked.run(chunk);
+        }
+        let mut whole = mk(2, 10);
+        whole.run(130_000);
+        assert_eq!(digest(&chunked), digest(&whole));
+    }
+
+    #[test]
+    fn fast_forward_disabled_still_matches() {
+        let cfg = CmpConfig {
+            fast_forward: false,
+            ..CmpConfig::default()
+        };
+        let workloads: Vec<Box<dyn Workload>> = (0..2)
+            .map(|_| {
+                Box::new(Uniform {
+                    gap: 15,
+                    next: 0,
+                    stride: 64,
+                }) as Box<dyn Workload>
+            })
+            .collect();
+        let mut off = CmpSystem::new(
+            &cfg,
+            workloads,
+            vec![CoreConfig::default(); 2],
+            Policy::fcfs(2),
+        );
+        off.run(60_000);
+        let mut on = mk(2, 15);
+        on.run(60_000);
+        assert_eq!(digest(&off), digest(&on));
+    }
+
+    #[test]
+    fn snapshot_into_reuses_buffers_and_matches_snapshot() {
+        let mut sys = mk(2, 30);
+        sys.run(40_000);
+        let fresh = sys.snapshot();
+        // Reuse a dirty, differently-sized scratch snapshot.
+        let mut scratch = Snapshot {
+            cycle: 999,
+            instructions: vec![1, 2, 3, 4, 5],
+            served: vec![9],
+            l1_misses: vec![],
+            l2_misses: vec![7, 7],
+        };
+        sys.snapshot_into(&mut scratch);
+        assert_eq!(scratch, fresh);
+        let cap = scratch.instructions.capacity();
+        sys.run(10_000);
+        sys.snapshot_into(&mut scratch);
+        assert_eq!(scratch, sys.snapshot());
+        assert_eq!(
+            scratch.instructions.capacity(),
+            cap,
+            "refill must not reallocate"
+        );
     }
 
     #[test]

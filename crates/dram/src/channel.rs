@@ -69,6 +69,20 @@ pub struct Channel {
     last_start: Option<u64>,
     /// Per-rank marker: refresh blackouts applied to bank state up to here.
     refresh_applied: Vec<u64>,
+    /// Per-rank refresh stagger offset, precomputed at construction
+    /// (`(2·rank + 1)·tREFI / (2·ranks)`).
+    refresh_phase: Vec<u64>,
+}
+
+/// `n / d` taking the much cheaper 32-bit hardware divide when both
+/// operands fit (they do for every realistic cycle count; the u64 path is
+/// the correctness fallback for extremely long runs).
+#[inline]
+fn fast_div(n: u64, d: u64) -> u64 {
+    match (u32::try_from(n), u32::try_from(d)) {
+        (Ok(n32), Ok(d32)) => u64::from(n32 / d32),
+        _ => n / d,
+    }
 }
 
 impl Channel {
@@ -89,6 +103,9 @@ impl Channel {
             last_write_data_end: 0,
             last_start: None,
             refresh_applied: vec![0; cfg.ranks],
+            refresh_phase: (0..cfg.ranks as u64)
+                .map(|r| (2 * r + 1) * t.trefi / (2 * cfg.ranks as u64))
+                .collect(),
         }
     }
 
@@ -109,18 +126,19 @@ impl Channel {
 
     /// Align `cycle` up to the DRAM command-clock grid.
     fn align_up(&self, cycle: u64) -> u64 {
-        cycle.div_ceil(self.t.tck) * self.t.tck
+        let t = self.t.tck;
+        fast_div(cycle + (t - 1), t) * t
     }
 
     /// The refresh blackout window `[start, end)` that covers or precedes
     /// `cycle` for `rank`, staggered across ranks (half-slot offset so no
     /// rank refreshes at cycle 0).
     fn blackout_before(&self, rank: usize, cycle: u64) -> (u64, u64) {
-        let phase = (2 * rank as u64 + 1) * self.t.trefi / (2 * self.ranks as u64);
+        let phase = self.refresh_phase[rank];
         if cycle < phase {
             return (0, 0); // before the first refresh of this rank
         }
-        let k = (cycle - phase) / self.t.trefi;
+        let k = fast_div(cycle - phase, self.t.trefi);
         let start = phase + k * self.t.trefi;
         (start, start + self.t.trfc)
     }
@@ -148,16 +166,18 @@ impl Channel {
         }
     }
 
-    /// Compute the earliest start for a transaction and, when it is blocked
-    /// relative to `now`, the dominating constraint and its owner.
-    pub fn probe(
+    /// Fold every raw (unaligned, refresh-unaware) lower bound on a
+    /// transaction's start into the dominating `(start, reason, blocker)`
+    /// triple, starting from `now`. Shared by [`probe`](Self::probe) and
+    /// [`issuable_at`](Self::issuable_at) so the two can never diverge.
+    fn raw_probe(
         &self,
         rank: usize,
         bank: usize,
         row: usize,
         is_write: bool,
         now: u64,
-    ) -> ChannelProbe {
+    ) -> (u64, BlockReason, Option<usize>, AccessKind) {
         let t = &self.t;
         let b = &self.banks[self.bank_index(rank, bank)];
         let bank_probe = b.probe(row, self.policy, t);
@@ -170,21 +190,32 @@ impl Channel {
         };
         let data_off = cas_off + if is_write { t.cwl } else { t.cl };
 
-        // Collect lower bounds on `start`, remembering their reasons.
-        let mut bounds: Vec<(u64, BlockReason, Option<usize>)> = Vec::with_capacity(5);
-        bounds.push((bank_probe.earliest_start, BlockReason::Bank, b.last_owner));
+        // Fold the lower bounds on `start` inline, keeping the dominating
+        // constraint's reason/owner. This runs once per scheduling probe —
+        // the controller's hottest path — so the bounds are accumulated
+        // without any intermediate collection. Order mirrors the documented
+        // precedence: bank, rank ACT windows, data bus, command slot.
+        let (mut start, mut reason, mut blocker) = (now, BlockReason::Bank, None);
+        let mut fold = |lb: u64, r: BlockReason, owner: Option<usize>| {
+            if lb > start {
+                start = lb;
+                reason = r;
+                blocker = owner;
+            }
+        };
+        fold(bank_probe.earliest_start, BlockReason::Bank, b.last_owner);
 
         if let Some(aoff) = act_off {
             // tRRD from the last ACT in this rank.
             if let Some(&last) = self.rank_acts[rank].back() {
                 let lb = (last + t.trrd).saturating_sub(aoff);
-                bounds.push((lb, BlockReason::RankAct, self.rank_act_owner[rank]));
+                fold(lb, BlockReason::RankAct, self.rank_act_owner[rank]);
             }
             // tFAW: the 4th-most-recent ACT gates a 5th.
             if self.rank_acts[rank].len() >= 4 {
                 let oldest = self.rank_acts[rank][self.rank_acts[rank].len() - 4];
                 let lb = (oldest + t.tfaw).saturating_sub(aoff);
-                bounds.push((lb, BlockReason::RankAct, self.rank_act_owner[rank]));
+                fold(lb, BlockReason::RankAct, self.rank_act_owner[rank]);
             }
         }
 
@@ -207,47 +238,85 @@ impl Channel {
             // data (lbm alone reaches 94% of peak) shows their testbed did
             // not pay such a cost.
         }
-        bounds.push((
+        fold(
             bus_ready.saturating_sub(data_off),
             BlockReason::DataBus,
             self.bus_owner,
-        ));
+        );
 
         // Command-slot: one transaction start per DRAM clock.
         if let Some(last) = self.last_start {
-            bounds.push((last + t.tck, BlockReason::CommandSlot, self.bus_owner));
+            fold(last + t.tck, BlockReason::CommandSlot, self.bus_owner);
         }
 
-        let (mut start, mut reason, mut blocker) = (now, BlockReason::Bank, None);
-        for (lb, r, owner) in bounds {
-            if lb > start {
-                start = lb;
-                reason = r;
-                blocker = owner;
-            }
-        }
+        (start, reason, blocker, kind)
+    }
 
-        // Alignment and refresh avoidance (iterate: pushing past a blackout
-        // keeps alignment because blackout ends are arbitrary, so re-align).
+    /// Push `start` onto the command-clock grid and out of refresh
+    /// blackouts (iterate: pushing past a blackout breaks alignment because
+    /// blackout ends are arbitrary, so re-align). Returns the final start
+    /// and whether a refresh moved it.
+    fn align_and_avoid_refresh(&self, rank: usize, mut start: u64) -> (u64, bool) {
+        let mut refreshed = false;
         for _ in 0..4 {
             let aligned = self.align_up(start);
             let moved = self.avoid_blackout(rank, aligned);
             if moved != aligned {
                 start = moved;
-                reason = BlockReason::Refresh;
-                blocker = None;
+                refreshed = true;
             } else {
-                start = aligned;
-                break;
+                return (aligned, refreshed);
             }
         }
+        (start, refreshed)
+    }
 
+    /// Compute the earliest start for a transaction and, when it is blocked
+    /// relative to `now`, the dominating constraint and its owner.
+    pub fn probe(
+        &self,
+        rank: usize,
+        bank: usize,
+        row: usize,
+        is_write: bool,
+        now: u64,
+    ) -> ChannelProbe {
+        let (raw, mut reason, mut blocker, kind) = self.raw_probe(rank, bank, row, is_write, now);
+        let (start, refreshed) = self.align_and_avoid_refresh(rank, raw);
+        if refreshed {
+            reason = BlockReason::Refresh;
+            blocker = None;
+        }
         ChannelProbe {
             start,
             kind,
             block: if start > now { Some(reason) } else { None },
             blocker: blocker.filter(|_| start > now),
         }
+    }
+
+    /// Whether a transaction's first command could be driven at or before
+    /// `now` — exactly `probe(...).start <= now`, but rejected requests
+    /// usually resolve on the raw timing bounds alone, skipping the
+    /// division-heavy grid-alignment and refresh scan. This is the memory
+    /// controller's per-tick scheduling test, run up to `sched_window`
+    /// times per pending application, so the cheap-reject path matters.
+    pub fn issuable_at(
+        &self,
+        rank: usize,
+        bank: usize,
+        row: usize,
+        is_write: bool,
+        now: u64,
+    ) -> Option<AccessKind> {
+        let (raw, _, _, kind) = self.raw_probe(rank, bank, row, is_write, now);
+        // Alignment and refresh avoidance only ever push the start later,
+        // so a raw bound past `now` is already a rejection.
+        if raw > now {
+            return None;
+        }
+        let (start, _) = self.align_and_avoid_refresh(rank, raw);
+        (start <= now).then_some(kind)
     }
 
     /// Commit a transaction whose first command is driven at `probe.start`.
@@ -302,6 +371,19 @@ impl Channel {
     /// Cycle at which the data bus becomes free (stats/utilization).
     pub fn bus_free_at(&self) -> u64 {
         self.bus_free
+    }
+
+    /// Cycle by which every *committed* transaction on this channel has
+    /// fully drained: the data bus is free and each bank has finished its
+    /// committed work (including auto-precharge). Bursts are serialized on
+    /// the data bus, so no committed transaction's data end — and therefore
+    /// no pending completion — can lie beyond this cycle. Fast-forward
+    /// contracts use it as the memory system's event horizon.
+    pub fn quiesce_at(&self) -> u64 {
+        self.banks
+            .iter()
+            .map(|b| b.busy_until)
+            .fold(self.bus_free, u64::max)
     }
 }
 
@@ -453,6 +535,25 @@ mod tests {
         assert_eq!(p2.kind, AccessKind::RowHit);
         let p3 = ch.probe(0, 0, 8, false, p.start + t.tck);
         assert_eq!(p3.kind, AccessKind::RowConflict);
+    }
+
+    #[test]
+    fn quiesce_bounds_every_committed_data_end() {
+        let mut ch = channel();
+        assert_eq!(ch.quiesce_at(), 0, "idle channel has nothing pending");
+        let mut now = 0;
+        for b in 0..6 {
+            let p = ch.probe(0, b % 8, 1, b % 3 == 0, now);
+            let (_, de) = ch.commit(0, b % 8, 1, b % 3 == 0, 0, &p);
+            assert!(
+                de <= ch.quiesce_at(),
+                "data end {de} beyond quiesce {}",
+                ch.quiesce_at()
+            );
+            now = p.start + 25;
+        }
+        // The bank's auto-precharge tail extends past the last burst.
+        assert!(ch.quiesce_at() >= ch.bus_free_at());
     }
 
     /// Exhaustive legality check: for random traffic, committed bursts never

@@ -96,7 +96,17 @@ impl DramSystem {
     /// Whether `txn`'s first command can be driven exactly at `now`
     /// (the controller ticks on the DRAM clock grid).
     pub fn can_issue(&self, txn: &MemTransaction, now: u64) -> bool {
-        self.probe(txn, now).start <= now
+        self.issuable_at(txn, now).is_some()
+    }
+
+    /// Scheduling fast path: `Some(kind)` when `txn` could start at or
+    /// before `now` — exactly `probe(txn, now).start <= now` — computed
+    /// with an early rejection on the raw timing bounds (see
+    /// [`Channel::issuable_at`]). The memory controller runs this up to
+    /// `sched_window` times per pending application per DRAM clock.
+    pub fn issuable_at(&self, txn: &MemTransaction, now: u64) -> Option<crate::bank::AccessKind> {
+        let loc = self.decode(txn.addr);
+        self.channels[loc.channel].issuable_at(loc.rank, loc.bank, loc.row, txn.is_write, now)
     }
 
     /// If `txn` cannot issue at `now`, the application whose traffic owns
@@ -147,6 +157,17 @@ impl DramSystem {
             done_cycle: data_end,
             row_hit,
         }
+    }
+
+    /// Cycle by which all committed traffic across every channel has fully
+    /// drained (data buses free, banks idle again). Upper-bounds the
+    /// `done_cycle` of every completion issued so far — the contract the
+    /// memory controller's fast-forward event query checks against.
+    pub fn quiesce_at(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(Channel::quiesce_at)
+            .fold(0, u64::max)
     }
 
     /// Statistics accumulated so far.
@@ -355,6 +376,29 @@ mod tests {
             out
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn quiesce_bounds_every_completion() {
+        let mut s = sys();
+        assert_eq!(s.quiesce_at(), 0);
+        let mut cycle = warm_start(&s);
+        for i in 0..50u64 {
+            let txn = MemTransaction {
+                app: (i % 4) as usize,
+                addr: i.wrapping_mul(0x9E3779B97F4A7C15) & 0xFFF_FFC0,
+                is_write: i % 5 == 0,
+            };
+            let p = s.probe(&txn, cycle);
+            let c = s.issue(&txn, p.start.max(cycle));
+            assert!(
+                c.done_cycle <= s.quiesce_at(),
+                "completion {} beyond quiesce {}",
+                c.done_cycle,
+                s.quiesce_at()
+            );
+            cycle = p.start;
+        }
     }
 
     #[test]

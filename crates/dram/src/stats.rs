@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 use crate::bank::AccessKind;
 
 /// Aggregated counters for one simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DramStats {
     /// Total transactions served (reads + writes).
     pub served: u64,

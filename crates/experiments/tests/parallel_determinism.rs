@@ -1,0 +1,87 @@
+//! End-to-end determinism: a scheme sweep fanned out over the work-stealing
+//! pool with event-driven fast-forward enabled must produce bit-identical
+//! outcomes to the sequential, per-cycle-stepped baseline (the seed
+//! behaviour before the performance work).
+
+use bwpart_cmp::{CmpConfig, PhaseConfig, Runner, ShareSource, SimOutcome};
+use bwpart_core::schemes::PartitionScheme;
+use bwpart_workloads::mixes::fig1_mix;
+use rayon::prelude::*;
+
+const SEED: u64 = 0xB417_2013;
+
+fn phases() -> PhaseConfig {
+    PhaseConfig {
+        warmup: 20_000,
+        profile: 40_000,
+        measure: 60_000,
+        repartition_epoch: None,
+    }
+}
+
+fn sweep(fast_forward: bool, parallel: bool) -> Vec<SimOutcome> {
+    let runner = Runner {
+        cmp: CmpConfig {
+            fast_forward,
+            ..CmpConfig::default()
+        },
+        phases: phases(),
+    };
+    let mix = fig1_mix();
+    let run_one = |s: PartitionScheme| {
+        let (w, cc) = mix.build(1, SEED);
+        runner.run_scheme(s, w, cc, ShareSource::OnlineProfile)
+    };
+    if parallel {
+        PartitionScheme::ENFORCED_SCHEMES
+            .par_iter()
+            .map(|&s| run_one(s))
+            .collect()
+    } else {
+        PartitionScheme::ENFORCED_SCHEMES
+            .iter()
+            .map(|&s| run_one(s))
+            .collect()
+    }
+}
+
+/// Serialize to compare every counter bit-for-bit, not just a summary.
+fn fingerprint(outcomes: &[SimOutcome]) -> String {
+    serde_json::to_string(outcomes).expect("SimOutcome serializes")
+}
+
+#[test]
+fn parallel_fast_forward_sweep_is_bit_identical_to_sequential_baseline() {
+    // Seed behaviour: one pool thread, per-cycle stepping.
+    rayon::pool::set_num_threads(1);
+    let baseline = fingerprint(&sweep(false, false));
+
+    // Optimized: four pool threads + fast-forward, fanned out via par_iter.
+    rayon::pool::set_num_threads(4);
+    let optimized = fingerprint(&sweep(true, true));
+    rayon::pool::set_num_threads(0);
+
+    assert_eq!(
+        baseline, optimized,
+        "parallel + fast-forwarded sweep diverged from the sequential \
+         per-cycle baseline"
+    );
+}
+
+#[test]
+fn fast_forward_alone_is_bit_identical_per_scheme() {
+    rayon::pool::set_num_threads(1);
+    let per_cycle = sweep(false, false);
+    let skipped = sweep(true, false);
+    rayon::pool::set_num_threads(0);
+
+    assert_eq!(per_cycle.len(), skipped.len());
+    for (a, b) in per_cycle.iter().zip(&skipped) {
+        assert_eq!(
+            fingerprint(std::slice::from_ref(a)),
+            fingerprint(std::slice::from_ref(b)),
+            "fast-forward changed the outcome of scheme {}",
+            a.scheme
+        );
+    }
+}

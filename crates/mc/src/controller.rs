@@ -16,7 +16,7 @@ use crate::request::MemRequest;
 
 /// Controller-level statistics (DRAM-side counters live in
 /// [`DramSystem::stats`]).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct McStats {
     /// Requests served per application (lifetime).
     pub served: Vec<u64>,
@@ -84,6 +84,16 @@ pub struct MemoryController {
     /// Per-application scheduling-window depth: how far past the FIFO head
     /// the controller looks for an issuable request.
     sched_window: usize,
+    /// Scratch candidate buffer reused across ticks (never observable:
+    /// cleared and refilled inside [`tick`](Self::tick)).
+    cand_buf: Vec<Candidate>,
+    /// Scratch window-position buffer parallel to `cand_buf`.
+    pos_buf: Vec<usize>,
+    /// Scratch per-candidate head-blocker cache parallel to `cand_buf`:
+    /// the interference attribution of each blocked head as of the gather
+    /// pass, valid for the interference loop only while no request was
+    /// issued in between (a stalled tick).
+    blocker_buf: Vec<Option<usize>>,
 }
 
 impl MemoryController {
@@ -104,6 +114,9 @@ impl MemoryController {
             next_tick: 0,
             seq: 0,
             sched_window: 8,
+            cand_buf: Vec::with_capacity(apps),
+            pos_buf: Vec::with_capacity(apps),
+            blocker_buf: Vec::with_capacity(apps),
         }
     }
 
@@ -180,11 +193,16 @@ impl MemoryController {
 
         // Gather candidates: for each pending application, the oldest
         // *issuable* request within its scheduling window, falling back to
-        // the (blocked) head.
-        let mut candidates: Vec<Candidate> = Vec::with_capacity(self.queues.apps());
-        let mut positions: Vec<usize> = Vec::with_capacity(self.queues.apps());
+        // the (blocked) head. The buffers live on `self` so the per-tick
+        // gather allocates nothing in steady state. The head (position 0)
+        // takes a full probe so its interference attribution is computed
+        // once here; deeper window positions use the cheap issuable test.
+        self.cand_buf.clear();
+        self.pos_buf.clear();
+        self.blocker_buf.clear();
         for app in self.queues.pending_apps() {
             let mut chosen: Option<(usize, u64, bool)> = None; // (pos, arrival, row_hit)
+            let mut head_blocker: Option<usize> = None;
             for pos in 0..self.sched_window.min(self.queues.len(app)) {
                 // lint: allow(R1): pos < queues.len(app) by the loop bound
                 let req = self.queues.get(app, pos).expect("in range");
@@ -193,50 +211,64 @@ impl MemoryController {
                     addr: req.addr,
                     is_write: req.is_write,
                 };
-                let probe = self.dram.probe(&txn, now);
-                if probe.start <= now {
-                    let row_hit = probe.kind == bwpart_dram::bank::AccessKind::RowHit;
+                if pos == 0 {
+                    let probe = self.dram.probe(&txn, now);
+                    if probe.start <= now {
+                        let row_hit = probe.kind == bwpart_dram::bank::AccessKind::RowHit;
+                        chosen = Some((pos, req.arrival, row_hit));
+                        break;
+                    }
+                    // Same attribution rule as `DramSystem::blocking_app`.
+                    head_blocker = match probe.block {
+                        Some(bwpart_dram::channel::BlockReason::Refresh) | None => None,
+                        _ => probe.blocker.filter(|&b| b != txn.app),
+                    };
+                } else if let Some(kind) = self.dram.issuable_at(&txn, now) {
+                    let row_hit = kind == bwpart_dram::bank::AccessKind::RowHit;
                     chosen = Some((pos, req.arrival, row_hit));
                     break;
                 }
             }
             match chosen {
                 Some((pos, arrival, row_hit)) => {
-                    candidates.push(Candidate {
+                    self.cand_buf.push(Candidate {
                         app,
                         arrival,
                         issuable: true,
                         row_hit,
                         queue_len: self.queues.len(app),
                     });
-                    positions.push(pos);
+                    self.pos_buf.push(pos);
+                    self.blocker_buf.push(None);
                 }
                 None => {
                     // lint: allow(R1): app came from pending_apps(), its queue is non-empty
                     let head = self.queues.head(app).expect("pending app has a head");
-                    candidates.push(Candidate {
+                    self.cand_buf.push(Candidate {
                         app,
                         arrival: head.arrival,
                         issuable: false,
                         row_hit: false,
                         queue_len: self.queues.len(app),
                     });
-                    positions.push(0);
+                    self.pos_buf.push(0);
+                    self.blocker_buf.push(head_blocker);
                 }
             }
         }
 
-        let served = self.policy.pick(&candidates);
+        let served = self.policy.pick(&self.cand_buf);
         if let Some(app) = served {
-            let idx = candidates
+            let idx = self
+                .cand_buf
                 .iter()
                 .position(|c| c.app == app)
                 // lint: allow(R1): Policy::pick returns an app from `candidates`
                 .expect("picked app is a candidate");
             let req = self
                 .queues
-                .remove(app, positions[idx])
-                // lint: allow(R1): positions[idx] was probed in the gather loop above
+                .remove(app, self.pos_buf[idx])
+                // lint: allow(R1): pos_buf[idx] was probed in the gather loop above
                 .expect("picked request exists");
             let txn = MemTransaction {
                 app: req.app,
@@ -259,7 +291,7 @@ impl MemoryController {
         }
 
         // Section IV-C interference accounting for the un-served apps.
-        for c in &candidates {
+        for (c, cached_blocker) in self.cand_buf.iter().zip(&self.blocker_buf) {
             if Some(c.app) == served {
                 continue;
             }
@@ -271,32 +303,49 @@ impl MemoryController {
                 }
             } else {
                 // Blocked by a DRAM resource: charge only if that resource
-                // is held by another application's traffic.
-                // lint: allow(R1): candidates only contains apps with queued requests
-                let head = self.queues.head(c.app).expect("still pending");
-                let txn = MemTransaction {
-                    app: head.app,
-                    addr: head.addr,
-                    is_write: head.is_write,
+                // is held by another application's traffic. On a stalled
+                // tick nothing was issued since the gather pass, so the
+                // head's cached attribution is still exact; after an issue
+                // the DRAM state changed and the head must be re-probed.
+                let blocker = if served.is_none() {
+                    *cached_blocker
+                } else {
+                    // lint: allow(R1): candidates only contains apps with queued requests
+                    let head = self.queues.head(c.app).expect("still pending");
+                    let txn = MemTransaction {
+                        app: head.app,
+                        addr: head.addr,
+                        is_write: head.is_write,
+                    };
+                    self.dram.blocking_app(&txn, now)
                 };
-                if self.dram.blocking_app(&txn, now).is_some() {
+                if blocker.is_some() {
                     self.interference.charge(c.app, self.tck);
                 }
             }
         }
     }
 
-    /// Pop all completions with `done_cycle ≤ now`, in completion order.
-    pub fn drain_completions(&mut self, now: u64) -> Vec<Completion> {
-        let mut out = Vec::new();
-        while self
+    /// Pop the oldest completion with `done_cycle ≤ now`, if any — the
+    /// allocation-free form of [`drain_completions`](Self::drain_completions)
+    /// for callers polling every CPU cycle.
+    pub fn pop_completion(&mut self, now: u64) -> Option<Completion> {
+        if self
             .completions
             .peek()
             .is_some_and(|Reverse(p)| p.done <= now)
         {
-            if let Some(Reverse(p)) = self.completions.pop() {
-                out.push(p.completion);
-            }
+            self.completions.pop().map(|Reverse(p)| p.completion)
+        } else {
+            None
+        }
+    }
+
+    /// Pop all completions with `done_cycle ≤ now`, in completion order.
+    pub fn drain_completions(&mut self, now: u64) -> Vec<Completion> {
+        let mut out = Vec::new();
+        while let Some(c) = self.pop_completion(now) {
+            out.push(c);
         }
         out
     }
@@ -304,6 +353,45 @@ impl MemoryController {
     /// Earliest pending completion cycle, if any (idle-skip support).
     pub fn next_completion_at(&self) -> Option<u64> {
         self.completions.peek().map(|Reverse(p)| p.done)
+    }
+
+    /// The next CPU cycle **at or after** `now` at which this controller
+    /// can change observable state, or `None` when it is fully idle.
+    ///
+    /// With requests queued, that is the next DRAM command clock — every
+    /// tick on the grid schedules, accounts `busy_ticks`/`stalled_ticks`
+    /// and charges interference, so those cycles cannot be jumped over.
+    /// Between grid points (and when the queues are empty) only pending
+    /// completions matter, and those may finish off-grid; the minimum of
+    /// the two bounds every cycle on which [`tick`](Self::tick) or
+    /// [`drain_completions`](Self::drain_completions) would do anything.
+    ///
+    /// `CmpSystem::run`'s event-driven fast-forward relies on exactly that
+    /// guarantee: skipping to the returned cycle (or anywhere before it)
+    /// with only per-cycle-idle compensation leaves every controller
+    /// counter bit-identical to per-cycle stepping.
+    pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        let completion = self.next_completion_at();
+        if let Some(done) = completion {
+            // Cross-layer contract: a pending completion is committed DRAM
+            // work, so it cannot finish after the DRAM system's quiesce
+            // horizon (every committed burst has drained by then).
+            bwpart_core::invariant!(
+                done <= self.dram.quiesce_at(),
+                "pending completion at {} beyond DRAM quiesce horizon {}",
+                done,
+                self.dram.quiesce_at()
+            );
+        }
+        let tick = if self.queues.is_empty() {
+            None
+        } else {
+            Some(self.next_tick.max(now))
+        };
+        match (tick, completion) {
+            (Some(t), Some(c)) => Some(t.min(c)),
+            (t, c) => t.or(c),
+        }
     }
 
     /// Interference cycles charged to `app` this epoch
@@ -477,6 +565,54 @@ mod tests {
             }
         }
         panic!("request never issued");
+    }
+
+    #[test]
+    fn next_event_cycle_tracks_ticks_and_completions() {
+        let mut mc = MemoryController::new(DramConfig::ddr2_400(), 1, Policy::fcfs(1));
+        // Fully idle: no event at all.
+        assert_eq!(mc.next_event_cycle(0), None);
+        // A queued request makes the next DRAM clock the event.
+        mc.enqueue(MemRequest::read(0, 64, 0));
+        assert_eq!(mc.next_event_cycle(0), Some(0));
+        mc.tick(0); // issues the request; queue drains, completion pending
+        let done = mc.next_completion_at().expect("request in flight");
+        // Queues empty now: the only event is the completion, off-grid.
+        assert_eq!(mc.next_event_cycle(1), Some(done));
+        assert_ne!(done % 25, 0, "completion drains off the command grid");
+        // Skipping straight to it observes the same drain as stepping.
+        assert!(mc.drain_completions(done - 1).is_empty());
+        assert_eq!(mc.drain_completions(done).len(), 1);
+        assert_eq!(mc.next_event_cycle(done + 1), None);
+    }
+
+    #[test]
+    fn next_event_cycle_never_skips_a_scheduling_tick() {
+        let mut mc = MemoryController::new(DramConfig::ddr2_400(), 2, Policy::fcfs(2));
+        for i in 0..6u64 {
+            mc.enqueue(MemRequest::read((i % 2) as usize, i * 64, 0));
+        }
+        let mut now = 0u64;
+        while mc.busy() {
+            let Some(ev) = mc.next_event_cycle(now) else {
+                break;
+            };
+            assert!(ev >= now, "event {ev} before now {now}");
+            // With work queued, no scheduling tick may lie in (now, ev):
+            // ticks account busy/stalled/interference counters.
+            if !mc.queues.is_empty() {
+                let next_grid = (now / 25 + 1) * 25;
+                assert!(
+                    ev <= next_grid,
+                    "event {ev} would jump the tick at {next_grid}"
+                );
+            }
+            now = ev;
+            mc.tick(now);
+            let _ = mc.drain_completions(now);
+            now += 1;
+        }
+        assert_eq!(mc.stats().served, vec![3, 3]);
     }
 
     #[test]

@@ -156,6 +156,51 @@ mod tests {
     }
 
     #[test]
+    fn get_in_and_out_of_bounds() {
+        let mut q = AppQueues::new(2);
+        q.push(MemRequest::read(0, 0x40, 1));
+        q.push(MemRequest::read(0, 0x80, 2));
+        assert_eq!(q.get(0, 0).unwrap().addr, 0x40);
+        assert_eq!(q.get(0, 1).unwrap().addr, 0x80);
+        // One past the tail, far past the tail, and an empty queue.
+        assert!(q.get(0, 2).is_none());
+        assert!(q.get(0, usize::MAX).is_none());
+        assert!(q.get(1, 0).is_none());
+    }
+
+    #[test]
+    fn remove_out_of_bounds_returns_none_and_keeps_accounting() {
+        let mut q = AppQueues::new(2);
+        q.push(MemRequest::read(0, 0x40, 1));
+        assert!(q.remove(0, 1).is_none());
+        assert!(q.remove(0, 7).is_none());
+        assert!(q.remove(1, 0).is_none());
+        // A failed removal must not corrupt the occupancy counters.
+        assert_eq!(q.total_len(), 1);
+        assert_eq!(q.len(0), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interior_removal_preserves_fifo_order_of_survivors() {
+        let mut q = AppQueues::new(1);
+        for (i, addr) in [0x40u64, 0x80, 0xC0, 0x100, 0x140].iter().enumerate() {
+            q.push(MemRequest::read(0, *addr, i as u64));
+        }
+        // Scheduling-window service plucks position 2 from the interior.
+        let taken = q.remove(0, 2).unwrap();
+        assert_eq!(taken.addr, 0xC0);
+        assert_eq!(q.total_len(), 4);
+        // Survivors keep their relative order and re-index contiguously.
+        let order: Vec<u64> = (0..q.len(0)).map(|i| q.get(0, i).unwrap().addr).collect();
+        assert_eq!(order, vec![0x40, 0x80, 0x100, 0x140]);
+        // Removing the (new) head equals pop.
+        assert_eq!(q.remove(0, 0).unwrap().addr, 0x40);
+        assert_eq!(q.head(0).unwrap().addr, 0x80);
+        assert_eq!(q.total_len(), 3);
+    }
+
+    #[test]
     #[should_panic]
     fn push_out_of_range_panics() {
         let mut q = AppQueues::new(2);

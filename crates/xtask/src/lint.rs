@@ -26,6 +26,10 @@
 //!   `ensures_capped!`, `invariant!`).
 //! * **R4** — no `#[allow(clippy::...)]` without a justification comment
 //!   (a plain `//` comment on the same line or the line above).
+//! * **R5** — in `bwpart-experiments`, no hand-rolled `.step()` calls:
+//!   experiment code must advance the simulator through `CmpSystem::run`
+//!   so event-driven fast-forward applies to every figure/table
+//!   reproduction uniformly.
 
 use std::fmt;
 use std::fs;
@@ -43,6 +47,9 @@ pub enum Rule {
     R3,
     /// Clippy suppressions need a justification comment.
     R4,
+    /// Experiments must drive the simulator via `CmpSystem::run`, not
+    /// per-cycle `.step()` loops.
+    R5,
 }
 
 impl Rule {
@@ -53,6 +60,7 @@ impl Rule {
             Rule::R2 => "R2",
             Rule::R3 => "R3",
             Rule::R4 => "R4",
+            Rule::R5 => "R5",
         }
     }
 
@@ -66,11 +74,15 @@ impl Rule {
                          route through validate_shares or a contract macro"
             }
             Rule::R4 => "#[allow(clippy::...)] requires a justification comment",
+            Rule::R5 => {
+                "bwpart-experiments must drive the simulator via CmpSystem::run, \
+                         not per-cycle .step() loops (fast-forward must apply everywhere)"
+            }
         }
     }
 
     /// All rules, report order.
-    pub const ALL: [Rule; 4] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4];
+    pub const ALL: [Rule; 5] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5];
 }
 
 /// One finding: a rule violated at a specific line.
@@ -502,8 +514,9 @@ fn has_justification(prepared: &Prepared, idx: usize) -> bool {
 }
 
 /// Scan one file's source. `is_core` enables the R3 producer rule (it only
-/// applies to the `bwpart-core` model crate).
-pub fn lint_source(file: &str, src: &str, is_core: bool) -> Vec<Violation> {
+/// applies to the `bwpart-core` model crate); `is_experiments` enables the
+/// R5 stepping rule (it only applies to `bwpart-experiments`).
+pub fn lint_source(file: &str, src: &str, is_core: bool, is_experiments: bool) -> Vec<Violation> {
     let prepared = prepare(src);
     let mut out = Vec::new();
 
@@ -514,6 +527,9 @@ pub fn lint_source(file: &str, src: &str, is_core: bool) -> Vec<Violation> {
         scan_r1(file, &prepared, idx, line, &mut out);
         scan_r2(file, &prepared, idx, line, &mut out);
         scan_r4(file, &prepared, idx, line, &mut out);
+        if is_experiments {
+            scan_r5(file, &prepared, idx, line, &mut out);
+        }
     }
     if is_core {
         scan_r3(file, &prepared, &mut out);
@@ -599,6 +615,23 @@ fn scan_r2(file: &str, prepared: &Prepared, idx: usize, line: &str, out: &mut Ve
                     ),
                 });
             }
+        }
+    }
+}
+
+fn scan_r5(file: &str, prepared: &Prepared, idx: usize, line: &str, out: &mut Vec<Violation>) {
+    for pos in ident_positions(line, "step") {
+        let called = next_nonspace(line, pos + "step".len()) == Some(b'(');
+        if prev_nonspace(line, pos) == Some(b'.') && called && !allowed(prepared, idx, Rule::R5) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: idx + 1,
+                rule: Rule::R5,
+                message: ".step() in experiment code: advance the simulator via \
+                          CmpSystem::run so event-driven fast-forward applies (or \
+                          annotate `// lint: allow(R5): <reason>`)"
+                    .into(),
+            });
         }
     }
 }
@@ -802,9 +835,11 @@ pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
             .unwrap_or(&path)
             .to_string_lossy()
             .into_owned();
-        let is_core = rel.replace('\\', "/").starts_with("crates/core/");
+        let unix_rel = rel.replace('\\', "/");
+        let is_core = unix_rel.starts_with("crates/core/");
+        let is_experiments = unix_rel.starts_with("crates/experiments/");
         let src = fs::read_to_string(&path)?;
-        out.extend(lint_source(&rel, &src, is_core));
+        out.extend(lint_source(&rel, &src, is_core, is_experiments));
     }
     Ok(out)
 }
@@ -826,7 +861,7 @@ pub fn f(x: Option<u32>) -> u32 {
     y
 }
 "#;
-        let vs = lint_source("fixture.rs", src, false);
+        let vs = lint_source("fixture.rs", src, false, false);
         assert_eq!(codes(&vs), vec!["R1", "R1"]);
         assert_eq!(vs[0].line, 3);
         assert_eq!(vs[1].line, 4);
@@ -842,7 +877,7 @@ pub fn f(x: Option<u32>) -> u32 {
     y + z + x.unwrap_or_else(|| 9)
 }
 "#;
-        assert!(lint_source("fixture.rs", src, false).is_empty());
+        assert!(lint_source("fixture.rs", src, false, false).is_empty());
     }
 
     #[test]
@@ -861,7 +896,7 @@ mod tests {
     }
 }
 "#;
-        assert!(lint_source("fixture.rs", src, false).is_empty());
+        assert!(lint_source("fixture.rs", src, false, false).is_empty());
     }
 
     #[test]
@@ -872,7 +907,7 @@ pub fn f(a: f64, b: f64) -> bool {
     a == 0.5 || b != 1e-9
 }
 "#;
-        let vs = lint_source("fixture.rs", src, false);
+        let vs = lint_source("fixture.rs", src, false, false);
         assert_eq!(codes(&vs), vec!["R2", "R2", "R2"]);
     }
 
@@ -884,7 +919,7 @@ pub fn partial_cmp_like(a: f64, b: f64, n: usize) -> bool {
     n == 3 && a <= 0.5 && b >= 1.0
 }
 "#;
-        assert!(lint_source("fixture.rs", src, false).is_empty());
+        assert!(lint_source("fixture.rs", src, false, false).is_empty());
     }
 
     #[test]
@@ -894,11 +929,11 @@ pub fn shares(n: usize) -> Vec<f64> {
     vec![1.0 / n as f64; n]
 }
 "#;
-        let vs = lint_source("core.rs", bad, true);
+        let vs = lint_source("core.rs", bad, true, false);
         assert_eq!(codes(&vs), vec!["R3"]);
         assert!(vs[0].message.contains("shares"));
         // The same file is fine outside bwpart-core...
-        assert!(lint_source("other.rs", bad, false).is_empty());
+        assert!(lint_source("other.rs", bad, false, false).is_empty());
         // ...and fine once the output is certified.
         let good = r#"
 pub fn shares(n: usize) -> Vec<f64> {
@@ -907,7 +942,7 @@ pub fn shares(n: usize) -> Vec<f64> {
     beta
 }
 "#;
-        assert!(lint_source("core.rs", good, true).is_empty());
+        assert!(lint_source("core.rs", good, true, false).is_empty());
     }
 
     #[test]
@@ -917,18 +952,58 @@ pub fn allocation(b: f64) -> Result<Vec<f64>, ModelError> {
     Ok(vec![b])
 }
 "#;
-        let vs = lint_source("core.rs", src, true);
+        let vs = lint_source("core.rs", src, true, false);
         assert_eq!(codes(&vs), vec!["R3"]);
     }
 
     #[test]
     fn r4_requires_justification() {
         let bad = "#[allow(clippy::too_many_arguments)]\npub fn f() {}\n";
-        let vs = lint_source("fixture.rs", bad, false);
+        let vs = lint_source("fixture.rs", bad, false, false);
         assert_eq!(codes(&vs), vec!["R4"]);
         let good = "// the signature mirrors the paper's Eq. 7 terms\n\
                     #[allow(clippy::too_many_arguments)]\npub fn f() {}\n";
-        assert!(lint_source("fixture.rs", good, false).is_empty());
+        assert!(lint_source("fixture.rs", good, false, false).is_empty());
+    }
+
+    #[test]
+    fn r5_catches_step_loops_in_experiments_only() {
+        let src = r#"
+pub fn measure(sys: &mut CmpSystem) {
+    for _ in 0..1_000 {
+        sys.step();
+    }
+}
+"#;
+        let vs = lint_source("experiments.rs", src, false, true);
+        assert_eq!(codes(&vs), vec!["R5"]);
+        assert_eq!(vs[0].line, 4);
+        // The same code is fine outside bwpart-experiments (e.g. the cmp
+        // crate's own per-cycle reference implementation).
+        assert!(lint_source("cmp.rs", src, false, false).is_empty());
+    }
+
+    #[test]
+    fn r5_allows_annotated_sites_run_calls_and_tests() {
+        let src = r#"
+pub fn fine(sys: &mut CmpSystem) {
+    sys.run(1_000);
+    // lint: allow(R5): cross-checking one cycle against the reference
+    sys.step();
+    let stepper = 3;
+    let _ = stepper;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_step() {
+        let mut sys = super::mk();
+        sys.step();
+    }
+}
+"#;
+        assert!(lint_source("experiments.rs", src, false, true).is_empty());
     }
 
     #[test]
@@ -940,7 +1015,7 @@ pub fn f() -> &'static str {
     r#"raw with .unwrap() and == 1.0"#
 }
 "##;
-        assert!(lint_source("fixture.rs", src, false).is_empty());
+        assert!(lint_source("fixture.rs", src, false, false).is_empty());
     }
 
     #[test]
@@ -950,7 +1025,7 @@ pub fn f<'a>(x: &'a Option<u32>) -> u32 {
     x.unwrap()
 }
 ";
-        let vs = lint_source("fixture.rs", src, false);
+        let vs = lint_source("fixture.rs", src, false, false);
         assert_eq!(codes(&vs), vec!["R1"]);
         assert_eq!(vs[0].line, 3);
     }

@@ -1,24 +1,33 @@
 //! `cargo xtask` — repo-local automation for the bwpart workspace.
 //!
-//! The only subcommand today is `lint`, the bwpart-audit model-invariant
-//! pass (see [`lint`] for the rules). Run it as:
+//! Subcommands:
+//!
+//! * `lint` — the bwpart-audit model-invariant pass (see [`lint`] for the
+//!   rules).
+//! * `bench` — the perf-regression harness: builds and runs the
+//!   `bench_sim` binary from `bwpart-bench` in release mode, which times
+//!   the canonical workloads and writes `BENCH_sim.json`.
 //!
 //! ```text
-//! cargo xtask lint            # scan crates/*/src, exit 1 on violations
-//! cargo xtask lint --rules    # print the rule catalogue
+//! cargo xtask lint              # scan crates/*/src, exit 1 on violations
+//! cargo xtask lint --rules      # print the rule catalogue
+//! cargo xtask bench             # full benchmark, writes BENCH_sim.json
+//! cargo xtask bench --smoke     # tiny cycle budget for CI smoke runs
 //! ```
 
 use std::env;
 use std::path::PathBuf;
+use std::process::Command;
 use std::process::ExitCode;
 
 mod lint;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask lint [--rules]");
+    eprintln!("usage: cargo xtask <lint [--rules] | bench [--smoke] [--reps N] [--out PATH]>");
     eprintln!();
     eprintln!("subcommands:");
     eprintln!("  lint     run the bwpart-audit model-invariant lint over crates/*/src");
+    eprintln!("  bench    run the perf-regression harness (bench_sim), writing BENCH_sim.json");
     ExitCode::from(2)
 }
 
@@ -46,7 +55,7 @@ fn run_lint(args: &[String]) -> ExitCode {
     let root = workspace_root();
     match lint::lint_tree(&root) {
         Ok(violations) if violations.is_empty() => {
-            println!("bwpart-audit: clean (rules R1-R4 over crates/*/src)");
+            println!("bwpart-audit: clean (rules R1-R5 over crates/*/src)");
             ExitCode::SUCCESS
         }
         Ok(violations) => {
@@ -63,10 +72,48 @@ fn run_lint(args: &[String]) -> ExitCode {
     }
 }
 
+/// Shell out to the release-built `bench_sim` binary, forwarding flags.
+/// Runs from the workspace root so the default `BENCH_sim.json` lands
+/// there regardless of where `cargo xtask` was invoked.
+fn run_bench(args: &[String]) -> ExitCode {
+    for arg in args {
+        match arg.as_str() {
+            "--smoke" | "--reps" | "--out" => {}
+            other if !other.starts_with("--") => {} // value for --reps/--out
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let status = Command::new(env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+        .current_dir(workspace_root())
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "bwpart-bench",
+            "--bin",
+            "bench_sim",
+            "--",
+        ])
+        .args(args)
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("cargo xtask bench: failed to run cargo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
+        Some("bench") => run_bench(&args[1..]),
         _ => usage(),
     }
 }

@@ -85,6 +85,47 @@ pub fn shares(n: usize) -> Vec<f64> {
 }
 
 #[test]
+fn seeded_experiments_step_loop_is_caught() {
+    let root = fixture_root("bwpart-audit-experiments");
+    fs::create_dir_all(root.join("crates/experiments/src")).expect("experiments tree");
+    write(
+        &root,
+        "crates/experiments/src/lib.rs",
+        r#"
+pub fn measure(sys: &mut CmpSystem) -> u64 {
+    for _ in 0..1_000 {
+        sys.step();
+    }
+    sys.cycle()
+}
+"#,
+    );
+    // The identical loop outside crates/experiments must NOT trip R5.
+    write(
+        &root,
+        "crates/demo/src/lib.rs",
+        r#"
+pub fn reference(sys: &mut CmpSystem) {
+    for _ in 0..1_000 {
+        sys.step();
+    }
+}
+"#,
+    );
+    let (ok, stdout) = run_lint(&root);
+    assert!(!ok, "step loop in experiments must fail:\n{stdout}");
+    assert!(stdout.contains("[R5]"), "{stdout}");
+    assert!(
+        stdout.contains("crates/experiments/src/lib.rs:4"),
+        "{stdout}"
+    );
+    assert!(
+        !stdout.contains("crates/demo/src/lib.rs:4"),
+        "R5 must be scoped to bwpart-experiments:\n{stdout}"
+    );
+}
+
+#[test]
 fn clean_tree_passes() {
     let root = fixture_root("bwpart-audit-clean");
     write(

@@ -1,60 +1,302 @@
-//! Offline vendored rayon shim.
+//! Offline vendored rayon stand-in backed by a real thread pool.
 //!
-//! The real rayon cannot be fetched in this build environment. This shim
-//! keeps the `par_iter()` / `into_par_iter()` call sites compiling by
-//! returning ordinary sequential iterators — every adapter and `collect`
-//! then comes from `std::iter::Iterator`. Correctness is identical;
-//! parallel speedup is forfeited until the real dependency is restorable.
+//! The real rayon cannot be fetched in this build environment, so this
+//! crate implements the small `par_iter()` / `into_par_iter()` surface the
+//! workspace uses on top of a dependency-free `std::thread` scoped pool:
+//!
+//! * **Chunked self-scheduling** — the input is split into chunks sized for
+//!   `4 × threads` slots; workers pop chunks from a shared deque, so a slow
+//!   item (one scheme simulating longer than the others) does not leave the
+//!   remaining workers idle.
+//! * **Deterministic merge** — every result is written to its input's index
+//!   slot and the merged output is read back in index order, so parallel
+//!   output is bit-identical to a sequential `iter().map().collect()`.
+//! * **Thread-count control** — `RAYON_NUM_THREADS` caps the pool just
+//!   like real rayon; [`pool::set_num_threads`] overrides it in-process
+//!   (benchmarks compare a forced 1-thread baseline against the pool).
+//! * **Nested calls serialize** — a `par_iter` issued from inside a worker
+//!   runs inline on that worker, so nested sweeps (`run_grid` →
+//!   `run_schemes`) cannot oversubscribe the machine or deadlock.
+//!
+//! Panics from the mapped closure propagate to the caller when the scope
+//! joins, matching rayon's behaviour.
+
+pub mod pool {
+    //! The scoped worker pool executing every parallel iterator.
+
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// In-process override: 0 = defer to the environment/hardware.
+    static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+    /// Parsed `RAYON_NUM_THREADS` (read once; 0 = unset/invalid).
+    static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+    thread_local! {
+        /// Set while this thread is executing pool work; nested parallel
+        /// iterators observe it and run inline.
+        static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    }
+
+    /// Force the pool width for subsequent parallel iterators (process
+    /// wide). `1` serializes, `0` restores the automatic choice
+    /// (`RAYON_NUM_THREADS`, else the hardware parallelism).
+    pub fn set_num_threads(n: usize) {
+        OVERRIDE.store(n, Ordering::SeqCst);
+    }
+
+    /// The number of threads the next parallel iterator will use.
+    pub fn current_num_threads() -> usize {
+        let forced = OVERRIDE.load(Ordering::SeqCst);
+        if forced != 0 {
+            return forced;
+        }
+        let env = *ENV_THREADS.get_or_init(|| {
+            std::env::var("RAYON_NUM_THREADS")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .unwrap_or(0)
+        });
+        if env != 0 {
+            return env;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// Ignore lock poisoning: a panicked worker already aborts the whole
+    /// scope, so the data behind the lock is never observed afterwards.
+    fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Map `items` through `f` on the pool, returning results in input
+    /// order (bit-identical to the sequential map).
+    pub fn map_in_order<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        let threads = current_num_threads().min(n);
+        if threads <= 1 || IN_POOL.with(std::cell::Cell::get) {
+            return items.into_iter().map(f).collect();
+        }
+
+        // Chunked deque: ~4 chunks per worker for load balance.
+        let chunk_len = n.div_ceil(threads * 4).max(1);
+        let mut chunks: VecDeque<(usize, Vec<T>)> = VecDeque::new();
+        let mut items = items.into_iter();
+        let mut start = 0usize;
+        loop {
+            let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            let len = chunk.len();
+            chunks.push_back((start, chunk));
+            start += len;
+        }
+        let queue = Mutex::new(chunks);
+        // One slot per input; each is written exactly once, so the per-slot
+        // locks are uncontended.
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        let worker = |queue: &Mutex<VecDeque<(usize, Vec<T>)>>, slots: &[Mutex<Option<R>>]| {
+            IN_POOL.with(|flag| flag.set(true));
+            loop {
+                let job = lock_unpoisoned(queue).pop_front();
+                let Some((base, chunk)) = job else { break };
+                for (offset, item) in chunk.into_iter().enumerate() {
+                    let out = f(item);
+                    *lock_unpoisoned(&slots[base + offset]) = Some(out);
+                }
+            }
+            IN_POOL.with(|flag| flag.set(false));
+        };
+
+        std::thread::scope(|scope| {
+            for _ in 1..threads {
+                scope.spawn(|| worker(&queue, &slots));
+            }
+            // The calling thread is the last worker; the scope joins the
+            // spawned ones (re-raising any worker panic) before returning.
+            worker(&queue, &slots);
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                lock_unpoisoned(&slot)
+                    .take()
+                    .expect("every slot is filled exactly once")
+            })
+            .collect()
+    }
+}
 
 /// Drop-in for `rayon::prelude`.
 pub mod prelude {
-    /// `.par_iter()` on slices and vectors (sequential fallback).
+    use crate::pool;
+
+    /// A pending parallel map over owned items.
+    pub struct ParMap<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T, R, F> ParMap<T, F>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        /// Execute the map on the pool and collect the ordered results.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            pool::map_in_order(self.items, self.f).into_iter().collect()
+        }
+    }
+
+    /// A parallel iterator over a materialized item list.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Queue a map to run on the pool.
+        pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    /// `.par_iter()` on slices and vectors.
     pub trait IntoParallelRefIterator<'data> {
-        /// The iterator type produced.
-        type Iter: Iterator<Item = Self::Item>;
         /// The element type.
         type Item: 'data;
 
-        /// Iterate by reference ("in parallel").
-        fn par_iter(&'data self) -> Self::Iter;
+        /// Iterate by reference in parallel.
+        fn par_iter(&'data self) -> ParIter<Self::Item>;
     }
 
     impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
-        type Iter = std::slice::Iter<'data, T>;
         type Item = &'data T;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'data self) -> ParIter<&'data T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
         }
     }
 
     impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
-        type Iter = std::slice::Iter<'data, T>;
         type Item = &'data T;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'data self) -> ParIter<&'data T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
         }
     }
 
-    /// `.into_par_iter()` on owned collections and ranges (sequential
-    /// fallback).
+    /// `.into_par_iter()` on owned collections and ranges.
     pub trait IntoParallelIterator {
-        /// The iterator type produced.
-        type Iter: Iterator<Item = Self::Item>;
         /// The element type.
-        type Item;
+        type Item: Send;
 
-        /// Iterate by value ("in parallel").
-        fn into_par_iter(self) -> Self::Iter;
+        /// Iterate by value in parallel.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
+    impl<I> IntoParallelIterator for I
+    where
+        I: IntoIterator,
+        I::Item: Send,
+    {
         type Item = I::Item;
 
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+        fn into_par_iter(self) -> ParIter<I::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pool;
+    use super::prelude::*;
+
+    #[test]
+    fn map_in_order_matches_sequential() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = xs.iter().map(|x| x * 3 + 1).collect();
+        let par: Vec<u64> = xs.par_iter().map(|&x| x * 3 + 1).collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn into_par_iter_on_range() {
+        let out: Vec<usize> = (0..17usize).into_par_iter().map(|x| x * x).collect();
+        let expect: Vec<usize> = (0..17usize).map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let xs: Vec<u32> = Vec::new();
+        let out: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nested_parallel_iterators_serialize_inline() {
+        let grid: Vec<Vec<u32>> = (0..8)
+            .map(|i| (0..8).map(|j| i * 8 + j).collect())
+            .collect();
+        let out: Vec<Vec<u32>> = grid
+            .par_iter()
+            .map(|row| row.par_iter().map(|&v| v + 1).collect())
+            .collect();
+        let expect: Vec<Vec<u32>> = grid
+            .iter()
+            .map(|row| row.iter().map(|&v| v + 1).collect())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn forced_thread_counts_agree() {
+        let xs: Vec<u64> = (0..257).collect();
+        pool::set_num_threads(1);
+        let one: Vec<u64> = xs.par_iter().map(|&x| x.wrapping_mul(0x9E37)).collect();
+        pool::set_num_threads(4);
+        let four: Vec<u64> = xs.par_iter().map(|&x| x.wrapping_mul(0x9E37)).collect();
+        pool::set_num_threads(0);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        pool::set_num_threads(2);
+        let result = std::panic::catch_unwind(|| {
+            let xs: Vec<u32> = (0..64).collect();
+            let _: Vec<u32> = xs
+                .par_iter()
+                .map(|&x| if x == 33 { panic!("boom") } else { x })
+                .collect();
+        });
+        pool::set_num_threads(0);
+        assert!(result.is_err(), "a worker panic must reach the caller");
     }
 }
