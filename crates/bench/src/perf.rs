@@ -152,6 +152,16 @@ fn run_sweep(fast_forward: bool, phases: PhaseConfig) -> Vec<SimOutcome> {
         .collect()
 }
 
+/// Fingerprint of the full scheme sweep under the **current** pool
+/// configuration (thread count is whatever `RAYON_NUM_THREADS` /
+/// `pool::set_num_threads` says). The CI determinism matrix runs this
+/// across thread counts and fast-forward modes and diffs the outputs:
+/// any divergence means the parallel merge or the fast-forward path
+/// changed observable simulation results.
+pub fn sweep_fingerprint(fast_forward: bool, smoke: bool) -> String {
+    fingerprint(&run_sweep(fast_forward, phases(smoke)))
+}
+
 /// Time `f` once, in `mode_threads` pool mode, returning the wall time and
 /// the outcomes.
 fn timed<F: FnOnce() -> Vec<SimOutcome>>(mode_threads: usize, f: F) -> (Duration, Vec<SimOutcome>) {

@@ -1,0 +1,63 @@
+//! Property tests for the vendored pool's parallel map: for arbitrary
+//! input lengths (empty, singleton, below one chunk, far beyond
+//! chunks × threads) and arbitrary thread counts, `par_iter().map(f)`
+//! must be bit-identical to the serial `iter().map(f)` — same values,
+//! same order, nothing lost or duplicated.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel map ≡ serial map across lengths and thread counts. The
+    /// length range deliberately straddles the pool's chunking regimes:
+    /// 0 and 1 short-circuit, small inputs fit one chunk, and large ones
+    /// spread over many chunks per worker.
+    #[test]
+    fn par_map_matches_serial_map(
+        items in prop::collection::vec(any::<u64>(), 0..900),
+        threads in 1usize..9,
+        mul in any::<u64>(),
+        add in any::<u64>(),
+    ) {
+        rayon::pool::set_num_threads(threads);
+        let f = |x: u64| x.wrapping_mul(mul | 1).wrapping_add(add);
+        let seq: Vec<u64> = items.iter().map(|&x| f(x)).collect();
+        let par: Vec<u64> = items.par_iter().map(|&x| f(x)).collect();
+        rayon::pool::set_num_threads(0);
+        prop_assert_eq!(seq, par);
+    }
+
+    /// Owned iteration (`into_par_iter`) over ranges agrees with the
+    /// serial equivalent for arbitrary bounds, including empty ranges.
+    #[test]
+    fn into_par_iter_matches_range(start in 0usize..500, len in 0usize..700, threads in 1usize..9) {
+        rayon::pool::set_num_threads(threads);
+        let out: Vec<usize> = (start..start + len).into_par_iter().map(|x| x * 3 + 1).collect();
+        let expect: Vec<usize> = (start..start + len).map(|x| x * 3 + 1).collect();
+        rayon::pool::set_num_threads(0);
+        prop_assert_eq!(out, expect);
+    }
+
+    /// Nested parallel maps (the grid-sweep shape `run_grid` uses) stay
+    /// index-exact: inner maps run inline inside workers and must merge
+    /// identically to the doubly-serial map.
+    #[test]
+    fn nested_par_map_matches_serial(
+        rows in prop::collection::vec(prop::collection::vec(any::<u32>(), 0..40), 0..24),
+        threads in 1usize..5,
+    ) {
+        rayon::pool::set_num_threads(threads);
+        let out: Vec<Vec<u32>> = rows
+            .par_iter()
+            .map(|row| row.par_iter().map(|&v| v.wrapping_add(1)).collect())
+            .collect();
+        let expect: Vec<Vec<u32>> = rows
+            .iter()
+            .map(|row| row.iter().map(|&v| v.wrapping_add(1)).collect())
+            .collect();
+        rayon::pool::set_num_threads(0);
+        prop_assert_eq!(out, expect);
+    }
+}

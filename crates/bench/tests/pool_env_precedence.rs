@@ -1,0 +1,47 @@
+//! `RAYON_NUM_THREADS` precedence, pinned in a dedicated test binary:
+//! integration-test files each run as their own process, so this is the
+//! only test here — guaranteeing the environment variable is set before
+//! anything in the process reads (and caches) it.
+
+/// The full precedence protocol against a real cached environment value:
+/// env applies when no override is set, an explicit override beats the
+/// cached env, and clearing the override falls back to the env again
+/// (not to the hardware count).
+#[test]
+fn env_is_cached_and_override_still_wins() {
+    // Set before first use; the pool has not read the env yet because no
+    // other test lives in this binary.
+    std::env::set_var("RAYON_NUM_THREADS", "3");
+
+    assert_eq!(
+        rayon::pool::current_num_threads(),
+        3,
+        "RAYON_NUM_THREADS must apply when no override is set"
+    );
+
+    // Changing the env after the first read must have no effect: the
+    // value is cached once per process, by design.
+    std::env::set_var("RAYON_NUM_THREADS", "7");
+    assert_eq!(
+        rayon::pool::current_num_threads(),
+        3,
+        "the env value is read once and cached"
+    );
+
+    // An explicit override beats the cached env...
+    rayon::pool::set_num_threads(5);
+    assert_eq!(
+        rayon::pool::current_num_threads(),
+        5,
+        "set_num_threads after env caching must win"
+    );
+
+    // ...and clearing it restores the cached env value, not the
+    // hardware parallelism.
+    rayon::pool::set_num_threads(0);
+    assert_eq!(
+        rayon::pool::current_num_threads(),
+        3,
+        "set_num_threads(0) must fall back to the cached env value"
+    );
+}

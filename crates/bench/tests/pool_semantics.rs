@@ -1,0 +1,71 @@
+//! Pinning tests for the vendored pool's process-wide semantics: the
+//! `set_num_threads` override protocol and worker-context hygiene across
+//! panics (audit finding F1 in `UNSAFE_AUDIT.md`).
+//!
+//! These run in the test binary's own process, so they exercise the real
+//! `OnceLock` caching and thread-local behaviour end to end, on top of
+//! the model-level coverage in `vendor/rayon/src/models.rs`.
+
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+
+/// Both tests mutate the process-wide thread-count override; serialize
+/// them so neither observes the other's transient settings.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// F1 regression: a panicking mapped closure must not leave the calling
+/// thread permanently marked as a pool worker. Before the RAII reset
+/// guard, the first recovered panic silently serialized every later
+/// `par_iter` on the thread.
+#[test]
+fn recovered_panic_keeps_parallelism() {
+    let _serial = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    rayon::pool::set_num_threads(2);
+    let result = std::panic::catch_unwind(|| {
+        let xs: Vec<u32> = (0..16).collect();
+        // Every item panics, so the caller-side inline worker is
+        // guaranteed to hit the unwind path (not just spawned workers).
+        let _: Vec<u32> = xs
+            .par_iter()
+            .map(|&_x| -> u32 { panic!("seeded") })
+            .collect();
+    });
+    assert!(result.is_err(), "the seeded panic must propagate");
+    assert!(
+        !rayon::pool::in_worker_context(),
+        "IN_POOL leaked: this thread still believes it is a pool worker, \
+         so every later par_iter would silently run serial"
+    );
+
+    // And the pool must actually still parallelize correctly: results
+    // stay index-ordered and identical to the serial map.
+    let xs: Vec<u64> = (0..4096).collect();
+    let seq: Vec<u64> = xs.iter().map(|x| x.wrapping_mul(2654435761)).collect();
+    let par: Vec<u64> = xs.par_iter().map(|&x| x.wrapping_mul(2654435761)).collect();
+    assert_eq!(seq, par);
+    rayon::pool::set_num_threads(0);
+}
+
+/// The pinned override protocol, end to end in a real process: an
+/// explicit `set_num_threads` wins over whatever the (already cached)
+/// environment said, and `set_num_threads(0)` restores the cached value.
+#[test]
+fn override_protocol_round_trips() {
+    let _serial = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // First read caches the env/hardware choice, whatever it is.
+    let automatic = rayon::pool::current_num_threads();
+    assert!(automatic >= 1);
+
+    for forced in [1usize, 2, 4, 8] {
+        rayon::pool::set_num_threads(forced);
+        assert_eq!(rayon::pool::current_num_threads(), forced);
+    }
+
+    rayon::pool::set_num_threads(0);
+    assert_eq!(
+        rayon::pool::current_num_threads(),
+        automatic,
+        "clearing the override must restore the cached automatic value"
+    );
+}

@@ -1,0 +1,213 @@
+//! The schedule explorer: runs a model closure many times, each time
+//! under a different thread interleaving, and reports either the first
+//! failing schedule or the number of distinct schedules that passed.
+//!
+//! Two phases:
+//!
+//! 1. **Bounded exhaustive (DFS).** Schedules are enumerated by
+//!    backtracking over recorded decision sequences: replay a prefix,
+//!    deviate at the last incrementable decision, descend leftmost (rank
+//!    0) from there. Every enumerated schedule is distinct by
+//!    construction; if the space is exhausted before the bound, the model
+//!    is *fully* verified (under loomlite's SC semantics).
+//! 2. **Randomized top-up.** Additional runs pick uniformly among enabled
+//!    threads from a seeded LCG, deduplicated against everything already
+//!    seen. This scatters coverage across large spaces that DFS alone
+//!    would only probe near its leftmost corner.
+
+use std::collections::HashSet;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::sched::{clear_ctx, set_ctx, Chooser, Decision, Execution};
+use crate::thread::payload_msg;
+
+/// Exploration bounds and seeds.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum schedules enumerated by the DFS phase.
+    pub max_schedules: usize,
+    /// Additional randomized runs after DFS (deduplicated; only schedules
+    /// not already seen count toward the distinct total).
+    pub random_schedules: usize,
+    /// Seed for the randomized phase's LCG.
+    pub seed: u64,
+    /// Per-execution decision cap: a model exceeding it fails (guards
+    /// against accidental unbounded loops inside a model).
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_schedules: 1_000,
+            random_schedules: 0,
+            seed: 0xB417_2013,
+            max_steps: 10_000,
+        }
+    }
+}
+
+/// One failing schedule, reproducible by replaying `schedule`.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong (panic message, deadlock report, ...).
+    pub message: String,
+    /// The decision ranks that led there (replayable prefix).
+    pub schedule: Vec<usize>,
+}
+
+/// What the explorer found.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Distinct schedules that ran to completion without failure.
+    pub distinct_schedules: usize,
+    /// How many of those came from the DFS phase.
+    pub dfs_schedules: usize,
+    /// Randomized runs executed (including duplicates of seen schedules).
+    pub random_runs: usize,
+    /// Whether DFS enumerated the *entire* schedule space.
+    pub exhausted: bool,
+    /// The first failing schedule, if any (exploration stops at it).
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// True when every explored schedule passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+struct RunResult {
+    decisions: Vec<Decision>,
+    failure: Option<String>,
+}
+
+/// Run `model` once under the scheduler, forcing `replay` choices first.
+fn run_once<F: Fn()>(
+    model: &F,
+    replay: Vec<usize>,
+    chooser: Chooser,
+    max_steps: usize,
+) -> RunResult {
+    let exec = Execution::new(replay, chooser, max_steps);
+    let tid = exec.register_thread();
+    debug_assert_eq!(tid, 0, "thread 0 must be the model closure");
+    set_ctx(std::sync::Arc::clone(&exec), 0);
+    let caught = catch_unwind(AssertUnwindSafe(model));
+    clear_ctx();
+    let outcome = exec.take_outcome();
+    let failure = outcome.failure.or_else(|| {
+        caught
+            .err()
+            .map(|p| format!("model panicked: {}", payload_msg(p.as_ref())))
+    });
+    RunResult {
+        decisions: outcome.decisions,
+        failure,
+    }
+}
+
+fn chosen_ranks(decisions: &[Decision]) -> Vec<usize> {
+    decisions.iter().map(|d| d.chosen).collect()
+}
+
+fn schedule_hash(ranks: &[usize]) -> u64 {
+    let mut h = DefaultHasher::new();
+    ranks.hash(&mut h);
+    h.finish()
+}
+
+/// The next DFS replay prefix after observing `decisions`, or `None` when
+/// the space is exhausted: backtrack to the last decision whose chosen
+/// rank can still be incremented.
+fn next_prefix(decisions: &[Decision]) -> Option<Vec<usize>> {
+    let mut i = decisions.len();
+    while i > 0 {
+        i -= 1;
+        let d = decisions[i];
+        if d.chosen + 1 < d.enabled {
+            let mut prefix = chosen_ranks(&decisions[..i]);
+            prefix.push(d.chosen + 1);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+/// Explore `model` under `cfg`. The model closure is invoked once per
+/// schedule; it must be deterministic apart from thread interleaving
+/// (same spawns, same sync-operation sequence per thread), or the
+/// explorer reports a schedule-divergence failure.
+pub fn explore<F: Fn()>(cfg: &Config, model: F) -> Report {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut report = Report {
+        distinct_schedules: 0,
+        dfs_schedules: 0,
+        random_runs: 0,
+        exhausted: false,
+        failure: None,
+    };
+
+    // Phase 1: bounded exhaustive DFS.
+    let mut replay: Vec<usize> = Vec::new();
+    loop {
+        let run = run_once(&model, replay.clone(), Chooser::Dfs, cfg.max_steps);
+        let ranks = chosen_ranks(&run.decisions);
+        if let Some(message) = run.failure {
+            report.failure = Some(Failure {
+                message,
+                schedule: ranks,
+            });
+            return report;
+        }
+        seen.insert(schedule_hash(&ranks));
+        report.distinct_schedules += 1;
+        report.dfs_schedules += 1;
+        match next_prefix(&run.decisions) {
+            None => {
+                report.exhausted = true;
+                break;
+            }
+            Some(next) => {
+                if report.dfs_schedules >= cfg.max_schedules {
+                    break;
+                }
+                replay = next;
+            }
+        }
+    }
+
+    // Phase 2: randomized top-up (pointless if DFS covered everything).
+    if !report.exhausted {
+        for i in 0..cfg.random_schedules {
+            // Distinct seed per run, deterministic across invocations.
+            let seed = cfg
+                .seed
+                .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let run = run_once(&model, Vec::new(), Chooser::Random(seed), cfg.max_steps);
+            report.random_runs += 1;
+            let ranks = chosen_ranks(&run.decisions);
+            if let Some(message) = run.failure {
+                report.failure = Some(Failure {
+                    message,
+                    schedule: ranks,
+                });
+                return report;
+            }
+            if seen.insert(schedule_hash(&ranks)) {
+                report.distinct_schedules += 1;
+            }
+        }
+    }
+
+    report
+}
+
+/// Replay a single specific schedule (e.g. a reported failure) against
+/// `model`, returning the failure message if it still fails.
+pub fn replay<F: Fn()>(cfg: &Config, model: F, schedule: &[usize]) -> Option<String> {
+    run_once(&model, schedule.to_vec(), Chooser::Dfs, cfg.max_steps).failure
+}

@@ -1,0 +1,60 @@
+//! loomlite — a dependency-free, loom-inspired concurrency model checker.
+//!
+//! The `vendor/rayon` work-stealing pool executes every scheme sweep in
+//! this repository, and the paper reproduction's validity rests on that
+//! pool being data-race-free and deterministic (bit-identical per-scheme
+//! outcomes). loomlite provides the machinery to check the pool's
+//! protocols systematically instead of hoping stress tests get lucky:
+//!
+//! * [`sync`] and [`thread`] are shim types API-compatible with the
+//!   `std::sync` / `std::thread` subset the pool uses. The pool aliases
+//!   them behind `cfg(loomlite)` (see `vendor/rayon/src/shim.rs`), so the
+//!   *same* pool source runs under the model checker and in production.
+//! * [`explore`](fn@explore) runs a model closure under a controlled
+//!   scheduler that permits exactly one thread to run at a time and makes
+//!   every shimmed operation a scheduling point. A bounded exhaustive
+//!   (DFS-backtracking) phase enumerates distinct interleavings, and a
+//!   seeded randomized phase scatters additional coverage across large
+//!   spaces.
+//!
+//! # What loomlite proves — and what it does not
+//!
+//! * **Proves (within bounds):** absence of interleaving-dependent
+//!   failures — lost/duplicated work items, broken mutual exclusion,
+//!   deadlocks, torn protocol states — for every schedule explored, under
+//!   *sequentially consistent* semantics. When the DFS phase reports
+//!   `exhausted`, the claim covers the whole schedule space of that model.
+//! * **Does not prove:** weak-memory correctness. All shim operations
+//!   execute SeqCst regardless of their `Ordering` argument, so a bug
+//!   that only manifests through `Relaxed`/`Acquire`/`Release` reordering
+//!   is invisible here (that is what the Miri/TSan CI jobs and lint rule
+//!   R6's justification discipline are for). It also cannot see raw
+//!   non-shimmed shared state, and bounded (non-exhausted) exploration is
+//!   evidence, not proof.
+//!
+//! # Example
+//!
+//! ```
+//! use loomlite::sync::atomic::{AtomicUsize, Ordering};
+//! use loomlite::{explore, Config};
+//!
+//! let report = explore(&Config::default(), || {
+//!     let counter = AtomicUsize::new(0);
+//!     loomlite::thread::scope(|s| {
+//!         s.spawn(|| {
+//!             counter.fetch_add(1, Ordering::SeqCst);
+//!         });
+//!         counter.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     assert_eq!(counter.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(report.passed() && report.exhausted);
+//! ```
+
+mod sched;
+
+pub mod explore;
+pub mod sync;
+pub mod thread;
+
+pub use explore::{explore, replay, Config, Failure, Report};

@@ -1,0 +1,369 @@
+//! The controlled scheduler underneath every loomlite model execution.
+//!
+//! One model execution runs the user's closure (model thread 0) plus any
+//! threads it spawns through [`crate::thread::scope`] as *real* OS threads,
+//! but allows exactly **one** of them to run at any instant. Every shimmed
+//! synchronization operation ([`crate::sync`]) first calls into the
+//! scheduler, which picks the next thread to run from the currently
+//! *enabled* (runnable, not blocked, not finished) set. The sequence of
+//! picks is the **schedule**; replaying a recorded prefix and deviating at
+//! the end is how the explorer ([`crate::explore`]) enumerates distinct
+//! interleavings.
+//!
+//! Because only one thread runs between scheduling points, the shimmed
+//! operations themselves execute in mutual exclusion: the interleaving the
+//! model observes is exactly the schedule, sequentially consistent by
+//! construction. (This is also loomlite's key limitation — see the crate
+//! docs — it cannot reproduce weak-memory reorderings.)
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Why a thread cannot currently be scheduled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Block {
+    /// Waiting to acquire the shim mutex with this id.
+    Mutex(usize),
+    /// Waiting inside `Condvar::wait` on the condvar with this id.
+    Condvar(usize),
+    /// Waiting in a scope join for its spawned threads to finish.
+    Join,
+}
+
+/// Lifecycle state of one model thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum State {
+    /// Eligible to be picked at the next scheduling point.
+    Runnable,
+    /// Parked until another thread's action re-enables it.
+    Blocked(Block),
+    /// Ran to completion (or unwound after a failure).
+    Finished,
+}
+
+/// One recorded scheduling decision: which rank of the enabled set was
+/// chosen, out of how many enabled threads.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Decision {
+    /// Index into the (ascending-tid) enabled list.
+    pub chosen: usize,
+    /// Size of the enabled list at this point.
+    pub enabled: usize,
+}
+
+/// How choices beyond the replay prefix are made.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Chooser {
+    /// Always pick rank 0 — the DFS explorer's "leftmost descent".
+    Dfs,
+    /// Pick pseudo-randomly from an LCG seeded with this state.
+    Random(u64),
+}
+
+struct Inner {
+    states: Vec<State>,
+    /// For a thread in `Blocked(Join)`, the tids it waits on.
+    join_targets: Vec<Vec<usize>>,
+    /// The single thread currently allowed to run.
+    current: usize,
+    /// Forced choice ranks for the first `replay.len()` decisions.
+    replay: Vec<usize>,
+    /// Every decision taken so far in this execution.
+    decisions: Vec<Decision>,
+    chooser: Chooser,
+    /// First failure (assertion, deadlock, divergence); sticky.
+    failure: Option<String>,
+    /// Hard cap on decisions per execution (runaway-model guard).
+    max_steps: usize,
+}
+
+/// One model execution's scheduling state, shared by all its threads.
+pub(crate) struct Execution {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+/// Outcome of one finished execution, consumed by the explorer.
+pub(crate) struct RunOutcome {
+    pub decisions: Vec<Decision>,
+    pub failure: Option<String>,
+}
+
+thread_local! {
+    /// The execution this OS thread currently belongs to, and its model tid.
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Bind the current OS thread to `exec` as model thread `tid`.
+pub(crate) fn set_ctx(exec: Arc<Execution>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((exec, tid)));
+}
+
+/// Unbind the current OS thread from its execution.
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// The current thread's execution context, if it is a model thread.
+pub(crate) fn ctx() -> Option<(Arc<Execution>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Ignore poisoning on the scheduler's own lock: a panicking model thread
+/// records its failure before unwinding, so the state stays meaningful.
+fn lock_inner(m: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Execution {
+    pub(crate) fn new(replay: Vec<usize>, chooser: Chooser, max_steps: usize) -> Arc<Self> {
+        Arc::new(Execution {
+            inner: Mutex::new(Inner {
+                states: Vec::new(),
+                join_targets: Vec::new(),
+                current: 0,
+                replay,
+                decisions: Vec::new(),
+                chooser,
+                failure: None,
+                max_steps,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Register a new model thread; it is immediately eligible for
+    /// scheduling and must call [`Execution::park_new_thread`] (or, for
+    /// thread 0, simply start running) before touching shared state.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut g = lock_inner(&self.inner);
+        g.states.push(State::Runnable);
+        g.join_targets.push(Vec::new());
+        g.states.len() - 1
+    }
+
+    /// Record a failure (first one wins) and wake every waiter so the
+    /// execution unwinds promptly instead of hanging.
+    fn set_failure(g: &mut Inner, cv: &Condvar, msg: String) {
+        if g.failure.is_none() {
+            g.failure = Some(msg);
+        }
+        cv.notify_all();
+    }
+
+    /// Pick the next thread to run and publish it as `current`. Called
+    /// with the lock held, by the thread that is currently running (which
+    /// has just yielded, blocked, or finished).
+    fn choose_and_dispatch(g: &mut Inner, cv: &Condvar) {
+        let enabled: Vec<usize> = (0..g.states.len())
+            .filter(|&t| g.states[t] == State::Runnable)
+            .collect();
+        if enabled.is_empty() {
+            if g.states.iter().all(|&s| s == State::Finished) {
+                // Execution complete; nothing left to schedule.
+                cv.notify_all();
+                return;
+            }
+            let stuck: Vec<String> = g
+                .states
+                .iter()
+                .enumerate()
+                .filter_map(|(t, s)| match s {
+                    State::Blocked(b) => Some(format!("t{t} blocked on {b:?}")),
+                    _ => None,
+                })
+                .collect();
+            Self::set_failure(g, cv, format!("deadlock: {}", stuck.join(", ")));
+            return;
+        }
+        if g.decisions.len() >= g.max_steps {
+            Self::set_failure(g, cv, format!("model exceeded max_steps ({})", g.max_steps));
+            return;
+        }
+        let step = g.decisions.len();
+        let rank = if step < g.replay.len() {
+            let r = g.replay[step];
+            if r >= enabled.len() {
+                Self::set_failure(
+                    g,
+                    cv,
+                    format!(
+                        "schedule divergence: replay step {step} wants rank {r} \
+                         but only {} threads are enabled (model is nondeterministic \
+                         beyond its schedule)",
+                        enabled.len()
+                    ),
+                );
+                return;
+            }
+            r
+        } else {
+            match &mut g.chooser {
+                Chooser::Dfs => 0,
+                Chooser::Random(state) => {
+                    // Deterministic LCG (Knuth MMIX constants); upper bits
+                    // have the best statistical quality.
+                    *state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((*state >> 33) as usize) % enabled.len()
+                }
+            }
+        };
+        g.decisions.push(Decision {
+            chosen: rank,
+            enabled: enabled.len(),
+        });
+        g.current = enabled[rank];
+        cv.notify_all();
+    }
+
+    /// Park until this thread is `current` (and runnable). Panics — which
+    /// unwinds the model thread so the execution can be torn down — if the
+    /// execution has failed.
+    fn wait_until_scheduled(&self, mut g: MutexGuard<'_, Inner>, me: usize) {
+        loop {
+            if g.failure.is_some() {
+                drop(g);
+                // lint: allow(R1): failure propagation is by-design a panic —
+                // it unwinds every parked model thread so scoped joins finish.
+                panic!("loomlite: execution failed (see explorer report)");
+            }
+            if g.current == me && g.states[me] == State::Runnable {
+                return;
+            }
+            g = match self.cv.wait(g) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Scheduling point before a shimmed operation: offer the scheduler a
+    /// chance to run any other enabled thread first.
+    pub(crate) fn yield_op(&self, me: usize) {
+        let mut g = lock_inner(&self.inner);
+        if g.failure.is_some() {
+            drop(g);
+            // lint: allow(R1): failure propagation is by-design a panic.
+            panic!("loomlite: execution failed (see explorer report)");
+        }
+        Self::choose_and_dispatch(&mut g, &self.cv);
+        self.wait_until_scheduled(g, me);
+    }
+
+    /// Block this thread on `b` and run something else. Returns once a
+    /// peer has re-enabled this thread *and* the scheduler picked it.
+    pub(crate) fn block_on(&self, me: usize, b: Block) {
+        let mut g = lock_inner(&self.inner);
+        g.states[me] = State::Blocked(b);
+        Self::choose_and_dispatch(&mut g, &self.cv);
+        self.wait_until_scheduled(g, me);
+    }
+
+    /// Re-enable every thread blocked on the shim mutex `id` (they will
+    /// re-attempt acquisition when scheduled).
+    pub(crate) fn unblock_mutex_waiters(&self, id: usize) {
+        let mut g = lock_inner(&self.inner);
+        for s in g.states.iter_mut() {
+            if *s == State::Blocked(Block::Mutex(id)) {
+                *s = State::Runnable;
+            }
+        }
+    }
+
+    /// Re-enable threads blocked on condvar `id`: all of them, or just the
+    /// lowest-tid one (`notify_one` — deterministic by construction).
+    pub(crate) fn notify_condvar(&self, id: usize, all: bool) {
+        let mut g = lock_inner(&self.inner);
+        for s in g.states.iter_mut() {
+            if *s == State::Blocked(Block::Condvar(id)) {
+                *s = State::Runnable;
+                if !all {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Mark this thread finished, wake any satisfied join waiters, and
+    /// hand the schedule to the next enabled thread. The caller's OS
+    /// thread exits afterwards.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut g = lock_inner(&self.inner);
+        g.states[me] = State::Finished;
+        Self::wake_satisfied_joiners(&mut g);
+        Self::choose_and_dispatch(&mut g, &self.cv);
+    }
+
+    fn wake_satisfied_joiners(g: &mut Inner) {
+        let n = g.states.len();
+        for t in 0..n {
+            if g.states[t] == State::Blocked(Block::Join)
+                && g.join_targets[t]
+                    .iter()
+                    .all(|&w| g.states[w] == State::Finished)
+            {
+                g.states[t] = State::Runnable;
+            }
+        }
+    }
+
+    /// Model-level join: block until every tid in `targets` has finished.
+    /// Called by a scope owner before the underlying OS-level join, so the
+    /// OS join can never park a thread the scheduler believes is running.
+    pub(crate) fn join_all(&self, me: usize, targets: &[usize]) {
+        loop {
+            let mut g = lock_inner(&self.inner);
+            if g.failure.is_some() {
+                drop(g);
+                // lint: allow(R1): failure propagation is by-design a panic.
+                panic!("loomlite: execution failed (see explorer report)");
+            }
+            if targets.iter().all(|&t| g.states[t] == State::Finished) {
+                return;
+            }
+            g.join_targets[me] = targets.to_vec();
+            g.states[me] = State::Blocked(Block::Join);
+            Self::choose_and_dispatch(&mut g, &self.cv);
+            self.wait_until_scheduled(g, me);
+        }
+    }
+
+    /// First park of a freshly spawned model thread: wait to be scheduled
+    /// for the first time.
+    pub(crate) fn park_new_thread(&self, me: usize) {
+        let g = lock_inner(&self.inner);
+        self.wait_until_scheduled(g, me);
+    }
+
+    /// A scope-owner thread panicked but keeps unwinding (it does not
+    /// exit): record the failure and wake all parked threads so they
+    /// unwind too, letting the scope's OS-level join complete.
+    pub(crate) fn fail_from_panic_keep_running(&self, msg: &str) {
+        let mut g = lock_inner(&self.inner);
+        Self::set_failure(&mut g, &self.cv, format!("scope owner panicked: {msg}"));
+    }
+
+    /// A model thread panicked with `msg`: record the failure (unless one
+    /// is already set), mark the thread finished, and wake everyone.
+    pub(crate) fn fail_from_panic(&self, me: usize, msg: String) {
+        let mut g = lock_inner(&self.inner);
+        g.states[me] = State::Finished;
+        Self::wake_satisfied_joiners(&mut g);
+        Self::set_failure(&mut g, &self.cv, format!("thread t{me} panicked: {msg}"));
+    }
+
+    /// Drain the execution's outcome after the model closure returned (or
+    /// unwound) on thread 0.
+    pub(crate) fn take_outcome(&self) -> RunOutcome {
+        let mut g = lock_inner(&self.inner);
+        RunOutcome {
+            decisions: std::mem::take(&mut g.decisions),
+            failure: g.failure.take(),
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Shim threading, API-compatible with the `std::thread` subset the
+//! `vendor/rayon` pool uses: `scope`, `Scope::spawn`, and
+//! `available_parallelism`.
+//!
+//! Spawned closures run on real OS threads (so non-`'static` borrows work
+//! exactly as with `std::thread::scope`), but each registers with the
+//! model scheduler and parks until scheduled; from then on it advances
+//! only between scheduling points like every other model thread. The
+//! scope performs a *model-level* join (through the scheduler) before the
+//! underlying OS-level join, so the OS join can never block a thread the
+//! scheduler still believes is runnable.
+
+use std::cell::RefCell;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::sched::{clear_ctx, ctx, set_ctx, Execution};
+
+/// Render a panic payload for failure reports.
+pub(crate) fn payload_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A scope for spawning model threads; mirrors `std::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    std_scope: &'scope std::thread::Scope<'scope, 'env>,
+    exec: Arc<Execution>,
+    spawned: RefCell<Vec<usize>>,
+}
+
+impl<'scope> Scope<'scope, '_> {
+    /// Spawn a model thread running `f`. Unlike `std`, no join handle is
+    /// returned: the scope joins everything at the end, which is the only
+    /// pattern the pool uses.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        let tid = self.exec.register_thread();
+        self.spawned.borrow_mut().push(tid);
+        let exec = Arc::clone(&self.exec);
+        self.std_scope.spawn(move || {
+            set_ctx(Arc::clone(&exec), tid);
+            exec.park_new_thread(tid);
+            match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(()) => exec.finish(tid),
+                Err(payload) => {
+                    exec.fail_from_panic(tid, payload_msg(payload.as_ref()));
+                }
+            }
+            clear_ctx();
+        });
+    }
+}
+
+/// Model-checked `std::thread::scope`: runs `f`, then joins every spawned
+/// model thread through the scheduler before returning.
+///
+/// Must be called from inside a model execution.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    let (exec, me) = ctx()
+        // lint: allow(R1): misuse outside a model is harness error.
+        .expect("loomlite::thread::scope used outside a model execution");
+    std::thread::scope(|s| {
+        let ls = Scope {
+            std_scope: s,
+            exec: Arc::clone(&exec),
+            spawned: RefCell::new(Vec::new()),
+        };
+        let out = catch_unwind(AssertUnwindSafe(|| f(&ls)));
+        let ids = ls.spawned.borrow().clone();
+        match out {
+            Ok(v) => {
+                // Model-level join: the scheduler runs the spawned threads
+                // to completion while this thread is parked; the OS-level
+                // join inside `std::thread::scope` then returns instantly.
+                exec.join_all(me, &ids);
+                v
+            }
+            Err(payload) => {
+                // The scope body itself panicked (e.g. an assertion inside
+                // the pool's inline worker). Record the failure so every
+                // parked model thread unwinds, then let `std`'s scope wait
+                // for their OS threads before re-raising.
+                exec.fail_from_panic_keep_running(&payload_msg(payload.as_ref()));
+                resume_unwind(payload);
+            }
+        }
+    })
+}
+
+/// Deterministic stand-in for `std::thread::available_parallelism`: models
+/// must not depend on host core counts, so this is a constant 2.
+///
+/// # Errors
+/// Never fails; the `Result` mirrors the `std` signature.
+pub fn available_parallelism() -> std::io::Result<NonZeroUsize> {
+    Ok(NonZeroUsize::MIN.saturating_add(1))
+}

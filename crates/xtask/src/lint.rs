@@ -30,6 +30,23 @@
 //!   experiment code must advance the simulator through `CmpSystem::run`
 //!   so event-driven fast-forward applies to every figure/table
 //!   reproduction uniformly.
+//! * **R6** — every `Ordering::Relaxed` / `Ordering::AcqRel` use needs a
+//!   justification comment naming the happens-before edge it relies on
+//!   (or why none is needed): a comment containing `hb:` or
+//!   `happens-before` on the same line or the contiguous comment block
+//!   above. SeqCst/Acquire/Release need no annotation.
+//! * **R7** — no `static mut` anywhere; and inside `vendor/rayon`, no
+//!   direct `std::sync` / `std::thread` references outside `shim.rs`:
+//!   the pool constructs every synchronization primitive through the
+//!   loomlite-aliased shim module so model runs cover the real code.
+//! * **R8** — every `unsafe` site (block, impl, fn, trait) needs a
+//!   `// SAFETY:` comment on the same line or the contiguous comment
+//!   block above, and every file containing unsafe code must be
+//!   registered with a matching site count in `UNSAFE_AUDIT.md`.
+//!
+//! Rules R1–R5 run over `crates/*/src`; R6 and R8 run over both
+//! `crates/*/src` and `vendor/rayon/src`; R7's `static mut` ban runs
+//! everywhere and its shim-only part runs over `vendor/rayon/src`.
 
 use std::fmt;
 use std::fs;
@@ -50,6 +67,15 @@ pub enum Rule {
     /// Experiments must drive the simulator via `CmpSystem::run`, not
     /// per-cycle `.step()` loops.
     R5,
+    /// Relaxed/AcqRel atomic orderings need a happens-before
+    /// justification comment.
+    R6,
+    /// No `static mut`; vendored pool code must reach `std::sync` /
+    /// `std::thread` only through its shim module.
+    R7,
+    /// `unsafe` sites need `// SAFETY:` comments and an `UNSAFE_AUDIT.md`
+    /// inventory entry.
+    R8,
 }
 
 impl Rule {
@@ -61,6 +87,9 @@ impl Rule {
             Rule::R3 => "R3",
             Rule::R4 => "R4",
             Rule::R5 => "R5",
+            Rule::R6 => "R6",
+            Rule::R7 => "R7",
+            Rule::R8 => "R8",
         }
     }
 
@@ -78,11 +107,32 @@ impl Rule {
                 "bwpart-experiments must drive the simulator via CmpSystem::run, \
                          not per-cycle .step() loops (fast-forward must apply everywhere)"
             }
+            Rule::R6 => {
+                "Ordering::Relaxed / Ordering::AcqRel requires a justification \
+                         comment naming the happens-before edge (`hb:` or `happens-before`)"
+            }
+            Rule::R7 => {
+                "no static mut; vendor/rayon must construct sync primitives only \
+                         through its loomlite-aliased shim module (no std::sync/std::thread)"
+            }
+            Rule::R8 => {
+                "unsafe sites need a // SAFETY: comment and a matching entry in \
+                         the UNSAFE_AUDIT.md inventory"
+            }
         }
     }
 
     /// All rules, report order.
-    pub const ALL: [Rule; 5] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5];
+    pub const ALL: [Rule; 8] = [
+        Rule::R1,
+        Rule::R2,
+        Rule::R3,
+        Rule::R4,
+        Rule::R5,
+        Rule::R6,
+        Rule::R7,
+        Rule::R8,
+    ];
 }
 
 /// One finding: a rule violated at a specific line.
@@ -201,8 +251,16 @@ fn prepare(src: &str) -> Prepared {
                     match bytes[i] {
                         b'\\' => {
                             code[i] = b' ';
-                            if i + 1 < len && bytes[i + 1] != b'\n' {
-                                code[i + 1] = b' ';
+                            if i + 1 < len {
+                                if bytes[i + 1] == b'\n' {
+                                    // Line-continuation escape: the newline
+                                    // must still advance the line counter or
+                                    // every later comment is attributed to
+                                    // the wrong line.
+                                    line += 1;
+                                } else {
+                                    code[i + 1] = b' ';
+                                }
                             }
                             i += 2;
                         }
@@ -489,13 +547,12 @@ fn is_float_literal(token: &str) -> bool {
 fn allowed(prepared: &Prepared, idx: usize, rule: Rule) -> bool {
     let marker_plain = format!("lint: allow({})", rule.code());
     let marker_tight = format!("lint:allow({})", rule.code());
-    let check = |l: usize| {
-        prepared
-            .comments
-            .get(l)
-            .is_some_and(|c| c.contains(&marker_plain) || c.contains(&marker_tight))
-    };
-    check(idx) || (idx > 0 && check(idx - 1))
+    // Same-line, or anywhere in the contiguous comment block above (so a
+    // marker whose explanation wraps onto a second comment line still
+    // covers the site beneath it).
+    comment_chain_matches(prepared, idx, &|c: &str| {
+        c.contains(&marker_plain) || c.contains(&marker_tight)
+    })
 }
 
 /// Does line `idx` (or the line above) carry a plain, non-doc comment
@@ -511,6 +568,258 @@ fn has_justification(prepared: &Prepared, idx: usize) -> bool {
         })
     };
     check(idx) || (idx > 0 && check(idx - 1))
+}
+
+/// Does any comment attached to line `idx` satisfy `pred`? Checks the
+/// same line, then walks up through the contiguous block of comment-only
+/// lines above (plus the first code line's trailing comment), so block
+/// explanations like a three-line `// SAFETY:` paragraph count for the
+/// site beneath them.
+fn comment_chain_matches(prepared: &Prepared, idx: usize, pred: &dyn Fn(&str) -> bool) -> bool {
+    if prepared.comments.get(idx).is_some_and(|c| pred(c)) {
+        return true;
+    }
+    let mut l = idx;
+    while l > 0 {
+        l -= 1;
+        let comment = prepared.comments.get(l).map(String::as_str).unwrap_or("");
+        let code_blank = prepared
+            .code_lines
+            .get(l)
+            .is_none_or(|c| c.trim().is_empty());
+        if !comment.is_empty() && pred(comment) {
+            return true;
+        }
+        // Stop once we leave the contiguous comment block: a code line
+        // terminates the chain (after its trailing comment was checked),
+        // and a fully blank line separates unrelated comments.
+        if !code_blank || comment.is_empty() {
+            return false;
+        }
+    }
+    false
+}
+
+/// R6: does this line's comment chain justify a weak atomic ordering?
+fn has_hb_justification(prepared: &Prepared, idx: usize) -> bool {
+    comment_chain_matches(prepared, idx, &|c: &str| {
+        c.contains("hb:") || c.contains("happens-before")
+    })
+}
+
+/// R8: does this line's comment chain carry a `SAFETY:` explanation?
+fn has_safety_comment(prepared: &Prepared, idx: usize) -> bool {
+    comment_chain_matches(prepared, idx, &|c: &str| c.contains("SAFETY:"))
+}
+
+fn scan_r6(file: &str, prepared: &Prepared, idx: usize, line: &str, out: &mut Vec<Violation>) {
+    for variant in ["Relaxed", "AcqRel"] {
+        for pos in ident_positions(line, variant) {
+            // Only the path form (`Ordering::Relaxed`, `atomic::Ordering::
+            // AcqRel`, ...) is an ordering use; a bare identifier is just
+            // a name.
+            if !line[..pos].trim_end().ends_with("::") {
+                continue;
+            }
+            if has_hb_justification(prepared, idx) || allowed(prepared, idx, Rule::R6) {
+                continue;
+            }
+            out.push(Violation {
+                file: file.to_string(),
+                line: idx + 1,
+                rule: Rule::R6,
+                message: format!(
+                    "Ordering::{variant} without a happens-before justification: \
+                     add a comment naming the hb: edge (or why none is needed)"
+                ),
+            });
+        }
+    }
+}
+
+fn scan_r7_static_mut(
+    file: &str,
+    prepared: &Prepared,
+    idx: usize,
+    line: &str,
+    out: &mut Vec<Violation>,
+) {
+    for pos in ident_positions(line, "static") {
+        // `&'static mut T` is the lifetime, not the item keyword.
+        if pos > 0 && line.as_bytes()[pos - 1] == b'\'' {
+            continue;
+        }
+        if token_after(line, pos + "static".len()) == "mut" && !allowed(prepared, idx, Rule::R7) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: idx + 1,
+                rule: Rule::R7,
+                message: "static mut is banned: use an atomic, a lock, or OnceLock".into(),
+            });
+        }
+    }
+}
+
+/// R7, shim part: vendored pool code must not name `std::sync` /
+/// `std::thread` directly (only `shim.rs` may).
+fn scan_r7_vendor_std(
+    file: &str,
+    prepared: &Prepared,
+    idx: usize,
+    line: &str,
+    out: &mut Vec<Violation>,
+) {
+    for banned in ["std::sync", "std::thread"] {
+        let mut from = 0usize;
+        while let Some(rel) = line[from..].find(banned) {
+            let pos = from + rel;
+            from = pos + banned.len();
+            let lb = line.as_bytes();
+            let before_ok = pos == 0 || !(is_ident_byte(lb[pos - 1]) || lb[pos - 1] == b':');
+            let after = pos + banned.len();
+            let after_ok = after >= lb.len() || !is_ident_byte(lb[after]);
+            if before_ok && after_ok && !allowed(prepared, idx, Rule::R7) {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule: Rule::R7,
+                    message: format!(
+                        "direct {banned} reference in vendored pool code: go through \
+                         crate::shim so the loomlite model checker covers this path"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn scan_r8(file: &str, prepared: &Prepared, idx: usize, line: &str, out: &mut Vec<Violation>) {
+    for pos in ident_positions(line, "unsafe") {
+        // `unsafe` in a type position (`unsafe fn` pointer types) still
+        // deserves the comment; no exemptions beyond the allow marker.
+        let _ = pos;
+        if has_safety_comment(prepared, idx) || allowed(prepared, idx, Rule::R8) {
+            continue;
+        }
+        out.push(Violation {
+            file: file.to_string(),
+            line: idx + 1,
+            rule: Rule::R8,
+            message: "unsafe without a // SAFETY: comment on the same line or the \
+                      comment block above"
+                .into(),
+        });
+    }
+}
+
+/// Count the `unsafe` sites R8 audits in `src` (non-test code lines),
+/// for cross-checking against the `UNSAFE_AUDIT.md` inventory.
+pub fn count_unsafe_sites(src: &str) -> usize {
+    let prepared = prepare(src);
+    prepared
+        .code_lines
+        .iter()
+        .enumerate()
+        .filter(|(idx, _)| !prepared.test_line.get(*idx).copied().unwrap_or(false))
+        .map(|(_, line)| ident_positions(line, "unsafe").len())
+        .sum()
+}
+
+/// Scan one vendored-pool file (`vendor/rayon/src/**`). Only the
+/// concurrency rules apply there: R6, R7 (both parts; `is_shim` exempts
+/// the alias module itself from the std-reference ban), and R8.
+pub fn lint_vendor_source(file: &str, src: &str, is_shim: bool) -> Vec<Violation> {
+    let prepared = prepare(src);
+    let mut out = Vec::new();
+    for (idx, line) in prepared.code_lines.iter().enumerate() {
+        if prepared.test_line.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        scan_r6(file, &prepared, idx, line, &mut out);
+        scan_r7_static_mut(file, &prepared, idx, line, &mut out);
+        if !is_shim {
+            scan_r7_vendor_std(file, &prepared, idx, line, &mut out);
+        }
+        scan_r8(file, &prepared, idx, line, &mut out);
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+/// Cross-check actual per-file `unsafe` site counts against the
+/// `UNSAFE_AUDIT.md` inventory (`audit` is its text; `None` when the file
+/// does not exist, meaning an empty inventory). Inventory lines look like:
+///
+/// ```text
+/// - `crates/loomlite/src/sync.rs` — 4 — UnsafeCell access behind the guard
+/// ```
+pub fn check_unsafe_inventory(audit: Option<&str>, actual: &[(String, usize)]) -> Vec<Violation> {
+    let audit_file = "UNSAFE_AUDIT.md";
+    let mut out = Vec::new();
+    let mut inventory: Vec<(String, usize, usize)> = Vec::new(); // (path, count, line)
+    for (idx, line) in audit.unwrap_or("").lines().enumerate() {
+        let trimmed = line.trim_start();
+        let Some(rest) = trimmed.strip_prefix("- `") else {
+            continue;
+        };
+        let Some((path, tail)) = rest.split_once('`') else {
+            continue;
+        };
+        let count = tail
+            .split(['—', '-'])
+            .map(str::trim)
+            .find(|s| !s.is_empty())
+            .and_then(|s| s.parse::<usize>().ok());
+        match count {
+            Some(n) => inventory.push((path.to_string(), n, idx + 1)),
+            None => out.push(Violation {
+                file: audit_file.to_string(),
+                line: idx + 1,
+                rule: Rule::R8,
+                message: format!(
+                    "malformed inventory line for `{path}`: expected \
+                     `- \u{60}path\u{60} — <count> — <description>`"
+                ),
+            }),
+        }
+    }
+    for (file, count) in actual {
+        match inventory.iter().find(|(p, _, _)| p == file) {
+            None => out.push(Violation {
+                file: file.clone(),
+                line: 1,
+                rule: Rule::R8,
+                message: format!(
+                    "{count} unsafe site(s) not registered in {audit_file}: add \
+                     `- \u{60}{file}\u{60} — {count} — <description>`"
+                ),
+            }),
+            Some((_, registered, audit_line)) if registered != count => out.push(Violation {
+                file: audit_file.to_string(),
+                line: *audit_line,
+                rule: Rule::R8,
+                message: format!(
+                    "inventory lists {registered} unsafe site(s) for `{file}` \
+                     but the source has {count}: update the entry"
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for (path, _, audit_line) in &inventory {
+        if !actual.iter().any(|(f, _)| f == path) {
+            out.push(Violation {
+                file: audit_file.to_string(),
+                line: *audit_line,
+                rule: Rule::R8,
+                message: format!(
+                    "stale inventory entry: `{path}` has no unsafe sites (or no \
+                     longer exists); remove the line"
+                ),
+            });
+        }
+    }
+    out
 }
 
 /// Scan one file's source. `is_core` enables the R3 producer rule (it only
@@ -530,6 +839,9 @@ pub fn lint_source(file: &str, src: &str, is_core: bool, is_experiments: bool) -
         if is_experiments {
             scan_r5(file, &prepared, idx, line, &mut out);
         }
+        scan_r6(file, &prepared, idx, line, &mut out);
+        scan_r7_static_mut(file, &prepared, idx, line, &mut out);
+        scan_r8(file, &prepared, idx, line, &mut out);
     }
     if is_core {
         scan_r3(file, &prepared, &mut out);
@@ -816,7 +1128,9 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lint every `crates/*/src/**/*.rs` under `root`. Returns violations in
+/// Lint every `crates/*/src/**/*.rs` under `root`, plus (when present)
+/// the vendored pool under `vendor/rayon/src` with the concurrency rules,
+/// and cross-check the `UNSAFE_AUDIT.md` inventory. Returns violations in
 /// deterministic (path, line) order.
 pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
     let crates_dir = root.join("crates");
@@ -829,6 +1143,7 @@ pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
     }
     files.sort();
     let mut out = Vec::new();
+    let mut unsafe_counts: Vec<(String, usize)> = Vec::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -840,7 +1155,38 @@ pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
         let is_experiments = unix_rel.starts_with("crates/experiments/");
         let src = fs::read_to_string(&path)?;
         out.extend(lint_source(&rel, &src, is_core, is_experiments));
+        let sites = count_unsafe_sites(&src);
+        if sites > 0 {
+            unsafe_counts.push((unix_rel, sites));
+        }
     }
+
+    // The vendored pool: concurrency rules only (its panic/float idioms
+    // are deliberately rayon-shaped, so R1-R5 stay out).
+    let vendor_src = root.join("vendor").join("rayon").join("src");
+    if vendor_src.is_dir() {
+        let mut vendor_files = Vec::new();
+        collect_rs(&vendor_src, &mut vendor_files)?;
+        vendor_files.sort();
+        for path in vendor_files {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .into_owned();
+            let unix_rel = rel.replace('\\', "/");
+            let is_shim = unix_rel.ends_with("/shim.rs");
+            let src = fs::read_to_string(&path)?;
+            out.extend(lint_vendor_source(&unix_rel, &src, is_shim));
+            let sites = count_unsafe_sites(&src);
+            if sites > 0 {
+                unsafe_counts.push((unix_rel, sites));
+            }
+        }
+    }
+
+    let audit = fs::read_to_string(root.join("UNSAFE_AUDIT.md")).ok();
+    out.extend(check_unsafe_inventory(audit.as_deref(), &unsafe_counts));
     Ok(out)
 }
 
@@ -1015,6 +1361,199 @@ pub fn f() -> &'static str {
     r#"raw with .unwrap() and == 1.0"#
 }
 "##;
+        assert!(lint_source("fixture.rs", src, false, false).is_empty());
+    }
+
+    #[test]
+    fn r6_catches_unjustified_relaxed_and_acqrel() {
+        let src = r"
+pub fn f(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::AcqRel);
+    c.load(Ordering::Relaxed)
+}
+";
+        let vs = lint_source("fixture.rs", src, false, false);
+        assert_eq!(codes(&vs), vec!["R6", "R6"]);
+        assert_eq!(vs[0].line, 3);
+        assert_eq!(vs[1].line, 4);
+    }
+
+    #[test]
+    fn r6_accepts_hb_justifications_and_seqcst() {
+        let src = r"
+pub fn f(c: &AtomicUsize) -> usize {
+    // hb: pairs with the Release store in publish(); the counter is the
+    // only memory read through this edge.
+    c.fetch_add(1, Ordering::AcqRel);
+    c.load(Ordering::SeqCst);
+    // the happens-before edge is the scope join below
+    c.load(Ordering::Relaxed)
+}
+";
+        assert!(lint_source("fixture.rs", src, false, false).is_empty());
+    }
+
+    #[test]
+    fn r6_ignores_bare_identifiers_and_comments() {
+        let src = r#"
+// Ordering::Relaxed in a comment is fine
+pub fn f(relaxed: bool) -> &'static str {
+    let Relaxed = 3;
+    let _ = (relaxed, Relaxed);
+    "Ordering::Relaxed in a string is fine"
+}
+"#;
+        // lint: allow(R7) not needed: fixture has no static mut.
+        let vs = lint_source("fixture.rs", src, false, false);
+        assert!(vs.is_empty(), "unexpected: {vs:?}");
+    }
+
+    #[test]
+    fn r7_catches_static_mut() {
+        let src = r"
+static mut COUNTER: usize = 0;
+pub fn f() {}
+";
+        let vs = lint_source("fixture.rs", src, false, false);
+        assert_eq!(codes(&vs), vec!["R7"]);
+        assert_eq!(vs[0].line, 2);
+        // Immutable statics are fine.
+        let ok = "static COUNTER: AtomicUsize = AtomicUsize::new(0);\n";
+        assert!(lint_source("fixture.rs", ok, false, false).is_empty());
+    }
+
+    #[test]
+    fn r7_vendor_bans_std_sync_outside_shim() {
+        let src = r"
+use std::sync::Mutex;
+pub fn f() {
+    let _ = std::thread::available_parallelism();
+}
+";
+        let vs = lint_vendor_source("vendor/rayon/src/lib.rs", src, false);
+        assert_eq!(codes(&vs), vec!["R7", "R7"]);
+        // The shim module itself is the one sanctioned construction point.
+        assert!(lint_vendor_source("vendor/rayon/src/shim.rs", src, true).is_empty());
+        // Non-sync std paths stay allowed in vendor code.
+        let ok = "pub fn g() { let _ = std::env::var(\"X\"); }\n";
+        assert!(lint_vendor_source("vendor/rayon/src/lib.rs", ok, false).is_empty());
+    }
+
+    #[test]
+    fn r8_requires_safety_comment() {
+        let bad = r"
+pub fn f(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+";
+        let vs = lint_source("fixture.rs", bad, false, false);
+        assert_eq!(codes(&vs), vec!["R8"]);
+        assert_eq!(vs[0].line, 3);
+        let good = r"
+pub fn f(p: *const u32) -> u32 {
+    // SAFETY: caller contract guarantees p is valid and aligned, and no
+    // mutable alias exists for the duration of the read.
+    unsafe { *p }
+}
+";
+        assert!(lint_source("fixture.rs", good, false, false).is_empty());
+    }
+
+    #[test]
+    fn r8_safety_comment_chain_stops_at_blank_lines() {
+        let src = r"
+// SAFETY: this comment is separated from the site by a blank line and
+// must NOT count.
+
+pub unsafe fn f() {}
+";
+        let vs = lint_source("fixture.rs", src, false, false);
+        assert_eq!(codes(&vs), vec!["R8"]);
+    }
+
+    #[test]
+    fn unsafe_sites_are_counted_outside_tests_only() {
+        let src = r#"
+// SAFETY: fixture.
+unsafe impl Send for X {}
+pub fn f(p: *const u32) -> u32 {
+    "unsafe in a string does not count";
+    // SAFETY: fixture.
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    fn g(p: *const u32) -> u32 {
+        unsafe { *p }
+    }
+}
+"#;
+        assert_eq!(count_unsafe_sites(src), 2);
+    }
+
+    #[test]
+    fn inventory_cross_check_flags_all_mismatch_kinds() {
+        let audit = "\
+# Unsafe audit
+
+- `crates/a/src/lib.rs` — 2 — cell access
+- `crates/b/src/lib.rs` — 1 — stale entry
+- `crates/c/src/lib.rs` — not-a-number — malformed
+";
+        let actual = vec![
+            ("crates/a/src/lib.rs".to_string(), 3), // count mismatch
+            ("crates/d/src/lib.rs".to_string(), 1), // unregistered
+        ];
+        let vs = check_unsafe_inventory(Some(audit), &actual);
+        let mut kinds: Vec<String> = vs.iter().map(|v| v.message.clone()).collect();
+        kinds.sort();
+        assert_eq!(vs.len(), 4, "got: {vs:?}");
+        assert!(vs.iter().all(|v| v.rule == Rule::R8));
+        assert!(kinds.iter().any(|m| m.contains("malformed")));
+        assert!(kinds.iter().any(|m| m.contains("stale")));
+        assert!(kinds.iter().any(|m| m.contains("not registered")));
+        assert!(kinds.iter().any(|m| m.contains("update the entry")));
+    }
+
+    #[test]
+    fn inventory_matches_cleanly() {
+        let audit = "- `crates/a/src/lib.rs` — 2 — guard-protected cell access\n";
+        let actual = vec![("crates/a/src/lib.rs".to_string(), 2)];
+        assert!(check_unsafe_inventory(Some(audit), &actual).is_empty());
+        // No audit file + no unsafe code is also clean.
+        assert!(check_unsafe_inventory(None, &[]).is_empty());
+    }
+
+    #[test]
+    fn string_line_continuations_do_not_shift_comment_attribution() {
+        // Regression: a `\`-newline continuation inside a string literal
+        // used to skip the newline without counting it, attributing every
+        // later comment to the wrong line — so allow markers and SAFETY/
+        // hb justifications below the string silently stopped matching.
+        let src = "
+pub fn f() -> String {
+    format!(\"a long message that wraps \\
+             onto a second line\")
+}
+
+pub fn g(x: Option<u32>) -> u32 {
+    // lint: allow(R1): fixture reason
+    x.unwrap()
+}
+";
+        assert!(lint_source("fixture.rs", src, false, false).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_covers_multi_line_comment_blocks() {
+        let src = r"
+pub fn f(x: Option<u32>) -> u32 {
+    // lint: allow(R1): the marker line wraps onto a second comment
+    // line, and the site sits right under the block.
+    x.unwrap()
+}
+";
         assert!(lint_source("fixture.rs", src, false, false).is_empty());
     }
 

@@ -7,12 +7,19 @@
 //! * `bench` — the perf-regression harness: builds and runs the
 //!   `bench_sim` binary from `bwpart-bench` in release mode, which times
 //!   the canonical workloads and writes `BENCH_sim.json`.
+//! * `check-concurrency` — the loomlite model check: rebuilds the
+//!   vendored pool with `--cfg loomlite` (aliasing its sync primitives to
+//!   the controlled scheduler) and runs the `loomlite_check` driver,
+//!   which explores permuted thread interleavings of the pool's deque
+//!   push/steal, thread-count override, and nested-`par_iter` protocols.
 //!
 //! ```text
-//! cargo xtask lint              # scan crates/*/src, exit 1 on violations
+//! cargo xtask lint              # scan crates/*/src + vendor/rayon/src
 //! cargo xtask lint --rules      # print the rule catalogue
 //! cargo xtask bench             # full benchmark, writes BENCH_sim.json
 //! cargo xtask bench --smoke     # tiny cycle budget for CI smoke runs
+//! cargo xtask check-concurrency # explore pool schedules, exit 1 on races
+//! cargo xtask check-concurrency -- --min-total 20000 --dfs 8000
 //! ```
 
 use std::env;
@@ -23,11 +30,17 @@ use std::process::ExitCode;
 mod lint;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask <lint [--rules] | bench [--smoke] [--reps N] [--out PATH]>");
+    eprintln!(
+        "usage: cargo xtask <lint [--rules] | bench [--smoke] [--reps N] [--out PATH] \
+         | check-concurrency [-- --min-total N --dfs N --random N]>"
+    );
     eprintln!();
     eprintln!("subcommands:");
-    eprintln!("  lint     run the bwpart-audit model-invariant lint over crates/*/src");
-    eprintln!("  bench    run the perf-regression harness (bench_sim), writing BENCH_sim.json");
+    eprintln!(
+        "  lint               run the bwpart-audit lint over crates/*/src + vendor/rayon/src"
+    );
+    eprintln!("  bench              run the perf-regression harness (bench_sim)");
+    eprintln!("  check-concurrency  run the loomlite model check over the vendored pool");
     ExitCode::from(2)
 }
 
@@ -55,7 +68,7 @@ fn run_lint(args: &[String]) -> ExitCode {
     let root = workspace_root();
     match lint::lint_tree(&root) {
         Ok(violations) if violations.is_empty() => {
-            println!("bwpart-audit: clean (rules R1-R5 over crates/*/src)");
+            println!("bwpart-audit: clean (rules R1-R8 over crates/*/src + vendor/rayon/src)");
             ExitCode::SUCCESS
         }
         Ok(violations) => {
@@ -109,11 +122,47 @@ fn run_bench(args: &[String]) -> ExitCode {
     }
 }
 
+/// Build and run the vendored pool's `loomlite_check` driver with the
+/// shims aliased to the model checker (`--cfg loomlite`). A dedicated
+/// target dir keeps the flag from thrashing the main build's fingerprints.
+fn run_check_concurrency(args: &[String]) -> ExitCode {
+    let root = workspace_root();
+    let mut rustflags = env::var("RUSTFLAGS").unwrap_or_default();
+    if !rustflags.is_empty() {
+        rustflags.push(' ');
+    }
+    rustflags.push_str("--cfg loomlite");
+    let status = Command::new(env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+        .current_dir(&root)
+        .env("RUSTFLAGS", rustflags)
+        .env("CARGO_TARGET_DIR", root.join("target").join("loomlite"))
+        .args([
+            "run",
+            "--release",
+            "--manifest-path",
+            "vendor/rayon/Cargo.toml",
+            "--bin",
+            "loomlite_check",
+            "--",
+        ])
+        .args(args.iter().filter(|a| *a != "--"))
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("cargo xtask check-concurrency: failed to run cargo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
         Some("bench") => run_bench(&args[1..]),
+        Some("check-concurrency") => run_check_concurrency(&args[1..]),
         _ => usage(),
     }
 }

@@ -126,6 +126,127 @@ pub fn reference(sys: &mut CmpSystem) {
 }
 
 #[test]
+fn seeded_concurrency_violations_are_caught() {
+    // Rules R6-R8 over a fixture tree with a vendored pool: exactly the
+    // violation mix a careless concurrency patch would introduce.
+    let root = fixture_root("bwpart-audit-concurrency");
+    fs::create_dir_all(root.join("vendor/rayon/src")).expect("vendor tree");
+    write(
+        &root,
+        "crates/demo/src/lib.rs",
+        r#"
+static mut GLOBAL: usize = 0;
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn read(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+"#,
+    );
+    write(
+        &root,
+        "vendor/rayon/src/lib.rs",
+        r#"
+use std::sync::Mutex;
+
+pub fn spawn_direct() {
+    std::thread::spawn(|| {});
+}
+"#,
+    );
+    let (ok, stdout) = run_lint(&root);
+    assert!(!ok, "seeded concurrency violations must fail:\n{stdout}");
+    // demo crate: one static mut (R7), one bare Relaxed (R6), one
+    // SAFETY-less unsafe that is also missing from the (absent)
+    // UNSAFE_AUDIT.md inventory (two R8 findings).
+    assert!(
+        stdout.contains("[R6]"),
+        "bare Relaxed not caught:\n{stdout}"
+    );
+    assert!(stdout.contains("[R7]"), "static mut not caught:\n{stdout}");
+    assert!(stdout.contains("[R8]"), "unsafe not caught:\n{stdout}");
+    assert!(
+        stdout.contains("crates/demo/src/lib.rs:2"),
+        "static mut line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("not registered in UNSAFE_AUDIT.md"),
+        "inventory cross-check missing:\n{stdout}"
+    );
+    // vendored pool: std::sync and std::thread outside shim.rs.
+    assert!(
+        stdout.contains("vendor/rayon/src/lib.rs:2"),
+        "std::sync in vendor:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("vendor/rayon/src/lib.rs:5"),
+        "std::thread in vendor:\n{stdout}"
+    );
+    let violations = stdout
+        .lines()
+        .filter(|l| l.contains("[R6]") || l.contains("[R7]") || l.contains("[R8]"))
+        .count();
+    assert_eq!(violations, 6, "expected exact violation count:\n{stdout}");
+}
+
+#[test]
+fn clean_concurrency_tree_passes() {
+    // Justified orderings, SAFETY comments, a registered inventory, and a
+    // shim-only vendored pool: the concurrency rules must stay silent.
+    let root = fixture_root("bwpart-audit-concurrency-clean");
+    fs::create_dir_all(root.join("vendor/rayon/src")).expect("vendor tree");
+    write(
+        &root,
+        "crates/demo/src/lib.rs",
+        r#"
+pub fn bump(c: &AtomicUsize) -> usize {
+    // hb: none needed — the counter only hands out unique tokens.
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn read(p: *const u32) -> u32 {
+    // SAFETY: caller contract guarantees p is valid and unaliased.
+    unsafe { *p }
+}
+"#,
+    );
+    write(
+        &root,
+        "UNSAFE_AUDIT.md",
+        "# inventory\n\n- `crates/demo/src/lib.rs` — 1 — guarded raw read\n",
+    );
+    write(
+        &root,
+        "vendor/rayon/src/shim.rs",
+        "pub use std::sync::Mutex;\npub use std::thread;\n",
+    );
+    write(
+        &root,
+        "vendor/rayon/src/lib.rs",
+        "mod shim;\npub fn f() { let _ = shim::Mutex::new(()); }\n",
+    );
+    let (ok, stdout) = run_lint(&root);
+    assert!(ok, "clean concurrency fixture must pass:\n{stdout}");
+}
+
+#[test]
+fn stale_unsafe_inventory_is_caught() {
+    let root = fixture_root("bwpart-audit-stale-inventory");
+    write(&root, "crates/demo/src/lib.rs", "pub fn f() {}\n");
+    write(
+        &root,
+        "UNSAFE_AUDIT.md",
+        "- `crates/demo/src/lib.rs` — 2 — no longer true\n",
+    );
+    let (ok, stdout) = run_lint(&root);
+    assert!(!ok, "stale inventory must fail:\n{stdout}");
+    assert!(stdout.contains("stale inventory entry"), "{stdout}");
+}
+
+#[test]
 fn clean_tree_passes() {
     let root = fixture_root("bwpart-audit-clean");
     write(

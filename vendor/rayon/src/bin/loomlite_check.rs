@@ -1,0 +1,122 @@
+//! Driver for the pool's concurrency model check.
+//!
+//! Invoked by `cargo xtask check-concurrency`, which compiles this crate
+//! with `RUSTFLAGS="--cfg loomlite"` so the pool's synchronization shims
+//! route through the `loomlite` controlled scheduler. Runs every model in
+//! `rayon::models`, prints a per-model schedule report, and fails unless
+//! (a) no model found a failing interleaving and (b) the total number of
+//! distinct schedules explored meets `--min-total` (default 10000).
+
+#[cfg(not(loomlite))]
+fn main() {
+    eprintln!(
+        "loomlite_check was compiled without --cfg loomlite; \
+         run it via `cargo xtask check-concurrency`."
+    );
+    std::process::exit(2);
+}
+
+#[cfg(loomlite)]
+fn main() {
+    model_mode::run();
+}
+
+#[cfg(loomlite)]
+mod model_mode {
+    use loomlite::{Config, Report};
+    use rayon::models;
+
+    struct Args {
+        min_total: usize,
+        dfs: usize,
+        random: usize,
+    }
+
+    fn parse_args() -> Args {
+        let mut args = Args {
+            min_total: 10_000,
+            dfs: 4_000,
+            random: 3_000,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> usize {
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    // lint: allow(R1): CLI misuse should abort with context.
+                    .unwrap_or_else(|| panic!("{name} requires an integer argument"))
+            };
+            match flag.as_str() {
+                "--min-total" => args.min_total = take("--min-total"),
+                "--dfs" => args.dfs = take("--dfs"),
+                "--random" => args.random = take("--random"),
+                other => {
+                    eprintln!("unknown flag {other}; expected --min-total/--dfs/--random N");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+
+    fn report_line(name: &str, r: &Report) -> String {
+        format!(
+            "model {name}: distinct={} dfs={} random_runs={} exhausted={} — {}",
+            r.distinct_schedules,
+            r.dfs_schedules,
+            r.random_runs,
+            r.exhausted,
+            if r.passed() { "ok" } else { "FAILED" }
+        )
+    }
+
+    pub fn run() {
+        let args = parse_args();
+        let cfg = Config {
+            max_schedules: args.dfs,
+            random_schedules: args.random,
+            ..Config::default()
+        };
+        let models: [(&str, fn(&Config) -> Report); 6] = [
+            ("pool_push_steal_merge", models::pool_push_steal_merge),
+            (
+                "pool_push_steal_merge_wide",
+                models::pool_push_steal_merge_wide,
+            ),
+            ("nested_par_iter", models::nested_par_iter),
+            ("nested_par_iter_wide", models::nested_par_iter_wide),
+            ("set_num_threads_race", models::set_num_threads_race),
+            ("env_override_precedence", models::env_override_precedence),
+        ];
+
+        let mut total = 0usize;
+        let mut failed = false;
+        for (name, model) in models {
+            let report = model(&cfg);
+            println!("{}", report_line(name, &report));
+            total += report.distinct_schedules;
+            if let Some(failure) = report.failure {
+                failed = true;
+                eprintln!("  failure: {}", failure.message);
+                eprintln!("  failing schedule (replayable): {:?}", failure.schedule);
+            }
+        }
+
+        println!(
+            "total distinct schedules: {total} (minimum required {})",
+            args.min_total
+        );
+        if failed {
+            eprintln!("concurrency check: FAIL (failing interleaving found)");
+            std::process::exit(1);
+        }
+        if total < args.min_total {
+            eprintln!(
+                "concurrency check: FAIL (only {total} distinct schedules, need {})",
+                args.min_total
+            );
+            std::process::exit(1);
+        }
+        println!("concurrency check: PASS");
+    }
+}

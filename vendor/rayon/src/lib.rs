@@ -20,13 +20,29 @@
 //!
 //! Panics from the mapped closure propagate to the caller when the scope
 //! joins, matching rayon's behaviour.
+//!
+//! # Concurrency verification
+//!
+//! Every synchronization primitive is constructed through [`shim`], which
+//! compiles to plain `std` types normally and to the `loomlite` model
+//! checker's controlled-scheduler types under `--cfg loomlite`. The
+//! models in [`models`] replay the pool's deque push/steal, thread-count
+//! override, and nested-`par_iter` protocols under permuted thread
+//! interleavings (`cargo xtask check-concurrency`), asserting
+//! index-ordered merge integrity and that no work item is ever lost,
+//! duplicated, or reordered. See `DESIGN.md` §10 and `UNSAFE_AUDIT.md`.
+
+pub mod shim;
+
+#[cfg(loomlite)]
+pub mod models;
 
 pub mod pool {
     //! The scoped worker pool executing every parallel iterator.
 
     use std::collections::VecDeque;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    use crate::shim::{thread, AtomicUsize, Mutex, MutexGuard, OnceLock, Ordering};
 
     /// In-process override: 0 = defer to the environment/hardware.
     static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -40,9 +56,30 @@ pub mod pool {
         static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
     }
 
+    /// Clears [`IN_POOL`] when a worker exits its run loop — including by
+    /// unwinding. Without the drop guard, a panicking mapped closure
+    /// would leave the caller thread's flag set forever, silently
+    /// serializing every later `par_iter` on that thread (found by audit,
+    /// pinned by `panic_does_not_leak_worker_context`).
+    struct WorkerFlagReset;
+
+    impl Drop for WorkerFlagReset {
+        fn drop(&mut self) {
+            IN_POOL.with(|flag| flag.set(false));
+        }
+    }
+
     /// Force the pool width for subsequent parallel iterators (process
     /// wide). `1` serializes, `0` restores the automatic choice
     /// (`RAYON_NUM_THREADS`, else the hardware parallelism).
+    ///
+    /// # Precedence (pinned by `override_beats_cached_env`)
+    ///
+    /// A non-zero override **always** wins over `RAYON_NUM_THREADS`, even
+    /// when the environment value was already read and cached: the cache
+    /// only backs the `0`/unset fallback path. Calling
+    /// `set_num_threads(0)` re-exposes the cached environment value (the
+    /// environment is intentionally *not* re-read mid-process).
     pub fn set_num_threads(n: usize) {
         OVERRIDE.store(n, Ordering::SeqCst);
     }
@@ -62,9 +99,16 @@ pub mod pool {
         if env != 0 {
             return env;
         }
-        std::thread::available_parallelism()
+        thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
+    }
+
+    /// Whether the calling thread is currently inside a pool worker (so a
+    /// nested `par_iter` would run inline). Exposed for the panic-leak
+    /// regression tests; not part of the real rayon API.
+    pub fn in_worker_context() -> bool {
+        IN_POOL.with(std::cell::Cell::get)
     }
 
     /// Ignore lock poisoning: a panicked worker already aborts the whole
@@ -111,6 +155,8 @@ pub mod pool {
 
         let worker = |queue: &Mutex<VecDeque<(usize, Vec<T>)>>, slots: &[Mutex<Option<R>>]| {
             IN_POOL.with(|flag| flag.set(true));
+            // Reset the flag on every exit path, including unwinding.
+            let _reset = WorkerFlagReset;
             loop {
                 let job = lock_unpoisoned(queue).pop_front();
                 let Some((base, chunk)) = job else { break };
@@ -119,10 +165,9 @@ pub mod pool {
                     *lock_unpoisoned(&slots[base + offset]) = Some(out);
                 }
             }
-            IN_POOL.with(|flag| flag.set(false));
         };
 
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             for _ in 1..threads {
                 scope.spawn(|| worker(&queue, &slots));
             }
@@ -232,7 +277,7 @@ pub mod prelude {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loomlite)))]
 mod tests {
     use super::pool;
     use super::prelude::*;
@@ -287,6 +332,27 @@ mod tests {
     }
 
     #[test]
+    fn override_beats_cached_env() {
+        // Cache whatever the environment says first, then pin the chosen
+        // precedence: a later in-process override must win over the cached
+        // environment value, and clearing the override must fall back to
+        // exactly the cached behaviour.
+        let cached = pool::current_num_threads();
+        pool::set_num_threads(5);
+        assert_eq!(
+            pool::current_num_threads(),
+            5,
+            "set_num_threads after env caching must win"
+        );
+        pool::set_num_threads(0);
+        assert_eq!(
+            pool::current_num_threads(),
+            cached,
+            "clearing the override must restore the cached env/hardware value"
+        );
+    }
+
+    #[test]
     fn worker_panic_propagates() {
         pool::set_num_threads(2);
         let result = std::panic::catch_unwind(|| {
@@ -298,5 +364,30 @@ mod tests {
         });
         pool::set_num_threads(0);
         assert!(result.is_err(), "a worker panic must reach the caller");
+    }
+
+    #[test]
+    fn panic_does_not_leak_worker_context() {
+        // Regression test for the audit finding F1 (see UNSAFE_AUDIT.md):
+        // a mapped-closure panic on the calling thread used to leave the
+        // IN_POOL thread-local set, silently serializing every later
+        // par_iter on that thread. Every item panics so the caller-side
+        // worker is guaranteed to hit the unwind path.
+        pool::set_num_threads(2);
+        let result = std::panic::catch_unwind(|| {
+            let xs: Vec<u32> = (0..8).collect();
+            let _: Vec<u32> = xs.par_iter().map(|&_x| -> u32 { panic!("boom") }).collect();
+        });
+        pool::set_num_threads(0);
+        assert!(result.is_err());
+        assert!(
+            !pool::in_worker_context(),
+            "IN_POOL must be reset after a panicking parallel map"
+        );
+        // And the pool must still work normally afterwards.
+        let xs: Vec<u64> = (0..100).collect();
+        let seq: Vec<u64> = xs.iter().map(|x| x + 7).collect();
+        let par: Vec<u64> = xs.par_iter().map(|&x| x + 7).collect();
+        assert_eq!(seq, par);
     }
 }

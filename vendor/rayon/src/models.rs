@@ -1,0 +1,129 @@
+//! Concurrency models explored by `cargo xtask check-concurrency`.
+//!
+//! Only compiled under `--cfg loomlite`, where [`crate::shim`] aliases
+//! every pool synchronization primitive to the `loomlite` controlled
+//! scheduler. Each model runs the *real* pool code (`pool::map_in_order`,
+//! `pool::set_num_threads`, `pool::current_num_threads`) under permuted
+//! thread interleavings and asserts the invariants the paper pipeline
+//! depends on: index-ordered merges, no lost or duplicated work items,
+//! and coherent thread-count precedence.
+//!
+//! The schedule spaces here are far larger than DFS alone can exhaust;
+//! the driver (`loomlite_check`) bounds the DFS phase and tops up with
+//! seeded randomized schedules, then enforces a minimum total of
+//! distinct interleavings across all models.
+
+use loomlite::{explore, Config, Report};
+
+use crate::pool;
+
+/// The deque push/steal + merge protocol: two workers (one spawned, the
+/// caller inline) drain a chunked queue of three items and write results
+/// into index slots. Every interleaving must produce the exact serial
+/// output — any lost, duplicated, or reordered item changes the vector.
+pub fn pool_push_steal_merge(cfg: &Config) -> Report {
+    explore(cfg, || {
+        pool::set_num_threads(2);
+        let out = pool::map_in_order(vec![1u64, 2, 3], |x| x * 10);
+        assert_eq!(
+            out,
+            vec![10, 20, 30],
+            "merge lost, duplicated, or reordered a work item"
+        );
+    })
+}
+
+/// Nested `par_iter`: an inner `map_in_order` issued from inside a worker
+/// must run inline (the `IN_POOL` protocol) and still merge in order, and
+/// the outer merge must remain index-exact.
+pub fn nested_par_iter(cfg: &Config) -> Report {
+    explore(cfg, || {
+        pool::set_num_threads(2);
+        let grid = vec![vec![1u32, 2], vec![3, 4]];
+        let out = pool::map_in_order(grid, |row| pool::map_in_order(row, |v| v + 1));
+        assert_eq!(
+            out,
+            vec![vec![2, 3], vec![4, 5]],
+            "nested merge lost, duplicated, or reordered a work item"
+        );
+    })
+}
+
+/// Wider push/steal instance: three workers (two spawned, the caller
+/// inline) over six chunks. The schedule space here is far too large to
+/// exhaust — this model exists to soak the bounded-DFS + randomized
+/// phases in distinct interleavings of real contention.
+pub fn pool_push_steal_merge_wide(cfg: &Config) -> Report {
+    explore(cfg, || {
+        pool::set_num_threads(3);
+        let out = pool::map_in_order((1u64..=6).collect(), |x| x * 10);
+        assert_eq!(
+            out,
+            vec![10, 20, 30, 40, 50, 60],
+            "merge lost, duplicated, or reordered a work item"
+        );
+    })
+}
+
+/// Wider nested instance: three outer workers, each issuing an inline
+/// nested map. Soaks the `IN_POOL` inline-serialization protocol under a
+/// large interleaving space.
+pub fn nested_par_iter_wide(cfg: &Config) -> Report {
+    explore(cfg, || {
+        pool::set_num_threads(3);
+        let grid = vec![vec![1u32, 2], vec![3, 4], vec![5, 6]];
+        let out = pool::map_in_order(grid, |row| pool::map_in_order(row, |v| v + 1));
+        assert_eq!(
+            out,
+            vec![vec![2, 3], vec![4, 5], vec![6, 7]],
+            "nested merge lost, duplicated, or reordered a work item"
+        );
+    })
+}
+
+/// Concurrent `set_num_threads` calls racing each other: the override
+/// must end up holding one of the written values (no torn or stale
+/// zero-from-nowhere state), and a parallel map issued afterwards must
+/// still merge correctly whichever write won.
+pub fn set_num_threads_race(cfg: &Config) -> Report {
+    explore(cfg, || {
+        pool::set_num_threads(2);
+        loomlite::thread::scope(|s| {
+            s.spawn(|| pool::set_num_threads(4));
+            pool::set_num_threads(1);
+        });
+        let n = pool::current_num_threads();
+        assert!(
+            n == 1 || n == 4,
+            "override must hold one racing write, got {n}"
+        );
+        let out = pool::map_in_order(vec![7u64, 8], |x| x + 1);
+        assert_eq!(out, vec![8, 9], "pool broken after thread-count race");
+    })
+}
+
+/// The pinned precedence protocol: a reader racing a `set_num_threads`
+/// call must observe either the pre-existing automatic value or the new
+/// override — never anything else — and once the writer is joined the
+/// override must win unconditionally (even though the environment value
+/// is already cached in `ENV_THREADS`).
+pub fn env_override_precedence(cfg: &Config) -> Report {
+    explore(cfg, || {
+        pool::set_num_threads(0);
+        let auto = pool::current_num_threads();
+        loomlite::thread::scope(|s| {
+            s.spawn(|| pool::set_num_threads(3));
+            let n = pool::current_num_threads();
+            assert!(
+                n == auto || n == 3,
+                "racing reader saw {n}, expected {auto} or 3"
+            );
+        });
+        assert_eq!(
+            pool::current_num_threads(),
+            3,
+            "set_num_threads after env caching must win"
+        );
+        pool::set_num_threads(0);
+    })
+}

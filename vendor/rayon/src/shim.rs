@@ -1,0 +1,26 @@
+//! The single construction point for every synchronization primitive the
+//! pool uses (lint rule R7 enforces this).
+//!
+//! By default these are re-exports of the real `std` types — zero-cost.
+//! Compiled with `RUSTFLAGS="--cfg loomlite"` (via
+//! `cargo xtask check-concurrency`), they alias to the `loomlite` model
+//! checker's shims instead, so the *same* pool source in `lib.rs` runs
+//! under the controlled scheduler that `vendor/rayon/src/models.rs`
+//! explores. Pool code must never name `std::sync` / `std::thread`
+//! directly — only through this module — or a real-run/model-run
+//! behaviour split could hide exactly the bugs the checker exists to
+//! find.
+
+#[cfg(not(loomlite))]
+pub use std::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(not(loomlite))]
+pub use std::sync::{Mutex, MutexGuard, OnceLock};
+#[cfg(not(loomlite))]
+pub use std::thread;
+
+#[cfg(loomlite)]
+pub use loomlite::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(loomlite)]
+pub use loomlite::sync::{Mutex, MutexGuard, OnceLock};
+#[cfg(loomlite)]
+pub use loomlite::thread;
