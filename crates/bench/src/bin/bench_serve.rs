@@ -1,0 +1,83 @@
+//! `bench_serve` — the `bwpartd` service perf runner invoked by
+//! `cargo xtask bench-serve`.
+//!
+//! ```text
+//! bench_serve [--smoke] [--out PATH]
+//! ```
+//!
+//! Measures wire-protocol throughput/latency against a live loopback
+//! `bwpartd` and epoch-decision latency in the bare engine (see
+//! [`bwpart_bench::serve_perf`]), prints a human-readable summary, and
+//! writes the machine-readable report to `BENCH_serve.json` (or
+//! `--out PATH`). Exit status is non-zero only on a real failure — never
+//! on timing, so CI smoke runs don't flake on slow runners.
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_serve [--smoke] [--out PATH]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_serve.json");
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out needs a path");
+                    return usage();
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let report = bwpart_bench::serve_perf::run(smoke);
+
+    println!(
+        "bench_serve: {} mode",
+        if report.smoke { "smoke" } else { "full" }
+    );
+    println!(
+        "  wire:  {} client(s) x {} req  {:>9.0} req/s  p50 {:>7.1} us  p99 {:>7.1} us",
+        report.wire.clients,
+        report.wire.requests_per_client,
+        report.wire.requests_per_sec,
+        report.wire.latency.p50_us,
+        report.wire.latency.p99_us,
+    );
+    println!(
+        "  epoch: {} app(s) x {} epochs ({} repartitions)  p50 {:>7.1} us  p99 {:>7.1} us",
+        report.epoch.apps,
+        report.epoch.epochs,
+        report.epoch.repartitions,
+        report.epoch.latency.p50_us,
+        report.epoch.latency.p99_us,
+    );
+
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench_serve: serialize report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = fs::write(&out_path, json + "\n") {
+        eprintln!("bench_serve: write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_serve: wrote {out_path}");
+    ExitCode::SUCCESS
+}

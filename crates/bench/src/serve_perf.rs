@@ -1,0 +1,269 @@
+//! Perf harness for the `bwpartd` online service behind
+//! `cargo xtask bench-serve`.
+//!
+//! Two measurements, written to `BENCH_serve.json`:
+//!
+//! * **Wire throughput/latency** — a real [`bwpartd::serve`] instance on
+//!   loopback, `clients` concurrent connections each driving a
+//!   telemetry → get-shares loop through the framed JSON protocol. Every
+//!   request's round-trip is timed individually, so the report carries
+//!   p50/p99 latency alongside aggregate requests/sec.
+//! * **Epoch decision latency** — the [`bwpartd::Engine`] alone, no
+//!   sockets: fold telemetry for `apps` applications and time
+//!   `run_epoch` (profile update + scheme solve + contract certification)
+//!   over many epochs.
+//!
+//! The epoch timer is parked at one hour so the wire numbers measure the
+//! request path, not repartitioning; a single forced epoch before the
+//! measured loop guarantees `get_shares` has a published reply to serve.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bwpart_mc::TelemetryDelta;
+use bwpartd::{serve, Client, Engine, EngineConfig, EpochOutcome, PartitionScheme, ServeConfig};
+use serde::Serialize;
+
+/// Shared bandwidth used by both benches (the paper's 0.0095 APC budget).
+const BANDWIDTH: f64 = 0.0095;
+
+/// Request-latency percentiles in microseconds.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyStats {
+    /// Median latency, µs.
+    pub p50_us: f64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: f64,
+}
+
+/// Throughput and latency of the framed wire protocol end to end.
+#[derive(Debug, Clone, Serialize)]
+pub struct WireBench {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests issued per client (half telemetry, half get-shares).
+    pub requests_per_client: usize,
+    /// Total requests across all clients.
+    pub requests_total: usize,
+    /// Aggregate requests per second over the measured window.
+    pub requests_per_sec: f64,
+    /// Per-request round-trip latency.
+    pub latency: LatencyStats,
+}
+
+/// Latency of one epoch decision in the engine (no sockets).
+#[derive(Debug, Clone, Serialize)]
+pub struct EpochBench {
+    /// Registered applications.
+    pub apps: usize,
+    /// Epochs timed.
+    pub epochs: usize,
+    /// How many of those epochs actually republished shares (the rest
+    /// were held by hysteresis once the EWMA estimates settled).
+    pub repartitions: u64,
+    /// Per-epoch `run_epoch` latency.
+    pub latency: LatencyStats,
+}
+
+/// The full report serialized to `BENCH_serve.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeBenchReport {
+    /// Report schema tag.
+    pub schema: &'static str,
+    /// True when run with the CI smoke budget (timings not comparable to
+    /// full runs).
+    pub smoke: bool,
+    /// Wire-protocol bench.
+    pub wire: WireBench,
+    /// Epoch-engine bench.
+    pub epoch: EpochBench,
+}
+
+/// Nearest-rank percentile over an ascending slice of nanosecond samples,
+/// reported in microseconds rounded to 0.1 µs.
+fn percentile_us(sorted_ns: &[u64], pct: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = (pct / 100.0) * (sorted_ns.len() - 1) as f64;
+    let idx = (rank.round() as usize).min(sorted_ns.len() - 1);
+    let us = sorted_ns[idx] as f64 / 1000.0;
+    (us * 10.0).round() / 10.0
+}
+
+fn stats(mut ns: Vec<u64>) -> LatencyStats {
+    ns.sort_unstable();
+    LatencyStats {
+        p50_us: percentile_us(&ns, 50.0),
+        p99_us: percentile_us(&ns, 99.0),
+    }
+}
+
+/// A plausible telemetry delta, varied deterministically by `(app, step)`
+/// so estimates stay stable while the bytes on the wire differ.
+fn delta(app: usize, step: usize) -> TelemetryDelta {
+    let jitter = ((app * 31 + step * 7) % 97) as u64;
+    TelemetryDelta {
+        accesses: 50_000 + (app as u64) * 1_000 + jitter,
+        shared_cycles: 10_000_000 + jitter * 101,
+        interference_cycles: 2_000_000 + (app as u64) * 50_000,
+    }
+}
+
+/// Run the wire bench: `clients` connections, `iters` telemetry+get-shares
+/// pairs each, per-request latency recorded.
+fn wire_bench(clients: usize, iters: usize) -> WireBench {
+    let cfg = ServeConfig {
+        epoch_interval: Duration::from_secs(3600),
+        engine: EngineConfig::new(PartitionScheme::SquareRoot, BANDWIDTH),
+        ..ServeConfig::default()
+    };
+    // lint: allow(R1): bench harness — failing to bind loopback is fatal
+    let handle = serve(cfg).expect("bind bwpartd on loopback");
+    let addr = handle.addr();
+
+    // All clients register and seed one telemetry delta, then rendezvous
+    // so the forced epoch below publishes shares covering every app.
+    let ready = Arc::new(Barrier::new(clients + 1));
+    let go = Arc::new(Barrier::new(clients + 1));
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let (ready, go) = (Arc::clone(&ready), Arc::clone(&go));
+            thread::spawn(move || -> Vec<u64> {
+                // lint: allow(R1): bench harness — loopback connect is fatal
+                let mut cl = Client::connect(addr).expect("connect to bwpartd");
+                let id = cl
+                    .register(&format!("bench-{c}"), 0.005 + 0.002 * c as f64)
+                    // lint: allow(R1): bench harness — registration is fatal
+                    .expect("register bench app");
+                // lint: allow(R1): bench harness — seeding telemetry is fatal
+                cl.telemetry(id, delta(c, 0)).expect("seed telemetry");
+                ready.wait();
+                go.wait();
+                let mut lat = Vec::with_capacity(iters * 2);
+                for step in 1..=iters {
+                    let t0 = Instant::now();
+                    // lint: allow(R1): bench harness — request failure is fatal
+                    cl.telemetry(id, delta(c, step)).expect("telemetry");
+                    lat.push(t0.elapsed().as_nanos() as u64);
+                    let t0 = Instant::now();
+                    // lint: allow(R1): bench harness — request failure is fatal
+                    let shares = cl.get_shares(None).expect("get shares");
+                    lat.push(t0.elapsed().as_nanos() as u64);
+                    std::hint::black_box(shares);
+                }
+                lat
+            })
+        })
+        .collect();
+
+    ready.wait();
+    handle.force_epoch();
+    go.wait();
+    let t0 = Instant::now();
+    let mut all = Vec::with_capacity(clients * iters * 2);
+    for w in workers {
+        // lint: allow(R1): bench harness — a panicked client is a real failure
+        all.extend(w.join().expect("client thread panicked"));
+    }
+    let wall = t0.elapsed();
+    handle.shutdown();
+    handle.join();
+
+    let total = all.len();
+    let rps = total as f64 / wall.as_secs_f64().max(1e-12);
+    WireBench {
+        clients,
+        requests_per_client: iters * 2,
+        requests_total: total,
+        requests_per_sec: rps.round(),
+        latency: stats(all),
+    }
+}
+
+/// Run the epoch-decision bench: fold telemetry for `apps` applications
+/// and time `run_epoch` alone over `epochs` epochs.
+fn epoch_bench(apps: usize, epochs: usize) -> EpochBench {
+    let mut engine = Engine::new(EngineConfig::new(PartitionScheme::SquareRoot, BANDWIDTH))
+        // lint: allow(R1): bench harness — the default config is valid
+        .expect("engine config");
+    for i in 0..apps {
+        engine
+            .register(&format!("app-{i}"), 0.004 + 0.001 * i as f64)
+            // lint: allow(R1): bench harness — registration is fatal
+            .expect("register app");
+    }
+    let mut lat = Vec::with_capacity(epochs);
+    let mut repartitions = 0u64;
+    for e in 0..epochs {
+        for i in 0..apps {
+            engine
+                .push_telemetry(i, delta(i, e))
+                // lint: allow(R1): bench harness — app ids are valid here
+                .expect("push telemetry");
+        }
+        let t0 = Instant::now();
+        let outcome = engine.run_epoch();
+        lat.push(t0.elapsed().as_nanos() as u64);
+        if outcome == EpochOutcome::Repartitioned {
+            repartitions += 1;
+        }
+    }
+    EpochBench {
+        apps,
+        epochs,
+        repartitions,
+        latency: stats(lat),
+    }
+}
+
+/// Run the full harness. `smoke` shrinks client/iteration counts ~10× for
+/// CI.
+pub fn run(smoke: bool) -> ServeBenchReport {
+    let (clients, iters) = if smoke { (2, 100) } else { (4, 2_000) };
+    let (apps, epochs) = if smoke { (8, 200) } else { (16, 2_000) };
+    ServeBenchReport {
+        schema: "bwpart-bench-serve/v1",
+        smoke,
+        wire: wire_bench(clients, iters),
+        epoch: epoch_bench(apps, epochs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_is_complete_and_consistent() {
+        let report = run(true);
+        assert_eq!(report.schema, "bwpart-bench-serve/v1");
+        assert!(report.smoke);
+        assert_eq!(report.wire.clients, 2);
+        assert_eq!(
+            report.wire.requests_total,
+            report.wire.clients * report.wire.requests_per_client
+        );
+        assert!(report.wire.requests_per_sec > 0.0);
+        assert!(report.wire.latency.p50_us > 0.0);
+        assert!(report.wire.latency.p99_us >= report.wire.latency.p50_us);
+        assert_eq!(report.epoch.apps, 8);
+        assert_eq!(report.epoch.epochs, 200);
+        // The first epoch always repartitions (no previous shares).
+        assert!(report.epoch.repartitions >= 1);
+        assert!(report.epoch.latency.p99_us >= report.epoch.latency.p50_us);
+        // The report must round-trip through serde_json for
+        // BENCH_serve.json.
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("requests_per_sec"));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_the_sorted_samples() {
+        let ns: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        assert!((percentile_us(&ns, 50.0) - 51.0).abs() < 1.5);
+        assert!((percentile_us(&ns, 99.0) - 99.0).abs() < 1.5);
+        assert!(percentile_us(&[], 50.0).abs() < 1e-12);
+    }
+}

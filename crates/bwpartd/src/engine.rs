@@ -1,0 +1,795 @@
+//! The epoch engine: fold telemetry, re-estimate, re-partition, publish.
+//!
+//! This is the service's brain, deliberately free of any networking so it
+//! can be driven deterministically in tests. Each call to
+//! [`Engine::run_epoch`] performs one Section IV-C cycle:
+//!
+//! 1. **Fold** — drain every application's bounded telemetry queue into a
+//!    [`DeltaAccumulator`] and form the epoch's raw Eq. 12–13 `APC_alone`
+//!    estimate.
+//! 2. **Smooth** — blend the raw estimate into the application's running
+//!    estimate with an EWMA, unless the jump is large enough to be a
+//!    *phase change*, in which case the estimate snaps to the new value so
+//!    the partition tracks the phase instead of averaging across it.
+//! 3. **Solve** — recompute the partition with the configured
+//!    [`PartitionScheme`] (honouring Eq. 11 QoS reservations when
+//!    applications have been admitted), certify the result with the model
+//!    contracts, and publish it — unless **hysteresis** judges the change
+//!    too small to be worth disturbing the enforcement mechanism.
+//!
+//! Degradation is explicit: an all-idle epoch keeps the previous estimates
+//! and shares; a failed solve keeps the last-good shares and marks the
+//! reply `degraded` until a solve succeeds again.
+
+use std::collections::VecDeque;
+
+use bwpart_core::prelude::*;
+use bwpart_core::{contracts, ensures_capped, ensures_simplex, qos};
+use bwpart_mc::{DeltaAccumulator, TelemetryDelta};
+
+use crate::protocol::{
+    AppShare, AppStatus, ErrorCode, QosGrant, ServiceError, ServiceSnapshot, SharesReply,
+};
+
+/// Tuning knobs for the epoch engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Scheme used for the epoch repartition (and as the best-effort
+    /// scheme under QoS reservations).
+    pub scheme: PartitionScheme,
+    /// Total off-chip bandwidth `B` to partition, in APC units.
+    pub bandwidth: f64,
+    /// EWMA weight of the *new* epoch estimate in `[0, 1]`; `1` disables
+    /// smoothing entirely.
+    pub ewma_alpha: f64,
+    /// Minimum `max_i |Δβ_i|` that justifies republishing; smaller changes
+    /// are held (the enforcement mechanism keeps its current partition).
+    pub hysteresis: f64,
+    /// Relative jump in an application's raw estimate that is treated as a
+    /// phase change: `|new − old| / old > phase_change_ratio` snaps the
+    /// estimate to `new` instead of smoothing toward it.
+    pub phase_change_ratio: f64,
+    /// Floor on `T_cyc,alone` as a fraction of the reported window
+    /// (mirrors [`bwpart_mc::ApcProfiler`]).
+    pub min_alone_fraction: f64,
+    /// Telemetry deltas buffered per application between epochs; the
+    /// oldest are shed when a client reports faster than epochs run.
+    pub queue_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    /// Square_root partitioning of the paper's Mix-1 bandwidth
+    /// (`B = 0.0095` APC) with moderate smoothing.
+    fn default() -> Self {
+        EngineConfig {
+            scheme: PartitionScheme::SquareRoot,
+            bandwidth: 0.0095,
+            ewma_alpha: 0.5,
+            hysteresis: 0.002,
+            phase_change_ratio: 0.5,
+            min_alone_fraction: 0.02,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config with the given scheme and bandwidth, defaults elsewhere.
+    pub fn new(scheme: PartitionScheme, bandwidth: f64) -> Self {
+        EngineConfig {
+            scheme,
+            bandwidth,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Validate the numeric fields, returning a structured error for the
+    /// first violation.
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        let bad = |what: &str, v: f64| {
+            Err(ServiceError::new(
+                ErrorCode::InvalidArgument,
+                format!("invalid {what}: {v}"),
+            ))
+        };
+        if !(self.bandwidth.is_finite() && self.bandwidth > 0.0) {
+            return bad("bandwidth", self.bandwidth);
+        }
+        if !(self.ewma_alpha.is_finite() && self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0) {
+            return bad("ewma_alpha", self.ewma_alpha);
+        }
+        if !(self.hysteresis.is_finite() && self.hysteresis >= 0.0) {
+            return bad("hysteresis", self.hysteresis);
+        }
+        if !(self.phase_change_ratio.is_finite() && self.phase_change_ratio > 0.0) {
+            return bad("phase_change_ratio", self.phase_change_ratio);
+        }
+        if self.queue_capacity == 0 {
+            return bad("queue_capacity", 0.0);
+        }
+        Ok(())
+    }
+}
+
+/// What one [`Engine::run_epoch`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochOutcome {
+    /// New shares were computed, certified, and published.
+    Repartitioned,
+    /// The solve succeeded but the change was below the hysteresis
+    /// threshold; the previous shares stand.
+    Held,
+    /// No application reported any cycles; estimates and shares are
+    /// untouched.
+    Idle,
+    /// The solve failed; last-good shares remain published and replies are
+    /// marked degraded until a solve succeeds.
+    Failed,
+}
+
+/// Per-application engine state.
+#[derive(Debug, Clone)]
+struct AppState {
+    name: String,
+    api: f64,
+    queue: VecDeque<TelemetryDelta>,
+    shed: u64,
+    /// Smoothed `APC_alone` estimate; `None` until the first non-idle
+    /// epoch mentions this application.
+    estimate: Option<f64>,
+    qos_target: Option<f64>,
+}
+
+/// The deterministic, network-free service core. The TCP layer
+/// ([`crate::server`]) wraps one `Engine` in a mutex; tests drive it
+/// directly.
+#[derive(Debug)]
+pub struct Engine {
+    cfg: EngineConfig,
+    apps: Vec<AppState>,
+    epoch: u64,
+    published: Option<SharesReply>,
+    repartitions: u64,
+    held_epochs: u64,
+    idle_epochs: u64,
+    failed_epochs: u64,
+    phase_changes: u64,
+    degraded: bool,
+}
+
+impl Engine {
+    /// Build an engine; fails on nonsensical configuration.
+    pub fn new(cfg: EngineConfig) -> Result<Self, ServiceError> {
+        cfg.validate()?;
+        Ok(Engine {
+            cfg,
+            apps: Vec::new(),
+            epoch: 0,
+            published: None,
+            repartitions: 0,
+            held_epochs: 0,
+            idle_epochs: 0,
+            failed_epochs: 0,
+            phase_changes: 0,
+            degraded: false,
+        })
+    }
+
+    /// The configuration the engine runs with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Current epoch number (epochs completed so far).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Register an application by name. Idempotent: a known name gets its
+    /// existing id back (with `api` refreshed); a new name is appended.
+    pub fn register(&mut self, name: &str, api: f64) -> Result<usize, ServiceError> {
+        if name.is_empty() {
+            return Err(ServiceError::new(
+                ErrorCode::InvalidArgument,
+                "application name must be non-empty",
+            ));
+        }
+        if !(api.is_finite() && api > 0.0) {
+            return Err(ServiceError::new(
+                ErrorCode::InvalidArgument,
+                format!("invalid api: {api} (must be finite and positive)"),
+            ));
+        }
+        if let Some(id) = self.apps.iter().position(|a| a.name == name) {
+            self.apps[id].api = api;
+            return Ok(id);
+        }
+        self.apps.push(AppState {
+            name: name.to_string(),
+            api,
+            queue: VecDeque::new(),
+            shed: 0,
+            estimate: None,
+            qos_target: None,
+        });
+        Ok(self.apps.len() - 1)
+    }
+
+    /// Queue one telemetry delta for the next epoch. The queue is bounded:
+    /// when full, the *oldest* delta is shed (newest data wins) and the
+    /// shed counter ticks — backpressure never blocks and never errors.
+    /// Returns the epoch the delta will be folded into.
+    pub fn push_telemetry(
+        &mut self,
+        app_id: usize,
+        delta: TelemetryDelta,
+    ) -> Result<u64, ServiceError> {
+        let cap = self.cfg.queue_capacity;
+        let app = self.app_mut(app_id)?;
+        if app.queue.len() >= cap {
+            app.queue.pop_front();
+            app.shed += 1;
+        }
+        app.queue.push_back(delta);
+        Ok(self.epoch + 1)
+    }
+
+    /// Eq. 11 admission control. Admits the application (recording its
+    /// target for every subsequent epoch solve) only if the target is
+    /// reachable (`IPC_target ≤ IPC_alone`) and the total reservation
+    /// `Σ IPC_target,i × API_i` still fits inside `B`. A rejection is a
+    /// structured error and leaves all previously admitted applications
+    /// untouched.
+    pub fn qos_admit(&mut self, app_id: usize, ipc_target: f64) -> Result<QosGrant, ServiceError> {
+        if !(ipc_target.is_finite() && ipc_target > 0.0) {
+            return Err(ServiceError::new(
+                ErrorCode::InvalidArgument,
+                format!("invalid ipc_target: {ipc_target}"),
+            ));
+        }
+        let b = self.cfg.bandwidth;
+        let app = self.app(app_id)?;
+        let Some(apc_alone) = app.estimate else {
+            return Err(ServiceError::new(
+                ErrorCode::NotReady,
+                format!(
+                    "no APC_alone estimate for `{}` yet; send telemetry and wait an epoch",
+                    app.name
+                ),
+            ));
+        };
+        // Eq. 1: IPC_alone = APC_alone / API.
+        let ipc_alone = apc_alone / app.api;
+        if ipc_target > ipc_alone {
+            return Err(ServiceError::new(
+                ErrorCode::QosUnreachable,
+                format!(
+                    "target IPC {ipc_target} exceeds `{}`'s standalone IPC {ipc_alone:.6}",
+                    app.name
+                ),
+            ));
+        }
+        // Eq. 11 reservation, checked against B together with every
+        // already-admitted application's reservation.
+        let reserve = ipc_target * app.api;
+        let existing: f64 = self
+            .apps
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != app_id)
+            .filter_map(|(_, a)| a.qos_target.map(|t| t * a.api))
+            .sum();
+        let total = existing + reserve;
+        if !contracts::approx_le(total, b, contracts::TOLERANCE) {
+            return Err(ServiceError::new(
+                ErrorCode::QosInfeasible,
+                format!(
+                    "reserving {reserve:.6} APC would bring QoS reservations to {total:.6}, \
+                     exceeding B = {b:.6} (Eq. 11)"
+                ),
+            ));
+        }
+        self.app_mut(app_id)?.qos_target = Some(ipc_target);
+        Ok(QosGrant {
+            app_id,
+            reserved_apc: reserve,
+            remaining_apc: b - total,
+        })
+    }
+
+    /// Run one epoch: fold queued telemetry, refresh estimates, re-solve,
+    /// and (subject to hysteresis) publish.
+    pub fn run_epoch(&mut self) -> EpochOutcome {
+        self.epoch += 1;
+        let frac = self.cfg.min_alone_fraction;
+        let alpha = self.cfg.ewma_alpha;
+        let snap_ratio = self.cfg.phase_change_ratio;
+
+        let mut any_signal = false;
+        let mut phase_changes = 0u64;
+        for app in &mut self.apps {
+            let mut acc = DeltaAccumulator::new();
+            for d in app.queue.drain(..) {
+                acc.fold(d);
+            }
+            let Some(raw) = acc.apc_alone(frac) else {
+                continue; // idle this epoch: keep the previous estimate
+            };
+            any_signal = true;
+            app.estimate = Some(match app.estimate {
+                None => raw,
+                Some(old) => {
+                    // Relative jump beyond the ratio is a phase change:
+                    // snap so the partition tracks the new phase instead
+                    // of averaging across the boundary.
+                    if old > 0.0 && ((raw - old).abs() / old) > snap_ratio {
+                        phase_changes += 1;
+                        raw
+                    } else {
+                        alpha * raw + (1.0 - alpha) * old
+                    }
+                }
+            });
+        }
+        self.phase_changes += phase_changes;
+
+        if !any_signal {
+            self.idle_epochs += 1;
+            return EpochOutcome::Idle;
+        }
+
+        match self.solve_current() {
+            Ok(reply) => {
+                self.degraded = false;
+                if let Some(prev) = &self.published {
+                    let delta = max_share_delta(prev, &reply);
+                    if delta < self.cfg.hysteresis {
+                        self.held_epochs += 1;
+                        // Clear any stale degraded flag on the held reply.
+                        if let Some(p) = &mut self.published {
+                            p.degraded = false;
+                        }
+                        return EpochOutcome::Held;
+                    }
+                }
+                self.published = Some(reply);
+                self.repartitions += 1;
+                EpochOutcome::Repartitioned
+            }
+            Err(_) => {
+                self.failed_epochs += 1;
+                self.degraded = true;
+                // Last-good fallback: keep serving the previous shares,
+                // flagged degraded so clients can tell.
+                if let Some(p) = &mut self.published {
+                    p.degraded = true;
+                }
+                EpochOutcome::Failed
+            }
+        }
+    }
+
+    /// The currently published shares (epoch-consistent: identical for
+    /// every caller between two repartitions).
+    pub fn get_shares(&self) -> Result<SharesReply, ServiceError> {
+        self.published.clone().ok_or_else(|| {
+            ServiceError::new(
+                ErrorCode::NotReady,
+                "no shares published yet; send telemetry and wait an epoch",
+            )
+        })
+    }
+
+    /// What-if solve under a different scheme using the current estimates.
+    /// Bypasses QoS reservations (it answers "what would `scheme` give?",
+    /// not "what will be enforced") and does not touch published state.
+    pub fn solve_with(&self, scheme: PartitionScheme) -> Result<SharesReply, ServiceError> {
+        let (ids, profiles) = self.profiled_apps();
+        if profiles.is_empty() {
+            return Err(ServiceError::new(
+                ErrorCode::NotReady,
+                "no application has an APC_alone estimate yet",
+            ));
+        }
+        let outcome = scheme
+            .solve(&profiles, self.cfg.bandwidth)
+            .map_err(|e| ServiceError::new(ErrorCode::SolveFailed, e.to_string()))?;
+        Ok(self.assemble_reply(&ids, outcome))
+    }
+
+    /// Service counters and per-application state.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        ServiceSnapshot {
+            epoch: self.epoch,
+            scheme: self.cfg.scheme.canonical_name(),
+            bandwidth: self.cfg.bandwidth,
+            repartitions: self.repartitions,
+            held_epochs: self.held_epochs,
+            idle_epochs: self.idle_epochs,
+            failed_epochs: self.failed_epochs,
+            phase_changes: self.phase_changes,
+            degraded: self.degraded,
+            apps: self
+                .apps
+                .iter()
+                .enumerate()
+                .map(|(id, a)| AppStatus {
+                    app_id: id,
+                    name: a.name.clone(),
+                    api: a.api,
+                    apc_alone_estimate: a.estimate,
+                    qos_target: a.qos_target,
+                    queued: a.queue.len(),
+                    shed: a.shed,
+                })
+                .collect(),
+        }
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    fn app(&self, app_id: usize) -> Result<&AppState, ServiceError> {
+        self.apps.get(app_id).ok_or_else(|| unknown_app(app_id))
+    }
+
+    fn app_mut(&mut self, app_id: usize) -> Result<&mut AppState, ServiceError> {
+        self.apps.get_mut(app_id).ok_or_else(|| unknown_app(app_id))
+    }
+
+    /// Applications with a usable (positive) estimate, as model profiles,
+    /// plus their engine ids.
+    fn profiled_apps(&self) -> (Vec<usize>, Vec<AppProfile>) {
+        let mut ids = Vec::new();
+        let mut profiles = Vec::new();
+        for (id, a) in self.apps.iter().enumerate() {
+            let Some(est) = a.estimate else { continue };
+            let Ok(p) = AppProfile::new(a.name.clone(), a.api, est) else {
+                continue; // zero-rate estimate: nothing to allocate to
+            };
+            ids.push(id);
+            profiles.push(p);
+        }
+        (ids, profiles)
+    }
+
+    /// Solve for the configured scheme with QoS reservations and certify
+    /// the result. The share vector this produces is the service's public
+    /// contract, so it is certified here (simplex + caps) even though the
+    /// underlying solvers certify too — the remap from solver indices back
+    /// to engine ids is exactly the step a bug would hide in.
+    fn solve_current(&self) -> Result<SharesReply, ServiceError> {
+        let (ids, profiles) = self.profiled_apps();
+        if profiles.is_empty() {
+            return Err(ServiceError::new(
+                ErrorCode::NotReady,
+                "no application has an APC_alone estimate yet",
+            ));
+        }
+        let b = self.cfg.bandwidth;
+        let requests: Vec<qos::QosRequest> = ids
+            .iter()
+            .enumerate()
+            .filter_map(|(solver_idx, &id)| {
+                self.apps[id].qos_target.map(|t| qos::QosRequest {
+                    app: solver_idx,
+                    target_ipc: t,
+                })
+            })
+            .collect();
+
+        let outcome = if requests.is_empty() {
+            self.cfg
+                .scheme
+                .solve(&profiles, b)
+                .map_err(|e| ServiceError::new(ErrorCode::SolveFailed, e.to_string()))?
+        } else {
+            let part = qos::partition(&profiles, &requests, self.cfg.scheme, b)
+                .map_err(|e| ServiceError::new(ErrorCode::SolveFailed, e.to_string()))?;
+            SharesOutcome {
+                scheme: self.cfg.scheme.canonical_name(),
+                bandwidth: b,
+                beta: part.shares(),
+                allocation: part.allocation,
+            }
+        };
+
+        // Certify the published contract (debug builds / CI with
+        // debug-assertions): β on the simplex, allocation within each
+        // application's standalone cap.
+        ensures_simplex!(outcome.beta);
+        let caps: Vec<f64> = profiles.iter().map(|p| p.apc_alone).collect();
+        ensures_capped!(outcome.allocation, caps);
+
+        Ok(self.assemble_reply(&ids, outcome))
+    }
+
+    /// Expand a solver outcome (indexed over profiled apps) into a reply
+    /// covering every registered application (unprofiled ones get 0).
+    fn assemble_reply(&self, ids: &[usize], outcome: SharesOutcome) -> SharesReply {
+        let mut apps: Vec<AppShare> = self
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(id, a)| AppShare {
+                app_id: id,
+                name: a.name.clone(),
+                beta: 0.0,
+                allocation: 0.0,
+            })
+            .collect();
+        for (solver_idx, &id) in ids.iter().enumerate() {
+            apps[id].beta = outcome.beta[solver_idx];
+            apps[id].allocation = outcome.allocation[solver_idx];
+        }
+        SharesReply {
+            epoch: self.epoch,
+            outcome,
+            apps,
+            degraded: self.degraded,
+        }
+    }
+}
+
+fn unknown_app(app_id: usize) -> ServiceError {
+    ServiceError::new(
+        ErrorCode::UnknownApp,
+        format!("no application with id {app_id}; register first"),
+    )
+}
+
+/// Largest per-application `|Δβ|` between two replies, matching rows by
+/// app id. A changed application set always counts as a full change.
+fn max_share_delta(prev: &SharesReply, next: &SharesReply) -> f64 {
+    if prev.apps.len() != next.apps.len() {
+        return f64::INFINITY;
+    }
+    prev.apps
+        .iter()
+        .zip(&next.apps)
+        .map(|(p, n)| (p.beta - n.beta).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A delta whose Eq. 12 estimate is exactly `apc_alone` (no
+    /// interference, one mega-cycle window).
+    fn clean_delta(apc_alone: f64) -> TelemetryDelta {
+        let cycles = 1_000_000u64;
+        TelemetryDelta {
+            accesses: (apc_alone * cycles as f64) as u64,
+            shared_cycles: cycles,
+            interference_cycles: 0,
+        }
+    }
+
+    fn four_app_engine() -> (Engine, Vec<usize>) {
+        let mut e = Engine::new(EngineConfig::default()).unwrap();
+        let ids = vec![
+            e.register("lbm", 0.00939).unwrap(),
+            e.register("libquantum", 0.00692).unwrap(),
+            e.register("omnetpp", 0.00519).unwrap(),
+            e.register("hmmer", 0.00529).unwrap(),
+        ];
+        (e, ids)
+    }
+
+    const ALONE: [f64; 4] = [0.0531, 0.0341, 0.0306, 0.0046];
+
+    fn feed_epoch(e: &mut Engine, ids: &[usize]) {
+        for (&id, &apc) in ids.iter().zip(&ALONE) {
+            e.push_telemetry(id, clean_delta(apc)).unwrap();
+        }
+    }
+
+    #[test]
+    fn register_is_idempotent_by_name() {
+        let mut e = Engine::new(EngineConfig::default()).unwrap();
+        let a = e.register("milc", 0.01).unwrap();
+        let b = e.register("milc", 0.02).unwrap();
+        assert_eq!(a, b);
+        assert!((e.snapshot().apps[a].api - 0.02).abs() < 1e-15);
+        assert!(e.register("", 0.01).is_err());
+        assert!(e.register("x", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn epoch_converges_to_offline_solution() {
+        let (mut e, ids) = four_app_engine();
+        assert_eq!(e.run_epoch(), EpochOutcome::Idle);
+
+        feed_epoch(&mut e, &ids);
+        assert_eq!(e.run_epoch(), EpochOutcome::Repartitioned);
+        let reply = e.get_shares().unwrap();
+        assert!(!reply.degraded);
+
+        // Offline closed-form reference on the true profiles.
+        let profiles: Vec<AppProfile> = ids
+            .iter()
+            .zip(&ALONE)
+            .map(|(&id, &apc)| {
+                let st = e.snapshot();
+                AppProfile::new(st.apps[id].name.clone(), st.apps[id].api, apc).unwrap()
+            })
+            .collect();
+        let offline = PartitionScheme::SquareRoot
+            .solve(&profiles, e.config().bandwidth)
+            .unwrap();
+        for (got, want) in reply.outcome.beta.iter().zip(&offline.beta) {
+            assert!(
+                (got - want).abs() / want < 0.02,
+                "beta {got} vs offline {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn hysteresis_holds_tiny_changes() {
+        let (mut e, ids) = four_app_engine();
+        feed_epoch(&mut e, &ids);
+        assert_eq!(e.run_epoch(), EpochOutcome::Repartitioned);
+        let first = e.get_shares().unwrap();
+
+        // Same telemetry again → same estimates → max|Δβ| = 0 < hysteresis.
+        feed_epoch(&mut e, &ids);
+        assert_eq!(e.run_epoch(), EpochOutcome::Held);
+        let second = e.get_shares().unwrap();
+        assert_eq!(first, second, "held epoch must serve the identical reply");
+    }
+
+    #[test]
+    fn phase_change_snaps_instead_of_smoothing() {
+        let (mut e, ids) = four_app_engine();
+        feed_epoch(&mut e, &ids);
+        e.run_epoch();
+
+        // lbm triples its standalone rate: a >50% jump must snap.
+        e.push_telemetry(ids[0], clean_delta(ALONE[0] * 3.0))
+            .unwrap();
+        for (&id, &apc) in ids.iter().zip(&ALONE).skip(1) {
+            e.push_telemetry(id, clean_delta(apc)).unwrap();
+        }
+        e.run_epoch();
+        let st = e.snapshot();
+        assert_eq!(st.phase_changes, 1);
+        let est = st.apps[ids[0]].apc_alone_estimate.unwrap();
+        assert!(
+            (est - ALONE[0] * 3.0).abs() / (ALONE[0] * 3.0) < 0.01,
+            "estimate {est} should have snapped to {}",
+            ALONE[0] * 3.0
+        );
+    }
+
+    #[test]
+    fn idle_epoch_keeps_last_shares() {
+        let (mut e, ids) = four_app_engine();
+        feed_epoch(&mut e, &ids);
+        e.run_epoch();
+        let before = e.get_shares().unwrap();
+        assert_eq!(e.run_epoch(), EpochOutcome::Idle);
+        assert_eq!(e.get_shares().unwrap(), before);
+        assert_eq!(e.snapshot().idle_epochs, 1);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_oldest() {
+        let cfg = EngineConfig {
+            queue_capacity: 4,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(cfg).unwrap();
+        let id = e.register("burst", 0.01).unwrap();
+        for _ in 0..10 {
+            e.push_telemetry(id, clean_delta(0.02)).unwrap();
+        }
+        let st = e.snapshot();
+        assert_eq!(st.apps[id].queued, 4);
+        assert_eq!(st.apps[id].shed, 6);
+    }
+
+    #[test]
+    fn qos_admission_and_structured_rejection() {
+        let (mut e, ids) = four_app_engine();
+        // No estimate yet → NotReady.
+        assert_eq!(
+            e.qos_admit(ids[3], 0.5).unwrap_err().code,
+            ErrorCode::NotReady
+        );
+
+        feed_epoch(&mut e, &ids);
+        e.run_epoch();
+
+        // hmmer: IPC_alone = 0.0046 / 0.00529 ≈ 0.8696.
+        let grant = e.qos_admit(ids[3], 0.6).unwrap();
+        assert!((grant.reserved_apc - 0.6 * 0.00529).abs() < 1e-9);
+
+        // Unreachable target (above standalone IPC) → QosUnreachable.
+        assert_eq!(
+            e.qos_admit(ids[3], 2.0).unwrap_err().code,
+            ErrorCode::QosUnreachable
+        );
+
+        // Infeasible: omnetpp asking for enough to blow the budget.
+        // IPC_alone(omnetpp) ≈ 0.0306/0.00519 ≈ 5.896; a target of 1.4
+        // needs 0.007266 APC, and 0.007266 + 0.003174 > B = 0.0095.
+        let before = e.snapshot();
+        let err = e.qos_admit(ids[2], 1.4).unwrap_err();
+        assert_eq!(err.code, ErrorCode::QosInfeasible);
+        // The rejection must not disturb admitted state.
+        let after = e.snapshot();
+        assert_eq!(before.apps, after.apps);
+
+        // Unknown app id → UnknownApp.
+        assert_eq!(
+            e.qos_admit(99, 0.1).unwrap_err().code,
+            ErrorCode::UnknownApp
+        );
+
+        // The next epoch honours the admitted reservation exactly (Eq. 11).
+        feed_epoch(&mut e, &ids);
+        e.run_epoch();
+        let reply = e.get_shares().unwrap();
+        assert!((reply.apps[ids[3]].allocation - 0.6 * 0.00529).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_idle_engine_never_publishes_nan() {
+        // Regression companion to the profiler-level all-idle test: an
+        // engine fed only empty/zero telemetry must stay NotReady (never
+        // publish NaN shares).
+        let mut e = Engine::new(EngineConfig::default()).unwrap();
+        let id = e.register("ghost", 0.01).unwrap();
+        e.push_telemetry(id, TelemetryDelta::default()).unwrap();
+        assert_eq!(e.run_epoch(), EpochOutcome::Idle);
+        assert_eq!(e.get_shares().unwrap_err().code, ErrorCode::NotReady);
+
+        // Cycles but zero accesses: a live-but-silent app solves to a zero
+        // rate, which is excluded rather than folded into a NaN β.
+        e.push_telemetry(
+            id,
+            TelemetryDelta {
+                accesses: 0,
+                shared_cycles: 1_000,
+                interference_cycles: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(e.run_epoch(), EpochOutcome::Failed);
+        assert_eq!(e.get_shares().unwrap_err().code, ErrorCode::NotReady);
+        assert_eq!(e.snapshot().failed_epochs, 1);
+    }
+
+    #[test]
+    fn what_if_solve_does_not_touch_published_state() {
+        let (mut e, ids) = four_app_engine();
+        feed_epoch(&mut e, &ids);
+        e.run_epoch();
+        let published = e.get_shares().unwrap();
+        let whatif = e.solve_with(PartitionScheme::Proportional).unwrap();
+        assert_eq!(whatif.outcome.scheme, "proportional");
+        assert_ne!(whatif.outcome.beta, published.outcome.beta);
+        assert_eq!(e.get_shares().unwrap(), published);
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let base = EngineConfig::default;
+        assert!(Engine::new(EngineConfig {
+            bandwidth: -1.0,
+            ..base()
+        })
+        .is_err());
+        assert!(Engine::new(EngineConfig {
+            ewma_alpha: 0.0,
+            ..base()
+        })
+        .is_err());
+        assert!(Engine::new(EngineConfig {
+            queue_capacity: 0,
+            ..base()
+        })
+        .is_err());
+    }
+}

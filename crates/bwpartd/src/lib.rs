@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # bwpartd — the online bandwidth-partitioning service
+//!
+//! Everything else in this workspace is offline: profiles in, closed-form
+//! shares out. `bwpartd` closes the loop the paper sketches in Section IV —
+//! a long-running service that *continuously* re-derives the partition
+//! from live telemetry:
+//!
+//! * [`protocol`] — a versioned, length-prefixed JSON wire protocol
+//!   (pure codec, testable without sockets).
+//! * [`engine`] — the epoch engine: fold Section IV-C telemetry deltas
+//!   into Eq. 12–13 `APC_alone` estimates (EWMA-smoothed, with phase-change
+//!   snapping), re-solve the configured [`PartitionScheme`] each epoch
+//!   (honouring Eq. 11 QoS reservations), certify the result against the
+//!   model contracts, and publish it subject to hysteresis.
+//! * [`server`] — the TCP front-end (`std::net` only, no runtime): accept
+//!   loop, per-connection threads with read timeouts, epoch timer.
+//! * [`client`] — a typed blocking client speaking the same codec.
+//!
+//! Degradation is deliberate and bounded: malformed frames kill one
+//! connection, telemetry queues shed oldest-first, failed solves serve
+//! last-good shares flagged `degraded`, and all-idle epochs change nothing.
+//!
+//! ```no_run
+//! use bwpartd::{serve, Client, ServeConfig};
+//! use bwpart_mc::TelemetryDelta;
+//!
+//! let handle = serve(ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let id = client.register("milc", 0.00692).unwrap();
+//! client.telemetry(id, TelemetryDelta {
+//!     accesses: 34_100,
+//!     shared_cycles: 1_000_000,
+//!     interference_cycles: 120_000,
+//! }).unwrap();
+//! // ... after an epoch: client.get_shares(None) / client.qos_admit(...)
+//! client.shutdown().unwrap();
+//! handle.join();
+//! ```
+
+pub use bwpart_core::PartitionScheme;
+
+pub mod client;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use engine::{Engine, EngineConfig, EpochOutcome};
+pub use protocol::{
+    AppShare, AppStatus, ErrorCode, FrameError, QosGrant, Request, Response, ServiceError,
+    ServiceSnapshot, SharesReply,
+};
+pub use server::{serve, ServeConfig, ServerHandle};

@@ -1,0 +1,508 @@
+//! The `bwpartd` wire protocol: versioned, length-prefixed JSON frames.
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic  `b"BW"`
+//! 2       1     wire version (currently [`WIRE_VERSION`])
+//! 3       1     reserved, must be 0
+//! 4       4     payload length, big-endian u32, ≤ [`MAX_PAYLOAD`]
+//! 8       n     payload: UTF-8 JSON for one [`Request`] / [`Response`]
+//! ```
+//!
+//! The codec here is pure (`&[u8]` in, frames out) so it can be tested
+//! without sockets — including under miri — and so both the server's read
+//! loop and the [`client`](crate::client) share one parsing path.
+//! [`decode`] is *incremental*: a partial frame yields `Ok(None)` ("need
+//! more bytes"), while a malformed one yields a [`FrameError`] that the
+//! server answers with a best-effort [`Response::Error`] before closing
+//! that connection only.
+
+use bwpart_core::SharesOutcome;
+use serde::{Deserialize, Serialize};
+
+/// First two bytes of every frame.
+pub const MAGIC: [u8; 2] = *b"BW";
+/// Wire protocol version this build speaks.
+pub const WIRE_VERSION: u8 = 1;
+/// Fixed frame header length in bytes.
+pub const HEADER_LEN: usize = 8;
+/// Hard ceiling on payload size; larger frames are rejected without
+/// buffering (a garbage length prefix must not make the server allocate).
+pub const MAX_PAYLOAD: usize = 64 * 1024;
+
+/// Why a byte sequence failed to parse as a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first two bytes were not [`MAGIC`].
+    BadMagic {
+        /// The bytes actually seen.
+        got: [u8; 2],
+    },
+    /// The version byte did not match [`WIRE_VERSION`].
+    UnsupportedVersion {
+        /// The version actually seen.
+        got: u8,
+    },
+    /// The reserved byte was non-zero.
+    NonZeroReserved {
+        /// The byte actually seen.
+        got: u8,
+    },
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// The declared length.
+        len: usize,
+    },
+    /// The payload was not valid UTF-8 JSON for the expected type.
+    BadPayload {
+        /// Parser diagnostic.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic { got } => {
+                write!(f, "bad frame magic {got:?} (expected {MAGIC:?})")
+            }
+            FrameError::UnsupportedVersion { got } => {
+                write!(
+                    f,
+                    "unsupported wire version {got} (this build speaks {WIRE_VERSION})"
+                )
+            }
+            FrameError::NonZeroReserved { got } => {
+                write!(f, "reserved header byte must be 0, got {got}")
+            }
+            FrameError::Oversized { len } => {
+                write!(
+                    f,
+                    "payload length {len} exceeds the {MAX_PAYLOAD}-byte frame limit"
+                )
+            }
+            FrameError::BadPayload { detail } => write!(f, "bad frame payload: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encode one message as a framed byte vector.
+pub fn encode<T: Serialize>(msg: &T) -> Result<Vec<u8>, FrameError> {
+    let payload = serde_json::to_string(msg)
+        .map_err(|e| FrameError::BadPayload {
+            detail: e.to_string(),
+        })?
+        .into_bytes();
+    if payload.len() > MAX_PAYLOAD {
+        return Err(FrameError::Oversized { len: payload.len() });
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(0);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Try to decode one frame from the front of `buf`.
+///
+/// * `Ok(Some((msg, consumed)))` — a complete frame was parsed; the caller
+///   should drop the first `consumed` bytes.
+/// * `Ok(None)` — `buf` holds a valid but incomplete frame; read more.
+/// * `Err(_)` — the stream is unrecoverably out of protocol; the caller
+///   should drop the connection (not the server).
+pub fn decode<T: serde::de::DeserializeOwned>(
+    buf: &[u8],
+) -> Result<Option<(T, usize)>, FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    if buf[0..2] != MAGIC {
+        return Err(FrameError::BadMagic {
+            got: [buf[0], buf[1]],
+        });
+    }
+    if buf[2] != WIRE_VERSION {
+        return Err(FrameError::UnsupportedVersion { got: buf[2] });
+    }
+    if buf[3] != 0 {
+        return Err(FrameError::NonZeroReserved { got: buf[3] });
+    }
+    let len = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized { len });
+    }
+    if buf.len() < HEADER_LEN + len {
+        return Ok(None);
+    }
+    let payload = &buf[HEADER_LEN..HEADER_LEN + len];
+    let text = std::str::from_utf8(payload).map_err(|e| FrameError::BadPayload {
+        detail: format!("payload is not UTF-8: {e}"),
+    })?;
+    let msg = serde_json::from_str(text).map_err(|e| FrameError::BadPayload {
+        detail: e.to_string(),
+    })?;
+    Ok(Some((msg, HEADER_LEN + len)))
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Register an application by name; idempotent (re-registering a name
+    /// returns the same id and updates its `API`).
+    Register {
+        /// Human-readable application name (unique key).
+        name: String,
+        /// Accesses per instruction (`API`, Eq. 1) — the core-side counter
+        /// ratio the client measures for itself.
+        api: f64,
+    },
+    /// One telemetry delta: the Section IV-C counters accumulated since the
+    /// previous report.
+    Telemetry {
+        /// Id returned by `Register`.
+        app_id: usize,
+        /// `ΔN_accesses`.
+        accesses: u64,
+        /// `ΔT_cyc,shared`.
+        shared_cycles: u64,
+        /// `ΔT_cyc,interference`.
+        interference_cycles: u64,
+    },
+    /// Fetch the current published shares, or a what-if solve under a
+    /// different scheme (canonical kebab-case name, e.g. `square-root`).
+    GetShares {
+        /// `None` → the epoch engine's published allocation;
+        /// `Some(name)` → an ad-hoc solve that bypasses QoS reservations.
+        scheme: Option<String>,
+    },
+    /// Ask for an Eq. 11 QoS guarantee: reserve `IPC_target × API`.
+    QosAdmit {
+        /// Id returned by `Register`.
+        app_id: usize,
+        /// The IPC the service must guarantee.
+        ipc_target: f64,
+    },
+    /// Fetch service counters and per-application state.
+    Snapshot,
+    /// Stop the service (all connections, epoch thread, listener).
+    Shutdown,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Reply to [`Request::Register`].
+    Registered {
+        /// The application's id for subsequent requests.
+        app_id: usize,
+    },
+    /// Reply to [`Request::Telemetry`].
+    TelemetryAck {
+        /// Echo of the reporting application.
+        app_id: usize,
+        /// Epoch the delta will be folded into.
+        epoch: u64,
+    },
+    /// Reply to [`Request::GetShares`].
+    Shares(SharesReply),
+    /// Reply to a successful [`Request::QosAdmit`].
+    QosAdmitted(QosGrant),
+    /// Reply to [`Request::Snapshot`].
+    Snapshot(ServiceSnapshot),
+    /// Reply to [`Request::Shutdown`]; the connection closes after this.
+    ShuttingDown,
+    /// Any request may fail with a structured error instead of its normal
+    /// reply; the connection stays usable (except after frame errors).
+    Error(ServiceError),
+}
+
+/// A published share vector, consistent within one epoch: every client
+/// asking between two repartitions receives an identical reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharesReply {
+    /// Epoch in which this allocation was computed.
+    pub epoch: u64,
+    /// Solver outcome: canonical scheme name, bandwidth `B`, the share
+    /// vector `β` and the capped allocation, indexed like `apps`.
+    pub outcome: SharesOutcome,
+    /// Per-application labels for the `outcome` columns.
+    pub apps: Vec<AppShare>,
+    /// True when the engine is serving last-good shares because the most
+    /// recent epoch solve failed.
+    pub degraded: bool,
+}
+
+/// One application's row in a [`SharesReply`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppShare {
+    /// Application id.
+    pub app_id: usize,
+    /// Application name.
+    pub name: String,
+    /// Nominal share `β_i` (0 for applications not yet profiled).
+    pub beta: f64,
+    /// Capped allocation in APC units (0 for applications not yet
+    /// profiled).
+    pub allocation: f64,
+}
+
+/// Reply to a successful Eq. 11 admission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QosGrant {
+    /// The admitted application.
+    pub app_id: usize,
+    /// Reserved bandwidth `B_QoS = IPC_target × API` (APC units).
+    pub reserved_apc: f64,
+    /// Bandwidth left for best-effort applications after all reservations.
+    pub remaining_apc: f64,
+}
+
+/// Service counters and per-application state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSnapshot {
+    /// Epochs elapsed since start.
+    pub epoch: u64,
+    /// Canonical name of the engine's configured scheme.
+    pub scheme: String,
+    /// Total bandwidth `B` being partitioned (APC units).
+    pub bandwidth: f64,
+    /// Epochs whose solve repartitioned (published new shares).
+    pub repartitions: u64,
+    /// Epochs held back by hysteresis (change below threshold).
+    pub held_epochs: u64,
+    /// Epochs skipped because no application reported any cycles.
+    pub idle_epochs: u64,
+    /// Epochs whose solve failed (served last-good instead).
+    pub failed_epochs: u64,
+    /// Phase changes detected (estimate snapped instead of smoothed).
+    pub phase_changes: u64,
+    /// True while serving last-good shares after a failed solve.
+    pub degraded: bool,
+    /// Per-application state.
+    pub apps: Vec<AppStatus>,
+}
+
+/// One application's row in a [`ServiceSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppStatus {
+    /// Application id.
+    pub app_id: usize,
+    /// Application name.
+    pub name: String,
+    /// Registered accesses-per-instruction ratio.
+    pub api: f64,
+    /// Current smoothed `APC_alone` estimate (Eq. 12–13 + EWMA), absent
+    /// until the first non-idle epoch.
+    pub apc_alone_estimate: Option<f64>,
+    /// Admitted QoS target IPC, if any.
+    pub qos_target: Option<f64>,
+    /// Telemetry deltas queued for the next epoch.
+    pub queued: usize,
+    /// Deltas shed (oldest-first) because the queue was full.
+    pub shed: u64,
+}
+
+/// Machine-readable error category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The frame itself was malformed (the connection closes after this).
+    BadFrame,
+    /// `app_id` does not name a registered application.
+    UnknownApp,
+    /// The scheme name failed to parse.
+    UnknownScheme,
+    /// A numeric argument was non-finite or out of domain.
+    InvalidArgument,
+    /// The engine has no published shares / no estimate yet.
+    NotReady,
+    /// Eq. 11: the target exceeds the application's standalone IPC.
+    QosUnreachable,
+    /// Eq. 11: reservations would exceed the total bandwidth `B`.
+    QosInfeasible,
+    /// The epoch solve failed for the requested inputs.
+    SolveFailed,
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+/// A structured error reply: a stable [`ErrorCode`] plus a human-readable
+/// message. Errors never tear down the service; frame-level errors tear
+/// down only the offending connection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceError {
+    /// Machine-readable category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// Convenience constructor.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ServiceError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> Request {
+        Request::Telemetry {
+            app_id: 3,
+            accesses: 1_000,
+            shared_cycles: 100_000,
+            interference_cycles: 40_000,
+        }
+    }
+
+    #[test]
+    fn round_trip_request() {
+        let req = sample_request();
+        let frame = encode(&req).unwrap();
+        let (back, used): (Request, usize) = decode(&frame).unwrap().unwrap();
+        assert_eq!(back, req);
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn incomplete_frames_ask_for_more() {
+        let frame = encode(&Request::Snapshot).unwrap();
+        for cut in 0..frame.len() {
+            let r: Result<Option<(Request, usize)>, FrameError> = decode(&frame[..cut]);
+            assert_eq!(r.unwrap(), None, "cut at {cut} should be incomplete");
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_in_sequence() {
+        let mut buf = encode(&Request::Snapshot).unwrap();
+        buf.extend(encode(&sample_request()).unwrap());
+        let (first, used): (Request, usize) = decode(&buf).unwrap().unwrap();
+        assert_eq!(first, Request::Snapshot);
+        let (second, used2): (Request, usize) = decode(&buf[used..]).unwrap().unwrap();
+        assert_eq!(second, sample_request());
+        assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn bad_magic_version_reserved_rejected() {
+        let good = encode(&Request::Snapshot).unwrap();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode::<Request>(&bad),
+            Err(FrameError::BadMagic { .. })
+        ));
+
+        let mut bad = good.clone();
+        bad[2] = WIRE_VERSION + 1;
+        assert_eq!(
+            decode::<Request>(&bad),
+            Err(FrameError::UnsupportedVersion {
+                got: WIRE_VERSION + 1
+            })
+        );
+
+        let mut bad = good;
+        bad[3] = 7;
+        assert_eq!(
+            decode::<Request>(&bad),
+            Err(FrameError::NonZeroReserved { got: 7 })
+        );
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_buffering() {
+        let mut frame = Vec::from(MAGIC);
+        frame.push(WIRE_VERSION);
+        frame.push(0);
+        frame.extend_from_slice(&(u32::MAX).to_be_bytes());
+        // Only the header is present — the bogus length alone must reject.
+        assert!(matches!(
+            decode::<Request>(&frame),
+            Err(FrameError::Oversized { .. })
+        ));
+        assert!(encode(&vec!["x".repeat(1024); 80]).is_err());
+    }
+
+    #[test]
+    fn garbage_payload_rejected() {
+        let mut frame = Vec::from(MAGIC);
+        frame.push(WIRE_VERSION);
+        frame.push(0);
+        frame.extend_from_slice(&4u32.to_be_bytes());
+        frame.extend_from_slice(&[0xff, 0xfe, 0x00, 0x01]);
+        assert!(matches!(
+            decode::<Request>(&frame),
+            Err(FrameError::BadPayload { .. })
+        ));
+
+        let mut frame = Vec::from(MAGIC);
+        frame.push(WIRE_VERSION);
+        frame.push(0);
+        frame.extend_from_slice(&2u32.to_be_bytes());
+        frame.extend_from_slice(b"{}");
+        assert!(matches!(
+            decode::<Request>(&frame),
+            Err(FrameError::BadPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resp = Response::Shares(SharesReply {
+            epoch: 12,
+            outcome: SharesOutcome {
+                scheme: "square-root".into(),
+                bandwidth: 0.0095,
+                beta: vec![0.25, 0.75],
+                allocation: vec![0.0025, 0.007],
+            },
+            apps: vec![
+                AppShare {
+                    app_id: 0,
+                    name: "milc".into(),
+                    beta: 0.25,
+                    allocation: 0.0025,
+                },
+                AppShare {
+                    app_id: 1,
+                    name: "lbm".into(),
+                    beta: 0.75,
+                    allocation: 0.007,
+                },
+            ],
+            degraded: false,
+        });
+        let frame = encode(&resp).unwrap();
+        let (back, _): (Response, usize) = decode(&frame).unwrap().unwrap();
+        assert_eq!(back, resp);
+
+        let err = Response::Error(ServiceError::new(
+            ErrorCode::QosInfeasible,
+            "reservations exceed B",
+        ));
+        let frame = encode(&err).unwrap();
+        let (back, _): (Response, usize) = decode(&frame).unwrap().unwrap();
+        assert_eq!(back, err);
+    }
+}

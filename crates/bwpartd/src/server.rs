@@ -1,0 +1,324 @@
+//! The TCP front-end: accept loop, per-connection threads, epoch timer.
+//!
+//! Design constraints (all from the "degrade gracefully" requirement):
+//!
+//! * **Malformed frames kill the connection, not the server.** A frame
+//!   error gets a best-effort [`Response::Error`] with
+//!   [`ErrorCode::BadFrame`], then the connection closes; every other
+//!   client is untouched.
+//! * **Stalled clients cannot pin resources.** Every connection runs with
+//!   a read timeout; a client that goes quiet for longer is disconnected
+//!   (it can reconnect — registration is idempotent by name).
+//! * **Telemetry backpressure never blocks.** The engine's per-application
+//!   queues are bounded and shed oldest-first; the TCP layer never buffers
+//!   unboundedly either ([`protocol::MAX_PAYLOAD`] caps a frame before any
+//!   allocation happens).
+//! * **The engine is the only shared state**, behind a mutex. A poisoned
+//!   mutex (a panicking thread mid-epoch in a debug build) degrades to
+//!   serving the inner value rather than cascading panics.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bwpart_mc::TelemetryDelta;
+
+use crate::engine::{Engine, EngineConfig};
+use crate::protocol::{self, ErrorCode, Request, Response, ServiceError};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 picks a free port; read
+    /// the actual one from [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Epoch-engine tuning.
+    pub engine: EngineConfig,
+    /// Wall-clock interval between epochs. The engine also exposes manual
+    /// epochs through [`ServerHandle::force_epoch`] for deterministic
+    /// tests, so the interval may be generous.
+    pub epoch_interval: Duration,
+    /// Per-connection read timeout; a client silent for longer is
+    /// disconnected.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            engine: EngineConfig::default(),
+            epoch_interval: Duration::from_millis(100),
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Handle to a running service.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    engine: Arc<Mutex<Engine>>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    epoch_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the service actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request shutdown (idempotent; also triggered by a client's
+    /// [`Request::Shutdown`]).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Run one epoch immediately (deterministic alternative to waiting for
+    /// the timer; used by tests and the CLI's one-shot mode).
+    pub fn force_epoch(&self) -> crate::engine::EpochOutcome {
+        lock_engine(&self.engine).run_epoch()
+    }
+
+    /// In-process view of the engine's counters (what a client would get
+    /// from [`Request::Snapshot`]).
+    pub fn snapshot(&self) -> crate::protocol::ServiceSnapshot {
+        lock_engine(&self.engine).snapshot()
+    }
+
+    /// Wait for the service to stop (after [`ServerHandle::shutdown`] or a
+    /// client-issued shutdown), returning the engine's final counters —
+    /// a snapshot taken any earlier would miss every epoch run while
+    /// blocked here.
+    pub fn join(mut self) -> crate::protocol::ServiceSnapshot {
+        for t in [self.accept_thread.take(), self.epoch_thread.take()]
+            .into_iter()
+            .flatten()
+        {
+            // lint: allow(R1): joining service threads; a panicking worker
+            // already aborted the run in debug, best-effort in release
+            let _ = t.join();
+        }
+        lock_engine(&self.engine).snapshot()
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for t in [self.accept_thread.take(), self.epoch_thread.take()]
+            .into_iter()
+            .flatten()
+        {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A poisoned engine mutex means a connection thread panicked mid-call in
+/// a debug build; the engine state itself is still the last consistent
+/// value, so serving it beats cascading the panic to every client.
+fn lock_engine(engine: &Arc<Mutex<Engine>>) -> MutexGuard<'_, Engine> {
+    engine.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Start the service: bind, spawn the accept loop and the epoch timer,
+/// return immediately.
+pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let engine = Engine::new(cfg.engine.clone())
+        .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e.to_string()))?;
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let engine = Arc::new(Mutex::new(engine));
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let epoch_thread = {
+        let engine = Arc::clone(&engine);
+        let shutdown = Arc::clone(&shutdown);
+        let interval = cfg.epoch_interval;
+        std::thread::spawn(move || {
+            let tick = Duration::from_millis(5).min(interval);
+            let mut elapsed = Duration::ZERO;
+            while !shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(tick);
+                elapsed += tick;
+                if elapsed >= interval {
+                    elapsed = Duration::ZERO;
+                    let _ = lock_engine(&engine).run_epoch();
+                }
+            }
+        })
+    };
+
+    let accept_thread = {
+        let engine = Arc::clone(&engine);
+        let shutdown = Arc::clone(&shutdown);
+        let read_timeout = cfg.read_timeout;
+        std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let engine = Arc::clone(&engine);
+                        let shutdown = Arc::clone(&shutdown);
+                        workers.push(std::thread::spawn(move || {
+                            serve_connection(stream, &engine, &shutdown, read_timeout);
+                        }));
+                        workers.retain(|w| !w.is_finished());
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => {
+                        // Transient accept failure (e.g. aborted handshake):
+                        // keep serving.
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        engine,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        epoch_thread: Some(epoch_thread),
+    })
+}
+
+/// Serve one connection until it closes, errors, times out, or the service
+/// shuts down.
+fn serve_connection(
+    mut stream: TcpStream,
+    engine: &Arc<Mutex<Engine>>,
+    shutdown: &Arc<AtomicBool>,
+    read_timeout: Duration,
+) {
+    // A short poll timeout (bounded by the caller's read timeout) keeps the
+    // shutdown flag responsive; `idle` accumulates toward the real timeout.
+    let poll = Duration::from_millis(50).min(read_timeout);
+    if stream.set_read_timeout(Some(poll)).is_err() {
+        return;
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut idle = Duration::ZERO;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Drain complete frames already buffered before reading more.
+        loop {
+            match protocol::decode::<Request>(&buf) {
+                Ok(Some((req, used))) => {
+                    buf.drain(..used);
+                    let is_shutdown = matches!(req, Request::Shutdown);
+                    let resp = handle_request(req, engine, shutdown);
+                    if write_response(&mut stream, &resp).is_err() {
+                        return;
+                    }
+                    if is_shutdown {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Malformed frame: answer (best-effort) and isolate by
+                    // closing this connection only.
+                    let resp =
+                        Response::Error(ServiceError::new(ErrorCode::BadFrame, e.to_string()));
+                    let _ = write_response(&mut stream, &resp);
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                idle = Duration::ZERO;
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                idle += poll;
+                if idle >= read_timeout {
+                    return; // stalled client: free the thread
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let frame = protocol::encode(resp)
+        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+    stream.write_all(&frame)
+}
+
+/// Dispatch one request against the engine. Never panics; every failure is
+/// a structured [`Response::Error`].
+fn handle_request(
+    req: Request,
+    engine: &Arc<Mutex<Engine>>,
+    shutdown: &Arc<AtomicBool>,
+) -> Response {
+    match req {
+        Request::Register { name, api } => match lock_engine(engine).register(&name, api) {
+            Ok(app_id) => Response::Registered { app_id },
+            Err(e) => Response::Error(e),
+        },
+        Request::Telemetry {
+            app_id,
+            accesses,
+            shared_cycles,
+            interference_cycles,
+        } => {
+            let delta = TelemetryDelta {
+                accesses,
+                shared_cycles,
+                interference_cycles,
+            };
+            match lock_engine(engine).push_telemetry(app_id, delta) {
+                Ok(epoch) => Response::TelemetryAck { app_id, epoch },
+                Err(e) => Response::Error(e),
+            }
+        }
+        Request::GetShares { scheme } => {
+            let eng = lock_engine(engine);
+            let result = match scheme {
+                None => eng.get_shares(),
+                Some(name) => match name.parse::<bwpart_core::PartitionScheme>() {
+                    Ok(s) => eng.solve_with(s),
+                    Err(e) => Err(ServiceError::new(ErrorCode::UnknownScheme, e.to_string())),
+                },
+            };
+            match result {
+                Ok(reply) => Response::Shares(reply),
+                Err(e) => Response::Error(e),
+            }
+        }
+        Request::QosAdmit { app_id, ipc_target } => {
+            match lock_engine(engine).qos_admit(app_id, ipc_target) {
+                Ok(grant) => Response::QosAdmitted(grant),
+                Err(e) => Response::Error(e),
+            }
+        }
+        Request::Snapshot => Response::Snapshot(lock_engine(engine).snapshot()),
+        Request::Shutdown => {
+            shutdown.store(true, Ordering::SeqCst);
+            Response::ShuttingDown
+        }
+    }
+}

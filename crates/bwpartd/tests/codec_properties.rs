@@ -1,0 +1,229 @@
+//! Property-based tests for the `bwpartd` wire codec.
+//!
+//! Pure byte-level tests — no sockets, no threads — so the whole file runs
+//! under miri (the CI miri job includes it alongside the unit tests).
+
+// Strategy helpers run outside #[test] functions, so the tests exemption
+// does not reach them; unwraps on generator-validated data are fine.
+#![allow(clippy::unwrap_used)]
+
+use bwpart_core::SharesOutcome;
+use bwpartd::protocol::{
+    self, AppShare, ErrorCode, FrameError, Request, Response, ServiceError, SharesReply,
+    HEADER_LEN, MAGIC, MAX_PAYLOAD, WIRE_VERSION,
+};
+use proptest::prelude::*;
+
+/// Strategy: every request variant with adversarially-ranged fields
+/// (ids beyond anything registered, u64 counters up to the saturation
+/// range, schemes both valid and bogus).
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0usize..7,
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        1e-6f64..1.0,
+    )
+        .prop_map(|(variant, a, n, s, i, x)| match variant {
+            0 => Request::Register {
+                name: format!("app-{}", a % 1_000),
+                api: x,
+            },
+            1 => Request::Telemetry {
+                app_id: (a % 256) as usize,
+                accesses: n,
+                shared_cycles: s,
+                interference_cycles: i,
+            },
+            2 => Request::GetShares { scheme: None },
+            3 => {
+                let names = [
+                    "square-root",
+                    "equal",
+                    "proportional",
+                    "power:0.75",
+                    "bogus",
+                ];
+                Request::GetShares {
+                    scheme: Some(names[(a % names.len() as u64) as usize].to_string()),
+                }
+            }
+            4 => Request::QosAdmit {
+                app_id: (a % 256) as usize,
+                ipc_target: x,
+            },
+            5 => Request::Snapshot,
+            _ => Request::Shutdown,
+        })
+}
+
+/// Strategy: a shares reply with 1..=8 applications (the largest response
+/// type, exercising nested structs, vectors, and floats).
+fn arb_shares_response() -> impl Strategy<Value = Response> {
+    (
+        prop::collection::vec((1e-6f64..1.0, 1e-9f64..0.01), 1..=8),
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(|(rows, epoch, degraded)| {
+            let total: f64 = rows.iter().map(|(b, _)| b).sum();
+            let beta: Vec<f64> = rows.iter().map(|(b, _)| b / total).collect();
+            let allocation: Vec<f64> = rows.iter().map(|(_, a)| *a).collect();
+            let apps = rows
+                .iter()
+                .enumerate()
+                .map(|(id, _)| AppShare {
+                    app_id: id,
+                    name: format!("app{id}"),
+                    beta: beta[id],
+                    allocation: allocation[id],
+                })
+                .collect();
+            Response::Shares(SharesReply {
+                epoch,
+                outcome: SharesOutcome {
+                    scheme: "square-root".into(),
+                    bandwidth: 0.0095,
+                    beta,
+                    allocation,
+                },
+                apps,
+                degraded,
+            })
+        })
+}
+
+proptest! {
+    /// Requests survive an encode → decode round trip exactly, and the
+    /// decoder consumes exactly the frame it parsed.
+    #[test]
+    fn request_round_trip(req in arb_request()) {
+        let frame = protocol::encode(&req).unwrap();
+        let (back, used): (Request, usize) = protocol::decode(&frame).unwrap().unwrap();
+        prop_assert_eq!(&back, &req);
+        prop_assert_eq!(used, frame.len());
+    }
+
+    /// Responses (including float-heavy share vectors) round-trip exactly:
+    /// the vendored JSON prints shortest-reparsing floats and exact u64s.
+    #[test]
+    fn response_round_trip(resp in arb_shares_response()) {
+        let frame = protocol::encode(&resp).unwrap();
+        let (back, used): (Response, usize) = protocol::decode(&frame).unwrap().unwrap();
+        prop_assert_eq!(&back, &resp);
+        prop_assert_eq!(used, frame.len());
+    }
+
+    /// Any truncation of a valid frame asks for more bytes — never errors,
+    /// never parses early.
+    #[test]
+    fn truncation_is_incomplete_not_error(req in arb_request(), cut_seed in any::<u64>()) {
+        let frame = protocol::encode(&req).unwrap();
+        let cut = (cut_seed % frame.len() as u64) as usize;
+        let r: Option<(Request, usize)> = protocol::decode(&frame[..cut]).unwrap();
+        prop_assert_eq!(r, None);
+    }
+
+    /// A frame followed by arbitrary trailing bytes parses identically and
+    /// reports the same consumed length (pipelining safety).
+    #[test]
+    fn trailing_bytes_do_not_confuse_framing(
+        req in arb_request(),
+        junk in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let frame = protocol::encode(&req).unwrap();
+        let mut buf = frame.clone();
+        buf.extend_from_slice(&junk);
+        let (back, used): (Request, usize) = protocol::decode(&buf).unwrap().unwrap();
+        prop_assert_eq!(back, req);
+        prop_assert_eq!(used, frame.len());
+    }
+
+    /// Arbitrary garbage never panics the decoder: it either wants more
+    /// bytes or reports a structured frame error.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        match protocol::decode::<Request>(&bytes) {
+            Ok(None) | Err(_) => {}
+            Ok(Some((_, used))) => {
+                // Astronomically unlikely, but if garbage happens to be a
+                // valid frame the consumed length must still be sane.
+                prop_assert!(used <= bytes.len());
+            }
+        }
+    }
+
+    /// Corrupting any single header byte of a valid frame yields a
+    /// structured error or an incomplete-read — never a bogus parse of a
+    /// *different* message and never a panic.
+    #[test]
+    fn header_corruption_is_detected(req in arb_request(), pos in 0usize..4, bit in 0u8..8) {
+        let mut frame = protocol::encode(&req).unwrap();
+        frame[pos] ^= 1 << bit;
+        match protocol::decode::<Request>(&frame) {
+            Err(
+                FrameError::BadMagic { .. }
+                | FrameError::UnsupportedVersion { .. }
+                | FrameError::NonZeroReserved { .. },
+            ) => {}
+            other => prop_assert!(false, "corrupt header accepted: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_is_rejected_from_header_alone() {
+    let mut frame = Vec::from(MAGIC);
+    frame.push(WIRE_VERSION);
+    frame.push(0);
+    frame.extend_from_slice(&((MAX_PAYLOAD as u32) + 1).to_be_bytes());
+    assert_eq!(
+        protocol::decode::<Request>(&frame),
+        Err(FrameError::Oversized {
+            len: MAX_PAYLOAD + 1
+        })
+    );
+    // Exactly at the limit is fine (incomplete, waiting for payload).
+    let mut frame = Vec::from(MAGIC);
+    frame.push(WIRE_VERSION);
+    frame.push(0);
+    frame.extend_from_slice(&(MAX_PAYLOAD as u32).to_be_bytes());
+    assert_eq!(protocol::decode::<Request>(&frame), Ok(None));
+}
+
+#[test]
+fn service_errors_round_trip_with_codes() {
+    for code in [
+        ErrorCode::BadFrame,
+        ErrorCode::UnknownApp,
+        ErrorCode::UnknownScheme,
+        ErrorCode::InvalidArgument,
+        ErrorCode::NotReady,
+        ErrorCode::QosUnreachable,
+        ErrorCode::QosInfeasible,
+        ErrorCode::SolveFailed,
+        ErrorCode::ShuttingDown,
+    ] {
+        let resp = Response::Error(ServiceError::new(code, "detail"));
+        let frame = protocol::encode(&resp).unwrap();
+        let (back, _): (Response, usize) = protocol::decode(&frame).unwrap().unwrap();
+        assert_eq!(back, resp);
+    }
+}
+
+#[test]
+fn header_layout_is_stable() {
+    // The wire format is a compatibility surface: magic, version, and
+    // header length are pinned by tests so accidental renumbering fails.
+    assert_eq!(MAGIC, *b"BW");
+    assert_eq!(WIRE_VERSION, 1);
+    assert_eq!(HEADER_LEN, 8);
+    let frame = protocol::encode(&Request::Snapshot).unwrap();
+    assert_eq!(&frame[0..2], b"BW");
+    assert_eq!(frame[2], 1);
+    assert_eq!(frame[3], 0);
+    let len = u32::from_be_bytes([frame[4], frame[5], frame[6], frame[7]]) as usize;
+    assert_eq!(HEADER_LEN + len, frame.len());
+}

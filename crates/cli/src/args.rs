@@ -38,25 +38,10 @@ impl AppSpec {
     }
 }
 
-/// Parse a scheme name (the paper's spellings, case-sensitive, plus
-/// `power:<alpha>`).
+/// Parse a scheme name via the canonical `bwpart_core` parser (kebab-case
+/// names, the paper's spellings, and `power:<alpha>` all accepted).
 pub fn parse_scheme(s: &str) -> Result<PartitionScheme, String> {
-    if let Some(alpha) = s.strip_prefix("power:") {
-        let a: f64 = alpha
-            .parse()
-            .map_err(|_| format!("bad power exponent `{alpha}`"))?;
-        return Ok(PartitionScheme::Power(a));
-    }
-    match s {
-        "No_partitioning" => Ok(PartitionScheme::NoPartitioning),
-        "Equal" => Ok(PartitionScheme::Equal),
-        "Proportional" => Ok(PartitionScheme::Proportional),
-        "Square_root" => Ok(PartitionScheme::SquareRoot),
-        "2/3_power" => Ok(PartitionScheme::TwoThirdsPower),
-        "Priority_APC" => Ok(PartitionScheme::PriorityApc),
-        "Priority_API" => Ok(PartitionScheme::PriorityApi),
-        other => Err(format!("unknown scheme `{other}`")),
-    }
+    s.parse().map_err(|e: ModelError| e.to_string())
 }
 
 /// One fully parsed invocation.
@@ -102,6 +87,27 @@ pub enum Parsed {
     },
     /// `mixes`: list the available mixes.
     Mixes,
+    /// `serve`: run the online `bwpartd` partitioning service.
+    Serve {
+        /// Bind address (`host:port`; port 0 picks a free port).
+        addr: String,
+        /// Epoch repartitioning scheme.
+        scheme: PartitionScheme,
+        /// Total bandwidth `B` to partition (APC).
+        bandwidth: f64,
+        /// Epoch interval in milliseconds.
+        epoch_ms: u64,
+        /// Exit after this many epochs (`None` → run until a client sends
+        /// shutdown).
+        epochs: Option<u64>,
+    },
+    /// `client`: one request against a running `bwpartd` service.
+    Client {
+        /// Service address (`host:port`).
+        addr: String,
+        /// The operation to perform.
+        op: ClientOp,
+    },
     /// `experiment`: regenerate a paper artifact.
     Experiment {
         /// Artifact name.
@@ -109,6 +115,111 @@ pub enum Parsed {
         /// Reduced-fidelity run.
         fast: bool,
     },
+}
+
+/// One `bwpart client` operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientOp {
+    /// Register an application (`register <name> <api>`).
+    Register {
+        /// Application name.
+        name: String,
+        /// Accesses per instruction.
+        api: f64,
+    },
+    /// Report a telemetry delta
+    /// (`telemetry <app_id> <accesses> <shared_cycles> <interference_cycles>`).
+    Telemetry {
+        /// Application id from `register`.
+        app_id: usize,
+        /// `ΔN_accesses`.
+        accesses: u64,
+        /// `ΔT_cyc,shared`.
+        shared_cycles: u64,
+        /// `ΔT_cyc,interference`.
+        interference_cycles: u64,
+    },
+    /// Fetch shares (`get-shares [<scheme>]`).
+    GetShares {
+        /// Optional what-if scheme.
+        scheme: Option<String>,
+    },
+    /// Request a QoS guarantee (`qos-admit <app_id> <ipc_target>`).
+    QosAdmit {
+        /// Application id from `register`.
+        app_id: usize,
+        /// Target IPC (Eq. 11).
+        ipc_target: f64,
+    },
+    /// Fetch service counters (`snapshot`).
+    Snapshot,
+    /// Stop the service (`shutdown`).
+    Shutdown,
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad {what} `{s}`"))
+}
+
+impl ClientOp {
+    /// Parse the positional tail of a `client` invocation.
+    fn parse(args: &[String]) -> Result<ClientOp, String> {
+        let op = args.first().ok_or(
+            "client requires an operation: register | telemetry | get-shares | qos-admit | snapshot | shutdown",
+        )?;
+        let arity = |n: usize| -> Result<(), String> {
+            if args.len() - 1 == n {
+                Ok(())
+            } else {
+                Err(format!(
+                    "`{op}` takes {n} argument(s), got {}",
+                    args.len() - 1
+                ))
+            }
+        };
+        match op.as_str() {
+            "register" => {
+                arity(2)?;
+                Ok(ClientOp::Register {
+                    name: args[1].clone(),
+                    api: parse_num(&args[2], "api")?,
+                })
+            }
+            "telemetry" => {
+                arity(4)?;
+                Ok(ClientOp::Telemetry {
+                    app_id: parse_num(&args[1], "app_id")?,
+                    accesses: parse_num(&args[2], "accesses")?,
+                    shared_cycles: parse_num(&args[3], "shared_cycles")?,
+                    interference_cycles: parse_num(&args[4], "interference_cycles")?,
+                })
+            }
+            "get-shares" => {
+                if args.len() > 2 {
+                    return Err("`get-shares` takes at most one argument (a scheme)".into());
+                }
+                Ok(ClientOp::GetShares {
+                    scheme: args.get(1).cloned(),
+                })
+            }
+            "qos-admit" => {
+                arity(2)?;
+                Ok(ClientOp::QosAdmit {
+                    app_id: parse_num(&args[1], "app_id")?,
+                    ipc_target: parse_num(&args[2], "ipc_target")?,
+                })
+            }
+            "snapshot" => {
+                arity(0)?;
+                Ok(ClientOp::Snapshot)
+            }
+            "shutdown" => {
+                arity(0)?;
+                Ok(ClientOp::Shutdown)
+            }
+            other => Err(format!("unknown client operation `{other}`")),
+        }
+    }
 }
 
 fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
@@ -194,6 +305,58 @@ impl Parsed {
                 }
             }
             "mixes" => Ok(Parsed::Mixes),
+            "serve" => {
+                let mut addr = "127.0.0.1:0".to_string();
+                let mut scheme = PartitionScheme::SquareRoot;
+                let mut bandwidth = 0.0095;
+                let mut epoch_ms = 100;
+                let mut epochs = None;
+                let mut i = 1;
+                while i < args.len() {
+                    match args[i].as_str() {
+                        "--addr" => addr = take_value(args, &mut i, "--addr")?.to_string(),
+                        "--scheme" => scheme = parse_scheme(take_value(args, &mut i, "--scheme")?)?,
+                        "--bandwidth" => {
+                            bandwidth =
+                                parse_num(take_value(args, &mut i, "--bandwidth")?, "bandwidth")?
+                        }
+                        "--epoch-ms" => {
+                            epoch_ms =
+                                parse_num(take_value(args, &mut i, "--epoch-ms")?, "epoch-ms")?
+                        }
+                        "--epochs" => {
+                            epochs =
+                                Some(parse_num(take_value(args, &mut i, "--epochs")?, "epochs")?)
+                        }
+                        other => return Err(format!("unexpected argument `{other}`")),
+                    }
+                    i += 1;
+                }
+                Ok(Parsed::Serve {
+                    addr,
+                    scheme,
+                    bandwidth,
+                    epoch_ms,
+                    epochs,
+                })
+            }
+            "client" => {
+                let mut addr = None;
+                let mut rest = Vec::new();
+                let mut i = 1;
+                while i < args.len() {
+                    match args[i].as_str() {
+                        "--addr" => addr = Some(take_value(args, &mut i, "--addr")?.to_string()),
+                        other => rest.push(other.to_string()),
+                    }
+                    i += 1;
+                }
+                let addr = addr.ok_or("--addr is required for client")?;
+                Ok(Parsed::Client {
+                    addr,
+                    op: ClientOp::parse(&rest)?,
+                })
+            }
             "experiment" => {
                 let artifact = args
                     .get(1)
@@ -232,6 +395,10 @@ mod tests {
             PartitionScheme::SquareRoot
         );
         assert_eq!(
+            parse_scheme("square-root").unwrap(),
+            PartitionScheme::SquareRoot
+        );
+        assert_eq!(
             parse_scheme("2/3_power").unwrap(),
             PartitionScheme::TwoThirdsPower
         );
@@ -239,7 +406,10 @@ mod tests {
             parse_scheme("power:0.8").unwrap(),
             PartitionScheme::Power(0.8)
         );
-        assert!(parse_scheme("sqrt").is_err());
+        assert!(parse_scheme("bogus").is_err());
+        assert!(parse_scheme("bogus")
+            .unwrap_err()
+            .contains("unknown scheme"));
         assert!(parse_scheme("power:x").is_err());
     }
 
@@ -302,6 +472,110 @@ mod tests {
                 seed: 7,
             }
         );
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        let p = Parsed::parse(&v(&["serve"])).unwrap();
+        assert_eq!(
+            p,
+            Parsed::Serve {
+                addr: "127.0.0.1:0".into(),
+                scheme: PartitionScheme::SquareRoot,
+                bandwidth: 0.0095,
+                epoch_ms: 100,
+                epochs: None,
+            }
+        );
+        let p = Parsed::parse(&v(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:4780",
+            "--scheme",
+            "proportional",
+            "--bandwidth",
+            "0.02",
+            "--epoch-ms",
+            "50",
+            "--epochs",
+            "10",
+        ]))
+        .unwrap();
+        assert_eq!(
+            p,
+            Parsed::Serve {
+                addr: "0.0.0.0:4780".into(),
+                scheme: PartitionScheme::Proportional,
+                bandwidth: 0.02,
+                epoch_ms: 50,
+                epochs: Some(10),
+            }
+        );
+    }
+
+    #[test]
+    fn client_operations_parse() {
+        let p = Parsed::parse(&v(&[
+            "client",
+            "--addr",
+            "127.0.0.1:4780",
+            "register",
+            "milc",
+            "0.00692",
+        ]))
+        .unwrap();
+        assert_eq!(
+            p,
+            Parsed::Client {
+                addr: "127.0.0.1:4780".into(),
+                op: ClientOp::Register {
+                    name: "milc".into(),
+                    api: 0.00692,
+                },
+            }
+        );
+        let p = Parsed::parse(&v(&[
+            "client",
+            "--addr",
+            "127.0.0.1:4780",
+            "telemetry",
+            "0",
+            "1000",
+            "100000",
+            "40000",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            p,
+            Parsed::Client {
+                op: ClientOp::Telemetry {
+                    app_id: 0,
+                    accesses: 1000,
+                    shared_cycles: 100_000,
+                    interference_cycles: 40_000,
+                },
+                ..
+            }
+        ));
+        let p = Parsed::parse(&v(&[
+            "client",
+            "--addr",
+            "x:1",
+            "get-shares",
+            "square-root",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            p,
+            Parsed::Client {
+                op: ClientOp::GetShares { scheme: Some(_) },
+                ..
+            }
+        ));
+        // Missing --addr, wrong arity, unknown op all fail.
+        assert!(Parsed::parse(&v(&["client", "snapshot"])).is_err());
+        assert!(Parsed::parse(&v(&["client", "--addr", "x:1", "register", "a"])).is_err());
+        assert!(Parsed::parse(&v(&["client", "--addr", "x:1", "frobnicate"])).is_err());
     }
 
     #[test]

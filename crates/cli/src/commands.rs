@@ -7,8 +7,10 @@ use bwpart_experiments::{
     ablation, adaptation, fig1, fig2, fig3, fig4, model_vs_sim, profiling, table3, table4,
 };
 use bwpart_workloads::{mixes, Mix};
+use bwpartd::protocol::{ServiceSnapshot, SharesReply};
+use bwpartd::{Client, ClientError, EngineConfig, ServeConfig};
 
-use crate::args::{AppSpec, Parsed};
+use crate::args::{AppSpec, ClientOp, Parsed};
 
 fn profiles_of(apps: &[AppSpec]) -> Result<Vec<AppProfile>, String> {
     apps.iter().map(|a| a.to_profile()).collect()
@@ -168,6 +170,93 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, String> {
             }
             Ok(s)
         }
+        Parsed::Serve {
+            addr,
+            scheme,
+            bandwidth,
+            epoch_ms,
+            epochs,
+        } => {
+            use std::io::Write as _;
+            let cfg = ServeConfig {
+                addr: addr.clone(),
+                engine: EngineConfig::new(*scheme, *bandwidth),
+                epoch_interval: std::time::Duration::from_millis(*epoch_ms),
+                ..ServeConfig::default()
+            };
+            let handle = bwpartd::serve(cfg).map_err(|e| e.to_string())?;
+            // Announce the bound address immediately (port 0 resolves to a
+            // real port) so scripts and tests can connect before the
+            // service returns its final summary.
+            println!("bwpartd listening on {}", handle.addr());
+            let _ = std::io::stdout().flush();
+            if let Some(n) = epochs {
+                // One-shot mode: run a fixed number of timer epochs, then
+                // stop. Used by scripted demos and tests.
+                std::thread::sleep(std::time::Duration::from_millis(epoch_ms * (n + 1)));
+                handle.shutdown();
+            }
+            let snap = handle.join();
+            Ok(format!("bwpartd stopped\n{}", render_snapshot(&snap)))
+        }
+        Parsed::Client { addr, op } => {
+            let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+            // A service stalled for more than 5 s is a failure, not a wait:
+            // the CI service-smoke job relies on every client call erroring
+            // out (non-zero exit) instead of hanging.
+            client
+                .set_timeout(Some(std::time::Duration::from_secs(5)))
+                .map_err(|e| e.to_string())?;
+            let service_err = |e: ClientError| match e {
+                ClientError::Service(s) => format!("service rejected the request — {s}"),
+                other => other.to_string(),
+            };
+            match op {
+                ClientOp::Register { name, api } => {
+                    let id = client.register(name, *api).map_err(service_err)?;
+                    Ok(format!("registered `{name}` as app {id}"))
+                }
+                ClientOp::Telemetry {
+                    app_id,
+                    accesses,
+                    shared_cycles,
+                    interference_cycles,
+                } => {
+                    let epoch = client
+                        .telemetry(
+                            *app_id,
+                            bwpart_mc::TelemetryDelta {
+                                accesses: *accesses,
+                                shared_cycles: *shared_cycles,
+                                interference_cycles: *interference_cycles,
+                            },
+                        )
+                        .map_err(service_err)?;
+                    Ok(format!("telemetry queued for epoch {epoch}"))
+                }
+                ClientOp::GetShares { scheme } => {
+                    let reply = client.get_shares(scheme.as_deref()).map_err(service_err)?;
+                    Ok(render_shares(&reply))
+                }
+                ClientOp::QosAdmit { app_id, ipc_target } => {
+                    let grant = client
+                        .qos_admit(*app_id, *ipc_target)
+                        .map_err(service_err)?;
+                    Ok(format!(
+                        "admitted app {} at IPC {ipc_target}: reserved {:.6} APC (Eq. 11), {:.6} APC remaining",
+                        grant.app_id, grant.reserved_apc, grant.remaining_apc
+                    ))
+                }
+                ClientOp::Snapshot => {
+                    let snap = client.snapshot().map_err(service_err)?;
+                    Ok(render_snapshot(&snap))
+                }
+                ClientOp::Shutdown => {
+                    client.shutdown().map_err(service_err)?;
+                    Ok("service shutting down".to_string())
+                }
+            }
+        }
         Parsed::Experiment { artifact, fast } => {
             let cfg = exp_config(*fast);
             match artifact.as_str() {
@@ -210,6 +299,61 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, String> {
             }
         }
     }
+}
+
+/// Render a wire-level shares reply as the same table shape `partition`
+/// prints.
+fn render_shares(reply: &SharesReply) -> String {
+    let mut out = format!(
+        "epoch {} · {} over B = {} APC{}\n",
+        reply.epoch,
+        reply.outcome.scheme,
+        reply.outcome.bandwidth,
+        if reply.degraded {
+            "  [degraded: serving last-good shares]"
+        } else {
+            ""
+        }
+    );
+    for row in &reply.apps {
+        out.push_str(&format!(
+            "  [{}] {:<16} β = {:.4}   allocation = {:.6} APC\n",
+            row.app_id, row.name, row.beta, row.allocation
+        ));
+    }
+    out
+}
+
+/// Render a service snapshot.
+fn render_snapshot(snap: &ServiceSnapshot) -> String {
+    let mut out = format!(
+        "epoch {} · scheme {} · B = {} APC\n\
+         repartitions {} · held {} · idle {} · failed {} · phase changes {}{}\n",
+        snap.epoch,
+        snap.scheme,
+        snap.bandwidth,
+        snap.repartitions,
+        snap.held_epochs,
+        snap.idle_epochs,
+        snap.failed_epochs,
+        snap.phase_changes,
+        if snap.degraded { " · DEGRADED" } else { "" }
+    );
+    for a in &snap.apps {
+        let est = a
+            .apc_alone_estimate
+            .map(|e| format!("{e:.5}"))
+            .unwrap_or_else(|| "—".to_string());
+        let qos = a
+            .qos_target
+            .map(|t| format!("  QoS target {t}"))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "  [{}] {:<16} API {:.5}  APC_alone ≈ {est}  queued {}  shed {}{qos}\n",
+            a.app_id, a.name, a.api, a.queued, a.shed
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -274,6 +418,59 @@ mod tests {
         })
         .unwrap_err();
         assert!(e.contains("unknown artifact"));
+    }
+
+    #[test]
+    fn client_ops_against_in_process_service() {
+        // Drive the `client` dispatch paths against a real service bound
+        // on a loopback port; epochs are forced through the handle so the
+        // test is deterministic.
+        let handle = bwpartd::serve(ServeConfig {
+            epoch_interval: std::time::Duration::from_secs(3600),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let run = |op: ClientOp| {
+            dispatch(&Parsed::Client {
+                addr: addr.clone(),
+                op,
+            })
+        };
+
+        let out = run(ClientOp::Register {
+            name: "milc".into(),
+            api: 0.00692,
+        })
+        .unwrap();
+        assert!(out.contains("app 0"), "{out}");
+
+        let out = run(ClientOp::Telemetry {
+            app_id: 0,
+            accesses: 34_100,
+            shared_cycles: 1_000_000,
+            interference_cycles: 0,
+        })
+        .unwrap();
+        assert!(out.contains("epoch 1"), "{out}");
+
+        handle.force_epoch();
+        let out = run(ClientOp::GetShares { scheme: None }).unwrap();
+        assert!(out.contains("square-root") && out.contains("milc"), "{out}");
+
+        let out = run(ClientOp::QosAdmit {
+            app_id: 0,
+            ipc_target: 99.0,
+        })
+        .unwrap_err();
+        assert!(out.contains("QosUnreachable"), "{out}");
+
+        let out = run(ClientOp::Snapshot).unwrap();
+        assert!(out.contains("repartitions 1"), "{out}");
+
+        let out = run(ClientOp::Shutdown).unwrap();
+        assert!(out.contains("shutting down"));
+        handle.join();
     }
 
     #[test]

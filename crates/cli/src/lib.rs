@@ -17,10 +17,23 @@ USAGE:
   bwpart profile    --mix <mix> [--fast] [--seed <u64>]
   bwpart mixes
   bwpart experiment <artifact> [--fast]
+  bwpart serve      [--addr h:p] [--scheme <name>] [--bandwidth <apc>]
+                    [--epoch-ms <ms>] [--epochs <n>]
+  bwpart client     --addr h:p <operation>
+
+CLIENT OPERATIONS:
+  register <name> <api>
+  telemetry <app_id> <accesses> <shared_cycles> <interference_cycles>
+  get-shares [<scheme>]
+  qos-admit <app_id> <ipc_target>
+  snapshot
+  shutdown
 
 SCHEMES:
-  No_partitioning | Equal | Proportional | Square_root | 2/3_power |
-  Priority_APC | Priority_API | power:<alpha>
+  Canonical kebab-case names (no-partitioning, equal, proportional,
+  square-root, two-thirds-power, priority-apc, priority-api,
+  power:<alpha>); the paper's spellings (Square_root, 2/3_power, ...) and
+  shorthands (sqrt, prop, fcfs) are accepted aliases.
 
 MIXES:
   homo-1..7, hetero-1..7, fig1, mix-1, mix-2 (see `bwpart mixes`)

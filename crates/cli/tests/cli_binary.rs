@@ -102,3 +102,86 @@ fn simulate_fast_runs_end_to_end() {
     assert!(stdout.contains("utilized bandwidth"));
     assert!(stdout.contains("Hsp"));
 }
+
+/// Service smoke: spawn `bwpart serve`, then drive three client processes
+/// through register → telemetry → get-shares → qos-admit and finally
+/// shutdown. Each step is a fresh process, so this exercises connection
+/// setup/teardown as well as the protocol itself. The CI `service-smoke`
+/// job runs exactly this test under a stall timeout.
+#[test]
+fn service_smoke_three_clients() {
+    use std::io::BufRead;
+    use std::process::{Command, Stdio};
+
+    let mut serve = Command::new(env!("CARGO_BIN_EXE_bwpart"))
+        .args(["serve", "--epoch-ms", "25"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let stdout = serve.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("serve prints its address")
+        .expect("read banner");
+    let addr = banner
+        .rsplit(' ')
+        .next()
+        .expect("banner ends with host:port")
+        .to_string();
+    assert!(banner.contains("listening"), "banner: {banner}");
+
+    let client = |args: &[&str]| -> (bool, String, String) {
+        let mut full = vec!["client", "--addr", addr.as_str()];
+        full.extend_from_slice(args);
+        bwpart(&full)
+    };
+
+    // Three clients, each its own app (and its own TCP connections).
+    for (i, (name, api)) in [
+        ("lbm", "0.00939"),
+        ("libquantum", "0.00692"),
+        ("omnetpp", "0.00519"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let (ok, stdout, stderr) = client(&["register", name, api]);
+        assert!(ok, "register {name}: {stderr}");
+        assert!(stdout.contains(&format!("app {i}")), "{stdout}");
+    }
+    for (i, accesses) in ["53100", "34100", "30600"].iter().enumerate() {
+        let id = i.to_string();
+        let (ok, stdout, stderr) = client(&["telemetry", &id, accesses, "1000000", "200000"]);
+        assert!(ok, "telemetry {id}: {stderr}");
+        assert!(stdout.contains("queued for epoch"), "{stdout}");
+    }
+
+    // Give the 25 ms epoch timer time to fold and publish.
+    std::thread::sleep(std::time::Duration::from_millis(250));
+
+    let (ok, stdout, stderr) = client(&["get-shares"]);
+    assert!(ok, "get-shares: {stderr}");
+    assert!(stdout.contains("square-root"), "{stdout}");
+    assert!(stdout.contains("libquantum"), "{stdout}");
+
+    let (ok, stdout, stderr) = client(&["qos-admit", "1", "0.5"]);
+    assert!(ok, "qos-admit: {stderr}");
+    assert!(stdout.contains("reserved"), "{stdout}");
+
+    // An infeasible target is a structured rejection, not a crash.
+    let (ok, _, stderr) = client(&["qos-admit", "0", "1000"]);
+    assert!(!ok);
+    assert!(stderr.contains("QosUnreachable"), "{stderr}");
+
+    let (ok, stdout, stderr) = client(&["snapshot"]);
+    assert!(ok, "snapshot: {stderr}");
+    assert!(stdout.contains("QoS target 0.5"), "{stdout}");
+
+    let (ok, stdout, stderr) = client(&["shutdown"]);
+    assert!(ok, "shutdown: {stderr}");
+    assert!(stdout.contains("shutting down"), "{stdout}");
+
+    let status = serve.wait().expect("serve exits after client shutdown");
+    assert!(status.success(), "serve exit: {status:?}");
+}

@@ -33,6 +33,11 @@ pub enum ModelError {
         /// Bandwidth actually available (accesses per cycle).
         available: f64,
     },
+    /// A scheme name failed to parse (see `PartitionScheme::from_str`).
+    UnknownScheme {
+        /// The name that did not match any scheme or alias.
+        name: String,
+    },
     /// A QoS target exceeds what the application can reach even alone.
     QosTargetUnreachable {
         /// Index of the offending application.
@@ -64,6 +69,12 @@ impl fmt::Display for ModelError {
                 f,
                 "QoS group needs {required} APC but only {available} APC is available"
             ),
+            ModelError::UnknownScheme { name } => {
+                write!(
+                    f,
+                    "unknown scheme `{name}` (canonical names are kebab-case, e.g. `square-root`)"
+                )
+            }
             ModelError::QosTargetUnreachable {
                 app,
                 target_ipc,

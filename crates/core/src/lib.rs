@@ -96,7 +96,7 @@ pub mod weighted;
 pub use app::AppProfile;
 pub use error::ModelError;
 pub use metrics::Metric;
-pub use schemes::PartitionScheme;
+pub use schemes::{PartitionScheme, SharesOutcome};
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
@@ -106,7 +106,7 @@ pub mod prelude {
     pub use crate::metrics::{self, Metric};
     pub use crate::predict;
     pub use crate::qos::{self, QosRequest};
-    pub use crate::schemes::PartitionScheme;
+    pub use crate::schemes::{PartitionScheme, SharesOutcome};
     pub use crate::solver;
     pub use crate::weighted;
 }

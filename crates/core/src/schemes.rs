@@ -72,7 +72,9 @@ impl PartitionScheme {
         PartitionScheme::PriorityApi,
     ];
 
-    /// The paper's name for the scheme.
+    /// The paper's name for the scheme, as printed in its tables and
+    /// figures. Machine-facing surfaces (CLI flags, the `bwpartd` wire
+    /// protocol) use [`PartitionScheme::canonical_name`] instead.
     pub fn name(self) -> String {
         match self {
             PartitionScheme::NoPartitioning => "No_partitioning".into(),
@@ -83,6 +85,24 @@ impl PartitionScheme {
             PartitionScheme::Power(a) => format!("Power({a})"),
             PartitionScheme::PriorityApc => "Priority_APC".into(),
             PartitionScheme::PriorityApi => "Priority_API".into(),
+        }
+    }
+
+    /// The canonical machine-facing name: kebab-case, stable, and the
+    /// inverse of [`str::parse::<PartitionScheme>`]. This is the single
+    /// spelling every external surface (CLI, wire protocol, JSON reports)
+    /// agrees on; the paper spellings from [`PartitionScheme::name`] are
+    /// accepted as parse aliases but never emitted.
+    pub fn canonical_name(self) -> String {
+        match self {
+            PartitionScheme::NoPartitioning => "no-partitioning".into(),
+            PartitionScheme::Equal => "equal".into(),
+            PartitionScheme::Proportional => "proportional".into(),
+            PartitionScheme::SquareRoot => "square-root".into(),
+            PartitionScheme::TwoThirdsPower => "two-thirds-power".into(),
+            PartitionScheme::Power(a) => format!("power:{a}"),
+            PartitionScheme::PriorityApc => "priority-apc".into(),
+            PartitionScheme::PriorityApi => "priority-api".into(),
         }
     }
 
@@ -201,8 +221,75 @@ impl PartitionScheme {
 }
 
 impl std::fmt::Display for PartitionScheme {
+    /// Displays the canonical kebab-case name (see
+    /// [`PartitionScheme::canonical_name`]); paper-table rendering goes
+    /// through [`PartitionScheme::name`] explicitly.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.name())
+        f.write_str(&self.canonical_name())
+    }
+}
+
+impl std::str::FromStr for PartitionScheme {
+    type Err = ModelError;
+
+    /// Parse a scheme name. Canonical spellings are kebab-case
+    /// (`square-root`, `priority-apc`, `power:<alpha>`); the paper's
+    /// spellings (`Square_root`, `2/3_power`, `Priority_APC`, ...) and a
+    /// few common shorthands (`sqrt`, `prop`, `none`) are accepted as
+    /// aliases. Matching is case-insensitive and treats `_` as `-`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm: String = s.trim().to_ascii_lowercase().replace('_', "-");
+        if let Some(alpha) = norm.strip_prefix("power:") {
+            let a: f64 = alpha
+                .parse()
+                .map_err(|_| ModelError::UnknownScheme { name: s.into() })?;
+            if !a.is_finite() {
+                return Err(ModelError::InvalidInput {
+                    what: "power exponent",
+                    value: a,
+                });
+            }
+            return Ok(PartitionScheme::Power(a));
+        }
+        match norm.as_str() {
+            "no-partitioning" | "none" | "fcfs" => Ok(PartitionScheme::NoPartitioning),
+            "equal" => Ok(PartitionScheme::Equal),
+            "proportional" | "prop" => Ok(PartitionScheme::Proportional),
+            "square-root" | "sqrt" => Ok(PartitionScheme::SquareRoot),
+            "two-thirds-power" | "2/3-power" => Ok(PartitionScheme::TwoThirdsPower),
+            "priority-apc" => Ok(PartitionScheme::PriorityApc),
+            "priority-api" => Ok(PartitionScheme::PriorityApi),
+            _ => Err(ModelError::UnknownScheme { name: s.into() }),
+        }
+    }
+}
+
+/// A fully solved partitioning, in a shape that serializes cleanly across
+/// process boundaries (the `bwpartd` wire protocol, JSON reports).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharesOutcome {
+    /// Canonical scheme name ([`PartitionScheme::canonical_name`]).
+    pub scheme: String,
+    /// Total utilized bandwidth `B` the solve used (APC).
+    pub bandwidth: f64,
+    /// Nominal share vector `β` (sums to 1).
+    pub beta: Vec<f64>,
+    /// Bandwidth allocation in APC units, standalone-capped.
+    pub allocation: Vec<f64>,
+}
+
+impl PartitionScheme {
+    /// Solve shares and allocation together into a serializable
+    /// [`SharesOutcome`] — the form the online service hands to clients.
+    pub fn solve(self, apps: &[AppProfile], b: f64) -> Result<SharesOutcome, ModelError> {
+        let beta = self.shares(apps, b)?;
+        let allocation = self.allocation(apps, b)?;
+        Ok(SharesOutcome {
+            scheme: self.canonical_name(),
+            bandwidth: b,
+            beta,
+            allocation,
+        })
     }
 }
 
@@ -395,6 +482,78 @@ mod tests {
     fn names_match_paper() {
         assert_eq!(PartitionScheme::SquareRoot.name(), "Square_root");
         assert_eq!(PartitionScheme::TwoThirdsPower.name(), "2/3_power");
-        assert_eq!(PartitionScheme::PriorityApc.to_string(), "Priority_APC");
+        assert_eq!(PartitionScheme::PriorityApc.name(), "Priority_APC");
+    }
+
+    #[test]
+    fn display_is_canonical_kebab_case() {
+        assert_eq!(PartitionScheme::SquareRoot.to_string(), "square-root");
+        assert_eq!(
+            PartitionScheme::TwoThirdsPower.to_string(),
+            "two-thirds-power"
+        );
+        assert_eq!(PartitionScheme::PriorityApc.to_string(), "priority-apc");
+        assert_eq!(PartitionScheme::Power(0.8).to_string(), "power:0.8");
+    }
+
+    #[test]
+    fn from_str_round_trips_canonical_names() {
+        for scheme in PartitionScheme::PAPER_SCHEMES {
+            let parsed: PartitionScheme = scheme.canonical_name().parse().unwrap();
+            assert_eq!(parsed, scheme);
+        }
+        let p: PartitionScheme = PartitionScheme::Power(0.75).to_string().parse().unwrap();
+        assert_eq!(p, PartitionScheme::Power(0.75));
+    }
+
+    #[test]
+    fn from_str_accepts_paper_spellings_and_aliases() {
+        for (alias, scheme) in [
+            ("No_partitioning", PartitionScheme::NoPartitioning),
+            ("Equal", PartitionScheme::Equal),
+            ("Proportional", PartitionScheme::Proportional),
+            ("Square_root", PartitionScheme::SquareRoot),
+            ("2/3_power", PartitionScheme::TwoThirdsPower),
+            ("Priority_APC", PartitionScheme::PriorityApc),
+            ("Priority_API", PartitionScheme::PriorityApi),
+            ("sqrt", PartitionScheme::SquareRoot),
+            ("prop", PartitionScheme::Proportional),
+            ("none", PartitionScheme::NoPartitioning),
+            ("  square-root ", PartitionScheme::SquareRoot),
+            ("SQUARE-ROOT", PartitionScheme::SquareRoot),
+        ] {
+            assert_eq!(alias.parse::<PartitionScheme>().unwrap(), scheme, "{alias}");
+        }
+    }
+
+    #[test]
+    fn from_str_rejects_unknown_and_bad_power() {
+        assert!(matches!(
+            "bogus".parse::<PartitionScheme>(),
+            Err(ModelError::UnknownScheme { .. })
+        ));
+        assert!("power:x".parse::<PartitionScheme>().is_err());
+        assert!("power:inf".parse::<PartitionScheme>().is_err());
+        let msg = "bogus".parse::<PartitionScheme>().unwrap_err().to_string();
+        assert!(msg.contains("unknown scheme"), "{msg}");
+        assert!(msg.contains("bogus"), "{msg}");
+    }
+
+    #[test]
+    fn solve_packages_shares_and_allocation() {
+        let apps = four_apps();
+        let out = PartitionScheme::SquareRoot.solve(&apps, B).unwrap();
+        assert_eq!(out.scheme, "square-root");
+        assert_eq!(
+            out.beta,
+            PartitionScheme::SquareRoot.shares(&apps, B).unwrap()
+        );
+        assert_eq!(
+            out.allocation,
+            PartitionScheme::SquareRoot.allocation(&apps, B).unwrap()
+        );
+        let json = serde_json::to_string(&out).unwrap();
+        let back: SharesOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, out);
     }
 }

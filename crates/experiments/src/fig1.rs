@@ -71,18 +71,10 @@ pub fn run(cfg: &ExpConfig) -> Fig1Result {
 /// Render the normalized table (rows = metrics, columns = schemes, as in
 /// the figure).
 pub fn render(r: &Fig1Result) -> String {
-    let mut header = vec!["metric"];
-    for s in FIG1_SCHEMES {
-        header.push(match s {
-            PartitionScheme::Equal => "Equal",
-            PartitionScheme::Proportional => "Proportional",
-            PartitionScheme::SquareRoot => "Square_root",
-            PartitionScheme::PriorityApi => "Priority_API",
-            PartitionScheme::PriorityApc => "Priority_APC",
-            // lint: allow(R1): FIG1_SCHEMES contains exactly the five arms above
-            _ => unreachable!(),
-        });
-    }
+    let header: Vec<String> = std::iter::once("metric".to_string())
+        .chain(FIG1_SCHEMES.iter().map(|s| s.name()))
+        .collect();
+    let header: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut t = Table::new(&header);
     for (mi, m) in Metric::ALL.iter().enumerate() {
         let mut row = vec![m.label().to_string()];

@@ -35,5 +35,5 @@ pub mod request;
 
 pub use controller::{McStats, MemoryController};
 pub use policy::{Policy, PolicyKind};
-pub use profiler::{ApcProfiler, ProfileSnapshot};
+pub use profiler::{ApcProfiler, DeltaAccumulator, ProfileSnapshot, TelemetryDelta};
 pub use request::MemRequest;

@@ -94,6 +94,154 @@ impl ApcProfiler {
     }
 }
 
+/// One increment of the three Section IV-C counters, as reported by a
+/// telemetry source (a simulated controller, a hardware PMU read, or a
+/// `bwpartd` client) since its previous report.
+///
+/// Deltas are what an online service can actually collect: counter reads
+/// arrive asynchronously and per-application, so absolute epoch-boundary
+/// counts (what [`ApcProfiler::take_snapshot`] consumes) are not available.
+/// Folding deltas into a [`DeltaAccumulator`] recovers the same Eq. 12–13
+/// estimate without requiring a synchronized epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TelemetryDelta {
+    /// Memory accesses served (`ΔN_accesses`).
+    pub accesses: u64,
+    /// Cycles elapsed in the shared context (`ΔT_cyc,shared`).
+    pub shared_cycles: u64,
+    /// Cycles blocked by other applications' traffic
+    /// (`ΔT_cyc,interference`).
+    pub interference_cycles: u64,
+}
+
+impl TelemetryDelta {
+    /// True when the delta carries no signal at all (an idle report).
+    pub fn is_empty(&self) -> bool {
+        self.accesses == 0 && self.shared_cycles == 0
+    }
+}
+
+/// Fold-from-deltas profiler: sums [`TelemetryDelta`]s and produces the
+/// Eq. 12–13 `APC_alone` estimate on demand.
+///
+/// Unlike [`ApcProfiler::take_snapshot`] this never divides by zero: an
+/// accumulator that has seen no cycles yet (or only idle reports) yields
+/// `None` from [`DeltaAccumulator::apc_alone`], and interference counts
+/// that would drive `T_cyc,alone` to zero are floored the same way the
+/// epoch profiler floors them.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DeltaAccumulator {
+    /// Total accesses folded so far.
+    pub accesses: u64,
+    /// Total shared-context cycles folded so far.
+    pub shared_cycles: u64,
+    /// Total interference cycles folded so far.
+    pub interference_cycles: u64,
+}
+
+impl DeltaAccumulator {
+    /// Fresh accumulator with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one delta in (saturating, so malicious or wrapped counter
+    /// reports cannot overflow the totals).
+    pub fn fold(&mut self, d: TelemetryDelta) {
+        self.accesses = self.accesses.saturating_add(d.accesses);
+        self.shared_cycles = self.shared_cycles.saturating_add(d.shared_cycles);
+        self.interference_cycles = self
+            .interference_cycles
+            .saturating_add(d.interference_cycles);
+    }
+
+    /// Merge another accumulator (e.g. per-connection partial sums).
+    pub fn merge(&mut self, other: &DeltaAccumulator) {
+        self.accesses = self.accesses.saturating_add(other.accesses);
+        self.shared_cycles = self.shared_cycles.saturating_add(other.shared_cycles);
+        self.interference_cycles = self
+            .interference_cycles
+            .saturating_add(other.interference_cycles);
+    }
+
+    /// Reset all counters to zero (start of a new epoch window).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// True when nothing has been folded (or only idle reports).
+    pub fn is_idle(&self) -> bool {
+        self.shared_cycles == 0
+    }
+
+    /// Eq. 12–13 estimate over everything folded so far:
+    /// `APC_alone = N / max(T_shared − T_interference, floor)` with the
+    /// same `min_alone_fraction` floor the epoch profiler applies.
+    /// Returns `None` while no shared cycles have been observed — the
+    /// caller decides how to treat an all-idle window (a `bwpartd` epoch
+    /// keeps its previous estimate rather than fabricating a zero rate).
+    pub fn apc_alone(&self, min_alone_fraction: f64) -> Option<f64> {
+        if self.shared_cycles == 0 {
+            return None;
+        }
+        let floor = (self.shared_cycles as f64 * min_alone_fraction) as u64;
+        let t_alone = self
+            .shared_cycles
+            .saturating_sub(self.interference_cycles)
+            .max(floor)
+            .max(1);
+        Some(self.accesses as f64 / t_alone as f64)
+    }
+
+    /// Observed shared-mode bandwidth over the folded window
+    /// (`APC_shared = N / T_shared`), `None` while idle.
+    pub fn apc_shared(&self) -> Option<f64> {
+        if self.shared_cycles == 0 {
+            return None;
+        }
+        Some(self.accesses as f64 / self.shared_cycles as f64)
+    }
+}
+
+impl ApcProfiler {
+    /// The `T_cyc,alone` floor fraction this profiler applies (shared with
+    /// the fold-from-deltas path so both estimators agree).
+    pub fn min_alone_fraction(&self) -> f64 {
+        self.min_alone_fraction
+    }
+
+    /// Produce a [`ProfileSnapshot`] from per-application delta
+    /// accumulators instead of epoch-boundary counters. `now` advances the
+    /// profiler's epoch start exactly like
+    /// [`ApcProfiler::take_snapshot`]; the snapshot's `elapsed` is the
+    /// maximum shared-cycle window any application reported (applications
+    /// report asynchronously, so windows need not agree).
+    pub fn fold_snapshot(&mut self, now: u64, accs: &[DeltaAccumulator]) -> ProfileSnapshot {
+        let elapsed = accs
+            .iter()
+            .map(|a| a.shared_cycles)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let apc_alone = accs
+            .iter()
+            .map(|a| a.apc_alone(self.min_alone_fraction).unwrap_or(0.0))
+            .collect();
+        let apc_shared = accs.iter().map(|a| a.apc_shared().unwrap_or(0.0)).collect();
+        let snap = ProfileSnapshot {
+            elapsed,
+            accesses: accs.iter().map(|a| a.accesses).collect(),
+            interference: accs.iter().map(|a| a.interference_cycles).collect(),
+            apc_alone,
+            apc_shared,
+        };
+        if now > self.epoch_start {
+            self.epoch_start = now;
+        }
+        snap
+    }
+}
+
 impl ProfileSnapshot {
     /// Estimated `API` per application given instruction counts retired
     /// over the same epoch (the core-side counter).
@@ -166,5 +314,127 @@ mod tests {
     fn zero_length_epoch_rejected() {
         let mut p = ApcProfiler::new(5);
         let _ = p.take_snapshot(5, &[1], &[0]);
+    }
+
+    #[test]
+    fn delta_fold_matches_epoch_snapshot() {
+        // Folding the same counters as deltas reproduces take_snapshot's
+        // Eq. 12 estimate exactly, regardless of how the deltas are split.
+        let mut epoch = ApcProfiler::new(0);
+        let snap = epoch.take_snapshot(10_000, &[50, 20], &[5_000, 0]);
+
+        let mut acc0 = DeltaAccumulator::new();
+        for _ in 0..5 {
+            acc0.fold(TelemetryDelta {
+                accesses: 10,
+                shared_cycles: 2_000,
+                interference_cycles: 1_000,
+            });
+        }
+        let mut acc1 = DeltaAccumulator::new();
+        acc1.fold(TelemetryDelta {
+            accesses: 20,
+            shared_cycles: 10_000,
+            interference_cycles: 0,
+        });
+
+        let frac = epoch.min_alone_fraction();
+        assert!((acc0.apc_alone(frac).unwrap() - snap.apc_alone[0]).abs() < 1e-12);
+        assert!((acc1.apc_alone(frac).unwrap() - snap.apc_alone[1]).abs() < 1e-12);
+        assert!((acc1.apc_shared().unwrap() - snap.apc_shared[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_idle_accumulator_yields_none_not_nan() {
+        // Regression: an all-idle epoch (no cycles reported) must not
+        // divide by zero — the estimate is absent, never NaN/inf.
+        let acc = DeltaAccumulator::new();
+        assert!(acc.is_idle());
+        assert_eq!(acc.apc_alone(0.02), None);
+        assert_eq!(acc.apc_shared(), None);
+
+        // Zero accesses over a live window is a legitimate zero rate.
+        let mut quiet = DeltaAccumulator::new();
+        quiet.fold(TelemetryDelta {
+            accesses: 0,
+            shared_cycles: 10_000,
+            interference_cycles: 0,
+        });
+        let est = quiet.apc_alone(0.02).unwrap();
+        assert!(est.is_finite());
+        assert_eq!(est, 0.0);
+    }
+
+    #[test]
+    fn interference_floor_applies_to_deltas_too() {
+        let mut acc = DeltaAccumulator::new();
+        acc.fold(TelemetryDelta {
+            accesses: 10,
+            shared_cycles: 10_000,
+            interference_cycles: 10_000,
+        });
+        let floor_alone = (10_000.0 * 0.02) as u64;
+        let est = acc.apc_alone(0.02).unwrap();
+        assert!((est - 10.0 / floor_alone as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fold_saturates_instead_of_overflowing() {
+        let mut acc = DeltaAccumulator::new();
+        acc.fold(TelemetryDelta {
+            accesses: u64::MAX,
+            shared_cycles: u64::MAX,
+            interference_cycles: 0,
+        });
+        acc.fold(TelemetryDelta {
+            accesses: u64::MAX,
+            shared_cycles: 1,
+            interference_cycles: 1,
+        });
+        assert_eq!(acc.accesses, u64::MAX);
+        assert_eq!(acc.shared_cycles, u64::MAX);
+        assert!(acc.apc_alone(0.02).unwrap().is_finite());
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = DeltaAccumulator::new();
+        a.fold(TelemetryDelta {
+            accesses: 5,
+            shared_cycles: 100,
+            interference_cycles: 10,
+        });
+        let mut b = DeltaAccumulator::new();
+        b.fold(TelemetryDelta {
+            accesses: 7,
+            shared_cycles: 200,
+            interference_cycles: 20,
+        });
+        a.merge(&b);
+        assert_eq!(a.accesses, 12);
+        assert_eq!(a.shared_cycles, 300);
+        assert_eq!(a.interference_cycles, 30);
+        a.reset();
+        assert!(a.is_idle());
+        assert_eq!(a.accesses, 0);
+    }
+
+    #[test]
+    fn fold_snapshot_mirrors_accumulators() {
+        let mut p = ApcProfiler::new(0);
+        let mut acc = DeltaAccumulator::new();
+        acc.fold(TelemetryDelta {
+            accesses: 50,
+            shared_cycles: 10_000,
+            interference_cycles: 5_000,
+        });
+        let idle = DeltaAccumulator::new();
+        let snap = p.fold_snapshot(10_000, &[acc.clone(), idle]);
+        assert_eq!(snap.elapsed, 10_000);
+        assert!((snap.apc_alone[0] - 0.01).abs() < 1e-12);
+        // Idle app: zero estimate, no NaN.
+        assert_eq!(snap.apc_alone[1], 0.0);
+        assert_eq!(snap.apc_shared[1], 0.0);
+        assert_eq!(p.epoch_start(), 10_000);
     }
 }

@@ -20,7 +20,8 @@
 //! * **R2** — no `==` / `!=` against floating-point literals and no bare
 //!   `.partial_cmp(...)` calls. Ordering goes through `f64::total_cmp`;
 //!   tolerance comparisons go through `bwpart_core::contracts`.
-//! * **R3** — in `bwpart-core`, every `pub fn` returning a share/allocation
+//! * **R3** — in the share-producing crates (`bwpart-core` and the
+//!   `bwpartd` epoch engine), every `pub fn` returning a share/allocation
 //!   vector (`Vec<f64>` anywhere in the return type) must certify its output
 //!   via `validate_shares` or a contract macro (`ensures_simplex!`,
 //!   `ensures_capped!`, `invariant!`).
@@ -99,8 +100,8 @@ impl Rule {
             Rule::R1 => "no unwrap()/expect()/panic!/unreachable! in non-test library code",
             Rule::R2 => "no ==/!= against float literals, no bare partial_cmp (use total_cmp)",
             Rule::R3 => {
-                "pub fns returning share/allocation Vec<f64> in bwpart-core must \
-                         route through validate_shares or a contract macro"
+                "pub fns returning share/allocation Vec<f64> in bwpart-core or the \
+                         bwpartd engine must route through validate_shares or a contract macro"
             }
             Rule::R4 => "#[allow(clippy::...)] requires a justification comment",
             Rule::R5 => {
@@ -822,10 +823,16 @@ pub fn check_unsafe_inventory(audit: Option<&str>, actual: &[(String, usize)]) -
     out
 }
 
-/// Scan one file's source. `is_core` enables the R3 producer rule (it only
-/// applies to the `bwpart-core` model crate); `is_experiments` enables the
-/// R5 stepping rule (it only applies to `bwpart-experiments`).
-pub fn lint_source(file: &str, src: &str, is_core: bool, is_experiments: bool) -> Vec<Violation> {
+/// Scan one file's source. `is_share_producer` enables the R3 producer rule
+/// (it applies to the crates that compute share vectors: `bwpart-core` and
+/// the `bwpartd` epoch engine); `is_experiments` enables the R5 stepping
+/// rule (it only applies to `bwpart-experiments`).
+pub fn lint_source(
+    file: &str,
+    src: &str,
+    is_share_producer: bool,
+    is_experiments: bool,
+) -> Vec<Violation> {
     let prepared = prepare(src);
     let mut out = Vec::new();
 
@@ -843,7 +850,7 @@ pub fn lint_source(file: &str, src: &str, is_core: bool, is_experiments: bool) -
         scan_r7_static_mut(file, &prepared, idx, line, &mut out);
         scan_r8(file, &prepared, idx, line, &mut out);
     }
-    if is_core {
+    if is_share_producer {
         scan_r3(file, &prepared, &mut out);
     }
     out.sort_by_key(|v| v.line);
@@ -1151,10 +1158,11 @@ pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
             .to_string_lossy()
             .into_owned();
         let unix_rel = rel.replace('\\', "/");
-        let is_core = unix_rel.starts_with("crates/core/");
+        let is_share_producer =
+            unix_rel.starts_with("crates/core/") || unix_rel.starts_with("crates/bwpartd/");
         let is_experiments = unix_rel.starts_with("crates/experiments/");
         let src = fs::read_to_string(&path)?;
-        out.extend(lint_source(&rel, &src, is_core, is_experiments));
+        out.extend(lint_source(&rel, &src, is_share_producer, is_experiments));
         let sites = count_unsafe_sites(&src);
         if sites > 0 {
             unsafe_counts.push((unix_rel, sites));
@@ -1289,6 +1297,29 @@ pub fn shares(n: usize) -> Vec<f64> {
 }
 "#;
         assert!(lint_source("core.rs", good, true, false).is_empty());
+    }
+
+    #[test]
+    fn r3_covers_the_bwpartd_engine() {
+        // The epoch engine is a share producer just like bwpart-core: an
+        // uncertified Vec<f64> producer must trip R3 when the file is
+        // linted with the share-producer flag set (as run_lint does for
+        // everything under crates/bwpartd/).
+        let bad = r#"
+pub fn epoch_shares(n: usize) -> Vec<f64> {
+    vec![1.0 / n as f64; n]
+}
+"#;
+        let vs = lint_source("crates/bwpartd/src/engine.rs", bad, true, false);
+        assert_eq!(codes(&vs), vec!["R3"]);
+        let good = r#"
+pub fn epoch_shares(n: usize) -> Vec<f64> {
+    let beta = vec![1.0 / n as f64; n];
+    bwpart_core::ensures_simplex!(beta);
+    beta
+}
+"#;
+        assert!(lint_source("crates/bwpartd/src/engine.rs", good, true, false).is_empty());
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //! * `bench` — the perf-regression harness: builds and runs the
 //!   `bench_sim` binary from `bwpart-bench` in release mode, which times
 //!   the canonical workloads and writes `BENCH_sim.json`.
+//! * `bench-serve` — the `bwpartd` service harness: builds and runs the
+//!   `bench_serve` binary, which measures wire-protocol throughput and
+//!   latency against a live loopback server plus epoch-decision latency
+//!   in the bare engine, and writes `BENCH_serve.json`.
 //! * `check-concurrency` — the loomlite model check: rebuilds the
 //!   vendored pool with `--cfg loomlite` (aliasing its sync primitives to
 //!   the controlled scheduler) and runs the `loomlite_check` driver,
@@ -18,6 +22,7 @@
 //! cargo xtask lint --rules      # print the rule catalogue
 //! cargo xtask bench             # full benchmark, writes BENCH_sim.json
 //! cargo xtask bench --smoke     # tiny cycle budget for CI smoke runs
+//! cargo xtask bench-serve       # bwpartd service bench, writes BENCH_serve.json
 //! cargo xtask check-concurrency # explore pool schedules, exit 1 on races
 //! cargo xtask check-concurrency -- --min-total 20000 --dfs 8000
 //! ```
@@ -32,6 +37,7 @@ mod lint;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo xtask <lint [--rules] | bench [--smoke] [--reps N] [--out PATH] \
+         | bench-serve [--smoke] [--out PATH] \
          | check-concurrency [-- --min-total N --dfs N --random N]>"
     );
     eprintln!();
@@ -40,6 +46,7 @@ fn usage() -> ExitCode {
         "  lint               run the bwpart-audit lint over crates/*/src + vendor/rayon/src"
     );
     eprintln!("  bench              run the perf-regression harness (bench_sim)");
+    eprintln!("  bench-serve        run the bwpartd service harness (bench_serve)");
     eprintln!("  check-concurrency  run the loomlite model check over the vendored pool");
     ExitCode::from(2)
 }
@@ -85,10 +92,11 @@ fn run_lint(args: &[String]) -> ExitCode {
     }
 }
 
-/// Shell out to the release-built `bench_sim` binary, forwarding flags.
-/// Runs from the workspace root so the default `BENCH_sim.json` lands
-/// there regardless of where `cargo xtask` was invoked.
-fn run_bench(args: &[String]) -> ExitCode {
+/// Shell out to a release-built `bwpart-bench` binary (`bench_sim` or
+/// `bench_serve`), forwarding flags. Runs from the workspace root so the
+/// default `BENCH_*.json` lands there regardless of where `cargo xtask`
+/// was invoked.
+fn run_bench(bin: &str, args: &[String]) -> ExitCode {
     for arg in args {
         match arg.as_str() {
             "--smoke" | "--reps" | "--out" => {}
@@ -101,22 +109,14 @@ fn run_bench(args: &[String]) -> ExitCode {
     }
     let status = Command::new(env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
         .current_dir(workspace_root())
-        .args([
-            "run",
-            "--release",
-            "-p",
-            "bwpart-bench",
-            "--bin",
-            "bench_sim",
-            "--",
-        ])
+        .args(["run", "--release", "-p", "bwpart-bench", "--bin", bin, "--"])
         .args(args)
         .status();
     match status {
         Ok(s) if s.success() => ExitCode::SUCCESS,
         Ok(_) => ExitCode::FAILURE,
         Err(e) => {
-            eprintln!("cargo xtask bench: failed to run cargo: {e}");
+            eprintln!("cargo xtask bench ({bin}): failed to run cargo: {e}");
             ExitCode::FAILURE
         }
     }
@@ -161,7 +161,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
-        Some("bench") => run_bench(&args[1..]),
+        Some("bench") => run_bench("bench_sim", &args[1..]),
+        Some("bench-serve") => run_bench("bench_serve", &args[1..]),
         Some("check-concurrency") => run_check_concurrency(&args[1..]),
         _ => usage(),
     }
