@@ -8,8 +8,12 @@
 //! human-readable summary, and writes the machine-readable report to
 //! `BENCH_sim.json` (or `--out PATH`). Exit status is non-zero only on a
 //! real failure (argument error, I/O error, or an outcome-determinism
-//! panic inside the harness) — never on timing, so CI smoke runs don't
-//! flake on slow runners.
+//! panic inside the harness) — never on absolute timing, so CI smoke runs
+//! don't flake on slow runners. The one *relative* gate is the
+//! observability guardrail: in smoke mode, a metrics-attached sweep more
+//! than [`bwpart_bench::perf::OBS_OVERHEAD_BUDGET_PCT`] percent slower
+//! than the detached sweep fails the run (a ratio on the same machine in
+//! the same process, so runner speed cancels out).
 
 use std::env;
 use std::fs;
@@ -74,6 +78,13 @@ fn main() -> ExitCode {
         "  snapshot: clone {:.1} ns/call, reuse {:.1} ns/call",
         report.snapshot.clone_ns_per_call, report.snapshot.reuse_ns_per_call
     );
+    println!(
+        "  obs guardrail: detached {:.3} ms, attached {:.3} ms, overhead {:+.2}% (budget {:.0}%)",
+        report.obs.detached_wall_ms,
+        report.obs.attached_wall_ms,
+        report.obs.overhead_pct,
+        bwpart_bench::perf::OBS_OVERHEAD_BUDGET_PCT,
+    );
 
     let json = match serde_json::to_string_pretty(&report) {
         Ok(j) => j,
@@ -87,5 +98,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("bench_sim: wrote {out_path}");
+    if smoke && report.obs.overhead_pct > bwpart_bench::perf::OBS_OVERHEAD_BUDGET_PCT {
+        eprintln!(
+            "bench_sim: metrics overhead {:.2}% exceeds the {:.0}% budget",
+            report.obs.overhead_pct,
+            bwpart_bench::perf::OBS_OVERHEAD_BUDGET_PCT
+        );
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

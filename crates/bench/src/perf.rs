@@ -20,7 +20,7 @@
 
 use std::time::{Duration, Instant};
 
-use bwpart_cmp::{CmpConfig, PhaseConfig, Runner, ShareSource, SimOutcome};
+use bwpart_cmp::{CmpConfig, PhaseConfig, RunObserver, Runner, ShareSource, SimOutcome};
 use bwpart_core::schemes::PartitionScheme;
 use bwpart_workloads::mixes::fig1_mix;
 use rayon::prelude::*;
@@ -59,6 +59,29 @@ pub struct BenchCase {
     pub identical_outcomes: bool,
 }
 
+/// Observability guardrail: the scheme sweep timed with a per-run metrics
+/// registry attached vs. fully detached. The attached mode is what
+/// `bwpart trace` does; the delta is the cost of the `obs_*!` hot-path
+/// hooks actually firing.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObsOverhead {
+    /// Best-of-N sweep wall time with no observer (milliseconds).
+    pub detached_wall_ms: f64,
+    /// Best-of-N sweep wall time with a registry attached (milliseconds).
+    pub attached_wall_ms: f64,
+    /// `(attached - detached) / detached × 100` (negative values are
+    /// timing noise). The CI smoke gate fails above
+    /// [`OBS_OVERHEAD_BUDGET_PCT`].
+    pub overhead_pct: f64,
+    /// Whether attached and detached reps produced byte-identical
+    /// serialized outcomes (the harness panics if not).
+    pub identical_outcomes: bool,
+}
+
+/// Maximum tolerated metrics-attached overhead, in percent, enforced by
+/// `bench_sim` in smoke mode.
+pub const OBS_OVERHEAD_BUDGET_PCT: f64 = 5.0;
+
 /// Cost per call of the two snapshot flavours (see
 /// `CmpSystem::snapshot_into`).
 #[derive(Debug, Clone, Serialize)]
@@ -85,6 +108,8 @@ pub struct BenchReport {
     pub cases: Vec<BenchCase>,
     /// Snapshot clone-vs-reuse micro-benchmark.
     pub snapshot: SnapshotMicrobench,
+    /// Metrics-attached vs. detached sweep overhead guardrail.
+    pub obs: ObsOverhead,
 }
 
 /// Phase budgets for the benchmark runs.
@@ -164,7 +189,7 @@ pub fn sweep_fingerprint(fast_forward: bool, smoke: bool) -> String {
 
 /// Time `f` once, in `mode_threads` pool mode, returning the wall time and
 /// the outcomes.
-fn timed<F: FnOnce() -> Vec<SimOutcome>>(mode_threads: usize, f: F) -> (Duration, Vec<SimOutcome>) {
+fn timed<T, F: FnOnce() -> T>(mode_threads: usize, f: F) -> (Duration, T) {
     rayon::pool::set_num_threads(mode_threads);
     let t0 = Instant::now();
     let out = f();
@@ -220,6 +245,68 @@ fn bench_case(
             let s = best_base.as_secs_f64() / best_opt.as_secs_f64().max(1e-12);
             (s * 100.0).round() / 100.0
         },
+        identical_outcomes: true,
+    }
+}
+
+/// One sweep run with (or without) a fresh per-run observer attached,
+/// returning the outcomes and the total `cmp_steps_total` collected — a
+/// sanity signal that the attached mode really recorded metrics.
+fn run_sweep_observed(phases: PhaseConfig, attach: bool) -> (Vec<SimOutcome>, u64) {
+    let r = runner(true, phases);
+    let mix = fig1_mix();
+    let per_run: Vec<(SimOutcome, u64)> = PartitionScheme::ENFORCED_SCHEMES
+        .par_iter()
+        .map(|&s| {
+            let (w, cc) = mix.build(1, SEED);
+            let observer = attach.then(RunObserver::new);
+            let out = r.run_scheme_traced(s, w, cc, ShareSource::OnlineProfile, observer.as_ref());
+            let steps = observer
+                .map(|o| o.registry.counter("cmp_steps_total").get())
+                .unwrap_or(0);
+            (out, steps)
+        })
+        .collect();
+    let steps = per_run.iter().map(|(_, s)| s).sum();
+    (per_run.into_iter().map(|(o, _)| o).collect(), steps)
+}
+
+/// Measure the attached-vs-detached sweep, best-of-`reps` interleaved,
+/// asserting outcome bit-identity (observation must never change results).
+fn obs_overhead_bench(smoke: bool, reps: usize) -> ObsOverhead {
+    let p = phases(smoke);
+    let mut best_det = Duration::MAX;
+    let mut best_att = Duration::MAX;
+    let mut reference: Option<String> = None;
+    for _ in 0..reps.max(1) {
+        let (wall, (out, _)) = timed(0, || run_sweep_observed(p, false));
+        best_det = best_det.min(wall);
+        let fp = fingerprint(&out);
+        let expected = reference.get_or_insert(fp.clone());
+        assert_eq!(
+            *expected, fp,
+            "obs: detached outcomes diverged between reps"
+        );
+
+        let (wall, (out, steps)) = timed(0, || run_sweep_observed(p, true));
+        best_att = best_att.min(wall);
+        assert_eq!(
+            *expected,
+            fingerprint(&out),
+            "obs: attaching a metrics registry changed simulation outcomes"
+        );
+        assert!(
+            steps > 0,
+            "obs: attached sweep collected no metrics — is the `trace` feature on?"
+        );
+    }
+    let round = |x: f64| (x * 1000.0).round() / 1000.0;
+    let det = best_det.as_secs_f64();
+    let att = best_att.as_secs_f64();
+    ObsOverhead {
+        detached_wall_ms: round(det * 1e3),
+        attached_wall_ms: round(att * 1e3),
+        overhead_pct: ((att - det) / det.max(1e-12) * 100.0 * 100.0).round() / 100.0,
         identical_outcomes: true,
     }
 }
@@ -280,6 +367,7 @@ pub fn run(smoke: bool, reps: usize) -> BenchReport {
         reps,
         cases,
         snapshot: snapshot_microbench(),
+        obs: obs_overhead_bench(smoke, reps),
     }
 }
 
@@ -307,6 +395,10 @@ mod tests {
         );
         assert!(report.snapshot.clone_ns_per_call > 0.0);
         assert!(report.snapshot.reuse_ns_per_call > 0.0);
+        assert!(report.obs.identical_outcomes);
+        assert!(report.obs.detached_wall_ms > 0.0);
+        assert!(report.obs.attached_wall_ms > 0.0);
+        assert!(report.obs.overhead_pct.is_finite());
         // The report must round-trip through serde_json for BENCH_sim.json.
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("scheme_sweep"));

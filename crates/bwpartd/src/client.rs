@@ -13,7 +13,8 @@ use std::time::Duration;
 use bwpart_mc::TelemetryDelta;
 
 use crate::protocol::{
-    self, FrameError, QosGrant, Request, Response, ServiceError, ServiceSnapshot, SharesReply,
+    self, FrameError, MetricsReply, QosGrant, Request, Response, ServiceError, ServiceSnapshot,
+    SharesReply,
 };
 
 /// Why a client call failed.
@@ -125,6 +126,15 @@ impl Client {
     pub fn snapshot(&mut self) -> Result<ServiceSnapshot, ClientError> {
         match self.call(&Request::Snapshot)? {
             Response::Snapshot(snap) => Ok(snap),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetch the service's observability metrics (Prometheus text plus
+    /// the typed snapshot).
+    pub fn metrics(&mut self) -> Result<MetricsReply, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(reply) => Ok(reply),
             other => Err(unexpected(other)),
         }
     }

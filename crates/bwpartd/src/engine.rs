@@ -22,13 +22,16 @@
 //! reply `degraded` until a solve succeeds again.
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
 use bwpart_core::prelude::*;
 use bwpart_core::{contracts, ensures_capped, ensures_simplex, qos};
 use bwpart_mc::{DeltaAccumulator, TelemetryDelta};
+use bwpart_obs::{Histogram, Registry};
 
 use crate::protocol::{
-    AppShare, AppStatus, ErrorCode, QosGrant, ServiceError, ServiceSnapshot, SharesReply,
+    AppShare, AppStatus, ErrorCode, MetricsReply, QosGrant, ServiceError, ServiceSnapshot,
+    SharesReply,
 };
 
 /// Tuning knobs for the epoch engine.
@@ -155,12 +158,23 @@ pub struct Engine {
     failed_epochs: u64,
     phase_changes: u64,
     degraded: bool,
+    /// Observability registry: every service counter/gauge/histogram lives
+    /// here and is served verbatim by [`Engine::metrics`]. The engine is
+    /// cold-path code (one call per epoch), so it uses the registry
+    /// directly — lint rule R9's macro-only discipline applies to the
+    /// per-cycle simulator loops, not here.
+    registry: Registry,
+    /// Pre-resolved epoch-decision latency histogram
+    /// (`bwpartd_epoch_latency_seconds`).
+    epoch_latency: Histogram,
 }
 
 impl Engine {
     /// Build an engine; fails on nonsensical configuration.
     pub fn new(cfg: EngineConfig) -> Result<Self, ServiceError> {
         cfg.validate()?;
+        let registry = Registry::new();
+        let epoch_latency = registry.histogram("bwpartd_epoch_latency_seconds");
         Ok(Engine {
             cfg,
             apps: Vec::new(),
@@ -172,7 +186,26 @@ impl Engine {
             failed_epochs: 0,
             phase_changes: 0,
             degraded: false,
+            registry,
+            epoch_latency,
         })
+    }
+
+    /// The engine's observability registry (shared handles; cloning a
+    /// metric elsewhere observes the same cells).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The service metrics in both machine-readable forms (the payload of
+    /// the wire protocol's `Metrics` request).
+    pub fn metrics(&self) -> MetricsReply {
+        let snapshot = self.registry.snapshot();
+        MetricsReply {
+            epoch: self.epoch,
+            prometheus: snapshot.render_prometheus(),
+            snapshot,
+        }
     }
 
     /// The configuration the engine runs with.
@@ -226,11 +259,16 @@ impl Engine {
     ) -> Result<u64, ServiceError> {
         let cap = self.cfg.queue_capacity;
         let app = self.app_mut(app_id)?;
+        let mut shed = false;
         if app.queue.len() >= cap {
             app.queue.pop_front();
             app.shed += 1;
+            shed = true;
         }
         app.queue.push_back(delta);
+        if shed {
+            self.registry.counter("bwpartd_telemetry_shed_total").inc();
+        }
         Ok(self.epoch + 1)
     }
 
@@ -298,8 +336,41 @@ impl Engine {
     }
 
     /// Run one epoch: fold queued telemetry, refresh estimates, re-solve,
-    /// and (subject to hysteresis) publish.
+    /// and (subject to hysteresis) publish. Also records the epoch's
+    /// decision latency and outcome counters into the metrics registry.
     pub fn run_epoch(&mut self) -> EpochOutcome {
+        let t0 = Instant::now();
+        let was_degraded = self.degraded;
+        let outcome = self.run_epoch_inner();
+        self.epoch_latency.record(t0.elapsed().as_secs_f64());
+        self.registry.counter("bwpartd_epochs_total").inc();
+        self.registry
+            .counter(match outcome {
+                EpochOutcome::Repartitioned => "bwpartd_repartitions_total",
+                EpochOutcome::Held => "bwpartd_held_epochs_total",
+                EpochOutcome::Idle => "bwpartd_idle_epochs_total",
+                EpochOutcome::Failed => "bwpartd_failed_epochs_total",
+            })
+            .inc();
+        if self.degraded != was_degraded {
+            self.registry
+                .counter("bwpartd_degraded_transitions_total")
+                .inc();
+        }
+        self.registry
+            .gauge("bwpartd_degraded")
+            .set(if self.degraded { 1.0 } else { 0.0 });
+        if let Some(p) = &self.published {
+            for a in &p.apps {
+                self.registry
+                    .gauge(&format!("bwpartd_app_share{{app=\"{}\"}}", a.name))
+                    .set(a.beta);
+            }
+        }
+        outcome
+    }
+
+    fn run_epoch_inner(&mut self) -> EpochOutcome {
         self.epoch += 1;
         let frac = self.cfg.min_alone_fraction;
         let alpha = self.cfg.ewma_alpha;
@@ -339,8 +410,12 @@ impl Engine {
         }
 
         match self.solve_current() {
-            Ok(reply) => {
+            Ok(mut reply) => {
                 self.degraded = false;
+                // The reply was assembled while the previous epoch's
+                // degraded flag was still set; a successful solve clears
+                // it for the reply being published too.
+                reply.degraded = false;
                 if let Some(prev) = &self.published {
                     let delta = max_share_delta(prev, &reply);
                     if delta < self.cfg.hysteresis {
@@ -408,6 +483,7 @@ impl Engine {
             idle_epochs: self.idle_epochs,
             failed_epochs: self.failed_epochs,
             phase_changes: self.phase_changes,
+            telemetry_shed_total: self.apps.iter().map(|a| a.shed).sum(),
             degraded: self.degraded,
             apps: self
                 .apps
@@ -771,6 +847,81 @@ mod tests {
         assert_eq!(whatif.outcome.scheme, "proportional");
         assert_ne!(whatif.outcome.beta, published.outcome.beta);
         assert_eq!(e.get_shares().unwrap(), published);
+    }
+
+    #[test]
+    fn metrics_track_epochs_sheds_and_shares() {
+        let cfg = EngineConfig {
+            queue_capacity: 2,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(cfg).unwrap();
+        let ids = [
+            e.register("lbm", 0.00939).unwrap(),
+            e.register("hmmer", 0.00529).unwrap(),
+        ];
+        // Overflow one queue: 5 pushes into capacity 2 shed 3.
+        for _ in 0..5 {
+            e.push_telemetry(ids[0], clean_delta(0.05)).unwrap();
+        }
+        e.push_telemetry(ids[1], clean_delta(0.005)).unwrap();
+        assert_eq!(e.run_epoch(), EpochOutcome::Repartitioned);
+        assert_eq!(e.run_epoch(), EpochOutcome::Idle);
+
+        let m = e.metrics();
+        assert_eq!(m.epoch, 2);
+        let counter = |name: &str| {
+            m.snapshot
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("bwpartd_epochs_total"), 2);
+        assert_eq!(counter("bwpartd_repartitions_total"), 1);
+        assert_eq!(counter("bwpartd_idle_epochs_total"), 1);
+        assert_eq!(counter("bwpartd_telemetry_shed_total"), 3);
+        // Snapshot mirrors the aggregate shed count.
+        assert_eq!(e.snapshot().telemetry_shed_total, 3);
+        // Epoch latency was sampled once per epoch.
+        let lat = m
+            .snapshot
+            .histograms
+            .iter()
+            .find(|h| h.name == "bwpartd_epoch_latency_seconds")
+            .expect("latency histogram registered");
+        assert_eq!(lat.count, 2);
+        // Per-app share gauges exist for both registered apps.
+        assert!(m.prometheus.contains("bwpartd_app_share{app=\"lbm\"}"));
+        assert!(m.prometheus.contains("bwpartd_app_share{app=\"hmmer\"}"));
+    }
+
+    #[test]
+    fn degraded_transitions_are_counted_once_per_flip() {
+        let mut e = Engine::new(EngineConfig::default()).unwrap();
+        let id = e.register("silent", 0.01).unwrap();
+        let zero_rate = TelemetryDelta {
+            accesses: 0,
+            shared_cycles: 1_000,
+            interference_cycles: 0,
+        };
+        // Two consecutive failing epochs: one transition, not two.
+        for _ in 0..2 {
+            e.push_telemetry(id, zero_rate).unwrap();
+            assert_eq!(e.run_epoch(), EpochOutcome::Failed);
+        }
+        // Recovery: a real estimate flips degraded back off.
+        e.push_telemetry(id, clean_delta(0.02)).unwrap();
+        assert_eq!(e.run_epoch(), EpochOutcome::Repartitioned);
+        let m = e.metrics();
+        let flips = m
+            .snapshot
+            .counters
+            .iter()
+            .find(|c| c.name == "bwpartd_degraded_transitions_total")
+            .map(|c| c.value);
+        assert_eq!(flips, Some(2), "off→on and on→off");
     }
 
     #[test]

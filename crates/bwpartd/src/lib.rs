@@ -49,7 +49,7 @@ pub mod server;
 pub use client::{Client, ClientError};
 pub use engine::{Engine, EngineConfig, EpochOutcome};
 pub use protocol::{
-    AppShare, AppStatus, ErrorCode, FrameError, QosGrant, Request, Response, ServiceError,
-    ServiceSnapshot, SharesReply,
+    AppShare, AppStatus, ErrorCode, FrameError, MetricsReply, QosGrant, Request, Response,
+    ServiceError, ServiceSnapshot, SharesReply,
 };
 pub use server::{serve, ServeConfig, ServerHandle};

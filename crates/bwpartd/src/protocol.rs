@@ -190,6 +190,9 @@ pub enum Request {
     },
     /// Fetch service counters and per-application state.
     Snapshot,
+    /// Fetch the service's observability metrics (Prometheus text plus a
+    /// typed [`bwpart_obs::MetricsSnapshot`]).
+    Metrics,
     /// Stop the service (all connections, epoch thread, listener).
     Shutdown,
 }
@@ -215,6 +218,8 @@ pub enum Response {
     QosAdmitted(QosGrant),
     /// Reply to [`Request::Snapshot`].
     Snapshot(ServiceSnapshot),
+    /// Reply to [`Request::Metrics`].
+    Metrics(MetricsReply),
     /// Reply to [`Request::Shutdown`]; the connection closes after this.
     ShuttingDown,
     /// Any request may fail with a structured error instead of its normal
@@ -263,6 +268,18 @@ pub struct QosGrant {
     pub remaining_apc: f64,
 }
 
+/// Reply to [`Request::Metrics`]: the service's observability registry in
+/// both machine-readable forms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReply {
+    /// Epoch at which the metrics were sampled.
+    pub epoch: u64,
+    /// Prometheus text exposition of every metric.
+    pub prometheus: String,
+    /// The same metrics as a typed snapshot.
+    pub snapshot: bwpart_obs::MetricsSnapshot,
+}
+
 /// Service counters and per-application state.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServiceSnapshot {
@@ -282,6 +299,10 @@ pub struct ServiceSnapshot {
     pub failed_epochs: u64,
     /// Phase changes detected (estimate snapped instead of smoothed).
     pub phase_changes: u64,
+    /// Telemetry deltas shed across all applications since start (the sum
+    /// of every [`AppStatus::shed`], kept here so backpressure is visible
+    /// without scanning rows).
+    pub telemetry_shed_total: u64,
     /// True while serving last-good shares after a failed solve.
     pub degraded: bool,
     /// Per-application state.
@@ -465,6 +486,27 @@ mod tests {
             decode::<Request>(&frame),
             Err(FrameError::BadPayload { .. })
         ));
+    }
+
+    #[test]
+    fn metrics_round_trip() {
+        let frame = encode(&Request::Metrics).unwrap();
+        let (back, _): (Request, usize) = decode(&frame).unwrap().unwrap();
+        assert_eq!(back, Request::Metrics);
+
+        let reg = bwpart_obs::Registry::new();
+        reg.counter("bwpartd_epochs_total").add(3);
+        reg.gauge("bwpartd_app_share{app=\"lbm\"}").set(0.4);
+        reg.histogram("bwpartd_epoch_latency_seconds").record(1e-4);
+        let snapshot = reg.snapshot();
+        let resp = Response::Metrics(MetricsReply {
+            epoch: 3,
+            prometheus: snapshot.render_prometheus(),
+            snapshot,
+        });
+        let frame = encode(&resp).unwrap();
+        let (back, _): (Response, usize) = decode(&frame).unwrap().unwrap();
+        assert_eq!(back, resp);
     }
 
     #[test]

@@ -316,6 +316,7 @@ fn handle_request(
             }
         }
         Request::Snapshot => Response::Snapshot(lock_engine(engine).snapshot()),
+        Request::Metrics => Response::Metrics(lock_engine(engine).metrics()),
         Request::Shutdown => {
             shutdown.store(true, Ordering::SeqCst);
             Response::ShuttingDown

@@ -19,7 +19,7 @@ use proptest::prelude::*;
 /// range, schemes both valid and bogus).
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0usize..7,
+        0usize..8,
         any::<u64>(),
         any::<u64>(),
         any::<u64>(),
@@ -55,6 +55,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 ipc_target: x,
             },
             5 => Request::Snapshot,
+            6 => Request::Metrics,
             _ => Request::Shutdown,
         })
 }

@@ -1,9 +1,16 @@
+//! Regression test: a publish that succeeds after a degraded epoch must
+//! clear the `degraded` flag on the served reply (it used to stick).
+
 use bwpart_mc::TelemetryDelta;
 use bwpartd::{Engine, EngineConfig};
 
 fn clean(apc: f64) -> TelemetryDelta {
     let cyc = 1_000_000u64;
-    TelemetryDelta { accesses: (apc * cyc as f64) as u64, shared_cycles: cyc, interference_cycles: 0 }
+    TelemetryDelta {
+        accesses: (apc * cyc as f64) as u64,
+        shared_cycles: cyc,
+        interference_cycles: 0,
+    }
 }
 
 #[test]
@@ -11,12 +18,24 @@ fn recovered_publish_not_degraded() {
     let mut e = Engine::new(EngineConfig::default()).unwrap();
     let id = e.register("a", 0.01).unwrap();
     // Live-but-silent epoch: zero-rate estimate -> solve fails.
-    e.push_telemetry(id, TelemetryDelta { accesses: 0, shared_cycles: 1000, interference_cycles: 0 }).unwrap();
+    e.push_telemetry(
+        id,
+        TelemetryDelta {
+            accesses: 0,
+            shared_cycles: 1000,
+            interference_cycles: 0,
+        },
+    )
+    .unwrap();
     e.run_epoch();
     // Good telemetry: solve succeeds, first publish.
     e.push_telemetry(id, clean(0.05)).unwrap();
     let out = e.run_epoch();
     println!("outcome = {out:?}");
     let reply = e.get_shares().unwrap();
-    assert!(!reply.degraded, "freshly repartitioned reply must not be degraded (snapshot.degraded = {})", e.snapshot().degraded);
+    assert!(
+        !reply.degraded,
+        "freshly repartitioned reply must not be degraded (snapshot.degraded = {})",
+        e.snapshot().degraded
+    );
 }

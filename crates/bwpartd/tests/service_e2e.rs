@@ -338,6 +338,76 @@ fn structured_errors_leave_connection_usable() {
     assert_eq!(id, 0);
 }
 
+/// The `Metrics` request over the wire: the Prometheus text and the typed
+/// snapshot agree with the engine's behaviour, and telemetry shed under
+/// queue backpressure is visible in both the metrics counter and the
+/// extended `Snapshot` aggregate.
+#[test]
+fn metrics_over_the_wire_expose_epochs_and_backpressure_sheds() {
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine: EngineConfig {
+            // Tiny queue so the flood below forces oldest-first shedding.
+            queue_capacity: 2,
+            ..EngineConfig::new(PartitionScheme::SquareRoot, 0.0095)
+        },
+        epoch_interval: Duration::from_secs(3600),
+        read_timeout: Duration::from_secs(5),
+    };
+    let handle = serve(cfg).expect("bind on loopback");
+    let mut rng = Lcg(99);
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let id = c.register("flood", 0.00939).expect("register");
+
+    // 7 deltas into a 2-deep queue: 5 shed, newest data wins.
+    for _ in 0..7 {
+        c.telemetry(id, noisy_delta(0.0531, &mut rng))
+            .expect("telemetry");
+    }
+    handle.force_epoch();
+    handle.force_epoch(); // idle epoch: nothing queued
+
+    let m = c.metrics().expect("metrics");
+    assert_eq!(m.epoch, 2);
+    let counter = |name: &str| {
+        m.snapshot
+            .counters
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.value)
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("bwpartd_epochs_total"), 2);
+    assert_eq!(counter("bwpartd_repartitions_total"), 1);
+    assert_eq!(counter("bwpartd_idle_epochs_total"), 1);
+    assert_eq!(counter("bwpartd_telemetry_shed_total"), 5);
+    // Both renderings carry the same counters.
+    assert!(m.prometheus.contains("bwpartd_telemetry_shed_total 5\n"));
+    assert!(m.prometheus.contains("# TYPE bwpartd_epochs_total counter"));
+    // Epoch-decision latency was sampled once per epoch.
+    let lat = m
+        .snapshot
+        .histograms
+        .iter()
+        .find(|h| h.name == "bwpartd_epoch_latency_seconds")
+        .expect("latency histogram");
+    assert_eq!(lat.count, 2);
+    // The per-app share gauge tracks the published partition (one app:
+    // the whole share).
+    let share = m
+        .snapshot
+        .gauges
+        .iter()
+        .find(|g| g.name == "bwpartd_app_share{app=\"flood\"}")
+        .expect("share gauge");
+    assert!((share.value - 1.0).abs() < 1e-9, "β = {}", share.value);
+
+    // The extended Snapshot reply exposes the same aggregate shed count.
+    let snap = c.snapshot().expect("snapshot");
+    assert_eq!(snap.telemetry_shed_total, 5);
+    assert_eq!(snap.apps[id].shed, 5);
+}
+
 /// A client-issued shutdown stops the whole service; `join` returns.
 #[test]
 fn client_shutdown_stops_service() {

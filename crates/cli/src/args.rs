@@ -85,6 +85,22 @@ pub enum Parsed {
         /// Stream seed.
         seed: u64,
     },
+    /// `trace`: simulate a mix with observability attached and export a
+    /// Chrome trace-event timeline (plus an optional metrics dump).
+    Trace {
+        /// Mix name.
+        mix: String,
+        /// Scheme.
+        scheme: PartitionScheme,
+        /// Reduced-fidelity phases.
+        fast: bool,
+        /// Stream seed.
+        seed: u64,
+        /// Output path for the Chrome trace-event JSON.
+        out: String,
+        /// Optional output path for a Prometheus-style metrics dump.
+        metrics_out: Option<String>,
+    },
     /// `mixes`: list the available mixes.
     Mixes,
     /// `serve`: run the online `bwpartd` partitioning service.
@@ -151,6 +167,8 @@ pub enum ClientOp {
         /// Target IPC (Eq. 11).
         ipc_target: f64,
     },
+    /// Fetch the service's metrics registry (`metrics`).
+    Metrics,
     /// Fetch service counters (`snapshot`).
     Snapshot,
     /// Stop the service (`shutdown`).
@@ -165,7 +183,7 @@ impl ClientOp {
     /// Parse the positional tail of a `client` invocation.
     fn parse(args: &[String]) -> Result<ClientOp, String> {
         let op = args.first().ok_or(
-            "client requires an operation: register | telemetry | get-shares | qos-admit | snapshot | shutdown",
+            "client requires an operation: register | telemetry | get-shares | qos-admit | metrics | snapshot | shutdown",
         )?;
         let arity = |n: usize| -> Result<(), String> {
             if args.len() - 1 == n {
@@ -208,6 +226,10 @@ impl ClientOp {
                     app_id: parse_num(&args[1], "app_id")?,
                     ipc_target: parse_num(&args[2], "ipc_target")?,
                 })
+            }
+            "metrics" => {
+                arity(0)?;
+                Ok(ClientOp::Metrics)
             }
             "snapshot" => {
                 arity(0)?;
@@ -273,11 +295,13 @@ impl Parsed {
                     })
                 }
             }
-            "simulate" | "profile" => {
+            "simulate" | "profile" | "trace" => {
                 let mut mix = None;
                 let mut scheme = PartitionScheme::NoPartitioning;
                 let mut fast = false;
                 let mut seed = 0xB417_2013u64;
+                let mut out = "trace.json".to_string();
+                let mut metrics_out = None;
                 let mut i = 1;
                 while i < args.len() {
                     match args[i].as_str() {
@@ -288,20 +312,34 @@ impl Parsed {
                             let v = take_value(args, &mut i, "--seed")?;
                             seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
                         }
+                        "--out" if cmd == "trace" => {
+                            out = take_value(args, &mut i, "--out")?.to_string()
+                        }
+                        "--metrics-out" if cmd == "trace" => {
+                            metrics_out =
+                                Some(take_value(args, &mut i, "--metrics-out")?.to_string())
+                        }
                         other => return Err(format!("unexpected argument `{other}`")),
                     }
                     i += 1;
                 }
                 let mix = mix.ok_or("--mix is required")?;
-                if cmd == "simulate" {
-                    Ok(Parsed::Simulate {
+                match cmd.as_str() {
+                    "simulate" => Ok(Parsed::Simulate {
                         mix,
                         scheme,
                         fast,
                         seed,
-                    })
-                } else {
-                    Ok(Parsed::Profile { mix, fast, seed })
+                    }),
+                    "trace" => Ok(Parsed::Trace {
+                        mix,
+                        scheme,
+                        fast,
+                        seed,
+                        out,
+                        metrics_out,
+                    }),
+                    _ => Ok(Parsed::Profile { mix, fast, seed }),
                 }
             }
             "mixes" => Ok(Parsed::Mixes),
@@ -475,6 +513,48 @@ mod tests {
     }
 
     #[test]
+    fn trace_defaults_and_flags() {
+        let p = Parsed::parse(&v(&["trace", "--mix", "hetero-1"])).unwrap();
+        assert_eq!(
+            p,
+            Parsed::Trace {
+                mix: "hetero-1".into(),
+                scheme: PartitionScheme::NoPartitioning,
+                fast: false,
+                seed: 0xB417_2013,
+                out: "trace.json".into(),
+                metrics_out: None,
+            }
+        );
+        let p = Parsed::parse(&v(&[
+            "trace",
+            "--mix",
+            "homo-3",
+            "--scheme",
+            "square-root",
+            "--fast",
+            "--out",
+            "tl.json",
+            "--metrics-out",
+            "metrics.prom",
+        ]))
+        .unwrap();
+        assert_eq!(
+            p,
+            Parsed::Trace {
+                mix: "homo-3".into(),
+                scheme: PartitionScheme::SquareRoot,
+                fast: true,
+                seed: 0xB417_2013,
+                out: "tl.json".into(),
+                metrics_out: Some("metrics.prom".into()),
+            }
+        );
+        // `--out` belongs to `trace` only.
+        assert!(Parsed::parse(&v(&["simulate", "--mix", "homo-1", "--out", "x"])).is_err());
+    }
+
+    #[test]
     fn serve_defaults_and_flags() {
         let p = Parsed::parse(&v(&["serve"])).unwrap();
         assert_eq!(
@@ -572,8 +652,17 @@ mod tests {
                 ..
             }
         ));
+        let p = Parsed::parse(&v(&["client", "--addr", "x:1", "metrics"])).unwrap();
+        assert!(matches!(
+            p,
+            Parsed::Client {
+                op: ClientOp::Metrics,
+                ..
+            }
+        ));
         // Missing --addr, wrong arity, unknown op all fail.
         assert!(Parsed::parse(&v(&["client", "snapshot"])).is_err());
+        assert!(Parsed::parse(&v(&["client", "--addr", "x:1", "metrics", "x"])).is_err());
         assert!(Parsed::parse(&v(&["client", "--addr", "x:1", "register", "a"])).is_err());
         assert!(Parsed::parse(&v(&["client", "--addr", "x:1", "frobnicate"])).is_err());
     }

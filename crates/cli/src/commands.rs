@@ -1,6 +1,6 @@
 //! Command implementations: each returns its printable output.
 
-use bwpart_cmp::{CmpConfig, Runner, ShareSource};
+use bwpart_cmp::{CmpConfig, RunObserver, Runner, ShareSource};
 use bwpart_core::prelude::*;
 use bwpart_experiments::harness::ExpConfig;
 use bwpart_experiments::{
@@ -125,6 +125,57 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, String> {
             ));
             Ok(s)
         }
+        Parsed::Trace {
+            mix,
+            scheme,
+            fast,
+            seed,
+            out,
+            metrics_out,
+        } => {
+            let mix = find_mix(mix)?;
+            let mut cfg = exp_config(*fast);
+            cfg.seed = *seed;
+            let runner = Runner {
+                cmp: CmpConfig {
+                    dram: cfg.dram.clone(),
+                    ..CmpConfig::default()
+                },
+                phases: cfg.phases,
+            };
+            let (w, cc) = mix.build(1, cfg.seed);
+            let observer = RunObserver::with_tracer(1 << 16);
+            let sim = runner.run_scheme_traced(
+                *scheme,
+                w,
+                cc,
+                ShareSource::OnlineProfile,
+                Some(&observer),
+            );
+            let tracer = observer
+                .tracer
+                .as_ref()
+                .ok_or("internal error: observer lost its tracer")?;
+            std::fs::write(out, tracer.export_chrome_json())
+                .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+            let mut s = format!(
+                "{} × {} traced: {} event(s), {} dropped → {out}\n",
+                mix.name,
+                scheme.name(),
+                tracer.len(),
+                tracer.dropped()
+            );
+            if let Some(path) = metrics_out {
+                std::fs::write(path, observer.registry.snapshot().render_prometheus())
+                    .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                s.push_str(&format!("metrics dump → {path}\n"));
+            }
+            s.push_str(&format!(
+                "  utilized bandwidth = {:.5} APC\n",
+                sim.total_bandwidth
+            ));
+            Ok(s)
+        }
         Parsed::Profile { mix, fast, seed } => {
             let mix = find_mix(mix)?;
             let mut cfg = exp_config(*fast);
@@ -246,6 +297,10 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, String> {
                         "admitted app {} at IPC {ipc_target}: reserved {:.6} APC (Eq. 11), {:.6} APC remaining",
                         grant.app_id, grant.reserved_apc, grant.remaining_apc
                     ))
+                }
+                ClientOp::Metrics => {
+                    let m = client.metrics().map_err(service_err)?;
+                    Ok(format!("epoch {}\n{}", m.epoch, m.prometheus))
                 }
                 ClientOp::Snapshot => {
                     let snap = client.snapshot().map_err(service_err)?;
@@ -468,9 +523,48 @@ mod tests {
         let out = run(ClientOp::Snapshot).unwrap();
         assert!(out.contains("repartitions 1"), "{out}");
 
+        let out = run(ClientOp::Metrics).unwrap();
+        assert!(out.contains("bwpartd_epochs_total 1"), "{out}");
+        assert!(out.contains("# TYPE bwpartd_epochs_total counter"), "{out}");
+
         let out = run(ClientOp::Shutdown).unwrap();
         assert!(out.contains("shutting down"));
         handle.join();
+    }
+
+    #[test]
+    fn trace_command_writes_timeline_and_metrics_dump() {
+        let dir = std::env::temp_dir().join(format!("bwpart-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("trace.json");
+        let mout = dir.join("metrics.prom");
+        let s = dispatch(&Parsed::Trace {
+            mix: "hetero-1".into(),
+            scheme: PartitionScheme::SquareRoot,
+            fast: true,
+            seed: 7,
+            out: out.to_string_lossy().into_owned(),
+            metrics_out: Some(mout.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(s.contains("event(s)"), "{s}");
+        assert!(s.contains("utilized bandwidth"), "{s}");
+
+        let json = std::fs::read_to_string(&out).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        assert!(!events.is_empty());
+        let named = |n: &str| {
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(serde_json::Value::as_str) == Some(n))
+        };
+        assert!(named("profile_end") && named("measure_end") && named("share"));
+
+        let prom = std::fs::read_to_string(&mout).unwrap();
+        assert!(prom.contains("cmp_steps_total"), "{prom}");
+        assert!(prom.contains("run_total_bandwidth_apc"), "{prom}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -22,16 +22,20 @@
 //! * [`runner`] — the paper's phase methodology (warm-up → profile →
 //!   measure, Section V-B) plus standalone runs for ground-truth
 //!   `APC_alone`.
+//! * [`obs`] — observability wiring: cycle-loop hooks for `bwpart-obs`
+//!   and the [`RunObserver`] bundle for instrumented runs.
 //! * [`stats`] — per-application counters and derived rates.
 
 pub mod cache;
 pub mod core;
+pub mod obs;
 pub mod runner;
 pub mod stats;
 pub mod system;
 
 pub use crate::core::{Access, Core, CoreConfig, IdleState, Workload};
 pub use cache::{Cache, CacheConfig};
+pub use obs::{CmpObsHooks, RunObserver};
 pub use runner::{PhaseConfig, Runner, ShareSource, SimOutcome};
 pub use stats::AppStats;
 pub use system::{CmpConfig, CmpSystem, Snapshot};

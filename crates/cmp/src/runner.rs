@@ -4,9 +4,11 @@
 
 use bwpart_core::prelude::*;
 use bwpart_mc::Policy;
+use bwpart_obs::{obs_span, Tracer};
 use serde::{Deserialize, Serialize};
 
 use crate::core::{CoreConfig, Workload};
+use crate::obs::RunObserver;
 use crate::stats::AppStats;
 use crate::system::{CmpConfig, CmpSystem};
 
@@ -162,6 +164,23 @@ fn profiles_from(names: &[String], apc_alone: &[f64], api: &[f64]) -> Vec<AppPro
         .collect()
 }
 
+/// Record one per-app share counter sample per application (track id =
+/// app index) for share-based schemes; priority/baseline schemes have no
+/// share vector, so nothing is emitted.
+fn emit_share_tracks(
+    tracer: &Tracer,
+    scheme: PartitionScheme,
+    profiles: &[AppProfile],
+    b: f64,
+    ts: u64,
+) {
+    if let Ok(shares) = scheme.shares(profiles, b) {
+        for (app, &s) in shares.iter().enumerate() {
+            tracer.counter_at("share", app as u64, ts, s);
+        }
+    }
+}
+
 impl Runner {
     /// Build the scheduling policy realizing `scheme` for `profiles` over
     /// total bandwidth `b`.
@@ -193,19 +212,51 @@ impl Runner {
         core_cfgs: Vec<CoreConfig>,
         source: ShareSource,
     ) -> SimOutcome {
+        self.run_scheme_traced(scheme, workloads, core_cfgs, source, None)
+    }
+
+    /// [`run_scheme`](Self::run_scheme) with observability: the system
+    /// stack attaches to `obs.registry`, derived gauges are published at
+    /// every phase/epoch boundary, and — when `obs.tracer` is set — the
+    /// cycle-domain timeline is recorded (phase instants, per-epoch
+    /// complete events, per-app share counter tracks) alongside
+    /// wall-clock phase spans. Passing `None` is byte-identical to
+    /// [`run_scheme`](Self::run_scheme); observation never changes the
+    /// simulation.
+    pub fn run_scheme_traced(
+        &self,
+        scheme: PartitionScheme,
+        workloads: Vec<Box<dyn Workload>>,
+        core_cfgs: Vec<CoreConfig>,
+        source: ShareSource,
+        obs: Option<&RunObserver>,
+    ) -> SimOutcome {
         let n = workloads.len();
         let mut sys = CmpSystem::new(&self.cmp, workloads, core_cfgs, Policy::fcfs(n));
+        if let Some(o) = obs {
+            sys.attach_obs(&o.registry);
+        }
+        let tracer: Option<&Tracer> = obs.and_then(|o| o.tracer.as_ref());
         let names: Vec<String> = (0..n)
             .map(|i| sys.core(i).workload_name().to_string())
             .collect();
 
         // Phase 1: warm-up.
-        sys.run(self.phases.warmup);
+        {
+            obs_span!(tracer, "phase:warmup");
+            sys.run(self.phases.warmup);
+        }
+        if let Some(t) = tracer {
+            t.instant_at("warmup_end", 0, sys.cycle());
+        }
 
         // Phase 2: profile under the unmanaged baseline.
         sys.reset_phase_counters();
         let _ = sys.mc_mut().take_epoch_counters();
-        sys.run(self.phases.profile);
+        {
+            obs_span!(tracer, "phase:profile");
+            sys.run(self.phases.profile);
+        }
         let (acc, intf) = sys.mc_mut().take_epoch_counters();
         let instr: Vec<u64> = (0..n).map(|i| sys.core(i).counters.retired).collect();
         let elapsed = self.phases.profile;
@@ -233,17 +284,29 @@ impl Runner {
         let profiles = profiles_from(&names, &apc_alone_ref, &api_ref);
         sys.mc_mut()
             .set_policy(Self::policy_for(scheme, &profiles, clamp_pos(b_est)));
+        if let Some(t) = tracer {
+            t.instant_at("profile_end", 0, sys.cycle());
+            emit_share_tracks(t, scheme, &profiles, clamp_pos(b_est), sys.cycle());
+        }
 
         // Phase 3: measure (optionally re-profiling each epoch).
         sys.reset_phase_counters();
         let start = sys.snapshot();
+        obs_span!(tracer, "phase:measure");
         match self.phases.repartition_epoch {
             Some(epoch) if epoch > 0 && epoch < self.phases.measure => {
                 let mut remaining = self.phases.measure;
                 while remaining > 0 {
                     let chunk = epoch.min(remaining);
+                    let epoch_start = sys.cycle();
                     sys.run(chunk);
                     remaining -= chunk;
+                    if let Some(t) = tracer {
+                        t.complete_at("epoch", 0, epoch_start, chunk);
+                    }
+                    if let Some(o) = obs {
+                        sys.publish_metrics(&o.registry);
+                    }
                     if remaining > 0 {
                         let (acc, intf) = sys.mc_mut().take_epoch_counters();
                         let floor = (chunk / 50).max(1);
@@ -264,6 +327,11 @@ impl Runner {
                             PartitionScheme::PriorityApi => {}
                             _ => {
                                 if let Ok(shares) = scheme.shares(&fresh, clamp_pos(b_est)) {
+                                    if let Some(t) = tracer {
+                                        for (app, &s) in shares.iter().enumerate() {
+                                            t.counter_at("share", app as u64, sys.cycle(), s);
+                                        }
+                                    }
                                     sys.mc_mut().policy_mut().set_shares(shares);
                                 }
                             }
@@ -277,6 +345,15 @@ impl Runner {
         let stats = sys.window_stats(&start, &end);
         let total_bandwidth =
             stats.iter().map(|s| s.mem_accesses).sum::<u64>() as f64 / self.phases.measure as f64;
+        if let Some(o) = obs {
+            sys.publish_metrics(&o.registry);
+            o.registry
+                .gauge("run_total_bandwidth_apc")
+                .set(total_bandwidth);
+        }
+        if let Some(t) = tracer {
+            t.instant_at("measure_end", 0, sys.cycle());
+        }
 
         SimOutcome {
             scheme: scheme.name(),
@@ -532,6 +609,60 @@ mod tests {
         );
         assert!(out.metric(Metric::HarmonicWeightedSpeedup) > 0.0);
         assert!(out.total_bandwidth > 0.0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_collects_the_timeline() {
+        let mut r = runner();
+        r.phases.repartition_epoch = Some(100_000);
+        let plain = r.run_scheme(
+            PartitionScheme::SquareRoot,
+            vec![heavy(), light()],
+            vec![CoreConfig::default(); 2],
+            ShareSource::OnlineProfile,
+        );
+        let obs = crate::obs::RunObserver::with_tracer(4096);
+        let traced = r.run_scheme_traced(
+            PartitionScheme::SquareRoot,
+            vec![heavy(), light()],
+            vec![CoreConfig::default(); 2],
+            ShareSource::OnlineProfile,
+            Some(&obs),
+        );
+        // Observation must not perturb the simulation.
+        let counters = |o: &SimOutcome| -> Vec<(u64, u64)> {
+            o.stats
+                .iter()
+                .map(|s| (s.instructions, s.mem_accesses))
+                .collect()
+        };
+        assert_eq!(counters(&plain), counters(&traced));
+        assert_eq!(plain.apc_alone_ref, traced.apc_alone_ref);
+        // Metrics were published…
+        let snap = obs.registry.snapshot();
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|g| g.name == "run_total_bandwidth_apc"));
+        // …and the cycle-domain timeline was recorded: 4 epoch windows,
+        // the phase instants, and per-app share tracks for both apps.
+        // lint: allow(R1): with_tracer always sets the tracer
+        let events = obs.tracer.as_ref().unwrap().events();
+        use bwpart_obs::EventPhase;
+        let epochs = events
+            .iter()
+            .filter(|e| e.name == "epoch" && e.ph == EventPhase::Complete)
+            .count();
+        assert_eq!(epochs, 4, "400k measure cycles / 100k epochs");
+        assert!(events.iter().any(|e| e.name == "profile_end"));
+        for app in 0..2u64 {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.name == "share" && e.tid == app && e.value.is_some()),
+                "missing share track for app {app}"
+            );
+        }
     }
 
     #[test]

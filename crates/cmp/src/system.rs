@@ -3,10 +3,12 @@
 
 use bwpart_dram::DramConfig;
 use bwpart_mc::{MemoryController, Policy};
+use bwpart_obs::obs_count;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheConfig;
 use crate::core::{Core, CoreConfig, IdleState, Workload};
+use crate::obs::CmpObsHooks;
 use crate::stats::AppStats;
 
 /// System-level configuration (Table II defaults).
@@ -73,6 +75,8 @@ pub struct CmpSystem {
     lifetime_instr: Vec<u64>,
     /// Event-driven cycle skipping enabled (from [`CmpConfig`]).
     fast_forward: bool,
+    /// Pre-resolved observability handles (None: zero instrumentation).
+    obs: Option<Box<CmpObsHooks>>,
 }
 
 impl CmpSystem {
@@ -126,7 +130,29 @@ impl CmpSystem {
             cycle: 0,
             lifetime_instr: vec![0; n],
             fast_forward: cfg.fast_forward,
+            obs: None,
         }
+    }
+
+    /// Attach observability: resolve the cycle-loop hooks against
+    /// `registry` and cascade to the memory controller and DRAM layers.
+    /// Attaching never changes simulation results — only counters are
+    /// recorded, and only in builds with the `bwpart-obs/trace` feature.
+    pub fn attach_obs(&mut self, registry: &bwpart_obs::Registry) {
+        self.obs = Some(Box::new(CmpObsHooks::resolve(registry)));
+        self.mc.attach_obs(registry);
+    }
+
+    /// Publish derived gauges from the whole stack into `registry` (cold
+    /// path; call at phase/epoch boundaries or after a run).
+    pub fn publish_metrics(&self, registry: &bwpart_obs::Registry) {
+        registry.gauge("cmp_cycle").set(self.cycle as f64);
+        for (i, core) in self.cores.iter().enumerate() {
+            registry
+                .gauge(&format!("cmp_instructions{{app=\"{i}\"}}"))
+                .set((self.lifetime_instr[i] + core.counters.retired) as f64);
+        }
+        self.mc.publish_metrics(registry, self.cycle);
     }
 
     /// Number of cores.
@@ -155,6 +181,11 @@ impl CmpSystem {
     }
 
     /// Advance one CPU cycle.
+    ///
+    /// Step accounting (`cmp_steps_total`) is batched by the run loops —
+    /// one counter add per [`run`](Self::run) / [`run_per_cycle`](Self::run_per_cycle)
+    /// call instead of one atomic per cycle; a direct `step()` call is not
+    /// individually counted.
     pub fn step(&mut self) {
         let now = self.cycle;
         self.mc.tick(now);
@@ -194,15 +225,23 @@ impl CmpSystem {
     /// contracts in the skip path hold the two bit-identical.
     pub fn run(&mut self, cycles: u64) {
         let end = self.cycle + cycles;
+        let mut stepped = 0u64;
+        let mut jumps = 0u64;
+        let mut skipped = 0u64;
         while self.cycle < end {
             if self.fast_forward {
                 if let Some(target) = self.skip_target(end) {
-                    self.fast_forward_to(target);
+                    skipped += self.fast_forward_to(target);
+                    jumps += 1;
                     continue;
                 }
             }
             self.step();
+            stepped += 1;
         }
+        obs_count!(self.obs, steps, stepped);
+        obs_count!(self.obs, ff_jumps, jumps);
+        obs_count!(self.obs, ff_skipped_cycles, skipped);
     }
 
     /// Run `cycles` CPU cycles strictly one [`step`](Self::step) at a time,
@@ -213,6 +252,7 @@ impl CmpSystem {
         while self.cycle < end {
             self.step();
         }
+        obs_count!(self.obs, steps, cycles);
     }
 
     /// If every core's next cycles are batchable at the current cycle, the
@@ -253,7 +293,9 @@ impl CmpSystem {
     /// compensation — idle-counter updates for blocked/waiting cores, bulk
     /// gap retirement for pure-gap cores. Debug contracts re-check the
     /// soundness conditions [`skip_target`](Self::skip_target) established.
-    fn fast_forward_to(&mut self, target: u64) {
+    /// Returns the number of cycles skipped (the caller batches jump
+    /// accounting into one counter add per [`run`](Self::run) call).
+    fn fast_forward_to(&mut self, target: u64) -> u64 {
         let delta = target - self.cycle;
         bwpart_core::invariant!(delta > 0, "fast-forward must move time");
         bwpart_core::invariant!(
@@ -270,6 +312,7 @@ impl CmpSystem {
             }
         }
         self.cycle = target;
+        delta
     }
 
     /// Snapshot lifetime counters (for windowed deltas).
@@ -532,6 +575,33 @@ mod tests {
             cap,
             "refill must not reallocate"
         );
+    }
+
+    #[test]
+    fn attached_observability_never_changes_results() {
+        let reg = bwpart_obs::Registry::new();
+        let mut observed = mk(3, 20);
+        observed.attach_obs(&reg);
+        observed.run(120_000);
+        let mut plain = mk(3, 20);
+        plain.run(120_000);
+        assert_eq!(digest(&observed), digest(&plain));
+        observed.publish_metrics(&reg);
+        let snap = reg.snapshot();
+        assert!(
+            snap.gauges.iter().any(|g| g.name == "cmp_cycle"),
+            "publish must export the cycle gauge"
+        );
+        if bwpart_obs::trace_enabled() {
+            // Fast-forward dominates a saturating mix: jumps + steps must
+            // together account for every simulated cycle.
+            let c = |n: &str| reg.counter(n).get();
+            assert_eq!(
+                c("cmp_steps_total") + c("cmp_ff_skipped_cycles_total"),
+                120_000
+            );
+            assert!(c("cmp_ff_jumps_total") > 0, "skip path never taken");
+        }
     }
 
     #[test]

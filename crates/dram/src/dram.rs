@@ -1,12 +1,14 @@
 //! The top-level DRAM system: address decoding, channel dispatch, and the
 //! transaction interface consumed by the memory controller.
 
+use bwpart_obs::obs_count;
 use serde::{Deserialize, Serialize};
 
 use crate::address::{AddressMapper, Location};
 use crate::bank::Timings;
 use crate::channel::{BlockReason, Channel, ChannelProbe};
 use crate::config::DramConfig;
+use crate::obs::DramObsHooks;
 use crate::stats::DramStats;
 
 /// One line-granular memory transaction presented by the controller.
@@ -45,6 +47,12 @@ pub struct DramSystem {
     mapper: AddressMapper,
     channels: Vec<Channel>,
     stats: DramStats,
+    /// Optional observability hooks (pre-resolved metric handles). Not
+    /// part of the simulated state: they serialize as `Null` (identical
+    /// to the detached form), are shared by clones, and are only ever
+    /// *written* through the zero-cost `obs_*!` macros, so attaching them
+    /// cannot change simulation outcomes.
+    obs: Option<Box<DramObsHooks>>,
 }
 
 impl DramSystem {
@@ -63,7 +71,23 @@ impl DramSystem {
             mapper,
             channels,
             stats,
+            obs: None,
         }
+    }
+
+    /// Attach observability hooks resolved against `registry`. Live
+    /// counting only happens in builds with the `bwpart-obs/trace`
+    /// feature; without it the hooks sit inert (the macros compile to
+    /// nothing).
+    pub fn attach_obs(&mut self, registry: &bwpart_obs::Registry) {
+        self.obs = Some(Box::new(DramObsHooks::resolve(registry)));
+    }
+
+    /// Publish derived DRAM gauges (bus/channel utilization, row-hit
+    /// rate, per-bank service) into `registry` over `elapsed` cycles.
+    /// Cold path: phase/epoch boundaries only.
+    pub fn publish_metrics(&self, registry: &bwpart_obs::Registry, elapsed: u64) {
+        crate::obs::publish(registry, &self.cfg, &self.stats, elapsed);
     }
 
     /// Size the per-application stats vectors (call once before simulating).
@@ -141,6 +165,11 @@ impl DramSystem {
             &probe,
         );
         let row_hit = probe.kind == crate::bank::AccessKind::RowHit;
+        match probe.kind {
+            crate::bank::AccessKind::RowHit => obs_count!(self.obs, row_hits),
+            crate::bank::AccessKind::RowMiss => obs_count!(self.obs, row_misses),
+            crate::bank::AccessKind::RowConflict => obs_count!(self.obs, row_conflicts),
+        }
         self.stats.record(
             txn.app,
             loc.flat_bank(&self.cfg),

@@ -50,9 +50,11 @@ pub mod bank;
 pub mod channel;
 pub mod config;
 pub mod dram;
+pub mod obs;
 pub mod stats;
 
 pub use address::{AddressMapper, Location, MappingScheme};
 pub use config::{DramConfig, PagePolicy, TimingNs};
 pub use dram::{Completion, DramSystem, MemTransaction};
+pub use obs::DramObsHooks;
 pub use stats::DramStats;

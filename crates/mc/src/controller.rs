@@ -5,11 +5,13 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use bwpart_obs::obs_count;
 use serde::{Deserialize, Serialize};
 
 use bwpart_dram::{Completion, DramConfig, DramSystem, MemTransaction};
 
 use crate::interference::InterferenceTracker;
+use crate::obs::McObsHooks;
 use crate::policy::{Candidate, Policy};
 use crate::queue::AppQueues;
 use crate::request::MemRequest;
@@ -94,6 +96,10 @@ pub struct MemoryController {
     /// pass, valid for the interference loop only while no request was
     /// issued in between (a stalled tick).
     blocker_buf: Vec<Option<usize>>,
+    /// Optional observability hooks (pre-resolved metric handles). Never
+    /// observable by the simulation: written only through the zero-cost
+    /// `obs_*!` macros, shared by clones.
+    obs: Option<Box<McObsHooks>>,
 }
 
 impl MemoryController {
@@ -117,7 +123,26 @@ impl MemoryController {
             cand_buf: Vec::with_capacity(apps),
             pos_buf: Vec::with_capacity(apps),
             blocker_buf: Vec::with_capacity(apps),
+            obs: None,
         }
+    }
+
+    /// Attach observability hooks (controller + DRAM system) resolved
+    /// against `registry`. Live counting only happens in builds with the
+    /// `bwpart-obs/trace` feature; otherwise the hooks sit inert.
+    pub fn attach_obs(&mut self, registry: &bwpart_obs::Registry) {
+        self.obs = Some(Box::new(McObsHooks::resolve(registry)));
+        self.dram.attach_obs(registry);
+    }
+
+    /// Publish derived controller + DRAM gauges into `registry` over
+    /// `elapsed` CPU cycles. Cold path: phase/epoch boundaries only.
+    pub fn publish_metrics(&self, registry: &bwpart_obs::Registry, elapsed: u64) {
+        let queue_lens: Vec<usize> = (0..self.queues.apps())
+            .map(|a| self.queues.len(a))
+            .collect();
+        crate::obs::publish(registry, &self.stats, self.interference.all(), &queue_lens);
+        self.dram.publish_metrics(registry, elapsed);
     }
 
     /// Override the per-application scheduling-window depth (1 = strict
@@ -276,6 +301,10 @@ impl MemoryController {
                 is_write: req.is_write,
             };
             let completion = self.dram.issue(&txn, now);
+            obs_count!(self.obs, issued);
+            if self.pos_buf[idx] > 0 {
+                obs_count!(self.obs, window_bypass);
+            }
             self.policy.on_served(app);
             self.stats.served[app] += 1;
             self.stats.latency_sum[app] += completion.done_cycle.saturating_sub(req.arrival);
@@ -300,6 +329,7 @@ impl MemoryController {
                 // another application's request.
                 if served.is_some() {
                     self.interference.charge(c.app, self.tck);
+                    obs_count!(self.obs, interference_charges);
                 }
             } else {
                 // Blocked by a DRAM resource: charge only if that resource
@@ -321,6 +351,7 @@ impl MemoryController {
                 };
                 if blocker.is_some() {
                     self.interference.charge(c.app, self.tck);
+                    obs_count!(self.obs, interference_charges);
                 }
             }
         }

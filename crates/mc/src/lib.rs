@@ -28,12 +28,14 @@
 
 pub mod controller;
 pub mod interference;
+pub mod obs;
 pub mod policy;
 pub mod profiler;
 pub mod queue;
 pub mod request;
 
 pub use controller::{McStats, MemoryController};
+pub use obs::McObsHooks;
 pub use policy::{Policy, PolicyKind};
 pub use profiler::{ApcProfiler, DeltaAccumulator, ProfileSnapshot, TelemetryDelta};
 pub use request::MemRequest;

@@ -1,0 +1,334 @@
+//! The event tracer: a bounded ring buffer of trace events plus a Chrome
+//! trace-event JSON exporter (loadable in `chrome://tracing` and Perfetto).
+//!
+//! Two timestamp domains coexist:
+//!
+//! * **Cycle domain** — deterministic simulation events recorded with an
+//!   explicit timestamp ([`Tracer::complete_at`], [`Tracer::instant_at`],
+//!   [`Tracer::counter_at`]). One simulated cycle is exported as one
+//!   microsecond on the viewer timeline, so exports are bit-reproducible
+//!   across runs (the golden-file test relies on this).
+//! * **Wall-clock domain** — RAII spans ([`Tracer::span`], usually via the
+//!   `obs_span!` macro) measured with [`std::time::Instant`] relative to
+//!   tracer creation, for profiling the host-side cost of cold paths.
+//!
+//! The ring is bounded: once `capacity` events are held, each push evicts
+//! the oldest event and bumps [`Tracer::dropped`] — tracing can never grow
+//! memory without bound, matching the "observability must not change the
+//! system" rule the rest of the subsystem follows.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Chrome trace-event phase of a [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventPhase {
+    /// A complete event (`"ph":"X"`): a named interval with a duration.
+    Complete,
+    /// An instant event (`"ph":"i"`, thread-scoped).
+    Instant,
+    /// A counter event (`"ph":"C"`): a named sampled value, rendered by
+    /// the viewers as a stacked time-series track.
+    Counter,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (track label in the viewer).
+    pub name: String,
+    /// Phase (complete / instant / counter).
+    pub ph: EventPhase,
+    /// Timestamp in viewer microseconds (simulation events: cycles).
+    pub ts: u64,
+    /// Duration in viewer microseconds (complete events only).
+    pub dur: u64,
+    /// Thread/track id (simulation events: app or channel index).
+    pub tid: u64,
+    /// Sampled value (counter events only).
+    pub value: Option<f64>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// The bounded event tracer. Cloning shares the ring, so one tracer can
+/// collect events from many components.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    ring: Arc<Mutex<Ring>>,
+    epoch: Instant,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(65_536)
+    }
+}
+
+impl Tracer {
+    /// A tracer holding at most `capacity` events (oldest evicted first).
+    /// A zero capacity is bumped to 1 so pushes stay well-defined.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Tracer {
+            ring: Arc::new(Mutex::new(Ring {
+                events: VecDeque::with_capacity(capacity.min(4096)),
+                capacity,
+                dropped: 0,
+            })),
+            epoch: Instant::now(),
+        }
+    }
+
+    fn ring(&self) -> MutexGuard<'_, Ring> {
+        // A poisoned ring means a panic mid-push elsewhere; the deque is
+        // still structurally sound, so keep tracing.
+        self.ring
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        let mut r = self.ring();
+        if r.events.len() >= r.capacity {
+            r.events.pop_front();
+            r.dropped += 1;
+        }
+        r.events.push_back(ev);
+    }
+
+    /// Record a complete event (`"X"`) with explicit cycle-domain
+    /// timestamps: `[ts, ts + dur)`.
+    pub fn complete_at(&self, name: &str, tid: u64, ts: u64, dur: u64) {
+        self.push(TraceEvent {
+            name: name.to_string(),
+            ph: EventPhase::Complete,
+            ts,
+            dur,
+            tid,
+            value: None,
+        });
+    }
+
+    /// Record an instant event (`"i"`) at an explicit cycle timestamp.
+    pub fn instant_at(&self, name: &str, tid: u64, ts: u64) {
+        self.push(TraceEvent {
+            name: name.to_string(),
+            ph: EventPhase::Instant,
+            ts,
+            dur: 0,
+            tid,
+            value: None,
+        });
+    }
+
+    /// Record a counter sample (`"C"`) at an explicit cycle timestamp —
+    /// the per-app share time-series tracks are built from these.
+    pub fn counter_at(&self, name: &str, tid: u64, ts: u64, value: f64) {
+        self.push(TraceEvent {
+            name: name.to_string(),
+            ph: EventPhase::Counter,
+            ts,
+            dur: 0,
+            tid,
+            value: Some(value),
+        });
+    }
+
+    /// Start a wall-clock span; the interval is recorded when the guard
+    /// drops. Usually invoked through `obs_span!` so it compiles away
+    /// without the `trace` feature.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        SpanGuard {
+            tracer: self,
+            name: name.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Events currently held (dropped events excluded).
+    pub fn len(&self) -> usize {
+        self.ring().events.len()
+    }
+
+    /// True when no event is held.
+    pub fn is_empty(&self) -> bool {
+        self.ring().events.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring().dropped
+    }
+
+    /// Copy out the held events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring().events.iter().cloned().collect()
+    }
+
+    /// Export the held events as Chrome trace-event JSON (the
+    /// `{"traceEvents": [...]}` object form both `chrome://tracing` and
+    /// Perfetto accept). Deterministic given deterministic events.
+    pub fn export_chrome_json(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(64 + events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            escape_json_into(&ev.name, &mut out);
+            out.push_str("\",\"ph\":\"");
+            out.push_str(match ev.ph {
+                EventPhase::Complete => "X",
+                EventPhase::Instant => "i",
+                EventPhase::Counter => "C",
+            });
+            out.push_str("\",\"ts\":");
+            out.push_str(&ev.ts.to_string());
+            if ev.ph == EventPhase::Complete {
+                out.push_str(",\"dur\":");
+                out.push_str(&ev.dur.to_string());
+            }
+            out.push_str(",\"pid\":1,\"tid\":");
+            out.push_str(&ev.tid.to_string());
+            match ev.ph {
+                EventPhase::Instant => out.push_str(",\"s\":\"t\""),
+                EventPhase::Counter => {
+                    let v = ev.value.unwrap_or(0.0);
+                    let v = if v.is_finite() { v } else { 0.0 };
+                    out.push_str(",\"args\":{\"value\":");
+                    out.push_str(&format!("{v}"));
+                    out.push('}');
+                }
+                EventPhase::Complete => {}
+            }
+            out.push('}');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    fn elapsed_us(&self) -> u64 {
+        // Saturating cast: a span outliving 2^64 µs is not a real case.
+        self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+}
+
+/// RAII wall-clock span: records a complete event on drop, timed from the
+/// owning tracer's creation instant.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    name: String,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let end = self.tracer.elapsed_us();
+        let dur = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.tracer.push(TraceEvent {
+            name: std::mem::take(&mut self.name),
+            ph: EventPhase::Complete,
+            ts: end.saturating_sub(dur),
+            dur,
+            tid: 0,
+            value: None,
+        });
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape_json_into(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_bounds_and_drops_oldest() {
+        let t = Tracer::new(3);
+        for i in 0..5u64 {
+            t.instant_at("e", 0, i);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let ts: Vec<u64> = t.events().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![2, 3, 4], "oldest evicted first");
+    }
+
+    #[test]
+    fn cycle_domain_events_are_deterministic() {
+        let mk = || {
+            let t = Tracer::new(16);
+            t.complete_at("epoch", 0, 100, 50);
+            t.counter_at("share[0]", 0, 100, 0.25);
+            t.instant_at("repartition", 1, 150);
+            t.export_chrome_json()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn export_shape_contains_required_fields() {
+        let t = Tracer::new(8);
+        t.complete_at("win\"dow", 2, 10, 5);
+        t.counter_at("q", 1, 11, 3.5);
+        t.instant_at("mark", 0, 12);
+        let json = t.export_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":5"));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"value\":3.5}"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\\\"dow"), "name escaped: {json}");
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let t = Tracer::new(8);
+        {
+            let _g = t.span("cold-path");
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "cold-path");
+        assert_eq!(evs[0].ph, EventPhase::Complete);
+    }
+
+    #[test]
+    fn clone_shares_the_ring() {
+        let a = Tracer::new(8);
+        let b = a.clone();
+        b.instant_at("x", 0, 1);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn non_finite_counter_values_export_as_zero() {
+        let t = Tracer::new(4);
+        t.counter_at("bad", 0, 1, f64::NAN);
+        assert!(t.export_chrome_json().contains("\"value\":0"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Golden-file test for the Chrome trace-event exporter: a fixed set of
+//! cycle-domain events must serialize byte-for-byte to the checked-in
+//! `golden/chrome_trace.json`, and the export must satisfy the trace-event
+//! schema both `chrome://tracing` and Perfetto require.
+//!
+//! Only the `*_at` (explicit-timestamp) recorders appear here — wall-clock
+//! spans are nondeterministic by construction and have their own unit
+//! tests in `trace.rs`.
+
+use bwpart_obs::Tracer;
+
+const GOLDEN: &str = include_str!("golden/chrome_trace.json");
+
+/// The fixture timeline: one epoch window per app, a phase-boundary
+/// instant, and two share counter samples — the event mix `bwpart trace`
+/// emits, at fixed cycle timestamps.
+fn fixture_tracer() -> Tracer {
+    let t = Tracer::new(16);
+    t.complete_at("epoch", 0, 100, 50);
+    t.complete_at("ff_jump", 1, 160, 40);
+    t.instant_at("profile_end", 0, 200);
+    t.counter_at("share", 2, 200, 0.25);
+    t.counter_at("share", 3, 200, 0.75);
+    t
+}
+
+#[test]
+fn export_matches_golden_file_exactly() {
+    let json = fixture_tracer().export_chrome_json();
+    assert_eq!(
+        json,
+        GOLDEN.trim_end(),
+        "Chrome-trace export drifted from tests/golden/chrome_trace.json; \
+         viewers parse this format, so update the golden only for a \
+         deliberate, viewer-verified format change"
+    );
+}
+
+#[test]
+fn export_satisfies_trace_event_schema() {
+    let json = fixture_tracer().export_chrome_json();
+    let v = serde_json::from_str::<serde_json::Value>(&json).expect("export must be valid JSON");
+
+    let events = v
+        .get("traceEvents")
+        .and_then(serde_json::Value::as_array)
+        .expect("top-level traceEvents array");
+    assert_eq!(events.len(), 5);
+    assert_eq!(
+        v.get("displayTimeUnit").and_then(serde_json::Value::as_str),
+        Some("ms")
+    );
+
+    for ev in events {
+        let name = ev.get("name").and_then(serde_json::Value::as_str);
+        assert!(name.is_some_and(|n| !n.is_empty()), "named event: {ev:?}");
+        let ph = ev
+            .get("ph")
+            .and_then(serde_json::Value::as_str)
+            .expect("phase");
+        assert!(ev.get("ts").and_then(serde_json::Value::as_u64).is_some());
+        assert_eq!(ev.get("pid").and_then(serde_json::Value::as_u64), Some(1));
+        assert!(ev.get("tid").and_then(serde_json::Value::as_u64).is_some());
+        match ph {
+            // Complete events carry a duration.
+            "X" => {
+                assert!(
+                    ev.get("dur").and_then(serde_json::Value::as_u64).is_some(),
+                    "X event needs dur: {ev:?}"
+                );
+            }
+            // Thread-scoped instants.
+            "i" => {
+                assert_eq!(ev.get("s").and_then(serde_json::Value::as_str), Some("t"));
+            }
+            // Counter tracks carry a numeric args.value.
+            "C" => {
+                let value = ev
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(serde_json::Value::as_f64);
+                assert!(value.is_some(), "C event needs args.value: {ev:?}");
+            }
+            other => panic!("unexpected phase {other:?} in {ev:?}"),
+        }
+    }
+}
+
+#[test]
+fn golden_round_trips_through_the_ring() {
+    // Reading the events back and re-exporting is a fixed point — the
+    // ring stores exactly what the exporter serializes.
+    let t = fixture_tracer();
+    let copy = Tracer::new(16);
+    for ev in t.events() {
+        match ev.ph {
+            bwpart_obs::EventPhase::Complete => copy.complete_at(&ev.name, ev.tid, ev.ts, ev.dur),
+            bwpart_obs::EventPhase::Instant => copy.instant_at(&ev.name, ev.tid, ev.ts),
+            bwpart_obs::EventPhase::Counter => {
+                copy.counter_at(&ev.name, ev.tid, ev.ts, ev.value.unwrap_or(0.0));
+            }
+        }
+    }
+    assert_eq!(copy.export_chrome_json(), GOLDEN.trim_end());
+}

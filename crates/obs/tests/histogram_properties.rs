@@ -1,0 +1,110 @@
+//! Property-based tests for the log-bucketed histogram: bucketing is
+//! total and self-consistent over the entire `f64` bit space, and the
+//! bucket-upper-bound quantile estimator stays within its advertised
+//! ≤ 25% relative-error envelope for values in the resolved range.
+//!
+//! Pure arithmetic plus relaxed atomics — no clocks, no threads — so the
+//! whole file runs under miri alongside the registry unit tests.
+
+// Strategy helpers run outside #[test] functions, so the tests exemption
+// does not reach them; unwraps on generator-validated data are fine.
+#![allow(clippy::unwrap_used)]
+
+use bwpart_obs::{bucket_index, bucket_lower, bucket_upper, Histogram, HIST_BUCKETS};
+use proptest::prelude::*;
+
+/// Strategy: any f64 bit pattern — normals, subnormals, zeros, infinities
+/// and NaNs all included.
+fn arb_bits() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+/// Strategy: finite positive values comfortably inside the resolved
+/// octave range, where the ≤ 25% bucket-width guarantee applies.
+fn arb_resolved() -> impl Strategy<Value = f64> {
+    1e-9f64..1e12
+}
+
+proptest! {
+    /// Every f64 maps to a valid bucket, and resolved-range values land in
+    /// a bucket whose bounds actually contain them.
+    #[test]
+    fn bucket_index_is_total_and_containing(v in arb_bits()) {
+        let i = bucket_index(v);
+        prop_assert!(i < HIST_BUCKETS);
+        if v.is_finite() && v > 0.0 && i > 0 && i < HIST_BUCKETS - 1 {
+            prop_assert!(bucket_lower(i) <= v, "v={v} below bucket {i}");
+            prop_assert!(v < bucket_upper(i), "v={v} above bucket {i}");
+        }
+        if v.is_nan() || v <= 0.0 {
+            prop_assert_eq!(i, 0, "non-positive/NaN must underflow");
+        }
+    }
+
+    /// Bucketing preserves order: a larger value never lands in an
+    /// earlier bucket.
+    #[test]
+    fn bucket_index_is_monotone(a in arb_resolved(), b in arb_resolved()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi), "lo={lo} hi={hi}");
+    }
+
+    /// Recording never loses observations, quantiles are monotone in `q`,
+    /// and every quantile estimate brackets the sample range with the
+    /// documented one-bucket (≤ 25%) slack.
+    #[test]
+    fn quantiles_bracket_the_sample(values in prop::collection::vec(arb_resolved(), 1..64)) {
+        let h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(0.0f64, f64::max);
+        let qs = [0.0, 0.25, 0.5, 0.95, 0.99, 1.0];
+        let mut prev = 0.0f64;
+        for &q in &qs {
+            let est = h.quantile(q);
+            prop_assert!(est >= prev, "quantile not monotone at q={q}");
+            // The estimator returns the upper bound of the bucket holding
+            // the order statistic: strictly above the smallest sample and
+            // at most one bucket width (25%) above the largest.
+            prop_assert!(est > min * (1.0 - 1e-12), "q={q} est={est} min={min}");
+            prop_assert!(est <= max * 1.25 * (1.0 + 1e-12), "q={q} est={est} max={max}");
+            prev = est;
+        }
+    }
+
+    /// The milli-unit sum accumulator tracks the exact sum to within the
+    /// rounding budget (0.5 milli-units per observation).
+    #[test]
+    fn sum_tracks_exact_within_rounding(values in prop::collection::vec(0.001f64..1e6, 0..64)) {
+        let h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let exact: f64 = values.iter().sum();
+        let budget = 0.0005 * values.len() as f64 + exact * 1e-9 + 1e-9;
+        prop_assert!(
+            (h.sum() - exact).abs() <= budget,
+            "sum={} exact={exact} budget={budget}",
+            h.sum()
+        );
+    }
+
+    /// Recording arbitrary bit patterns (NaN, ±inf, negatives, subnormals)
+    /// never panics, never misses the count, and keeps the sum finite.
+    #[test]
+    fn record_is_total_over_all_bit_patterns(values in prop::collection::vec(arb_bits(), 0..64)) {
+        let h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert!(h.sum().is_finite());
+        // Overflow resolves to the finite bucket lower bound (2^64), so the
+        // estimator never leaks an infinity regardless of input.
+        prop_assert!(h.quantile(0.5).is_finite());
+    }
+}

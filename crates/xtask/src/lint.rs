@@ -45,9 +45,17 @@
 //!   block above, and every file containing unsafe code must be
 //!   registered with a matching site count in `UNSAFE_AUDIT.md`.
 //!
+//! * **R9** — in the simulator's hot crates (`crates/dram`, `crates/mc`),
+//!   the per-cycle/per-tick functions (`tick`, `step`, `issue`, ...) may
+//!   touch metrics only through the zero-cost `obs_*!` macros over hooks
+//!   pre-resolved at attach time: direct registry calls (`.counter(...)`,
+//!   `.gauge(...)`, `.histogram(...)`) resolve names per event and are
+//!   banned there. Cold paths (attach, publish) are exempt.
+//!
 //! Rules R1–R5 run over `crates/*/src`; R6 and R8 run over both
 //! `crates/*/src` and `vendor/rayon/src`; R7's `static mut` ban runs
-//! everywhere and its shim-only part runs over `vendor/rayon/src`.
+//! everywhere and its shim-only part runs over `vendor/rayon/src`; R9
+//! runs over `crates/dram/src` and `crates/mc/src` only.
 
 use std::fmt;
 use std::fs;
@@ -77,6 +85,11 @@ pub enum Rule {
     /// `unsafe` sites need `// SAFETY:` comments and an `UNSAFE_AUDIT.md`
     /// inventory entry.
     R8,
+    /// Simulator hot loops (`crates/dram`, `crates/mc`) must not resolve
+    /// metrics inline: no direct registry calls inside per-cycle/per-tick
+    /// functions — pre-resolve handles at attach time and touch them
+    /// through the `obs_*!` macros.
+    R9,
 }
 
 impl Rule {
@@ -91,6 +104,7 @@ impl Rule {
             Rule::R6 => "R6",
             Rule::R7 => "R7",
             Rule::R8 => "R8",
+            Rule::R9 => "R9",
         }
     }
 
@@ -120,11 +134,16 @@ impl Rule {
                 "unsafe sites need a // SAFETY: comment and a matching entry in \
                          the UNSAFE_AUDIT.md inventory"
             }
+            Rule::R9 => {
+                "simulator hot loops (crates/dram, crates/mc per-cycle/per-tick \
+                         functions) must use the obs_*! macros over pre-resolved hooks, \
+                         never direct registry .counter()/.gauge()/.histogram() calls"
+            }
         }
     }
 
     /// All rules, report order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 9] = [
         Rule::R1,
         Rule::R2,
         Rule::R3,
@@ -133,6 +152,7 @@ impl Rule {
         Rule::R6,
         Rule::R7,
         Rule::R8,
+        Rule::R9,
     ];
 }
 
@@ -832,6 +852,7 @@ pub fn lint_source(
     src: &str,
     is_share_producer: bool,
     is_experiments: bool,
+    is_hot_sim: bool,
 ) -> Vec<Violation> {
     let prepared = prepare(src);
     let mut out = Vec::new();
@@ -852,6 +873,9 @@ pub fn lint_source(
     }
     if is_share_producer {
         scan_r3(file, &prepared, &mut out);
+    }
+    if is_hot_sim {
+        scan_r9(file, &prepared, &mut out);
     }
     out.sort_by_key(|v| v.line);
     out
@@ -1122,6 +1146,128 @@ fn scan_r3(file: &str, prepared: &Prepared, out: &mut Vec<Violation>) {
     }
 }
 
+/// Per-cycle/per-tick functions R9 inspects in the simulator's hot crates.
+const R9_HOT_FNS: [&str; 7] = [
+    "tick",
+    "step",
+    "issue",
+    "issuable_at",
+    "probe",
+    "enqueue",
+    "pop_completion",
+];
+
+/// Registry-resolving calls banned inside those functions: each performs a
+/// by-name lookup (hashing, locking) per event instead of touching a
+/// pre-resolved handle.
+const R9_DIRECT_CALLS: [&str; 3] = [".counter(", ".gauge(", ".histogram("];
+
+fn scan_r9(file: &str, prepared: &Prepared, out: &mut Vec<Violation>) {
+    let code = &prepared.code;
+    let bytes = code.as_bytes();
+    let len = bytes.len();
+    let line_of = |pos: usize| code[..pos].matches('\n').count();
+
+    let mut search = 0usize;
+    while let Some(rel) = code[search..].find("fn") {
+        let fn_pos = search + rel;
+        search = fn_pos + 2;
+        let before_ok = fn_pos == 0 || !is_ident_byte(bytes[fn_pos - 1]);
+        let after_ok = fn_pos + 2 >= len || !is_ident_byte(bytes[fn_pos + 2]);
+        if !(before_ok && after_ok) {
+            continue;
+        }
+        let mut i = fn_pos + 2;
+        while i < len && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < len && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        if !R9_HOT_FNS.contains(&&code[name_start..i]) {
+            continue;
+        }
+        let fn_name = code[name_start..i].to_string();
+        if prepared
+            .test_line
+            .get(line_of(fn_pos))
+            .copied()
+            .unwrap_or(false)
+        {
+            continue;
+        }
+        // Scan to the body `{` (or `;` for a bodiless decl), tracking
+        // angle/paren/bracket depth and skipping `->` arrows.
+        let mut angle = 0isize;
+        let mut paren = 0isize;
+        let mut body_open: Option<usize> = None;
+        while i < len {
+            match bytes[i] {
+                b'-' if i + 1 < len && bytes[i + 1] == b'>' => {
+                    i += 2;
+                    continue;
+                }
+                b'<' => angle += 1,
+                b'>' => angle -= 1,
+                b'(' | b'[' => paren += 1,
+                b')' | b']' => paren -= 1,
+                b'{' if angle <= 0 && paren == 0 => {
+                    body_open = Some(i);
+                    break;
+                }
+                b';' if angle <= 0 && paren == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        let Some(body_open) = body_open else {
+            continue;
+        };
+        // Brace-match the body, then flag every direct registry call in it.
+        let mut depth = 0usize;
+        let mut j = body_open;
+        let mut body_end = len;
+        while j < len {
+            match bytes[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        body_end = j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let body = &code[body_open..body_end.min(len)];
+        for call in R9_DIRECT_CALLS {
+            let mut from = 0usize;
+            while let Some(rel) = body[from..].find(call) {
+                let pos = body_open + from + rel;
+                from += rel + call.len();
+                let line = line_of(pos);
+                if allowed(prepared, line, Rule::R9) {
+                    continue;
+                }
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: line + 1,
+                    rule: Rule::R9,
+                    message: format!(
+                        "direct registry `{call}...)` call inside hot fn `{fn_name}`: \
+                         pre-resolve the handle at attach time and touch it through \
+                         the obs_*! macros (or annotate `// lint: allow(R9): <reason>`)"
+                    ),
+                });
+            }
+        }
+        search = i.max(search);
+    }
+}
+
 /// Collect `.rs` files under `dir`, recursively.
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
@@ -1161,8 +1307,15 @@ pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
         let is_share_producer =
             unix_rel.starts_with("crates/core/") || unix_rel.starts_with("crates/bwpartd/");
         let is_experiments = unix_rel.starts_with("crates/experiments/");
+        let is_hot_sim = unix_rel.starts_with("crates/dram/") || unix_rel.starts_with("crates/mc/");
         let src = fs::read_to_string(&path)?;
-        out.extend(lint_source(&rel, &src, is_share_producer, is_experiments));
+        out.extend(lint_source(
+            &rel,
+            &src,
+            is_share_producer,
+            is_experiments,
+            is_hot_sim,
+        ));
         let sites = count_unsafe_sites(&src);
         if sites > 0 {
             unsafe_counts.push((unix_rel, sites));
@@ -1215,7 +1368,7 @@ pub fn f(x: Option<u32>) -> u32 {
     y
 }
 "#;
-        let vs = lint_source("fixture.rs", src, false, false);
+        let vs = lint_source("fixture.rs", src, false, false, false);
         assert_eq!(codes(&vs), vec!["R1", "R1"]);
         assert_eq!(vs[0].line, 3);
         assert_eq!(vs[1].line, 4);
@@ -1231,7 +1384,7 @@ pub fn f(x: Option<u32>) -> u32 {
     y + z + x.unwrap_or_else(|| 9)
 }
 "#;
-        assert!(lint_source("fixture.rs", src, false, false).is_empty());
+        assert!(lint_source("fixture.rs", src, false, false, false).is_empty());
     }
 
     #[test]
@@ -1250,7 +1403,7 @@ mod tests {
     }
 }
 "#;
-        assert!(lint_source("fixture.rs", src, false, false).is_empty());
+        assert!(lint_source("fixture.rs", src, false, false, false).is_empty());
     }
 
     #[test]
@@ -1261,7 +1414,7 @@ pub fn f(a: f64, b: f64) -> bool {
     a == 0.5 || b != 1e-9
 }
 "#;
-        let vs = lint_source("fixture.rs", src, false, false);
+        let vs = lint_source("fixture.rs", src, false, false, false);
         assert_eq!(codes(&vs), vec!["R2", "R2", "R2"]);
     }
 
@@ -1273,7 +1426,7 @@ pub fn partial_cmp_like(a: f64, b: f64, n: usize) -> bool {
     n == 3 && a <= 0.5 && b >= 1.0
 }
 "#;
-        assert!(lint_source("fixture.rs", src, false, false).is_empty());
+        assert!(lint_source("fixture.rs", src, false, false, false).is_empty());
     }
 
     #[test]
@@ -1283,11 +1436,11 @@ pub fn shares(n: usize) -> Vec<f64> {
     vec![1.0 / n as f64; n]
 }
 "#;
-        let vs = lint_source("core.rs", bad, true, false);
+        let vs = lint_source("core.rs", bad, true, false, false);
         assert_eq!(codes(&vs), vec!["R3"]);
         assert!(vs[0].message.contains("shares"));
         // The same file is fine outside bwpart-core...
-        assert!(lint_source("other.rs", bad, false, false).is_empty());
+        assert!(lint_source("other.rs", bad, false, false, false).is_empty());
         // ...and fine once the output is certified.
         let good = r#"
 pub fn shares(n: usize) -> Vec<f64> {
@@ -1296,7 +1449,7 @@ pub fn shares(n: usize) -> Vec<f64> {
     beta
 }
 "#;
-        assert!(lint_source("core.rs", good, true, false).is_empty());
+        assert!(lint_source("core.rs", good, true, false, false).is_empty());
     }
 
     #[test]
@@ -1310,7 +1463,7 @@ pub fn epoch_shares(n: usize) -> Vec<f64> {
     vec![1.0 / n as f64; n]
 }
 "#;
-        let vs = lint_source("crates/bwpartd/src/engine.rs", bad, true, false);
+        let vs = lint_source("crates/bwpartd/src/engine.rs", bad, true, false, false);
         assert_eq!(codes(&vs), vec!["R3"]);
         let good = r#"
 pub fn epoch_shares(n: usize) -> Vec<f64> {
@@ -1319,7 +1472,7 @@ pub fn epoch_shares(n: usize) -> Vec<f64> {
     beta
 }
 "#;
-        assert!(lint_source("crates/bwpartd/src/engine.rs", good, true, false).is_empty());
+        assert!(lint_source("crates/bwpartd/src/engine.rs", good, true, false, false).is_empty());
     }
 
     #[test]
@@ -1329,18 +1482,18 @@ pub fn allocation(b: f64) -> Result<Vec<f64>, ModelError> {
     Ok(vec![b])
 }
 "#;
-        let vs = lint_source("core.rs", src, true, false);
+        let vs = lint_source("core.rs", src, true, false, false);
         assert_eq!(codes(&vs), vec!["R3"]);
     }
 
     #[test]
     fn r4_requires_justification() {
         let bad = "#[allow(clippy::too_many_arguments)]\npub fn f() {}\n";
-        let vs = lint_source("fixture.rs", bad, false, false);
+        let vs = lint_source("fixture.rs", bad, false, false, false);
         assert_eq!(codes(&vs), vec!["R4"]);
         let good = "// the signature mirrors the paper's Eq. 7 terms\n\
                     #[allow(clippy::too_many_arguments)]\npub fn f() {}\n";
-        assert!(lint_source("fixture.rs", good, false, false).is_empty());
+        assert!(lint_source("fixture.rs", good, false, false, false).is_empty());
     }
 
     #[test]
@@ -1352,12 +1505,12 @@ pub fn measure(sys: &mut CmpSystem) {
     }
 }
 "#;
-        let vs = lint_source("experiments.rs", src, false, true);
+        let vs = lint_source("experiments.rs", src, false, true, false);
         assert_eq!(codes(&vs), vec!["R5"]);
         assert_eq!(vs[0].line, 4);
         // The same code is fine outside bwpart-experiments (e.g. the cmp
         // crate's own per-cycle reference implementation).
-        assert!(lint_source("cmp.rs", src, false, false).is_empty());
+        assert!(lint_source("cmp.rs", src, false, false, false).is_empty());
     }
 
     #[test]
@@ -1380,7 +1533,7 @@ mod tests {
     }
 }
 "#;
-        assert!(lint_source("experiments.rs", src, false, true).is_empty());
+        assert!(lint_source("experiments.rs", src, false, true, false).is_empty());
     }
 
     #[test]
@@ -1392,7 +1545,7 @@ pub fn f() -> &'static str {
     r#"raw with .unwrap() and == 1.0"#
 }
 "##;
-        assert!(lint_source("fixture.rs", src, false, false).is_empty());
+        assert!(lint_source("fixture.rs", src, false, false, false).is_empty());
     }
 
     #[test]
@@ -1403,7 +1556,7 @@ pub fn f(c: &AtomicUsize) -> usize {
     c.load(Ordering::Relaxed)
 }
 ";
-        let vs = lint_source("fixture.rs", src, false, false);
+        let vs = lint_source("fixture.rs", src, false, false, false);
         assert_eq!(codes(&vs), vec!["R6", "R6"]);
         assert_eq!(vs[0].line, 3);
         assert_eq!(vs[1].line, 4);
@@ -1421,7 +1574,7 @@ pub fn f(c: &AtomicUsize) -> usize {
     c.load(Ordering::Relaxed)
 }
 ";
-        assert!(lint_source("fixture.rs", src, false, false).is_empty());
+        assert!(lint_source("fixture.rs", src, false, false, false).is_empty());
     }
 
     #[test]
@@ -1435,7 +1588,7 @@ pub fn f(relaxed: bool) -> &'static str {
 }
 "#;
         // lint: allow(R7) not needed: fixture has no static mut.
-        let vs = lint_source("fixture.rs", src, false, false);
+        let vs = lint_source("fixture.rs", src, false, false, false);
         assert!(vs.is_empty(), "unexpected: {vs:?}");
     }
 
@@ -1445,12 +1598,12 @@ pub fn f(relaxed: bool) -> &'static str {
 static mut COUNTER: usize = 0;
 pub fn f() {}
 ";
-        let vs = lint_source("fixture.rs", src, false, false);
+        let vs = lint_source("fixture.rs", src, false, false, false);
         assert_eq!(codes(&vs), vec!["R7"]);
         assert_eq!(vs[0].line, 2);
         // Immutable statics are fine.
         let ok = "static COUNTER: AtomicUsize = AtomicUsize::new(0);\n";
-        assert!(lint_source("fixture.rs", ok, false, false).is_empty());
+        assert!(lint_source("fixture.rs", ok, false, false, false).is_empty());
     }
 
     #[test]
@@ -1477,7 +1630,7 @@ pub fn f(p: *const u32) -> u32 {
     unsafe { *p }
 }
 ";
-        let vs = lint_source("fixture.rs", bad, false, false);
+        let vs = lint_source("fixture.rs", bad, false, false, false);
         assert_eq!(codes(&vs), vec!["R8"]);
         assert_eq!(vs[0].line, 3);
         let good = r"
@@ -1487,7 +1640,7 @@ pub fn f(p: *const u32) -> u32 {
     unsafe { *p }
 }
 ";
-        assert!(lint_source("fixture.rs", good, false, false).is_empty());
+        assert!(lint_source("fixture.rs", good, false, false, false).is_empty());
     }
 
     #[test]
@@ -1498,8 +1651,55 @@ pub fn f(p: *const u32) -> u32 {
 
 pub unsafe fn f() {}
 ";
-        let vs = lint_source("fixture.rs", src, false, false);
+        let vs = lint_source("fixture.rs", src, false, false, false);
         assert_eq!(codes(&vs), vec!["R8"]);
+    }
+
+    #[test]
+    fn r9_flags_direct_registry_calls_in_hot_fns() {
+        let src = r#"
+impl Controller {
+    pub fn tick(&mut self, registry: &Registry) {
+        registry.counter("mc_ticks_total").inc();
+    }
+}
+"#;
+        let vs = lint_source("crates/mc/src/controller.rs", src, false, false, true);
+        assert_eq!(codes(&vs), vec!["R9"]);
+        assert_eq!(vs[0].line, 4);
+        assert!(vs[0].message.contains("tick"));
+    }
+
+    #[test]
+    fn r9_only_applies_to_hot_sim_trees_and_hot_fns() {
+        let src = r#"
+pub fn tick(registry: &Registry) {
+    registry.gauge("x").set(1.0);
+}
+pub fn publish(registry: &Registry) {
+    registry.gauge("cold_path_is_fine").set(1.0);
+}
+"#;
+        // Same source outside crates/dram / crates/mc: not scanned.
+        assert!(lint_source("crates/cmp/src/system.rs", src, false, false, false).is_empty());
+        // Inside a hot tree, only the hot fn trips; `publish` is cold.
+        let vs = lint_source("crates/dram/src/dram.rs", src, false, false, true);
+        assert_eq!(codes(&vs), vec!["R9"]);
+        assert!(vs[0].message.contains("tick"));
+    }
+
+    #[test]
+    fn r9_allow_marker_and_macro_use_are_clean() {
+        let src = r#"
+pub fn issue(&mut self) {
+    obs_count!(self.obs, row_hits);
+}
+pub fn step(&mut self, registry: &Registry) {
+    // lint: allow(R9): one-shot lazy init outside the steady-state loop
+    registry.counter("init_total").inc();
+}
+"#;
+        assert!(lint_source("crates/dram/src/dram.rs", src, false, false, true).is_empty());
     }
 
     #[test]
@@ -1573,7 +1773,7 @@ pub fn g(x: Option<u32>) -> u32 {
     x.unwrap()
 }
 ";
-        assert!(lint_source("fixture.rs", src, false, false).is_empty());
+        assert!(lint_source("fixture.rs", src, false, false, false).is_empty());
     }
 
     #[test]
@@ -1585,7 +1785,7 @@ pub fn f(x: Option<u32>) -> u32 {
     x.unwrap()
 }
 ";
-        assert!(lint_source("fixture.rs", src, false, false).is_empty());
+        assert!(lint_source("fixture.rs", src, false, false, false).is_empty());
     }
 
     #[test]
@@ -1595,7 +1795,7 @@ pub fn f<'a>(x: &'a Option<u32>) -> u32 {
     x.unwrap()
 }
 ";
-        let vs = lint_source("fixture.rs", src, false, false);
+        let vs = lint_source("fixture.rs", src, false, false, false);
         assert_eq!(codes(&vs), vec!["R1"]);
         assert_eq!(vs[0].line, 3);
     }

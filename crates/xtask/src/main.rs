@@ -75,7 +75,7 @@ fn run_lint(args: &[String]) -> ExitCode {
     let root = workspace_root();
     match lint::lint_tree(&root) {
         Ok(violations) if violations.is_empty() => {
-            println!("bwpart-audit: clean (rules R1-R8 over crates/*/src + vendor/rayon/src)");
+            println!("bwpart-audit: clean (rules R1-R9 over crates/*/src + vendor/rayon/src)");
             ExitCode::SUCCESS
         }
         Ok(violations) => {

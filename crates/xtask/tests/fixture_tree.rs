@@ -126,6 +126,39 @@ pub fn reference(sys: &mut CmpSystem) {
 }
 
 #[test]
+fn seeded_hot_loop_registry_call_is_caught() {
+    let root = fixture_root("bwpart-audit-hot-obs");
+    fs::create_dir_all(root.join("crates/mc/src")).expect("mc tree");
+    write(
+        &root,
+        "crates/mc/src/lib.rs",
+        r#"
+pub fn tick(registry: &Registry) {
+    registry.counter("mc_ticks_total").inc();
+}
+"#,
+    );
+    // The identical call outside crates/dram / crates/mc must NOT trip R9.
+    write(
+        &root,
+        "crates/demo/src/lib.rs",
+        r#"
+pub fn tick(registry: &Registry) {
+    registry.counter("cold_tree_total").inc();
+}
+"#,
+    );
+    let (ok, stdout) = run_lint(&root);
+    assert!(!ok, "hot-loop registry call must fail:\n{stdout}");
+    assert!(stdout.contains("[R9]"), "{stdout}");
+    assert!(stdout.contains("crates/mc/src/lib.rs:3"), "{stdout}");
+    assert!(
+        !stdout.contains("crates/demo/src/lib.rs:3"),
+        "R9 must be scoped to the simulator hot trees:\n{stdout}"
+    );
+}
+
+#[test]
 fn seeded_concurrency_violations_are_caught() {
     // Rules R6-R8 over a fixture tree with a vendored pool: exactly the
     // violation mix a careless concurrency patch would introduce.
