@@ -119,6 +119,12 @@ impl Drop for ServerHandle {
     }
 }
 
+// The server's declared mutex acquisition order, checked by lint rule
+// R13. The engine mutex is currently the only workspace lock here; any
+// lock added later must be placed in this table (and nested acquisitions
+// must follow it) or the lint fails.
+// lint: lock-order: engine
+
 /// A poisoned engine mutex means a connection thread panicked mid-call in
 /// a debug build; the engine state itself is still the last consistent
 /// value, so serving it beats cascading the panic to every client.

@@ -115,7 +115,9 @@ impl PartitionScheme {
             PartitionScheme::SquareRoot => Some(0.5),
             PartitionScheme::TwoThirdsPower => Some(2.0 / 3.0),
             PartitionScheme::Power(a) => Some(a),
-            _ => None,
+            PartitionScheme::NoPartitioning
+            | PartitionScheme::PriorityApc
+            | PartitionScheme::PriorityApi => None,
         }
     }
 
@@ -160,8 +162,12 @@ impl PartitionScheme {
                 let keys: Vec<f64> = apps.iter().map(|a| a.api).collect();
                 solver::knapsack_greedy(&keys, &caps, b)
             }
-            _ => {
-                // Every remaining variant is power-family, but route the
+            PartitionScheme::Equal
+            | PartitionScheme::Proportional
+            | PartitionScheme::SquareRoot
+            | PartitionScheme::TwoThirdsPower
+            | PartitionScheme::Power(_) => {
+                // Every variant listed here is power-family, but route the
                 // impossible case through ModelError rather than panicking.
                 let Some(alpha) = self.power_exponent() else {
                     return Err(ModelError::InvalidInput {

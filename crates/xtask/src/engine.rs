@@ -1,0 +1,1279 @@
+//! The rule engine: R1–R13 evaluated over the [`crate::tokens`] layer.
+//!
+//! Every rule works on spanned tokens and brace-matched structure — never
+//! on raw text — so string literals, raw strings, nested block comments
+//! and char/lifetime ambiguity can not produce false positives by
+//! construction. Each check emits a [`Finding`] anchored at a byte span;
+//! [`run`] then resolves `lint: allow(R<N>)` markers against the
+//! span-based comment-attachment model and marks matching findings
+//! suppressed (with the justification text preserved for reporting)
+//! instead of silently dropping them.
+
+use crate::lex::{Delim, TokenKind};
+use crate::lint::Rule;
+use crate::tokens::SourceFile;
+
+/// Where a file sits in the workspace — controls which rules run.
+#[derive(Debug, Clone, Default)]
+pub struct FileCtx {
+    /// Vendored-pool file (`vendor/rayon/src/**`): only R6/R7/R8 apply.
+    pub vendor: bool,
+    /// The vendored pool's shim module itself (exempt from the R7
+    /// std-reference ban).
+    pub shim: bool,
+    /// Share-producing crate (R3): `crates/core`, `crates/bwpartd`.
+    pub share_producer: bool,
+    /// `crates/experiments` (R5).
+    pub experiments: bool,
+    /// Simulator hot crate (R9): `crates/dram`, `crates/mc`.
+    pub hot_sim: bool,
+    /// Match-exhaustiveness scope (R10): `crates/core`, `crates/bwpartd`.
+    pub match_exhaustive: bool,
+    /// Unit-safety scope (R11): all first-party crates.
+    pub unit_safety: bool,
+    /// Whether the owning crate wires the `trace` feature to `bwpart-obs`
+    /// (R12). `None` means unknown (legacy single-file entry points): the
+    /// rule is skipped.
+    pub obs_wired: Option<bool>,
+    /// Mutex acquisition-order scope (R13): `bwpartd` server/engine.
+    pub lock_order: bool,
+}
+
+/// One raw finding, anchored at a byte span of the source.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Byte offset of the anchor token's start.
+    pub start: usize,
+    /// Byte offset of the anchor token's end.
+    pub end: usize,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Suppressed by an attached `lint: allow(R<N>)` marker?
+    pub suppressed: bool,
+    /// The marker comment's text, when suppressed.
+    pub justification: Option<String>,
+}
+
+/// Run every applicable rule over `src` and resolve allow markers.
+pub fn run(src: &str, ctx: &FileCtx) -> Vec<Finding> {
+    let f = SourceFile::analyze(src);
+    let mut out = Vec::new();
+    if ctx.vendor {
+        rule_r6(&f, &mut out);
+        rule_r7_static_mut(&f, &mut out);
+        if !ctx.shim {
+            rule_r7_vendor_std(&f, &mut out);
+        }
+        rule_r8(&f, &mut out);
+    } else {
+        rule_r1(&f, &mut out);
+        rule_r2(&f, &mut out);
+        rule_r4(&f, &mut out);
+        rule_r6(&f, &mut out);
+        rule_r7_static_mut(&f, &mut out);
+        rule_r8(&f, &mut out);
+        if ctx.experiments {
+            rule_r5(&f, &mut out);
+        }
+        if ctx.share_producer {
+            rule_r3(&f, &mut out);
+        }
+        if ctx.hot_sim {
+            rule_r9(&f, &mut out);
+        }
+        if ctx.match_exhaustive {
+            rule_r10(&f, &mut out);
+        }
+        if ctx.unit_safety {
+            rule_r11(&f, &mut out);
+        }
+        if ctx.obs_wired == Some(false) {
+            rule_r12(&f, &mut out);
+        }
+        if ctx.lock_order {
+            rule_r13(&f, &mut out);
+        }
+    }
+    // Resolve suppression markers against the span-attachment model.
+    for finding in &mut out {
+        let plain = format!("lint: allow({})", finding.rule.code());
+        let tight = format!("lint:allow({})", finding.rule.code());
+        let pred = |c: &str| c.contains(plain.as_str()) || c.contains(tight.as_str());
+        if let Some(text) = f.attached_comment_text(finding.start, &pred) {
+            finding.suppressed = true;
+            finding.justification = Some(text.trim().to_string());
+        }
+    }
+    out.sort_by_key(|v| (v.start, v.rule.code()));
+    out
+}
+
+/// Count the `unsafe` sites R8 audits (non-test code), token-accurately,
+/// for the `UNSAFE_AUDIT.md` cross-check.
+pub fn unsafe_sites(src: &str) -> usize {
+    let f = SourceFile::analyze(src);
+    (0..f.tokens.len())
+        .filter(|&i| f.is_ident(i, "unsafe") && !f.in_test(i))
+        .count()
+}
+
+fn emit(f: &SourceFile, out: &mut Vec<Finding>, rule: Rule, tok: usize, message: String) {
+    let t = &f.tokens[tok];
+    out.push(Finding {
+        rule,
+        start: t.start,
+        end: t.end,
+        message,
+        suppressed: false,
+        justification: None,
+    });
+}
+
+/// Is the ident at `i` a called method (`.name(...)`)?
+fn is_method_call(f: &SourceFile, i: usize) -> bool {
+    f.prev(i).is_some_and(|p| f.is_op(p, "."))
+        && f.next(i).is_some_and(|n| f.is_open(n, Delim::Paren))
+}
+
+fn rule_r1(f: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..f.tokens.len() {
+        if f.in_test(i) || f.tokens[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let text = f.text(i);
+        if matches!(text, "unwrap" | "expect") && is_method_call(f, i) {
+            emit(
+                f,
+                out,
+                Rule::R1,
+                i,
+                format!(
+                    ".{text}() in library code: return ModelError (or annotate \
+                     `// lint: allow(R1): <reason>`)"
+                ),
+            );
+        }
+        if matches!(text, "panic" | "unreachable" | "todo" | "unimplemented")
+            && f.next(i).is_some_and(|n| f.is_op(n, "!"))
+            && !f.prev(i).is_some_and(|p| f.is_op(p, "."))
+        {
+            emit(
+                f,
+                out,
+                Rule::R1,
+                i,
+                format!(
+                    "{text}! in library code: return ModelError (or annotate \
+                     `// lint: allow(R1): <reason>`)"
+                ),
+            );
+        }
+    }
+}
+
+/// Is token `i` a float literal, or a `-` immediately followed by one?
+fn is_float_at(f: &SourceFile, i: usize) -> bool {
+    match f.tokens[i].kind {
+        TokenKind::Float => true,
+        TokenKind::Op if f.text(i) == "-" => f
+            .next(i)
+            .is_some_and(|n| f.tokens[n].kind == TokenKind::Float),
+        _ => false,
+    }
+}
+
+fn rule_r2(f: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..f.tokens.len() {
+        if f.in_test(i) {
+            continue;
+        }
+        if f.is_ident(i, "partial_cmp") && f.prev(i).is_some_and(|p| f.is_op(p, ".")) {
+            emit(
+                f,
+                out,
+                Rule::R2,
+                i,
+                "bare .partial_cmp(): use f64::total_cmp for a total order".into(),
+            );
+            continue;
+        }
+        if f.tokens[i].kind != TokenKind::Op {
+            continue;
+        }
+        let op = f.text(i);
+        if op != "==" && op != "!=" {
+            continue;
+        }
+        let lhs_float = f.prev(i).is_some_and(|p| is_float_at(f, p));
+        let rhs_float = f.next(i).is_some_and(|n| is_float_at(f, n));
+        if lhs_float || rhs_float {
+            let lhs = f.prev(i).map(|p| f.text(p)).unwrap_or("");
+            let rhs = f.next(i).map(|n| f.text(n)).unwrap_or("");
+            emit(
+                f,
+                out,
+                Rule::R2,
+                i,
+                format!(
+                    "float-literal comparison `{lhs} {op} {rhs}`: use \
+                     contracts::approx_eq or restructure"
+                ),
+            );
+        }
+    }
+}
+
+/// The certification calls R3 accepts inside a producer's body.
+const R3_CERTIFIERS: [&str; 3] = ["validate_shares", "ensures_simplex", "ensures_capped"];
+
+fn rule_r3(f: &SourceFile, out: &mut Vec<Finding>) {
+    for info in &f.fns {
+        if !info.is_pub || f.in_test(info.anchor) {
+            continue;
+        }
+        let Some((rs, re)) = info.ret else { continue };
+        let Some((body_open, body_close)) = info.body else {
+            continue;
+        };
+        let mut ret = String::new();
+        for k in rs..re {
+            if f.tokens[k].is_comment() {
+                continue;
+            }
+            if f.is_ident(k, "where") {
+                break;
+            }
+            ret.push_str(f.text(k));
+        }
+        if !ret.contains("Vec<f64>") {
+            continue;
+        }
+        let certified = (body_open + 1..body_close).any(|k| {
+            let text = f.text(k);
+            (f.tokens[k].kind == TokenKind::Ident && R3_CERTIFIERS.contains(&text))
+                || (f.is_ident(k, "invariant") && f.next(k).is_some_and(|n| f.is_op(n, "!")))
+        });
+        if !certified {
+            let name = f.text(info.name);
+            emit(
+                f,
+                out,
+                Rule::R3,
+                info.anchor,
+                format!(
+                    "pub fn {name} returns a Vec<f64> without certifying it via \
+                     validate_shares / ensures_simplex! / ensures_capped! / invariant!"
+                ),
+            );
+        }
+    }
+}
+
+fn rule_r4(f: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..f.tokens.len() {
+        if f.in_test(i) || !f.is_op(i, "#") {
+            continue;
+        }
+        let Some(mut j) = f.next(i) else { continue };
+        if f.is_op(j, "!") {
+            match f.next(j) {
+                Some(n) => j = n,
+                None => continue,
+            }
+        }
+        if !f.is_open(j, Delim::Bracket) {
+            continue;
+        }
+        let Some(close) = f.partner[j] else { continue };
+        let inner: String = (j + 1..close)
+            .filter(|&k| !f.tokens[k].is_comment())
+            .map(|k| f.text(k))
+            .collect();
+        if !inner.contains("allow(clippy::") {
+            continue;
+        }
+        // A plain (non-doc) `//` comment with real content counts as the
+        // justification.
+        let justified = f.comment_attached(f.tokens[i].start, &|c: &str| {
+            c.starts_with("//")
+                && !c.starts_with("///")
+                && !c.starts_with("//!")
+                && c.trim_start_matches('/').trim().len() > 2
+        });
+        if !justified {
+            emit(
+                f,
+                out,
+                Rule::R4,
+                i,
+                "#[allow(clippy::...)] needs a justification comment on the same \
+                 or previous line"
+                    .into(),
+            );
+        }
+    }
+}
+
+fn rule_r5(f: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..f.tokens.len() {
+        if !f.in_test(i) && f.is_ident(i, "step") && is_method_call(f, i) {
+            emit(
+                f,
+                out,
+                Rule::R5,
+                i,
+                ".step() in experiment code: advance the simulator via \
+                 CmpSystem::run so event-driven fast-forward applies (or \
+                 annotate `// lint: allow(R5): <reason>`)"
+                    .into(),
+            );
+        }
+    }
+}
+
+fn rule_r6(f: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..f.tokens.len() {
+        if f.in_test(i) {
+            continue;
+        }
+        let text = f.text(i);
+        if f.tokens[i].kind != TokenKind::Ident || !matches!(text, "Relaxed" | "AcqRel") {
+            continue;
+        }
+        // Only the path form (`Ordering::Relaxed`) is an ordering use.
+        if !f.prev(i).is_some_and(|p| f.is_op(p, "::")) {
+            continue;
+        }
+        let justified = f.comment_attached(f.tokens[i].start, &|c: &str| {
+            c.contains("hb:") || c.contains("happens-before")
+        });
+        if !justified {
+            emit(
+                f,
+                out,
+                Rule::R6,
+                i,
+                format!(
+                    "Ordering::{text} without a happens-before justification: \
+                     add a comment naming the hb: edge (or why none is needed)"
+                ),
+            );
+        }
+    }
+}
+
+fn rule_r7_static_mut(f: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..f.tokens.len() {
+        // `'static` lexes as one Lifetime token, so a bare `static` ident
+        // here really is the item keyword.
+        if !f.in_test(i)
+            && f.is_ident(i, "static")
+            && f.next(i).is_some_and(|n| f.is_ident(n, "mut"))
+        {
+            emit(
+                f,
+                out,
+                Rule::R7,
+                i,
+                "static mut is banned: use an atomic, a lock, or OnceLock".into(),
+            );
+        }
+    }
+}
+
+fn rule_r7_vendor_std(f: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..f.tokens.len() {
+        if f.in_test(i) || !f.is_ident(i, "std") {
+            continue;
+        }
+        // `crate::std`-style re-export paths are not the real std.
+        if f.prev(i).is_some_and(|p| f.is_op(p, "::")) {
+            continue;
+        }
+        let Some(sep) = f.next(i) else { continue };
+        if !f.is_op(sep, "::") {
+            continue;
+        }
+        let Some(m) = f.next(sep) else { continue };
+        if f.is_ident(m, "sync") || f.is_ident(m, "thread") {
+            let module = f.text(m);
+            emit(
+                f,
+                out,
+                Rule::R7,
+                i,
+                format!(
+                    "direct std::{module} reference in vendored pool code: go through \
+                     crate::shim so the loomlite model checker covers this path"
+                ),
+            );
+        }
+    }
+}
+
+fn rule_r8(f: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..f.tokens.len() {
+        if f.in_test(i) || !f.is_ident(i, "unsafe") {
+            continue;
+        }
+        let justified = f.comment_attached(f.tokens[i].start, &|c: &str| c.contains("SAFETY:"));
+        if !justified {
+            emit(
+                f,
+                out,
+                Rule::R8,
+                i,
+                "unsafe without a // SAFETY: comment on the same line or the \
+                 comment block above"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// Per-cycle/per-tick functions R9 inspects in the simulator's hot crates.
+const R9_HOT_FNS: [&str; 7] = [
+    "tick",
+    "step",
+    "issue",
+    "issuable_at",
+    "probe",
+    "enqueue",
+    "pop_completion",
+];
+
+fn rule_r9(f: &SourceFile, out: &mut Vec<Finding>) {
+    for info in &f.fns {
+        if f.in_test(info.name) || !R9_HOT_FNS.contains(&f.text(info.name)) {
+            continue;
+        }
+        let Some((body_open, body_close)) = info.body else {
+            continue;
+        };
+        let fn_name = f.text(info.name);
+        for k in body_open + 1..body_close {
+            let method = f.text(k);
+            if f.tokens[k].kind == TokenKind::Ident
+                && matches!(method, "counter" | "gauge" | "histogram")
+                && is_method_call(f, k)
+            {
+                emit(
+                    f,
+                    out,
+                    Rule::R9,
+                    k,
+                    format!(
+                        "direct registry `.{method}(...)` call inside hot fn `{fn_name}`: \
+                         pre-resolve the handle at attach time and touch it through \
+                         the obs_*! macros (or annotate `// lint: allow(R9): <reason>`)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Enum types whose `match`es must stay exhaustive (R10): a wildcard arm
+/// would let a newly added scheme variant / error code silently skip
+/// certification or wire handling.
+const R10_TARGETS: [&str; 3] = ["PartitionScheme", "Scheme", "ErrorCode"];
+
+fn rule_r10(f: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..f.tokens.len() {
+        if f.in_test(i) || !f.is_ident(i, "match") {
+            continue;
+        }
+        // Head: everything to the first top-level `{` (groups opaque).
+        let mut cur = f.next(i);
+        let mut arms_open = None;
+        while let Some(k) = cur {
+            match f.tokens[k].kind {
+                TokenKind::Open(Delim::Brace) => {
+                    arms_open = Some(k);
+                    break;
+                }
+                TokenKind::Open(_) => {
+                    cur = f.partner[k].and_then(|c| f.next(c));
+                    continue;
+                }
+                TokenKind::Close(_) => break,
+                _ => {}
+            }
+            cur = f.next(k);
+        }
+        let Some(arms_open) = arms_open else { continue };
+        let Some(arms_close) = f.partner[arms_open] else {
+            continue;
+        };
+        let arms = parse_arms(f, arms_open, arms_close);
+        let target = arms.iter().find_map(|arm| {
+            arm.all_pattern_tokens.iter().find_map(|&k| {
+                let t = f.text(k);
+                R10_TARGETS.iter().copied().find(|&target| t == target)
+            })
+        });
+        let Some(target) = target else { continue };
+        for arm in &arms {
+            for alt in &arm.alternatives {
+                // A catch-all alternative is a lone `_` or a lone
+                // lowercase binding ident; lone uppercase idents are unit
+                // variants / consts, and anything longer is a real pattern.
+                if alt.len() != 1 {
+                    continue;
+                }
+                let k = alt[0];
+                if f.tokens[k].kind != TokenKind::Ident {
+                    continue;
+                }
+                let text = f.text(k);
+                let lone_wild = text == "_"
+                    || (text != "true"
+                        && text != "false"
+                        && text
+                            .chars()
+                            .next()
+                            .is_some_and(|c| c.is_ascii_lowercase() || c == '_'));
+                if lone_wild {
+                    emit(
+                        f,
+                        out,
+                        Rule::R10,
+                        k,
+                        format!(
+                            "non-exhaustive match on {target}: catch-all arm `{text}` \
+                             hides newly added variants — list every variant explicitly \
+                             so adding one forces a review here"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+struct Arm {
+    /// Every pattern token, including group contents (for target typing).
+    all_pattern_tokens: Vec<usize>,
+    /// Top-level `|`-separated alternatives; groups appear as their
+    /// opening token only (so a lone ident really is lone).
+    alternatives: Vec<Vec<usize>>,
+}
+
+fn parse_arms(f: &SourceFile, open: usize, close: usize) -> Vec<Arm> {
+    let mut arms = Vec::new();
+    let mut cur = f.next(open).filter(|&k| k < close);
+    while let Some(start) = cur {
+        let mut all = Vec::new();
+        let mut alternatives = vec![Vec::new()];
+        let mut in_guard = false;
+        let mut k = Some(start);
+        // Pattern (and guard) up to the top-level `=>`.
+        while let Some(i) = k.filter(|&i| i < close) {
+            match f.tokens[i].kind {
+                TokenKind::Op if f.text(i) == "=>" => {
+                    k = f.next(i);
+                    break;
+                }
+                TokenKind::Op if f.text(i) == "|" && !in_guard => {
+                    alternatives.push(Vec::new());
+                    k = f.next(i);
+                    continue;
+                }
+                TokenKind::Ident if f.text(i) == "if" && !in_guard => {
+                    in_guard = true;
+                    k = f.next(i);
+                    continue;
+                }
+                TokenKind::Open(_) => {
+                    let end = f.partner[i].unwrap_or(i);
+                    if !in_guard {
+                        all.extend(i..=end);
+                        if let Some(last) = alternatives.last_mut() {
+                            last.push(i);
+                        }
+                    }
+                    k = f.next(end);
+                    continue;
+                }
+                _ => {
+                    if !in_guard {
+                        all.push(i);
+                        if let Some(last) = alternatives.last_mut() {
+                            last.push(i);
+                        }
+                    }
+                }
+            }
+            k = f.next(i);
+        }
+        arms.push(Arm {
+            all_pattern_tokens: all,
+            alternatives,
+        });
+        // Expression: a brace block (optionally followed by `,`), or
+        // everything to the next top-level `,`.
+        match k.filter(|&i| i < close) {
+            Some(i) if f.is_open(i, Delim::Brace) => {
+                k = f.partner[i].and_then(|c| f.next(c));
+                if let Some(c) = k.filter(|&c| c < close) {
+                    if f.is_op(c, ",") {
+                        k = f.next(c);
+                    }
+                }
+            }
+            Some(mut i) => loop {
+                if i >= close {
+                    k = None;
+                    break;
+                }
+                match f.tokens[i].kind {
+                    TokenKind::Op if f.text(i) == "," => {
+                        k = f.next(i);
+                        break;
+                    }
+                    TokenKind::Open(_) => {
+                        let end = f.partner[i].unwrap_or(i);
+                        match f.next(end) {
+                            Some(n) => i = n,
+                            None => {
+                                k = None;
+                                break;
+                            }
+                        }
+                    }
+                    _ => match f.next(i) {
+                        Some(n) => i = n,
+                        None => {
+                            k = None;
+                            break;
+                        }
+                    },
+                }
+            },
+            None => k = None,
+        }
+        cur = k.filter(|&i| i < close);
+    }
+    arms
+}
+
+/// R11 unit classes, keyed by the final ident of an operand.
+fn unit_class(name: &str) -> Option<&'static str> {
+    if name == "cycles" || name == "cycle" || name.ends_with("_cycles") || name.ends_with("_cycle")
+    {
+        Some("cycles")
+    } else if name == "ns" || name.ends_with("_ns") {
+        Some("ns")
+    } else if name == "share"
+        || name == "frac"
+        || name.ends_with("_share")
+        || name.ends_with("_frac")
+        || name.ends_with("_fraction")
+    {
+        Some("share-fraction")
+    } else {
+        None
+    }
+}
+
+/// Operators R11 inspects: additive and comparison operators demand both
+/// sides in the same unit. `*` and `/` are exempt — that is how
+/// conversions are written.
+const R11_OPS: [&str; 10] = ["+", "-", "+=", "-=", "==", "!=", "<", "<=", ">", ">="];
+
+/// Classify the operand ending just before token `op`.
+fn classify_before<'a>(f: &SourceFile<'a>, op: usize) -> Option<(&'a str, &'static str)> {
+    let p = f.prev(op)?;
+    match f.tokens[p].kind {
+        TokenKind::Ident => {
+            let name = f.text(p);
+            Some((name, unit_class(name)?))
+        }
+        TokenKind::Close(Delim::Paren) => {
+            // A call result: classify by the callee's name.
+            let open = f.partner[p]?;
+            let callee = f.prev(open)?;
+            if f.tokens[callee].kind != TokenKind::Ident {
+                return None;
+            }
+            let name = f.text(callee);
+            Some((name, unit_class(name)?))
+        }
+        _ => None,
+    }
+}
+
+/// Classify the operand starting just after token `op`: walk the
+/// path/field/method chain to its final ident.
+fn classify_after<'a>(f: &SourceFile<'a>, op: usize) -> Option<(&'a str, &'static str)> {
+    let mut a = f.next(op)?;
+    if f.is_op(a, "-") {
+        a = f.next(a)?;
+    }
+    if f.tokens[a].kind != TokenKind::Ident {
+        return None;
+    }
+    let mut last = a;
+    let mut cur = a;
+    while let Some(n) = f.next(cur) {
+        match f.tokens[n].kind {
+            TokenKind::Op if f.text(n) == "." || f.text(n) == "::" => {
+                let Some(seg) = f.next(n) else { break };
+                if f.tokens[seg].kind != TokenKind::Ident {
+                    break;
+                }
+                last = seg;
+                cur = seg;
+            }
+            TokenKind::Open(Delim::Paren) => {
+                // A call: the chain continues after the group, but the
+                // classifying name stays the callee (`ns_to_cycles(x)`).
+                let Some(close) = f.partner[n] else { break };
+                cur = close;
+            }
+            _ => break,
+        }
+    }
+    let name = f.text(last);
+    Some((name, unit_class(name)?))
+}
+
+fn rule_r11(f: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..f.tokens.len() {
+        if f.in_test(i) || f.tokens[i].kind != TokenKind::Op {
+            continue;
+        }
+        let op = f.text(i);
+        if !R11_OPS.contains(&op) {
+            continue;
+        }
+        let Some((lhs, lclass)) = classify_before(f, i) else {
+            continue;
+        };
+        let Some((rhs, rclass)) = classify_after(f, i) else {
+            continue;
+        };
+        if lclass != rclass {
+            emit(
+                f,
+                out,
+                Rule::R11,
+                i,
+                format!(
+                    "unit mismatch: `{lhs}` ({lclass}) {op} `{rhs}` ({rclass}) \
+                     without an explicit conversion — convert one side \
+                     (e.g. ns_to_cycles / cycles_to_ns) or rename the ident"
+                ),
+            );
+        }
+    }
+}
+
+/// The zero-cost observability macros R12 tracks.
+const R12_OBS_MACROS: [&str; 4] = ["obs_count", "obs_gauge", "obs_hist", "obs_span"];
+
+fn rule_r12(f: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..f.tokens.len() {
+        if f.in_test(i) || f.tokens[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = f.text(i);
+        if R12_OBS_MACROS.contains(&name) && f.next(i).is_some_and(|n| f.is_op(n, "!")) {
+            emit(
+                f,
+                out,
+                Rule::R12,
+                i,
+                format!(
+                    "{name}! call site in a crate without `trace` feature wiring: \
+                     declare `trace = [\"bwpart-obs/trace\"]` under [features] (or \
+                     enable the dep feature directly) so tracing builds reach this site"
+                ),
+            );
+        }
+    }
+}
+
+/// One lock acquisition (R13).
+struct Acquisition {
+    /// Lock name (`engine` for both `engine.lock()` and `lock_engine(..)`).
+    name: String,
+    /// The acquiring ident token.
+    tok: usize,
+    /// Last token index while the guard is live.
+    held_to: usize,
+}
+
+fn rule_r13(f: &SourceFile, out: &mut Vec<Finding>) {
+    // The order table is declared in-source:
+    //   `// lint: lock-order: outer < inner`
+    let mut order: Option<Vec<String>> = None;
+    for c in &f.comments {
+        let text = f.text(c.tok);
+        if let Some(pos) = text.find("lock-order:") {
+            let names: Vec<String> = text[pos + "lock-order:".len()..]
+                .split('<')
+                .filter_map(|piece| piece.split_whitespace().next())
+                .map(str::to_string)
+                .collect();
+            if !names.is_empty() && order.is_none() {
+                order = Some(names);
+            }
+        }
+    }
+
+    let mut acqs: Vec<Acquisition> = Vec::new();
+    for i in 0..f.tokens.len() {
+        if f.in_test(i) || f.tokens[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let text = f.text(i);
+        let name = if text == "lock" && is_method_call(f, i) {
+            // `receiver.lock()`: the receiver ident names the lock.
+            let dot = match f.prev(i) {
+                Some(d) => d,
+                None => continue,
+            };
+            match f.prev(dot) {
+                Some(r) if f.tokens[r].kind == TokenKind::Ident => f.text(r).to_string(),
+                _ => continue,
+            }
+        } else if let Some(suffix) = text.strip_prefix("lock_") {
+            // `lock_engine(..)` helper; skip its own definition.
+            if suffix.is_empty()
+                || !f.next(i).is_some_and(|n| f.is_open(n, Delim::Paren))
+                || f.prev(i).is_some_and(|p| f.is_ident(p, "fn"))
+            {
+                continue;
+            }
+            suffix.to_string()
+        } else {
+            continue;
+        };
+        if let Some(held_to) = held_range(f, i) {
+            acqs.push(Acquisition {
+                name,
+                tok: i,
+                held_to,
+            });
+        }
+    }
+
+    if acqs.is_empty() {
+        return;
+    }
+    let Some(order) = order else {
+        emit(
+            f,
+            out,
+            Rule::R13,
+            acqs[0].tok,
+            "file acquires workspace locks but declares no order table: add a \
+             `// lint: lock-order: <outer> < <inner>` comment"
+                .into(),
+        );
+        return;
+    };
+    let rank = |name: &str| order.iter().position(|n| n == name);
+    let mut unknown_reported: Vec<&str> = Vec::new();
+    for a in &acqs {
+        if rank(&a.name).is_none() && !unknown_reported.contains(&a.name.as_str()) {
+            unknown_reported.push(&a.name);
+            emit(
+                f,
+                out,
+                Rule::R13,
+                a.tok,
+                format!(
+                    "lock `{}` is missing from the declared lock-order table \
+                     (`// lint: lock-order: {}`)",
+                    a.name,
+                    order.join(" < ")
+                ),
+            );
+        }
+    }
+    for (ai, a) in acqs.iter().enumerate() {
+        for b in &acqs[ai + 1..] {
+            if b.tok > a.held_to {
+                break;
+            }
+            // `b` is acquired while `a` is held.
+            match (rank(&a.name), rank(&b.name)) {
+                (Some(ra), Some(rb)) if ra > rb => emit(
+                    f,
+                    out,
+                    Rule::R13,
+                    b.tok,
+                    format!(
+                        "acquires `{}` while holding `{}`: violates the declared \
+                         lock order `{}`",
+                        b.name,
+                        a.name,
+                        order.join(" < ")
+                    ),
+                ),
+                (Some(ra), Some(rb)) if ra == rb => emit(
+                    f,
+                    out,
+                    Rule::R13,
+                    b.tok,
+                    format!(
+                        "re-acquires `{}` while a guard for it is already held \
+                         (self-deadlock)",
+                        b.name
+                    ),
+                ),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// How long the guard produced by the lock call at `i` is held: to the end
+/// of the statement for a temporary, to the enclosing block's close for a
+/// `let`-bound guard whose RHS is exactly the lock call (plus poison
+/// recovery postfix).
+fn held_range(f: &SourceFile, i: usize) -> Option<usize> {
+    let open = f.next(i)?;
+    if !f.is_open(open, Delim::Paren) {
+        return None;
+    }
+    let mut end = f.partner[open]?;
+    // Postfix poison-recovery chain: .unwrap() / .expect(..) /
+    // .unwrap_or_else(..) keep the guard.
+    while let Some(dot) = f.next(end).filter(|&d| f.is_op(d, ".")) {
+        let Some(m) = f.next(dot) else { break };
+        if !matches!(f.text(m), "unwrap" | "expect" | "unwrap_or_else") {
+            break;
+        }
+        let Some(o2) = f.next(m).filter(|&o| f.is_open(o, Delim::Paren)) else {
+            break;
+        };
+        end = f.partner[o2]?;
+    }
+    // Binding? Walk back over the receiver/path to the expression start,
+    // then look for `let <pat> =`.
+    let mut expr_start = i;
+    while let Some(sep) = f.prev(expr_start) {
+        if !(f.is_op(sep, ".") || f.is_op(sep, "::")) {
+            break;
+        }
+        match f.prev(sep) {
+            Some(seg) if f.tokens[seg].kind == TokenKind::Ident => expr_start = seg,
+            _ => break,
+        }
+    }
+    let whole_rhs = f.next(end).is_some_and(|n| f.is_op(n, ";"));
+    let mut bound = false;
+    if whole_rhs {
+        if let Some(eq) = f.prev(expr_start).filter(|&e| f.is_op(e, "=")) {
+            let mut j = f.prev(eq);
+            for _ in 0..4 {
+                match j {
+                    Some(t) if f.is_ident(t, "let") => {
+                        bound = true;
+                        break;
+                    }
+                    Some(t)
+                        if f.tokens[t].kind == TokenKind::Ident
+                            || f.is_ident(t, "mut")
+                            || f.is_op(t, ":") =>
+                    {
+                        j = f.prev(t);
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+    if bound {
+        // Held to the enclosing block's close: first unmatched closer.
+        let mut cur = f.next(end);
+        let mut last = end;
+        while let Some(k) = cur {
+            match f.tokens[k].kind {
+                TokenKind::Open(_) => {
+                    let close = f.partner[k]?;
+                    last = close;
+                    cur = f.next(close);
+                }
+                TokenKind::Close(_) => return Some(k),
+                _ => {
+                    last = k;
+                    cur = f.next(k);
+                }
+            }
+        }
+        Some(last)
+    } else {
+        // Temporary: held to the end of the statement.
+        let mut cur = f.next(end);
+        let mut last = end;
+        while let Some(k) = cur {
+            match f.tokens[k].kind {
+                TokenKind::Op if f.text(k) == ";" || f.text(k) == "," => return Some(k),
+                TokenKind::Open(_) => {
+                    let close = f.partner[k]?;
+                    last = close;
+                    cur = f.next(close);
+                }
+                TokenKind::Close(_) => return Some(last),
+                _ => {
+                    last = k;
+                    cur = f.next(k);
+                }
+            }
+        }
+        Some(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_with(src: &str, tweak: impl FnOnce(&mut FileCtx)) -> Vec<Finding> {
+        let mut ctx = FileCtx::default();
+        tweak(&mut ctx);
+        run(src, &ctx)
+            .into_iter()
+            .filter(|v| !v.suppressed)
+            .collect()
+    }
+
+    fn codes(vs: &[Finding]) -> Vec<&'static str> {
+        vs.iter().map(|v| v.rule.code()).collect()
+    }
+
+    #[test]
+    fn r10_flags_wildcard_on_scheme_match() {
+        let src = r#"
+pub fn exponent(s: PartitionScheme) -> Option<f64> {
+    match s {
+        PartitionScheme::Equal => Some(0.0),
+        PartitionScheme::Power(a) => Some(a),
+        _ => None,
+    }
+}
+"#;
+        let vs = run_with(src, |c| c.match_exhaustive = true);
+        assert_eq!(codes(&vs), vec!["R10"]);
+        assert!(vs[0].message.contains("PartitionScheme"));
+    }
+
+    #[test]
+    fn r10_flags_lowercase_binding_arm_on_error_code() {
+        let src = r#"
+pub fn retriable(code: ErrorCode) -> bool {
+    match code {
+        ErrorCode::NotReady => true,
+        other => false,
+    }
+}
+"#;
+        let vs = run_with(src, |c| c.match_exhaustive = true);
+        assert_eq!(codes(&vs), vec!["R10"]);
+        assert!(vs[0].message.contains("`other`"));
+    }
+
+    #[test]
+    fn r10_accepts_explicit_variants_and_untargeted_matches() {
+        let src = r#"
+pub fn exponent(s: PartitionScheme) -> Option<f64> {
+    match s {
+        PartitionScheme::Equal | PartitionScheme::Proportional => Some(1.0),
+        PartitionScheme::Power(a) => Some(a),
+        PartitionScheme::NoPartitioning => None,
+    }
+}
+pub fn parse(s: &str) -> u8 {
+    match s {
+        "equal" => 1,
+        _ => 0,
+    }
+}
+"#;
+        assert!(run_with(src, |c| c.match_exhaustive = true).is_empty());
+    }
+
+    #[test]
+    fn r10_guard_expressions_do_not_mark_the_match_targeted() {
+        // The head/expressions mention ErrorCode, but no *pattern* does:
+        // string-keyed dispatch stays out of scope.
+        let src = r#"
+pub fn to_code(name: &str) -> ErrorCode {
+    match name {
+        "bad-frame" => ErrorCode::BadFrame,
+        _ => ErrorCode::InvalidArgument,
+    }
+}
+"#;
+        assert!(run_with(src, |c| c.match_exhaustive = true).is_empty());
+    }
+
+    #[test]
+    fn r11_flags_cycles_ns_mixing() {
+        let src = r#"
+pub fn deadline(now_cycles: u64, window_ns: u64) -> bool {
+    now_cycles > window_ns
+}
+"#;
+        let vs = run_with(src, |c| c.unit_safety = true);
+        assert_eq!(codes(&vs), vec!["R11"]);
+        assert!(vs[0].message.contains("now_cycles"));
+        assert!(vs[0].message.contains("window_ns"));
+    }
+
+    #[test]
+    fn r11_accepts_conversions_and_same_unit_arithmetic() {
+        let src = r#"
+pub fn ok(a_cycles: u64, b_cycles: u64, w_ns: u64, freq: f64) -> u64 {
+    let total_cycles = a_cycles + b_cycles;
+    let budget_cycles = ns_to_cycles(w_ns, freq);
+    total_cycles + budget_cycles
+}
+"#;
+        assert!(run_with(src, |c| c.unit_safety = true).is_empty());
+    }
+
+    #[test]
+    fn r11_share_vs_time_mixing_is_flagged() {
+        let src = r#"
+pub fn bad(beta_share: f64, window_ns: f64) -> f64 {
+    beta_share + window_ns
+}
+pub fn fine(beta_share: f64, window_ns: f64) -> f64 {
+    beta_share * window_ns
+}
+"#;
+        let vs = run_with(src, |c| c.unit_safety = true);
+        assert_eq!(codes(&vs), vec!["R11"]);
+    }
+
+    #[test]
+    fn r12_flags_obs_macros_only_when_unwired() {
+        let src = r#"
+pub fn tick(&mut self) {
+    obs_count!(self.obs, ticks);
+}
+"#;
+        let vs = run_with(src, |c| c.obs_wired = Some(false));
+        assert_eq!(codes(&vs), vec!["R12"]);
+        assert!(run_with(src, |c| c.obs_wired = Some(true)).is_empty());
+        assert!(run_with(src, |c| c.obs_wired = None).is_empty());
+    }
+
+    #[test]
+    fn r13_flags_out_of_order_nested_acquisition() {
+        let src = r#"
+// lint: lock-order: engine < tracer
+pub fn bad(engine: &Mutex<E>, tracer: &Mutex<T>) {
+    let t = tracer.lock().unwrap_or_else(|p| p.into_inner());
+    let e = engine.lock().unwrap_or_else(|p| p.into_inner());
+    drop((t, e));
+}
+pub fn good(engine: &Mutex<E>, tracer: &Mutex<T>) {
+    let e = engine.lock().unwrap_or_else(|p| p.into_inner());
+    let t = tracer.lock().unwrap_or_else(|p| p.into_inner());
+    drop((e, t));
+}
+"#;
+        let vs = run_with(src, |c| c.lock_order = true);
+        assert_eq!(codes(&vs), vec!["R13"]);
+        assert!(vs[0].message.contains("`engine` while holding `tracer`"));
+    }
+
+    #[test]
+    fn r13_sequential_temporaries_do_not_overlap() {
+        // Match-arm-style dispatch: each statement takes and drops the
+        // guard; no two are held together, so declared order is moot.
+        let src = r#"
+// lint: lock-order: engine
+pub fn dispatch(engine: &Mutex<E>) {
+    lock_engine(engine).run_epoch();
+    lock_engine(engine).snapshot();
+    let eng = lock_engine(engine);
+    drop(eng);
+}
+fn lock_engine(engine: &Mutex<E>) -> MutexGuard<'_, E> {
+    engine.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+"#;
+        assert!(run_with(src, |c| c.lock_order = true).is_empty());
+    }
+
+    #[test]
+    fn r13_let_bound_guard_blocks_reacquisition() {
+        let src = r#"
+// lint: lock-order: engine
+pub fn bad(engine: &Mutex<E>) {
+    let eng = lock_engine(engine);
+    let again = lock_engine(engine);
+    drop((eng, again));
+}
+"#;
+        let vs = run_with(src, |c| c.lock_order = true);
+        assert_eq!(codes(&vs), vec!["R13"]);
+        assert!(vs[0].message.contains("re-acquires `engine`"));
+    }
+
+    #[test]
+    fn r13_requires_a_declared_table_and_known_names() {
+        let undeclared = r#"
+pub fn f(engine: &Mutex<E>) {
+    let eng = engine.lock().unwrap_or_else(|p| p.into_inner());
+    drop(eng);
+}
+"#;
+        let vs = run_with(undeclared, |c| c.lock_order = true);
+        assert_eq!(codes(&vs), vec!["R13"]);
+        assert!(vs[0].message.contains("no order table"));
+
+        let unknown = r#"
+// lint: lock-order: engine
+pub fn f(tracer: &Mutex<T>) {
+    let t = tracer.lock().unwrap_or_else(|p| p.into_inner());
+    drop(t);
+}
+"#;
+        let vs = run_with(unknown, |c| c.lock_order = true);
+        assert_eq!(codes(&vs), vec!["R13"]);
+        assert!(vs[0].message.contains("missing from the declared"));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments_cannot_trip_rules() {
+        // The F2 bug class: rule-trigger spellings inside raw strings,
+        // nested block comments, and backslash-continuation strings.
+        let src = "\
+pub fn f() -> &'static str {\n\
+    r#\"call .unwrap() and panic! at == 0.5 will\"#\n\
+}\n\
+/* outer /* unsafe { } inner */ still comment */\n\
+pub fn g() -> String {\n\
+    \"a long line that wraps \\\n\
+     with static mut inside\".to_string()\n\
+}\n";
+        assert!(run_with(src, |_| {}).is_empty());
+    }
+
+    #[test]
+    fn suppressed_findings_carry_their_justification() {
+        let src = r#"
+pub fn f(x: Option<u32>) -> u32 {
+    // lint: allow(R1): checked by the caller
+    x.unwrap()
+}
+"#;
+        let all = run(src, &FileCtx::default());
+        assert_eq!(all.len(), 1);
+        assert!(all[0].suppressed);
+        assert!(all[0]
+            .justification
+            .as_deref()
+            .is_some_and(|j| j.contains("checked by the caller")));
+    }
+}

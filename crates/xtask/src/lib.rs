@@ -1,0 +1,20 @@
+//! Workspace automation library for the bandwidth-partitioning model.
+//!
+//! The `xtask` binary fronts this crate; the library exists so the lint
+//! engine's layers are independently testable (and runnable under miri):
+//!
+//! * [`lex`] — a dependency-free, total Rust lexer producing spanned
+//!   tokens (raw strings, nested block comments, lifetimes vs chars, doc
+//!   comments, shebangs).
+//! * [`tokens`] — structural analysis over the token stream:
+//!   brace-matched delimiter trees, `#[cfg(test)]` masking, fn boundaries
+//!   and span-based comment attachment.
+//! * [`engine`] — the rule evaluator (R1–R13) plus `lint: allow(R<N>)`
+//!   suppression resolution.
+//! * [`lint`] — the rule catalogue, tree walker, inventory cross-check
+//!   and machine-readable report.
+
+pub mod engine;
+pub mod lex;
+pub mod lint;
+pub mod tokens;

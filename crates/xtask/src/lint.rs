@@ -1,12 +1,17 @@
 //! bwpart-audit: the model-invariant lint pass.
 //!
-//! A dependency-free line/token scanner over `crates/*/src` that enforces
-//! the repository's model-safety rules. It deliberately avoids rustc
-//! internals: the scanner strips comments and string literals, skips
-//! `#[cfg(test)]` modules, and then pattern-matches the remaining code. The
-//! rules are type-blind heuristics tuned to this codebase; anything flagged
-//! can be suppressed with an explicit, reasoned annotation on the same line
-//! or the line above:
+//! A dependency-free **token-level** scanner over `crates/*/src` (plus the
+//! vendored pool) that enforces the repository's model-safety rules. It
+//! deliberately avoids rustc internals: [`crate::lex`] produces spanned
+//! tokens (raw strings, nested block comments, char/lifetime ambiguity and
+//! doc comments handled in the lexer, so none of them can leak into rule
+//! matching), [`crate::tokens`] adds brace-matched structure with item/fn
+//! boundaries, and [`crate::engine`] evaluates the rules on that shape.
+//! `#[cfg(test)]` items are masked out. The rules are type-blind
+//! heuristics tuned to this codebase; anything flagged can be suppressed
+//! with an explicit, reasoned annotation attached to the site (same line,
+//! the comment block above, or above the attributes/header of the
+//! annotated item):
 //!
 //! ```text
 //! // lint: allow(R1): reason the reviewer should read
@@ -22,11 +27,11 @@
 //!   tolerance comparisons go through `bwpart_core::contracts`.
 //! * **R3** — in the share-producing crates (`bwpart-core` and the
 //!   `bwpartd` epoch engine), every `pub fn` returning a share/allocation
-//!   vector (`Vec<f64>` anywhere in the return type) must certify its output
-//!   via `validate_shares` or a contract macro (`ensures_simplex!`,
+//!   vector (`Vec<f64>` anywhere in the return type) must certify its
+//!   output via `validate_shares` or a contract macro (`ensures_simplex!`,
 //!   `ensures_capped!`, `invariant!`).
 //! * **R4** — no `#[allow(clippy::...)]` without a justification comment
-//!   (a plain `//` comment on the same line or the line above).
+//!   (a plain `//` comment attached to the attribute).
 //! * **R5** — in `bwpart-experiments`, no hand-rolled `.step()` calls:
 //!   experiment code must advance the simulator through `CmpSystem::run`
 //!   so event-driven fast-forward applies to every figure/table
@@ -34,33 +39,56 @@
 //! * **R6** — every `Ordering::Relaxed` / `Ordering::AcqRel` use needs a
 //!   justification comment naming the happens-before edge it relies on
 //!   (or why none is needed): a comment containing `hb:` or
-//!   `happens-before` on the same line or the contiguous comment block
-//!   above. SeqCst/Acquire/Release need no annotation.
+//!   `happens-before` attached to the site. SeqCst/Acquire/Release need
+//!   no annotation.
 //! * **R7** — no `static mut` anywhere; and inside `vendor/rayon`, no
 //!   direct `std::sync` / `std::thread` references outside `shim.rs`:
 //!   the pool constructs every synchronization primitive through the
 //!   loomlite-aliased shim module so model runs cover the real code.
 //! * **R8** — every `unsafe` site (block, impl, fn, trait) needs a
-//!   `// SAFETY:` comment on the same line or the contiguous comment
-//!   block above, and every file containing unsafe code must be
-//!   registered with a matching site count in `UNSAFE_AUDIT.md`.
-//!
+//!   `// SAFETY:` comment attached, and every file containing unsafe code
+//!   must be registered with a matching (token-accurate) site count in
+//!   `UNSAFE_AUDIT.md`.
 //! * **R9** — in the simulator's hot crates (`crates/dram`, `crates/mc`),
 //!   the per-cycle/per-tick functions (`tick`, `step`, `issue`, ...) may
 //!   touch metrics only through the zero-cost `obs_*!` macros over hooks
 //!   pre-resolved at attach time: direct registry calls (`.counter(...)`,
 //!   `.gauge(...)`, `.histogram(...)`) resolve names per event and are
 //!   banned there. Cold paths (attach, publish) are exempt.
+//! * **R10** — in `crates/core` and `crates/bwpartd`, `match`es whose
+//!   patterns name `PartitionScheme` / `Scheme` / `ErrorCode` must stay
+//!   exhaustive: no `_` wildcard or lowercase catch-all binding arms, so a
+//!   newly added scheme variant or error code forces a review at every
+//!   dispatch site instead of silently falling through.
+//! * **R11** — unit safety: additive/comparison arithmetic must not mix
+//!   `*_cycles`, `*_ns` and share-fraction (`*_share` / `*_frac`)
+//!   identifiers without an explicit conversion call (`ns_to_cycles`
+//!   etc.); `*` and `/` are exempt because that is how conversions are
+//!   written.
+//! * **R12** — feature-gate consistency: `obs_*!` macro call sites must
+//!   live in crates whose `Cargo.toml` wires the `trace` feature through
+//!   to `bwpart-obs` (either a `trace = ["bwpart-obs/trace", ...]`
+//!   feature or the dep feature enabled directly), so tracing builds
+//!   actually reach those sites.
+//! * **R13** — mutex acquisition order: in `bwpartd::server` /
+//!   `bwpartd::engine`, lock guards must be taken in the order declared
+//!   by an in-source `// lint: lock-order: outer < inner` table; nested
+//!   out-of-order or re-entrant acquisitions (the deadlock shapes) are
+//!   flagged, as is any lock missing from the table.
 //!
 //! Rules R1–R5 run over `crates/*/src`; R6 and R8 run over both
 //! `crates/*/src` and `vendor/rayon/src`; R7's `static mut` ban runs
 //! everywhere and its shim-only part runs over `vendor/rayon/src`; R9
-//! runs over `crates/dram/src` and `crates/mc/src` only.
+//! runs over `crates/dram/src` and `crates/mc/src`; R10 over
+//! `crates/core/src` and `crates/bwpartd/src`; R11 and R12 over every
+//! first-party crate; R13 over the `bwpartd` server/engine modules.
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use crate::engine::{self, FileCtx, Finding};
 
 /// One enforced rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +118,18 @@ pub enum Rule {
     /// functions — pre-resolve handles at attach time and touch them
     /// through the `obs_*!` macros.
     R9,
+    /// `match`es over `PartitionScheme` / `ErrorCode` in the scheme and
+    /// service crates must list every variant (no wildcard arms).
+    R10,
+    /// No mixing `_cycles` / `_ns` / share-fraction identifiers in
+    /// additive or comparison arithmetic without an explicit conversion.
+    R11,
+    /// `obs_*!` call sites require `trace` feature wiring to `bwpart-obs`
+    /// in the owning crate's manifest.
+    R12,
+    /// `bwpartd` lock guards must follow the declared in-source
+    /// lock-order table (deadlock lint).
+    R13,
 }
 
 impl Rule {
@@ -105,7 +145,16 @@ impl Rule {
             Rule::R7 => "R7",
             Rule::R8 => "R8",
             Rule::R9 => "R9",
+            Rule::R10 => "R10",
+            Rule::R11 => "R11",
+            Rule::R12 => "R12",
+            Rule::R13 => "R13",
         }
+    }
+
+    /// Parse a rule code (`"R7"`) back to the rule.
+    pub fn from_code(code: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.code() == code)
     }
 
     /// One-line description for `cargo xtask lint --rules`.
@@ -139,11 +188,130 @@ impl Rule {
                          functions) must use the obs_*! macros over pre-resolved hooks, \
                          never direct registry .counter()/.gauge()/.histogram() calls"
             }
+            Rule::R10 => {
+                "matches over PartitionScheme/ErrorCode in crates/core and \
+                         crates/bwpartd must list every variant — no `_`/binding \
+                         catch-all arms"
+            }
+            Rule::R11 => {
+                "no mixing _cycles / _ns / share-fraction identifiers in +,-, \
+                         or comparison arithmetic without an explicit conversion call"
+            }
+            Rule::R12 => {
+                "obs_*! call sites must live in crates whose Cargo.toml wires \
+                         the `trace` feature through to bwpart-obs"
+            }
+            Rule::R13 => {
+                "bwpartd server/engine lock acquisitions must follow the \
+                         declared `// lint: lock-order:` table (deadlock lint)"
+            }
+        }
+    }
+
+    /// Long-form rationale for `cargo xtask lint --explain R<N>`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::R1 => {
+                "The model is a library first: experiments, the CLI, bwpartd and the \
+                 benches all call into it with inputs the library cannot vet at compile \
+                 time. A panic in shared code aborts every one of those harnesses at \
+                 once, so fallible paths must return ModelError instead. Tests \
+                 (#[cfg(test)] items) may panic freely. Suppress a deliberate abort \
+                 with `// lint: allow(R1): <reason>` attached to the call."
+            }
+            Rule::R2 => {
+                "Float equality is not transitive under rounding, and partial_cmp \
+                 silently returns None for NaN — both have produced wrong ordering \
+                 decisions in bandwidth-share code. Use f64::total_cmp for ordering \
+                 and contracts::approx_eq for tolerance checks. The rule matches the \
+                 token stream, so float literals inside strings or comments are inert."
+            }
+            Rule::R3 => {
+                "Eq. 9-11 of the paper require share vectors to lie on the capped \
+                 simplex. Every public producer of a Vec<f64> share/allocation in \
+                 bwpart-core or the bwpartd engine must route its output through \
+                 validate_shares, ensures_simplex!, ensures_capped! or invariant! so \
+                 the certification is part of the function, not the caller's homework."
+            }
+            Rule::R4 => {
+                "A clippy suppression with no reason rots: nobody can tell whether it \
+                 is still needed or what it was hiding. Attach a plain `//` comment \
+                 (not a doc comment) with the reason to the attribute."
+            }
+            Rule::R5 => {
+                "bwpart-experiments reproduces the paper's figures; hand-rolled \
+                 .step() loops bypass CmpSystem::run's event-driven fast-forward, so \
+                 a figure could silently measure a different simulator configuration \
+                 than the rest of the suite. Drive the system through run()."
+            }
+            Rule::R6 => {
+                "Relaxed and AcqRel orderings are correct only relative to a specific \
+                 happens-before edge; an unexplained one cannot be reviewed or \
+                 model-checked. Name the edge in an attached comment containing `hb:` \
+                 or `happens-before` (or state why no edge is needed). SeqCst, \
+                 Acquire and Release carry their own contract and need no comment."
+            }
+            Rule::R7 => {
+                "static mut is UB-prone (aliased &mut) and invisible to the loomlite \
+                 model checker — use atomics, locks, or OnceLock. Inside vendor/rayon \
+                 every sync/thread primitive must come from crate::shim so the \
+                 loomlite build swaps in its controlled versions; naming std::sync or \
+                 std::thread directly would leave an unexplored interleaving."
+            }
+            Rule::R8 => {
+                "Every unsafe site needs a reviewable obligation: a // SAFETY: \
+                 comment attached to the site, plus a per-file, token-accurate site \
+                 count registered in UNSAFE_AUDIT.md. The audit cross-check fails \
+                 when counts drift, so new unsafe cannot land unnoticed."
+            }
+            Rule::R9 => {
+                "The dram/mc per-cycle functions run millions of times per \
+                 experiment; a registry .counter()/.gauge()/.histogram() call hashes \
+                 a name and takes a lock per event. Hot paths must pre-resolve \
+                 handles at attach time and touch them through the zero-cost obs_*! \
+                 macros; cold paths (attach, publish) are exempt."
+            }
+            Rule::R10 => {
+                "Adding a PartitionScheme variant or an ErrorCode must force a \
+                 review at every dispatch over those enums — the certification and \
+                 wire-protocol story depends on it. A `_` or lowercase binding arm \
+                 in a match whose patterns name PartitionScheme/Scheme/ErrorCode \
+                 would adopt new variants silently, so such matches must list every \
+                 variant (or-patterns are fine). String-keyed matches are exempt: \
+                 the rule looks at arm patterns, not expressions."
+            }
+            Rule::R11 => {
+                "Cycle counts, wall-clock nanoseconds and share fractions are all \
+                 bare numbers in this codebase; adding or comparing across units is \
+                 a silent correctness bug (the F2 class of drift). The rule \
+                 classifies operand identifiers by suffix (_cycles/_ns/_share/_frac) \
+                 and flags +,-,== and ordering comparisons that mix classes. \
+                 Multiplication and division are exempt — that is how conversions \
+                 like ns_to_cycles are written, and a conversion call renames the \
+                 unit (its name ends in the target suffix)."
+            }
+            Rule::R12 => {
+                "The obs_*! macros compile to no-ops unless the `trace` feature \
+                 reaches bwpart-obs. A call site in a crate that does not forward \
+                 the feature (`trace = [\"bwpart-obs/trace\", ...]` or the dep \
+                 feature enabled directly) can never fire, which is a silent \
+                 observability hole: builds with --features trace would still skip \
+                 it. Wire the feature through the owning crate's Cargo.toml."
+            }
+            Rule::R13 => {
+                "bwpartd's server and engine share mutexes; taking them in \
+                 different orders on different paths is the classic deadlock. The \
+                 order is declared in-source (`// lint: lock-order: outer < inner`) \
+                 and the rule checks every nested acquisition against it, flags \
+                 re-entrant locking of the same mutex, and requires every lock it \
+                 sees to appear in the table — so adding a lock forces the table \
+                 (and the reviewer) to place it."
+            }
         }
     }
 
     /// All rules, report order.
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 13] = [
         Rule::R1,
         Rule::R2,
         Rule::R3,
@@ -153,618 +321,180 @@ impl Rule {
         Rule::R7,
         Rule::R8,
         Rule::R9,
+        Rule::R10,
+        Rule::R11,
+        Rule::R12,
+        Rule::R13,
     ];
 }
 
-/// One finding: a rule violated at a specific line.
+/// One finding: a rule violated at a specific source span.
 #[derive(Debug, Clone)]
 pub struct Violation {
     /// Path of the offending file (as given to the scanner).
     pub file: String,
-    /// 1-based line number.
+    /// 1-based line number of the anchor.
     pub line: usize,
+    /// 1-based byte column of the anchor.
+    pub col: usize,
+    /// 1-based line number of the span end.
+    pub end_line: usize,
+    /// 1-based byte column just past the span end.
+    pub end_col: usize,
     /// The violated rule.
     pub rule: Rule,
     /// Human-readable explanation.
     pub message: String,
+    /// The trimmed source line the anchor sits on.
+    pub snippet: String,
+    /// Suppressed by an attached `lint: allow(R<N>)` marker?
+    pub suppressed: bool,
+    /// The marker comment's text, when suppressed.
+    pub justification: Option<String>,
+}
+
+impl Violation {
+    /// A position-only violation (used by the inventory cross-check,
+    /// which reports on markdown rather than lexed Rust).
+    fn at(file: &str, line: usize, rule: Rule, message: String) -> Self {
+        Violation {
+            file: file.to_string(),
+            line,
+            col: 1,
+            end_line: line,
+            end_col: 1,
+            rule,
+            message,
+            snippet: String::new(),
+            suppressed: false,
+            justification: None,
+        }
+    }
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
+            "{}:{}:{}: [{}] {}",
             self.file,
             self.line,
+            self.col,
             self.rule.code(),
             self.message
         )
     }
 }
 
-/// Source text split into scannable code and per-line comment text.
-struct Prepared {
-    /// Lines of code with comment and string/char-literal contents blanked
-    /// to spaces (byte offsets preserved).
-    code_lines: Vec<String>,
-    /// The full blanked code as one string (for multi-line constructs).
-    code: String,
-    /// Concatenated comment text per 0-based line, including the `//`.
-    comments: Vec<String>,
-    /// `true` for each 0-based line inside a `#[cfg(test)]` item.
-    test_line: Vec<bool>,
+/// 1-based (line, byte-col) of byte offset `pos` in `src`.
+fn line_col(src: &str, pos: usize) -> (usize, usize) {
+    let pos = pos.min(src.len());
+    let before = &src.as_bytes()[..pos];
+    let line = before.iter().filter(|&&b| b == b'\n').count() + 1;
+    let line_start = before
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    (line, pos - line_start + 1)
 }
 
-/// Blank comments, strings and char literals out of `src`, collecting the
-/// comment text per line. Byte length and newline positions are preserved so
-/// offsets map 1:1 onto the original source.
-fn prepare(src: &str) -> Prepared {
+/// The trimmed source line containing byte offset `pos` (truncated so
+/// reports and JSON stay readable).
+fn snippet_at(src: &str, pos: usize) -> String {
+    let pos = pos.min(src.len());
     let bytes = src.as_bytes();
-    let len = bytes.len();
-    let mut code = bytes.to_vec();
-    let n_lines = src.split('\n').count();
-    let mut comments = vec![String::new(); n_lines];
-    let mut line = 0usize;
-    let mut i = 0usize;
-
-    // Record a comment span [start, end) into `comments`, blanking it in
-    // `code` and advancing the line counter across embedded newlines.
-    let record_comment = |code: &mut [u8],
-                          comments: &mut [String],
-                          line: &mut usize,
-                          src: &str,
-                          start: usize,
-                          end: usize| {
-        let mut seg_start = start;
-        let seg_bytes = src.as_bytes();
-        for j in start..end {
-            if seg_bytes[j] == b'\n' {
-                if let Some(seg) = src.get(seg_start..j) {
-                    comments[*line].push_str(seg);
-                }
-                *line += 1;
-                seg_start = j + 1;
-            } else {
-                code[j] = b' ';
-            }
-        }
-        if let Some(seg) = src.get(seg_start..end) {
-            comments[*line].push_str(seg);
-        }
-    };
-
-    while i < len {
-        let b = bytes[i];
-        match b {
-            b'\n' => {
-                line += 1;
-                i += 1;
-            }
-            b'/' if i + 1 < len && bytes[i + 1] == b'/' => {
-                let start = i;
-                while i < len && bytes[i] != b'\n' {
-                    i += 1;
-                }
-                record_comment(&mut code, &mut comments, &mut line, src, start, i);
-            }
-            b'/' if i + 1 < len && bytes[i + 1] == b'*' => {
-                let start = i;
-                let mut depth = 1usize;
-                i += 2;
-                while i < len && depth > 0 {
-                    if bytes[i] == b'/' && i + 1 < len && bytes[i + 1] == b'*' {
-                        depth += 1;
-                        i += 2;
-                    } else if bytes[i] == b'*' && i + 1 < len && bytes[i + 1] == b'/' {
-                        depth -= 1;
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                }
-                record_comment(&mut code, &mut comments, &mut line, src, start, i);
-            }
-            b'"' => {
-                // Plain string literal: blank the contents and delimiters.
-                code[i] = b' ';
-                i += 1;
-                while i < len {
-                    match bytes[i] {
-                        b'\\' => {
-                            code[i] = b' ';
-                            if i + 1 < len {
-                                if bytes[i + 1] == b'\n' {
-                                    // Line-continuation escape: the newline
-                                    // must still advance the line counter or
-                                    // every later comment is attributed to
-                                    // the wrong line.
-                                    line += 1;
-                                } else {
-                                    code[i + 1] = b' ';
-                                }
-                            }
-                            i += 2;
-                        }
-                        b'"' => {
-                            code[i] = b' ';
-                            i += 1;
-                            break;
-                        }
-                        b'\n' => {
-                            line += 1;
-                            i += 1;
-                        }
-                        _ => {
-                            code[i] = b' ';
-                            i += 1;
-                        }
-                    }
-                }
-            }
-            b'r' | b'b' => {
-                // Possible raw-string prefix (r", r#", br#"...). Only treat
-                // as one when the full prefix pattern matches; otherwise the
-                // byte is ordinary code (identifier, lifetime, ...).
-                let mut j = i;
-                if bytes[j] == b'b' && j + 1 < len && bytes[j + 1] == b'r' {
-                    j += 1;
-                }
-                let mut k = j + 1;
-                let mut hashes = 0usize;
-                while k < len && bytes[k] == b'#' {
-                    hashes += 1;
-                    k += 1;
-                }
-                let prev_ident =
-                    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
-                if !prev_ident && bytes[j] == b'r' && k < len && bytes[k] == b'"' {
-                    // Raw string: runs until `"` followed by `hashes` hashes.
-                    for c in code.iter_mut().take(k + 1).skip(i) {
-                        *c = b' ';
-                    }
-                    i = k + 1;
-                    loop {
-                        if i >= len {
-                            break;
-                        }
-                        if bytes[i] == b'\n' {
-                            line += 1;
-                            i += 1;
-                            continue;
-                        }
-                        if bytes[i] == b'"' {
-                            let mut h = 0usize;
-                            while i + 1 + h < len && h < hashes && bytes[i + 1 + h] == b'#' {
-                                h += 1;
-                            }
-                            if h == hashes {
-                                for c in code.iter_mut().take(i + 1 + h).skip(i) {
-                                    *c = b' ';
-                                }
-                                i += 1 + h;
-                                break;
-                            }
-                        }
-                        code[i] = b' ';
-                        i += 1;
-                    }
-                } else {
-                    i += 1;
-                }
-            }
-            b'\'' => {
-                // Char literal vs lifetime. `'\x'`, `'a'` are literals; a
-                // quote not closed within two chars is a lifetime tick.
-                if i + 1 < len && bytes[i + 1] == b'\\' {
-                    code[i] = b' ';
-                    i += 1;
-                    while i < len && bytes[i] != b'\'' {
-                        code[i] = b' ';
-                        i += 1;
-                    }
-                    if i < len {
-                        code[i] = b' ';
-                        i += 1;
-                    }
-                } else if i + 2 < len && bytes[i + 2] == b'\'' {
-                    code[i] = b' ';
-                    code[i + 1] = b' ';
-                    code[i + 2] = b' ';
-                    i += 3;
-                } else {
-                    i += 1;
-                }
-            }
-            _ => {
-                i += 1;
-            }
-        }
-    }
-
-    let code = String::from_utf8_lossy(&code).into_owned();
-    let code_lines: Vec<String> = code.split('\n').map(str::to_string).collect();
-    let test_line = test_line_mask(&code, code_lines.len());
-    Prepared {
-        code_lines,
-        code,
-        comments,
-        test_line,
-    }
-}
-
-/// Mark every line belonging to a `#[cfg(test)]` item (attribute through the
-/// item's closing brace or semicolon).
-fn test_line_mask(code: &str, n_lines: usize) -> Vec<bool> {
-    let bytes = code.as_bytes();
-    let len = bytes.len();
-    let mut mask = vec![false; n_lines];
-    // line number of each byte offset
-    let line_of = |pos: usize| code[..pos].matches('\n').count();
-
-    let mut i = 0usize;
-    while i < len {
-        if bytes[i] != b'#' {
-            i += 1;
-            continue;
-        }
-        let attr_start = i;
-        let mut j = i + 1;
-        while j < len && bytes[j].is_ascii_whitespace() {
-            j += 1;
-        }
-        if j >= len || bytes[j] != b'[' {
-            i += 1;
-            continue;
-        }
-        // bracket-match the attribute
-        let mut depth = 0usize;
-        let mut k = j;
-        while k < len {
-            match bytes[k] {
-                b'[' => depth += 1,
-                b']' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            k += 1;
-        }
-        if k >= len {
-            break;
-        }
-        let attr: String = code[j..=k].chars().filter(|c| !c.is_whitespace()).collect();
-        if attr != "[cfg(test)]" {
-            i = k + 1;
-            continue;
-        }
-        // Scan forward to the end of the annotated item: the matching close
-        // brace, or a semicolon that appears before any brace opens.
-        let mut m = k + 1;
-        let mut brace = 0usize;
-        let mut end = len.saturating_sub(1);
-        while m < len {
-            match bytes[m] {
-                b'{' => brace += 1,
-                b'}' => {
-                    brace -= 1;
-                    if brace == 0 {
-                        end = m;
-                        break;
-                    }
-                }
-                b';' if brace == 0 => {
-                    end = m;
-                    break;
-                }
-                _ => {}
-            }
-            m += 1;
-        }
-        let first = line_of(attr_start);
-        let last = line_of(end.min(len.saturating_sub(1)));
-        let last = last.min(n_lines.saturating_sub(1));
-        for flag in mask.iter_mut().take(last + 1).skip(first) {
-            *flag = true;
-        }
-        i = end + 1;
-    }
-    mask
-}
-
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Byte positions where `ident` occurs as a whole token in `line`.
-fn ident_positions(line: &str, ident: &str) -> Vec<usize> {
-    let mut out = Vec::new();
-    let lb = line.as_bytes();
-    let mut from = 0usize;
-    while let Some(rel) = line[from..].find(ident) {
-        let pos = from + rel;
-        let before_ok = pos == 0 || !is_ident_byte(lb[pos - 1]);
-        let after = pos + ident.len();
-        let after_ok = after >= lb.len() || !is_ident_byte(lb[after]);
-        if before_ok && after_ok {
-            out.push(pos);
-        }
-        from = pos + ident.len().max(1);
+    let start = bytes[..pos]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let end = bytes[pos..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map(|p| pos + p)
+        .unwrap_or(bytes.len());
+    let line = src.get(start..end).unwrap_or("").trim();
+    let mut out: String = line.chars().take(160).collect();
+    if out.len() < line.len() {
+        out.push('…');
     }
     out
 }
 
-fn prev_nonspace(line: &str, pos: usize) -> Option<u8> {
-    line.as_bytes()[..pos]
-        .iter()
-        .rev()
-        .copied()
-        .find(|b| !b.is_ascii_whitespace())
-}
-
-fn next_nonspace(line: &str, pos: usize) -> Option<u8> {
-    line.as_bytes()[pos..]
-        .iter()
-        .copied()
-        .find(|b| !b.is_ascii_whitespace())
-}
-
-/// Extract the token (identifier/number/field-path characters) ending
-/// immediately before `pos`, and the one starting at `pos`.
-fn token_before(line: &str, mut pos: usize) -> &str {
-    let lb = line.as_bytes();
-    while pos > 0 && lb[pos - 1].is_ascii_whitespace() {
-        pos -= 1;
-    }
-    let end = pos;
-    while pos > 0 && (is_ident_byte(lb[pos - 1]) || lb[pos - 1] == b'.') {
-        pos -= 1;
-    }
-    &line[pos..end]
-}
-
-fn token_after(line: &str, mut pos: usize) -> &str {
-    let lb = line.as_bytes();
-    while pos < lb.len() && lb[pos].is_ascii_whitespace() {
-        pos += 1;
-    }
-    let start = pos;
-    let mut neg = false;
-    if pos < lb.len() && lb[pos] == b'-' {
-        neg = true;
-        pos += 1;
-    }
-    while pos < lb.len() && (is_ident_byte(lb[pos]) || lb[pos] == b'.') {
-        pos += 1;
-    }
-    if neg && pos == start + 1 {
-        // a lone '-' is not a token
-        return "";
-    }
-    &line[start..pos]
-}
-
-/// Type-blind float-literal detector: `1.0`, `1e-9`, `2f64`, `-0.5`, ...
-fn is_float_literal(token: &str) -> bool {
-    let t = token.strip_prefix('-').unwrap_or(token);
-    let Some(first) = t.chars().next() else {
-        return false;
-    };
-    if !first.is_ascii_digit() {
-        return false;
-    }
-    if t.starts_with("0x") || t.starts_with("0b") || t.starts_with("0o") {
-        return false;
-    }
-    t.contains('.')
-        || t.ends_with("f32")
-        || t.ends_with("f64")
-        || t.chars().any(|c| c == 'e' || c == 'E')
-}
-
-/// Does line `idx` (or the line above) carry a `lint: allow(<rule>)` marker?
-fn allowed(prepared: &Prepared, idx: usize, rule: Rule) -> bool {
-    let marker_plain = format!("lint: allow({})", rule.code());
-    let marker_tight = format!("lint:allow({})", rule.code());
-    // Same-line, or anywhere in the contiguous comment block above (so a
-    // marker whose explanation wraps onto a second comment line still
-    // covers the site beneath it).
-    comment_chain_matches(prepared, idx, &|c: &str| {
-        c.contains(&marker_plain) || c.contains(&marker_tight)
-    })
-}
-
-/// Does line `idx` (or the line above) carry a plain, non-doc comment
-/// (accepted as an R4 justification)?
-fn has_justification(prepared: &Prepared, idx: usize) -> bool {
-    let check = |l: usize| {
-        prepared.comments.get(l).is_some_and(|c| {
-            let t = c.trim_start();
-            t.starts_with("//")
-                && !t.starts_with("///")
-                && !t.starts_with("//!")
-                && t.trim_start_matches('/').trim().len() > 2
+/// Convert engine findings into reported violations.
+fn to_violations(file: &str, src: &str, findings: Vec<Finding>) -> Vec<Violation> {
+    let mut out: Vec<Violation> = findings
+        .into_iter()
+        .map(|f| {
+            let (line, col) = line_col(src, f.start);
+            let (end_line, end_col) = line_col(src, f.end);
+            Violation {
+                file: file.to_string(),
+                line,
+                col,
+                end_line,
+                end_col,
+                rule: f.rule,
+                message: f.message,
+                snippet: snippet_at(src, f.start),
+                suppressed: f.suppressed,
+                justification: f.justification,
+            }
         })
-    };
-    check(idx) || (idx > 0 && check(idx - 1))
+        .collect();
+    out.sort_by(|a, b| (a.line, a.col, a.rule.code()).cmp(&(b.line, b.col, b.rule.code())));
+    out
 }
 
-/// Does any comment attached to line `idx` satisfy `pred`? Checks the
-/// same line, then walks up through the contiguous block of comment-only
-/// lines above (plus the first code line's trailing comment), so block
-/// explanations like a three-line `// SAFETY:` paragraph count for the
-/// site beneath them.
-fn comment_chain_matches(prepared: &Prepared, idx: usize, pred: &dyn Fn(&str) -> bool) -> bool {
-    if prepared.comments.get(idx).is_some_and(|c| pred(c)) {
-        return true;
-    }
-    let mut l = idx;
-    while l > 0 {
-        l -= 1;
-        let comment = prepared.comments.get(l).map(String::as_str).unwrap_or("");
-        let code_blank = prepared
-            .code_lines
-            .get(l)
-            .is_none_or(|c| c.trim().is_empty());
-        if !comment.is_empty() && pred(comment) {
-            return true;
-        }
-        // Stop once we leave the contiguous comment block: a code line
-        // terminates the chain (after its trailing comment was checked),
-        // and a fully blank line separates unrelated comments.
-        if !code_blank || comment.is_empty() {
-            return false;
-        }
-    }
-    false
-}
-
-/// R6: does this line's comment chain justify a weak atomic ordering?
-fn has_hb_justification(prepared: &Prepared, idx: usize) -> bool {
-    comment_chain_matches(prepared, idx, &|c: &str| {
-        c.contains("hb:") || c.contains("happens-before")
-    })
-}
-
-/// R8: does this line's comment chain carry a `SAFETY:` explanation?
-fn has_safety_comment(prepared: &Prepared, idx: usize) -> bool {
-    comment_chain_matches(prepared, idx, &|c: &str| c.contains("SAFETY:"))
-}
-
-fn scan_r6(file: &str, prepared: &Prepared, idx: usize, line: &str, out: &mut Vec<Violation>) {
-    for variant in ["Relaxed", "AcqRel"] {
-        for pos in ident_positions(line, variant) {
-            // Only the path form (`Ordering::Relaxed`, `atomic::Ordering::
-            // AcqRel`, ...) is an ordering use; a bare identifier is just
-            // a name.
-            if !line[..pos].trim_end().ends_with("::") {
-                continue;
-            }
-            if has_hb_justification(prepared, idx) || allowed(prepared, idx, Rule::R6) {
-                continue;
-            }
-            out.push(Violation {
-                file: file.to_string(),
-                line: idx + 1,
-                rule: Rule::R6,
-                message: format!(
-                    "Ordering::{variant} without a happens-before justification: \
-                     add a comment naming the hb: edge (or why none is needed)"
-                ),
-            });
-        }
-    }
-}
-
-fn scan_r7_static_mut(
-    file: &str,
-    prepared: &Prepared,
-    idx: usize,
-    line: &str,
-    out: &mut Vec<Violation>,
-) {
-    for pos in ident_positions(line, "static") {
-        // `&'static mut T` is the lifetime, not the item keyword.
-        if pos > 0 && line.as_bytes()[pos - 1] == b'\'' {
-            continue;
-        }
-        if token_after(line, pos + "static".len()) == "mut" && !allowed(prepared, idx, Rule::R7) {
-            out.push(Violation {
-                file: file.to_string(),
-                line: idx + 1,
-                rule: Rule::R7,
-                message: "static mut is banned: use an atomic, a lock, or OnceLock".into(),
-            });
-        }
-    }
-}
-
-/// R7, shim part: vendored pool code must not name `std::sync` /
-/// `std::thread` directly (only `shim.rs` may).
-fn scan_r7_vendor_std(
-    file: &str,
-    prepared: &Prepared,
-    idx: usize,
-    line: &str,
-    out: &mut Vec<Violation>,
-) {
-    for banned in ["std::sync", "std::thread"] {
-        let mut from = 0usize;
-        while let Some(rel) = line[from..].find(banned) {
-            let pos = from + rel;
-            from = pos + banned.len();
-            let lb = line.as_bytes();
-            let before_ok = pos == 0 || !(is_ident_byte(lb[pos - 1]) || lb[pos - 1] == b':');
-            let after = pos + banned.len();
-            let after_ok = after >= lb.len() || !is_ident_byte(lb[after]);
-            if before_ok && after_ok && !allowed(prepared, idx, Rule::R7) {
-                out.push(Violation {
-                    file: file.to_string(),
-                    line: idx + 1,
-                    rule: Rule::R7,
-                    message: format!(
-                        "direct {banned} reference in vendored pool code: go through \
-                         crate::shim so the loomlite model checker covers this path"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-fn scan_r8(file: &str, prepared: &Prepared, idx: usize, line: &str, out: &mut Vec<Violation>) {
-    for pos in ident_positions(line, "unsafe") {
-        // `unsafe` in a type position (`unsafe fn` pointer types) still
-        // deserves the comment; no exemptions beyond the allow marker.
-        let _ = pos;
-        if has_safety_comment(prepared, idx) || allowed(prepared, idx, Rule::R8) {
-            continue;
-        }
-        out.push(Violation {
-            file: file.to_string(),
-            line: idx + 1,
-            rule: Rule::R8,
-            message: "unsafe without a // SAFETY: comment on the same line or the \
-                      comment block above"
-                .into(),
-        });
-    }
-}
-
-/// Count the `unsafe` sites R8 audits in `src` (non-test code lines),
-/// for cross-checking against the `UNSAFE_AUDIT.md` inventory.
+/// Count the `unsafe` sites R8 audits in `src` (non-test code),
+/// token-accurately, for cross-checking against the `UNSAFE_AUDIT.md`
+/// inventory.
 pub fn count_unsafe_sites(src: &str) -> usize {
-    let prepared = prepare(src);
-    prepared
-        .code_lines
-        .iter()
-        .enumerate()
-        .filter(|(idx, _)| !prepared.test_line.get(*idx).copied().unwrap_or(false))
-        .map(|(_, line)| ident_positions(line, "unsafe").len())
-        .sum()
+    engine::unsafe_sites(src)
+}
+
+/// Scan one file's source. `is_share_producer` enables the R3 producer
+/// rule and the R10 exhaustiveness rule (both apply to the crates that
+/// compute share vectors: `bwpart-core` and the `bwpartd` engine);
+/// `is_experiments` enables the R5 stepping rule; `is_hot_sim` enables
+/// R9. R11 always runs; R12/R13 need tree context and are exercised via
+/// [`lint_tree`]. Suppressed findings are filtered out (use
+/// [`lint_tree_report`] to see them).
+pub fn lint_source(
+    file: &str,
+    src: &str,
+    is_share_producer: bool,
+    is_experiments: bool,
+    is_hot_sim: bool,
+) -> Vec<Violation> {
+    let ctx = FileCtx {
+        share_producer: is_share_producer,
+        experiments: is_experiments,
+        hot_sim: is_hot_sim,
+        match_exhaustive: is_share_producer,
+        unit_safety: true,
+        ..FileCtx::default()
+    };
+    to_violations(file, src, engine::run(src, &ctx))
+        .into_iter()
+        .filter(|v| !v.suppressed)
+        .collect()
 }
 
 /// Scan one vendored-pool file (`vendor/rayon/src/**`). Only the
 /// concurrency rules apply there: R6, R7 (both parts; `is_shim` exempts
 /// the alias module itself from the std-reference ban), and R8.
 pub fn lint_vendor_source(file: &str, src: &str, is_shim: bool) -> Vec<Violation> {
-    let prepared = prepare(src);
-    let mut out = Vec::new();
-    for (idx, line) in prepared.code_lines.iter().enumerate() {
-        if prepared.test_line.get(idx).copied().unwrap_or(false) {
-            continue;
-        }
-        scan_r6(file, &prepared, idx, line, &mut out);
-        scan_r7_static_mut(file, &prepared, idx, line, &mut out);
-        if !is_shim {
-            scan_r7_vendor_std(file, &prepared, idx, line, &mut out);
-        }
-        scan_r8(file, &prepared, idx, line, &mut out);
-    }
-    out.sort_by_key(|v| v.line);
-    out
+    let ctx = FileCtx {
+        vendor: true,
+        shim: is_shim,
+        ..FileCtx::default()
+    };
+    to_violations(file, src, engine::run(src, &ctx))
+        .into_iter()
+        .filter(|v| !v.suppressed)
+        .collect()
 }
 
 /// Cross-check actual per-file `unsafe` site counts against the
@@ -793,479 +523,84 @@ pub fn check_unsafe_inventory(audit: Option<&str>, actual: &[(String, usize)]) -
             .and_then(|s| s.parse::<usize>().ok());
         match count {
             Some(n) => inventory.push((path.to_string(), n, idx + 1)),
-            None => out.push(Violation {
-                file: audit_file.to_string(),
-                line: idx + 1,
-                rule: Rule::R8,
-                message: format!(
+            None => out.push(Violation::at(
+                audit_file,
+                idx + 1,
+                Rule::R8,
+                format!(
                     "malformed inventory line for `{path}`: expected \
                      `- \u{60}path\u{60} — <count> — <description>`"
                 ),
-            }),
+            )),
         }
     }
     for (file, count) in actual {
         match inventory.iter().find(|(p, _, _)| p == file) {
-            None => out.push(Violation {
-                file: file.clone(),
-                line: 1,
-                rule: Rule::R8,
-                message: format!(
+            None => out.push(Violation::at(
+                file,
+                1,
+                Rule::R8,
+                format!(
                     "{count} unsafe site(s) not registered in {audit_file}: add \
                      `- \u{60}{file}\u{60} — {count} — <description>`"
                 ),
-            }),
-            Some((_, registered, audit_line)) if registered != count => out.push(Violation {
-                file: audit_file.to_string(),
-                line: *audit_line,
-                rule: Rule::R8,
-                message: format!(
+            )),
+            Some((_, registered, audit_line)) if registered != count => out.push(Violation::at(
+                audit_file,
+                *audit_line,
+                Rule::R8,
+                format!(
                     "inventory lists {registered} unsafe site(s) for `{file}` \
                      but the source has {count}: update the entry"
                 ),
-            }),
+            )),
             Some(_) => {}
         }
     }
     for (path, _, audit_line) in &inventory {
         if !actual.iter().any(|(f, _)| f == path) {
-            out.push(Violation {
-                file: audit_file.to_string(),
-                line: *audit_line,
-                rule: Rule::R8,
-                message: format!(
+            out.push(Violation::at(
+                audit_file,
+                *audit_line,
+                Rule::R8,
+                format!(
                     "stale inventory entry: `{path}` has no unsafe sites (or no \
                      longer exists); remove the line"
                 ),
-            });
+            ));
         }
     }
     out
 }
 
-/// Scan one file's source. `is_share_producer` enables the R3 producer rule
-/// (it applies to the crates that compute share vectors: `bwpart-core` and
-/// the `bwpartd` epoch engine); `is_experiments` enables the R5 stepping
-/// rule (it only applies to `bwpart-experiments`).
-pub fn lint_source(
-    file: &str,
-    src: &str,
-    is_share_producer: bool,
-    is_experiments: bool,
-    is_hot_sim: bool,
-) -> Vec<Violation> {
-    let prepared = prepare(src);
-    let mut out = Vec::new();
-
-    for (idx, line) in prepared.code_lines.iter().enumerate() {
-        if prepared.test_line.get(idx).copied().unwrap_or(false) {
-            continue;
+/// Does this crate manifest wire the `trace` feature through to
+/// `bwpart-obs` (R12)? Accepts either shape:
+///
+/// ```text
+/// bwpart-obs = { workspace = true, features = ["trace"] }
+/// ```
+///
+/// or a forwarding feature:
+///
+/// ```text
+/// [features]
+/// trace = ["bwpart-obs/trace"]
+/// ```
+fn obs_trace_wired(manifest: &str) -> bool {
+    for line in manifest.lines() {
+        let t = line.trim();
+        if t.starts_with("bwpart-obs") && t.contains("features") && t.contains("\"trace\"") {
+            return true;
         }
-        scan_r1(file, &prepared, idx, line, &mut out);
-        scan_r2(file, &prepared, idx, line, &mut out);
-        scan_r4(file, &prepared, idx, line, &mut out);
-        if is_experiments {
-            scan_r5(file, &prepared, idx, line, &mut out);
-        }
-        scan_r6(file, &prepared, idx, line, &mut out);
-        scan_r7_static_mut(file, &prepared, idx, line, &mut out);
-        scan_r8(file, &prepared, idx, line, &mut out);
-    }
-    if is_share_producer {
-        scan_r3(file, &prepared, &mut out);
-    }
-    if is_hot_sim {
-        scan_r9(file, &prepared, &mut out);
-    }
-    out.sort_by_key(|v| v.line);
-    out
-}
-
-fn scan_r1(file: &str, prepared: &Prepared, idx: usize, line: &str, out: &mut Vec<Violation>) {
-    for method in ["unwrap", "expect"] {
-        for pos in ident_positions(line, method) {
-            let called = next_nonspace(line, pos + method.len()) == Some(b'(');
-            if prev_nonspace(line, pos) == Some(b'.') && called && !allowed(prepared, idx, Rule::R1)
-            {
-                out.push(Violation {
-                    file: file.to_string(),
-                    line: idx + 1,
-                    rule: Rule::R1,
-                    message: format!(
-                        ".{method}() in library code: return ModelError (or annotate \
-                         `// lint: allow(R1): <reason>`)"
-                    ),
-                });
-            }
+        let assigned = t
+            .strip_prefix("trace")
+            .map(|rest| rest.trim_start().starts_with('='))
+            .unwrap_or(false);
+        if assigned && t.contains("bwpart-obs/trace") {
+            return true;
         }
     }
-    for mac in ["panic", "unreachable", "todo", "unimplemented"] {
-        for pos in ident_positions(line, mac) {
-            if next_nonspace(line, pos + mac.len()) == Some(b'!')
-                && prev_nonspace(line, pos) != Some(b'.')
-                && !allowed(prepared, idx, Rule::R1)
-            {
-                out.push(Violation {
-                    file: file.to_string(),
-                    line: idx + 1,
-                    rule: Rule::R1,
-                    message: format!(
-                        "{mac}! in library code: return ModelError (or annotate \
-                         `// lint: allow(R1): <reason>`)"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-fn scan_r2(file: &str, prepared: &Prepared, idx: usize, line: &str, out: &mut Vec<Violation>) {
-    for pos in ident_positions(line, "partial_cmp") {
-        if prev_nonspace(line, pos) == Some(b'.') && !allowed(prepared, idx, Rule::R2) {
-            out.push(Violation {
-                file: file.to_string(),
-                line: idx + 1,
-                rule: Rule::R2,
-                message: "bare .partial_cmp(): use f64::total_cmp for a total order".into(),
-            });
-        }
-    }
-    let lb = line.as_bytes();
-    for op in ["==", "!="] {
-        let mut from = 0usize;
-        while let Some(rel) = line[from..].find(op) {
-            let pos = from + rel;
-            from = pos + 2;
-            // Exclude <=, >=, =>, === style neighbours.
-            if pos > 0 && matches!(lb[pos - 1], b'<' | b'>' | b'=' | b'!') {
-                continue;
-            }
-            if pos + 2 < lb.len() && lb[pos + 2] == b'=' {
-                continue;
-            }
-            let lhs = token_before(line, pos);
-            let rhs = token_after(line, pos + 2);
-            if (is_float_literal(lhs) || is_float_literal(rhs)) && !allowed(prepared, idx, Rule::R2)
-            {
-                out.push(Violation {
-                    file: file.to_string(),
-                    line: idx + 1,
-                    rule: Rule::R2,
-                    message: format!(
-                        "float-literal comparison `{} {} {}`: use contracts::approx_eq \
-                         or restructure",
-                        lhs, op, rhs
-                    ),
-                });
-            }
-        }
-    }
-}
-
-fn scan_r5(file: &str, prepared: &Prepared, idx: usize, line: &str, out: &mut Vec<Violation>) {
-    for pos in ident_positions(line, "step") {
-        let called = next_nonspace(line, pos + "step".len()) == Some(b'(');
-        if prev_nonspace(line, pos) == Some(b'.') && called && !allowed(prepared, idx, Rule::R5) {
-            out.push(Violation {
-                file: file.to_string(),
-                line: idx + 1,
-                rule: Rule::R5,
-                message: ".step() in experiment code: advance the simulator via \
-                          CmpSystem::run so event-driven fast-forward applies (or \
-                          annotate `// lint: allow(R5): <reason>`)"
-                    .into(),
-            });
-        }
-    }
-}
-
-fn scan_r4(file: &str, prepared: &Prepared, idx: usize, line: &str, out: &mut Vec<Violation>) {
-    let tight: String = line.chars().filter(|c| !c.is_whitespace()).collect();
-    if tight.contains("[allow(clippy::") && !has_justification(prepared, idx) {
-        out.push(Violation {
-            file: file.to_string(),
-            line: idx + 1,
-            rule: Rule::R4,
-            message: "#[allow(clippy::...)] needs a justification comment on the same \
-                      or previous line"
-                .into(),
-        });
-    }
-}
-
-/// The certification calls R3 accepts inside a producer's body.
-const R3_CERTIFIERS: [&str; 4] = [
-    "validate_shares",
-    "ensures_simplex",
-    "ensures_capped",
-    "invariant!",
-];
-
-fn scan_r3(file: &str, prepared: &Prepared, out: &mut Vec<Violation>) {
-    let code = &prepared.code;
-    let bytes = code.as_bytes();
-    let len = bytes.len();
-    let line_of = |pos: usize| code[..pos].matches('\n').count();
-
-    let mut search = 0usize;
-    while let Some(rel) = code[search..].find("pub") {
-        let pub_pos = search + rel;
-        search = pub_pos + 3;
-        let before_ok = pub_pos == 0 || !is_ident_byte(bytes[pub_pos - 1]);
-        let after_ok = pub_pos + 3 >= len || !is_ident_byte(bytes[pub_pos + 3]);
-        if !(before_ok && after_ok) {
-            continue;
-        }
-        let pub_line = line_of(pub_pos);
-        if prepared.test_line.get(pub_line).copied().unwrap_or(false) {
-            continue;
-        }
-        // Parse: pub [(...)] [const|async|unsafe]* fn name
-        let mut i = pub_pos + 3;
-        let skip_ws = |i: &mut usize| {
-            while *i < len && bytes[*i].is_ascii_whitespace() {
-                *i += 1;
-            }
-        };
-        skip_ws(&mut i);
-        if i < len && bytes[i] == b'(' {
-            let mut depth = 0usize;
-            while i < len {
-                match bytes[i] {
-                    b'(' => depth += 1,
-                    b')' => {
-                        depth -= 1;
-                        if depth == 0 {
-                            i += 1;
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                i += 1;
-            }
-        }
-        let mut is_fn = false;
-        for _ in 0..4 {
-            skip_ws(&mut i);
-            let start = i;
-            while i < len && is_ident_byte(bytes[i]) {
-                i += 1;
-            }
-            match &code[start..i] {
-                "fn" => {
-                    is_fn = true;
-                    break;
-                }
-                "const" | "async" | "unsafe" => continue,
-                _ => break,
-            }
-        }
-        if !is_fn {
-            continue;
-        }
-        skip_ws(&mut i);
-        let name_start = i;
-        while i < len && is_ident_byte(bytes[i]) {
-            i += 1;
-        }
-        let fn_name = code[name_start..i].to_string();
-        // Signature: scan to the body `{` (or `;` for a bodiless decl),
-        // tracking angle/paren/bracket depth and skipping `->` arrows.
-        let mut arrow: Option<usize> = None;
-        let mut angle = 0isize;
-        let mut paren = 0isize;
-        let mut body_start: Option<usize> = None;
-        while i < len {
-            match bytes[i] {
-                b'-' if i + 1 < len && bytes[i + 1] == b'>' => {
-                    if arrow.is_none() && angle == 0 && paren == 0 {
-                        arrow = Some(i + 2);
-                    }
-                    i += 2;
-                    continue;
-                }
-                b'<' => angle += 1,
-                b'>' => angle -= 1,
-                b'(' | b'[' => paren += 1,
-                b')' | b']' => paren -= 1,
-                b'{' if angle <= 0 && paren == 0 => {
-                    body_start = Some(i);
-                    break;
-                }
-                b';' if angle <= 0 && paren == 0 => break,
-                _ => {}
-            }
-            i += 1;
-        }
-        let (Some(arrow_pos), Some(body_open)) = (arrow, body_start) else {
-            continue;
-        };
-        let mut ret: String = code[arrow_pos..body_open]
-            .chars()
-            .filter(|c| !c.is_whitespace())
-            .collect();
-        if let Some(w) = ret.find("where") {
-            ret.truncate(w);
-        }
-        if !ret.contains("Vec<f64>") {
-            continue;
-        }
-        // Brace-match the body and look for a certification call.
-        let mut depth = 0usize;
-        let mut j = body_open;
-        let mut body_end = len;
-        while j < len {
-            match bytes[j] {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        body_end = j;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        let body = &code[body_open..body_end.min(len)];
-        let certified = R3_CERTIFIERS.iter().any(|c| body.contains(c));
-        if !certified && !allowed(prepared, pub_line, Rule::R3) {
-            out.push(Violation {
-                file: file.to_string(),
-                line: pub_line + 1,
-                rule: Rule::R3,
-                message: format!(
-                    "pub fn {fn_name} returns a Vec<f64> without certifying it via \
-                     validate_shares / ensures_simplex! / ensures_capped! / invariant!"
-                ),
-            });
-        }
-        search = i.max(search);
-    }
-}
-
-/// Per-cycle/per-tick functions R9 inspects in the simulator's hot crates.
-const R9_HOT_FNS: [&str; 7] = [
-    "tick",
-    "step",
-    "issue",
-    "issuable_at",
-    "probe",
-    "enqueue",
-    "pop_completion",
-];
-
-/// Registry-resolving calls banned inside those functions: each performs a
-/// by-name lookup (hashing, locking) per event instead of touching a
-/// pre-resolved handle.
-const R9_DIRECT_CALLS: [&str; 3] = [".counter(", ".gauge(", ".histogram("];
-
-fn scan_r9(file: &str, prepared: &Prepared, out: &mut Vec<Violation>) {
-    let code = &prepared.code;
-    let bytes = code.as_bytes();
-    let len = bytes.len();
-    let line_of = |pos: usize| code[..pos].matches('\n').count();
-
-    let mut search = 0usize;
-    while let Some(rel) = code[search..].find("fn") {
-        let fn_pos = search + rel;
-        search = fn_pos + 2;
-        let before_ok = fn_pos == 0 || !is_ident_byte(bytes[fn_pos - 1]);
-        let after_ok = fn_pos + 2 >= len || !is_ident_byte(bytes[fn_pos + 2]);
-        if !(before_ok && after_ok) {
-            continue;
-        }
-        let mut i = fn_pos + 2;
-        while i < len && bytes[i].is_ascii_whitespace() {
-            i += 1;
-        }
-        let name_start = i;
-        while i < len && is_ident_byte(bytes[i]) {
-            i += 1;
-        }
-        if !R9_HOT_FNS.contains(&&code[name_start..i]) {
-            continue;
-        }
-        let fn_name = code[name_start..i].to_string();
-        if prepared
-            .test_line
-            .get(line_of(fn_pos))
-            .copied()
-            .unwrap_or(false)
-        {
-            continue;
-        }
-        // Scan to the body `{` (or `;` for a bodiless decl), tracking
-        // angle/paren/bracket depth and skipping `->` arrows.
-        let mut angle = 0isize;
-        let mut paren = 0isize;
-        let mut body_open: Option<usize> = None;
-        while i < len {
-            match bytes[i] {
-                b'-' if i + 1 < len && bytes[i + 1] == b'>' => {
-                    i += 2;
-                    continue;
-                }
-                b'<' => angle += 1,
-                b'>' => angle -= 1,
-                b'(' | b'[' => paren += 1,
-                b')' | b']' => paren -= 1,
-                b'{' if angle <= 0 && paren == 0 => {
-                    body_open = Some(i);
-                    break;
-                }
-                b';' if angle <= 0 && paren == 0 => break,
-                _ => {}
-            }
-            i += 1;
-        }
-        let Some(body_open) = body_open else {
-            continue;
-        };
-        // Brace-match the body, then flag every direct registry call in it.
-        let mut depth = 0usize;
-        let mut j = body_open;
-        let mut body_end = len;
-        while j < len {
-            match bytes[j] {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        body_end = j;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        let body = &code[body_open..body_end.min(len)];
-        for call in R9_DIRECT_CALLS {
-            let mut from = 0usize;
-            while let Some(rel) = body[from..].find(call) {
-                let pos = body_open + from + rel;
-                from += rel + call.len();
-                let line = line_of(pos);
-                if allowed(prepared, line, Rule::R9) {
-                    continue;
-                }
-                out.push(Violation {
-                    file: file.to_string(),
-                    line: line + 1,
-                    rule: Rule::R9,
-                    message: format!(
-                        "direct registry `{call}...)` call inside hot fn `{fn_name}`: \
-                         pre-resolve the handle at attach time and touch it through \
-                         the obs_*! macros (or annotate `// lint: allow(R9): <reason>`)"
-                    ),
-                });
-            }
-        }
-        search = i.max(search);
-    }
+    false
 }
 
 /// Collect `.rs` files under `dir`, recursively.
@@ -1283,9 +618,10 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 
 /// Lint every `crates/*/src/**/*.rs` under `root`, plus (when present)
 /// the vendored pool under `vendor/rayon/src` with the concurrency rules,
-/// and cross-check the `UNSAFE_AUDIT.md` inventory. Returns violations in
-/// deterministic (path, line) order.
-pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
+/// and cross-check the `UNSAFE_AUDIT.md` inventory. Returns **all**
+/// findings — including suppressed ones with their justification text —
+/// in deterministic (path, line, col) order.
+pub fn lint_tree_report(root: &Path) -> io::Result<Vec<Violation>> {
     let crates_dir = root.join("crates");
     let mut files = Vec::new();
     for entry in fs::read_dir(&crates_dir)? {
@@ -1306,16 +642,33 @@ pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
         let unix_rel = rel.replace('\\', "/");
         let is_share_producer =
             unix_rel.starts_with("crates/core/") || unix_rel.starts_with("crates/bwpartd/");
-        let is_experiments = unix_rel.starts_with("crates/experiments/");
-        let is_hot_sim = unix_rel.starts_with("crates/dram/") || unix_rel.starts_with("crates/mc/");
+        // crates/obs defines the macros; every other crate must wire the
+        // feature through its own manifest to call them.
+        let obs_wired = if unix_rel.starts_with("crates/obs/") {
+            Some(true)
+        } else {
+            let crate_dir = unix_rel
+                .strip_prefix("crates/")
+                .and_then(|r| r.split('/').next())
+                .unwrap_or("");
+            let manifest =
+                fs::read_to_string(root.join("crates").join(crate_dir).join("Cargo.toml"))
+                    .unwrap_or_default();
+            Some(obs_trace_wired(&manifest))
+        };
+        let ctx = FileCtx {
+            share_producer: is_share_producer,
+            experiments: unix_rel.starts_with("crates/experiments/"),
+            hot_sim: unix_rel.starts_with("crates/dram/") || unix_rel.starts_with("crates/mc/"),
+            match_exhaustive: is_share_producer,
+            unit_safety: true,
+            obs_wired,
+            lock_order: unix_rel == "crates/bwpartd/src/server.rs"
+                || unix_rel == "crates/bwpartd/src/engine.rs",
+            ..FileCtx::default()
+        };
         let src = fs::read_to_string(&path)?;
-        out.extend(lint_source(
-            &rel,
-            &src,
-            is_share_producer,
-            is_experiments,
-            is_hot_sim,
-        ));
+        out.extend(to_violations(&rel, &src, engine::run(&src, &ctx)));
         let sites = count_unsafe_sites(&src);
         if sites > 0 {
             unsafe_counts.push((unix_rel, sites));
@@ -1337,8 +690,13 @@ pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
                 .into_owned();
             let unix_rel = rel.replace('\\', "/");
             let is_shim = unix_rel.ends_with("/shim.rs");
+            let ctx = FileCtx {
+                vendor: true,
+                shim: is_shim,
+                ..FileCtx::default()
+            };
             let src = fs::read_to_string(&path)?;
-            out.extend(lint_vendor_source(&unix_rel, &src, is_shim));
+            out.extend(to_violations(&unix_rel, &src, engine::run(&src, &ctx)));
             let sites = count_unsafe_sites(&src);
             if sites > 0 {
                 unsafe_counts.push((unix_rel, sites));
@@ -1348,7 +706,100 @@ pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
 
     let audit = fs::read_to_string(root.join("UNSAFE_AUDIT.md")).ok();
     out.extend(check_unsafe_inventory(audit.as_deref(), &unsafe_counts));
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule.code()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.col,
+            b.rule.code(),
+        ))
+    });
     Ok(out)
+}
+
+/// Like [`lint_tree_report`], filtered to the findings that gate CI: the
+/// unsuppressed ones.
+pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
+    Ok(lint_tree_report(root)?
+        .into_iter()
+        .filter(|v| !v.suppressed)
+        .collect())
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the findings as the stable machine-readable report consumed by
+/// CI artifacts (`cargo xtask lint --json`). Schema (version 1):
+///
+/// ```json
+/// {
+///   "schema_version": 1,
+///   "tool": "bwpart-audit",
+///   "rules": [{"code": "R1", "summary": "..."}, ...],
+///   "findings": [{
+///     "rule": "R1", "path": "crates/...", "line": 3, "col": 13,
+///     "end_line": 3, "end_col": 19, "snippet": "...", "message": "...",
+///     "suppressed": false, "justification": null
+///   }, ...],
+///   "counts": {"total": 0, "active": 0, "suppressed": 0}
+/// }
+/// ```
+pub fn render_json(findings: &[Violation]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema_version\": 1,\n  \"tool\": \"bwpart-audit\",\n  \"rules\": [\n");
+    for (i, rule) in Rule::ALL.iter().enumerate() {
+        let sep = if i + 1 < Rule::ALL.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"code\": \"{}\", \"summary\": \"{}\"}}{sep}\n",
+            rule.code(),
+            json_escape(rule.describe())
+        ));
+    }
+    out.push_str("  ],\n  \"findings\": [\n");
+    for (i, v) in findings.iter().enumerate() {
+        let sep = if i + 1 < findings.len() { "," } else { "" };
+        let justification = match &v.justification {
+            Some(j) => format!("\"{}\"", json_escape(j)),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \
+             \"end_line\": {}, \"end_col\": {}, \"snippet\": \"{}\", \
+             \"message\": \"{}\", \"suppressed\": {}, \"justification\": {}}}{sep}\n",
+            v.rule.code(),
+            json_escape(&v.file),
+            v.line,
+            v.col,
+            v.end_line,
+            v.end_col,
+            json_escape(&v.snippet),
+            json_escape(&v.message),
+            v.suppressed,
+            justification,
+        ));
+    }
+    let suppressed = findings.iter().filter(|v| v.suppressed).count();
+    out.push_str(&format!(
+        "  ],\n  \"counts\": {{\"total\": {}, \"active\": {}, \"suppressed\": {}}}\n}}\n",
+        findings.len(),
+        findings.len() - suppressed,
+        suppressed
+    ));
+    out
 }
 
 #[cfg(test)]
@@ -1758,10 +1209,12 @@ mod tests {
 
     #[test]
     fn string_line_continuations_do_not_shift_comment_attribution() {
-        // Regression: a `\`-newline continuation inside a string literal
-        // used to skip the newline without counting it, attributing every
-        // later comment to the wrong line — so allow markers and SAFETY/
-        // hb justifications below the string silently stopped matching.
+        // Regression (F2 bug class): a `\`-newline continuation inside a
+        // string literal used to desync the scanner's line counter,
+        // attributing every later comment to the wrong line — so allow
+        // markers and SAFETY/hb justifications below the string silently
+        // stopped matching. The lexer keeps the whole literal one spanned
+        // token, so line attribution cannot drift.
         let src = "
 pub fn f() -> String {
     format!(\"a long message that wraps \\
@@ -1798,5 +1251,171 @@ pub fn f<'a>(x: &'a Option<u32>) -> u32 {
         let vs = lint_source("fixture.rs", src, false, false, false);
         assert_eq!(codes(&vs), vec!["R1"]);
         assert_eq!(vs[0].line, 3);
+    }
+
+    // ---- F2 regression pins: the false-positive classes the regex-era
+    // scanner mis-handled must stay clean under the token engine. ----
+
+    #[test]
+    fn raw_strings_with_rule_triggers_lint_clean() {
+        let src = r###"
+pub fn help() -> &'static str {
+    r#"try .unwrap() or panic!("x"); compare == 0.5; take Ordering::Relaxed"#
+}
+pub fn fenced() -> &'static str {
+    r##"even "# inside"# stays a string: unsafe { static mut X }"##
+}
+"###;
+        let vs = lint_source("fixture.rs", src, false, false, false);
+        assert!(vs.is_empty(), "raw-string leak: {vs:?}");
+    }
+
+    #[test]
+    fn nested_block_comments_around_unsafe_lint_clean() {
+        let src = r"
+/* outer /* unsafe { *p } still inside the nested comment */ and
+   the outer comment continues: static mut Y, Ordering::AcqRel */
+pub fn f() {}
+";
+        let vs = lint_source("fixture.rs", src, false, false, false);
+        assert!(vs.is_empty(), "nested-comment leak: {vs:?}");
+    }
+
+    #[test]
+    fn backslash_continuation_strings_stay_one_token() {
+        // Rule triggers on the continued line are string content, and the
+        // lines after the literal still resolve attachments correctly.
+        let src = "
+pub fn f(x: Option<u32>) -> (String, u32) {
+    let s = \"first line \\
+             .unwrap() == 0.5 panic! unsafe\".to_string();
+    // lint: allow(R1): pinned — attribution after the continuation
+    (s, x.unwrap())
+}
+";
+        let vs = lint_source("fixture.rs", src, false, false, false);
+        assert!(vs.is_empty(), "continuation desync: {vs:?}");
+    }
+
+    #[test]
+    fn allow_above_multi_line_attribute_attaches_to_the_item() {
+        // Span-based attachment: the marker sits above a multi-line
+        // attribute; line-adjacency matching could never reach the fn.
+        let src = r#"
+// lint: allow(R3): fixture — shares are certified by the caller
+#[allow(
+    clippy::needless_pass_by_value,
+)]
+// the wrapped signature mirrors the paper's Eq. 7 terms
+pub fn shares(n: usize) -> Vec<f64> {
+    vec![1.0 / n as f64; n]
+}
+"#;
+        assert!(lint_source("core.rs", src, true, false, false).is_empty());
+    }
+
+    #[test]
+    fn r10_and_r11_run_through_lint_source() {
+        let src = r#"
+pub fn exponent(s: PartitionScheme) -> Option<f64> {
+    match s {
+        PartitionScheme::Equal => Some(0.0),
+        _ => None,
+    }
+}
+pub fn overdue(now_cycles: u64, deadline_ns: u64) -> bool {
+    now_cycles > deadline_ns
+}
+"#;
+        // R10 is tied to the share-producer scope; R11 runs everywhere.
+        let vs = lint_source("crates/core/src/schemes.rs", src, true, false, false);
+        assert_eq!(codes(&vs), vec!["R10", "R11"]);
+        let vs = lint_source("crates/cmp/src/system.rs", src, false, false, false);
+        assert_eq!(codes(&vs), vec!["R11"]);
+    }
+
+    #[test]
+    fn obs_trace_wiring_detection() {
+        assert!(obs_trace_wired(
+            "[dependencies]\nbwpart-obs = { workspace = true, features = [\"trace\"] }\n"
+        ));
+        assert!(obs_trace_wired(
+            "[dependencies]\nbwpart-obs = { workspace = true }\n\n[features]\ntrace = [\"bwpart-obs/trace\"]\n"
+        ));
+        assert!(!obs_trace_wired(
+            "[dependencies]\nbwpart-obs = { workspace = true }\n"
+        ));
+        // A `trace` feature that does not forward to bwpart-obs is not wiring.
+        assert!(!obs_trace_wired("[features]\ntrace = []\n"));
+    }
+
+    #[test]
+    fn violations_carry_spans_and_snippets() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let vs = lint_source("fixture.rs", src, false, false, false);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].line, 2);
+        assert_eq!(vs[0].col, 7);
+        assert_eq!(vs[0].end_line, 2);
+        assert_eq!(vs[0].end_col, 13);
+        assert_eq!(vs[0].snippet, "x.unwrap()");
+        let shown = vs[0].to_string();
+        assert!(shown.starts_with("fixture.rs:2:7: [R1]"), "{shown}");
+    }
+
+    #[test]
+    fn json_report_is_schema_stable() {
+        let vs = vec![
+            Violation {
+                file: "crates/a/src/lib.rs".into(),
+                line: 3,
+                col: 7,
+                end_line: 3,
+                end_col: 13,
+                rule: Rule::R1,
+                message: "a \"quoted\" message".into(),
+                snippet: "x.unwrap()".into(),
+                suppressed: false,
+                justification: None,
+            },
+            Violation {
+                file: "crates/b/src/lib.rs".into(),
+                line: 9,
+                col: 1,
+                end_line: 9,
+                end_col: 2,
+                rule: Rule::R13,
+                message: "m".into(),
+                snippet: "s".into(),
+                suppressed: true,
+                justification: Some("// lint: allow(R13): fixture".into()),
+            },
+        ];
+        let json = render_json(&vs);
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"tool\": \"bwpart-audit\""));
+        assert!(json.contains("\"rule\": \"R1\""));
+        assert!(json.contains("\"path\": \"crates/a/src/lib.rs\""));
+        assert!(json.contains("\"line\": 3, \"col\": 7"));
+        assert!(json.contains("a \\\"quoted\\\" message"));
+        assert!(json.contains("\"suppressed\": true"));
+        assert!(json.contains("\"justification\": \"// lint: allow(R13): fixture\""));
+        assert!(json.contains("\"counts\": {\"total\": 2, \"active\": 1, \"suppressed\": 1}"));
+        // Every rule appears in the catalogue section.
+        for rule in Rule::ALL {
+            assert!(json.contains(&format!("\"code\": \"{}\"", rule.code())));
+        }
+        // The empty report still carries the full schema.
+        let empty = render_json(&[]);
+        assert!(empty.contains("\"counts\": {\"total\": 0, \"active\": 0, \"suppressed\": 0}"));
+    }
+
+    #[test]
+    fn every_rule_has_an_explanation_and_parses_back() {
+        for rule in Rule::ALL {
+            assert!(!rule.explain().is_empty());
+            assert_eq!(Rule::from_code(rule.code()), Some(rule));
+        }
+        assert_eq!(Rule::from_code("R99"), None);
     }
 }

@@ -20,6 +20,8 @@
 //! ```text
 //! cargo xtask lint              # scan crates/*/src + vendor/rayon/src
 //! cargo xtask lint --rules      # print the rule catalogue
+//! cargo xtask lint --json       # machine-readable findings (schema v1)
+//! cargo xtask lint --explain R7 # long-form rationale for one rule
 //! cargo xtask bench             # full benchmark, writes BENCH_sim.json
 //! cargo xtask bench --smoke     # tiny cycle budget for CI smoke runs
 //! cargo xtask bench-serve       # bwpartd service bench, writes BENCH_serve.json
@@ -32,18 +34,20 @@ use std::path::PathBuf;
 use std::process::Command;
 use std::process::ExitCode;
 
-mod lint;
+use xtask::lint;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cargo xtask <lint [--rules] | bench [--smoke] [--reps N] [--out PATH] \
+        "usage: cargo xtask <lint [--rules | --json | --explain R<N>] \
+         | bench [--smoke] [--reps N] [--out PATH] \
          | bench-serve [--smoke] [--out PATH] \
          | check-concurrency [-- --min-total N --dfs N --random N]>"
     );
     eprintln!();
     eprintln!("subcommands:");
     eprintln!(
-        "  lint               run the bwpart-audit lint over crates/*/src + vendor/rayon/src"
+        "  lint               run the bwpart-audit lint over crates/*/src + vendor/rayon/src \
+         (--json for the CI artifact, --explain R<N> for rationale)"
     );
     eprintln!("  bench              run the perf-regression harness (bench_sim)");
     eprintln!("  bench-serve        run the bwpartd service harness (bench_serve)");
@@ -68,14 +72,49 @@ fn run_lint(args: &[String]) -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    if let Some(unknown) = args.iter().find(|a| *a != "lint") {
+    if let Some(pos) = args.iter().position(|a| a == "--explain") {
+        let Some(code) = args.get(pos + 1) else {
+            eprintln!("--explain needs a rule code (R1..R13)");
+            return usage();
+        };
+        return match lint::Rule::from_code(code) {
+            Some(rule) => {
+                println!("{}  {}", rule.code(), rule.describe());
+                println!();
+                println!("{}", rule.explain());
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown rule `{code}` (expected R1..R13)");
+                ExitCode::from(2)
+            }
+        };
+    }
+    let json = args.iter().any(|a| a == "--json");
+    if let Some(unknown) = args.iter().find(|a| *a != "lint" && *a != "--json") {
         eprintln!("unknown argument `{unknown}`");
         return usage();
     }
     let root = workspace_root();
+    if json {
+        return match lint::lint_tree_report(&root) {
+            Ok(findings) => {
+                print!("{}", lint::render_json(&findings));
+                if findings.iter().any(|v| !v.suppressed) {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!("bwpart-audit: failed to scan {}: {e}", root.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
     match lint::lint_tree(&root) {
         Ok(violations) if violations.is_empty() => {
-            println!("bwpart-audit: clean (rules R1-R9 over crates/*/src + vendor/rayon/src)");
+            println!("bwpart-audit: clean (rules R1-R13 over crates/*/src + vendor/rayon/src)");
             ExitCode::SUCCESS
         }
         Ok(violations) => {

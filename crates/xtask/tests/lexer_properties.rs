@@ -1,0 +1,203 @@
+//! Property tests over the lint lexer (`xtask::lex`).
+//!
+//! The lexer is the foundation the whole rule engine stands on, and it is
+//! clock- and IO-free, so these tests also run under miri in CI. Three
+//! guarantees are pinned:
+//!
+//! 1. **Totality** — `lex` never panics, on arbitrary strings and on
+//!    arbitrary (lossily decoded) byte soup.
+//! 2. **Span discipline** — tokens come out in source order, spans are
+//!    in-bounds, non-overlapping, non-empty, on UTF-8 character
+//!    boundaries, and every gap between consecutive tokens is pure
+//!    whitespace (nothing is silently dropped).
+//! 3. **Token-soup round-trip** — a source assembled from known atoms
+//!    lexes to exactly those atoms: one token per atom, each with the
+//!    atom's expected kind and the exact byte span it was placed at.
+
+use proptest::prelude::*;
+use xtask::lex::{lex, TokenKind};
+
+/// Reduced case counts under miri: each case is cheap natively but ~100x
+/// slower interpreted.
+const CASES: u32 = if cfg!(miri) { 16 } else { 256 };
+
+/// Check guarantee 2 on an already-lexed source.
+fn assert_span_discipline(src: &str) {
+    let tokens = lex(src);
+    let mut prev_end = 0usize;
+    for t in &tokens {
+        assert!(t.start < t.end, "empty span {t:?} in {src:?}");
+        assert!(t.end <= src.len(), "span past EOF {t:?} in {src:?}");
+        assert!(t.start >= prev_end, "overlap at {t:?} in {src:?}");
+        assert!(
+            src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+            "split char at {t:?} in {src:?}"
+        );
+        let gap = &src[prev_end..t.start];
+        assert!(
+            gap.chars().all(char::is_whitespace),
+            "dropped non-whitespace {gap:?} before {t:?} in {src:?}"
+        );
+        prev_end = t.end;
+    }
+    let tail = &src[prev_end..];
+    assert!(
+        tail.chars().all(char::is_whitespace),
+        "dropped trailing {tail:?} in {src:?}"
+    );
+}
+
+/// Kind classes the soup atoms map to.
+#[derive(Debug, Clone, Copy)]
+enum KindClass {
+    Ident,
+    Int,
+    Float,
+    Str,
+    CharLit,
+    Lifetime,
+    Op,
+    Delim,
+    LineComment,
+    BlockComment,
+}
+
+impl KindClass {
+    fn matches(self, kind: TokenKind) -> bool {
+        match self {
+            KindClass::Ident => matches!(kind, TokenKind::Ident),
+            KindClass::Int => matches!(kind, TokenKind::Int),
+            KindClass::Float => matches!(kind, TokenKind::Float),
+            KindClass::Str => matches!(
+                kind,
+                TokenKind::Str {
+                    terminated: true,
+                    ..
+                }
+            ),
+            KindClass::CharLit => matches!(kind, TokenKind::CharLit { terminated: true }),
+            KindClass::Lifetime => matches!(kind, TokenKind::Lifetime),
+            KindClass::Op => matches!(kind, TokenKind::Op),
+            KindClass::Delim => matches!(kind, TokenKind::Open(_) | TokenKind::Close(_)),
+            KindClass::LineComment => matches!(kind, TokenKind::LineComment { .. }),
+            KindClass::BlockComment => {
+                matches!(
+                    kind,
+                    TokenKind::BlockComment {
+                        terminated: true,
+                        ..
+                    }
+                )
+            }
+        }
+    }
+}
+
+/// The atom table: every entry must lex to exactly one token of the named
+/// class. Includes the ambiguous prefixes (raw idents vs raw strings,
+/// byte chars vs byte strings, lifetimes vs char literals) on purpose.
+const ATOMS: &[(&str, KindClass)] = &[
+    ("x", KindClass::Ident),
+    ("snake_case", KindClass::Ident),
+    ("CamelCase", KindClass::Ident),
+    ("_under", KindClass::Ident),
+    ("r#match", KindClass::Ident),
+    ("unsafe", KindClass::Ident),
+    ("unwrap", KindClass::Ident),
+    ("0", KindClass::Int),
+    ("42", KindClass::Int),
+    ("0xff", KindClass::Int),
+    ("1_000", KindClass::Int),
+    ("7u64", KindClass::Int),
+    ("1.5", KindClass::Float),
+    ("0.0", KindClass::Float),
+    ("2e10", KindClass::Float),
+    ("1e-9", KindClass::Float),
+    ("3.0f64", KindClass::Float),
+    (r#""plain""#, KindClass::Str),
+    (r#""esc \" ape""#, KindClass::Str),
+    (r#""with // comment""#, KindClass::Str),
+    (r##"r#".unwrap() raw"#"##, KindClass::Str),
+    (r#"b"bytes""#, KindClass::Str),
+    ("'c'", KindClass::CharLit),
+    ("'\\n'", KindClass::CharLit),
+    ("'\\''", KindClass::CharLit),
+    ("b'x'", KindClass::CharLit),
+    ("'a", KindClass::Lifetime),
+    ("'static", KindClass::Lifetime),
+    ("'_", KindClass::Lifetime),
+    ("::", KindClass::Op),
+    ("=>", KindClass::Op),
+    ("==", KindClass::Op),
+    ("+", KindClass::Op),
+    ("..=", KindClass::Op),
+    ("<<=", KindClass::Op),
+    ("?", KindClass::Op),
+    ("#", KindClass::Op),
+    ("(", KindClass::Delim),
+    (")", KindClass::Delim),
+    ("[", KindClass::Delim),
+    ("]", KindClass::Delim),
+    ("{", KindClass::Delim),
+    ("}", KindClass::Delim),
+    ("// plain", KindClass::LineComment),
+    ("/// doc with .unwrap()", KindClass::LineComment),
+    ("//! inner", KindClass::LineComment),
+    ("/* block */", KindClass::BlockComment),
+    ("/* nested /* unsafe */ deep */", KindClass::BlockComment),
+    ("/** doc */", KindClass::BlockComment),
+];
+
+/// A character palette weighted toward the lexer's tricky prefixes (`r"`,
+/// `b'`, `/*`, `'`, `#`) that uniform random strings rarely assemble.
+const PALETTE: &[char] = &[
+    ' ', '\t', '\n', '"', '\'', 'r', 'b', 'c', '#', '/', '*', '.', '_', 'a', 'z', 'e', '0', '9',
+    '{', '}', '(', ')', '[', ']', '<', '>', '=', '!', '&', '|', '+', '-', '\\', 'é', '∑', '🦀',
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    #[test]
+    fn lexing_arbitrary_byte_soup_never_panics(
+        bytes in prop::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let src = String::from_utf8_lossy(&bytes);
+        assert_span_discipline(&src);
+    }
+
+    #[test]
+    fn lexing_rust_flavored_fragments_never_panics(
+        picks in prop::collection::vec(0usize..PALETTE.len(), 0..256)
+    ) {
+        let src: String = picks.iter().map(|&i| PALETTE[i]).collect();
+        assert_span_discipline(&src);
+    }
+
+    #[test]
+    fn token_soup_round_trips_to_identical_spans(
+        picks in prop::collection::vec(0usize..ATOMS.len(), 0..40)
+    ) {
+        // Assemble: one atom per line, so line comments terminate and no
+        // two atoms can merge under maximal munch.
+        let mut src = String::new();
+        let mut expected: Vec<(usize, usize, KindClass)> = Vec::new();
+        for &i in &picks {
+            let (text, class) = ATOMS[i];
+            let start = src.len();
+            src.push_str(text);
+            expected.push((start, src.len(), class));
+            src.push('\n');
+        }
+        let tokens = lex(&src);
+        prop_assert_eq!(tokens.len(), expected.len());
+        for (t, (start, end, class)) in tokens.iter().zip(&expected) {
+            prop_assert_eq!(t.start, *start, "span start for {:?}", t.text(&src));
+            prop_assert_eq!(t.end, *end, "span end for {:?}", t.text(&src));
+            prop_assert!(class.matches(t.kind), "kind {:?} for {:?}", t.kind, t.text(&src));
+        }
+        // Re-lexing is deterministic: identical spans and kinds.
+        prop_assert_eq!(&lex(&src), &tokens);
+        assert_span_discipline(&src);
+    }
+}

@@ -1,0 +1,55 @@
+//! Whole-repo snapshot: the committed tree must be violation-free.
+//!
+//! This is the merge gate the fixture tests can't provide: a PR that
+//! introduces a finding (or suppresses one only in a local config) fails
+//! here, because the lint runs against the real workspace sources exactly
+//! as CI invokes it.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The real workspace root: this test file lives in `crates/xtask/tests`.
+fn workspace_root() -> PathBuf {
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    root.pop();
+    root.pop();
+    root
+}
+
+#[test]
+fn committed_tree_is_violation_free() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("lint")
+        .env("CARGO_MANIFEST_DIR", workspace_root().join("crates/xtask"))
+        .output()
+        .expect("run xtask lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "the committed tree has lint findings — fix them (or annotate with \
+         a reasoned `// lint: allow(R<N>): ...`):\n{stdout}"
+    );
+    assert!(stdout.contains("clean"), "{stdout}");
+}
+
+#[test]
+fn committed_tree_json_report_is_well_formed() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--json"])
+        .env("CARGO_MANIFEST_DIR", workspace_root().join("crates/xtask"))
+        .output()
+        .expect("run xtask lint --json");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("\"schema_version\": 1"), "{stdout}");
+    assert!(stdout.contains("\"active\": 0"), "{stdout}");
+    // All thirteen rules are present in the catalogue section.
+    for code in [
+        "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12", "R13",
+    ] {
+        assert!(
+            stdout.contains(&format!("{{\"code\": \"{code}\"")),
+            "missing rule {code} in:\n{stdout}"
+        );
+    }
+}
