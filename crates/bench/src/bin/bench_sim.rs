@@ -1,7 +1,7 @@
 //! `bench_sim` — the perf-regression runner invoked by `cargo xtask bench`.
 //!
 //! ```text
-//! bench_sim [--smoke] [--reps N] [--out PATH]
+//! bench_sim [--smoke] [--reps N] [--out PATH] [--check]
 //! ```
 //!
 //! Times the canonical workloads (see [`bwpart_bench::perf`]), prints a
@@ -9,18 +9,28 @@
 //! `BENCH_sim.json` (or `--out PATH`). Exit status is non-zero only on a
 //! real failure (argument error, I/O error, or an outcome-determinism
 //! panic inside the harness) — never on absolute timing, so CI smoke runs
-//! don't flake on slow runners. The one *relative* gate is the
-//! observability guardrail: in smoke mode, a metrics-attached sweep more
-//! than [`bwpart_bench::perf::OBS_OVERHEAD_BUDGET_PCT`] percent slower
-//! than the detached sweep fails the run (a ratio on the same machine in
-//! the same process, so runner speed cancels out).
+//! don't flake on slow runners. Two *relative* gates exist:
+//!
+//! * the observability guardrail: in smoke mode, a metrics-attached sweep
+//!   more than [`bwpart_bench::perf::OBS_OVERHEAD_BUDGET_PCT`] percent
+//!   (plus a sub-millisecond absolute slack for scheduler jitter) slower
+//!   than the detached sweep fails the run (a ratio on the same machine
+//!   in the same process, so runner speed cancels out);
+//! * `--check`: before writing, the committed report at the `--out` path
+//!   is loaded and the fresh numbers are compared like-for-like (same
+//!   case, budget, and [`bwpart_bench::perf::CaseEnv`]). Any `optimized`
+//!   case more than [`bwpart_bench::perf::CHECK_REGRESSION_PCT`] percent
+//!   plus [`bwpart_bench::perf::CHECK_ABS_SLACK_MS`] slower fails the
+//!   run; cases measured under a different environment are skipped with
+//!   a note, so a 16-core workstation never "regresses" numbers
+//!   committed from the 1-core CI container.
 
 use std::env;
 use std::fs;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench_sim [--smoke] [--reps N] [--out PATH]");
+    eprintln!("usage: bench_sim [--smoke] [--reps N] [--out PATH] [--check]");
     ExitCode::from(2)
 }
 
@@ -29,11 +39,13 @@ fn main() -> ExitCode {
     let mut smoke = false;
     let mut reps = 3usize;
     let mut out_path = String::from("BENCH_sim.json");
+    let mut check = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--check" => check = true,
             "--reps" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n >= 1 => reps = n,
                 _ => {
@@ -54,6 +66,25 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    // Load the committed baseline *before* the fresh run overwrites it.
+    let committed = if check {
+        match fs::read_to_string(&out_path) {
+            Ok(s) => match serde_json::from_str::<bwpart_bench::perf::BenchReport>(&s) {
+                Ok(r) => Some(r),
+                Err(e) => {
+                    eprintln!("bench_sim: --check: parse {out_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("bench_sim: --check: read {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
 
     let report = bwpart_bench::perf::run(smoke, reps);
 
@@ -98,11 +129,37 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("bench_sim: wrote {out_path}");
-    if smoke && report.obs.overhead_pct > bwpart_bench::perf::OBS_OVERHEAD_BUDGET_PCT {
+
+    if let Some(committed) = committed {
+        let outcome = bwpart_bench::perf::check(&committed, &report);
+        for (name, delta) in &outcome.compared {
+            println!(
+                "  check {name}: {delta:+.1}% vs committed (budget {:.0}%)",
+                bwpart_bench::perf::CHECK_REGRESSION_PCT
+            );
+        }
+        for (name, why) in &outcome.skipped {
+            println!("  check {name}: skipped — {why}");
+        }
+        if !outcome.passed() {
+            for r in &outcome.regressions {
+                eprintln!("bench_sim: REGRESSION {r}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "  check: {} case(s) compared, {} skipped, no regressions",
+            outcome.compared.len(),
+            outcome.skipped.len()
+        );
+    }
+
+    if smoke && !report.obs.within_budget() {
         eprintln!(
-            "bench_sim: metrics overhead {:.2}% exceeds the {:.0}% budget",
+            "bench_sim: metrics overhead {:.2}% exceeds the {:.0}% + {:.1} ms budget",
             report.obs.overhead_pct,
-            bwpart_bench::perf::OBS_OVERHEAD_BUDGET_PCT
+            bwpart_bench::perf::OBS_OVERHEAD_BUDGET_PCT,
+            bwpart_bench::perf::OBS_OVERHEAD_ABS_SLACK_MS
         );
         return ExitCode::FAILURE;
     }

@@ -22,12 +22,16 @@
 //! * [`runner`] — the paper's phase methodology (warm-up → profile →
 //!   measure, Section V-B) plus standalone runs for ground-truth
 //!   `APC_alone`.
+//! * [`hybrid`] — analytic hybrid stepping: detect bandwidth steady state
+//!   and jump over it with the closed-form model's counter rates
+//!   (tolerance-certified against cycle-exact runs).
 //! * [`obs`] — observability wiring: cycle-loop hooks for `bwpart-obs`
 //!   and the [`RunObserver`] bundle for instrumented runs.
 //! * [`stats`] — per-application counters and derived rates.
 
 pub mod cache;
 pub mod core;
+pub mod hybrid;
 pub mod obs;
 pub mod runner;
 pub mod stats;
@@ -35,6 +39,7 @@ pub mod system;
 
 pub use crate::core::{Access, Core, CoreConfig, IdleState, Workload};
 pub use cache::{Cache, CacheConfig};
+pub use hybrid::HybridConfig;
 pub use obs::{CmpObsHooks, RunObserver};
 pub use runner::{PhaseConfig, Runner, ShareSource, SimOutcome};
 pub use stats::AppStats;

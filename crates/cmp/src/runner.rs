@@ -233,6 +233,10 @@ impl Runner {
     ) -> SimOutcome {
         let n = workloads.len();
         let mut sys = CmpSystem::new(&self.cmp, workloads, core_cfgs, Policy::fcfs(n));
+        // Warm-up and profiling stay cycle-exact even in hybrid runs: the
+        // online estimates (and hence the enforced partition) must be
+        // identical to an exact run's; only measurement is jumped over.
+        sys.set_hybrid_armed(false);
         if let Some(o) = obs {
             sys.attach_obs(&o.registry);
         }
@@ -290,6 +294,7 @@ impl Runner {
         }
 
         // Phase 3: measure (optionally re-profiling each epoch).
+        sys.set_hybrid_armed(true);
         sys.reset_phase_counters();
         let start = sys.snapshot();
         obs_span!(tracer, "phase:measure");
@@ -378,7 +383,9 @@ impl Runner {
         let n = workloads.len();
         assert_eq!(shares.len(), n);
         let mut sys = CmpSystem::new(&self.cmp, workloads, core_cfgs, Policy::fcfs(n));
+        sys.set_hybrid_armed(false);
         sys.run(self.phases.warmup + self.phases.profile);
+        sys.set_hybrid_armed(true);
         sys.mc_mut().set_policy(Policy::stf(shares));
         sys.reset_phase_counters();
         let _ = sys.mc_mut().take_epoch_counters();
@@ -402,7 +409,9 @@ impl Runner {
     /// measurement).
     pub fn run_alone(&self, workload: Box<dyn Workload>, core_cfg: CoreConfig) -> AloneProfile {
         let mut sys = CmpSystem::new(&self.cmp, vec![workload], vec![core_cfg], Policy::fcfs(1));
+        sys.set_hybrid_armed(false);
         sys.run(self.phases.warmup);
+        sys.set_hybrid_armed(true);
         sys.reset_phase_counters();
         let _ = sys.mc_mut().take_epoch_counters();
         let start = sys.snapshot();

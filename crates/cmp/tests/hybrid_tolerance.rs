@@ -1,0 +1,160 @@
+//! Certification of analytic hybrid stepping ([`bwpart_cmp::hybrid`]):
+//! on every enforced partitioning scheme, a hybrid run's end-state
+//! bandwidth shares and per-application IPCs must stay within the
+//! configured epsilon of pure cycle-exact stepping — and the stepper must
+//! actually jump, or the speedup claim is vacuous.
+
+use bwpart_cmp::hybrid::within_tolerance;
+use bwpart_cmp::{
+    Access, CmpConfig, CmpSystem, CoreConfig, HybridConfig, PhaseConfig, Runner, ShareSource,
+    SimOutcome, Workload,
+};
+use bwpart_core::prelude::*;
+use bwpart_mc::Policy;
+
+/// Deterministic two-region workload: every `stream_period`-th access
+/// streams through memory, the rest hit an L1-resident hot set.
+struct Synthetic {
+    name: String,
+    gap: u32,
+    stream_period: u32,
+    counter: u32,
+    stream_next: u64,
+    hot_next: u64,
+}
+
+impl Synthetic {
+    fn new(name: &str, gap: u32, stream_period: u32) -> Self {
+        Synthetic {
+            name: name.into(),
+            gap,
+            stream_period,
+            counter: 0,
+            stream_next: 1 << 24,
+            hot_next: 0,
+        }
+    }
+}
+
+impl Workload for Synthetic {
+    fn next_access(&mut self) -> Access {
+        self.counter += 1;
+        if self.counter.is_multiple_of(self.stream_period) {
+            let a = self.stream_next;
+            self.stream_next += 64;
+            Access {
+                gap: self.gap,
+                addr: a,
+                is_write: false,
+            }
+        } else {
+            let a = self.hot_next % (16 * 1024);
+            self.hot_next += 64;
+            Access {
+                gap: self.gap,
+                addr: a,
+                is_write: false,
+            }
+        }
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+// Distinct intensities per app: schemes with discrete decisions
+// (PriorityApc's service order) are knife-edged between *identical* apps —
+// either victim is an equally valid outcome, so per-app tolerance
+// comparison needs ties broken.
+fn mix() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Synthetic::new("heavy0", 4, 2)),
+        Box::new(Synthetic::new("heavy1", 4, 3)),
+        Box::new(Synthetic::new("light0", 4, 40)),
+        Box::new(Synthetic::new("light1", 4, 50)),
+    ]
+}
+
+fn run(scheme: PartitionScheme, hybrid: Option<HybridConfig>) -> SimOutcome {
+    let r = Runner {
+        cmp: CmpConfig {
+            hybrid,
+            ..CmpConfig::default()
+        },
+        phases: PhaseConfig::fast(),
+    };
+    r.run_scheme(
+        scheme,
+        mix(),
+        vec![CoreConfig::default(); 4],
+        ShareSource::OnlineProfile,
+    )
+}
+
+#[test]
+fn hybrid_is_within_certified_tolerance_on_all_enforced_schemes() {
+    let hc = HybridConfig::default();
+    for scheme in PartitionScheme::ENFORCED_SCHEMES {
+        let exact = run(scheme, None);
+        let hybrid = run(scheme, Some(hc));
+        assert!(
+            within_tolerance(&exact, &hybrid, hc.epsilon),
+            "scheme {} outside epsilon {}: hybrid shares/IPCs {:?} vs exact {:?}",
+            scheme.name(),
+            hc.epsilon,
+            hybrid
+                .stats
+                .iter()
+                .map(|s| (s.mem_accesses, s.ipc()))
+                .collect::<Vec<_>>(),
+            exact
+                .stats
+                .iter()
+                .map(|s| (s.mem_accesses, s.ipc()))
+                .collect::<Vec<_>>(),
+        );
+    }
+}
+
+#[test]
+fn hybrid_stepper_jumps_on_steady_saturation() {
+    let cfg = CmpConfig {
+        hybrid: Some(HybridConfig::default()),
+        ..CmpConfig::default()
+    };
+    let mut sys = CmpSystem::new(&cfg, mix(), vec![CoreConfig::default(); 4], Policy::fcfs(4));
+    sys.run(1_000_000);
+    let (jumps, jumped) = sys.hybrid_jumped();
+    assert!(jumps > 0, "steady saturation must trigger analytic jumps");
+    assert!(
+        jumped > 300_000,
+        "jumps should cover a large fraction of the run, got {jumped}"
+    );
+    assert_eq!(sys.cycle(), 1_000_000, "hybrid must land exactly on target");
+}
+
+#[test]
+fn hybrid_runs_are_deterministic() {
+    let once = |_: u32| {
+        let out = run(PartitionScheme::SquareRoot, Some(HybridConfig::default()));
+        out.stats
+            .iter()
+            .map(|s| (s.instructions, s.mem_accesses))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(once(0), once(1));
+}
+
+#[test]
+fn hybrid_off_is_bit_identical_to_default_config() {
+    // `hybrid: None` must leave the exact path untouched.
+    let base = run(PartitionScheme::Equal, None);
+    let again = run(PartitionScheme::Equal, None);
+    let key = |o: &SimOutcome| -> Vec<(u64, u64)> {
+        o.stats
+            .iter()
+            .map(|s| (s.instructions, s.mem_accesses))
+            .collect()
+    };
+    assert_eq!(key(&base), key(&again));
+}

@@ -108,13 +108,13 @@ pub struct Bank {
     /// Currently open row, if any (always `None` under close-page).
     pub open_row: Option<usize>,
     /// Cycle of the last ACT.
-    act_time: u64,
+    pub(crate) act_time: u64,
     /// Earliest cycle a precharge could be driven.
-    pre_ready: u64,
+    pub(crate) pre_ready: u64,
     /// Earliest cycle a new ACT may be driven (bank idle and tRC honoured).
-    act_ready: u64,
+    pub(crate) act_ready: u64,
     /// Earliest cycle a CAS to the open row may be driven.
-    cas_ready: u64,
+    pub(crate) cas_ready: u64,
     /// Application that most recently used this bank (interference owner).
     pub last_owner: Option<usize>,
     /// Cycle the bank finishes all committed work (incl. auto-precharge).

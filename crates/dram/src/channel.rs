@@ -8,13 +8,19 @@
 //!    command structure), and
 //! 2. if it cannot start now, *whose* traffic is blocking it — the paper's
 //!    interference-attribution signal (Section IV-C).
-
-use std::collections::VecDeque;
+//!
+//! Since the struct-of-arrays rebuild, [`Channel`] is a thin view over
+//! [`ChannelCore`](crate::soa::ChannelCore): the flat-array timing core
+//! owns every bank wheel, ACT ring, and bus scalar, and this type only
+//! preserves the established public surface (including [`Channel::bank`],
+//! which materializes an object-model [`Bank`] snapshot from the flat
+//! lanes for stats and tests).
 
 use serde::{Deserialize, Serialize};
 
 use crate::bank::{AccessKind, Bank, Timings};
-use crate::config::{DramConfig, PagePolicy};
+use crate::config::DramConfig;
+use crate::soa::ChannelCore;
 
 /// Why a transaction cannot start at the probed cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -45,230 +51,45 @@ pub struct ChannelProbe {
     pub blocker: Option<usize>,
 }
 
-/// One DRAM channel: banks, rank state and the shared data bus.
+/// One DRAM channel: banks, rank state and the shared data bus. A thin
+/// view over the struct-of-arrays [`ChannelCore`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Channel {
-    t: Timings,
-    policy: PagePolicy,
-    ranks: usize,
-    banks_per_rank: usize,
-    banks: Vec<Bank>,
-    /// Recent ACT times per rank (bounded to the 4 most recent for tFAW).
-    rank_acts: Vec<VecDeque<u64>>,
-    /// Owner of the most recent ACT per rank.
-    rank_act_owner: Vec<Option<usize>>,
-    /// Cycle at which the data bus becomes free.
-    bus_free: u64,
-    /// Owner of the burst currently/last on the bus.
-    bus_owner: Option<usize>,
-    /// Whether the last burst was a write (turnaround bookkeeping).
-    bus_last_write: bool,
-    /// End of the last *write* burst (tWTR reference point).
-    last_write_data_end: u64,
-    /// Last transaction-start cycle (one start per DRAM clock).
-    last_start: Option<u64>,
-    /// Per-rank marker: refresh blackouts applied to bank state up to here.
-    refresh_applied: Vec<u64>,
-    /// Per-rank refresh stagger offset, precomputed at construction
-    /// (`(2·rank + 1)·tREFI / (2·ranks)`).
-    refresh_phase: Vec<u64>,
-}
-
-/// `n / d` taking the much cheaper 32-bit hardware divide when both
-/// operands fit (they do for every realistic cycle count; the u64 path is
-/// the correctness fallback for extremely long runs).
-#[inline]
-fn fast_div(n: u64, d: u64) -> u64 {
-    match (u32::try_from(n), u32::try_from(d)) {
-        (Ok(n32), Ok(d32)) => u64::from(n32 / d32),
-        _ => n / d,
-    }
+    core: ChannelCore,
 }
 
 impl Channel {
     /// Build an idle channel from the configuration.
     pub fn new(cfg: &DramConfig) -> Self {
-        let t = Timings::from_config(cfg);
         Channel {
-            t,
-            policy: cfg.page_policy,
-            ranks: cfg.ranks,
-            banks_per_rank: cfg.banks_per_rank,
-            banks: vec![Bank::default(); cfg.ranks * cfg.banks_per_rank],
-            rank_acts: vec![VecDeque::with_capacity(4); cfg.ranks],
-            rank_act_owner: vec![None; cfg.ranks],
-            bus_free: 0,
-            bus_owner: None,
-            bus_last_write: false,
-            last_write_data_end: 0,
-            last_start: None,
-            refresh_applied: vec![0; cfg.ranks],
-            refresh_phase: (0..cfg.ranks as u64)
-                .map(|r| (2 * r + 1) * t.trefi / (2 * cfg.ranks as u64))
-                .collect(),
+            core: ChannelCore::new(cfg),
         }
     }
 
     /// The channel's timing table.
     pub fn timings(&self) -> &Timings {
-        &self.t
+        self.core.timings()
     }
 
-    fn bank_index(&self, rank: usize, bank: usize) -> usize {
-        debug_assert!(rank < self.ranks && bank < self.banks_per_rank);
-        rank * self.banks_per_rank + bank
+    /// The flat struct-of-arrays timing core backing this channel.
+    pub fn core(&self) -> &ChannelCore {
+        &self.core
     }
 
-    /// Read-only access to a bank (stats/tests).
-    pub fn bank(&self, rank: usize, bank: usize) -> &Bank {
-        &self.banks[self.bank_index(rank, bank)]
-    }
-
-    /// Align `cycle` up to the DRAM command-clock grid.
-    fn align_up(&self, cycle: u64) -> u64 {
-        let t = self.t.tck;
-        fast_div(cycle + (t - 1), t) * t
-    }
-
-    /// The refresh blackout window `[start, end)` that covers or precedes
-    /// `cycle` for `rank`, staggered across ranks (half-slot offset so no
-    /// rank refreshes at cycle 0).
-    fn blackout_before(&self, rank: usize, cycle: u64) -> (u64, u64) {
-        let phase = self.refresh_phase[rank];
-        if cycle < phase {
-            return (0, 0); // before the first refresh of this rank
+    /// Object-model snapshot of a bank, materialized from the flat lanes
+    /// (stats/tests compatibility; the simulation never round-trips it).
+    pub fn bank(&self, rank: usize, bank: usize) -> Bank {
+        let (act_time, pre_ready, act_ready, cas_ready, busy_until) =
+            self.core.bank_wheels(rank, bank);
+        Bank {
+            open_row: self.core.open_row(rank, bank),
+            act_time,
+            pre_ready,
+            act_ready,
+            cas_ready,
+            last_owner: self.core.bank_owner(rank, bank),
+            busy_until,
         }
-        let k = fast_div(cycle - phase, self.t.trefi);
-        let start = phase + k * self.t.trefi;
-        (start, start + self.t.trfc)
-    }
-
-    /// Push `cycle` out of any refresh blackout for `rank`.
-    fn avoid_blackout(&self, rank: usize, cycle: u64) -> u64 {
-        let (start, end) = self.blackout_before(rank, cycle);
-        if cycle >= start && cycle < end {
-            end
-        } else {
-            cycle
-        }
-    }
-
-    /// Lazily apply refresh effects (row closure, bank busy) for blackouts
-    /// that began before `upto`.
-    fn apply_refreshes(&mut self, rank: usize, upto: u64) {
-        let (start, end) = self.blackout_before(rank, upto);
-        if end > 0 && start >= self.refresh_applied[rank] {
-            for b in 0..self.banks_per_rank {
-                let idx = self.bank_index(rank, b);
-                self.banks[idx].refresh_until(end);
-            }
-            self.refresh_applied[rank] = end;
-        }
-    }
-
-    /// Fold every raw (unaligned, refresh-unaware) lower bound on a
-    /// transaction's start into the dominating `(start, reason, blocker)`
-    /// triple, starting from `now`. Shared by [`probe`](Self::probe) and
-    /// [`issuable_at`](Self::issuable_at) so the two can never diverge.
-    fn raw_probe(
-        &self,
-        rank: usize,
-        bank: usize,
-        row: usize,
-        is_write: bool,
-        now: u64,
-    ) -> (u64, BlockReason, Option<usize>, AccessKind) {
-        let t = &self.t;
-        let b = &self.banks[self.bank_index(rank, bank)];
-        let bank_probe = b.probe(row, self.policy, t);
-        let kind = bank_probe.kind;
-        let cas_off = kind.cas_offset(t);
-        let act_off = match kind {
-            AccessKind::RowHit => None,
-            AccessKind::RowMiss => Some(0),
-            AccessKind::RowConflict => Some(t.trp),
-        };
-        let data_off = cas_off + if is_write { t.cwl } else { t.cl };
-
-        // Fold the lower bounds on `start` inline, keeping the dominating
-        // constraint's reason/owner. This runs once per scheduling probe —
-        // the controller's hottest path — so the bounds are accumulated
-        // without any intermediate collection. Order mirrors the documented
-        // precedence: bank, rank ACT windows, data bus, command slot.
-        let (mut start, mut reason, mut blocker) = (now, BlockReason::Bank, None);
-        let mut fold = |lb: u64, r: BlockReason, owner: Option<usize>| {
-            if lb > start {
-                start = lb;
-                reason = r;
-                blocker = owner;
-            }
-        };
-        fold(bank_probe.earliest_start, BlockReason::Bank, b.last_owner);
-
-        if let Some(aoff) = act_off {
-            // tRRD from the last ACT in this rank.
-            if let Some(&last) = self.rank_acts[rank].back() {
-                let lb = (last + t.trrd).saturating_sub(aoff);
-                fold(lb, BlockReason::RankAct, self.rank_act_owner[rank]);
-            }
-            // tFAW: the 4th-most-recent ACT gates a 5th.
-            if self.rank_acts[rank].len() >= 4 {
-                let oldest = self.rank_acts[rank][self.rank_acts[rank].len() - 4];
-                let lb = (oldest + t.tfaw).saturating_sub(aoff);
-                fold(lb, BlockReason::RankAct, self.rank_act_owner[rank]);
-            }
-        }
-
-        // Data bus occupancy, with turnaround/rank-switch gaps.
-        let mut bus_ready = self.bus_free;
-        if self.bus_owner.is_some() {
-            if self.bus_last_write && !is_write {
-                // Write-to-read: the read CAS must wait tWTR after the last
-                // write data beat; express as a data-start bound.
-                let cas_lb = self.last_write_data_end + t.twtr;
-                bus_ready = bus_ready.max(cas_lb + if is_write { t.cwl } else { t.cl });
-            } else if !self.bus_last_write && is_write {
-                // Read-to-write: one clock of bus turnaround.
-                bus_ready = bus_ready.max(self.bus_free + t.tck);
-            }
-            // Rank-to-rank switch gaps (tRTRS) are not modeled: with the
-            // paper's rank-interleaved mapping every consecutive line
-            // changes rank, and charging a bubble per line would cap the
-            // bus at ~80% of its nominal bandwidth — the paper's Table III
-            // data (lbm alone reaches 94% of peak) shows their testbed did
-            // not pay such a cost.
-        }
-        fold(
-            bus_ready.saturating_sub(data_off),
-            BlockReason::DataBus,
-            self.bus_owner,
-        );
-
-        // Command-slot: one transaction start per DRAM clock.
-        if let Some(last) = self.last_start {
-            fold(last + t.tck, BlockReason::CommandSlot, self.bus_owner);
-        }
-
-        (start, reason, blocker, kind)
-    }
-
-    /// Push `start` onto the command-clock grid and out of refresh
-    /// blackouts (iterate: pushing past a blackout breaks alignment because
-    /// blackout ends are arbitrary, so re-align). Returns the final start
-    /// and whether a refresh moved it.
-    fn align_and_avoid_refresh(&self, rank: usize, mut start: u64) -> (u64, bool) {
-        let mut refreshed = false;
-        for _ in 0..4 {
-            let aligned = self.align_up(start);
-            let moved = self.avoid_blackout(rank, aligned);
-            if moved != aligned {
-                start = moved;
-                refreshed = true;
-            } else {
-                return (aligned, refreshed);
-            }
-        }
-        (start, refreshed)
     }
 
     /// Compute the earliest start for a transaction and, when it is blocked
@@ -281,18 +102,7 @@ impl Channel {
         is_write: bool,
         now: u64,
     ) -> ChannelProbe {
-        let (raw, mut reason, mut blocker, kind) = self.raw_probe(rank, bank, row, is_write, now);
-        let (start, refreshed) = self.align_and_avoid_refresh(rank, raw);
-        if refreshed {
-            reason = BlockReason::Refresh;
-            blocker = None;
-        }
-        ChannelProbe {
-            start,
-            kind,
-            block: if start > now { Some(reason) } else { None },
-            blocker: blocker.filter(|_| start > now),
-        }
+        self.core.probe(rank, bank, row, is_write, now)
     }
 
     /// Whether a transaction's first command could be driven at or before
@@ -309,23 +119,12 @@ impl Channel {
         is_write: bool,
         now: u64,
     ) -> Option<AccessKind> {
-        let (raw, _, _, kind) = self.raw_probe(rank, bank, row, is_write, now);
-        // Alignment and refresh avoidance only ever push the start later,
-        // so a raw bound past `now` is already a rejection.
-        if raw > now {
-            return None;
-        }
-        let (start, _) = self.align_and_avoid_refresh(rank, raw);
-        (start <= now).then_some(kind)
+        self.core.issuable_at(rank, bank, row, is_write, now)
     }
 
     /// Commit a transaction whose first command is driven at `probe.start`.
     /// Returns `(data_start, data_end)`; `data_end` is the completion cycle
     /// handed back to the requester.
-    ///
-    /// # Panics
-    /// Debug-asserts that the probe was produced for the current state
-    /// (`probe.start` respects all constraints).
     pub fn commit(
         &mut self,
         rank: usize,
@@ -335,42 +134,15 @@ impl Channel {
         app: usize,
         probe: &ChannelProbe,
     ) -> (u64, u64) {
-        let start = probe.start;
-        self.apply_refreshes(rank, start);
-        let t = self.t;
-        let idx = self.bank_index(rank, bank);
-        // Re-derive the access kind after refresh application (a refresh may
-        // have closed the open row the probe saw).
-        let kind = self.banks[idx].probe(row, self.policy, &t).kind;
-        let (data_start, data_end) =
-            self.banks[idx].commit(start, kind, row, is_write, app, self.policy, &t);
-
-        if kind != AccessKind::RowHit {
-            let act_time = match kind {
-                AccessKind::RowConflict => start + t.trp,
-                _ => start,
-            };
-            let acts = &mut self.rank_acts[rank];
-            if acts.len() == 4 {
-                acts.pop_front();
-            }
-            acts.push_back(act_time);
-            self.rank_act_owner[rank] = Some(app);
-        }
-
-        self.bus_free = data_end;
-        self.bus_owner = Some(app);
-        self.bus_last_write = is_write;
-        if is_write {
-            self.last_write_data_end = data_end;
-        }
-        self.last_start = Some(start);
+        let (data_start, data_end, _) =
+            self.core
+                .commit(rank, bank, row, is_write, app, probe.start);
         (data_start, data_end)
     }
 
     /// Cycle at which the data bus becomes free (stats/utilization).
     pub fn bus_free_at(&self) -> u64 {
-        self.bus_free
+        self.core.bus_free_at()
     }
 
     /// Cycle by which every *committed* transaction on this channel has
@@ -380,16 +152,14 @@ impl Channel {
     /// no pending completion — can lie beyond this cycle. Fast-forward
     /// contracts use it as the memory system's event horizon.
     pub fn quiesce_at(&self) -> u64 {
-        self.banks
-            .iter()
-            .map(|b| b.busy_until)
-            .fold(self.bus_free, u64::max)
+        self.core.quiesce_at()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::PagePolicy;
 
     fn channel() -> Channel {
         Channel::new(&DramConfig::ddr2_400())
@@ -535,6 +305,22 @@ mod tests {
         assert_eq!(p2.kind, AccessKind::RowHit);
         let p3 = ch.probe(0, 0, 8, false, p.start + t.tck);
         assert_eq!(p3.kind, AccessKind::RowConflict);
+    }
+
+    #[test]
+    fn bank_view_matches_committed_state() {
+        let mut ch = channel();
+        let p = ch.probe(0, 3, 5, false, 0);
+        ch.commit(0, 3, 5, false, 2, &p);
+        let b = ch.bank(0, 3);
+        assert_eq!(b.open_row, None, "close-page auto-precharges");
+        assert_eq!(b.last_owner, Some(2));
+        assert!(b.busy_until > 0);
+        assert_eq!(b.busy_until, b.act_ready());
+        // Untouched bank is idle.
+        let idle = ch.bank(1, 0);
+        assert_eq!(idle.last_owner, None);
+        assert_eq!(idle.busy_until, 0);
     }
 
     #[test]

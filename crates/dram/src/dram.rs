@@ -5,10 +5,11 @@ use bwpart_obs::obs_count;
 use serde::{Deserialize, Serialize};
 
 use crate::address::{AddressMapper, Location};
-use crate::bank::Timings;
+use crate::bank::{AccessKind, Timings};
 use crate::channel::{BlockReason, Channel, ChannelProbe};
 use crate::config::DramConfig;
 use crate::obs::DramObsHooks;
+use crate::soa::{ChannelCore, NO_OWNER};
 use crate::stats::DramStats;
 
 /// One line-granular memory transaction presented by the controller.
@@ -37,6 +38,64 @@ pub struct Completion {
     pub done_cycle: u64,
     /// Whether the access hit an open row (open-page only).
     pub row_hit: bool,
+}
+
+/// Version-tagged cached scheduling probe for one queued request.
+///
+/// A probe's raw lower bound, final (aligned, refresh-avoided) start,
+/// access kind, and blocking owner are pure functions of the request and
+/// the target channel's *committed* state — so they stay valid until the
+/// channel's [`ChannelCore::version`] moves (it only moves on commit).
+/// The memory controller keeps one of these per queued request and asks
+/// [`DramSystem::sched_probe`] instead of re-folding every timing bound
+/// each DRAM clock; while a channel is stalled, the per-slot test
+/// collapses to three integer compares.
+///
+/// `version == 0` marks an empty cache (live channel versions start at 1),
+/// so `Default` — also what a deserialized queue slot gets — is always a
+/// miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeCache {
+    version: u64,
+    channel: u32,
+    rank: u32,
+    /// Raw (unaligned, refresh-unaware) fold of the timing lower bounds.
+    raw: u64,
+    /// Final start: `raw` pushed onto the clock grid and out of blackouts.
+    start: u64,
+    kind: AccessKind,
+    /// Sentinel-encoded owner of the dominating constraint at `raw`.
+    blocker: u32,
+    /// Whether a refresh blackout moved `start` past the aligned `raw`.
+    refreshed: bool,
+}
+
+impl Default for ProbeCache {
+    fn default() -> Self {
+        ProbeCache {
+            version: 0,
+            channel: 0,
+            rank: 0,
+            raw: 0,
+            start: 0,
+            kind: AccessKind::RowMiss,
+            blocker: NO_OWNER,
+            refreshed: false,
+        }
+    }
+}
+
+/// Answer of a cached scheduling probe (see [`DramSystem::sched_probe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedProbe {
+    /// Whether the first command can be driven exactly at the probed `now`.
+    pub issuable: bool,
+    /// Command structure (hit/miss/conflict) the access would use.
+    pub kind: AccessKind,
+    /// When blocked: the *other* application owning the blocking resource
+    /// — exactly [`DramSystem::blocking_app`]'s answer (`None` for
+    /// self-blocking, refresh, alignment, or an issuable probe).
+    pub head_blocker: Option<usize>,
 }
 
 /// The DRAM system: `channels` × (`ranks` × `banks`) with a shared stats
@@ -143,6 +202,134 @@ impl DramSystem {
             Some(BlockReason::Refresh) | None => None,
             _ => p.blocker.filter(|&b| b != txn.app),
         }
+    }
+
+    /// Number of channels in this system.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Monotone mutation counter of one channel (probe-cache tag). Bumps
+    /// exactly when a transaction commits on that channel.
+    #[inline]
+    pub fn channel_version(&self, channel: usize) -> u64 {
+        self.channels[channel].core().version()
+    }
+
+    /// Channel-wide lower bound on any transaction's start cycle — one
+    /// linear pass over the channel's flat bank lanes (see
+    /// [`ChannelCore::channel_floor`]). While this exceeds `now`, nothing
+    /// on the channel can issue and whole scheduling scans can be skipped.
+    #[inline]
+    pub fn channel_floor(&self, channel: usize) -> u64 {
+        self.channels[channel].core().channel_floor()
+    }
+
+    /// The channel a transaction decodes to.
+    #[inline]
+    pub fn channel_of(&self, txn: &MemTransaction) -> usize {
+        self.decode(txn.addr).channel
+    }
+
+    /// Resolve a cached probe against the current cycle. The cache regime
+    /// logic reproduces `probe`'s answer exactly:
+    ///
+    /// * `now < raw` — some raw timing bound still holds; the fold triple
+    ///   is `now`-independent in this regime, so the cached blocker
+    ///   attribution applies verbatim.
+    /// * `raw ≤ now < start` — every raw bound has passed but grid
+    ///   alignment / refresh avoidance still push the start to the cached
+    ///   `start`; a fresh fold from `now` would find no dominating bound,
+    ///   so the attribution is `None` (self/alignment/refresh).
+    /// * `now ≥ start` — only the two `now`-dependent post-fold checks
+    ///   remain: the command-clock grid and the rank's refresh blackouts
+    ///   ([`ChannelCore::grid_clear`]).
+    fn cached_answer(
+        core: &ChannelCore,
+        txn: &MemTransaction,
+        now: u64,
+        cache: &ProbeCache,
+    ) -> SchedProbe {
+        if now < cache.raw {
+            let head_blocker = if cache.refreshed || cache.blocker == NO_OWNER {
+                None
+            } else {
+                Some(cache.blocker as usize).filter(|&b| b != txn.app)
+            };
+            SchedProbe {
+                issuable: false,
+                kind: cache.kind,
+                head_blocker,
+            }
+        } else {
+            SchedProbe {
+                issuable: now >= cache.start && core.grid_clear(cache.rank as usize, now),
+                kind: cache.kind,
+                head_blocker: None,
+            }
+        }
+    }
+
+    /// Fill `cache` from a fresh `now`-independent probe of `txn`'s channel.
+    fn fill_cache(&self, txn: &MemTransaction, cache: &mut ProbeCache) -> &ChannelCore {
+        let loc = self.decode(txn.addr);
+        let core = self.channels[loc.channel].core();
+        // Fold from cycle 0: every lower bound is a pure function of
+        // committed state, so the raw fold, the aligned start, and the
+        // dominating owner are valid for *any* probed `now` (see
+        // `cached_answer` for the regime split).
+        let (raw, _, blocker, kind) = core.raw_probe(loc.rank, loc.bank, loc.row, txn.is_write, 0);
+        let (start, refreshed) = core.align_and_avoid_refresh(loc.rank, raw);
+        *cache = ProbeCache {
+            version: core.version(),
+            channel: loc.channel as u32,
+            rank: loc.rank as u32,
+            raw,
+            start,
+            kind,
+            blocker: blocker.map_or(NO_OWNER, |b| b as u32),
+            refreshed,
+        };
+        core
+    }
+
+    /// Cached scheduling probe: semantically identical to
+    /// `(issuable_at(txn, now), blocking_app(txn, now))` but answered from
+    /// `cache` in a handful of integer compares while `txn`'s channel has
+    /// not committed anything since the cache was filled. On a version
+    /// miss the probe is recomputed once and the cache refilled; the cache
+    /// is transparent — answers never depend on whether it was hit.
+    pub fn sched_probe(
+        &self,
+        txn: &MemTransaction,
+        now: u64,
+        cache: &mut ProbeCache,
+    ) -> SchedProbe {
+        if cache.version != 0 {
+            let core = self.channels[cache.channel as usize].core();
+            if core.version() == cache.version {
+                return Self::cached_answer(core, txn, now, cache);
+            }
+        }
+        let core = self.fill_cache(txn, cache);
+        Self::cached_answer(core, txn, now, cache)
+    }
+
+    /// Read-only variant of [`sched_probe`](Self::sched_probe) for the
+    /// parallel candidate gather: a stale `cache` is recomputed into a
+    /// local scratch instead of being refreshed in place, so concurrent
+    /// gathers over shared queues need no synchronization. Answers are
+    /// identical to `sched_probe`'s.
+    pub fn sched_probe_ro(&self, txn: &MemTransaction, now: u64, cache: &ProbeCache) -> SchedProbe {
+        if cache.version != 0 {
+            let core = self.channels[cache.channel as usize].core();
+            if core.version() == cache.version {
+                return Self::cached_answer(core, txn, now, cache);
+            }
+        }
+        let mut scratch = ProbeCache::default();
+        let core = self.fill_cache(txn, &mut scratch);
+        Self::cached_answer(core, txn, now, &scratch)
     }
 
     /// Issue `txn` at cycle `now` (its first command is driven at the probe
@@ -427,6 +614,94 @@ mod tests {
                 s.quiesce_at()
             );
             cycle = p.start;
+        }
+    }
+
+    /// The cached scheduling probe must answer exactly like the uncached
+    /// `(issuable_at, blocking_app)` pair at every cycle — including
+    /// off-grid cycles, refresh blackouts, and across cache invalidations —
+    /// whether the cache is hot, cold, or stale.
+    #[test]
+    fn sched_probe_matches_uncached_probe() {
+        let mut s = sys();
+        let mut state = 0xC0FFEEu64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut pending: Vec<(MemTransaction, ProbeCache)> = (0..12)
+            .map(|i| {
+                (
+                    MemTransaction {
+                        app: (i % 4) as usize,
+                        addr: (rng() % (1 << 24)) & !63,
+                        is_write: rng() % 4 == 0,
+                    },
+                    ProbeCache::default(),
+                )
+            })
+            .collect();
+        let mut now = 0u64;
+        for step in 0..4000u64 {
+            // Deliberately hit off-grid cycles too.
+            now += 1 + rng() % 40;
+            for (txn, cache) in &mut pending {
+                let want_issuable = s.can_issue(txn, now);
+                let want_blocker = s.blocking_app(txn, now);
+                let got_rw = s.sched_probe(txn, now, cache);
+                let got_ro = s.sched_probe_ro(txn, now, cache);
+                assert_eq!(got_rw, got_ro, "ro/rw divergence at {now}");
+                assert_eq!(got_rw.issuable, want_issuable, "issuable at {now}");
+                if want_issuable {
+                    assert_eq!(Some(got_rw.kind), s.issuable_at(txn, now));
+                } else {
+                    assert_eq!(got_rw.head_blocker, want_blocker, "blocker at {now}");
+                }
+            }
+            // Occasionally issue something to mutate channel state (and
+            // invalidate caches), occasionally swap a request.
+            if step % 3 == 0 {
+                if let Some((txn, _)) = pending.iter().find(|(t, _)| s.can_issue(t, now)) {
+                    let txn = *txn;
+                    s.issue(&txn, now);
+                }
+            }
+            if step % 7 == 0 {
+                let i = (rng() % pending.len() as u64) as usize;
+                pending[i] = (
+                    MemTransaction {
+                        app: (rng() % 4) as usize,
+                        addr: (rng() % (1 << 24)) & !63,
+                        is_write: rng() % 4 == 0,
+                    },
+                    ProbeCache::default(),
+                );
+            }
+        }
+    }
+
+    /// The channel floor must never exceed any request's probed start, and
+    /// while it exceeds `now` nothing may issue.
+    #[test]
+    fn channel_floor_bounds_all_starts() {
+        let mut s = sys();
+        let mut now = warm_start(&s);
+        for i in 0..200u64 {
+            let txn = MemTransaction {
+                app: (i % 4) as usize,
+                addr: i.wrapping_mul(0x9E3779B97F4A7C15) & 0xFFF_FFC0,
+                is_write: i % 5 == 0,
+            };
+            let floor = s.channel_floor(s.channel_of(&txn));
+            let p = s.probe(&txn, now);
+            assert!(p.start >= floor, "floor {floor} unsound: start {}", p.start);
+            if floor > now {
+                assert!(!s.can_issue(&txn, now), "issuable below floor at {now}");
+            }
+            let c = s.issue(&txn, p.start.max(now));
+            now = c.start_cycle;
         }
     }
 

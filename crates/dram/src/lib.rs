@@ -51,10 +51,12 @@ pub mod channel;
 pub mod config;
 pub mod dram;
 pub mod obs;
+pub mod soa;
 pub mod stats;
 
 pub use address::{AddressMapper, Location, MappingScheme};
 pub use config::{DramConfig, PagePolicy, TimingNs};
-pub use dram::{Completion, DramSystem, MemTransaction};
+pub use dram::{Completion, DramSystem, MemTransaction, ProbeCache, SchedProbe};
 pub use obs::DramObsHooks;
+pub use soa::ChannelCore;
 pub use stats::DramStats;

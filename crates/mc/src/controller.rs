@@ -8,7 +8,7 @@ use std::collections::BinaryHeap;
 use bwpart_obs::obs_count;
 use serde::{Deserialize, Serialize};
 
-use bwpart_dram::{Completion, DramConfig, DramSystem, MemTransaction};
+use bwpart_dram::{Completion, DramConfig, DramSystem, MemTransaction, ProbeCache};
 
 use crate::interference::InterferenceTracker;
 use crate::obs::McObsHooks;
@@ -96,6 +96,18 @@ pub struct MemoryController {
     /// pass, valid for the interference loop only while no request was
     /// issued in between (a stalled tick).
     blocker_buf: Vec<Option<usize>>,
+    /// Scratch list of pending applications for the gather pass (the
+    /// per-slot probe caches need `&mut self.queues`, so the pending set is
+    /// snapshotted first).
+    app_buf: Vec<usize>,
+    /// Per-channel `(version, floor)` cache of
+    /// [`DramSystem::channel_floor`]: while a channel's version is
+    /// unchanged and its floor lies beyond `now`, no request on it can
+    /// issue and the scheduling window need not be scanned past the head.
+    floor_cache: Vec<(u64, u64)>,
+    /// Fan the candidate gather over the vendored thread pool
+    /// (bit-identical to the sequential gather; see [`tick`](Self::tick)).
+    parallel_channels: bool,
     /// Optional observability hooks (pre-resolved metric handles). Never
     /// observable by the simulation: written only through the zero-cost
     /// `obs_*!` macros, shared by clones.
@@ -108,6 +120,7 @@ impl MemoryController {
         let mut dram = DramSystem::new(cfg);
         dram.set_app_count(apps);
         let tck = dram.timings().tck;
+        let channels = dram.num_channels();
         MemoryController {
             dram,
             queues: AppQueues::new(apps),
@@ -123,6 +136,9 @@ impl MemoryController {
             cand_buf: Vec::with_capacity(apps),
             pos_buf: Vec::with_capacity(apps),
             blocker_buf: Vec::with_capacity(apps),
+            app_buf: Vec::with_capacity(apps),
+            floor_cache: vec![(0, 0); channels],
+            parallel_channels: false,
             obs: None,
         }
     }
@@ -150,6 +166,19 @@ impl MemoryController {
     pub fn set_sched_window(&mut self, window: usize) {
         assert!(window >= 1, "window must be at least 1");
         self.sched_window = window;
+    }
+
+    /// Fan the per-application candidate gather over the vendored thread
+    /// pool. Probes are read-only against committed channel state, so the
+    /// gathered candidates — and therefore every scheduling decision and
+    /// counter — are bit-identical to the sequential gather.
+    pub fn set_parallel_channels(&mut self, on: bool) {
+        self.parallel_channels = on;
+    }
+
+    /// Whether the parallel candidate gather is enabled.
+    pub fn parallel_channels(&self) -> bool {
+        self.parallel_channels
     }
 
     /// Number of applications.
@@ -219,66 +248,111 @@ impl MemoryController {
         // Gather candidates: for each pending application, the oldest
         // *issuable* request within its scheduling window, falling back to
         // the (blocked) head. The buffers live on `self` so the per-tick
-        // gather allocates nothing in steady state. The head (position 0)
-        // takes a full probe so its interference attribution is computed
-        // once here; deeper window positions use the cheap issuable test.
+        // gather allocates nothing in steady state. Every window position
+        // is answered through its slot's version-tagged probe cache
+        // (`DramSystem::sched_probe`): while the channel is unchanged the
+        // test collapses to a few integer compares, and the head's
+        // interference attribution rides along for free.
+        //
+        // Two further cuts keep the (dominant) stalled-tick path flat:
+        //  * when a lone channel's conservative floor lies beyond `now`,
+        //    nothing anywhere on it can issue, so only each head is probed
+        //    (its attribution is still needed for interference accounting);
+        //  * with `parallel_channels` the per-application scans fan over
+        //    the vendored pool: probes run on local copies of the slot
+        //    caches against `&DramSystem` (committed state only), so the
+        //    answers are bit-identical to the sequential scan, and the
+        //    refreshed caches are written back in input order afterwards.
         self.cand_buf.clear();
         self.pos_buf.clear();
         self.blocker_buf.clear();
-        for app in self.queues.pending_apps() {
-            let mut chosen: Option<(usize, u64, bool)> = None; // (pos, arrival, row_hit)
-            let mut head_blocker: Option<usize> = None;
-            for pos in 0..self.sched_window.min(self.queues.len(app)) {
-                // lint: allow(R1): pos < queues.len(app) by the loop bound
-                let req = self.queues.get(app, pos).expect("in range");
-                let txn = MemTransaction {
-                    app: req.app,
-                    addr: req.addr,
-                    is_write: req.is_write,
+        self.app_buf.clear();
+        self.app_buf.extend(self.queues.pending_apps());
+        let floor_skip = self.dram.num_channels() == 1 && self.cached_channel_floor(0) > now;
+
+        // A 1-wide pool would run the fan-out inline anyway; take the
+        // sequential path outright and skip its per-tick buffer clones.
+        // Identical results either way — the parallel branch is
+        // bit-identical by construction.
+        let fan_out = self.parallel_channels
+            && self.app_buf.len() > 1
+            && rayon::pool::current_num_threads() > 1;
+        if !fan_out {
+            for i in 0..self.app_buf.len() {
+                let app = self.app_buf[i];
+                let limit = if floor_skip {
+                    1
+                } else {
+                    self.sched_window.min(self.queues.len(app))
                 };
-                if pos == 0 {
-                    let probe = self.dram.probe(&txn, now);
-                    if probe.start <= now {
+                let mut chosen: Option<(usize, u64, bool)> = None; // (pos, arrival, row_hit)
+                let mut head_blocker: Option<usize> = None;
+                for pos in 0..limit {
+                    // lint: allow(R1): pos < queues.len(app) by the loop bound
+                    let (req, cache) = self.queues.slot_mut(app, pos).expect("in range");
+                    let txn = MemTransaction {
+                        app: req.app,
+                        addr: req.addr,
+                        is_write: req.is_write,
+                    };
+                    let arrival = req.arrival;
+                    let probe = self.dram.sched_probe(&txn, now, cache);
+                    if probe.issuable {
+                        let row_hit = probe.kind == bwpart_dram::bank::AccessKind::RowHit;
+                        chosen = Some((pos, arrival, row_hit));
+                        break;
+                    }
+                    if pos == 0 {
+                        head_blocker = probe.head_blocker;
+                    }
+                }
+                self.push_candidate(app, chosen, head_blocker);
+            }
+        } else {
+            let dram = &self.dram;
+            let queues = &self.queues;
+            let sched_window = self.sched_window;
+            let apps: Vec<usize> = self.app_buf.clone();
+            let scans = rayon::pool::map_in_order(apps, |app| {
+                let limit = if floor_skip {
+                    1
+                } else {
+                    sched_window.min(queues.len(app))
+                };
+                let mut chosen: Option<(usize, u64, bool)> = None;
+                let mut head_blocker: Option<usize> = None;
+                let mut refreshed: Vec<(usize, ProbeCache)> = Vec::new();
+                for pos in 0..limit {
+                    // lint: allow(R1): pos < queues.len(app) by the loop bound
+                    let (req, cache) = queues.slot(app, pos).expect("in range");
+                    let txn = MemTransaction {
+                        app: req.app,
+                        addr: req.addr,
+                        is_write: req.is_write,
+                    };
+                    let mut local = *cache;
+                    let probe = dram.sched_probe(&txn, now, &mut local);
+                    if local != *cache {
+                        refreshed.push((pos, local));
+                    }
+                    if probe.issuable {
                         let row_hit = probe.kind == bwpart_dram::bank::AccessKind::RowHit;
                         chosen = Some((pos, req.arrival, row_hit));
                         break;
                     }
-                    // Same attribution rule as `DramSystem::blocking_app`.
-                    head_blocker = match probe.block {
-                        Some(bwpart_dram::channel::BlockReason::Refresh) | None => None,
-                        _ => probe.blocker.filter(|&b| b != txn.app),
-                    };
-                } else if let Some(kind) = self.dram.issuable_at(&txn, now) {
-                    let row_hit = kind == bwpart_dram::bank::AccessKind::RowHit;
-                    chosen = Some((pos, req.arrival, row_hit));
-                    break;
+                    if pos == 0 {
+                        head_blocker = probe.head_blocker;
+                    }
                 }
-            }
-            match chosen {
-                Some((pos, arrival, row_hit)) => {
-                    self.cand_buf.push(Candidate {
-                        app,
-                        arrival,
-                        issuable: true,
-                        row_hit,
-                        queue_len: self.queues.len(app),
-                    });
-                    self.pos_buf.push(pos);
-                    self.blocker_buf.push(None);
+                (app, chosen, head_blocker, refreshed)
+            });
+            for (app, chosen, head_blocker, refreshed) in scans {
+                for (pos, cache) in refreshed {
+                    if let Some((_, slot)) = self.queues.slot_mut(app, pos) {
+                        *slot = cache;
+                    }
                 }
-                None => {
-                    // lint: allow(R1): app came from pending_apps(), its queue is non-empty
-                    let head = self.queues.head(app).expect("pending app has a head");
-                    self.cand_buf.push(Candidate {
-                        app,
-                        arrival: head.arrival,
-                        issuable: false,
-                        row_hit: false,
-                        queue_len: self.queues.len(app),
-                    });
-                    self.pos_buf.push(0);
-                    self.blocker_buf.push(head_blocker);
-                }
+                self.push_candidate(app, chosen, head_blocker);
             }
         }
 
@@ -341,13 +415,16 @@ impl MemoryController {
                     *cached_blocker
                 } else {
                     // lint: allow(R1): candidates only contains apps with queued requests
-                    let head = self.queues.head(c.app).expect("still pending");
+                    let (head, cache) = self.queues.slot_mut(c.app, 0).expect("still pending");
                     let txn = MemTransaction {
                         app: head.app,
                         addr: head.addr,
                         is_write: head.is_write,
                     };
-                    self.dram.blocking_app(&txn, now)
+                    // `SchedProbe::head_blocker` is exactly
+                    // `DramSystem::blocking_app`'s answer, and refreshing
+                    // the head's cache here pre-pays the next tick's probe.
+                    self.dram.sched_probe(&txn, now, cache).head_blocker
                 };
                 if blocker.is_some() {
                     self.interference.charge(c.app, self.tck);
@@ -355,6 +432,79 @@ impl MemoryController {
                 }
             }
         }
+    }
+
+    /// Push the scan result for `app` onto the candidate buffers.
+    fn push_candidate(
+        &mut self,
+        app: usize,
+        chosen: Option<(usize, u64, bool)>,
+        head_blocker: Option<usize>,
+    ) {
+        match chosen {
+            Some((pos, arrival, row_hit)) => {
+                self.cand_buf.push(Candidate {
+                    app,
+                    arrival,
+                    issuable: true,
+                    row_hit,
+                    queue_len: self.queues.len(app),
+                });
+                self.pos_buf.push(pos);
+                self.blocker_buf.push(None);
+            }
+            None => {
+                // lint: allow(R1): app came from pending_apps(), its queue is non-empty
+                let head = self.queues.head(app).expect("pending app has a head");
+                self.cand_buf.push(Candidate {
+                    app,
+                    arrival: head.arrival,
+                    issuable: false,
+                    row_hit: false,
+                    queue_len: self.queues.len(app),
+                });
+                self.pos_buf.push(0);
+                self.blocker_buf.push(head_blocker);
+            }
+        }
+    }
+
+    /// `DramSystem::channel_floor`, memoized per channel version: the
+    /// floor is a pure function of committed channel state, so it stays
+    /// valid until the next commit bumps the version.
+    fn cached_channel_floor(&mut self, channel: usize) -> u64 {
+        let version = self.dram.channel_version(channel);
+        if self.floor_cache[channel].0 != version {
+            self.floor_cache[channel] = (version, self.dram.channel_floor(channel));
+        }
+        self.floor_cache[channel].1
+    }
+
+    /// Apply a closed-form analytic jump of the hybrid stepper: credit the
+    /// paper-model predictions for a skipped steady-state window directly
+    /// to the controller's counters. `served_delta`, `latency_delta` and
+    /// `interference_delta` are per-application; `busy`/`stalled` are DRAM
+    /// command clocks. Micro-state (queues, bank wheels, in-flight
+    /// completions) is deliberately left untouched — the hybrid stepper
+    /// resumes cycle-exact simulation from it after the jump.
+    pub fn analytic_jump(
+        &mut self,
+        served_delta: &[u64],
+        latency_delta: &[u64],
+        interference_delta: &[u64],
+        busy: u64,
+        stalled: u64,
+    ) {
+        for app in 0..self.queues.apps() {
+            self.stats.served[app] += served_delta[app];
+            self.stats.latency_sum[app] += latency_delta[app];
+            self.epoch_accesses[app] += served_delta[app];
+            if interference_delta[app] > 0 {
+                self.interference.charge(app, interference_delta[app]);
+            }
+        }
+        self.stats.busy_ticks += busy;
+        self.stats.stalled_ticks += stalled;
     }
 
     /// Pop the oldest completion with `done_cycle ≤ now`, if any — the
@@ -660,6 +810,48 @@ mod tests {
         }
         assert_eq!(mc.dram().stats().writes, 1);
         assert_eq!(mc.dram().stats().reads, 1);
+    }
+
+    #[test]
+    fn parallel_gather_is_bit_identical_to_sequential() {
+        let run = |par: bool| {
+            let mut mc =
+                MemoryController::new(DramConfig::ddr2_400(), 3, Policy::stf(vec![0.5, 0.3, 0.2]));
+            mc.set_parallel_channels(par);
+            let mut next_line: Vec<u64> = (0..3u64).map(|a| a << 32).collect();
+            for now in 0..120_000 {
+                for (app, line) in next_line.iter_mut().enumerate() {
+                    while mc.queue_len(app) < 4 {
+                        mc.enqueue(MemRequest::read(app, *line * 64, now));
+                        *line += 1;
+                    }
+                }
+                mc.tick(now);
+                let _ = mc.drain_completions(now);
+            }
+            let intf: Vec<u64> = (0..3).map(|a| mc.interference_cycles(a)).collect();
+            (mc.stats().clone(), intf, mc.dram().stats().clone())
+        };
+        rayon::pool::set_num_threads(2);
+        let par = run(true);
+        rayon::pool::set_num_threads(0);
+        let seq = run(false);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn analytic_jump_credits_counters_only() {
+        let mut mc = MemoryController::new(DramConfig::ddr2_400(), 2, Policy::fcfs(2));
+        mc.analytic_jump(&[10, 4], &[1000, 600], &[0, 250], 14, 3);
+        assert_eq!(mc.stats().served, vec![10, 4]);
+        assert_eq!(mc.stats().latency_sum, vec![1000, 600]);
+        assert_eq!(mc.stats().busy_ticks, 14);
+        assert_eq!(mc.stats().stalled_ticks, 3);
+        assert_eq!(mc.epoch_accesses(), &[10, 4]);
+        assert_eq!(mc.interference_cycles(0), 0);
+        assert_eq!(mc.interference_cycles(1), 250);
+        // No micro-state was fabricated: the controller is still idle.
+        assert!(!mc.busy());
     }
 
     #[test]

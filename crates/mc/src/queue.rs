@@ -10,12 +10,41 @@ use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
+use bwpart_dram::ProbeCache;
+
 use crate::request::MemRequest;
+
+/// One queue slot: the request plus its version-tagged scheduling-probe
+/// cache. The cache is pure acceleration state — dropping it (as the
+/// manual serialization below does) only costs the next probe a
+/// recompute, never a different answer.
+#[derive(Debug, Clone)]
+struct Slot {
+    req: MemRequest,
+    cache: ProbeCache,
+}
+
+// Serialization carries only the request; a restored slot starts with a
+// cold cache (`ProbeCache::default()` is always a miss).
+impl Serialize for Slot {
+    fn to_value(&self) -> serde::Value {
+        self.req.to_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for Slot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Slot {
+            req: MemRequest::from_value(v)?,
+            cache: ProbeCache::default(),
+        })
+    }
+}
 
 /// Per-application FIFO queues with occupancy accounting.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AppQueues {
-    queues: Vec<VecDeque<MemRequest>>,
+    queues: Vec<VecDeque<Slot>>,
     total: usize,
     /// High-water mark of total occupancy (diagnostics).
     peak: usize,
@@ -41,14 +70,17 @@ impl AppQueues {
     /// # Panics
     /// Panics if the request's application index is out of range.
     pub fn push(&mut self, req: MemRequest) {
-        self.queues[req.app].push_back(req);
+        self.queues[req.app].push_back(Slot {
+            req,
+            cache: ProbeCache::default(),
+        });
         self.total += 1;
         self.peak = self.peak.max(self.total);
     }
 
     /// The oldest pending request of `app`, if any.
     pub fn head(&self, app: usize) -> Option<&MemRequest> {
-        self.queues[app].front()
+        self.queues[app].front().map(|s| &s.req)
     }
 
     /// Remove and return `app`'s head request.
@@ -57,12 +89,27 @@ impl AppQueues {
         if r.is_some() {
             self.total -= 1;
         }
-        r
+        r.map(|s| s.req)
     }
 
     /// The request at position `idx` in `app`'s FIFO (0 = head).
     pub fn get(&self, app: usize, idx: usize) -> Option<&MemRequest> {
-        self.queues[app].get(idx)
+        self.queues[app].get(idx).map(|s| &s.req)
+    }
+
+    /// The request at position `idx` together with its probe cache
+    /// (read-only form for the parallel gather).
+    pub fn slot(&self, app: usize, idx: usize) -> Option<(&MemRequest, &ProbeCache)> {
+        self.queues[app].get(idx).map(|s| (&s.req, &s.cache))
+    }
+
+    /// The request at position `idx` together with mutable access to its
+    /// probe cache (the sequential scheduling path refreshes caches in
+    /// place).
+    pub fn slot_mut(&mut self, app: usize, idx: usize) -> Option<(&MemRequest, &mut ProbeCache)> {
+        self.queues[app]
+            .get_mut(idx)
+            .map(|s| (&s.req, &mut s.cache))
     }
 
     /// Remove and return the request at position `idx` in `app`'s FIFO
@@ -72,7 +119,7 @@ impl AppQueues {
         if r.is_some() {
             self.total -= 1;
         }
-        r
+        r.map(|s| s.req)
     }
 
     /// Pending requests for `app`.

@@ -1,4 +1,4 @@
-//! The rule engine: R1–R13 evaluated over the [`crate::tokens`] layer.
+//! The rule engine: R1–R14 evaluated over the [`crate::tokens`] layer.
 //!
 //! Every rule works on spanned tokens and brace-matched structure — never
 //! on raw text — so string literals, raw strings, nested block comments
@@ -37,6 +37,8 @@ pub struct FileCtx {
     pub obs_wired: Option<bool>,
     /// Mutex acquisition-order scope (R13): `bwpartd` server/engine.
     pub lock_order: bool,
+    /// SoA timing-core hot path (R14): `crates/dram/src/soa.rs`.
+    pub soa_hot: bool,
 }
 
 /// One raw finding, anchored at a byte span of the source.
@@ -94,6 +96,9 @@ pub fn run(src: &str, ctx: &FileCtx) -> Vec<Finding> {
         }
         if ctx.lock_order {
             rule_r13(&f, &mut out);
+        }
+        if ctx.soa_hot {
+            rule_r14(&f, &mut out);
         }
     }
     // Resolve suppression markers against the span-attachment model.
@@ -468,6 +473,80 @@ fn rule_r9(f: &SourceFile, out: &mut Vec<Finding>) {
                         "direct registry `.{method}(...)` call inside hot fn `{fn_name}`: \
                          pre-resolve the handle at attach time and touch it through \
                          the obs_*! macros (or annotate `// lint: allow(R9): <reason>`)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// The SoA timing core's per-tick surface (R14): every function the
+/// controller's scheduling scan calls once per candidate per DRAM tick.
+/// Stack-only by contract — one heap allocation here turns a
+/// nanosecond-scale probe into a malloc/free pair millions of times per
+/// simulated second, which is exactly the overhead the
+/// struct-of-arrays rewrite exists to remove.
+const R14_HOT_FNS: [&str; 8] = [
+    "bank_earliest",
+    "grid_clear",
+    "raw_probe",
+    "probe",
+    "issuable_at",
+    "channel_floor",
+    "commit",
+    "quiesce_at",
+];
+
+/// Allocating method names R14 flags when called (`.name(...)`) inside a
+/// hot function.
+const R14_ALLOC_METHODS: [&str; 6] = [
+    "push",
+    "push_back",
+    "to_vec",
+    "collect",
+    "reserve",
+    "extend",
+];
+
+fn rule_r14(f: &SourceFile, out: &mut Vec<Finding>) {
+    for info in &f.fns {
+        if f.in_test(info.name) || !R14_HOT_FNS.contains(&f.text(info.name)) {
+            continue;
+        }
+        let Some((body_open, body_close)) = info.body else {
+            continue;
+        };
+        let fn_name = f.text(info.name);
+        for k in body_open + 1..body_close {
+            if f.tokens[k].kind != TokenKind::Ident {
+                continue;
+            }
+            let text = f.text(k);
+            let hit = if R14_ALLOC_METHODS.contains(&text) && is_method_call(f, k) {
+                Some(format!(".{text}(...)"))
+            } else if text == "vec" && f.next(k).is_some_and(|n| f.is_op(n, "!")) {
+                Some("vec![...]".to_string())
+            } else if text == "Box"
+                && f.next(k).is_some_and(|n| f.is_op(n, "::"))
+                && f.next(k)
+                    .and_then(|n| f.next(n))
+                    .is_some_and(|n| f.is_ident(n, "new"))
+            {
+                Some("Box::new(...)".to_string())
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                emit(
+                    f,
+                    out,
+                    Rule::R14,
+                    k,
+                    format!(
+                        "heap allocation `{what}` inside SoA hot fn `{fn_name}`: the \
+                         per-tick timing core is stack-only by contract — hoist the \
+                         buffer to construction time (or annotate \
+                         `// lint: allow(R14): <reason>`)"
                     ),
                 );
             }
@@ -1046,6 +1125,58 @@ mod tests {
 
     fn codes(vs: &[Finding]) -> Vec<&'static str> {
         vs.iter().map(|v| v.rule.code()).collect()
+    }
+
+    #[test]
+    fn r14_flags_heap_allocation_in_soa_hot_fns() {
+        let src = r#"
+impl ChannelTiming {
+    pub fn probe(&mut self, loc: &Location) -> u64 {
+        let mut scratch = Vec::new();
+        scratch.push(self.bank_busy[0]);
+        let all: Vec<u64> = self.bank_busy.iter().copied().collect();
+        let boxed = Box::new(all);
+        let lits = vec![1u64, 2, 3];
+        boxed[0] + lits[0] + scratch[0]
+    }
+}
+"#;
+        let vs = run_with(src, |c| c.soa_hot = true);
+        assert_eq!(codes(&vs), vec!["R14", "R14", "R14", "R14"]);
+        assert!(vs[0].message.contains("probe"));
+        // The same source outside the SoA file context is clean.
+        assert!(run_with(src, |_| {}).is_empty());
+    }
+
+    #[test]
+    fn r14_ignores_cold_fns_tests_and_allows_suppression() {
+        // `new` is construction time — allocation is the point there.
+        let cold = r#"
+impl ChannelTiming {
+    pub fn new(cfg: &DramConfig) -> Self {
+        let bank_busy = vec![0u64; cfg.total_banks()];
+        Self { bank_busy }
+    }
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn probe() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v.len(), 3);
+    }
+}
+"#;
+        assert!(run_with(cold, |c| c.soa_hot = true).is_empty());
+        let suppressed = r#"
+impl ChannelTiming {
+    pub fn commit(&mut self) {
+        // lint: allow(R14): one-time slow-path spill, measured cold
+        self.spill.push(1);
+    }
+}
+"#;
+        assert!(run_with(suppressed, |c| c.soa_hot = true).is_empty());
     }
 
     #[test]

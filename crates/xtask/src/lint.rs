@@ -75,13 +75,19 @@
 //!   by an in-source `// lint: lock-order: outer < inner` table; nested
 //!   out-of-order or re-entrant acquisitions (the deadlock shapes) are
 //!   flagged, as is any lock missing from the table.
+//! * **R14** — allocation-free SoA hot path: the per-tick functions of
+//!   the batched DRAM timing core (`crates/dram/src/soa.rs`) must not
+//!   heap-allocate — no `.push`/`.push_back`/`.to_vec`/`.collect`/
+//!   `.reserve`/`.extend`, `vec![...]` or `Box::new(...)` inside them;
+//!   scratch buffers are hoisted to construction time.
 //!
 //! Rules R1–R5 run over `crates/*/src`; R6 and R8 run over both
 //! `crates/*/src` and `vendor/rayon/src`; R7's `static mut` ban runs
 //! everywhere and its shim-only part runs over `vendor/rayon/src`; R9
 //! runs over `crates/dram/src` and `crates/mc/src`; R10 over
 //! `crates/core/src` and `crates/bwpartd/src`; R11 and R12 over every
-//! first-party crate; R13 over the `bwpartd` server/engine modules.
+//! first-party crate; R13 over the `bwpartd` server/engine modules; R14
+//! over the SoA timing core file only.
 
 use std::fmt;
 use std::fs;
@@ -130,6 +136,8 @@ pub enum Rule {
     /// `bwpartd` lock guards must follow the declared in-source
     /// lock-order table (deadlock lint).
     R13,
+    /// The SoA timing core's per-tick functions must not heap-allocate.
+    R14,
 }
 
 impl Rule {
@@ -149,6 +157,7 @@ impl Rule {
             Rule::R11 => "R11",
             Rule::R12 => "R12",
             Rule::R13 => "R13",
+            Rule::R14 => "R14",
         }
     }
 
@@ -204,6 +213,12 @@ impl Rule {
             Rule::R13 => {
                 "bwpartd server/engine lock acquisitions must follow the \
                          declared `// lint: lock-order:` table (deadlock lint)"
+            }
+            Rule::R14 => {
+                "the SoA timing core's per-tick functions (crates/dram/src/soa.rs) \
+                         must not heap-allocate: no .push/.push_back/.to_vec/.collect/\
+                         .reserve/.extend, vec![...] or Box::new(...) — hoist scratch \
+                         buffers to construction time"
             }
         }
     }
@@ -307,11 +322,23 @@ impl Rule {
                  sees to appear in the table — so adding a lock forces the table \
                  (and the reviewer) to place it."
             }
+            Rule::R14 => {
+                "The struct-of-arrays timing core exists so the controller's \
+                 scheduling scan can probe bank state in nanoseconds: its per-tick \
+                 functions (raw_probe, probe, issuable_at, commit, channel_floor, \
+                 quiesce_at, grid_clear, bank_earliest) run once per candidate per \
+                 DRAM tick, millions of times per simulated second. A single heap \
+                 allocation on that path — a growing Vec, a collect, a boxed \
+                 temporary — reintroduces exactly the malloc traffic the SoA rewrite \
+                 removed, and profiles as a diffuse slowdown no single caller owns. \
+                 All scratch space is sized and allocated at construction; the hot \
+                 functions may only index into it."
+            }
         }
     }
 
     /// All rules, report order.
-    pub const ALL: [Rule; 13] = [
+    pub const ALL: [Rule; 14] = [
         Rule::R1,
         Rule::R2,
         Rule::R3,
@@ -325,6 +352,7 @@ impl Rule {
         Rule::R11,
         Rule::R12,
         Rule::R13,
+        Rule::R14,
     ];
 }
 
@@ -665,6 +693,7 @@ pub fn lint_tree_report(root: &Path) -> io::Result<Vec<Violation>> {
             obs_wired,
             lock_order: unix_rel == "crates/bwpartd/src/server.rs"
                 || unix_rel == "crates/bwpartd/src/engine.rs",
+            soa_hot: unix_rel == "crates/dram/src/soa.rs",
             ..FileCtx::default()
         };
         let src = fs::read_to_string(&path)?;

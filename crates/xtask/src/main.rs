@@ -24,6 +24,7 @@
 //! cargo xtask lint --explain R7 # long-form rationale for one rule
 //! cargo xtask bench             # full benchmark, writes BENCH_sim.json
 //! cargo xtask bench --smoke     # tiny cycle budget for CI smoke runs
+//! cargo xtask bench --check     # exit 1 on >10% regression vs committed numbers
 //! cargo xtask bench-serve       # bwpartd service bench, writes BENCH_serve.json
 //! cargo xtask check-concurrency # explore pool schedules, exit 1 on races
 //! cargo xtask check-concurrency -- --min-total 20000 --dfs 8000
@@ -39,7 +40,7 @@ use xtask::lint;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo xtask <lint [--rules | --json | --explain R<N>] \
-         | bench [--smoke] [--reps N] [--out PATH] \
+         | bench [--smoke] [--reps N] [--out PATH] [--check] \
          | bench-serve [--smoke] [--out PATH] \
          | check-concurrency [-- --min-total N --dfs N --random N]>"
     );
@@ -74,7 +75,7 @@ fn run_lint(args: &[String]) -> ExitCode {
     }
     if let Some(pos) = args.iter().position(|a| a == "--explain") {
         let Some(code) = args.get(pos + 1) else {
-            eprintln!("--explain needs a rule code (R1..R13)");
+            eprintln!("--explain needs a rule code (R1..R14)");
             return usage();
         };
         return match lint::Rule::from_code(code) {
@@ -85,7 +86,7 @@ fn run_lint(args: &[String]) -> ExitCode {
                 ExitCode::SUCCESS
             }
             None => {
-                eprintln!("unknown rule `{code}` (expected R1..R13)");
+                eprintln!("unknown rule `{code}` (expected R1..R14)");
                 ExitCode::from(2)
             }
         };
@@ -114,7 +115,7 @@ fn run_lint(args: &[String]) -> ExitCode {
     }
     match lint::lint_tree(&root) {
         Ok(violations) if violations.is_empty() => {
-            println!("bwpart-audit: clean (rules R1-R13 over crates/*/src + vendor/rayon/src)");
+            println!("bwpart-audit: clean (rules R1-R14 over crates/*/src + vendor/rayon/src)");
             ExitCode::SUCCESS
         }
         Ok(violations) => {
@@ -138,7 +139,7 @@ fn run_lint(args: &[String]) -> ExitCode {
 fn run_bench(bin: &str, args: &[String]) -> ExitCode {
     for arg in args {
         match arg.as_str() {
-            "--smoke" | "--reps" | "--out" => {}
+            "--smoke" | "--reps" | "--out" | "--check" => {}
             other if !other.starts_with("--") => {} // value for --reps/--out
             other => {
                 eprintln!("unknown argument `{other}`");

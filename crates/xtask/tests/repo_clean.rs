@@ -45,7 +45,7 @@ fn committed_tree_json_report_is_well_formed() {
     assert!(stdout.contains("\"active\": 0"), "{stdout}");
     // All thirteen rules are present in the catalogue section.
     for code in [
-        "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12", "R13",
+        "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12", "R13", "R14",
     ] {
         assert!(
             stdout.contains(&format!("{{\"code\": \"{code}\"")),

@@ -77,7 +77,7 @@ mod model_mode {
             random_schedules: args.random,
             ..Config::default()
         };
-        let models: [(&str, fn(&Config) -> Report); 6] = [
+        let models: [(&str, fn(&Config) -> Report); 8] = [
             ("pool_push_steal_merge", models::pool_push_steal_merge),
             (
                 "pool_push_steal_merge_wide",
@@ -85,6 +85,11 @@ mod model_mode {
             ),
             ("nested_par_iter", models::nested_par_iter),
             ("nested_par_iter_wide", models::nested_par_iter_wide),
+            ("channel_gather_fanout", models::channel_gather_fanout),
+            (
+                "channel_gather_writeback_order",
+                models::channel_gather_writeback_order,
+            ),
             ("set_num_threads_race", models::set_num_threads_race),
             ("env_override_precedence", models::env_override_precedence),
         ];

@@ -50,6 +50,12 @@ pub mod pool {
     /// Parsed `RAYON_NUM_THREADS` (read once; 0 = unset/invalid).
     static ENV_THREADS: OnceLock<usize> = OnceLock::new();
 
+    /// Cached hardware parallelism. `available_parallelism()` is a
+    /// syscall on Linux; callers on hot paths (the memory controller's
+    /// per-tick gather) query the pool width every tick, so the answer
+    /// must not cost a kernel round-trip.
+    static HW_THREADS: OnceLock<usize> = OnceLock::new();
+
     thread_local! {
         /// Set while this thread is executing pool work; nested parallel
         /// iterators observe it and run inline.
@@ -99,9 +105,11 @@ pub mod pool {
         if env != 0 {
             return env;
         }
-        thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
+        *HW_THREADS.get_or_init(|| {
+            thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
     }
 
     /// Whether the calling thread is currently inside a pool worker (so a

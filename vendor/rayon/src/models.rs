@@ -81,6 +81,60 @@ pub fn nested_par_iter_wide(cfg: &Config) -> Report {
     })
 }
 
+/// The memory controller's per-app gather fan-out (`parallel_channels`):
+/// workers probe *shared immutable* committed state through *local
+/// copies* of each slot's cache — never the slot itself — and return
+/// `(app, refreshed)` tuples. Every interleaving must produce exactly the
+/// sequential gather's answers: shared-read + local-write is the whole
+/// reason the parallel path can claim bit-identity.
+pub fn channel_gather_fanout(cfg: &Config) -> Report {
+    explore(cfg, || {
+        pool::set_num_threads(2);
+        // Committed timing state, read-only during the gather.
+        let committed: Vec<u64> = vec![3, 1, 4];
+        // Per-app probe caches, copied into each worker.
+        let caches: Vec<u64> = vec![10, 20, 30];
+        let seq: Vec<(usize, u64)> = caches
+            .iter()
+            .enumerate()
+            .map(|(app, &c)| (app, c + committed[app]))
+            .collect();
+        let shared = &committed;
+        let work: Vec<(usize, u64)> = caches.iter().copied().enumerate().collect();
+        let out = pool::map_in_order(work, |(app, cache)| {
+            let mut local = cache; // local copy, never the shared slot
+            local += shared[app];
+            (app, local)
+        });
+        assert_eq!(
+            out, seq,
+            "parallel gather must be bit-identical to the sequential scan"
+        );
+    })
+}
+
+/// The gather's write-back half: refreshed caches come back from the pool
+/// and are committed *sequentially in input order* by the caller. Three
+/// workers over four apps soak the steal order; the final cache vector
+/// must be the one a sequential pass produces regardless of which worker
+/// computed which slot.
+pub fn channel_gather_writeback_order(cfg: &Config) -> Report {
+    explore(cfg, || {
+        pool::set_num_threads(3);
+        let mut caches = vec![0u64; 4];
+        let refreshed =
+            pool::map_in_order((0..4usize).collect(), |app| (app, (app as u64 + 1) * 7));
+        for (app, c) in refreshed {
+            caches[app] = c;
+        }
+        assert_eq!(
+            caches,
+            vec![7, 14, 21, 28],
+            "write-back must land refreshed caches in input order"
+        );
+    })
+}
+
 /// Concurrent `set_num_threads` calls racing each other: the override
 /// must end up holding one of the written values (no torn or stale
 /// zero-from-nowhere state), and a parallel map issued afterwards must
