@@ -141,6 +141,11 @@ fn main() -> ExitCode {
         for (name, why) in &outcome.skipped {
             println!("  check {name}: skipped — {why}");
         }
+        // Always surface coverage shrinkage in one greppable line, pass or
+        // fail — a gate that silently skipped everything looks like a pass.
+        if let Some(summary) = outcome.skipped_summary() {
+            println!("  check: {summary}");
+        }
         if !outcome.passed() {
             for r in &outcome.regressions {
                 eprintln!("bench_sim: REGRESSION {r}");

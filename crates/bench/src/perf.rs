@@ -690,6 +690,35 @@ impl CheckOutcome {
     pub fn passed(&self) -> bool {
         self.regressions.is_empty()
     }
+
+    /// One-line coverage-shrinkage summary: `skipped N case(s) (env
+    /// mismatch)`, with the parenthetical listing each distinct skip
+    /// class seen. `None` when nothing was skipped. Printed on pass AND
+    /// fail paths so CI logs always show how much the gate actually
+    /// compared.
+    pub fn skipped_summary(&self) -> Option<String> {
+        if self.skipped.is_empty() {
+            return None;
+        }
+        let mut classes: Vec<&str> = Vec::new();
+        for (_, why) in &self.skipped {
+            let class = if why.contains("environment mismatch") {
+                "env mismatch"
+            } else if why.contains("budget mismatch") {
+                "budget mismatch"
+            } else {
+                "no committed entry"
+            };
+            if !classes.contains(&class) {
+                classes.push(class);
+            }
+        }
+        Some(format!(
+            "skipped {} case(s) ({})",
+            self.skipped.len(),
+            classes.join(", ")
+        ))
+    }
 }
 
 /// Compare a fresh report against the committed baseline, like-for-like.
@@ -828,6 +857,31 @@ mod tests {
         let outcome = check(&back, &slow);
         assert!(outcome.passed());
         assert_eq!(outcome.skipped.len(), 1);
+    }
+
+    #[test]
+    fn skipped_summary_is_one_line_with_distinct_classes() {
+        let outcome = CheckOutcome::default();
+        assert_eq!(outcome.skipped_summary(), None);
+
+        let outcome = CheckOutcome {
+            skipped: vec![
+                (
+                    "scheme_sweep".into(),
+                    "environment mismatch (a vs b)".into(),
+                ),
+                ("qos_probe".into(), "environment mismatch (a vs b)".into()),
+                (
+                    "soa_hybrid".into(),
+                    "budget mismatch (smoke true vs false, cycles 1 vs 2)".into(),
+                ),
+            ],
+            ..CheckOutcome::default()
+        };
+        assert_eq!(
+            outcome.skipped_summary().as_deref(),
+            Some("skipped 3 case(s) (env mismatch, budget mismatch)")
+        );
     }
 
     #[test]

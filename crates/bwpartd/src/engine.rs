@@ -27,7 +27,7 @@ use std::time::Instant;
 use bwpart_core::prelude::*;
 use bwpart_core::{contracts, ensures_capped, ensures_simplex, qos};
 use bwpart_mc::{DeltaAccumulator, TelemetryDelta};
-use bwpart_obs::{Histogram, Registry};
+use bwpart_obs::{Counter, Gauge, Histogram, Registry};
 
 use crate::protocol::{
     AppShare, AppStatus, ErrorCode, MetricsReply, QosGrant, ServiceError, ServiceSnapshot,
@@ -141,6 +141,53 @@ struct AppState {
     /// epoch mentions this application.
     estimate: Option<f64>,
     qos_target: Option<f64>,
+    /// Pre-resolved `bwpartd_app_share{app="<name>"}` gauge, resolved
+    /// once at registration so the per-epoch publish never resolves
+    /// through the registry (and its internal table lock) while the
+    /// server holds the engine mutex.
+    share_gauge: Gauge,
+}
+
+/// Pre-resolved handles for every metric the epoch path touches. The
+/// server calls [`Engine::run_epoch`] and [`Engine::push_telemetry`] with
+/// the `engine` mutex held; resolving a metric by name goes through the
+/// registry's internal `table` lock, so per-epoch resolution would nest
+/// that lock under `engine` on every epoch (workspace lock-order rule
+/// A4). Resolving once at construction keeps the epoch path down to
+/// plain atomic updates.
+#[derive(Debug)]
+struct EpochMetrics {
+    /// `bwpartd_epochs_total`.
+    epochs: Counter,
+    /// `bwpartd_repartitions_total`.
+    repartitions: Counter,
+    /// `bwpartd_held_epochs_total`.
+    held: Counter,
+    /// `bwpartd_idle_epochs_total`.
+    idle: Counter,
+    /// `bwpartd_failed_epochs_total`.
+    failed: Counter,
+    /// `bwpartd_degraded_transitions_total`.
+    degraded_transitions: Counter,
+    /// `bwpartd_degraded` (0/1).
+    degraded: Gauge,
+    /// `bwpartd_telemetry_shed_total`.
+    telemetry_shed: Counter,
+}
+
+impl EpochMetrics {
+    fn resolve(registry: &Registry) -> Self {
+        EpochMetrics {
+            epochs: registry.counter("bwpartd_epochs_total"),
+            repartitions: registry.counter("bwpartd_repartitions_total"),
+            held: registry.counter("bwpartd_held_epochs_total"),
+            idle: registry.counter("bwpartd_idle_epochs_total"),
+            failed: registry.counter("bwpartd_failed_epochs_total"),
+            degraded_transitions: registry.counter("bwpartd_degraded_transitions_total"),
+            degraded: registry.gauge("bwpartd_degraded"),
+            telemetry_shed: registry.counter("bwpartd_telemetry_shed_total"),
+        }
+    }
 }
 
 /// The deterministic, network-free service core. The TCP layer
@@ -167,6 +214,9 @@ pub struct Engine {
     /// Pre-resolved epoch-decision latency histogram
     /// (`bwpartd_epoch_latency_seconds`).
     epoch_latency: Histogram,
+    /// Pre-resolved counters/gauges for the epoch path (see
+    /// [`EpochMetrics`]).
+    epoch_metrics: EpochMetrics,
 }
 
 impl Engine {
@@ -175,6 +225,7 @@ impl Engine {
         cfg.validate()?;
         let registry = Registry::new();
         let epoch_latency = registry.histogram("bwpartd_epoch_latency_seconds");
+        let epoch_metrics = EpochMetrics::resolve(&registry);
         Ok(Engine {
             cfg,
             apps: Vec::new(),
@@ -188,6 +239,7 @@ impl Engine {
             degraded: false,
             registry,
             epoch_latency,
+            epoch_metrics,
         })
     }
 
@@ -244,6 +296,10 @@ impl Engine {
             shed: 0,
             estimate: None,
             qos_target: None,
+            // Once per registration, not per epoch (see `EpochMetrics`).
+            share_gauge: self
+                .registry
+                .gauge(&format!("bwpartd_app_share{{app=\"{name}\"}}")),
         });
         Ok(self.apps.len() - 1)
     }
@@ -267,7 +323,7 @@ impl Engine {
         }
         app.queue.push_back(delta);
         if shed {
-            self.registry.counter("bwpartd_telemetry_shed_total").inc();
+            self.epoch_metrics.telemetry_shed.inc();
         }
         Ok(self.epoch + 1)
     }
@@ -343,28 +399,31 @@ impl Engine {
         let was_degraded = self.degraded;
         let outcome = self.run_epoch_inner();
         self.epoch_latency.record(t0.elapsed().as_secs_f64());
-        self.registry.counter("bwpartd_epochs_total").inc();
-        self.registry
-            .counter(match outcome {
-                EpochOutcome::Repartitioned => "bwpartd_repartitions_total",
-                EpochOutcome::Held => "bwpartd_held_epochs_total",
-                EpochOutcome::Idle => "bwpartd_idle_epochs_total",
-                EpochOutcome::Failed => "bwpartd_failed_epochs_total",
-            })
-            .inc();
-        if self.degraded != was_degraded {
-            self.registry
-                .counter("bwpartd_degraded_transitions_total")
-                .inc();
+        // Pre-resolved handles only from here down: the server calls
+        // run_epoch with the engine mutex held, and resolving through the
+        // registry would take its internal table lock under that guard
+        // (workspace lock-order rule A4) — as well as paying a hash
+        // lookup per metric per epoch.
+        self.epoch_metrics.epochs.inc();
+        match outcome {
+            EpochOutcome::Repartitioned => self.epoch_metrics.repartitions.inc(),
+            EpochOutcome::Held => self.epoch_metrics.held.inc(),
+            EpochOutcome::Idle => self.epoch_metrics.idle.inc(),
+            EpochOutcome::Failed => self.epoch_metrics.failed.inc(),
         }
-        self.registry
-            .gauge("bwpartd_degraded")
+        if self.degraded != was_degraded {
+            self.epoch_metrics.degraded_transitions.inc();
+        }
+        self.epoch_metrics
+            .degraded
             .set(if self.degraded { 1.0 } else { 0.0 });
         if let Some(p) = &self.published {
             for a in &p.apps {
-                self.registry
-                    .gauge(&format!("bwpartd_app_share{{app=\"{}\"}}", a.name))
-                    .set(a.beta);
+                // Published replies only ever name registered apps; the
+                // linear scan is over the (small) service population.
+                if let Some(state) = self.apps.iter().find(|s| s.name == a.name) {
+                    state.share_gauge.set(a.beta);
+                }
             }
         }
         outcome

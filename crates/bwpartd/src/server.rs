@@ -120,10 +120,15 @@ impl Drop for ServerHandle {
 }
 
 // The server's declared mutex acquisition order, checked by lint rule
-// R13. The engine mutex is currently the only workspace lock here; any
-// lock added later must be placed in this table (and nested acquisitions
-// must follow it) or the lint fails.
-// lint: lock-order: engine
+// R13 (this file) and workspace-wide by analyze rule A4: `engine` is the
+// connection/epoch-thread guard, and `table` is the obs registry's
+// internal metric-table lock, reached while `engine` is held whenever a
+// guarded call resolves or snapshots metrics (`Engine::metrics`,
+// `Engine::register`'s gauge resolution). The epoch path itself uses
+// pre-resolved handles and never takes `table`. Any lock added later
+// must be placed in this table (and nested acquisitions must follow it)
+// or the lint fails.
+// lint: lock-order: engine < table
 
 /// A poisoned engine mutex means a connection thread panicked mid-call in
 /// a debug build; the engine state itself is still the last consistent

@@ -69,6 +69,24 @@ impl PartialOrd for Pending {
     }
 }
 
+/// One per-application slot of the parallel gather's persistent scratch
+/// (see [`MemoryController::tick`]): the pool workers write their scan
+/// results in place, so the steady-state parallel branch allocates
+/// nothing at this layer — slot growth is one-time per application count,
+/// and each slot's `refreshed` spill keeps its capacity across ticks.
+#[derive(Debug, Clone, Default)]
+struct FanSlot {
+    /// Application scanned by this slot.
+    app: usize,
+    /// Chosen candidate: `(window position, arrival, row_hit)`.
+    chosen: Option<(usize, u64, bool)>,
+    /// Head-of-queue blocker attribution (window position 0 only).
+    head_blocker: Option<usize>,
+    /// Probe caches refreshed against local copies during the scan,
+    /// written back in input order after the fan-out joins.
+    refreshed: Vec<(usize, ProbeCache)>,
+}
+
 /// The shared memory controller.
 #[derive(Debug, Clone)]
 pub struct MemoryController {
@@ -100,6 +118,11 @@ pub struct MemoryController {
     /// per-slot probe caches need `&mut self.queues`, so the pending set is
     /// snapshotted first).
     app_buf: Vec<usize>,
+    /// Persistent per-application scratch for the parallel gather's
+    /// fan-out (one [`FanSlot`] per pending application, reused across
+    /// ticks). Never observable: fully reset inside
+    /// [`tick`](Self::tick) before every fan-out.
+    fan_slots: Vec<FanSlot>,
     /// Per-channel `(version, floor)` cache of
     /// [`DramSystem::channel_floor`]: while a channel's version is
     /// unchanged and its floor lies beyond `now`, no request on it can
@@ -137,6 +160,7 @@ impl MemoryController {
             pos_buf: Vec::with_capacity(apps),
             blocker_buf: Vec::with_capacity(apps),
             app_buf: Vec::with_capacity(apps),
+            fan_slots: Vec::with_capacity(apps),
             floor_cache: vec![(0, 0); channels],
             parallel_channels: false,
             obs: None,
@@ -309,19 +333,31 @@ impl MemoryController {
                 self.push_candidate(app, chosen, head_blocker);
             }
         } else {
+            // The fan-out writes into persistent per-application slots
+            // (results and refreshed caches in place), so the steady-state
+            // parallel branch performs no fresh allocation at this layer
+            // (hot-path purity rule A1); growth is one-time per
+            // application count and each slot's spill keeps its capacity.
+            let pending = self.app_buf.len();
+            if self.fan_slots.len() < pending {
+                self.fan_slots.resize_with(pending, FanSlot::default);
+            }
+            for (slot, &app) in self.fan_slots.iter_mut().zip(&self.app_buf) {
+                slot.app = app;
+                slot.chosen = None;
+                slot.head_blocker = None;
+                slot.refreshed.clear();
+            }
             let dram = &self.dram;
             let queues = &self.queues;
             let sched_window = self.sched_window;
-            let apps: Vec<usize> = self.app_buf.clone();
-            let scans = rayon::pool::map_in_order(apps, |app| {
+            rayon::pool::for_each_mut(&mut self.fan_slots[..pending], |slot| {
+                let app = slot.app;
                 let limit = if floor_skip {
                     1
                 } else {
                     sched_window.min(queues.len(app))
                 };
-                let mut chosen: Option<(usize, u64, bool)> = None;
-                let mut head_blocker: Option<usize> = None;
-                let mut refreshed: Vec<(usize, ProbeCache)> = Vec::new();
                 for pos in 0..limit {
                     // lint: allow(R1): pos < queues.len(app) by the loop bound
                     let (req, cache) = queues.slot(app, pos).expect("in range");
@@ -333,25 +369,30 @@ impl MemoryController {
                     let mut local = *cache;
                     let probe = dram.sched_probe(&txn, now, &mut local);
                     if local != *cache {
-                        refreshed.push((pos, local));
+                        slot.refreshed.push((pos, local));
                     }
                     if probe.issuable {
                         let row_hit = probe.kind == bwpart_dram::bank::AccessKind::RowHit;
-                        chosen = Some((pos, req.arrival, row_hit));
+                        slot.chosen = Some((pos, req.arrival, row_hit));
                         break;
                     }
                     if pos == 0 {
-                        head_blocker = probe.head_blocker;
+                        slot.head_blocker = probe.head_blocker;
                     }
                 }
-                (app, chosen, head_blocker, refreshed)
             });
-            for (app, chosen, head_blocker, refreshed) in scans {
-                for (pos, cache) in refreshed {
-                    if let Some((_, slot)) = self.queues.slot_mut(app, pos) {
-                        *slot = cache;
+            for i in 0..pending {
+                for j in 0..self.fan_slots[i].refreshed.len() {
+                    let (pos, cache) = self.fan_slots[i].refreshed[j];
+                    if let Some((_, cache_slot)) = self.queues.slot_mut(self.fan_slots[i].app, pos)
+                    {
+                        *cache_slot = cache;
                     }
                 }
+                let (app, chosen, head_blocker) = {
+                    let s = &self.fan_slots[i];
+                    (s.app, s.chosen, s.head_blocker)
+                };
                 self.push_candidate(app, chosen, head_blocker);
             }
         }

@@ -81,6 +81,11 @@ pub struct Policy {
     epoch_len: u64,
     /// TCM: rotating rank offset for the bandwidth cluster.
     rotation: usize,
+    /// TCM: reusable index scratch for re-clustering — `recluster` runs on
+    /// the served path (reachable from `tick`), so it must not allocate.
+    /// Cleared before each use; carrying it through (de)serialization is
+    /// harmless.
+    cluster_order: Vec<usize>,
 }
 
 impl Policy {
@@ -100,6 +105,7 @@ impl Policy {
             recluster_in: 2000,
             epoch_len: 2000,
             rotation: 0,
+            cluster_order: Vec::new(),
         }
     }
 
@@ -328,10 +334,15 @@ impl Policy {
     /// cluster's rank rotates each epoch (TCM's "insertion shuffle").
     fn recluster(&mut self) {
         let total: u64 = self.epoch_service.iter().sum();
-        let mut order: Vec<usize> = (0..self.epoch_service.len()).collect();
-        order.sort_by_key(|&i| self.epoch_service[i]);
+        // Reused scratch (amortized to one allocation per policy lifetime);
+        // the index tie-break keeps the unstable sort deterministic.
+        self.cluster_order.clear();
+        self.cluster_order.extend(0..self.epoch_service.len());
+        let service = &self.epoch_service;
+        self.cluster_order
+            .sort_unstable_by_key(|&i| (service[i], i));
         let mut cum = 0u64;
-        for &i in &order {
+        for &i in &self.cluster_order {
             cum += self.epoch_service[i];
             self.latency_cluster[i] = cum * 5 <= total; // ≤ 20% cumulative
         }

@@ -117,6 +117,13 @@ pub fn run(src: &str, ctx: &FileCtx) -> Vec<Finding> {
 
 /// Count the `unsafe` sites R8 audits (non-test code), token-accurately,
 /// for the `UNSAFE_AUDIT.md` cross-check.
+///
+/// Macro semantics (pinned): an `unsafe` token inside a `macro_rules!`
+/// body counts **once per occurrence in the definition**, never per
+/// expansion — the audit inventories reviewable source sites, and the
+/// reviewable site is the definition (each occurrence there also needs
+/// its own `// SAFETY:` comment under R8). Macro *invocations* contribute
+/// zero sites: the token does not exist at the call site.
 pub fn unsafe_sites(src: &str) -> usize {
     let f = SourceFile::analyze(src);
     (0..f.tokens.len())
@@ -137,7 +144,7 @@ fn emit(f: &SourceFile, out: &mut Vec<Finding>, rule: Rule, tok: usize, message:
 }
 
 /// Is the ident at `i` a called method (`.name(...)`)?
-fn is_method_call(f: &SourceFile, i: usize) -> bool {
+pub(crate) fn is_method_call(f: &SourceFile, i: usize) -> bool {
     f.prev(i).is_some_and(|p| f.is_op(p, "."))
         && f.next(i).is_some_and(|n| f.is_open(n, Delim::Paren))
 }
@@ -231,7 +238,8 @@ fn rule_r2(f: &SourceFile, out: &mut Vec<Finding>) {
 }
 
 /// The certification calls R3 accepts inside a producer's body.
-const R3_CERTIFIERS: [&str; 3] = ["validate_shares", "ensures_simplex", "ensures_capped"];
+pub(crate) const R3_CERTIFIERS: [&str; 3] =
+    ["validate_shares", "ensures_simplex", "ensures_capped"];
 
 fn rule_r3(f: &SourceFile, out: &mut Vec<Finding>) {
     for info in &f.fns {
@@ -439,7 +447,7 @@ fn rule_r8(f: &SourceFile, out: &mut Vec<Finding>) {
 }
 
 /// Per-cycle/per-tick functions R9 inspects in the simulator's hot crates.
-const R9_HOT_FNS: [&str; 7] = [
+pub(crate) const R9_HOT_FNS: [&str; 7] = [
     "tick",
     "step",
     "issue",
@@ -486,7 +494,7 @@ fn rule_r9(f: &SourceFile, out: &mut Vec<Finding>) {
 /// nanosecond-scale probe into a malloc/free pair millions of times per
 /// simulated second, which is exactly the overhead the
 /// struct-of-arrays rewrite exists to remove.
-const R14_HOT_FNS: [&str; 8] = [
+pub(crate) const R14_HOT_FNS: [&str; 8] = [
     "bank_earliest",
     "grid_clear",
     "raw_probe",
@@ -739,7 +747,7 @@ fn parse_arms(f: &SourceFile, open: usize, close: usize) -> Vec<Arm> {
 }
 
 /// R11 unit classes, keyed by the final ident of an operand.
-fn unit_class(name: &str) -> Option<&'static str> {
+pub(crate) fn unit_class(name: &str) -> Option<&'static str> {
     if name == "cycles" || name == "cycle" || name.ends_with("_cycles") || name.ends_with("_cycle")
     {
         Some("cycles")
@@ -1015,7 +1023,7 @@ fn rule_r13(f: &SourceFile, out: &mut Vec<Finding>) {
 /// of the statement for a temporary, to the enclosing block's close for a
 /// `let`-bound guard whose RHS is exactly the lock call (plus poison
 /// recovery postfix).
-fn held_range(f: &SourceFile, i: usize) -> Option<usize> {
+pub(crate) fn held_range(f: &SourceFile, i: usize) -> Option<usize> {
     let open = f.next(i)?;
     if !f.is_open(open, Delim::Paren) {
         return None;

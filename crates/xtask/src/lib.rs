@@ -9,12 +9,24 @@
 //! * [`tokens`] — structural analysis over the token stream:
 //!   brace-matched delimiter trees, `#[cfg(test)]` masking, fn boundaries
 //!   and span-based comment attachment.
-//! * [`engine`] — the rule evaluator (R1–R13) plus `lint: allow(R<N>)`
-//!   suppression resolution.
+//! * [`engine`] — the per-file rule evaluator (R1–R14) plus
+//!   `lint: allow(R<N>)` suppression resolution.
 //! * [`lint`] — the rule catalogue, tree walker, inventory cross-check
 //!   and machine-readable report.
+//! * [`symbols`] — the workspace symbol index: per-file fn/struct/import
+//!   facts, call sites, danger sites and lock acquisitions.
+//! * [`callgraph`] — the approximate workspace call graph over the index,
+//!   with tiered heuristic resolution and reachability queries.
+//! * [`analyze`] — the interprocedural rules (A1–A4) with text/JSON/SARIF
+//!   rendering and a warm-run cache (`cargo xtask analyze`).
+//! * [`json`] — a minimal JSON parser used to structurally validate the
+//!   emitted reports in tests.
 
+pub mod analyze;
+pub mod callgraph;
 pub mod engine;
+pub mod json;
 pub mod lex;
 pub mod lint;
+pub mod symbols;
 pub mod tokens;

@@ -415,7 +415,7 @@ impl fmt::Display for Violation {
 }
 
 /// 1-based (line, byte-col) of byte offset `pos` in `src`.
-fn line_col(src: &str, pos: usize) -> (usize, usize) {
+pub(crate) fn line_col(src: &str, pos: usize) -> (usize, usize) {
     let pos = pos.min(src.len());
     let before = &src.as_bytes()[..pos];
     let line = before.iter().filter(|&&b| b == b'\n').count() + 1;
@@ -429,7 +429,7 @@ fn line_col(src: &str, pos: usize) -> (usize, usize) {
 
 /// The trimmed source line containing byte offset `pos` (truncated so
 /// reports and JSON stay readable).
-fn snippet_at(src: &str, pos: usize) -> String {
+pub(crate) fn snippet_at(src: &str, pos: usize) -> String {
     let pos = pos.min(src.len());
     let bytes = src.as_bytes();
     let start = bytes[..pos]
@@ -755,7 +755,7 @@ pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
         .collect())
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -1201,6 +1201,38 @@ mod tests {
 }
 "#;
         assert_eq!(count_unsafe_sites(src), 2);
+    }
+
+    #[test]
+    fn unsafe_in_macro_bodies_counts_once_at_definition() {
+        // Pinned semantics: one site per occurrence in the macro_rules!
+        // definition; expansions add nothing (the token only exists at the
+        // definition). Two arms with unsafe + one plain fn = 3 sites, no
+        // matter how many call sites exist.
+        let src = r#"
+macro_rules! read_raw {
+    ($p:expr) => {
+        // SAFETY: caller contract pins $p valid for reads.
+        unsafe { *$p }
+    };
+    ($p:expr, $n:expr) => {
+        // SAFETY: caller contract pins $p..$p+$n valid for reads.
+        unsafe { core::slice::from_raw_parts($p, $n) }
+    };
+}
+
+pub fn f(p: *const u32) -> u32 {
+    let a = read_raw!(p);
+    let b = read_raw!(p);
+    // SAFETY: fixture.
+    let c = unsafe { *p };
+    a + b + c
+}
+"#;
+        assert_eq!(count_unsafe_sites(src), 3);
+        // And R8 holds each definition-site occurrence to the same
+        // SAFETY-comment standard as ordinary code.
+        assert!(lint_source("crates/core/src/m.rs", src, false, false, false).is_empty());
     }
 
     #[test]

@@ -4,6 +4,10 @@
 //!
 //! * `lint` — the bwpart-audit model-invariant pass (see [`lint`] for the
 //!   rules).
+//! * `analyze` — the interprocedural pass: workspace symbol index, call
+//!   graph, and the transitive rules A1–A4 (hot-path purity, contract
+//!   reachability, unit flow, lock-order graph). Text, JSON and SARIF
+//!   output; warm runs served from `target/analyze-cache.txt`.
 //! * `bench` — the perf-regression harness: builds and runs the
 //!   `bench_sim` binary from `bwpart-bench` in release mode, which times
 //!   the canonical workloads and writes `BENCH_sim.json`.
@@ -22,6 +26,10 @@
 //! cargo xtask lint --rules      # print the rule catalogue
 //! cargo xtask lint --json       # machine-readable findings (schema v1)
 //! cargo xtask lint --explain R7 # long-form rationale for one rule
+//! cargo xtask analyze           # interprocedural rules A1-A4 over crates/*/src
+//! cargo xtask analyze --sarif   # SARIF 2.1.0 for code-scanning upload
+//! cargo xtask analyze --json    # machine-readable findings (schema v1)
+//! cargo xtask analyze --no-cache # force a cold run
 //! cargo xtask bench             # full benchmark, writes BENCH_sim.json
 //! cargo xtask bench --smoke     # tiny cycle budget for CI smoke runs
 //! cargo xtask bench --check     # exit 1 on >10% regression vs committed numbers
@@ -35,11 +43,13 @@ use std::path::PathBuf;
 use std::process::Command;
 use std::process::ExitCode;
 
+use xtask::analyze;
 use xtask::lint;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo xtask <lint [--rules | --json | --explain R<N>] \
+         | analyze [--rules | --json | --sarif | --explain A<N>] [--no-cache] \
          | bench [--smoke] [--reps N] [--out PATH] [--check] \
          | bench-serve [--smoke] [--out PATH] \
          | check-concurrency [-- --min-total N --dfs N --random N]>"
@@ -49,6 +59,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "  lint               run the bwpart-audit lint over crates/*/src + vendor/rayon/src \
          (--json for the CI artifact, --explain R<N> for rationale)"
+    );
+    eprintln!(
+        "  analyze            run the interprocedural rules A1-A4 over crates/*/src \
+         (--sarif for code scanning, --json for the CI artifact, --no-cache to force a cold run)"
     );
     eprintln!("  bench              run the perf-regression harness (bench_sim)");
     eprintln!("  bench-serve        run the bwpartd service harness (bench_serve)");
@@ -132,6 +146,62 @@ fn run_lint(args: &[String]) -> ExitCode {
     }
 }
 
+fn run_analyze(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--rules") {
+        println!("bwpart-analyze rules (suppress with `// lint: allow(<rule>): <reason>`):");
+        for rule in analyze::ARule::ALL {
+            println!("  {}  {}", rule.code(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--explain") {
+        let Some(code) = args.get(pos + 1) else {
+            eprintln!("--explain needs a rule code (A1..A4)");
+            return usage();
+        };
+        return match analyze::ARule::from_code(code) {
+            Some(rule) => {
+                println!("{}  {}", rule.code(), rule.describe());
+                println!();
+                println!("{}", rule.explain());
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown rule `{code}` (expected A1..A4)");
+                ExitCode::from(2)
+            }
+        };
+    }
+    let mut format = analyze::Format::Text;
+    let mut no_cache = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => format = analyze::Format::Json,
+            "--sarif" => format = analyze::Format::Sarif,
+            "--no-cache" => no_cache = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let root = workspace_root();
+    match analyze::run(&root, format, no_cache) {
+        Ok((output, failed)) => {
+            print!("{output}");
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("bwpart-analyze: failed to scan {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Shell out to a release-built `bwpart-bench` binary (`bench_sim` or
 /// `bench_serve`), forwarding flags. Runs from the workspace root so the
 /// default `BENCH_*.json` lands there regardless of where `cargo xtask`
@@ -201,6 +271,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
+        Some("analyze") => run_analyze(&args[1..]),
         Some("bench") => run_bench("bench_sim", &args[1..]),
         Some("bench-serve") => run_bench("bench_serve", &args[1..]),
         Some("check-concurrency") => run_check_concurrency(&args[1..]),

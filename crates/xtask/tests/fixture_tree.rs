@@ -271,6 +271,54 @@ pub fn read(p: *const u32) -> u32 {
 }
 
 #[test]
+fn macro_rules_unsafe_counts_at_definition_for_the_inventory() {
+    // Pinned semantics: `unsafe` inside a macro_rules! body is one
+    // inventory site per occurrence in the definition; invocations add
+    // nothing. An audit registering exactly the definition-site count must
+    // pass, and registering a per-expansion count must be flagged stale.
+    let root = fixture_root("bwpart-audit-macro-unsafe");
+    write(
+        &root,
+        "crates/demo/src/lib.rs",
+        r#"
+macro_rules! read_raw {
+    ($p:expr) => {
+        // SAFETY: callers pin $p valid for reads for the borrow's life.
+        unsafe { *$p }
+    };
+}
+
+pub fn f(p: *const u32) -> u32 {
+    read_raw!(p) + read_raw!(p) + read_raw!(p)
+}
+"#,
+    );
+    write(
+        &root,
+        "UNSAFE_AUDIT.md",
+        "# inventory\n\n- `crates/demo/src/lib.rs` — 1 — macro-wrapped raw read\n",
+    );
+    let (ok, stdout) = run_lint(&root);
+    assert!(
+        ok,
+        "definition-site count must satisfy the audit:\n{stdout}"
+    );
+
+    // Per-expansion accounting (3 call sites) is the drift this pins out.
+    write(
+        &root,
+        "UNSAFE_AUDIT.md",
+        "# inventory\n\n- `crates/demo/src/lib.rs` — 3 — macro-wrapped raw read\n",
+    );
+    let (ok, stdout) = run_lint(&root);
+    assert!(!ok, "per-expansion count must be stale:\n{stdout}");
+    assert!(
+        stdout.contains("lists 3 unsafe site(s)") && stdout.contains("the source has 1"),
+        "{stdout}"
+    );
+}
+
+#[test]
 fn stale_unsafe_inventory_is_caught() {
     let root = fixture_root("bwpart-audit-stale-inventory");
     write(&root, "crates/demo/src/lib.rs", "pub fn f() {}\n");

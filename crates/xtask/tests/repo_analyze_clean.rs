@@ -1,0 +1,79 @@
+//! The committed tree must stay clean under `cargo xtask analyze`.
+//!
+//! This is the interprocedural counterpart of `repo_clean.rs`: the
+//! whole-workspace snapshot that keeps A1–A4 regressions out of the tree.
+//! Any suppressions that do exist must carry a written justification, so
+//! the waiver budget is visible in review rather than accreting silently.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use xtask::json::Json;
+
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir
+}
+
+fn run_analyze(extra: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("analyze")
+        .args(extra)
+        .env("CARGO_MANIFEST_DIR", workspace_root().join("crates/xtask"))
+        .output()
+        .expect("run xtask analyze");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn committed_tree_has_no_active_interprocedural_findings() {
+    let (ok, stdout) = run_analyze(&["--no-cache"]);
+    assert!(ok, "committed tree must pass analyze:\n{stdout}");
+    assert!(
+        stdout.contains("0 finding(s)"),
+        "expected a zero-findings summary:\n{stdout}"
+    );
+}
+
+#[test]
+fn committed_tree_sarif_is_well_formed_and_clean() {
+    let (ok, stdout) = run_analyze(&["--sarif", "--no-cache"]);
+    assert!(ok, "sarif run must pass:\n{stdout}");
+    let j = Json::parse(&stdout).expect("sarif parses");
+    assert_eq!(j.get("version").and_then(Json::str), Some("2.1.0"));
+    let results = j
+        .path(&["runs", "0", "results"])
+        .and_then(Json::arr)
+        .expect("results array");
+    // Suppressed results may appear, but every one must carry the
+    // in-source suppression marker; none may be active.
+    for r in results {
+        let suppressions = r.path(&["suppressions", "0", "kind"]).and_then(Json::str);
+        assert_eq!(
+            suppressions,
+            Some("inSource"),
+            "active finding in committed tree: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn committed_tree_json_suppressions_are_justified() {
+    let (ok, stdout) = run_analyze(&["--json", "--no-cache"]);
+    assert!(ok, "json run must pass:\n{stdout}");
+    let j = Json::parse(&stdout).expect("json parses");
+    assert_eq!(j.path(&["counts", "active"]).and_then(Json::num), Some(0.0));
+    let findings = j.get("findings").and_then(Json::arr).expect("findings");
+    for f in findings {
+        let justification = f.get("justification").and_then(Json::str).unwrap_or("");
+        assert!(
+            justification.len() > 2,
+            "suppression without a written reason: {stdout}"
+        );
+    }
+}

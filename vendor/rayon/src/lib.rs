@@ -193,6 +193,66 @@ pub mod pool {
             })
             .collect()
     }
+
+    /// In-place variant of [`map_in_order`]: run `f` on every item of a
+    /// *borrowed* mutable slice, writing results into the items
+    /// themselves. Steady-state callers (the memory controller's per-tick
+    /// candidate gather) keep their item buffers alive across calls, so —
+    /// unlike `map_in_order`, which consumes a freshly built `Vec` and
+    /// returns another — this entry point needs no per-call item clone and
+    /// no result vector. The only transient allocation is the small chunk
+    /// deque (`≈ 4 × threads` entries of `(usize, len)`).
+    ///
+    /// Items are disjoint `&mut` chunks handed out through the same
+    /// `Mutex<VecDeque>` self-scheduling protocol as `map_in_order`;
+    /// because each chunk is processed by exactly one worker and results
+    /// land in the items, the outcome is bit-identical to a sequential
+    /// `items.iter_mut().for_each(f)` regardless of thread count.
+    pub fn for_each_mut<T, F>(items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(&mut T) + Sync,
+    {
+        let n = items.len();
+        let threads = current_num_threads().min(n);
+        if threads <= 1 || IN_POOL.with(std::cell::Cell::get) {
+            items.iter_mut().for_each(f);
+            return;
+        }
+
+        let chunk_len = n.div_ceil(threads * 4).max(1);
+        let mut chunks: VecDeque<&mut [T]> = VecDeque::new();
+        let mut rest = items;
+        while !rest.is_empty() {
+            let take = chunk_len.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            chunks.push_back(head);
+            rest = tail;
+        }
+        let queue = Mutex::new(chunks);
+
+        let worker = |queue: &Mutex<VecDeque<&mut [T]>>| {
+            IN_POOL.with(|flag| flag.set(true));
+            // Reset the flag on every exit path, including unwinding.
+            let _reset = WorkerFlagReset;
+            loop {
+                let job = lock_unpoisoned(queue).pop_front();
+                let Some(chunk) = job else { break };
+                for item in chunk {
+                    f(item);
+                }
+            }
+        };
+
+        thread::scope(|scope| {
+            for _ in 1..threads {
+                scope.spawn(|| worker(&queue));
+            }
+            // The calling thread is the last worker; the scope joins the
+            // spawned ones (re-raising any worker panic) before returning.
+            worker(&queue);
+        });
+    }
 }
 
 /// Drop-in for `rayon::prelude`.
@@ -296,6 +356,54 @@ mod tests {
         let seq: Vec<u64> = xs.iter().map(|x| x * 3 + 1).collect();
         let par: Vec<u64> = xs.par_iter().map(|&x| x * 3 + 1).collect();
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn for_each_mut_matches_sequential() {
+        let mut seq: Vec<u64> = (0..1000).collect();
+        seq.iter_mut().for_each(|x| *x = *x * 3 + 1);
+        for forced in [0, 1, 4] {
+            pool::set_num_threads(forced);
+            let mut par: Vec<u64> = (0..1000).collect();
+            pool::for_each_mut(&mut par, |x| *x = *x * 3 + 1);
+            assert_eq!(seq, par, "forced={forced}");
+        }
+        pool::set_num_threads(0);
+    }
+
+    #[test]
+    fn for_each_mut_empty_and_single() {
+        let mut empty: Vec<u32> = Vec::new();
+        pool::for_each_mut(&mut empty, |x| *x += 1);
+        assert!(empty.is_empty());
+        let mut one = [7u32];
+        pool::for_each_mut(&mut one, |x| *x += 1);
+        assert_eq!(one, [8]);
+    }
+
+    #[test]
+    fn for_each_mut_runs_inline_inside_worker() {
+        // A nested for_each_mut issued from a pool worker must serialize
+        // inline (same discipline as nested par_iter), so it cannot
+        // deadlock on the shared pool.
+        pool::set_num_threads(4);
+        let grid: Vec<Vec<u32>> = (0..8)
+            .map(|i| (0..8).map(|j| i * 8 + j).collect())
+            .collect();
+        let out: Vec<Vec<u32>> = grid
+            .par_iter()
+            .map(|row| {
+                let mut inner = row.clone();
+                pool::for_each_mut(&mut inner, |v| *v += 1);
+                inner
+            })
+            .collect();
+        pool::set_num_threads(0);
+        let expect: Vec<Vec<u32>> = grid
+            .iter()
+            .map(|row| row.iter().map(|&v| v + 1).collect())
+            .collect();
+        assert_eq!(out, expect);
     }
 
     #[test]
