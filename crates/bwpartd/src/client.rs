@@ -13,8 +13,8 @@ use std::time::Duration;
 use bwpart_mc::TelemetryDelta;
 
 use crate::protocol::{
-    self, FrameError, MetricsReply, QosGrant, Request, Response, ServiceError, ServiceSnapshot,
-    SharesReply,
+    self, Codec, FrameError, MetricsReply, QosGrant, Request, Response, ServiceError,
+    ServiceSnapshot, SharesReply,
 };
 
 /// Why a client call failed.
@@ -59,18 +59,44 @@ impl From<FrameError> for ClientError {
 pub struct Client {
     stream: TcpStream,
     buf: Vec<u8>,
+    codec: Codec,
 }
 
 impl Client {
     /// Connect to the service at `addr` (anything `ToSocketAddrs`
-    /// accepts, e.g. `"127.0.0.1:4780"` or a `SocketAddr`).
+    /// accepts, e.g. `"127.0.0.1:4780"` or a `SocketAddr`), speaking the
+    /// default v1 JSON codec.
     pub fn connect(addr: impl std::net::ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::connect_with(addr, Codec::Json)
+    }
+
+    /// Connect speaking a specific codec ([`Codec::Binary`] for the
+    /// compact v2 framing). The server answers each request in the codec
+    /// it arrived in, so no negotiation round-trip is needed.
+    pub fn connect_with(
+        addr: impl std::net::ToSocketAddrs,
+        codec: Codec,
+    ) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Client {
             stream,
             buf: Vec::new(),
+            codec,
         })
+    }
+
+    /// The codec this client frames its requests in.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// Surrender the underlying socket (for load generators that pipeline
+    /// raw frames instead of the one-in-flight call discipline). Any
+    /// buffered reply bytes are discarded — only take the stream when no
+    /// call is mid-flight.
+    pub fn into_stream(self) -> TcpStream {
+        self.stream
     }
 
     /// Bound how long calls wait for the server's reply.
@@ -114,6 +140,24 @@ impl Client {
         }
     }
 
+    /// Fetch one tenant group's published shares (its own certified
+    /// simplex over the full bandwidth), or a what-if solve for it.
+    /// Only meaningful against a sharded service; on an unsharded one the
+    /// single group is named `default`.
+    pub fn group_shares(
+        &mut self,
+        group: &str,
+        scheme: Option<&str>,
+    ) -> Result<SharesReply, ClientError> {
+        match self.call(&Request::GroupShares {
+            group: group.to_string(),
+            scheme: scheme.map(str::to_string),
+        })? {
+            Response::Shares(reply) => Ok(reply),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Ask for an Eq. 11 QoS guarantee.
     pub fn qos_admit(&mut self, app_id: usize, ipc_target: f64) -> Result<QosGrant, ClientError> {
         match self.call(&Request::QosAdmit { app_id, ipc_target })? {
@@ -149,7 +193,7 @@ impl Client {
 
     /// Send one request and read exactly one response.
     fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
-        let frame = protocol::encode(req)?;
+        let frame = protocol::encode_with(req, self.codec)?;
         self.stream.write_all(&frame)?;
         let mut chunk = [0u8; 4096];
         loop {

@@ -222,8 +222,17 @@ pub struct Engine {
 impl Engine {
     /// Build an engine; fails on nonsensical configuration.
     pub fn new(cfg: EngineConfig) -> Result<Self, ServiceError> {
+        Engine::with_registry(cfg, Registry::new())
+    }
+
+    /// Build an engine publishing into an existing registry. Cloned
+    /// registries share their metric cells, so the per-tenant engines of a
+    /// [`ShardMap`] aggregate into one set of service counters for free
+    /// (`bwpartd_epochs_total` counts every tenant's epochs, etc.); the
+    /// `bwpartd_degraded` gauge is last-writer-wins across tenants — use
+    /// [`ShardMap::snapshot`]'s `degraded` (any tenant) for the aggregate.
+    pub fn with_registry(cfg: EngineConfig, registry: Registry) -> Result<Self, ServiceError> {
         cfg.validate()?;
-        let registry = Registry::new();
         let epoch_latency = registry.histogram("bwpartd_epoch_latency_seconds");
         let epoch_metrics = EpochMetrics::resolve(&registry);
         Ok(Engine {
@@ -544,6 +553,8 @@ impl Engine {
             phase_changes: self.phase_changes,
             telemetry_shed_total: self.apps.iter().map(|a| a.shed).sum(),
             degraded: self.degraded,
+            shards: 1,
+            groups: Vec::new(),
             apps: self
                 .apps
                 .iter()
@@ -670,6 +681,429 @@ fn unknown_app(app_id: usize) -> ServiceError {
         ErrorCode::UnknownApp,
         format!("no application with id {app_id}; register first"),
     )
+}
+
+// ---------------------------------------------------------------------------
+// Tenant sharding
+// ---------------------------------------------------------------------------
+
+/// The tenant group of an application name: the prefix before the first
+/// `/`, or `"default"` for unprefixed names. `lbm` and `hmmer` share the
+/// default group; `acme/lbm` and `acme/web` form group `acme`.
+pub fn tenant_of(name: &str) -> &str {
+    match name.split_once('/') {
+        Some((group, _)) if !group.is_empty() => group,
+        _ => "default",
+    }
+}
+
+/// FNV-1a over the tenant name: stable across runs (no hasher
+/// randomization), so an app always lands on the same shard.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One tenant group's independent epoch engine.
+#[derive(Debug)]
+struct TenantCell {
+    group: String,
+    engine: Engine,
+}
+
+/// One shard: the tenants hashed here plus the id directory that maps
+/// this shard's registration sequence numbers to `(tenant, local id)`.
+#[derive(Debug, Default)]
+struct Shard {
+    tenants: Vec<TenantCell>,
+    dir: Vec<(usize, usize)>,
+}
+
+/// `N` independent groups of epoch engines behind `N` locks.
+///
+/// Tenant groups (see [`tenant_of`]) hash to shards by FNV-1a, and each
+/// group gets its *own* [`Engine`] — its own telemetry queues, QoS
+/// reservations, hysteresis state, and epoch counter — so one tenant's
+/// burst cannot delay another's repartition decision, and two shards'
+/// epochs run concurrently on the reactor's workers. Every solve is still
+/// certified per-engine (`ensures_simplex!` / `ensures_capped!` in
+/// [`Engine::run_epoch`]); each group partitions the full configured
+/// bandwidth `B` independently, modelling separate enforcement domains.
+///
+/// Public application ids interleave shards (`id = seq × shards + shard`)
+/// so a `ShardMap` with one shard and unprefixed names hands out exactly
+/// the sequential ids the unsharded engine did.
+///
+/// All methods take `&self`; shards are locked one at a time via
+/// [`ShardMap::lock_shard`] and never nested, so cross-shard aggregation
+/// cannot deadlock regardless of traversal order.
+// The engine resolves metrics through the registry's internal table lock
+// at registration time, under the shard lock.
+// lint: lock-order: shard < table
+#[derive(Debug)]
+pub struct ShardMap {
+    cfg: EngineConfig,
+    registry: Registry,
+    shards: Vec<std::sync::Mutex<Shard>>,
+}
+
+impl ShardMap {
+    /// A map of `shards` independent engine groups (clamped to ≥ 1);
+    /// fails on a nonsensical engine configuration.
+    pub fn new(cfg: EngineConfig, shards: usize) -> Result<Self, ServiceError> {
+        cfg.validate()?;
+        let registry = Registry::new();
+        // Touch the epoch-path metrics once so an idle service still
+        // exposes zero-valued counters (and so does a sharded one).
+        let _ = EpochMetrics::resolve(&registry);
+        let _ = registry.histogram("bwpartd_epoch_latency_seconds");
+        Ok(ShardMap {
+            cfg,
+            registry,
+            shards: (0..shards.max(1)).map(|_| Default::default()).collect(),
+        })
+    }
+
+    /// Number of shards (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configuration every tenant engine is built from.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The shared observability registry (all tenant engines publish into
+    /// it; see [`Engine::with_registry`]).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Lock shard `idx`. The single choke point for shard locking so the
+    /// lock-order table has one name for it; recovers from poisoning the
+    /// same way the server's engine lock does (a panicked epoch must not
+    /// take the service down).
+    fn lock_shard(&self, idx: usize) -> std::sync::MutexGuard<'_, Shard> {
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    fn shard_of(&self, group: &str) -> usize {
+        (fnv1a(group) % self.shards.len() as u64) as usize
+    }
+
+    /// Split a public id into `(shard, seq)`.
+    fn locate(&self, app_id: usize) -> (usize, usize) {
+        (app_id % self.shards.len(), app_id / self.shards.len())
+    }
+
+    /// Public id of this shard's `seq`-th registration.
+    fn public_id(&self, shard: usize, seq: usize) -> usize {
+        seq * self.shards.len() + shard
+    }
+
+    /// Register an application, creating its tenant group's engine on
+    /// first sight. Idempotent like [`Engine::register`]: a known name
+    /// returns its existing public id.
+    pub fn register(&self, name: &str, api: f64) -> Result<usize, ServiceError> {
+        if name.is_empty() {
+            return Err(ServiceError::new(
+                ErrorCode::InvalidArgument,
+                "application name must be non-empty",
+            ));
+        }
+        let group = tenant_of(name);
+        let shard_idx = self.shard_of(group);
+        let mut shard = self.lock_shard(shard_idx);
+        let tenant = match shard.tenants.iter().position(|t| t.group == group) {
+            Some(t) => t,
+            None => {
+                let engine = Engine::with_registry(self.cfg.clone(), self.registry.clone())?;
+                shard.tenants.push(TenantCell {
+                    group: group.to_string(),
+                    engine,
+                });
+                shard.tenants.len() - 1
+            }
+        };
+        let local = shard.tenants[tenant].engine.register(name, api)?;
+        if let Some(seq) = shard.dir.iter().position(|&e| e == (tenant, local)) {
+            return Ok(self.public_id(shard_idx, seq));
+        }
+        shard.dir.push((tenant, local));
+        Ok(self.public_id(shard_idx, shard.dir.len() - 1))
+    }
+
+    /// Look up a public id inside its (already locked) shard.
+    fn entry(shard: &Shard, seq: usize, app_id: usize) -> Result<(usize, usize), ServiceError> {
+        shard
+            .dir
+            .get(seq)
+            .copied()
+            .ok_or_else(|| unknown_app(app_id))
+    }
+
+    /// Queue one telemetry delta; returns the epoch of the application's
+    /// *group* engine that will fold it (groups tick independently).
+    pub fn push_telemetry(
+        &self,
+        app_id: usize,
+        delta: TelemetryDelta,
+    ) -> Result<u64, ServiceError> {
+        let (shard_idx, seq) = self.locate(app_id);
+        let mut shard = self.lock_shard(shard_idx);
+        let (tenant, local) = Self::entry(&shard, seq, app_id)?;
+        shard.tenants[tenant].engine.push_telemetry(local, delta)
+    }
+
+    /// Eq. 11 admission against the application's group engine (each
+    /// group reserves out of its own bandwidth `B`).
+    pub fn qos_admit(&self, app_id: usize, ipc_target: f64) -> Result<QosGrant, ServiceError> {
+        let (shard_idx, seq) = self.locate(app_id);
+        let mut shard = self.lock_shard(shard_idx);
+        let (tenant, local) = Self::entry(&shard, seq, app_id)?;
+        let grant = shard.tenants[tenant].engine.qos_admit(local, ipc_target)?;
+        Ok(QosGrant { app_id, ..grant })
+    }
+
+    /// Run one epoch on every tenant engine of shard `idx` (the reactor
+    /// assigns shards to workers, so epochs tick concurrently across
+    /// shards while staying serialized within one).
+    pub fn run_shard_epochs(&self, idx: usize) -> EpochOutcome {
+        let mut shard = self.lock_shard(idx);
+        let mut agg = EpochOutcome::Idle;
+        for cell in &mut shard.tenants {
+            agg = combine_outcomes(agg, cell.engine.run_epoch());
+        }
+        agg
+    }
+
+    /// Run one epoch on every tenant engine of every shard, locking the
+    /// shards one at a time. Returns the aggregate outcome
+    /// (Repartitioned ≻ Failed ≻ Held ≻ Idle), the identity for a single
+    /// engine.
+    pub fn run_epochs(&self) -> EpochOutcome {
+        let mut agg = EpochOutcome::Idle;
+        for idx in 0..self.shards.len() {
+            agg = combine_outcomes(agg, self.run_shard_epochs(idx));
+        }
+        agg
+    }
+
+    /// The published shares of every group, concatenated in public-id
+    /// order. Each group's rows come from its own certified simplex, so
+    /// in the aggregate reply `β` sums to the number of *published*
+    /// groups, not 1 — per-group replies ([`ShardMap::group_shares`])
+    /// preserve the single-simplex contract. `epoch` is the maximum group
+    /// epoch and `degraded` is true if *any* group is degraded. Errors
+    /// with `NotReady` only when no group has published anything.
+    pub fn get_shares(&self) -> Result<SharesReply, ServiceError> {
+        self.collect_shares(|engine| engine.get_shares())
+    }
+
+    /// What-if aggregate: every group re-solved under `scheme` (see
+    /// [`Engine::solve_with`]; bypasses QoS, does not touch published
+    /// state).
+    pub fn solve_with(&self, scheme: PartitionScheme) -> Result<SharesReply, ServiceError> {
+        self.collect_shares(|engine| engine.solve_with(scheme))
+    }
+
+    /// One group's shares, exactly as its engine published them (a single
+    /// certified simplex) with public ids substituted; `scheme` asks for
+    /// a what-if solve instead of the published allocation.
+    pub fn group_shares(
+        &self,
+        group: &str,
+        scheme: Option<PartitionScheme>,
+    ) -> Result<SharesReply, ServiceError> {
+        let shard_idx = self.shard_of(group);
+        let shard = self.lock_shard(shard_idx);
+        let Some(tenant) = shard.tenants.iter().position(|t| t.group == group) else {
+            return Err(ServiceError::new(
+                ErrorCode::UnknownApp,
+                format!("no tenant group `{group}`; register an application in it first"),
+            ));
+        };
+        let engine = &shard.tenants[tenant].engine;
+        let mut reply = match scheme {
+            Some(s) => engine.solve_with(s)?,
+            None => engine.get_shares()?,
+        };
+        for row in &mut reply.apps {
+            row.app_id = self.resolve_public(&shard, shard_idx, tenant, row.app_id);
+        }
+        Ok(reply)
+    }
+
+    /// Aggregate service counters and per-application state across every
+    /// group: counters are summed, `epoch` is the maximum group epoch,
+    /// rows are in public-id order, and `groups` lists the tenant groups
+    /// alphabetically.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        let mut agg = ServiceSnapshot {
+            epoch: 0,
+            scheme: self.cfg.scheme.canonical_name(),
+            bandwidth: self.cfg.bandwidth,
+            repartitions: 0,
+            held_epochs: 0,
+            idle_epochs: 0,
+            failed_epochs: 0,
+            phase_changes: 0,
+            telemetry_shed_total: 0,
+            degraded: false,
+            shards: self.shards.len(),
+            groups: Vec::new(),
+            apps: Vec::new(),
+        };
+        let mut rows: Vec<AppStatus> = Vec::new();
+        for shard_idx in 0..self.shards.len() {
+            let shard = self.lock_shard(shard_idx);
+            for (tenant, cell) in shard.tenants.iter().enumerate() {
+                let snap = cell.engine.snapshot();
+                agg.epoch = agg.epoch.max(snap.epoch);
+                agg.repartitions += snap.repartitions;
+                agg.held_epochs += snap.held_epochs;
+                agg.idle_epochs += snap.idle_epochs;
+                agg.failed_epochs += snap.failed_epochs;
+                agg.phase_changes += snap.phase_changes;
+                agg.telemetry_shed_total += snap.telemetry_shed_total;
+                agg.degraded |= snap.degraded;
+                agg.groups.push(cell.group.clone());
+                for mut row in snap.apps {
+                    row.app_id = self.resolve_public(&shard, shard_idx, tenant, row.app_id);
+                    rows.push(row);
+                }
+            }
+        }
+        rows.sort_by_key(|r| r.app_id);
+        agg.apps = rows;
+        agg.groups.sort();
+        agg
+    }
+
+    /// The shared metrics registry in both machine-readable forms;
+    /// `epoch` is the maximum group epoch (like [`ShardMap::snapshot`]).
+    pub fn metrics(&self) -> MetricsReply {
+        // Collect the epoch *before* snapshotting so the registry's table
+        // lock is never taken while a shard lock is held.
+        let mut epoch = 0;
+        for idx in 0..self.shards.len() {
+            let shard = self.lock_shard(idx);
+            for cell in &shard.tenants {
+                epoch = epoch.max(cell.engine.epoch());
+            }
+        }
+        let snapshot = self.registry.snapshot();
+        MetricsReply {
+            epoch,
+            prometheus: snapshot.render_prometheus(),
+            snapshot,
+        }
+    }
+
+    /// Public id of `(tenant, local)` within an already locked shard.
+    /// Registered rows always have a directory entry; a missing one would
+    /// be an internal inconsistency, reported as the row's local id
+    /// rather than a panic.
+    fn resolve_public(
+        &self,
+        shard: &Shard,
+        shard_idx: usize,
+        tenant: usize,
+        local: usize,
+    ) -> usize {
+        shard
+            .dir
+            .iter()
+            .position(|&e| e == (tenant, local))
+            .map(|seq| self.public_id(shard_idx, seq))
+            .unwrap_or(local)
+    }
+
+    /// Shared shape of [`ShardMap::get_shares`] / [`ShardMap::solve_with`]:
+    /// apply `per_engine` to every tenant engine, substitute public ids,
+    /// and concatenate in public-id order.
+    fn collect_shares(
+        &self,
+        per_engine: impl Fn(&Engine) -> Result<SharesReply, ServiceError>,
+    ) -> Result<SharesReply, ServiceError> {
+        let mut rows: Vec<AppShare> = Vec::new();
+        let mut epoch = 0u64;
+        let mut degraded = false;
+        let mut published_groups = 0usize;
+        let mut last_err = None;
+        // The per-engine replies all carry the same scheme (every group
+        // engine shares this config, and a what-if solve passes one scheme
+        // to all of them) — keep it rather than assuming the configured
+        // one, so what-if aggregates answer under the asked-for scheme.
+        let mut scheme = self.cfg.scheme.canonical_name();
+        for shard_idx in 0..self.shards.len() {
+            // lint: allow(A4): the reported cycle goes through the
+            // name-based call graph conflating `Engine::solve_with`
+            // (called by `group_shares` on a *tenant engine*, no shard
+            // lock inside) with `ShardMap::solve_with`; no caller of
+            // collect_shares holds a shard lock.
+            let shard = self.lock_shard(shard_idx);
+            for (tenant, cell) in shard.tenants.iter().enumerate() {
+                match per_engine(&cell.engine) {
+                    Ok(reply) => {
+                        published_groups += 1;
+                        epoch = epoch.max(reply.epoch);
+                        degraded |= reply.degraded;
+                        scheme = reply.outcome.scheme;
+                        for mut row in reply.apps {
+                            row.app_id = self.resolve_public(&shard, shard_idx, tenant, row.app_id);
+                            rows.push(row);
+                        }
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+        }
+        if published_groups == 0 {
+            return Err(last_err.unwrap_or_else(|| {
+                ServiceError::new(
+                    ErrorCode::NotReady,
+                    "no shares published yet; send telemetry and wait an epoch",
+                )
+            }));
+        }
+        rows.sort_by_key(|r| r.app_id);
+        Ok(SharesReply {
+            epoch,
+            outcome: SharesOutcome {
+                scheme,
+                bandwidth: self.cfg.bandwidth,
+                beta: rows.iter().map(|r| r.beta).collect(),
+                allocation: rows.iter().map(|r| r.allocation).collect(),
+            },
+            apps: rows,
+            degraded,
+        })
+    }
+}
+
+/// Aggregate two epoch outcomes: a repartition anywhere dominates (shares
+/// changed), then a failure anywhere (something is degraded), then a hold
+/// (a solve ran), then idle. Identity: `combine(Idle, x) = x`.
+fn combine_outcomes(a: EpochOutcome, b: EpochOutcome) -> EpochOutcome {
+    let rank = |o: EpochOutcome| match o {
+        EpochOutcome::Repartitioned => 3,
+        EpochOutcome::Failed => 2,
+        EpochOutcome::Held => 1,
+        EpochOutcome::Idle => 0,
+    };
+    if rank(b) > rank(a) {
+        b
+    } else {
+        a
+    }
 }
 
 /// Largest per-application `|Δβ|` between two replies, matching rows by
@@ -981,6 +1415,155 @@ mod tests {
             .find(|c| c.name == "bwpartd_degraded_transitions_total")
             .map(|c| c.value);
         assert_eq!(flips, Some(2), "off→on and on→off");
+    }
+
+    #[test]
+    fn tenant_of_splits_on_first_slash() {
+        assert_eq!(tenant_of("lbm"), "default");
+        assert_eq!(tenant_of("acme/lbm"), "acme");
+        assert_eq!(tenant_of("acme/a/b"), "acme");
+        assert_eq!(tenant_of("/weird"), "default");
+    }
+
+    #[test]
+    fn single_shard_default_group_matches_unsharded_engine() {
+        // A one-shard map with unprefixed names is the legacy service:
+        // sequential ids and byte-identical share rows.
+        let map = ShardMap::new(EngineConfig::default(), 1).unwrap();
+        let (mut engine, _) = four_app_engine();
+        let names = [
+            ("lbm", 0.00939),
+            ("libquantum", 0.00692),
+            ("omnetpp", 0.00519),
+            ("hmmer", 0.00529),
+        ];
+        for (i, (name, api)) in names.iter().enumerate() {
+            assert_eq!(map.register(name, *api).unwrap(), i);
+        }
+        // Idempotent re-registration returns the same public id.
+        assert_eq!(map.register("lbm", 0.00939).unwrap(), 0);
+
+        for (id, &apc) in ALONE.iter().enumerate() {
+            map.push_telemetry(id, clean_delta(apc)).unwrap();
+            engine.push_telemetry(id, clean_delta(apc)).unwrap();
+        }
+        assert_eq!(map.run_epochs(), EpochOutcome::Repartitioned);
+        assert_eq!(engine.run_epoch(), EpochOutcome::Repartitioned);
+
+        let sharded = map.get_shares().unwrap();
+        let plain = engine.get_shares().unwrap();
+        assert_eq!(sharded.apps, plain.apps);
+        assert_eq!(sharded.epoch, plain.epoch);
+        assert_eq!(sharded.outcome.beta, plain.outcome.beta);
+
+        let snap = map.snapshot();
+        assert_eq!(snap.shards, 1);
+        assert_eq!(snap.groups, vec!["default".to_string()]);
+        assert_eq!(snap.apps.len(), 4);
+    }
+
+    #[test]
+    fn groups_partition_independently() {
+        let map = ShardMap::new(EngineConfig::default(), 4).unwrap();
+        let a0 = map.register("acme/lbm", 0.00939).unwrap();
+        let a1 = map.register("acme/libquantum", 0.00692).unwrap();
+        let b0 = map.register("globex/omnetpp", 0.00519).unwrap();
+        let b1 = map.register("globex/hmmer", 0.00529).unwrap();
+        let ids = [a0, a1, b0, b1];
+        // Public ids are distinct and decode back to their shard.
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "public ids must be unique: {ids:?}");
+
+        for (&id, &apc) in ids.iter().zip(&ALONE) {
+            map.push_telemetry(id, clean_delta(apc)).unwrap();
+        }
+        assert_eq!(map.run_epochs(), EpochOutcome::Repartitioned);
+
+        // Each group is its own certified simplex over the full B.
+        for group in ["acme", "globex"] {
+            let reply = map.group_shares(group, None).unwrap();
+            assert_eq!(reply.apps.len(), 2, "{group} rows");
+            let total: f64 = reply.outcome.beta.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "{group} β sums to {total}");
+            assert!(!reply.degraded);
+        }
+        // Unknown group is a structured error, not a panic.
+        assert_eq!(
+            map.group_shares("initech", None).unwrap_err().code,
+            ErrorCode::UnknownApp
+        );
+
+        // The aggregate view concatenates both simplexes in id order.
+        let all = map.get_shares().unwrap();
+        assert_eq!(all.apps.len(), 4);
+        let total: f64 = all.outcome.beta.iter().sum();
+        assert!((total - 2.0).abs() < 1e-9, "two groups → β sums to {total}");
+        let row_ids: Vec<usize> = all.apps.iter().map(|r| r.app_id).collect();
+        assert_eq!(row_ids, sorted, "rows must be in public-id order");
+
+        // One group going degraded does not touch the other. Zero-rate
+        // deltas snap BOTH acme estimates to zero (|0 − old|/old = 1 >
+        // phase_change_ratio), leaving acme's solve nothing to allocate.
+        for id in [a0, a1] {
+            map.push_telemetry(
+                id,
+                TelemetryDelta {
+                    accesses: 0,
+                    shared_cycles: 1_000,
+                    interference_cycles: 0,
+                },
+            )
+            .unwrap();
+        }
+        // globex idle this epoch; acme's zero-rate solve fails.
+        assert_eq!(map.run_epochs(), EpochOutcome::Failed);
+        assert!(map.group_shares("acme", None).unwrap().degraded);
+        assert!(!map.group_shares("globex", None).unwrap().degraded);
+        let snap = map.snapshot();
+        assert!(snap.degraded);
+        assert_eq!(snap.shards, 4);
+        assert_eq!(snap.groups, vec!["acme".to_string(), "globex".to_string()]);
+        assert_eq!(snap.failed_epochs, 1);
+
+        // QoS admission is per-group: both groups can reserve out of
+        // their own full B.
+        map.push_telemetry(b1, clean_delta(ALONE[3])).unwrap();
+        map.run_epochs();
+        let grant = map.qos_admit(b1, 0.6).unwrap();
+        assert_eq!(grant.app_id, b1);
+        assert!((grant.reserved_apc - 0.6 * 0.00529).abs() < 1e-9);
+        assert_eq!(
+            map.qos_admit(999, 0.1).unwrap_err().code,
+            ErrorCode::UnknownApp
+        );
+    }
+
+    #[test]
+    fn shared_registry_aggregates_group_metrics() {
+        let map = ShardMap::new(EngineConfig::default(), 2).unwrap();
+        let a = map.register("acme/lbm", 0.00939).unwrap();
+        let b = map.register("globex/hmmer", 0.00529).unwrap();
+        map.push_telemetry(a, clean_delta(ALONE[0])).unwrap();
+        map.push_telemetry(b, clean_delta(ALONE[3])).unwrap();
+        map.run_epochs();
+        let m = map.metrics();
+        let counter = |name: &str| {
+            m.snapshot
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+                .unwrap_or(0)
+        };
+        // Both tenant engines ticked once into the shared counter.
+        assert_eq!(counter("bwpartd_epochs_total"), 2);
+        assert_eq!(counter("bwpartd_repartitions_total"), 2);
+        assert!(m.prometheus.contains("bwpartd_app_share{app=\"acme/lbm\"}"));
+        assert!(m
+            .prometheus
+            .contains("bwpartd_app_share{app=\"globex/hmmer\"}"));
     }
 
     #[test]

@@ -14,9 +14,15 @@
 //!   snapping), re-solve the configured [`PartitionScheme`] each epoch
 //!   (honouring Eq. 11 QoS reservations), certify the result against the
 //!   model contracts, and publish it subject to hysteresis.
-//! * [`server`] — the TCP front-end (`std::net` only, no runtime): accept
-//!   loop, per-connection threads with read timeouts, epoch timer.
-//! * [`client`] — a typed blocking client speaking the same codec.
+//! * [`server`] — the threaded TCP front-end (`std::net` only, no
+//!   runtime): accept loop, per-connection threads with read timeouts,
+//!   epoch timer.
+//! * [`rserver`] — the reactor TCP front-end (vendored-`mio` epoll/poll
+//!   readiness loop, DESIGN.md §16): a fixed pool of nonblocking workers
+//!   multiplexing hundreds of pipelined connections, with per-tenant
+//!   engine shards ([`engine::ShardMap`]) ticking on a timer wheel.
+//! * [`client`] — a typed blocking client speaking the same codec
+//!   (JSON or the v2 binary framing, see [`protocol::Codec`]).
 //!
 //! Degradation is deliberate and bounded: malformed frames kill one
 //! connection, telemetry queues shed oldest-first, failed solves serve
@@ -44,12 +50,13 @@ pub use bwpart_core::PartitionScheme;
 pub mod client;
 pub mod engine;
 pub mod protocol;
+pub mod rserver;
 pub mod server;
 
 pub use client::{Client, ClientError};
-pub use engine::{Engine, EngineConfig, EpochOutcome};
+pub use engine::{Engine, EngineConfig, EpochOutcome, ShardMap};
 pub use protocol::{
-    AppShare, AppStatus, ErrorCode, FrameError, MetricsReply, QosGrant, Request, Response,
+    AppShare, AppStatus, Codec, ErrorCode, FrameError, MetricsReply, QosGrant, Request, Response,
     ServiceError, ServiceSnapshot, SharesReply,
 };
 pub use server::{serve, ServeConfig, ServerHandle};

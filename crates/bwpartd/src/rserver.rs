@@ -1,0 +1,536 @@
+//! The reactor TCP front-end: a fixed pool of nonblocking event-loop
+//! workers on the vendored `mio` readiness substrate (DESIGN.md §16).
+//!
+//! Where [`crate::server`] spends a thread per connection, this front-end
+//! multiplexes hundreds of pipelined connections over a few workers:
+//!
+//! * **Worker 0** owns the nonblocking listener. Accepted connections are
+//!   handed round-robin to the workers through each worker's
+//!   [`Mailbox`] + [`Waker`] pair (the wake-dedup protocol is
+//!   model-checked under loomlite — see `vendor/mio/src/models.rs`).
+//! * **Every worker** runs one [`Poller`] (epoll on Linux, poll(2)
+//!   fallback) over its own connections, draining reads to `WouldBlock`,
+//!   decoding frames incrementally, dispatching through the same
+//!   [`handle_request`](crate::server) as the threaded front-end, and
+//!   answering each request in the codec its frame arrived in.
+//! * **Epoch ticks ride the timer wheel.** Shard `s` of the
+//!   [`ShardMap`] belongs to worker `s % workers`, so with ≥ 2 workers
+//!   and ≥ 2 shards, epoch solves genuinely overlap. A second recurring
+//!   timer sweeps idle connections past the read timeout.
+//!
+//! Backpressure is explicit: a connection whose write buffer exceeds
+//! [`WRITE_BUFFER_CAP`] stops having its buffered requests processed
+//! until the peer drains replies — request bytes wait in the read buffer,
+//! and the socket's own receive window pushes back from there. Write
+//! interest is registered only while a reply is actually pending, so the
+//! steady state costs one readable registration per connection.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mio::{wake_pair, Event, Events, Interest, Mailbox, Poller, TimerWheel, Token, WakeRx, Waker};
+
+use crate::engine::ShardMap;
+use crate::protocol::{self, Codec, Request, Response, ServiceError};
+use crate::server::{handle_request, ServeConfig, ServerHandle};
+
+/// A connection's reply backlog beyond which its requests stop being
+/// processed until the peer reads (1 MiB ≈ 16 maximum-size frames).
+pub const WRITE_BUFFER_CAP: usize = 1 << 20;
+
+/// Wake pipe token.
+const WAKE: Token = Token(0);
+/// Listener token (worker 0 only).
+const LISTEN: Token = Token(1);
+/// First connection-slot token; slot `i` is token `i + CONN_BASE`.
+const CONN_BASE: usize = 2;
+/// Timer-wheel cookie: run this worker's shard epochs.
+const TIMER_EPOCH: Token = Token(usize::MAX);
+/// Timer-wheel cookie: sweep idle connections.
+const TIMER_SWEEP: Token = Token(usize::MAX - 1);
+
+/// Ceiling on one poll's block time: keeps the shutdown flag responsive
+/// even if every timer is far out (wakers cut the latency further).
+const MAX_POLL: Duration = Duration::from_millis(100);
+
+/// Start the reactor front-end (called through
+/// [`serve`](crate::server::serve) when `cfg.reactor` is set).
+pub(crate) fn serve_reactor(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let map = ShardMap::new(cfg.engine.clone(), cfg.shards)
+        .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e.to_string()))?;
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let map = Arc::new(map);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let nworkers = effective_workers(cfg.workers);
+
+    // Build every worker's wake pair up front so each worker (and the
+    // handle) can wake all of them: shutdown must interrupt blocked polls
+    // no matter which worker learns of it first.
+    let mut wake_rxs = Vec::with_capacity(nworkers);
+    let mut wakers = Vec::with_capacity(nworkers);
+    for _ in 0..nworkers {
+        let (tx, rx) = wake_pair()?;
+        wakers.push(tx);
+        wake_rxs.push(rx);
+    }
+    let mailboxes: Arc<Vec<Mailbox<TcpStream>>> =
+        Arc::new((0..nworkers).map(|_| Mailbox::new()).collect());
+    let handle_wakers = wakers
+        .iter()
+        .map(|w| w.try_clone())
+        .collect::<std::io::Result<Vec<_>>>()?;
+
+    let mut threads = Vec::with_capacity(nworkers);
+    let mut listener = Some(listener);
+    for (idx, rx) in wake_rxs.into_iter().enumerate() {
+        let peer_wakers = wakers
+            .iter()
+            .map(|w| w.try_clone())
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let worker = Worker::new(
+            idx,
+            nworkers,
+            if idx == 0 { listener.take() } else { None },
+            rx,
+            peer_wakers,
+            Arc::clone(&mailboxes),
+            Arc::clone(&map),
+            Arc::clone(&shutdown),
+            &cfg,
+        )?;
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("bwpartd-reactor-{idx}"))
+                .spawn(move || worker.run())?,
+        );
+    }
+
+    Ok(ServerHandle {
+        addr,
+        map,
+        shutdown,
+        wakers: handle_wakers,
+        threads,
+    })
+}
+
+/// `0` → min(4, available parallelism); anything else is taken as-is.
+fn effective_workers(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get().min(4))
+        .unwrap_or(2)
+        .max(1)
+}
+
+/// One nonblocking connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Incrementally buffered request bytes (complete frames are drained
+    /// off the front).
+    rbuf: Vec<u8>,
+    /// Encoded replies not yet accepted by the socket; `wpos` marks the
+    /// already-written prefix (compacted once it grows past half).
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Codec of the most recent well-formed frame: frame-error replies go
+    /// out in it (JSON before the first frame).
+    last_codec: Codec,
+    /// Peer half-closed its write side: finish flushing, then close.
+    read_closed: bool,
+    /// Fatal frame error or shutdown reply queued: close once flushed.
+    closing: bool,
+    /// Currently registered with write interest.
+    want_write: bool,
+    last_active: Instant,
+}
+
+impl Conn {
+    fn pending(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+}
+
+/// What a connection event handler decided about the connection's fate.
+enum Fate {
+    Keep,
+    Close,
+}
+
+struct Worker {
+    idx: usize,
+    nworkers: usize,
+    listener: Option<TcpListener>,
+    poller: Poller,
+    events: Events,
+    wake_rx: WakeRx,
+    /// All workers' wakers (index = worker), for shutdown broadcast and
+    /// round-robin handoff.
+    wakers: Vec<Waker>,
+    mailboxes: Arc<Vec<Mailbox<TcpStream>>>,
+    map: Arc<ShardMap>,
+    shutdown: Arc<AtomicBool>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    wheel: TimerWheel,
+    epoch_interval: Duration,
+    read_timeout: Duration,
+    sweep_interval: Duration,
+    /// Worker 0's round-robin cursor over workers for accepted sockets.
+    next_worker: usize,
+}
+
+impl Worker {
+    // One-time wiring of everything a worker owns; a builder would add a
+    // type for a single private call site.
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        idx: usize,
+        nworkers: usize,
+        listener: Option<TcpListener>,
+        wake_rx: WakeRx,
+        wakers: Vec<Waker>,
+        mailboxes: Arc<Vec<Mailbox<TcpStream>>>,
+        map: Arc<ShardMap>,
+        shutdown: Arc<AtomicBool>,
+        cfg: &ServeConfig,
+    ) -> std::io::Result<Worker> {
+        let mut poller = Poller::new()?;
+        poller.register(wake_rx.fd(), WAKE, Interest::READABLE)?;
+        if let Some(l) = &listener {
+            poller.register(l.as_raw_fd(), LISTEN, Interest::READABLE)?;
+        }
+        // Epoch quantum: fine enough that a fraction of the epoch
+        // interval lands on a boundary, coarse enough that an idle wheel
+        // advance visits few slots.
+        let mut wheel = TimerWheel::new(Duration::from_millis(1), 256);
+        wheel.schedule(cfg.epoch_interval, TIMER_EPOCH);
+        let sweep_interval = (cfg.read_timeout / 4).max(Duration::from_millis(25));
+        wheel.schedule(sweep_interval, TIMER_SWEEP);
+        Ok(Worker {
+            idx,
+            nworkers,
+            listener,
+            poller,
+            events: Events::with_capacity(256),
+            wake_rx,
+            wakers,
+            mailboxes,
+            map,
+            shutdown,
+            conns: Vec::new(),
+            free: Vec::new(),
+            wheel,
+            epoch_interval: cfg.epoch_interval,
+            read_timeout: cfg.read_timeout,
+            sweep_interval,
+            next_worker: 0,
+        })
+    }
+
+    fn run(mut self) {
+        let mut fired: Vec<Token> = Vec::new();
+        let mut adopted: Vec<TcpStream> = Vec::new();
+        while !self.shutdown.load(Ordering::SeqCst) {
+            let timeout = self.wheel.next_timeout().unwrap_or(MAX_POLL).min(MAX_POLL);
+            if self.poller.poll(&mut self.events, Some(timeout)).is_err() {
+                // A failed poll is unrecoverable for this worker; flag the
+                // whole service down rather than spinning blind.
+                self.shutdown.store(true, Ordering::SeqCst);
+                break;
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let events: Vec<Event> = self.events.iter().copied().collect();
+            for ev in events {
+                match ev.token() {
+                    WAKE => self.wake_rx.drain(),
+                    LISTEN => self.accept_burst(),
+                    Token(t) => self.conn_event(t - CONN_BASE, ev),
+                }
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            // Adopt handed-off connections whether or not the wake edge
+            // was observed this pass (the mailbox protocol guarantees a
+            // wake is pending for anything left here).
+            adopted.clear();
+            self.mailboxes[self.idx].drain(&mut adopted);
+            for stream in adopted.drain(..) {
+                self.adopt(stream);
+            }
+            fired.clear();
+            self.wheel.poll_expired(&mut fired);
+            for t in fired.drain(..) {
+                match t {
+                    TIMER_EPOCH => {
+                        self.tick_epochs();
+                        self.wheel.schedule(self.epoch_interval, TIMER_EPOCH);
+                    }
+                    TIMER_SWEEP => {
+                        self.sweep_idle();
+                        self.wheel.schedule(self.sweep_interval, TIMER_SWEEP);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Shutdown: wake the other workers (first one here pays the
+        // broadcast; wake() on an already-woken pipe coalesces), close
+        // every owned connection, and drop any handed-off sockets still
+        // in the mailbox.
+        for w in &self.wakers {
+            let _ = w.wake();
+        }
+        let mut leftovers = Vec::new();
+        self.mailboxes[self.idx].drain(&mut leftovers);
+        drop(leftovers);
+    }
+
+    /// Run epochs on the shards this worker owns (`s % nworkers == idx`).
+    fn tick_epochs(&self) {
+        let mut s = self.idx;
+        while s < self.map.shard_count() {
+            let _ = self.map.run_shard_epochs(s);
+            s += self.nworkers;
+        }
+    }
+
+    fn sweep_idle(&mut self) {
+        let now = Instant::now();
+        for slot in 0..self.conns.len() {
+            let stale = self.conns[slot]
+                .as_ref()
+                .is_some_and(|c| now.duration_since(c.last_active) >= self.read_timeout);
+            if stale {
+                self.close(slot);
+            }
+        }
+    }
+
+    /// Accept until `WouldBlock`, handing sockets round-robin across the
+    /// pool (self included — a direct adopt skips the mailbox).
+    fn accept_burst(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let target = self.next_worker % self.nworkers;
+                    self.next_worker = self.next_worker.wrapping_add(1);
+                    if target == self.idx {
+                        self.adopt(stream);
+                    } else {
+                        let waker = &self.wakers[target];
+                        self.mailboxes[target].push(stream, || {
+                            let _ = waker.wake();
+                        });
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                // Transient accept failure (aborted handshake, fd
+                // pressure): keep serving what we have.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn adopt(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        let token = Token(slot + CONN_BASE);
+        if self
+            .poller
+            .register(stream.as_raw_fd(), token, Interest::READABLE)
+            .is_err()
+        {
+            self.free.push(slot);
+            return;
+        }
+        self.conns[slot] = Some(Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            last_codec: Codec::Json,
+            read_closed: false,
+            closing: false,
+            want_write: false,
+            last_active: Instant::now(),
+        });
+    }
+
+    fn conn_event(&mut self, slot: usize, ev: Event) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return; // stale event for a closed slot
+        };
+        let mut fate = Fate::Keep;
+        if ev.is_readable() && !conn.read_closed {
+            fate = Self::fill_read_buffer(conn);
+        }
+        if matches!(fate, Fate::Keep) {
+            fate = Self::process_frames(conn, &self.map, &self.shutdown);
+        }
+        if matches!(fate, Fate::Keep) && (ev.is_writable() || conn.pending() > 0) {
+            fate = Self::flush(conn);
+        }
+        if matches!(fate, Fate::Keep) {
+            // A half-closed or closing connection with nothing left to
+            // flush is done.
+            if (conn.read_closed || conn.closing) && conn.pending() == 0 {
+                fate = Fate::Close;
+            }
+        }
+        match fate {
+            Fate::Close => self.close(slot),
+            Fate::Keep => self.update_interest(slot),
+        }
+    }
+
+    /// Drain the socket to `WouldBlock` (level-triggered readiness makes
+    /// this mandatory on epoll *and* sufficient on poll(2)).
+    fn fill_read_buffer(conn: &mut Conn) -> Fate {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    return Fate::Keep; // flush what we owe, then close
+                }
+                Ok(n) => {
+                    conn.last_active = Instant::now();
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Fate::Keep,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return Fate::Close,
+            }
+        }
+    }
+
+    /// Decode and dispatch buffered frames until the buffer runs dry, the
+    /// reply backlog hits the cap, or the connection turns fatal.
+    fn process_frames(conn: &mut Conn, map: &ShardMap, shutdown: &AtomicBool) -> Fate {
+        while !conn.closing && conn.pending() < WRITE_BUFFER_CAP {
+            match protocol::decode_frame::<Request>(&conn.rbuf) {
+                Ok(Some((req, used, codec))) => {
+                    conn.rbuf.drain(..used);
+                    conn.last_codec = codec;
+                    let is_shutdown = matches!(req, Request::Shutdown);
+                    let resp = handle_request(req, map, shutdown);
+                    if Self::queue_response(conn, &resp, codec).is_err() {
+                        return Fate::Close;
+                    }
+                    if is_shutdown {
+                        conn.closing = true;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Malformed frame: best-effort structured reply
+                    // (UnsupportedVersion for unknown version bytes, see
+                    // FrameError::error_code), then close once flushed.
+                    let resp = Response::Error(ServiceError::new(e.error_code(), e.to_string()));
+                    let _ = Self::queue_response(conn, &resp, conn.last_codec);
+                    conn.closing = true;
+                }
+            }
+        }
+        Fate::Keep
+    }
+
+    fn queue_response(conn: &mut Conn, resp: &Response, codec: Codec) -> Result<(), ()> {
+        let frame = protocol::encode_with(resp, codec).map_err(|_| ())?;
+        // Compact the consumed prefix before growing (amortized O(1)).
+        if conn.wpos > 0 && conn.wpos * 2 >= conn.wbuf.len() {
+            conn.wbuf.drain(..conn.wpos);
+            conn.wpos = 0;
+        }
+        conn.wbuf.extend_from_slice(&frame);
+        Ok(())
+    }
+
+    /// Write pending reply bytes until `WouldBlock` or empty.
+    fn flush(conn: &mut Conn) -> Fate {
+        while conn.pending() > 0 {
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => return Fate::Close,
+                Ok(n) => {
+                    conn.wpos += n;
+                    conn.last_active = Instant::now();
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return Fate::Close,
+            }
+        }
+        if conn.pending() == 0 {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+        }
+        Fate::Keep
+    }
+
+    /// Keep the registered interest in sync with the connection's state:
+    /// write interest only while replies are pending (so an idle
+    /// connection costs one readable registration), read interest until
+    /// the peer half-closes.
+    fn update_interest(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        let want_write = conn.pending() > 0;
+        if want_write == conn.want_write {
+            return;
+        }
+        // A half-closed connection only survives while a flush is
+        // pending (otherwise conn_event closed it), so `read_closed`
+        // implies write-only interest here.
+        let interest = if conn.read_closed {
+            Interest::WRITABLE
+        } else if want_write {
+            Interest::READABLE.add(Interest::WRITABLE)
+        } else {
+            Interest::READABLE
+        };
+        let token = Token(slot + CONN_BASE);
+        if self
+            .poller
+            .reregister(conn.stream.as_raw_fd(), token, interest)
+            .is_err()
+        {
+            self.close(slot);
+            return;
+        }
+        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+            conn.want_write = want_write;
+        }
+    }
+
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.free.push(slot);
+            // conn (and its socket) drops here.
+        }
+    }
+}

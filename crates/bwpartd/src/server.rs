@@ -1,11 +1,15 @@
-//! The TCP front-end: accept loop, per-connection threads, epoch timer.
+//! The threaded TCP front-end: accept loop, per-connection threads, epoch
+//! timer. (The reactor front-end in [`crate::rserver`] shares this file's
+//! dispatch and framing; [`serve`] picks between them.)
 //!
 //! Design constraints (all from the "degrade gracefully" requirement):
 //!
 //! * **Malformed frames kill the connection, not the server.** A frame
-//!   error gets a best-effort [`Response::Error`] with
-//!   [`ErrorCode::BadFrame`], then the connection closes; every other
-//!   client is untouched.
+//!   error gets a best-effort [`Response::Error`] — with
+//!   [`ErrorCode::UnsupportedVersion`](crate::protocol::ErrorCode) for a
+//!   version byte this build does not speak, [`ErrorCode::BadFrame`]
+//!   otherwise — then the connection closes; every other client is
+//!   untouched.
 //! * **Stalled clients cannot pin resources.** Every connection runs with
 //!   a read timeout; a client that goes quiet for longer is disconnected
 //!   (it can reconnect — registration is idempotent by name).
@@ -13,21 +17,26 @@
 //!   queues are bounded and shed oldest-first; the TCP layer never buffers
 //!   unboundedly either ([`protocol::MAX_PAYLOAD`] caps a frame before any
 //!   allocation happens).
-//! * **The engine is the only shared state**, behind a mutex. A poisoned
-//!   mutex (a panicking thread mid-epoch in a debug build) degrades to
-//!   serving the inner value rather than cascading panics.
+//! * **The shard map is the only shared state.** Its per-shard mutexes
+//!   live inside [`ShardMap`] (lock-order table in `engine.rs`); the
+//!   front-ends themselves hold no locks.
+//!
+//! Codec negotiation is per-frame: the server decodes both wire versions
+//! and answers each request in the codec it arrived in, so JSON and
+//! binary clients can share one connection-handling path (and, in tests,
+//! one server).
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bwpart_mc::TelemetryDelta;
 
-use crate::engine::{Engine, EngineConfig};
-use crate::protocol::{self, ErrorCode, Request, Response, ServiceError};
+use crate::engine::{EngineConfig, ShardMap};
+use crate::protocol::{self, Codec, ErrorCode, Request, Response, ServiceError};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -35,7 +44,8 @@ pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:0` (port 0 picks a free port; read
     /// the actual one from [`ServerHandle::addr`]).
     pub addr: String,
-    /// Epoch-engine tuning.
+    /// Epoch-engine tuning (every tenant group's engine is built from
+    /// this).
     pub engine: EngineConfig,
     /// Wall-clock interval between epochs. The engine also exposes manual
     /// epochs through [`ServerHandle::force_epoch`] for deterministic
@@ -44,6 +54,14 @@ pub struct ServeConfig {
     /// Per-connection read timeout; a client silent for longer is
     /// disconnected.
     pub read_timeout: Duration,
+    /// Tenant-shard count (≥ 1); see [`ShardMap`].
+    pub shards: usize,
+    /// Serve with the nonblocking reactor front-end
+    /// ([`crate::rserver`]) instead of a thread per connection.
+    pub reactor: bool,
+    /// Reactor worker threads; `0` picks a default from the host's
+    /// parallelism. Ignored by the threaded front-end.
+    pub workers: usize,
 }
 
 impl Default for ServeConfig {
@@ -53,17 +71,23 @@ impl Default for ServeConfig {
             engine: EngineConfig::default(),
             epoch_interval: Duration::from_millis(100),
             read_timeout: Duration::from_secs(5),
+            shards: 1,
+            reactor: false,
+            workers: 0,
         }
     }
 }
 
-/// Handle to a running service.
+/// Handle to a running service (either front-end).
 pub struct ServerHandle {
-    addr: SocketAddr,
-    engine: Arc<Mutex<Engine>>,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    epoch_thread: Option<JoinHandle<()>>,
+    pub(crate) addr: SocketAddr,
+    pub(crate) map: Arc<ShardMap>,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    /// One waker per reactor worker so [`ServerHandle::shutdown`] can
+    /// interrupt blocked polls immediately (empty for the threaded
+    /// front-end, whose loops poll on short timeouts).
+    pub(crate) wakers: Vec<mio::Waker>,
+    pub(crate) threads: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -76,81 +100,72 @@ impl ServerHandle {
     /// [`Request::Shutdown`]).
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        for w in &self.wakers {
+            let _ = w.wake();
+        }
     }
 
-    /// Run one epoch immediately (deterministic alternative to waiting for
-    /// the timer; used by tests and the CLI's one-shot mode).
+    /// Run one epoch on every tenant engine immediately (deterministic
+    /// alternative to waiting for the timer; used by tests and the CLI's
+    /// one-shot mode).
     pub fn force_epoch(&self) -> crate::engine::EpochOutcome {
-        lock_engine(&self.engine).run_epoch()
+        self.map.run_epochs()
     }
 
-    /// In-process view of the engine's counters (what a client would get
+    /// In-process view of the service counters (what a client would get
     /// from [`Request::Snapshot`]).
     pub fn snapshot(&self) -> crate::protocol::ServiceSnapshot {
-        lock_engine(&self.engine).snapshot()
+        self.map.snapshot()
     }
 
     /// Wait for the service to stop (after [`ServerHandle::shutdown`] or a
-    /// client-issued shutdown), returning the engine's final counters —
-    /// a snapshot taken any earlier would miss every epoch run while
-    /// blocked here.
+    /// client-issued shutdown), returning the final counters — a snapshot
+    /// taken any earlier would miss every epoch run while blocked here.
     pub fn join(mut self) -> crate::protocol::ServiceSnapshot {
-        for t in [self.accept_thread.take(), self.epoch_thread.take()]
-            .into_iter()
-            .flatten()
-        {
+        for t in self.threads.drain(..) {
             // lint: allow(R1): joining service threads; a panicking worker
             // already aborted the run in debug, best-effort in release
             let _ = t.join();
         }
-        lock_engine(&self.engine).snapshot()
+        self.map.snapshot()
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        for t in [self.accept_thread.take(), self.epoch_thread.take()]
-            .into_iter()
-            .flatten()
-        {
+        for w in &self.wakers {
+            let _ = w.wake();
+        }
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
 }
 
-// The server's declared mutex acquisition order, checked by lint rule
-// R13 (this file) and workspace-wide by analyze rule A4: `engine` is the
-// connection/epoch-thread guard, and `table` is the obs registry's
-// internal metric-table lock, reached while `engine` is held whenever a
-// guarded call resolves or snapshots metrics (`Engine::metrics`,
-// `Engine::register`'s gauge resolution). The epoch path itself uses
-// pre-resolved handles and never takes `table`. Any lock added later
-// must be placed in this table (and nested acquisitions must follow it)
-// or the lint fails.
-// lint: lock-order: engine < table
-
-/// A poisoned engine mutex means a connection thread panicked mid-call in
-/// a debug build; the engine state itself is still the last consistent
-/// value, so serving it beats cascading the panic to every client.
-fn lock_engine(engine: &Arc<Mutex<Engine>>) -> MutexGuard<'_, Engine> {
-    engine.lock().unwrap_or_else(|poison| poison.into_inner())
+/// Start the service with the front-end `cfg.reactor` selects: bind,
+/// spawn the serving threads and the epoch ticker, return immediately.
+pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    if cfg.reactor {
+        crate::rserver::serve_reactor(cfg)
+    } else {
+        serve_threaded(cfg)
+    }
 }
 
-/// Start the service: bind, spawn the accept loop and the epoch timer,
-/// return immediately.
-pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
-    let engine = Engine::new(cfg.engine.clone())
+/// The classic thread-per-connection front-end.
+fn serve_threaded(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let map = ShardMap::new(cfg.engine.clone(), cfg.shards)
         .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e.to_string()))?;
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
-    let engine = Arc::new(Mutex::new(engine));
+    let map = Arc::new(map);
     let shutdown = Arc::new(AtomicBool::new(false));
 
     let epoch_thread = {
-        let engine = Arc::clone(&engine);
+        let map = Arc::clone(&map);
         let shutdown = Arc::clone(&shutdown);
         let interval = cfg.epoch_interval;
         std::thread::spawn(move || {
@@ -161,14 +176,14 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
                 elapsed += tick;
                 if elapsed >= interval {
                     elapsed = Duration::ZERO;
-                    let _ = lock_engine(&engine).run_epoch();
+                    let _ = map.run_epochs();
                 }
             }
         })
     };
 
     let accept_thread = {
-        let engine = Arc::clone(&engine);
+        let map = Arc::clone(&map);
         let shutdown = Arc::clone(&shutdown);
         let read_timeout = cfg.read_timeout;
         std::thread::spawn(move || {
@@ -176,10 +191,10 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
             while !shutdown.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
-                        let engine = Arc::clone(&engine);
+                        let map = Arc::clone(&map);
                         let shutdown = Arc::clone(&shutdown);
                         workers.push(std::thread::spawn(move || {
-                            serve_connection(stream, &engine, &shutdown, read_timeout);
+                            serve_connection(stream, &map, &shutdown, read_timeout);
                         }));
                         workers.retain(|w| !w.is_finished());
                     }
@@ -201,10 +216,10 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
 
     Ok(ServerHandle {
         addr,
-        engine,
+        map,
         shutdown,
-        accept_thread: Some(accept_thread),
-        epoch_thread: Some(epoch_thread),
+        wakers: Vec::new(),
+        threads: vec![accept_thread, epoch_thread],
     })
 }
 
@@ -212,7 +227,7 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
 /// shuts down.
 fn serve_connection(
     mut stream: TcpStream,
-    engine: &Arc<Mutex<Engine>>,
+    map: &Arc<ShardMap>,
     shutdown: &Arc<AtomicBool>,
     read_timeout: Duration,
 ) {
@@ -225,18 +240,23 @@ fn serve_connection(
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     let mut idle = Duration::ZERO;
+    // The codec of the most recent well-formed frame: frame-*error*
+    // replies go out in it (for the very first frame, JSON — the one
+    // codec any peer of any version can be assumed to read).
+    let mut last_codec = Codec::Json;
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
         // Drain complete frames already buffered before reading more.
         loop {
-            match protocol::decode::<Request>(&buf) {
-                Ok(Some((req, used))) => {
+            match protocol::decode_frame::<Request>(&buf) {
+                Ok(Some((req, used, codec))) => {
                     buf.drain(..used);
+                    last_codec = codec;
                     let is_shutdown = matches!(req, Request::Shutdown);
-                    let resp = handle_request(req, engine, shutdown);
-                    if write_response(&mut stream, &resp).is_err() {
+                    let resp = handle_request(req, map, shutdown);
+                    if write_response(&mut stream, &resp, codec).is_err() {
                         return;
                     }
                     if is_shutdown {
@@ -247,9 +267,8 @@ fn serve_connection(
                 Err(e) => {
                     // Malformed frame: answer (best-effort) and isolate by
                     // closing this connection only.
-                    let resp =
-                        Response::Error(ServiceError::new(ErrorCode::BadFrame, e.to_string()));
-                    let _ = write_response(&mut stream, &resp);
+                    let resp = Response::Error(ServiceError::new(e.error_code(), e.to_string()));
+                    let _ = write_response(&mut stream, &resp, last_codec);
                     return;
                 }
             }
@@ -272,21 +291,18 @@ fn serve_connection(
     }
 }
 
-fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
-    let frame = protocol::encode(resp)
+fn write_response(stream: &mut TcpStream, resp: &Response, codec: Codec) -> std::io::Result<()> {
+    let frame = protocol::encode_with(resp, codec)
         .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
     stream.write_all(&frame)
 }
 
-/// Dispatch one request against the engine. Never panics; every failure is
-/// a structured [`Response::Error`].
-fn handle_request(
-    req: Request,
-    engine: &Arc<Mutex<Engine>>,
-    shutdown: &Arc<AtomicBool>,
-) -> Response {
+/// Dispatch one request against the shard map. Never panics; every
+/// failure is a structured [`Response::Error`]. Shared by both
+/// front-ends.
+pub(crate) fn handle_request(req: Request, map: &ShardMap, shutdown: &AtomicBool) -> Response {
     match req {
-        Request::Register { name, api } => match lock_engine(engine).register(&name, api) {
+        Request::Register { name, api } => match map.register(&name, api) {
             Ok(app_id) => Response::Registered { app_id },
             Err(e) => Response::Error(e),
         },
@@ -301,36 +317,50 @@ fn handle_request(
                 shared_cycles,
                 interference_cycles,
             };
-            match lock_engine(engine).push_telemetry(app_id, delta) {
+            match map.push_telemetry(app_id, delta) {
                 Ok(epoch) => Response::TelemetryAck { app_id, epoch },
                 Err(e) => Response::Error(e),
             }
         }
         Request::GetShares { scheme } => {
-            let eng = lock_engine(engine);
-            let result = match scheme {
-                None => eng.get_shares(),
-                Some(name) => match name.parse::<bwpart_core::PartitionScheme>() {
-                    Ok(s) => eng.solve_with(s),
-                    Err(e) => Err(ServiceError::new(ErrorCode::UnknownScheme, e.to_string())),
-                },
+            let result = match parse_scheme(scheme) {
+                Ok(None) => map.get_shares(),
+                Ok(Some(s)) => map.solve_with(s),
+                Err(e) => Err(e),
             };
             match result {
                 Ok(reply) => Response::Shares(reply),
                 Err(e) => Response::Error(e),
             }
         }
-        Request::QosAdmit { app_id, ipc_target } => {
-            match lock_engine(engine).qos_admit(app_id, ipc_target) {
-                Ok(grant) => Response::QosAdmitted(grant),
+        Request::GroupShares { group, scheme } => {
+            let result = parse_scheme(scheme).and_then(|scheme| map.group_shares(&group, scheme));
+            match result {
+                Ok(reply) => Response::Shares(reply),
                 Err(e) => Response::Error(e),
             }
         }
-        Request::Snapshot => Response::Snapshot(lock_engine(engine).snapshot()),
-        Request::Metrics => Response::Metrics(lock_engine(engine).metrics()),
+        Request::QosAdmit { app_id, ipc_target } => match map.qos_admit(app_id, ipc_target) {
+            Ok(grant) => Response::QosAdmitted(grant),
+            Err(e) => Response::Error(e),
+        },
+        Request::Snapshot => Response::Snapshot(map.snapshot()),
+        Request::Metrics => Response::Metrics(map.metrics()),
         Request::Shutdown => {
             shutdown.store(true, Ordering::SeqCst);
             Response::ShuttingDown
         }
+    }
+}
+
+fn parse_scheme(
+    scheme: Option<String>,
+) -> Result<Option<bwpart_core::PartitionScheme>, ServiceError> {
+    match scheme {
+        None => Ok(None),
+        Some(name) => name
+            .parse::<bwpart_core::PartitionScheme>()
+            .map(Some)
+            .map_err(|e| ServiceError::new(ErrorCode::UnknownScheme, e.to_string())),
     }
 }

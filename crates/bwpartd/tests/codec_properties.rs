@@ -9,8 +9,8 @@
 
 use bwpart_core::SharesOutcome;
 use bwpartd::protocol::{
-    self, AppShare, ErrorCode, FrameError, Request, Response, ServiceError, SharesReply,
-    HEADER_LEN, MAGIC, MAX_PAYLOAD, WIRE_VERSION,
+    self, AppShare, Codec, ErrorCode, FrameError, Request, Response, ServiceError, SharesReply,
+    HEADER_LEN, MAGIC, MAX_PAYLOAD, WIRE_VERSION, WIRE_VERSION_BINARY,
 };
 use proptest::prelude::*;
 
@@ -171,6 +171,119 @@ proptest! {
             ) => {}
             other => prop_assert!(false, "corrupt header accepted: {other:?}"),
         }
+    }
+}
+
+proptest! {
+    /// The v2 binary codec round-trips every request variant exactly, and
+    /// decodes to the same typed value a JSON frame of the same message
+    /// does (the two codecs are interchangeable encodings, not dialects).
+    #[test]
+    fn binary_request_round_trip_matches_json(req in arb_request()) {
+        let bin = protocol::encode_with(&req, Codec::Binary).unwrap();
+        let (from_bin, used, codec): (Request, usize, Codec) =
+            protocol::decode_frame(&bin).unwrap().unwrap();
+        prop_assert_eq!(codec, Codec::Binary);
+        prop_assert_eq!(used, bin.len());
+        prop_assert_eq!(&from_bin, &req);
+
+        let json = protocol::encode_with(&req, Codec::Json).unwrap();
+        let (from_json, _): (Request, usize) = protocol::decode(&json).unwrap().unwrap();
+        prop_assert_eq!(from_bin, from_json);
+    }
+
+    /// Float-heavy responses survive the binary codec bit-exactly (f64s
+    /// travel as 8 raw little-endian bytes, not decimal strings).
+    #[test]
+    fn binary_response_round_trip(resp in arb_shares_response()) {
+        let frame = protocol::encode_with(&resp, Codec::Binary).unwrap();
+        let (back, used): (Response, usize) = protocol::decode(&frame).unwrap().unwrap();
+        prop_assert_eq!(&back, &resp);
+        prop_assert_eq!(used, frame.len());
+    }
+
+    /// Truncating a binary frame anywhere asks for more bytes — never
+    /// errors, never parses early.
+    #[test]
+    fn binary_truncation_is_incomplete_not_error(req in arb_request(), cut_seed in any::<u64>()) {
+        let frame = protocol::encode_with(&req, Codec::Binary).unwrap();
+        let cut = (cut_seed % frame.len() as u64) as usize;
+        let r: Option<(Request, usize)> = protocol::decode(&frame[..cut]).unwrap();
+        prop_assert_eq!(r, None);
+    }
+
+    /// Flipping any single bit of a binary frame's payload never panics
+    /// the decoder: it either reports a structured error, wants more
+    /// bytes, or (when the flip lands in a value) parses some message.
+    #[test]
+    fn binary_bit_flips_never_panic(
+        req in arb_request(),
+        pos_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let mut frame = protocol::encode_with(&req, Codec::Binary).unwrap();
+        let pos = HEADER_LEN + (pos_seed as usize % (frame.len() - HEADER_LEN).max(1));
+        frame[pos] ^= 1 << bit;
+        match protocol::decode::<Request>(&frame) {
+            Ok(None) | Err(_) => {}
+            Ok(Some((_, used))) => prop_assert!(used <= frame.len()),
+        }
+    }
+
+    /// Arbitrary garbage after a valid binary header never panics and
+    /// never over-consumes (the binary cursor is bounds-checked, not
+    /// length-trusting).
+    #[test]
+    fn binary_garbage_payload_never_panics(
+        payload in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut frame = Vec::from(MAGIC);
+        frame.push(WIRE_VERSION_BINARY);
+        frame.push(0);
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&payload);
+        match protocol::decode::<Request>(&frame) {
+            Ok(None) | Err(_) => {}
+            Ok(Some((_, used))) => prop_assert!(used <= frame.len()),
+        }
+    }
+
+    /// A pipelined buffer can interleave the two codecs frame by frame:
+    /// each decode consumes exactly one frame and reports its codec.
+    #[test]
+    fn mixed_codec_pipelining(reqs in prop::collection::vec(arb_request(), 1..6)) {
+        let mut buf = Vec::new();
+        let mut want = Vec::new();
+        for (i, req) in reqs.iter().enumerate() {
+            let codec = if i % 2 == 0 { Codec::Binary } else { Codec::Json };
+            buf.extend_from_slice(&protocol::encode_with(req, codec).unwrap());
+            want.push((req.clone(), codec));
+        }
+        for (req, codec) in want {
+            let (back, used, got): (Request, usize, Codec) =
+                protocol::decode_frame(&buf).unwrap().unwrap();
+            prop_assert_eq!(back, req);
+            prop_assert_eq!(got, codec);
+            buf.drain(..used);
+        }
+        prop_assert!(buf.is_empty());
+    }
+}
+
+#[test]
+fn unknown_version_bytes_map_to_unsupported_version() {
+    // Every undefined version byte is a structured UnsupportedVersion
+    // (never BadFrame) so servers can signal a downgrade path.
+    let payload = b"{}";
+    for v in [0u8, 3, 4, 7, 0x7f, 0xff] {
+        let mut frame = Vec::from(MAGIC);
+        frame.push(v);
+        frame.push(0);
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(payload);
+        let err = protocol::decode::<Request>(&frame).unwrap_err();
+        assert_eq!(err, FrameError::UnsupportedVersion { got: v });
+        assert_eq!(err.error_code(), ErrorCode::UnsupportedVersion);
     }
 }
 

@@ -11,7 +11,7 @@ use std::time::Duration;
 use bwpart_core::prelude::*;
 use bwpart_mc::TelemetryDelta;
 use bwpartd::protocol::{self, ErrorCode, Response};
-use bwpartd::{serve, Client, ClientError, EngineConfig, ServeConfig, ServerHandle};
+use bwpartd::{serve, Client, ClientError, Codec, EngineConfig, ServeConfig, ServerHandle};
 
 /// The paper's Mix-1-style four-application workload (name, API,
 /// true standalone APC).
@@ -22,15 +22,19 @@ const APPS: [(&str, f64, f64); 4] = [
     ("hmmer", 0.00529, 0.0046),
 ];
 
-fn start_service() -> ServerHandle {
-    let cfg = ServeConfig {
+fn base_config() -> ServeConfig {
+    ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         engine: EngineConfig::new(PartitionScheme::SquareRoot, 0.0095),
         // Epochs are forced manually; the timer must never fire mid-test.
         epoch_interval: Duration::from_secs(3600),
         read_timeout: Duration::from_secs(5),
-    };
-    serve(cfg).expect("bind on loopback")
+        ..ServeConfig::default()
+    }
+}
+
+fn start_service() -> ServerHandle {
+    serve(base_config()).expect("bind on loopback")
 }
 
 /// Tiny deterministic LCG for telemetry jitter (no rand dependency).
@@ -345,14 +349,12 @@ fn structured_errors_leave_connection_usable() {
 #[test]
 fn metrics_over_the_wire_expose_epochs_and_backpressure_sheds() {
     let cfg = ServeConfig {
-        addr: "127.0.0.1:0".to_string(),
         engine: EngineConfig {
             // Tiny queue so the flood below forces oldest-first shedding.
             queue_capacity: 2,
             ..EngineConfig::new(PartitionScheme::SquareRoot, 0.0095)
         },
-        epoch_interval: Duration::from_secs(3600),
-        read_timeout: Duration::from_secs(5),
+        ..base_config()
     };
     let handle = serve(cfg).expect("bind on loopback");
     let mut rng = Lcg(99);
@@ -416,6 +418,193 @@ fn client_shutdown_stops_service() {
     c.register("x", 0.01).expect("register");
     c.shutdown().expect("shutdown ack");
     handle.join();
+}
+
+/// The reactor front-end with tenant sharding: two tenants each stream the
+/// four-app workload over binary-codec connections, and every tenant
+/// group's published shares converge — independently — to within 2% of the
+/// offline closed-form Square_root solution, exactly like the unsharded
+/// threaded service.
+#[test]
+fn reactor_sharded_convergence_matches_offline_square_root() {
+    let handle = serve(ServeConfig {
+        reactor: true,
+        shards: 4,
+        workers: 2,
+        ..base_config()
+    })
+    .expect("bind reactor on loopback");
+    let mut rng = Lcg(0xacce55);
+
+    const TENANTS: [&str; 2] = ["acme", "zeta"];
+    let mut clients: Vec<(Client, usize, f64)> = Vec::new();
+    for tenant in TENANTS {
+        for &(name, api, apc) in &APPS {
+            let mut c = Client::connect_with(handle.addr(), Codec::Binary).expect("connect");
+            let id = c
+                .register(&format!("{tenant}/{name}"), api)
+                .expect("register");
+            clients.push((c, id, apc));
+        }
+    }
+
+    for _ in 0..8 {
+        for (client, id, apc) in &mut clients {
+            let epoch = client
+                .telemetry(*id, noisy_delta(*apc, &mut rng))
+                .expect("telemetry");
+            assert!(epoch > 0);
+        }
+        handle.force_epoch();
+    }
+
+    // Offline closed-form reference on the *true* profiles (per tenant the
+    // group solves over the full bandwidth, so one reference serves both).
+    let profiles: Vec<AppProfile> = APPS
+        .iter()
+        .map(|&(name, api, apc)| AppProfile::new(name, api, apc).expect("profile"))
+        .collect();
+    let offline = PartitionScheme::SquareRoot
+        .solve(&profiles, 0.0095)
+        .expect("offline solve");
+
+    for tenant in TENANTS {
+        let reply = clients[0]
+            .0
+            .group_shares(tenant, None)
+            .expect("group shares");
+        assert!(!reply.degraded, "{tenant} published degraded shares");
+        assert_eq!(reply.outcome.scheme, "square-root");
+        for (i, &(name, _, _)) in APPS.iter().enumerate() {
+            let full = format!("{tenant}/{name}");
+            let row = reply
+                .apps
+                .iter()
+                .find(|r| r.name == full)
+                .unwrap_or_else(|| panic!("{full} missing from group reply"));
+            let (want_beta, want_alloc) = (offline.beta[i], offline.allocation[i]);
+            assert!(
+                (row.beta - want_beta).abs() / want_beta < 0.02,
+                "{full}: online β {:.5} deviates >2% from offline β {want_beta:.5}",
+                row.beta
+            );
+            assert!(
+                (row.allocation - want_alloc).abs() / want_alloc < 0.02,
+                "{full}: online allocation deviates >2% from offline"
+            );
+        }
+    }
+
+    // An unknown tenant is a structured error, not a crash.
+    let err = clients[0]
+        .0
+        .group_shares("nobody", None)
+        .expect_err("unknown tenant");
+    let ClientError::Service(e) = err else {
+        panic!("expected service error");
+    };
+    assert_eq!(e.code, ErrorCode::UnknownApp);
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// JSON and binary clients interleave on the same reactor server and see
+/// identical epoch-consistent replies — the server answers each request in
+/// the codec it arrived in, with no per-connection negotiation.
+#[test]
+fn mixed_codec_clients_see_identical_epoch_state() {
+    let handle = serve(ServeConfig {
+        reactor: true,
+        ..base_config()
+    })
+    .expect("bind reactor on loopback");
+    let mut rng = Lcg(0x0dec);
+
+    let mut json = Client::connect(handle.addr()).expect("connect json");
+    let mut binary = Client::connect_with(handle.addr(), Codec::Binary).expect("connect binary");
+    assert_eq!(json.codec(), Codec::Json);
+    assert_eq!(binary.codec(), Codec::Binary);
+
+    // Registration and telemetry alternate codecs app by app.
+    let ids: Vec<usize> = APPS
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, api, _))| {
+            let c = if i % 2 == 0 { &mut json } else { &mut binary };
+            c.register(name, api).expect("register")
+        })
+        .collect();
+    for _ in 0..4 {
+        for (i, (&id, &(_, _, apc))) in ids.iter().zip(&APPS).enumerate() {
+            let c = if i % 2 == 0 { &mut binary } else { &mut json };
+            c.telemetry(id, noisy_delta(apc, &mut rng))
+                .expect("telemetry");
+        }
+        handle.force_epoch();
+    }
+
+    // Same epoch, same numbers, regardless of wire encoding.
+    let from_json = json.get_shares(None).expect("shares via json");
+    let from_binary = binary.get_shares(None).expect("shares via binary");
+    assert_eq!(from_json, from_binary);
+    assert!(!from_json.degraded);
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// A frame carrying an unknown protocol version byte earns a structured
+/// `UnsupportedVersion` error and a closed connection — on both the
+/// threaded and reactor front-ends.
+#[test]
+fn unknown_wire_version_is_rejected_with_structured_error() {
+    for reactor in [false, true] {
+        let handle = serve(ServeConfig {
+            reactor,
+            ..base_config()
+        })
+        .expect("bind on loopback");
+
+        let mut s = TcpStream::connect(handle.addr()).expect("connect");
+        let mut frame = Vec::from(protocol::MAGIC);
+        frame.push(3); // one past the highest negotiated version
+        frame.push(0);
+        frame.extend_from_slice(&4u32.to_be_bytes());
+        frame.extend_from_slice(b"null");
+        s.write_all(&frame).expect("write versioned frame");
+        s.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        let resp: Response = loop {
+            match protocol::decode::<Response>(&buf) {
+                Ok(Some((resp, _))) => break resp,
+                Ok(None) => {}
+                Err(e) => panic!("reactor={reactor}: reply did not frame: {e}"),
+            }
+            let n = s.read(&mut chunk).expect("read error reply");
+            assert!(
+                n > 0,
+                "reactor={reactor}: connection closed before the error reply"
+            );
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let Response::Error(service_err) = resp else {
+            panic!("reactor={reactor}: expected an error, got {resp:?}");
+        };
+        assert_eq!(service_err.code, ErrorCode::UnsupportedVersion);
+        // ...and the offending connection is closed.
+        let n = s.read(&mut chunk).expect("read EOF");
+        assert_eq!(
+            n, 0,
+            "reactor={reactor}: connection must close after a version error"
+        );
+
+        handle.shutdown();
+        handle.join();
+    }
 }
 
 /// The what-if query answers under a different scheme without changing

@@ -116,11 +116,20 @@ pub enum Parsed {
         /// Exit after this many epochs (`None` → run until a client sends
         /// shutdown).
         epochs: Option<u64>,
+        /// Use the reactor front-end (vendored-mio event loops) instead of
+        /// a thread per connection.
+        reactor: bool,
+        /// Number of tenant shards (independent epoch engines).
+        shards: usize,
+        /// Reactor worker threads (`0` → auto).
+        workers: usize,
     },
     /// `client`: one request against a running `bwpartd` service.
     Client {
         /// Service address (`host:port`).
         addr: String,
+        /// Wire codec to frame requests in.
+        codec: bwpartd::Codec,
         /// The operation to perform.
         op: ClientOp,
     },
@@ -160,6 +169,13 @@ pub enum ClientOp {
         /// Optional what-if scheme.
         scheme: Option<String>,
     },
+    /// Fetch one tenant group's shares (`group-shares <group> [<scheme>]`).
+    GroupShares {
+        /// Tenant group name (app-name prefix before the first `/`).
+        group: String,
+        /// Optional what-if scheme.
+        scheme: Option<String>,
+    },
     /// Request a QoS guarantee (`qos-admit <app_id> <ipc_target>`).
     QosAdmit {
         /// Application id from `register`.
@@ -183,7 +199,7 @@ impl ClientOp {
     /// Parse the positional tail of a `client` invocation.
     fn parse(args: &[String]) -> Result<ClientOp, String> {
         let op = args.first().ok_or(
-            "client requires an operation: register | telemetry | get-shares | qos-admit | metrics | snapshot | shutdown",
+            "client requires an operation: register | telemetry | get-shares | group-shares | qos-admit | metrics | snapshot | shutdown",
         )?;
         let arity = |n: usize| -> Result<(), String> {
             if args.len() - 1 == n {
@@ -218,6 +234,15 @@ impl ClientOp {
                 }
                 Ok(ClientOp::GetShares {
                     scheme: args.get(1).cloned(),
+                })
+            }
+            "group-shares" => {
+                if args.len() < 2 || args.len() > 3 {
+                    return Err("`group-shares` takes a group and optionally a scheme".into());
+                }
+                Ok(ClientOp::GroupShares {
+                    group: args[1].clone(),
+                    scheme: args.get(2).cloned(),
                 })
             }
             "qos-admit" => {
@@ -349,6 +374,9 @@ impl Parsed {
                 let mut bandwidth = 0.0095;
                 let mut epoch_ms = 100;
                 let mut epochs = None;
+                let mut reactor = false;
+                let mut shards = 1usize;
+                let mut workers = 0usize;
                 let mut i = 1;
                 while i < args.len() {
                     match args[i].as_str() {
@@ -366,6 +394,16 @@ impl Parsed {
                             epochs =
                                 Some(parse_num(take_value(args, &mut i, "--epochs")?, "epochs")?)
                         }
+                        "--reactor" => reactor = true,
+                        "--shards" => {
+                            shards = parse_num(take_value(args, &mut i, "--shards")?, "shards")?;
+                            if shards == 0 {
+                                return Err("--shards must be at least 1".into());
+                            }
+                        }
+                        "--workers" => {
+                            workers = parse_num(take_value(args, &mut i, "--workers")?, "workers")?
+                        }
                         other => return Err(format!("unexpected argument `{other}`")),
                     }
                     i += 1;
@@ -376,15 +414,20 @@ impl Parsed {
                     bandwidth,
                     epoch_ms,
                     epochs,
+                    reactor,
+                    shards,
+                    workers,
                 })
             }
             "client" => {
                 let mut addr = None;
+                let mut codec = bwpartd::Codec::Json;
                 let mut rest = Vec::new();
                 let mut i = 1;
                 while i < args.len() {
                     match args[i].as_str() {
                         "--addr" => addr = Some(take_value(args, &mut i, "--addr")?.to_string()),
+                        "--codec" => codec = take_value(args, &mut i, "--codec")?.parse()?,
                         other => rest.push(other.to_string()),
                     }
                     i += 1;
@@ -392,6 +435,7 @@ impl Parsed {
                 let addr = addr.ok_or("--addr is required for client")?;
                 Ok(Parsed::Client {
                     addr,
+                    codec,
                     op: ClientOp::parse(&rest)?,
                 })
             }
@@ -565,6 +609,9 @@ mod tests {
                 bandwidth: 0.0095,
                 epoch_ms: 100,
                 epochs: None,
+                reactor: false,
+                shards: 1,
+                workers: 0,
             }
         );
         let p = Parsed::parse(&v(&[
@@ -579,6 +626,11 @@ mod tests {
             "50",
             "--epochs",
             "10",
+            "--reactor",
+            "--shards",
+            "4",
+            "--workers",
+            "2",
         ]))
         .unwrap();
         assert_eq!(
@@ -589,8 +641,12 @@ mod tests {
                 bandwidth: 0.02,
                 epoch_ms: 50,
                 epochs: Some(10),
+                reactor: true,
+                shards: 4,
+                workers: 2,
             }
         );
+        assert!(Parsed::parse(&v(&["serve", "--shards", "0"])).is_err());
     }
 
     #[test]
@@ -608,12 +664,37 @@ mod tests {
             p,
             Parsed::Client {
                 addr: "127.0.0.1:4780".into(),
+                codec: bwpartd::Codec::Json,
                 op: ClientOp::Register {
                     name: "milc".into(),
                     api: 0.00692,
                 },
             }
         );
+        // `--codec binary` selects the v2 framing; `group-shares` targets
+        // one tenant group.
+        let p = Parsed::parse(&v(&[
+            "client",
+            "--addr",
+            "x:1",
+            "--codec",
+            "binary",
+            "group-shares",
+            "acme",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            p,
+            Parsed::Client {
+                codec: bwpartd::Codec::Binary,
+                op: ClientOp::GroupShares { ref group, scheme: None },
+                ..
+            } if group == "acme"
+        ));
+        assert!(Parsed::parse(&v(&[
+            "client", "--addr", "x:1", "--codec", "xml", "metrics"
+        ]))
+        .is_err());
         let p = Parsed::parse(&v(&[
             "client",
             "--addr",

@@ -227,12 +227,18 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, String> {
             bandwidth,
             epoch_ms,
             epochs,
+            reactor,
+            shards,
+            workers,
         } => {
             use std::io::Write as _;
             let cfg = ServeConfig {
                 addr: addr.clone(),
                 engine: EngineConfig::new(*scheme, *bandwidth),
                 epoch_interval: std::time::Duration::from_millis(*epoch_ms),
+                reactor: *reactor,
+                shards: *shards,
+                workers: *workers,
                 ..ServeConfig::default()
             };
             let handle = bwpartd::serve(cfg).map_err(|e| e.to_string())?;
@@ -250,8 +256,9 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, String> {
             let snap = handle.join();
             Ok(format!("bwpartd stopped\n{}", render_snapshot(&snap)))
         }
-        Parsed::Client { addr, op } => {
-            let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+        Parsed::Client { addr, codec, op } => {
+            let mut client =
+                Client::connect_with(addr.as_str(), *codec).map_err(|e| e.to_string())?;
             // A service stalled for more than 5 s is a failure, not a wait:
             // the CI service-smoke job relies on every client call erroring
             // out (non-zero exit) instead of hanging.
@@ -287,6 +294,12 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, String> {
                 }
                 ClientOp::GetShares { scheme } => {
                     let reply = client.get_shares(scheme.as_deref()).map_err(service_err)?;
+                    Ok(render_shares(&reply))
+                }
+                ClientOp::GroupShares { group, scheme } => {
+                    let reply = client
+                        .group_shares(group, scheme.as_deref())
+                        .map_err(service_err)?;
                     Ok(render_shares(&reply))
                 }
                 ClientOp::QosAdmit { app_id, ipc_target } => {
@@ -489,6 +502,7 @@ mod tests {
         let run = |op: ClientOp| {
             dispatch(&Parsed::Client {
                 addr: addr.clone(),
+                codec: bwpartd::Codec::Json,
                 op,
             })
         };

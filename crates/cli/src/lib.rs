@@ -19,12 +19,14 @@ USAGE:
   bwpart experiment <artifact> [--fast]
   bwpart serve      [--addr h:p] [--scheme <name>] [--bandwidth <apc>]
                     [--epoch-ms <ms>] [--epochs <n>]
-  bwpart client     --addr h:p <operation>
+                    [--reactor] [--shards <n>] [--workers <n>]
+  bwpart client     --addr h:p [--codec json|binary] <operation>
 
 CLIENT OPERATIONS:
   register <name> <api>
   telemetry <app_id> <accesses> <shared_cycles> <interference_cycles>
   get-shares [<scheme>]
+  group-shares <group> [<scheme>]
   qos-admit <app_id> <ipc_target>
   snapshot
   shutdown

@@ -185,3 +185,90 @@ fn service_smoke_three_clients() {
     let status = serve.wait().expect("serve exits after client shutdown");
     assert!(status.success(), "serve exit: {status:?}");
 }
+
+/// Reactor smoke: the same register → telemetry → group-shares → shutdown
+/// journey against `bwpart serve --reactor --shards 4`, with one client
+/// process per codec, so CI proves the nonblocking front-end, the tenant
+/// sharding, and both wire codecs end to end through the real binary.
+#[test]
+fn service_smoke_reactor_sharded_both_codecs() {
+    use std::io::BufRead;
+    use std::process::{Command, Stdio};
+
+    let mut serve = Command::new(env!("CARGO_BIN_EXE_bwpart"))
+        .args([
+            "serve",
+            "--reactor",
+            "--shards",
+            "4",
+            "--workers",
+            "2",
+            "--epoch-ms",
+            "25",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let stdout = serve.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("serve prints its address")
+        .expect("read banner");
+    let addr = banner
+        .rsplit(' ')
+        .next()
+        .expect("banner ends with host:port")
+        .to_string();
+    assert!(banner.contains("listening"), "banner: {banner}");
+
+    let client = |codec: &str, args: &[&str]| -> (bool, String, String) {
+        let mut full = vec!["client", "--addr", addr.as_str(), "--codec", codec];
+        full.extend_from_slice(args);
+        bwpart(&full)
+    };
+
+    // Two tenants, one app each; the JSON client owns acme, the binary
+    // client owns zeta. Public app ids are shard-encoded, so parse them
+    // from the register output instead of assuming 0/1.
+    let mut ids = Vec::new();
+    for (codec, name, api) in [
+        ("json", "acme/lbm", "0.00939"),
+        ("binary", "zeta/libquantum", "0.00692"),
+    ] {
+        let (ok, stdout, stderr) = client(codec, &["register", name, api]);
+        assert!(ok, "register {name}: {stderr}");
+        let id = stdout
+            .split_whitespace()
+            .find_map(|w| w.parse::<usize>().ok())
+            .expect("register output carries the app id")
+            .to_string();
+        ids.push(id);
+    }
+    for (i, (codec, accesses)) in [("binary", "53100"), ("json", "34100")].iter().enumerate() {
+        let (ok, stdout, stderr) = client(
+            codec,
+            &["telemetry", &ids[i], accesses, "1000000", "200000"],
+        );
+        assert!(ok, "telemetry {}: {stderr}", ids[i]);
+        assert!(stdout.contains("queued for epoch"), "{stdout}");
+    }
+
+    // Give the 25 ms epoch timers time to fold and publish.
+    std::thread::sleep(std::time::Duration::from_millis(250));
+
+    // Each tenant group is its own simplex: the single app gets β = 1.
+    for (codec, tenant, name) in [("json", "acme", "lbm"), ("binary", "zeta", "libquantum")] {
+        let (ok, stdout, stderr) = client(codec, &["group-shares", tenant]);
+        assert!(ok, "group-shares {tenant}: {stderr}");
+        assert!(stdout.contains("square-root"), "{stdout}");
+        assert!(stdout.contains(name), "{stdout}");
+    }
+
+    let (ok, stdout, stderr) = client("binary", &["shutdown"]);
+    assert!(ok, "shutdown: {stderr}");
+    assert!(stdout.contains("shutting down"), "{stdout}");
+
+    let status = serve.wait().expect("serve exits after client shutdown");
+    assert!(status.success(), "serve exit: {status:?}");
+}

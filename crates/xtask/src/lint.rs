@@ -41,10 +41,11 @@
 //!   (or why none is needed): a comment containing `hb:` or
 //!   `happens-before` attached to the site. SeqCst/Acquire/Release need
 //!   no annotation.
-//! * **R7** — no `static mut` anywhere; and inside `vendor/rayon`, no
-//!   direct `std::sync` / `std::thread` references outside `shim.rs`:
-//!   the pool constructs every synchronization primitive through the
-//!   loomlite-aliased shim module so model runs cover the real code.
+//! * **R7** — no `static mut` anywhere; and inside the vendored crates
+//!   (`vendor/rayon`, `vendor/mio`), no direct `std::sync` /
+//!   `std::thread` references outside `shim.rs`: they construct every
+//!   synchronization primitive through the loomlite-aliased shim module
+//!   so model runs cover the real code.
 //! * **R8** — every `unsafe` site (block, impl, fn, trait) needs a
 //!   `// SAFETY:` comment attached, and every file containing unsafe code
 //!   must be registered with a matching (token-accurate) site count in
@@ -82,8 +83,9 @@
 //!   scratch buffers are hoisted to construction time.
 //!
 //! Rules R1–R5 run over `crates/*/src`; R6 and R8 run over both
-//! `crates/*/src` and `vendor/rayon/src`; R7's `static mut` ban runs
-//! everywhere and its shim-only part runs over `vendor/rayon/src`; R9
+//! `crates/*/src` and `vendor/{rayon,mio}/src`; R7's `static mut` ban
+//! runs everywhere and its shim-only part over `vendor/{rayon,mio}/src`;
+//! R9
 //! runs over `crates/dram/src` and `crates/mc/src`; R10 over
 //! `crates/core/src` and `crates/bwpartd/src`; R11 and R12 over every
 //! first-party crate; R13 over the `bwpartd` server/engine modules; R14
@@ -185,8 +187,8 @@ impl Rule {
                          comment naming the happens-before edge (`hb:` or `happens-before`)"
             }
             Rule::R7 => {
-                "no static mut; vendor/rayon must construct sync primitives only \
-                         through its loomlite-aliased shim module (no std::sync/std::thread)"
+                "no static mut; vendored crates must construct sync primitives only \
+                         through their loomlite-aliased shim module (no std::sync/std::thread)"
             }
             Rule::R8 => {
                 "unsafe sites need a // SAFETY: comment and a matching entry in \
@@ -268,8 +270,8 @@ impl Rule {
             }
             Rule::R7 => {
                 "static mut is UB-prone (aliased &mut) and invisible to the loomlite \
-                 model checker — use atomics, locks, or OnceLock. Inside vendor/rayon \
-                 every sync/thread primitive must come from crate::shim so the \
+                 model checker — use atomics, locks, or OnceLock. Inside the vendored \
+                 crates every sync/thread primitive must come from crate::shim so the \
                  loomlite build swaps in its controlled versions; naming std::sync or \
                  std::thread directly would leave an unexplored interleaving."
             }
@@ -510,7 +512,7 @@ pub fn lint_source(
         .collect()
 }
 
-/// Scan one vendored-pool file (`vendor/rayon/src/**`). Only the
+/// Scan one vendored-crate file (`vendor/{rayon,mio}/src/**`). Only the
 /// concurrency rules apply there: R6, R7 (both parts; `is_shim` exempts
 /// the alias module itself from the std-reference ban), and R8.
 pub fn lint_vendor_source(file: &str, src: &str, is_shim: bool) -> Vec<Violation> {
@@ -645,7 +647,8 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 }
 
 /// Lint every `crates/*/src/**/*.rs` under `root`, plus (when present)
-/// the vendored pool under `vendor/rayon/src` with the concurrency rules,
+/// the vendored crates under `vendor/{rayon,mio}/src` with the
+/// concurrency rules,
 /// and cross-check the `UNSAFE_AUDIT.md` inventory. Returns **all**
 /// findings — including suppressed ones with their justification text —
 /// in deterministic (path, line, col) order.
@@ -704,10 +707,14 @@ pub fn lint_tree_report(root: &Path) -> io::Result<Vec<Violation>> {
         }
     }
 
-    // The vendored pool: concurrency rules only (its panic/float idioms
-    // are deliberately rayon-shaped, so R1-R5 stay out).
-    let vendor_src = root.join("vendor").join("rayon").join("src");
-    if vendor_src.is_dir() {
+    // The vendored crates (the rayon-like pool and the mio-like reactor):
+    // concurrency rules only — their panic/float idioms are deliberately
+    // upstream-shaped, so R1-R5 stay out.
+    for vendored in ["rayon", "mio"] {
+        let vendor_src = root.join("vendor").join(vendored).join("src");
+        if !vendor_src.is_dir() {
+            continue;
+        }
         let mut vendor_files = Vec::new();
         collect_rs(&vendor_src, &mut vendor_files)?;
         vendor_files.sort();

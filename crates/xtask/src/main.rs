@@ -16,13 +16,14 @@
 //!   latency against a live loopback server plus epoch-decision latency
 //!   in the bare engine, and writes `BENCH_serve.json`.
 //! * `check-concurrency` — the loomlite model check: rebuilds the
-//!   vendored pool with `--cfg loomlite` (aliasing its sync primitives to
-//!   the controlled scheduler) and runs the `loomlite_check` driver,
-//!   which explores permuted thread interleavings of the pool's deque
-//!   push/steal, thread-count override, and nested-`par_iter` protocols.
+//!   vendored crates with `--cfg loomlite` (aliasing their sync
+//!   primitives to the controlled scheduler) and runs both drivers — the
+//!   pool's `loomlite_check` (deque push/steal, thread-count override,
+//!   nested-`par_iter`) and the reactor's `mio_loomlite_check` (mailbox
+//!   handoff, wake dedup, shutdown races).
 //!
 //! ```text
-//! cargo xtask lint              # scan crates/*/src + vendor/rayon/src
+//! cargo xtask lint              # scan crates/*/src + vendor/{rayon,mio}/src
 //! cargo xtask lint --rules      # print the rule catalogue
 //! cargo xtask lint --json       # machine-readable findings (schema v1)
 //! cargo xtask lint --explain R7 # long-form rationale for one rule
@@ -51,13 +52,13 @@ fn usage() -> ExitCode {
         "usage: cargo xtask <lint [--rules | --json | --explain R<N>] \
          | analyze [--rules | --json | --sarif | --explain A<N>] [--no-cache] \
          | bench [--smoke] [--reps N] [--out PATH] [--check] \
-         | bench-serve [--smoke] [--out PATH] \
+         | bench-serve [--smoke] [--out PATH] [--check] \
          | check-concurrency [-- --min-total N --dfs N --random N]>"
     );
     eprintln!();
     eprintln!("subcommands:");
     eprintln!(
-        "  lint               run the bwpart-audit lint over crates/*/src + vendor/rayon/src \
+        "  lint               run the bwpart-audit lint over crates/*/src + vendor/{{rayon,mio}}/src \
          (--json for the CI artifact, --explain R<N> for rationale)"
     );
     eprintln!(
@@ -66,7 +67,7 @@ fn usage() -> ExitCode {
     );
     eprintln!("  bench              run the perf-regression harness (bench_sim)");
     eprintln!("  bench-serve        run the bwpartd service harness (bench_serve)");
-    eprintln!("  check-concurrency  run the loomlite model check over the vendored pool");
+    eprintln!("  check-concurrency  run the loomlite model checks (pool + reactor drivers)");
     ExitCode::from(2)
 }
 
@@ -129,7 +130,9 @@ fn run_lint(args: &[String]) -> ExitCode {
     }
     match lint::lint_tree(&root) {
         Ok(violations) if violations.is_empty() => {
-            println!("bwpart-audit: clean (rules R1-R14 over crates/*/src + vendor/rayon/src)");
+            println!(
+                "bwpart-audit: clean (rules R1-R14 over crates/*/src + vendor/{{rayon,mio}}/src)"
+            );
             ExitCode::SUCCESS
         }
         Ok(violations) => {
@@ -232,8 +235,9 @@ fn run_bench(bin: &str, args: &[String]) -> ExitCode {
     }
 }
 
-/// Build and run the vendored pool's `loomlite_check` driver with the
-/// shims aliased to the model checker (`--cfg loomlite`). A dedicated
+/// Build and run the vendored crates' loomlite drivers with the shims
+/// aliased to the model checker (`--cfg loomlite`): the pool's
+/// `loomlite_check` and the reactor's `mio_loomlite_check`. A dedicated
 /// target dir keeps the flag from thrashing the main build's fingerprints.
 fn run_check_concurrency(args: &[String]) -> ExitCode {
     let root = workspace_root();
@@ -242,29 +246,35 @@ fn run_check_concurrency(args: &[String]) -> ExitCode {
         rustflags.push(' ');
     }
     rustflags.push_str("--cfg loomlite");
-    let status = Command::new(env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
-        .current_dir(&root)
-        .env("RUSTFLAGS", rustflags)
-        .env("CARGO_TARGET_DIR", root.join("target").join("loomlite"))
-        .args([
-            "run",
-            "--release",
-            "--manifest-path",
-            "vendor/rayon/Cargo.toml",
-            "--bin",
-            "loomlite_check",
-            "--",
-        ])
-        .args(args.iter().filter(|a| *a != "--"))
-        .status();
-    match status {
-        Ok(s) if s.success() => ExitCode::SUCCESS,
-        Ok(_) => ExitCode::FAILURE,
-        Err(e) => {
-            eprintln!("cargo xtask check-concurrency: failed to run cargo: {e}");
-            ExitCode::FAILURE
+    for (manifest, bin) in [
+        ("vendor/rayon/Cargo.toml", "loomlite_check"),
+        ("vendor/mio/Cargo.toml", "mio_loomlite_check"),
+    ] {
+        let status = Command::new(env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+            .current_dir(&root)
+            .env("RUSTFLAGS", rustflags.clone())
+            .env("CARGO_TARGET_DIR", root.join("target").join("loomlite"))
+            .args([
+                "run",
+                "--release",
+                "--manifest-path",
+                manifest,
+                "--bin",
+                bin,
+                "--",
+            ])
+            .args(args.iter().filter(|a| *a != "--"))
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(_) => return ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("cargo xtask check-concurrency: failed to run cargo: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,121 @@
+//! Driver for the reactor mailbox/wakeup concurrency model check.
+//!
+//! Invoked by `cargo xtask check-concurrency` (alongside the pool's
+//! `loomlite_check`), which compiles this crate with
+//! `RUSTFLAGS="--cfg loomlite"` so the mailbox's synchronization shims
+//! route through the `loomlite` controlled scheduler. Runs every model in
+//! `mio::models`, prints a per-model schedule report, and fails unless
+//! (a) no model found a failing interleaving and (b) the total number of
+//! distinct schedules explored meets `--min-total` (default 10000).
+
+#[cfg(not(loomlite))]
+fn main() {
+    eprintln!(
+        "mio_loomlite_check was compiled without --cfg loomlite; \
+         run it via `cargo xtask check-concurrency`."
+    );
+    std::process::exit(2);
+}
+
+#[cfg(loomlite)]
+fn main() {
+    model_mode::run();
+}
+
+#[cfg(loomlite)]
+mod model_mode {
+    use loomlite::{Config, Report};
+    use mio::models;
+
+    struct Args {
+        min_total: usize,
+        dfs: usize,
+        random: usize,
+    }
+
+    fn parse_args() -> Args {
+        let mut args = Args {
+            min_total: 10_000,
+            dfs: 4_000,
+            random: 3_000,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> usize {
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    // lint: allow(R1): CLI misuse should abort with context.
+                    .unwrap_or_else(|| panic!("{name} requires an integer argument"))
+            };
+            match flag.as_str() {
+                "--min-total" => args.min_total = take("--min-total"),
+                "--dfs" => args.dfs = take("--dfs"),
+                "--random" => args.random = take("--random"),
+                other => {
+                    eprintln!("unknown flag {other}; expected --min-total/--dfs/--random N");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+
+    fn report_line(name: &str, r: &Report) -> String {
+        format!(
+            "model {name}: distinct={} dfs={} random_runs={} exhausted={} — {}",
+            r.distinct_schedules,
+            r.dfs_schedules,
+            r.random_runs,
+            r.exhausted,
+            if r.passed() { "ok" } else { "FAILED" }
+        )
+    }
+
+    pub fn run() {
+        let args = parse_args();
+        let cfg = Config {
+            max_schedules: args.dfs,
+            random_schedules: args.random,
+            ..Config::default()
+        };
+        let models: [(&str, fn(&Config) -> Report); 4] = [
+            ("mailbox_no_lost_wakeup", models::mailbox_no_lost_wakeup),
+            ("mailbox_wake_dedup", models::mailbox_wake_dedup),
+            (
+                "registration_handoff_fifo",
+                models::registration_handoff_fifo,
+            ),
+            ("shutdown_vs_push", models::shutdown_vs_push),
+        ];
+
+        let mut total = 0usize;
+        let mut failed = false;
+        for (name, model) in models {
+            let report = model(&cfg);
+            println!("{}", report_line(name, &report));
+            total += report.distinct_schedules;
+            if let Some(failure) = report.failure {
+                failed = true;
+                eprintln!("  failure: {}", failure.message);
+                eprintln!("  failing schedule (replayable): {:?}", failure.schedule);
+            }
+        }
+
+        println!(
+            "total distinct schedules: {total} (minimum required {})",
+            args.min_total
+        );
+        if failed {
+            eprintln!("reactor concurrency check: FAIL (failing interleaving found)");
+            std::process::exit(1);
+        }
+        if total < args.min_total {
+            eprintln!(
+                "reactor concurrency check: FAIL (only {total} distinct schedules, need {})",
+                args.min_total
+            );
+            std::process::exit(1);
+        }
+        println!("reactor concurrency check: PASS");
+    }
+}

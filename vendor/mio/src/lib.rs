@@ -1,0 +1,241 @@
+//! Offline vendored `mio` stand-in: the readiness substrate for the
+//! `bwpartd` reactor (see DESIGN.md §16).
+//!
+//! The real `mio` crate cannot be fetched in this build environment, so
+//! this crate provides the API subset the service needs, dependency-free
+//! (raw syscall declarations instead of `libc`):
+//!
+//! * [`Poller`] / [`Events`] / [`Token`] / [`Interest`] — level-triggered
+//!   readiness selection; `epoll(7)` on Linux, portable `poll(2)`
+//!   fallback, runtime-selectable so tests cross-check the two.
+//! * [`Waker`] / [`WakeRx`] — cross-thread wakeup of a blocked poll via a
+//!   nonblocking socketpair.
+//! * [`TimerWheel`] — hashed-wheel deadlines for epoch ticks and idle
+//!   sweeps, with deterministic `*_at` forms for tests.
+//! * [`Mailbox`] — multi-producer handoff into an event loop with
+//!   wake-deduplication; its flag protocol is model-checked under
+//!   `loomlite` (`cargo xtask check-concurrency` runs
+//!   `mio_loomlite_check`, see `src/models.rs`).
+//!
+//! Scope notes, in the spirit of the other vendored stand-ins: no
+//! edge-triggered mode (the reactor drains to `WouldBlock` anyway, which
+//! makes level-triggered observationally identical and keeps the `poll`
+//! fallback a true drop-in), no Windows, no `mio::net` wrappers (the
+//! reactor registers `std::net` sockets by raw fd).
+
+pub mod shim;
+
+mod mailbox;
+#[cfg(loomlite)]
+pub mod models;
+mod poller;
+mod sys;
+mod timer;
+mod waker;
+
+pub use mailbox::Mailbox;
+pub use poller::{Backend, Event, Events, Interest, Poller, Token};
+pub use timer::TimerWheel;
+pub use waker::{wake_pair, WakeRx, Waker};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::{Duration, Instant};
+
+    fn backends() -> Vec<Backend> {
+        #[cfg(target_os = "linux")]
+        {
+            vec![Backend::Epoll, Backend::Poll]
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            vec![Backend::Poll]
+        }
+    }
+
+    /// Accept + data readiness, reregistration to writable, and
+    /// deregistration, identically on every backend.
+    #[test]
+    fn readiness_accept_read_write_cycle() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).unwrap();
+            let mut events = Events::with_capacity(16);
+
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.set_nonblocking(true).unwrap();
+            let lfd = {
+                use std::os::fd::AsRawFd;
+                listener.as_raw_fd()
+            };
+            poller.register(lfd, Token(1), Interest::READABLE).unwrap();
+
+            // Nothing ready yet: a short wait times out empty.
+            poller
+                .poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.is_empty(), "{backend:?}: spurious readiness");
+
+            let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            poller
+                .poll(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.token() == Token(1) && e.is_readable()),
+                "{backend:?}: accept readiness not reported"
+            );
+
+            let (stream, _) = listener.accept().unwrap();
+            stream.set_nonblocking(true).unwrap();
+            let sfd = {
+                use std::os::fd::AsRawFd;
+                stream.as_raw_fd()
+            };
+            poller.register(sfd, Token(2), Interest::READABLE).unwrap();
+
+            client.write_all(b"ping").unwrap();
+            poller
+                .poll(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.token() == Token(2) && e.is_readable()),
+                "{backend:?}: data readiness not reported"
+            );
+            let mut buf = [0u8; 8];
+            let n = (&stream).read(&mut buf).unwrap();
+            assert_eq!(&buf[..n], b"ping");
+
+            // A connected socket with an empty send buffer is writable.
+            poller
+                .reregister(sfd, Token(3), Interest::WRITABLE)
+                .unwrap();
+            poller
+                .poll(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.token() == Token(3) && e.is_writable()),
+                "{backend:?}: write readiness not reported"
+            );
+
+            poller.deregister(sfd).unwrap();
+            poller
+                .poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(
+                !events.iter().any(|e| e.token() == Token(3)),
+                "{backend:?}: deregistered fd still reported"
+            );
+        }
+    }
+
+    /// A waker fired from another thread interrupts a long poll, and
+    /// draining stops the (level-triggered) re-reporting.
+    #[test]
+    fn waker_wakes_blocked_poll() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).unwrap();
+            let mut events = Events::with_capacity(4);
+            let (waker, rx) = wake_pair().unwrap();
+            poller
+                .register(rx.fd(), Token(0), Interest::READABLE)
+                .unwrap();
+
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                waker.wake().unwrap();
+                waker
+            });
+            let t0 = Instant::now();
+            poller
+                .poll(&mut events, Some(Duration::from_secs(10)))
+                .unwrap();
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "{backend:?}: poll did not wake"
+            );
+            assert!(events.iter().any(|e| e.token() == Token(0)));
+
+            let waker = t.join().unwrap();
+            // Coalescing: many wakes, one readable edge, drained once.
+            for _ in 0..100 {
+                waker.wake().unwrap();
+            }
+            rx.drain();
+            poller
+                .poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(
+                events.is_empty(),
+                "{backend:?}: drained waker still readable"
+            );
+        }
+    }
+
+    #[test]
+    fn timer_wheel_fires_in_deadline_order_across_rotations() {
+        let tick = Duration::from_millis(10);
+        let mut wheel = TimerWheel::new(tick, 8);
+        let t0 = Instant::now();
+        // 12 ticks out wraps the 8-slot wheel; 3 ticks out does not.
+        wheel.schedule_at(t0, tick * 12, Token(12));
+        wheel.schedule_at(t0, tick * 3, Token(3));
+        assert_eq!(wheel.len(), 2);
+
+        // Earliest deadline governs the poll timeout.
+        let next = wheel.next_timeout_at(t0).unwrap();
+        assert!(next <= tick * 3 && next > Duration::ZERO);
+
+        let mut fired = Vec::new();
+        wheel.poll_expired_at(t0 + tick * 2, &mut fired);
+        assert!(fired.is_empty(), "fired early");
+
+        wheel.poll_expired_at(t0 + tick * 5, &mut fired);
+        assert_eq!(fired, vec![Token(3)], "same-slot later rotation leaked");
+
+        // Sleeping far past both deadlines still fires the wrapped entry
+        // exactly once.
+        wheel.poll_expired_at(t0 + tick * 40, &mut fired);
+        assert_eq!(fired, vec![Token(3), Token(12)]);
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.next_timeout_at(t0 + tick * 40), None);
+    }
+
+    #[test]
+    fn timer_wheel_never_fires_in_arming_tick() {
+        let tick = Duration::from_millis(10);
+        let mut wheel = TimerWheel::new(tick, 4);
+        let t0 = Instant::now();
+        wheel.schedule_at(t0, Duration::ZERO, Token(9));
+        let mut fired = Vec::new();
+        wheel.poll_expired_at(t0, &mut fired);
+        assert!(fired.is_empty(), "zero-delay timer fired in its own tick");
+        wheel.poll_expired_at(t0 + tick, &mut fired);
+        assert_eq!(fired, vec![Token(9)]);
+    }
+
+    #[test]
+    fn mailbox_fifo_and_wake_dedup() {
+        let mb = Mailbox::new();
+        let mut wakes = 0usize;
+        mb.push(1, || wakes += 1);
+        mb.push(2, || wakes += 1);
+        mb.push(3, || wakes += 1);
+        assert_eq!(wakes, 1, "burst must coalesce to one wake");
+        assert_eq!(mb.len(), 3);
+        let mut got = Vec::new();
+        mb.drain(&mut got);
+        assert_eq!(got, vec![1, 2, 3]);
+        assert!(mb.is_empty());
+        // After a drain the next push wakes again.
+        mb.push(4, || wakes += 1);
+        assert_eq!(wakes, 2);
+    }
+}

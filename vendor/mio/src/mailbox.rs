@@ -1,0 +1,93 @@
+//! Cross-thread handoff into an event loop, with wake deduplication.
+//!
+//! The reactor's acceptor pushes new connections (and any other thread
+//! pushes commands) into a worker's `Mailbox`; the worker drains it when
+//! its [`Waker`](crate::Waker) fires. The interesting part is the flag
+//! protocol that keeps wakes *coalesced* (a burst of pushes costs one
+//! pipe write) without ever *losing* one:
+//!
+//! * **push**: enqueue under the lock, release the lock, then
+//!   `swap(true)` the wake-pending flag — only the transition
+//!   false→true fires the wake callback.
+//! * **drain**: clear the flag **before** taking the lock and draining.
+//!
+//! Clear-before-drain is load-bearing. If drain cleared the flag *after*
+//! emptying the queue, a producer could enqueue between the drain and the
+//! clear, observe the flag still true, skip its wake — and the item would
+//! sit unobserved until an unrelated wake happened by. With
+//! clear-before-drain, any push after the clear either lands before the
+//! lock (drained now) or fires a fresh wake (drained next time). Both
+//! orders are explored exhaustively by the loomlite models in
+//! `models.rs` (`cargo xtask check-concurrency`); the shims in
+//! [`crate::shim`] make this file's real code run under the checker.
+
+use std::collections::VecDeque;
+
+use crate::shim::{AtomicBool, Mutex, Ordering};
+
+/// A multi-producer, single-drainer queue with wake deduplication.
+#[derive(Debug)]
+pub struct Mailbox<T> {
+    queue: Mutex<VecDeque<T>>,
+    wake_pending: AtomicBool,
+}
+
+impl<T> Default for Mailbox<T> {
+    fn default() -> Self {
+        Mailbox::new()
+    }
+}
+
+impl<T> Mailbox<T> {
+    /// An empty mailbox.
+    pub fn new() -> Mailbox<T> {
+        Mailbox {
+            queue: Mutex::new(VecDeque::new()),
+            wake_pending: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueue `item`; invoke `wake` only when no wake is already
+    /// pending (so a burst of pushes wakes the consumer once).
+    pub fn push<W: FnOnce()>(&self, item: T, wake: W) {
+        {
+            let mut q = self
+                .queue
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner());
+            q.push_back(item);
+        }
+        // The guard is dropped before waking: the woken consumer must be
+        // able to take the lock immediately instead of bouncing off the
+        // producer.
+        if !self.wake_pending.swap(true, Ordering::SeqCst) {
+            wake();
+        }
+    }
+
+    /// Move everything queued into `out` (appended, FIFO). Called by the
+    /// consumer after its waker fires; clears the wake-pending flag
+    /// *before* draining (see module docs for why that order is the
+    /// correct one).
+    pub fn drain(&self, out: &mut Vec<T>) {
+        self.wake_pending.store(false, Ordering::SeqCst);
+        let mut q = self
+            .queue
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        out.extend(q.drain(..));
+    }
+
+    /// Queue length (diagnostic; racy by nature).
+    pub fn len(&self) -> usize {
+        self.queue
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .len()
+    }
+
+    /// True when nothing is queued (diagnostic; racy by nature).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

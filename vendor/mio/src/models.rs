@@ -1,0 +1,184 @@
+//! Concurrency models for the reactor's wakeup/registration handoff,
+//! explored by `cargo xtask check-concurrency`.
+//!
+//! Only compiled under `--cfg loomlite`, where [`crate::shim`] aliases the
+//! mailbox's synchronization primitives to the `loomlite` controlled
+//! scheduler. Each model runs the *real* [`Mailbox`](crate::Mailbox)
+//! code under permuted interleavings and asserts the invariants the
+//! bwpartd reactor depends on: no connection handoff is ever lost, wakes
+//! deduplicate, FIFO order survives the drain, and a shutdown racing a
+//! push still recovers every item as long as the loop follows its
+//! "drain once more after observing shutdown" discipline.
+//!
+//! The models simulate the [`Waker`](crate::Waker) pipe with a shimmed
+//! counter: the pipe itself is kernel state loomlite cannot schedule, and
+//! its only protocol-visible effect is "the consumer eventually runs
+//! after `wake()`", which the counter captures exactly.
+
+use loomlite::{explore, Config, Report};
+
+use crate::mailbox::Mailbox;
+use crate::shim::{thread, AtomicBool, AtomicUsize, Mutex, Ordering};
+
+/// Drain the mailbox once per signalled wake, the way the reactor loop
+/// does after `epoll` reports the waker readable.
+fn consume_wakes(mb: &Mailbox<u32>, wakes: &AtomicUsize, got: &mut Vec<u32>) {
+    while wakes.swap(0, Ordering::SeqCst) > 0 {
+        mb.drain(got);
+    }
+}
+
+/// Two producers race a consumer; afterwards the reactor discipline
+/// (one drain per pending wake) must have recovered both items — any
+/// interleaving that strands an item in the queue with no wake pending
+/// is exactly the lost-wakeup bug clear-before-drain exists to prevent.
+pub fn mailbox_no_lost_wakeup(cfg: &Config) -> Report {
+    explore(cfg, || {
+        let mb = Mailbox::new();
+        let wakes = AtomicUsize::new(0);
+        let drained = Mutex::new(Vec::new());
+        thread::scope(|s| {
+            s.spawn(|| {
+                mb.push(1u32, || {
+                    wakes.fetch_add(1, Ordering::SeqCst);
+                })
+            });
+            s.spawn(|| {
+                mb.push(2u32, || {
+                    wakes.fetch_add(1, Ordering::SeqCst);
+                })
+            });
+            s.spawn(|| {
+                let mut got = Vec::new();
+                consume_wakes(&mb, &wakes, &mut got);
+                drained
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .extend(got);
+            });
+        });
+        let mut got = drained
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain(..)
+            .collect::<Vec<_>>();
+        // Producers are done: wakes still pending get their drains now.
+        consume_wakes(&mb, &wakes, &mut got);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2], "mailbox lost (or duplicated) an item");
+        assert!(mb.is_empty(), "item stranded with no wake pending");
+    })
+}
+
+/// With no consumer clearing the flag, a burst of pushes must wake
+/// exactly once — the dedup half of the protocol.
+pub fn mailbox_wake_dedup(cfg: &Config) -> Report {
+    explore(cfg, || {
+        let mb = Mailbox::new();
+        let wakes = AtomicUsize::new(0);
+        thread::scope(|s| {
+            s.spawn(|| {
+                mb.push(1u32, || {
+                    wakes.fetch_add(1, Ordering::SeqCst);
+                })
+            });
+            s.spawn(|| {
+                mb.push(2u32, || {
+                    wakes.fetch_add(1, Ordering::SeqCst);
+                })
+            });
+            s.spawn(|| {
+                mb.push(3u32, || {
+                    wakes.fetch_add(1, Ordering::SeqCst);
+                })
+            });
+        });
+        assert_eq!(
+            wakes.load(Ordering::SeqCst),
+            1,
+            "wake deduplication broke: a burst must cost one wake"
+        );
+        let mut got = Vec::new();
+        mb.drain(&mut got);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+    })
+}
+
+/// Registration handoff: the acceptor pushes two connection tokens in
+/// order while the worker races drains; FIFO order must survive any
+/// interleaving (the reactor relies on it to install connections in
+/// accept order).
+pub fn registration_handoff_fifo(cfg: &Config) -> Report {
+    explore(cfg, || {
+        let mb = Mailbox::new();
+        let wakes = AtomicUsize::new(0);
+        let drained = Mutex::new(Vec::new());
+        thread::scope(|s| {
+            s.spawn(|| {
+                mb.push(10u32, || {
+                    wakes.fetch_add(1, Ordering::SeqCst);
+                });
+                mb.push(20u32, || {
+                    wakes.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+            s.spawn(|| {
+                let mut got = Vec::new();
+                consume_wakes(&mb, &wakes, &mut got);
+                drained
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .extend(got);
+            });
+        });
+        let mut got = drained
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain(..)
+            .collect::<Vec<_>>();
+        consume_wakes(&mb, &wakes, &mut got);
+        assert_eq!(got, vec![10, 20], "handoff lost, duplicated, or reordered");
+    })
+}
+
+/// A push racing shutdown: whichever order the flags land in, the
+/// reactor's exit path (observe shutdown → drain the mailbox one final
+/// time) must still recover the in-flight connection.
+pub fn shutdown_vs_push(cfg: &Config) -> Report {
+    explore(cfg, || {
+        let mb = Mailbox::new();
+        let wakes = AtomicUsize::new(0);
+        let shutdown = AtomicBool::new(false);
+        let drained = Mutex::new(Vec::new());
+        thread::scope(|s| {
+            s.spawn(|| {
+                mb.push(7u32, || {
+                    wakes.fetch_add(1, Ordering::SeqCst);
+                })
+            });
+            s.spawn(|| shutdown.store(true, Ordering::SeqCst));
+            s.spawn(|| {
+                // The worker loop: serve wakes until shutdown is seen,
+                // then drain once more (the exit-path discipline).
+                let mut got = Vec::new();
+                if !shutdown.load(Ordering::SeqCst) {
+                    consume_wakes(&mb, &wakes, &mut got);
+                }
+                mb.drain(&mut got);
+                drained
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .extend(got);
+            });
+        });
+        let mut got = drained
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain(..)
+            .collect::<Vec<_>>();
+        // The join point models the reactor's final post-loop drain.
+        mb.drain(&mut got);
+        assert_eq!(got, vec![7], "shutdown race dropped an in-flight handoff");
+    })
+}

@@ -1,0 +1,387 @@
+//! The readiness selector: one `Poller` per event-loop thread.
+//!
+//! Both backends are **level-triggered**: a fd that is still readable is
+//! reported again on the next wait. The layer above (the bwpartd reactor)
+//! drains every readiness edge to `WouldBlock` anyway — the discipline
+//! edge-triggered epoll would force — so the two backends are observably
+//! identical and the portable fallback is a true drop-in, not a
+//! lower-fidelity mode.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+use crate::sys;
+
+/// Opaque per-registration cookie, echoed back on every event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Which readiness classes a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    readable: bool,
+    writable: bool,
+}
+
+impl Interest {
+    /// Readable-only interest.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable-only interest.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+
+    /// Combine two interests.
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest {
+            readable: self.readable || other.readable,
+            writable: self.writable || other.writable,
+        }
+    }
+
+    /// Does this interest include readability?
+    pub const fn is_readable(self) -> bool {
+        self.readable
+    }
+
+    /// Does this interest include writability?
+    pub const fn is_writable(self) -> bool {
+        self.writable
+    }
+}
+
+/// One readiness event.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+    error: bool,
+    hup: bool,
+}
+
+impl Event {
+    /// The registration's cookie.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Reading will not block (includes error/hangup conditions, which a
+    /// read surfaces as `Ok(0)` or an error — exactly what the caller's
+    /// drain loop wants to observe).
+    pub fn is_readable(&self) -> bool {
+        self.readable || self.error || self.hup
+    }
+
+    /// Writing will not block (includes error conditions so a doomed
+    /// connection fails fast on its next write instead of hanging).
+    pub fn is_writable(&self) -> bool {
+        self.writable || self.error
+    }
+
+    /// An error condition was reported for the fd.
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+
+    /// The peer hung up.
+    pub fn is_hup(&self) -> bool {
+        self.hup
+    }
+}
+
+/// Reusable event buffer for [`Poller::poll`].
+#[derive(Debug, Default)]
+pub struct Events {
+    items: Vec<Event>,
+}
+
+impl Events {
+    /// An empty buffer with room for `cap` events per wait (the epoll
+    /// backend reads at most `cap` kernel events per call; `poll` reports
+    /// everything ready regardless).
+    pub fn with_capacity(cap: usize) -> Events {
+        Events {
+            items: Vec::with_capacity(cap.max(1)),
+        }
+    }
+
+    /// Iterate the events from the most recent wait.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.items.iter()
+    }
+
+    /// Number of events from the most recent wait.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the most recent wait timed out with nothing ready.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+/// Which kernel interface backs a [`Poller`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Linux `epoll(7)` — O(ready) wakeups.
+    Epoll,
+    /// Portable `poll(2)` — O(registered) per wait.
+    Poll,
+}
+
+/// One live registration in the `poll(2)` backend.
+#[derive(Debug, Clone, Copy)]
+struct PollReg {
+    fd: RawFd,
+    token: Token,
+    interest: Interest,
+}
+
+enum Imp {
+    #[cfg(target_os = "linux")]
+    Epoll {
+        ep: std::os::fd::OwnedFd,
+        buf: Vec<sys::epoll::EpollEvent>,
+    },
+    Poll {
+        regs: Vec<PollReg>,
+        fds: Vec<sys::pollfds::PollFd>,
+    },
+}
+
+/// A readiness selector. Owned by exactly one event-loop thread
+/// (`&mut self` everywhere); cross-thread signalling goes through
+/// [`crate::Waker`] + [`crate::Mailbox`] instead of sharing the poller.
+pub struct Poller {
+    imp: Imp,
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller")
+            .field("backend", &self.backend())
+            .finish()
+    }
+}
+
+impl Poller {
+    /// A poller on the platform's best backend (epoll on Linux, `poll(2)`
+    /// elsewhere).
+    pub fn new() -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        {
+            Poller::with_backend(Backend::Epoll)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Poller::with_backend(Backend::Poll)
+        }
+    }
+
+    /// A poller on an explicit backend (tests cross-check the two).
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        match backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll => Ok(Poller {
+                imp: Imp::Epoll {
+                    ep: sys::epoll::create()?,
+                    buf: Vec::new(),
+                },
+            }),
+            #[cfg(not(target_os = "linux"))]
+            Backend::Epoll => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "epoll backend requires Linux",
+            )),
+            Backend::Poll => Ok(Poller {
+                imp: Imp::Poll {
+                    regs: Vec::new(),
+                    fds: Vec::new(),
+                },
+            }),
+        }
+    }
+
+    /// Which backend this poller runs on.
+    pub fn backend(&self) -> Backend {
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll { .. } => Backend::Epoll,
+            Imp::Poll { .. } => Backend::Poll,
+        }
+    }
+
+    /// Start watching `fd`. The fd must be (and stay) valid until
+    /// [`Poller::deregister`]; registering the same fd twice is an error
+    /// on the epoll backend and rejected for parity on the poll backend.
+    pub fn register(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll { ep, .. } => sys::epoll::add(ep, fd, epoll_mask(interest), token.0 as u64),
+            Imp::Poll { regs, .. } => {
+                if regs.iter().any(|r| r.fd == fd) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        "fd already registered",
+                    ));
+                }
+                regs.push(PollReg {
+                    fd,
+                    token,
+                    interest,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Change an existing registration's token/interest.
+    pub fn reregister(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll { ep, .. } => {
+                sys::epoll::modify(ep, fd, epoll_mask(interest), token.0 as u64)
+            }
+            Imp::Poll { regs, .. } => match regs.iter_mut().find(|r| r.fd == fd) {
+                Some(r) => {
+                    r.token = token;
+                    r.interest = interest;
+                    Ok(())
+                }
+                None => Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    "fd is not registered",
+                )),
+            },
+        }
+    }
+
+    /// Stop watching `fd`. Must happen before the fd is closed (epoll
+    /// auto-removes closed fds, `poll` would report them as errors — the
+    /// explicit call keeps the backends equivalent).
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll { ep, .. } => sys::epoll::delete(ep, fd),
+            Imp::Poll { regs, .. } => {
+                let before = regs.len();
+                regs.retain(|r| r.fd != fd);
+                if regs.len() == before {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        "fd is not registered",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Wait for readiness, filling `events` (cleared first). A timeout
+    /// with nothing ready and an `EINTR` both return `Ok` with empty
+    /// events — the caller's loop re-enters either way.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let ms = sys::timeout_ms(timeout);
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll { ep, buf } => {
+                buf.resize(
+                    events.items.capacity().max(64),
+                    sys::epoll::EpollEvent { events: 0, data: 0 },
+                );
+                let n = match sys::epoll::wait(ep, buf, ms) {
+                    Ok(n) => n,
+                    Err(e) if sys::is_interrupt(&e) => 0,
+                    Err(e) => return Err(e),
+                };
+                for ev in &buf[..n] {
+                    // Copy out of the (possibly packed) ABI struct before
+                    // testing bits.
+                    let mask = ev.events;
+                    let data = ev.data;
+                    events.items.push(Event {
+                        token: Token(data as usize),
+                        readable: mask & (sys::epoll::EPOLLIN | sys::epoll::EPOLLRDHUP) != 0,
+                        writable: mask & sys::epoll::EPOLLOUT != 0,
+                        error: mask & sys::epoll::EPOLLERR != 0,
+                        hup: mask & (sys::epoll::EPOLLHUP | sys::epoll::EPOLLRDHUP) != 0,
+                    });
+                }
+                Ok(())
+            }
+            Imp::Poll { regs, fds } => {
+                fds.clear();
+                fds.extend(regs.iter().map(|r| sys::pollfds::PollFd {
+                    fd: r.fd,
+                    events: poll_mask(r.interest),
+                    revents: 0,
+                }));
+                let n = match sys::pollfds::wait(fds, ms) {
+                    Ok(n) => n,
+                    Err(e) if sys::is_interrupt(&e) => 0,
+                    Err(e) => return Err(e),
+                };
+                if n == 0 {
+                    return Ok(());
+                }
+                for (reg, fd) in regs.iter().zip(fds.iter()) {
+                    let re = fd.revents;
+                    if re == 0 {
+                        continue;
+                    }
+                    events.items.push(Event {
+                        token: reg.token,
+                        readable: re & sys::pollfds::POLLIN != 0,
+                        writable: re & sys::pollfds::POLLOUT != 0,
+                        error: re & sys::pollfds::POLLERR != 0,
+                        hup: re & sys::pollfds::POLLHUP != 0,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn epoll_mask(interest: Interest) -> u32 {
+    let mut m = sys::epoll::EPOLLRDHUP;
+    if interest.is_readable() {
+        m |= sys::epoll::EPOLLIN;
+    }
+    if interest.is_writable() {
+        m |= sys::epoll::EPOLLOUT;
+    }
+    m
+}
+
+fn poll_mask(interest: Interest) -> i16 {
+    let mut m = 0;
+    if interest.is_readable() {
+        m |= sys::pollfds::POLLIN;
+    }
+    if interest.is_writable() {
+        m |= sys::pollfds::POLLOUT;
+    }
+    m
+}

@@ -1,0 +1,26 @@
+//! The single construction point for every synchronization primitive the
+//! reactor crate uses (lint rule R7 enforces this).
+//!
+//! By default these are re-exports of the real `std` types — zero-cost.
+//! Compiled with `RUSTFLAGS="--cfg loomlite"` (via
+//! `cargo xtask check-concurrency`), they alias to the `loomlite` model
+//! checker's shims instead, so the *same* mailbox/wake-dedup source in
+//! `mailbox.rs` runs under the controlled scheduler that
+//! `vendor/mio/src/models.rs` explores. Reactor code must never name
+//! `std::sync` / `std::thread` directly — only through this module — or a
+//! real-run/model-run behaviour split could hide exactly the lost-wakeup
+//! bugs the checker exists to find.
+
+#[cfg(not(loomlite))]
+pub use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+#[cfg(not(loomlite))]
+pub use std::sync::{Mutex, MutexGuard};
+#[cfg(not(loomlite))]
+pub use std::thread;
+
+#[cfg(loomlite)]
+pub use loomlite::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+#[cfg(loomlite)]
+pub use loomlite::sync::{Mutex, MutexGuard};
+#[cfg(loomlite)]
+pub use loomlite::thread;

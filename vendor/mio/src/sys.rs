@@ -1,0 +1,193 @@
+//! Raw readiness syscalls, hand-declared so the crate stays
+//! dependency-free (the build environment has no `libc` crate to pull
+//! from; see vendor/README.md).
+//!
+//! Two backends, both *level-triggered* so they are observably identical
+//! to the layer above:
+//!
+//! * [`epoll`] — Linux only; O(ready) wakeups, the production backend.
+//! * [`pollfds`] — `poll(2)`, available on every unix; O(registered) per
+//!   wait, the portable fallback and the cross-check in tests.
+//!
+//! Everything `unsafe` in the crate lives in this file: the four syscall
+//! invocations and one fd-ownership transfer, each individually justified
+//! and inventoried in `UNSAFE_AUDIT.md`.
+
+use std::io;
+
+/// epoll backend (Linux).
+#[cfg(target_os = "linux")]
+pub mod epoll {
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+    /// `EPOLLIN`: the fd is readable.
+    pub const EPOLLIN: u32 = 0x001;
+    /// `EPOLLOUT`: the fd is writable.
+    pub const EPOLLOUT: u32 = 0x004;
+    /// `EPOLLERR`: error condition (always reported, never requested).
+    pub const EPOLLERR: u32 = 0x008;
+    /// `EPOLLHUP`: hangup (always reported, never requested).
+    pub const EPOLLHUP: u32 = 0x010;
+    /// `EPOLLRDHUP`: peer shut down the write half.
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    /// Kernel ABI mirror of `struct epoll_event`. On x86/x86_64 the
+    /// kernel declares it packed (no padding between `events` and
+    /// `data`); other architectures use natural alignment.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Debug, Clone, Copy)]
+    pub struct EpollEvent {
+        /// Ready-mask (`EPOLL*` bits).
+        pub events: u32,
+        /// Caller-chosen cookie, returned verbatim (we store the token).
+        pub data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    }
+
+    /// Create a close-on-exec epoll instance.
+    pub fn create() -> io::Result<OwnedFd> {
+        // SAFETY: epoll_create1 reads no pointers; it either returns a
+        // fresh fd or -1 with errno set.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: the kernel just handed us this fd and nothing else owns
+        // it, so transferring ownership to OwnedFd (closed on drop) is
+        // sound and leak-free.
+        Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+    }
+
+    fn ctl(ep: &OwnedFd, op: i32, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data };
+        // SAFETY: `ev` is a live stack value for the duration of the call
+        // and epoll_ctl only reads it; `ep` is a live epoll fd (borrowed
+        // OwnedFd) and `fd` is the caller's open descriptor.
+        let rc = unsafe { epoll_ctl(ep.as_raw_fd(), op, fd, &mut ev) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Register `fd` with the given ready-mask and cookie.
+    pub fn add(ep: &OwnedFd, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        ctl(ep, EPOLL_CTL_ADD, fd, events, data)
+    }
+
+    /// Change an existing registration's ready-mask / cookie.
+    pub fn modify(ep: &OwnedFd, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        ctl(ep, EPOLL_CTL_MOD, fd, events, data)
+    }
+
+    /// Remove a registration. The event argument is ignored by modern
+    /// kernels but must still be a valid pointer (pre-2.6.9 ABI quirk).
+    pub fn delete(ep: &OwnedFd, fd: RawFd) -> io::Result<()> {
+        ctl(ep, EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Wait for readiness; fills `buf` from the front, returns how many
+    /// entries are valid. `timeout_ms < 0` blocks indefinitely.
+    pub fn wait(ep: &OwnedFd, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        // SAFETY: `buf` is a live, writable slice of initialized entries;
+        // the kernel writes at most `buf.len()` of them and the return
+        // value bounds how many we read back.
+        let rc = unsafe {
+            epoll_wait(
+                ep.as_raw_fd(),
+                buf.as_mut_ptr(),
+                buf.len().min(i32::MAX as usize) as i32,
+                timeout_ms,
+            )
+        };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(rc as usize)
+        }
+    }
+}
+
+/// `poll(2)` backend (portable fallback, any unix).
+pub mod pollfds {
+    use std::io;
+
+    /// `POLLIN`: the fd is readable.
+    pub const POLLIN: i16 = 0x001;
+    /// `POLLOUT`: the fd is writable.
+    pub const POLLOUT: i16 = 0x004;
+    /// `POLLERR`: error condition (revents only).
+    pub const POLLERR: i16 = 0x008;
+    /// `POLLHUP`: hangup (revents only).
+    pub const POLLHUP: i16 = 0x010;
+
+    /// ABI mirror of `struct pollfd`.
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct PollFd {
+        /// The descriptor to watch (negative entries are skipped by the
+        /// kernel, which we use for tombstoned registrations).
+        pub fd: i32,
+        /// Requested events (`POLLIN` / `POLLOUT`).
+        pub events: i16,
+        /// Returned ready events.
+        pub revents: i16,
+    }
+
+    // `nfds_t` is `unsigned long` on the unix platforms this builds for,
+    // which matches `usize` on both LP64 and ILP32.
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: usize, timeout: i32) -> i32;
+    }
+
+    /// Wait for readiness on every entry; returns how many entries have a
+    /// non-zero `revents`. `timeout_ms < 0` blocks indefinitely.
+    pub fn wait(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: `fds` is a live, writable slice; poll reads `events`
+        // and writes `revents` for exactly `fds.len()` entries.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len(), timeout_ms) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(rc as usize)
+        }
+    }
+}
+
+/// Clamp an optional duration to the millisecond timeout `poll(2)` and
+/// `epoll_wait(2)` take: `None` → block (-1), sub-millisecond → 1 (never
+/// busy-spin a 0 ms timeout the caller meant as "a little while").
+pub fn timeout_ms(timeout: Option<std::time::Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            if d.is_zero() {
+                0
+            } else {
+                let ms = d.as_millis();
+                ms.clamp(1, i32::MAX as u128) as i32
+            }
+        }
+    }
+}
+
+/// Retry classification: `EINTR` means "poll again", not "fail the loop".
+pub fn is_interrupt(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::Interrupted
+}

@@ -1,0 +1,151 @@
+//! A hashed timer wheel for the reactor's epoch ticks and idle sweeps.
+//!
+//! Deadlines are quantized to a fixed tick; each slot of the wheel holds
+//! the timers whose deadline-tick hashes there (`deadline % slots`).
+//! Advancing the wheel visits at most one full rotation of slots no
+//! matter how long the loop slept, and entries that hash into a visited
+//! slot but belong to a later rotation are retained — the classic
+//! hierarchical-wheel overflow case handled by per-entry deadline checks
+//! instead of cascading levels (the reactor schedules a handful of
+//! recurring timers, not millions).
+//!
+//! All methods take an explicit `now` (`*_at`) or default it to
+//! `Instant::now()`, so tests drive the wheel deterministically.
+
+use std::time::{Duration, Instant};
+
+use crate::poller::Token;
+
+#[derive(Debug, Clone, Copy)]
+struct TimerEntry {
+    deadline_tick: u64,
+    token: Token,
+}
+
+/// A single-level hashed timer wheel.
+#[derive(Debug)]
+pub struct TimerWheel {
+    tick: Duration,
+    slots: Vec<Vec<TimerEntry>>,
+    start: Instant,
+    /// Next tick index to process (everything below has been drained).
+    cursor: u64,
+    /// Earliest armed deadline tick, `None` when the wheel is empty.
+    next_deadline: Option<u64>,
+    armed: usize,
+}
+
+impl TimerWheel {
+    /// A wheel with the given tick quantum and slot count. Sub-tick
+    /// precision does not exist by design: every deadline rounds *up* to
+    /// the next tick boundary so timers never fire early.
+    pub fn new(tick: Duration, slots: usize) -> TimerWheel {
+        let slots = slots.max(1);
+        TimerWheel {
+            tick: if tick.is_zero() {
+                Duration::from_millis(1)
+            } else {
+                tick
+            },
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            start: Instant::now(),
+            cursor: 0,
+            next_deadline: None,
+            armed: 0,
+        }
+    }
+
+    /// Number of armed timers.
+    pub fn len(&self) -> usize {
+        self.armed
+    }
+
+    /// True when no timer is armed.
+    pub fn is_empty(&self) -> bool {
+        self.armed == 0
+    }
+
+    /// Arm a timer to fire `after` from now.
+    pub fn schedule(&mut self, after: Duration, token: Token) {
+        self.schedule_at(Instant::now(), after, token)
+    }
+
+    /// Arm a timer to fire `after` from `now` (deterministic form).
+    pub fn schedule_at(&mut self, now: Instant, after: Duration, token: Token) {
+        let now_tick = self.tick_index(now);
+        // Round up and fire at least one tick out: a timer never fires in
+        // the tick it was armed in.
+        let after_ticks = after.as_nanos().div_ceil(self.tick.as_nanos().max(1)) as u64;
+        let deadline_tick = now_tick + after_ticks.max(1);
+        let slot = (deadline_tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(TimerEntry {
+            deadline_tick,
+            token,
+        });
+        self.armed += 1;
+        self.next_deadline = Some(match self.next_deadline {
+            Some(d) => d.min(deadline_tick),
+            None => deadline_tick,
+        });
+    }
+
+    /// How long [`Poller::poll`](crate::Poller::poll) may block before the
+    /// earliest timer is due; `None` when nothing is armed.
+    pub fn next_timeout(&self) -> Option<Duration> {
+        self.next_timeout_at(Instant::now())
+    }
+
+    /// Deterministic form of [`TimerWheel::next_timeout`].
+    pub fn next_timeout_at(&self, now: Instant) -> Option<Duration> {
+        let deadline_tick = self.next_deadline?;
+        let tick_ns = self.tick.as_nanos().min(u64::MAX as u128) as u64;
+        let due = self.start + Duration::from_nanos(tick_ns.saturating_mul(deadline_tick));
+        Some(due.saturating_duration_since(now))
+    }
+
+    /// Collect every timer due by now into `out` (appended, firing order
+    /// by slot rotation). Expired timers are disarmed; recurring behaviour
+    /// is the caller re-scheduling from its handler.
+    pub fn poll_expired(&mut self, out: &mut Vec<Token>) {
+        self.poll_expired_at(Instant::now(), out)
+    }
+
+    /// Deterministic form of [`TimerWheel::poll_expired`].
+    pub fn poll_expired_at(&mut self, now: Instant, out: &mut Vec<Token>) {
+        let now_tick = self.tick_index(now);
+        if self.armed == 0 {
+            self.cursor = now_tick + 1;
+            return;
+        }
+        if now_tick < self.cursor {
+            return;
+        }
+        // One full rotation visits every slot; sleeping longer than a
+        // rotation cannot require visiting a slot twice.
+        let span = (now_tick - self.cursor + 1).min(self.slots.len() as u64);
+        let nslots = self.slots.len() as u64;
+        let mut fired = 0usize;
+        for i in 0..span {
+            let slot = ((self.cursor + i) % nslots) as usize;
+            self.slots[slot].retain(|e| {
+                if e.deadline_tick <= now_tick {
+                    out.push(e.token);
+                    fired += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.cursor = now_tick + 1;
+        self.armed -= fired;
+        if fired > 0 {
+            // Lazy min-rebuild: O(armed) over the handful of live timers.
+            self.next_deadline = self.slots.iter().flatten().map(|e| e.deadline_tick).min();
+        }
+    }
+
+    fn tick_index(&self, now: Instant) -> u64 {
+        (now.saturating_duration_since(self.start).as_nanos() / self.tick.as_nanos().max(1)) as u64
+    }
+}

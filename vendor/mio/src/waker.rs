@@ -1,0 +1,80 @@
+//! Cross-thread wakeup for a blocked [`Poller::poll`](crate::Poller::poll).
+//!
+//! A nonblocking `UnixStream` pair: the receive half is registered in the
+//! poller like any other fd; [`Waker::wake`] writes one byte from any
+//! thread, making the receive half readable and the wait return. Wakes
+//! coalesce naturally — once the pipe holds unread bytes, further writes
+//! either append or hit `WouldBlock`, both of which still leave the fd
+//! readable exactly once per [`WakeRx::drain`].
+//!
+//! The byte-level coalescing here is the *mechanism*; the reactor's
+//! at-most-one-wake-per-drain *protocol* lives in [`crate::Mailbox`],
+//! whose flag discipline is model-checked under loomlite.
+
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+
+/// The sending half: cheap to clone, callable from any thread.
+#[derive(Debug)]
+pub struct Waker {
+    tx: UnixStream,
+}
+
+/// The receiving half: owned by the event-loop thread, registered in its
+/// poller under a reserved token.
+#[derive(Debug)]
+pub struct WakeRx {
+    rx: UnixStream,
+}
+
+/// Create a connected waker pair.
+pub fn wake_pair() -> io::Result<(Waker, WakeRx)> {
+    let (tx, rx) = UnixStream::pair()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((Waker { tx }, WakeRx { rx }))
+}
+
+impl Waker {
+    /// Make the paired poller's current (or next) wait return. Never
+    /// blocks: a full pipe means enough wakes are already pending, which
+    /// is success, not failure.
+    pub fn wake(&self) -> io::Result<()> {
+        match (&self.tx).write(&[1u8]) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => self.wake(),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// A second handle to the same waker (for handing to another
+    /// producer thread).
+    pub fn try_clone(&self) -> io::Result<Waker> {
+        Ok(Waker {
+            tx: self.tx.try_clone()?,
+        })
+    }
+}
+
+impl WakeRx {
+    /// The fd to register in the poller (readable interest).
+    pub fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Consume every pending wake byte so the (level-triggered) poller
+    /// stops reporting the waker readable until the next wake.
+    pub fn drain(&self) {
+        let mut sink = [0u8; 64];
+        loop {
+            match (&self.rx).read(&mut sink) {
+                Ok(0) => return, // sender half gone: nothing more to drain
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return, // WouldBlock: fully drained
+            }
+        }
+    }
+}
