@@ -22,11 +22,11 @@ use std::time::{Duration, Instant};
 
 use bwpart_cmp::hybrid::within_tolerance;
 use bwpart_cmp::{
-    Access, CmpConfig, CoreConfig, HybridConfig, PhaseConfig, RunObserver, Runner, ShareSource,
-    SimOutcome, Workload,
+    Access, CacheConfig, CmpConfig, CoreConfig, HybridConfig, LlcConfig, PhaseConfig, RunObserver,
+    Runner, ShareSource, SimOutcome, Workload,
 };
 use bwpart_core::schemes::PartitionScheme;
-use bwpart_workloads::mixes::fig1_mix;
+use bwpart_workloads::mixes::{cache_mixes, fig1_mix};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -270,6 +270,54 @@ fn run_sweep_cfg(
 
 fn run_sweep(optimized: bool, phases: PhaseConfig) -> Vec<SimOutcome> {
     run_sweep_cfg(optimized, optimized, None, phases)
+}
+
+/// Way splits driven by the coordinated-enforcement case: the fair split,
+/// two asymmetries favouring the cache-fitting app, and one inverted.
+const COORD_WAY_SPLITS: [[usize; 2]; 4] = [[8, 8], [12, 4], [15, 1], [4, 12]];
+
+/// One run of the coordinated-enforcement case: the `cache-1` mix (an
+/// LLC-fitting app against a streamer) under a shared 16-way LLC, swept
+/// over [`COORD_WAY_SPLITS`] with a fixed bandwidth split — the
+/// multi-resource enforcement path (`run_with_allocation`: way masks
+/// installed before warm-up plus start-time-fair bandwidth scheduling)
+/// that coordinated `bwpartd` epochs and the `coordinated_sim` e2e test
+/// exercise. Times enforcement, not the solver (which is microseconds).
+fn run_coordinated_sweep(optimized: bool, phases: PhaseConfig) -> Vec<SimOutcome> {
+    let r = Runner {
+        cmp: CmpConfig {
+            fast_forward: optimized,
+            parallel_channels: optimized,
+            llc: Some(LlcConfig {
+                cache: CacheConfig {
+                    capacity: 1024 * 1024,
+                    ways: 16,
+                    line_bytes: 64,
+                },
+                hit_penalty: 12,
+            }),
+            ..CmpConfig::default()
+        },
+        phases,
+    };
+    let mix = cache_mixes().remove(0);
+    COORD_WAY_SPLITS
+        .par_iter()
+        .map(|ways| {
+            let (w, cc) = mix.build(1, SEED);
+            // Illustrative square-root-ish β and reference profiles; the
+            // fingerprint only needs them identical across modes.
+            r.run_with_allocation(
+                vec![0.45, 0.55],
+                Some(ways),
+                "coordinated",
+                w,
+                cc,
+                vec![0.003, 0.0095],
+                vec![0.01, 0.05],
+            )
+        })
+        .collect()
 }
 
 /// Stationary two-region workload for the hybrid case: every
@@ -659,6 +707,12 @@ pub fn run(smoke: bool, reps: usize) -> BenchReport {
             run_sweep(opt, p)
         }),
         bench_hybrid_case(hybrid_cycles, reps, hybrid_bench_config(), hp),
+        bench_case(
+            "coordinated_sweep",
+            per_run * COORD_WAY_SPLITS.len() as u64,
+            reps,
+            |opt| run_coordinated_sweep(opt, p),
+        ),
     ];
 
     BenchReport {
@@ -792,10 +846,11 @@ mod tests {
         let report = run(true, 1);
         assert_eq!(report.schema, SCHEMA);
         assert!(report.smoke);
-        assert_eq!(report.cases.len(), 3);
+        assert_eq!(report.cases.len(), 4);
         assert_eq!(report.cases[0].name, "mix_end_to_end");
         assert_eq!(report.cases[1].name, "scheme_sweep");
         assert_eq!(report.cases[2].name, "scheme_sweep_hybrid");
+        assert_eq!(report.cases[3].name, "coordinated_sweep");
         for case in &report.cases {
             assert!(case.baseline.wall_ms > 0.0);
             assert!(case.optimized.wall_ms > 0.0);
@@ -806,7 +861,9 @@ mod tests {
         }
         assert!(report.cases[0].identical_outcomes);
         assert!(report.cases[1].identical_outcomes);
+        assert!(report.cases[3].identical_outcomes);
         assert_eq!(report.cases[0].tolerance_certified, None);
+        assert_eq!(report.cases[3].tolerance_certified, None);
         // The hybrid case is tolerance-certified, not bit-exact.
         assert!(!report.cases[2].identical_outcomes);
         assert_eq!(report.cases[2].tolerance_certified, Some(true));
@@ -833,7 +890,7 @@ mod tests {
         // `check` against itself compares every case and passes.
         let outcome = check(&back, &report);
         assert!(outcome.passed());
-        assert_eq!(outcome.compared.len(), 3);
+        assert_eq!(outcome.compared.len(), 4);
         assert!(outcome.skipped.is_empty());
 
         // A >10 % slowdown on an optimized case is a regression...

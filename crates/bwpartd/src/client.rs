@@ -13,7 +13,7 @@ use std::time::Duration;
 use bwpart_mc::TelemetryDelta;
 
 use crate::protocol::{
-    self, Codec, FrameError, MetricsReply, QosGrant, Request, Response, ServiceError,
+    self, CacheSpec, Codec, FrameError, MetricsReply, QosGrant, Request, Response, ServiceError,
     ServiceSnapshot, SharesReply,
 };
 
@@ -107,9 +107,22 @@ impl Client {
 
     /// Register (or re-register) this application; returns its id.
     pub fn register(&mut self, name: &str, api: f64) -> Result<usize, ClientError> {
+        self.register_with_cache(name, api, None)
+    }
+
+    /// Register with a client-measured cache profile (sampled miss-ratio
+    /// curve and CPI decomposition), enabling the application to take
+    /// part in coordinated (bandwidth × LLC ways) solves.
+    pub fn register_with_cache(
+        &mut self,
+        name: &str,
+        api: f64,
+        cache: Option<CacheSpec>,
+    ) -> Result<usize, ClientError> {
         match self.call(&Request::Register {
             name: name.to_string(),
             api,
+            cache,
         })? {
             Response::Registered { app_id } => Ok(app_id),
             other => Err(unexpected(other)),

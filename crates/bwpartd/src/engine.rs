@@ -30,8 +30,8 @@ use bwpart_mc::{DeltaAccumulator, TelemetryDelta};
 use bwpart_obs::{Counter, Gauge, Histogram, Registry};
 
 use crate::protocol::{
-    AppShare, AppStatus, ErrorCode, MetricsReply, QosGrant, ServiceError, ServiceSnapshot,
-    SharesReply,
+    AppShare, AppStatus, CacheSpec, ErrorCode, MetricsReply, QosGrant, ResourceShare, ServiceError,
+    ServiceSnapshot, SharesReply,
 };
 
 /// Tuning knobs for the epoch engine.
@@ -58,6 +58,10 @@ pub struct EngineConfig {
     /// Telemetry deltas buffered per application between epochs; the
     /// oldest are shed when a client reports faster than epochs run.
     pub queue_capacity: usize,
+    /// Total shared-LLC ways the service may partition. Required (and
+    /// only used) when `scheme` is [`PartitionScheme::Coordinated`]; the
+    /// bandwidth-only schemes ignore it.
+    pub total_ways: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -72,6 +76,7 @@ impl Default for EngineConfig {
             phase_change_ratio: 0.5,
             min_alone_fraction: 0.02,
             queue_capacity: 1024,
+            total_ways: None,
         }
     }
 }
@@ -110,6 +115,15 @@ impl EngineConfig {
         if self.queue_capacity == 0 {
             return bad("queue_capacity", 0.0);
         }
+        if matches!(self.scheme, PartitionScheme::Coordinated) && self.total_ways.is_none() {
+            return Err(ServiceError::new(
+                ErrorCode::InvalidArgument,
+                "coordinated scheme requires total_ways",
+            ));
+        }
+        if self.total_ways == Some(0) {
+            return bad("total_ways", 0.0);
+        }
         Ok(())
     }
 }
@@ -141,6 +155,13 @@ struct AppState {
     /// epoch mentions this application.
     estimate: Option<f64>,
     qos_target: Option<f64>,
+    /// Fitted cache-aware profile, present when the client registered a
+    /// [`CacheSpec`]; required for coordinated solves.
+    cache: Option<CacheAwareProfile>,
+    /// LLC ways most recently *published* for this application; the
+    /// calibration anchor for the next coordinated solve (`None` until
+    /// the first coordinated publish — the fair split is assumed).
+    ways: Option<usize>,
     /// Pre-resolved `bwpartd_app_share{app="<name>"}` gauge, resolved
     /// once at registration so the per-epoch publish never resolves
     /// through the registry (and its internal table lock) while the
@@ -282,6 +303,18 @@ impl Engine {
     /// Register an application by name. Idempotent: a known name gets its
     /// existing id back (with `api` refreshed); a new name is appended.
     pub fn register(&mut self, name: &str, api: f64) -> Result<usize, ServiceError> {
+        self.register_with_cache(name, api, None)
+    }
+
+    /// Register with an optional client-measured [`CacheSpec`], fitted
+    /// here into a [`CacheAwareProfile`] (re-registering refreshes both
+    /// `api` and the cache profile; `None` clears it).
+    pub fn register_with_cache(
+        &mut self,
+        name: &str,
+        api: f64,
+        cache: Option<CacheSpec>,
+    ) -> Result<usize, ServiceError> {
         if name.is_empty() {
             return Err(ServiceError::new(
                 ErrorCode::InvalidArgument,
@@ -294,8 +327,10 @@ impl Engine {
                 format!("invalid api: {api} (must be finite and positive)"),
             ));
         }
+        let cache = cache.map(|spec| fit_cache_spec(name, &spec)).transpose()?;
         if let Some(id) = self.apps.iter().position(|a| a.name == name) {
             self.apps[id].api = api;
+            self.apps[id].cache = cache;
             return Ok(id);
         }
         self.apps.push(AppState {
@@ -305,6 +340,8 @@ impl Engine {
             shed: 0,
             estimate: None,
             qos_target: None,
+            cache,
+            ways: None,
             // Once per registration, not per epoch (see `EpochMetrics`).
             share_gauge: self
                 .registry
@@ -496,6 +533,7 @@ impl Engine {
                     }
                 }
                 self.published = Some(reply);
+                self.note_published_ways();
                 self.repartitions += 1;
                 EpochOutcome::Repartitioned
             }
@@ -527,6 +565,9 @@ impl Engine {
     /// Bypasses QoS reservations (it answers "what would `scheme` give?",
     /// not "what will be enforced") and does not touch published state.
     pub fn solve_with(&self, scheme: PartitionScheme) -> Result<SharesReply, ServiceError> {
+        if scheme == PartitionScheme::Coordinated {
+            return self.solve_coordinated_current(false);
+        }
         let (ids, profiles) = self.profiled_apps();
         if profiles.is_empty() {
             return Err(ServiceError::new(
@@ -567,12 +608,34 @@ impl Engine {
                     qos_target: a.qos_target,
                     queued: a.queue.len(),
                     shed: a.shed,
+                    llc_ways: a.ways,
                 })
                 .collect(),
         }
     }
 
     // -- internals ---------------------------------------------------------
+
+    /// Fold the just-published coordinated way counts back into per-app
+    /// state: they are the calibration anchor for the next epoch's solve
+    /// (what the enforcement mechanism is now giving each application).
+    fn note_published_ways(&mut self) {
+        let Some(p) = &self.published else { return };
+        let published: Vec<(usize, usize)> = p
+            .apps
+            .iter()
+            .filter_map(|row| {
+                let rs = row.resources.as_ref()?;
+                let w = rs.iter().find(|r| r.kind == "llc-ways")?;
+                Some((row.app_id, w.amount.round() as usize))
+            })
+            .collect();
+        for (id, w) in published {
+            if let Some(a) = self.apps.get_mut(id) {
+                a.ways = Some(w);
+            }
+        }
+    }
 
     fn app(&self, app_id: usize) -> Result<&AppState, ServiceError> {
         self.apps.get(app_id).ok_or_else(|| unknown_app(app_id))
@@ -604,6 +667,9 @@ impl Engine {
     /// underlying solvers certify too — the remap from solver indices back
     /// to engine ids is exactly the step a bug would hide in.
     fn solve_current(&self) -> Result<SharesReply, ServiceError> {
+        if self.cfg.scheme == PartitionScheme::Coordinated {
+            return self.solve_coordinated_current(true);
+        }
         let (ids, profiles) = self.profiled_apps();
         if profiles.is_empty() {
             return Err(ServiceError::new(
@@ -649,9 +715,143 @@ impl Engine {
         Ok(self.assemble_reply(&ids, outcome))
     }
 
+    /// The coordinated (bandwidth × LLC ways) epoch solve. Every profiled
+    /// application must have registered a [`CacheSpec`]; the analytic
+    /// `APC_alone(w)` of each fitted profile is calibrated so it matches
+    /// the Eq. 12–13 telemetry estimate at the currently enforced way
+    /// count, then [`solve_coordinated_scaled`] runs the alternating
+    /// descent. QoS reservations (when honoured) re-split the bandwidth
+    /// dimension at the solved way vector through Eq. 11.
+    fn solve_coordinated_current(&self, honour_qos: bool) -> Result<SharesReply, ServiceError> {
+        let total_ways = self.cfg.total_ways.ok_or_else(|| {
+            ServiceError::new(
+                ErrorCode::SolveFailed,
+                "coordinated solve requires total_ways in the engine config",
+            )
+        })?;
+        let b = self.cfg.bandwidth;
+
+        let mut ids = Vec::new();
+        let mut caches: Vec<CacheAwareProfile> = Vec::new();
+        let mut estimates = Vec::new();
+        for (id, a) in self.apps.iter().enumerate() {
+            let Some(est) = a.estimate else { continue };
+            if !(est.is_finite() && est > 0.0) {
+                continue; // zero-rate estimate: nothing to allocate to
+            }
+            let Some(cache) = &a.cache else {
+                return Err(ServiceError::new(
+                    ErrorCode::SolveFailed,
+                    format!(
+                        "`{}` has telemetry but no cache spec; \
+                         coordinated solves need every application's MRC",
+                        a.name
+                    ),
+                ));
+            };
+            ids.push(id);
+            caches.push(cache.clone());
+            estimates.push(est);
+        }
+        if ids.is_empty() {
+            return Err(ServiceError::new(
+                ErrorCode::NotReady,
+                "no application has an APC_alone estimate yet",
+            ));
+        }
+        let n = ids.len();
+
+        // Calibrate: the telemetry estimate reflects the ways currently
+        // enforced (last published coordinated split, or the fair split
+        // before any publish), so the model is scaled to agree there and
+        // extrapolated along the MRC everywhere else.
+        let fair = (total_ways / n).max(1);
+        let scales: Vec<f64> = ids
+            .iter()
+            .zip(&caches)
+            .zip(&estimates)
+            .map(|((&id, cache), &est)| {
+                let anchor = self.apps[id].ways.unwrap_or(fair) as f64;
+                let model = cache.apc_alone_at(anchor);
+                if model > 0.0 && (est / model).is_finite() {
+                    (est / model).max(1e-6)
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+
+        let coord_cfg = CoordConfig::new(b, total_ways);
+        let coord = solve_coordinated_scaled(&caches, &scales, &coord_cfg)
+            .map_err(|e| ServiceError::new(ErrorCode::SolveFailed, e.to_string()))?;
+
+        let requests: Vec<qos::QosRequest> = if honour_qos {
+            ids.iter()
+                .enumerate()
+                .filter_map(|(solver_idx, &id)| {
+                    self.apps[id].qos_target.map(|t| qos::QosRequest {
+                        app: solver_idx,
+                        target_ipc: t,
+                    })
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let scheme = PartitionScheme::Coordinated.canonical_name();
+        let outcome = if requests.is_empty() {
+            SharesOutcome {
+                scheme,
+                bandwidth: b,
+                beta: coord.bandwidth.beta.clone(),
+                allocation: coord.bandwidth.allocation.clone(),
+            }
+        } else {
+            // QoS applies to the bandwidth dimension: Eq. 11 reservations
+            // over the profiles materialized at the coordinated ways.
+            let part = qos::partition(&coord.profiles, &requests, coord_cfg.inner, b)
+                .map_err(|e| ServiceError::new(ErrorCode::SolveFailed, e.to_string()))?;
+            SharesOutcome {
+                scheme,
+                bandwidth: b,
+                beta: part.shares(),
+                allocation: part.allocation,
+            }
+        };
+
+        // Certify the published contract per resource: the bandwidth β on
+        // the simplex and capped by the calibrated standalone rates, the
+        // way shares on the simplex and each count within the LLC.
+        ensures_simplex!(outcome.beta);
+        let caps: Vec<f64> = coord.profiles.iter().map(|p| p.apc_alone).collect();
+        ensures_capped!(outcome.allocation, caps);
+        let way_shares: Vec<f64> = coord
+            .ways
+            .iter()
+            .map(|&w| w as f64 / total_ways as f64)
+            .collect();
+        ensures_simplex!(way_shares);
+        let ways_f: Vec<f64> = coord.ways.iter().map(|&w| w as f64).collect();
+        ensures_capped!(ways_f, vec![total_ways as f64; n]);
+
+        Ok(self.assemble_reply_with_ways(&ids, outcome, Some((&coord.ways, total_ways))))
+    }
+
     /// Expand a solver outcome (indexed over profiled apps) into a reply
     /// covering every registered application (unprofiled ones get 0).
     fn assemble_reply(&self, ids: &[usize], outcome: SharesOutcome) -> SharesReply {
+        self.assemble_reply_with_ways(ids, outcome, None)
+    }
+
+    /// As [`Engine::assemble_reply`], additionally attaching a
+    /// per-resource breakdown (`bandwidth` + `llc-ways`) to each solved
+    /// row when a coordinated way vector is present.
+    fn assemble_reply_with_ways(
+        &self,
+        ids: &[usize],
+        outcome: SharesOutcome,
+        ways: Option<(&[usize], usize)>,
+    ) -> SharesReply {
         let mut apps: Vec<AppShare> = self
             .apps
             .iter()
@@ -661,11 +861,27 @@ impl Engine {
                 name: a.name.clone(),
                 beta: 0.0,
                 allocation: 0.0,
+                resources: None,
             })
             .collect();
         for (solver_idx, &id) in ids.iter().enumerate() {
             apps[id].beta = outcome.beta[solver_idx];
             apps[id].allocation = outcome.allocation[solver_idx];
+            if let Some((ways, total)) = ways {
+                let w = ways[solver_idx];
+                apps[id].resources = Some(vec![
+                    ResourceShare {
+                        kind: "bandwidth".into(),
+                        share: outcome.beta[solver_idx],
+                        amount: outcome.allocation[solver_idx],
+                    },
+                    ResourceShare {
+                        kind: "llc-ways".into(),
+                        share: w as f64 / total as f64,
+                        amount: w as f64,
+                    },
+                ]);
+            }
         }
         SharesReply {
             epoch: self.epoch,
@@ -681,6 +897,22 @@ fn unknown_app(app_id: usize) -> ServiceError {
         ErrorCode::UnknownApp,
         format!("no application with id {app_id}; register first"),
     )
+}
+
+/// Fit a wire [`CacheSpec`] into the model's cache-aware profile,
+/// translating model validation errors into structured service errors (a
+/// bad spec is the *client's* mistake, so it surfaces at registration,
+/// not as a failed epoch later).
+fn fit_cache_spec(name: &str, spec: &CacheSpec) -> Result<CacheAwareProfile, ServiceError> {
+    let bad = |e: ModelError| {
+        ServiceError::new(
+            ErrorCode::InvalidArgument,
+            format!("cache spec for `{name}`: {e}"),
+        )
+    };
+    let samples: Vec<(f64, f64)> = spec.mrc.iter().map(|p| (p.ways, p.miss_ratio)).collect();
+    let mrc = MissRatioCurve::fit(&samples).map_err(bad)?;
+    CacheAwareProfile::new(name, spec.api_llc, spec.cpi_base, spec.mem_penalty, mrc).map_err(bad)
 }
 
 // ---------------------------------------------------------------------------
@@ -812,6 +1044,17 @@ impl ShardMap {
     /// first sight. Idempotent like [`Engine::register`]: a known name
     /// returns its existing public id.
     pub fn register(&self, name: &str, api: f64) -> Result<usize, ServiceError> {
+        self.register_with_cache(name, api, None)
+    }
+
+    /// Register with an optional cache profile (see
+    /// [`Engine::register_with_cache`]).
+    pub fn register_with_cache(
+        &self,
+        name: &str,
+        api: f64,
+        cache: Option<CacheSpec>,
+    ) -> Result<usize, ServiceError> {
         if name.is_empty() {
             return Err(ServiceError::new(
                 ErrorCode::InvalidArgument,
@@ -832,7 +1075,9 @@ impl ShardMap {
                 shard.tenants.len() - 1
             }
         };
-        let local = shard.tenants[tenant].engine.register(name, api)?;
+        let local = shard.tenants[tenant]
+            .engine
+            .register_with_cache(name, api, cache)?;
         if let Some(seq) = shard.dir.iter().position(|&e| e == (tenant, local)) {
             return Ok(self.public_id(shard_idx, seq));
         }
@@ -1115,8 +1360,28 @@ fn max_share_delta(prev: &SharesReply, next: &SharesReply) -> f64 {
     prev.apps
         .iter()
         .zip(&next.apps)
-        .map(|(p, n)| (p.beta - n.beta).abs())
+        .map(|(p, n)| (p.beta - n.beta).abs().max(resource_delta(p, n)))
         .fold(0.0, f64::max)
+}
+
+/// Largest per-resource share change between two rows of the same app
+/// (0 when neither row carries a resource breakdown; ∞ when the shape
+/// changed, so hysteresis can never mask a way reallocation).
+fn resource_delta(prev: &AppShare, next: &AppShare) -> f64 {
+    match (&prev.resources, &next.resources) {
+        (None, None) => 0.0,
+        (Some(p), Some(n)) => {
+            let mut delta = 0.0f64;
+            for nr in n {
+                match p.iter().find(|pr| pr.kind == nr.kind) {
+                    Some(pr) => delta = delta.max((pr.share - nr.share).abs()),
+                    None => return f64::INFINITY,
+                }
+            }
+            delta
+        }
+        _ => f64::INFINITY,
+    }
 }
 
 #[cfg(test)]
@@ -1584,5 +1849,233 @@ mod tests {
             ..base()
         })
         .is_err());
+        // The coordinated scheme cannot run without an LLC to partition.
+        assert!(Engine::new(EngineConfig {
+            scheme: PartitionScheme::Coordinated,
+            ..base()
+        })
+        .is_err());
+        assert!(Engine::new(EngineConfig {
+            total_ways: Some(0),
+            ..base()
+        })
+        .is_err());
+    }
+
+    // -- coordinated (bandwidth × LLC ways) epochs --------------------------
+
+    use crate::protocol::MrcPoint;
+
+    /// A latency-sensitive app: steep MRC, big per-miss stall.
+    fn steep_spec() -> CacheSpec {
+        CacheSpec {
+            api_llc: 0.05,
+            cpi_base: 1.0,
+            mem_penalty: 60.0,
+            mrc: [
+                (1.0, 0.95),
+                (4.0, 0.70),
+                (8.0, 0.40),
+                (12.0, 0.10),
+                (16.0, 0.03),
+            ]
+            .into_iter()
+            .map(|(ways, miss_ratio)| MrcPoint { ways, miss_ratio })
+            .collect(),
+        }
+    }
+
+    /// A streaming app: the LLC barely helps regardless of ways.
+    fn flat_spec() -> CacheSpec {
+        CacheSpec {
+            api_llc: 0.02,
+            cpi_base: 1.2,
+            mem_penalty: 40.0,
+            mrc: [(1.0, 1.0), (16.0, 0.98)]
+                .into_iter()
+                .map(|(ways, miss_ratio)| MrcPoint { ways, miss_ratio })
+                .collect(),
+        }
+    }
+
+    /// The engine-side fit of a wire spec, for building offline references.
+    fn fitted(name: &str, spec: &CacheSpec) -> CacheAwareProfile {
+        fit_cache_spec(name, spec).unwrap()
+    }
+
+    fn coordinated_engine() -> (Engine, [usize; 2], Vec<CacheAwareProfile>) {
+        let cfg = EngineConfig {
+            total_ways: Some(16),
+            ..EngineConfig::new(PartitionScheme::Coordinated, 0.0095)
+        };
+        let mut e = Engine::new(cfg).unwrap();
+        let specs = [steep_spec(), flat_spec()];
+        let ids = [
+            e.register_with_cache("llcfit", 0.002, Some(specs[0].clone()))
+                .unwrap(),
+            e.register_with_cache("stream", 0.02, Some(specs[1].clone()))
+                .unwrap(),
+        ];
+        let caches = vec![fitted("llcfit", &specs[0]), fitted("stream", &specs[1])];
+        (e, ids, caches)
+    }
+
+    /// The ISSUE's acceptance criterion: telemetry-driven coordinated
+    /// epochs converge to within 2% of the offline
+    /// [`solve_coordinated`] answer. Each epoch the emulated system
+    /// reports the model's standalone rate *at the ways the service
+    /// currently enforces*, so the calibration loop (estimate ÷ model at
+    /// the anchor) has a consistent fixed point to find.
+    #[test]
+    fn coordinated_epochs_converge_to_offline_solve() {
+        let (mut e, ids, caches) = coordinated_engine();
+        let offline = solve_coordinated(&caches, &CoordConfig::new(0.0095, 16)).unwrap();
+        assert!(
+            offline.ways[0] > offline.ways[1],
+            "the steep-MRC app must win ways offline: {:?}",
+            offline.ways
+        );
+
+        // Before any coordinated publish the fair split is enforced.
+        let mut enforced = [8usize, 8];
+        for _ in 0..6 {
+            for ((&id, cache), &w) in ids.iter().zip(&caches).zip(&enforced) {
+                e.push_telemetry(id, clean_delta(cache.apc_alone_at(w as f64)))
+                    .unwrap();
+            }
+            e.run_epoch();
+            let snap = e.snapshot();
+            for (slot, &id) in enforced.iter_mut().zip(&ids) {
+                if let Some(w) = snap.apps[id].llc_ways {
+                    *slot = w;
+                }
+            }
+        }
+
+        let reply = e.get_shares().unwrap();
+        assert!(!reply.degraded);
+        assert_eq!(reply.outcome.scheme, "coordinated");
+        let ways: Vec<usize> = ids
+            .iter()
+            .map(|&id| {
+                let rs = reply.apps[id].resources.as_ref().expect("resource rows");
+                rs.iter()
+                    .find(|r| r.kind == "llc-ways")
+                    .expect("llc-ways row")
+                    .amount
+                    .round() as usize
+            })
+            .collect();
+        assert_eq!(ways, offline.ways, "way allocation must match offline");
+        for (&id, want) in ids.iter().zip(&offline.bandwidth.beta) {
+            let got = reply.apps[id].beta;
+            assert!(
+                (got - want).abs() / want < 0.02,
+                "beta {got} vs offline {want}"
+            );
+        }
+        // The snapshot reports the enforced ways per app.
+        let snap = e.snapshot();
+        for (&id, &w) in ids.iter().zip(&offline.ways) {
+            assert_eq!(snap.apps[id].llc_ways, Some(w));
+        }
+    }
+
+    /// Coordinated solves need every profiled application's MRC; a
+    /// missing spec degrades the epoch instead of publishing nonsense.
+    #[test]
+    fn coordinated_epoch_fails_without_cache_specs() {
+        let cfg = EngineConfig {
+            total_ways: Some(16),
+            ..EngineConfig::new(PartitionScheme::Coordinated, 0.0095)
+        };
+        let mut e = Engine::new(cfg).unwrap();
+        let a = e
+            .register_with_cache("llcfit", 0.002, Some(steep_spec()))
+            .unwrap();
+        let b = e.register("legacy", 0.02).unwrap();
+        e.push_telemetry(a, clean_delta(0.004)).unwrap();
+        e.push_telemetry(b, clean_delta(0.009)).unwrap();
+        assert_eq!(e.run_epoch(), EpochOutcome::Failed);
+        assert!(e.snapshot().degraded);
+        // Re-registering with a spec repairs the next epoch.
+        e.register_with_cache("legacy", 0.02, Some(flat_spec()))
+            .unwrap();
+        e.push_telemetry(a, clean_delta(0.004)).unwrap();
+        e.push_telemetry(b, clean_delta(0.009)).unwrap();
+        assert_eq!(e.run_epoch(), EpochOutcome::Repartitioned);
+        assert!(!e.snapshot().degraded);
+    }
+
+    /// A bandwidth-only engine can answer a coordinated what-if when it
+    /// knows the LLC geometry, without touching its published shares.
+    #[test]
+    fn coordinated_what_if_from_a_bandwidth_engine() {
+        let cfg = EngineConfig {
+            total_ways: Some(16),
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(cfg).unwrap();
+        let ids = [
+            e.register_with_cache("llcfit", 0.002, Some(steep_spec()))
+                .unwrap(),
+            e.register_with_cache("stream", 0.02, Some(flat_spec()))
+                .unwrap(),
+        ];
+        for &id in &ids {
+            e.push_telemetry(id, clean_delta(0.006)).unwrap();
+        }
+        e.run_epoch();
+        let published = e.get_shares().unwrap();
+        assert_eq!(published.outcome.scheme, "square-root");
+        assert!(published.apps.iter().all(|a| a.resources.is_none()));
+
+        let whatif = e.solve_with(PartitionScheme::Coordinated).unwrap();
+        assert_eq!(whatif.outcome.scheme, "coordinated");
+        let total: usize = whatif
+            .apps
+            .iter()
+            .filter_map(|a| a.resources.as_ref())
+            .flat_map(|rs| rs.iter())
+            .filter(|r| r.kind == "llc-ways")
+            .map(|r| r.amount.round() as usize)
+            .sum();
+        assert_eq!(total, 16);
+        assert_eq!(
+            e.get_shares().unwrap(),
+            published,
+            "what-if must not publish"
+        );
+    }
+
+    /// Eq. 11 reservations ride the bandwidth dimension of a coordinated
+    /// publish: the admitted app's allocation covers its reservation.
+    #[test]
+    fn coordinated_epoch_honours_qos_reservations() {
+        let (mut e, ids, caches) = coordinated_engine();
+        for (&id, cache) in ids.iter().zip(&caches) {
+            e.push_telemetry(id, clean_delta(cache.apc_alone_at(8.0)))
+                .unwrap();
+        }
+        e.run_epoch();
+
+        // Reserve most of what the streamer can use.
+        let st = e.snapshot();
+        let ipc_alone = st.apps[ids[1]].apc_alone_estimate.unwrap() / st.apps[ids[1]].api;
+        let grant = e.qos_admit(ids[1], ipc_alone * 0.9).unwrap();
+
+        for (&id, cache) in ids.iter().zip(&caches) {
+            e.push_telemetry(id, clean_delta(cache.apc_alone_at(8.0)))
+                .unwrap();
+        }
+        e.run_epoch();
+        let reply = e.get_shares().unwrap();
+        assert_eq!(reply.outcome.scheme, "coordinated");
+        assert!(
+            reply.apps[ids[1]].allocation >= grant.reserved_apc - 1e-9,
+            "allocation {} must cover the reservation {}",
+            reply.apps[ids[1]].allocation,
+            grant.reserved_apc
+        );
     }
 }

@@ -56,7 +56,7 @@ pub mod server;
 pub use client::{Client, ClientError};
 pub use engine::{Engine, EngineConfig, EpochOutcome, ShardMap};
 pub use protocol::{
-    AppShare, AppStatus, Codec, ErrorCode, FrameError, MetricsReply, QosGrant, Request, Response,
-    ServiceError, ServiceSnapshot, SharesReply,
+    AppShare, AppStatus, CacheSpec, Codec, ErrorCode, FrameError, MetricsReply, MrcPoint, QosGrant,
+    Request, ResourceShare, Response, ServiceError, ServiceSnapshot, SharesReply,
 };
 pub use server::{serve, ServeConfig, ServerHandle};

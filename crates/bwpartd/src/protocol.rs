@@ -501,13 +501,18 @@ pub mod binary {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
     /// Register an application by name; idempotent (re-registering a name
-    /// returns the same id and updates its `API`).
+    /// returns the same id and updates its `API` and cache profile).
     Register {
         /// Human-readable application name (unique key).
         name: String,
         /// Accesses per instruction (`API`, Eq. 1) — the core-side counter
         /// ratio the client measures for itself.
         api: f64,
+        /// Optional cache-side profile for coordinated (bandwidth × LLC
+        /// ways) partitioning. Absent on the wire for v1-era clients —
+        /// both codecs decode a missing field as `None` — and required
+        /// of every application before a `coordinated` solve can run.
+        cache: Option<CacheSpec>,
     },
     /// One telemetry delta: the Section IV-C counters accumulated since the
     /// previous report.
@@ -611,6 +616,47 @@ pub struct AppShare {
     /// Capped allocation in APC units (0 for applications not yet
     /// profiled).
     pub allocation: f64,
+    /// Per-resource breakdown for coordinated solves: one row per
+    /// partitioned resource (`bandwidth`, `llc-ways`). `None` for
+    /// bandwidth-only schemes, so v1-era replies are byte-identical.
+    pub resources: Option<Vec<ResourceShare>>,
+}
+
+/// One fitted miss-ratio-curve knot in a [`CacheSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MrcPoint {
+    /// Allocated LLC ways the point was sampled at.
+    pub ways: f64,
+    /// Observed LLC miss ratio in `[0, 1]`.
+    pub miss_ratio: f64,
+}
+
+/// Client-measured cache profile: the inputs of a
+/// [`bwpart_core::CacheAwareProfile`], shipped raw so the service owns
+/// the (isotonic) fit and its validation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheSpec {
+    /// LLC-incoming accesses per instruction (the L2 miss rate —
+    /// invariant under way partitioning).
+    pub api_llc: f64,
+    /// Standalone CPI with a fully hitting LLC.
+    pub cpi_base: f64,
+    /// Standalone stall cycles per DDR access (MLP-discounted).
+    pub mem_penalty: f64,
+    /// Sampled miss-ratio curve, at least one point.
+    pub mrc: Vec<MrcPoint>,
+}
+
+/// One resource's row in an [`AppShare`] breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceShare {
+    /// Canonical resource name: `bandwidth` or `llc-ways`.
+    pub kind: String,
+    /// Fraction of the resource's total in `[0, 1]`.
+    pub share: f64,
+    /// Absolute amount in the resource's native unit (APC for bandwidth,
+    /// ways for the LLC).
+    pub amount: f64,
 }
 
 /// Reply to a successful Eq. 11 admission.
@@ -688,6 +734,10 @@ pub struct AppStatus {
     pub queued: usize,
     /// Deltas shed (oldest-first) because the queue was full.
     pub shed: u64,
+    /// LLC ways most recently published for this application by a
+    /// coordinated solve (`None` under bandwidth-only schemes and for
+    /// replies from pre-coordinated servers).
+    pub llc_ways: Option<usize>,
 }
 
 /// Machine-readable error category.
@@ -859,6 +909,26 @@ mod tests {
             Request::Register {
                 name: "lbm/t0".into(),
                 api: 0.015,
+                cache: None,
+            },
+            Request::Register {
+                name: "llcfit".into(),
+                api: 0.02,
+                cache: Some(CacheSpec {
+                    api_llc: 0.05,
+                    cpi_base: 1.2,
+                    mem_penalty: 80.0,
+                    mrc: vec![
+                        MrcPoint {
+                            ways: 1.0,
+                            miss_ratio: 0.9,
+                        },
+                        MrcPoint {
+                            ways: 16.0,
+                            miss_ratio: 0.05,
+                        },
+                    ],
+                }),
             },
             Request::GetShares { scheme: None },
             Request::GetShares {
@@ -1049,12 +1119,25 @@ mod tests {
                     name: "milc".into(),
                     beta: 0.25,
                     allocation: 0.0025,
+                    resources: None,
                 },
                 AppShare {
                     app_id: 1,
                     name: "lbm".into(),
                     beta: 0.75,
                     allocation: 0.007,
+                    resources: Some(vec![
+                        ResourceShare {
+                            kind: "bandwidth".into(),
+                            share: 0.75,
+                            amount: 0.007,
+                        },
+                        ResourceShare {
+                            kind: "llc-ways".into(),
+                            share: 0.125,
+                            amount: 2.0,
+                        },
+                    ]),
                 },
             ],
             degraded: false,
@@ -1070,5 +1153,37 @@ mod tests {
         let frame = encode(&err).unwrap();
         let (back, _): (Response, usize) = decode(&frame).unwrap().unwrap();
         assert_eq!(back, err);
+    }
+
+    /// Frames emitted before the coordinated extension lack the `cache`
+    /// and `resources` fields entirely; both must decode to `None` so old
+    /// clients and old servers interoperate with this build.
+    #[test]
+    fn legacy_frames_without_multiresource_fields_still_decode() {
+        let legacy = br#"{"Register":{"name":"lbm","api":0.015}}"#;
+        let mut frame = Vec::from(MAGIC);
+        frame.push(WIRE_VERSION);
+        frame.push(0);
+        frame.extend_from_slice(&(legacy.len() as u32).to_be_bytes());
+        frame.extend_from_slice(legacy);
+        let (req, _): (Request, usize) = decode(&frame).unwrap().unwrap();
+        assert_eq!(
+            req,
+            Request::Register {
+                name: "lbm".into(),
+                api: 0.015,
+                cache: None,
+            }
+        );
+
+        let legacy_share = br#"{"app_id":1,"name":"lbm","beta":0.75,"allocation":0.007}"#;
+        let mut frame = Vec::from(MAGIC);
+        frame.push(WIRE_VERSION);
+        frame.push(0);
+        frame.extend_from_slice(&(legacy_share.len() as u32).to_be_bytes());
+        frame.extend_from_slice(legacy_share);
+        let (share, _): (AppShare, usize) = decode(&frame).unwrap().unwrap();
+        assert_eq!(share.resources, None);
+        assert!((share.beta - 0.75).abs() < 1e-12);
     }
 }

@@ -302,10 +302,12 @@ fn write_response(stream: &mut TcpStream, resp: &Response, codec: Codec) -> std:
 /// front-ends.
 pub(crate) fn handle_request(req: Request, map: &ShardMap, shutdown: &AtomicBool) -> Response {
     match req {
-        Request::Register { name, api } => match map.register(&name, api) {
-            Ok(app_id) => Response::Registered { app_id },
-            Err(e) => Response::Error(e),
-        },
+        Request::Register { name, api, cache } => {
+            match map.register_with_cache(&name, api, cache) {
+                Ok(app_id) => Response::Registered { app_id },
+                Err(e) => Response::Error(e),
+            }
+        }
         Request::Telemetry {
             app_id,
             accesses,

@@ -9,8 +9,9 @@
 
 use bwpart_core::SharesOutcome;
 use bwpartd::protocol::{
-    self, AppShare, Codec, ErrorCode, FrameError, Request, Response, ServiceError, SharesReply,
-    HEADER_LEN, MAGIC, MAX_PAYLOAD, WIRE_VERSION, WIRE_VERSION_BINARY,
+    self, AppShare, CacheSpec, Codec, ErrorCode, FrameError, MrcPoint, Request, ResourceShare,
+    Response, ServiceError, SharesReply, HEADER_LEN, MAGIC, MAX_PAYLOAD, WIRE_VERSION,
+    WIRE_VERSION_BINARY,
 };
 use proptest::prelude::*;
 
@@ -30,6 +31,23 @@ fn arb_request() -> impl Strategy<Value = Request> {
             0 => Request::Register {
                 name: format!("app-{}", a % 1_000),
                 api: x,
+                // Half the registrations carry a cache spec so the
+                // Option<CacheSpec> field round-trips in both states.
+                cache: (a % 2 == 0).then(|| CacheSpec {
+                    api_llc: x,
+                    cpi_base: 1.0 + x,
+                    mem_penalty: 120.0 * x,
+                    mrc: vec![
+                        MrcPoint {
+                            ways: 1.0,
+                            miss_ratio: 1.0 - x / 2.0,
+                        },
+                        MrcPoint {
+                            ways: 16.0,
+                            miss_ratio: x / 2.0,
+                        },
+                    ],
+                }),
             },
             1 => Request::Telemetry {
                 app_id: (a % 256) as usize,
@@ -80,6 +98,22 @@ fn arb_shares_response() -> impl Strategy<Value = Response> {
                     name: format!("app{id}"),
                     beta: beta[id],
                     allocation: allocation[id],
+                    // Alternate rows carry a coordinated resource
+                    // breakdown so both Option states round-trip.
+                    resources: (id % 2 == 1).then(|| {
+                        vec![
+                            ResourceShare {
+                                kind: "bandwidth".into(),
+                                share: beta[id],
+                                amount: allocation[id],
+                            },
+                            ResourceShare {
+                                kind: "llc-ways".into(),
+                                share: 0.25,
+                                amount: 4.0,
+                            },
+                        ]
+                    }),
                 })
                 .collect();
             Response::Shares(SharesReply {

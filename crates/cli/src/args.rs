@@ -111,6 +111,9 @@ pub enum Parsed {
         scheme: PartitionScheme,
         /// Total bandwidth `B` to partition (APC).
         bandwidth: f64,
+        /// Total shared-LLC ways to co-partition (required for the
+        /// `coordinated` scheme, enables `coordinated` what-ifs elsewhere).
+        ways: Option<usize>,
         /// Epoch interval in milliseconds.
         epoch_ms: u64,
         /// Exit after this many epochs (`None` → run until a client sends
@@ -145,12 +148,16 @@ pub enum Parsed {
 /// One `bwpart client` operation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientOp {
-    /// Register an application (`register <name> <api>`).
+    /// Register an application
+    /// (`register <name> <api> [--cache api_llc:cpi_base:mem_penalty:w=m,...]`).
     Register {
         /// Application name.
         name: String,
         /// Accesses per instruction.
         api: f64,
+        /// Optional client-measured cache profile enabling coordinated
+        /// (bandwidth × LLC ways) solves.
+        cache: Option<bwpartd::CacheSpec>,
     },
     /// Report a telemetry delta
     /// (`telemetry <app_id> <accesses> <shared_cycles> <interference_cycles>`).
@@ -195,6 +202,37 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("bad {what} `{s}`"))
 }
 
+/// Parse a `--cache` value: `api_llc:cpi_base:mem_penalty:w=m,w=m,...`
+/// (the comma list is the sampled miss-ratio curve, e.g.
+/// `0.05:1.0:60:1=0.95,8=0.4,16=0.03`).
+pub fn parse_cache_spec(s: &str) -> Result<bwpartd::CacheSpec, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() != 4 {
+        return Err(format!(
+            "--cache expects api_llc:cpi_base:mem_penalty:w=m,... — got `{s}`"
+        ));
+    }
+    let api_llc = parse_num(parts[0], "api_llc")?;
+    let cpi_base = parse_num(parts[1], "cpi_base")?;
+    let mem_penalty = parse_num(parts[2], "mem_penalty")?;
+    let mut mrc = Vec::new();
+    for knot in parts[3].split(',') {
+        let (w, m) = knot
+            .split_once('=')
+            .ok_or_else(|| format!("bad MRC knot `{knot}` (expected ways=miss_ratio)"))?;
+        mrc.push(bwpartd::MrcPoint {
+            ways: parse_num(w, "MRC ways")?,
+            miss_ratio: parse_num(m, "MRC miss ratio")?,
+        });
+    }
+    Ok(bwpartd::CacheSpec {
+        api_llc,
+        cpi_base,
+        mem_penalty,
+        mrc,
+    })
+}
+
 impl ClientOp {
     /// Parse the positional tail of a `client` invocation.
     fn parse(args: &[String]) -> Result<ClientOp, String> {
@@ -213,10 +251,27 @@ impl ClientOp {
         };
         match op.as_str() {
             "register" => {
-                arity(2)?;
+                let cache_at = args.iter().position(|a| a == "--cache");
+                let positional = cache_at.unwrap_or(args.len());
+                if positional != 3 {
+                    return Err(format!(
+                        "`register` takes 2 argument(s) plus an optional --cache, got {}",
+                        positional - 1
+                    ));
+                }
+                let cache = match cache_at {
+                    Some(i) => {
+                        if args.len() != i + 2 {
+                            return Err("--cache takes exactly one value and must come last".into());
+                        }
+                        Some(parse_cache_spec(&args[i + 1])?)
+                    }
+                    None => None,
+                };
                 Ok(ClientOp::Register {
                     name: args[1].clone(),
                     api: parse_num(&args[2], "api")?,
+                    cache,
                 })
             }
             "telemetry" => {
@@ -372,6 +427,7 @@ impl Parsed {
                 let mut addr = "127.0.0.1:0".to_string();
                 let mut scheme = PartitionScheme::SquareRoot;
                 let mut bandwidth = 0.0095;
+                let mut ways = None;
                 let mut epoch_ms = 100;
                 let mut epochs = None;
                 let mut reactor = false;
@@ -385,6 +441,13 @@ impl Parsed {
                         "--bandwidth" => {
                             bandwidth =
                                 parse_num(take_value(args, &mut i, "--bandwidth")?, "bandwidth")?
+                        }
+                        "--ways" => {
+                            let w: usize = parse_num(take_value(args, &mut i, "--ways")?, "ways")?;
+                            if w == 0 {
+                                return Err("--ways must be at least 1".into());
+                            }
+                            ways = Some(w);
                         }
                         "--epoch-ms" => {
                             epoch_ms =
@@ -412,6 +475,7 @@ impl Parsed {
                     addr,
                     scheme,
                     bandwidth,
+                    ways,
                     epoch_ms,
                     epochs,
                     reactor,
@@ -607,6 +671,7 @@ mod tests {
                 addr: "127.0.0.1:0".into(),
                 scheme: PartitionScheme::SquareRoot,
                 bandwidth: 0.0095,
+                ways: None,
                 epoch_ms: 100,
                 epochs: None,
                 reactor: false,
@@ -619,9 +684,11 @@ mod tests {
             "--addr",
             "0.0.0.0:4780",
             "--scheme",
-            "proportional",
+            "coordinated",
             "--bandwidth",
             "0.02",
+            "--ways",
+            "16",
             "--epoch-ms",
             "50",
             "--epochs",
@@ -637,8 +704,9 @@ mod tests {
             p,
             Parsed::Serve {
                 addr: "0.0.0.0:4780".into(),
-                scheme: PartitionScheme::Proportional,
+                scheme: PartitionScheme::Coordinated,
                 bandwidth: 0.02,
+                ways: Some(16),
                 epoch_ms: 50,
                 epochs: Some(10),
                 reactor: true,
@@ -647,6 +715,8 @@ mod tests {
             }
         );
         assert!(Parsed::parse(&v(&["serve", "--shards", "0"])).is_err());
+        assert!(Parsed::parse(&v(&["serve", "--ways", "0"])).is_err());
+        assert!(Parsed::parse(&v(&["serve", "--ways", "x"])).is_err());
     }
 
     #[test]
@@ -668,6 +738,7 @@ mod tests {
                 op: ClientOp::Register {
                     name: "milc".into(),
                     api: 0.00692,
+                    cache: None,
                 },
             }
         );
@@ -746,6 +817,56 @@ mod tests {
         assert!(Parsed::parse(&v(&["client", "--addr", "x:1", "metrics", "x"])).is_err());
         assert!(Parsed::parse(&v(&["client", "--addr", "x:1", "register", "a"])).is_err());
         assert!(Parsed::parse(&v(&["client", "--addr", "x:1", "frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn register_with_cache_spec_parses() {
+        let p = Parsed::parse(&v(&[
+            "client",
+            "--addr",
+            "x:1",
+            "register",
+            "llcfit",
+            "0.002",
+            "--cache",
+            "0.05:1.0:60:1=0.95,8=0.4,16=0.03",
+        ]))
+        .unwrap();
+        let Parsed::Client {
+            op: ClientOp::Register { name, api, cache },
+            ..
+        } = p
+        else {
+            panic!("wrong parse: {p:?}");
+        };
+        assert_eq!(name, "llcfit");
+        assert!((api - 0.002).abs() < 1e-12);
+        let cache = cache.expect("cache spec should parse");
+        assert!((cache.api_llc - 0.05).abs() < 1e-12);
+        assert!((cache.mem_penalty - 60.0).abs() < 1e-12);
+        assert_eq!(cache.mrc.len(), 3);
+        assert!((cache.mrc[1].ways - 8.0).abs() < 1e-12);
+        assert!((cache.mrc[1].miss_ratio - 0.4).abs() < 1e-12);
+
+        // Malformed specs and misplaced flags fail with clear messages.
+        assert!(parse_cache_spec("0.05:1.0:60").is_err());
+        assert!(parse_cache_spec("0.05:1.0:60:nonsense").is_err());
+        assert!(parse_cache_spec("0.05:1.0:60:1=x").is_err());
+        assert!(Parsed::parse(&v(&[
+            "client", "--addr", "x:1", "register", "a", "0.1", "--cache"
+        ]))
+        .is_err());
+        assert!(Parsed::parse(&v(&[
+            "client",
+            "--addr",
+            "x:1",
+            "register",
+            "--cache",
+            "0.05:1:60:1=0.9",
+            "a",
+            "0.1"
+        ]))
+        .is_err());
     }
 
     #[test]

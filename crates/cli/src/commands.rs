@@ -21,6 +21,7 @@ fn find_mix(name: &str) -> Result<Mix, String> {
         .into_iter()
         .chain([mixes::fig1_mix()])
         .chain(mixes::qos_mixes())
+        .chain(mixes::cache_mixes())
         .find(|m| m.name == name)
         .ok_or_else(|| format!("unknown mix `{name}` (try `bwpart mixes`)"))
 }
@@ -216,6 +217,7 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, String> {
                 .into_iter()
                 .chain([mixes::fig1_mix()])
                 .chain(mixes::qos_mixes())
+                .chain(mixes::cache_mixes())
             {
                 s.push_str(&format!("  {:<10} {}\n", m.name, m.benches.join("-")));
             }
@@ -225,6 +227,7 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, String> {
             addr,
             scheme,
             bandwidth,
+            ways,
             epoch_ms,
             epochs,
             reactor,
@@ -234,7 +237,10 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, String> {
             use std::io::Write as _;
             let cfg = ServeConfig {
                 addr: addr.clone(),
-                engine: EngineConfig::new(*scheme, *bandwidth),
+                engine: EngineConfig {
+                    total_ways: *ways,
+                    ..EngineConfig::new(*scheme, *bandwidth)
+                },
                 epoch_interval: std::time::Duration::from_millis(*epoch_ms),
                 reactor: *reactor,
                 shards: *shards,
@@ -270,9 +276,16 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, String> {
                 other => other.to_string(),
             };
             match op {
-                ClientOp::Register { name, api } => {
-                    let id = client.register(name, *api).map_err(service_err)?;
-                    Ok(format!("registered `{name}` as app {id}"))
+                ClientOp::Register { name, api, cache } => {
+                    let id = client
+                        .register_with_cache(name, *api, cache.clone())
+                        .map_err(service_err)?;
+                    let with = if cache.is_some() {
+                        " (with cache spec)"
+                    } else {
+                        ""
+                    };
+                    Ok(format!("registered `{name}` as app {id}{with}"))
                 }
                 ClientOp::Telemetry {
                     app_id,
@@ -385,9 +398,22 @@ fn render_shares(reply: &SharesReply) -> String {
     );
     for row in &reply.apps {
         out.push_str(&format!(
-            "  [{}] {:<16} β = {:.4}   allocation = {:.6} APC\n",
+            "  [{}] {:<16} β = {:.4}   allocation = {:.6} APC",
             row.app_id, row.name, row.beta, row.allocation
         ));
+        // Coordinated solves attach one row per partitioned resource; the
+        // bandwidth row duplicates β/allocation, so print only the rest.
+        for r in row.resources.iter().flatten() {
+            if r.kind != "bandwidth" {
+                out.push_str(&format!(
+                    "   {} = {} ({:.1}%)",
+                    r.kind,
+                    r.amount,
+                    r.share * 100.0
+                ));
+            }
+        }
+        out.push('\n');
     }
     out
 }
@@ -412,12 +438,16 @@ fn render_snapshot(snap: &ServiceSnapshot) -> String {
             .apc_alone_estimate
             .map(|e| format!("{e:.5}"))
             .unwrap_or_else(|| "—".to_string());
+        let ways = a
+            .llc_ways
+            .map(|w| format!("  ways {w}"))
+            .unwrap_or_default();
         let qos = a
             .qos_target
             .map(|t| format!("  QoS target {t}"))
             .unwrap_or_default();
         out.push_str(&format!(
-            "  [{}] {:<16} API {:.5}  APC_alone ≈ {est}  queued {}  shed {}{qos}\n",
+            "  [{}] {:<16} API {:.5}  APC_alone ≈ {est}  queued {}  shed {}{ways}{qos}\n",
             a.app_id, a.name, a.api, a.queued, a.shed
         ));
     }
@@ -469,6 +499,9 @@ mod tests {
         assert!(out.contains("hetero-7"));
         assert!(out.contains("mix-2"));
         assert!(out.contains("libquantum"));
+        // The cache-hostile mixes ride along for coordinated runs.
+        assert!(out.contains("cache-1"));
+        assert!(out.contains("llcfit"));
     }
 
     #[test]
@@ -510,6 +543,7 @@ mod tests {
         let out = run(ClientOp::Register {
             name: "milc".into(),
             api: 0.00692,
+            cache: None,
         })
         .unwrap();
         assert!(out.contains("app 0"), "{out}");
@@ -543,6 +577,68 @@ mod tests {
 
         let out = run(ClientOp::Shutdown).unwrap();
         assert!(out.contains("shutting down"));
+        handle.join();
+    }
+
+    #[test]
+    fn coordinated_client_ops_show_way_allocations() {
+        use crate::args::parse_cache_spec;
+        use bwpart_core::PartitionScheme;
+
+        let handle = bwpartd::serve(ServeConfig {
+            engine: EngineConfig {
+                total_ways: Some(16),
+                ..EngineConfig::new(PartitionScheme::Coordinated, 0.0095)
+            },
+            epoch_interval: std::time::Duration::from_secs(3600),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let run = |op: ClientOp| {
+            dispatch(&Parsed::Client {
+                addr: addr.clone(),
+                codec: bwpartd::Codec::Json,
+                op,
+            })
+        };
+
+        let steep = parse_cache_spec("0.05:1.0:60:1=0.95,4=0.7,8=0.4,12=0.1,16=0.03").unwrap();
+        let flat = parse_cache_spec("0.02:1.2:40:1=1.0,16=0.98").unwrap();
+        let out = run(ClientOp::Register {
+            name: "llcfit".into(),
+            api: 0.002,
+            cache: Some(steep),
+        })
+        .unwrap();
+        assert!(
+            out.contains("app 0") && out.contains("with cache spec"),
+            "{out}"
+        );
+        run(ClientOp::Register {
+            name: "stream".into(),
+            api: 0.02,
+            cache: Some(flat),
+        })
+        .unwrap();
+        for (id, accesses) in [(0, 9_090), (1, 9_943)] {
+            run(ClientOp::Telemetry {
+                app_id: id,
+                accesses,
+                shared_cycles: 1_000_000,
+                interference_cycles: 0,
+            })
+            .unwrap();
+        }
+
+        handle.force_epoch();
+        let out = run(ClientOp::GetShares { scheme: None }).unwrap();
+        assert!(out.contains("coordinated"), "{out}");
+        assert!(out.contains("llc-ways"), "{out}");
+        let out = run(ClientOp::Snapshot).unwrap();
+        assert!(out.contains("ways "), "{out}");
+
+        run(ClientOp::Shutdown).unwrap();
         handle.join();
     }
 

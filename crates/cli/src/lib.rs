@@ -18,12 +18,12 @@ USAGE:
   bwpart mixes
   bwpart experiment <artifact> [--fast]
   bwpart serve      [--addr h:p] [--scheme <name>] [--bandwidth <apc>]
-                    [--epoch-ms <ms>] [--epochs <n>]
+                    [--ways <n>] [--epoch-ms <ms>] [--epochs <n>]
                     [--reactor] [--shards <n>] [--workers <n>]
   bwpart client     --addr h:p [--codec json|binary] <operation>
 
 CLIENT OPERATIONS:
-  register <name> <api>
+  register <name> <api> [--cache api_llc:cpi_base:mem_penalty:w=m,...]
   telemetry <app_id> <accesses> <shared_cycles> <interference_cycles>
   get-shares [<scheme>]
   group-shares <group> [<scheme>]
@@ -35,10 +35,13 @@ SCHEMES:
   Canonical kebab-case names (no-partitioning, equal, proportional,
   square-root, two-thirds-power, priority-apc, priority-api,
   power:<alpha>); the paper's spellings (Square_root, 2/3_power, ...) and
-  shorthands (sqrt, prop, fcfs) are accepted aliases.
+  shorthands (sqrt, prop, fcfs) are accepted aliases. The `coordinated`
+  scheme co-partitions bandwidth and LLC ways (`serve --ways <n>`,
+  cache specs on register).
 
 MIXES:
-  homo-1..7, hetero-1..7, fig1, mix-1, mix-2 (see `bwpart mixes`)
+  homo-1..7, hetero-1..7, fig1, mix-1, mix-2, cache-1, cache-2
+  (see `bwpart mixes`)
 
 ARTIFACTS:
   table3 table4 fig1 fig2 fig3 fig4 model_vs_sim ablation adaptation profiling

@@ -7,7 +7,7 @@
 //! bwpart profile   --mix <mix> [--fast]
 //! bwpart mixes
 //! bwpart experiment <table3|table4|fig1|fig2|fig3|fig4|ablation|adaptation|profiling|model_vs_sim> [--fast]
-//! bwpart serve     [--addr h:p] [--scheme <name>] [--bandwidth <apc>] [--epoch-ms <ms>] [--epochs <n>]
+//! bwpart serve     [--addr h:p] [--scheme <name>] [--bandwidth <apc>] [--ways <n>] [--epoch-ms <ms>] [--epochs <n>]
 //! bwpart client    --addr h:p <register|telemetry|get-shares|qos-admit|snapshot|shutdown> [...]
 //! ```
 

@@ -144,6 +144,16 @@ impl Cache {
     /// LRU victim evicted; a dirty victim's address is returned for the
     /// writeback. `is_write` marks the (new or present) line dirty.
     pub fn access(&mut self, addr: u64, is_write: bool) -> CacheOutcome {
+        self.access_masked(addr, is_write, u64::MAX)
+    }
+
+    /// Access `addr` with fill-time way partitioning: the hit probe covers
+    /// *all* ways (lines an application filled before a repartition keep
+    /// hitting and drain by natural eviction — no teleporting), but on a
+    /// miss the victim is chosen only among the ways set in `way_mask`
+    /// (bit `i` enables way `i`). An empty or out-of-range mask behaves as
+    /// a full mask. [`Cache::access`] is the unmasked special case.
+    pub fn access_masked(&mut self, addr: u64, is_write: bool, way_mask: u64) -> CacheOutcome {
         self.clock += 1;
         let (set, tag) = self.set_of(addr);
         let base = set * self.cfg.ways;
@@ -157,14 +167,18 @@ impl Cache {
         }
 
         self.misses += 1;
-        // Victim: an invalid way, else the LRU way.
+        // Victim: an invalid masked way, else the LRU masked way. A mask
+        // with no in-range bits would leave no victim; treat it as full.
+        let in_range = way_mask & (u64::MAX >> (64 - self.cfg.ways.min(64) as u32));
+        let mask = if in_range == 0 { u64::MAX } else { way_mask };
         let victim = ways
             .iter()
             .enumerate()
-            .min_by_key(|(_, l)| (l.valid, l.lru))
+            .filter(|&(i, _)| i >= 64 || mask & (1u64 << i) != 0)
+            .min_by_key(|&(_, l)| (l.valid, l.lru))
             .map(|(i, _)| i)
-            // lint: allow(R1): cfg.validate() rejects ways == 0, min_by_key is Some
-            .expect("ways is non-empty");
+            // lint: allow(R1): the mask is never empty after the fixup above
+            .expect("mask selects at least one way");
         let v = &mut ways[victim];
         let writeback = if v.valid && v.dirty {
             self.writebacks += 1;
@@ -348,6 +362,62 @@ mod tests {
             ways: 2,
             line_bytes: 64,
         });
+    }
+
+    #[test]
+    fn masked_fill_restricts_victim_to_single_way() {
+        let mut c = small();
+        // Fill both ways of set 0, then restrict fills to way 1 only: the
+        // line in way 0 becomes unevictable and survives any fill storm.
+        c.access_masked(0x000, false, 0b01); // way 0
+        c.access_masked(0x400, false, 0b10); // way 1
+        for i in 2..10u64 {
+            c.access_masked(i * 0x400, false, 0b10);
+        }
+        assert!(c.contains(0x000), "way 0's line must be pinned by the mask");
+        assert!(c.contains(9 * 0x400));
+    }
+
+    #[test]
+    fn hit_probe_ignores_the_mask() {
+        let mut c = small();
+        c.access_masked(0x000, false, 0b01); // resident in way 0
+                                             // A later access under a disjoint mask still hits — lines filled
+                                             // before a repartition drain naturally instead of teleporting.
+        assert_eq!(c.access_masked(0x000, false, 0b10), CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn empty_or_out_of_range_mask_acts_as_full() {
+        let mut c = small(); // 2 ways: only bits 0-1 are in range
+        assert!(matches!(
+            c.access_masked(0x000, false, 0),
+            CacheOutcome::Miss { .. }
+        ));
+        // Bits beyond the associativity alone = effectively empty.
+        assert!(matches!(
+            c.access_masked(0x400, false, 0b100),
+            CacheOutcome::Miss { .. }
+        ));
+        // Both fills landed (full-mask fallback), so both lines are live.
+        assert!(c.contains(0x000));
+        assert!(c.contains(0x400));
+    }
+
+    #[test]
+    fn unmasked_access_equals_full_mask() {
+        let mut a = small();
+        let mut b = small();
+        for i in 0..50u64 {
+            let addr = (i * 7919) % 4096 * 64;
+            assert_eq!(
+                a.access(addr, i % 3 == 0),
+                b.access_masked(addr, i % 3 == 0, u64::MAX)
+            );
+        }
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.misses, b.misses);
+        assert_eq!(a.writebacks, b.writebacks);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use serde::{Deserialize, Serialize};
 use bwpart_mc::{MemRequest, MemoryController};
 
 use crate::cache::{Cache, CacheConfig, CacheOutcome};
+use crate::llc::SharedLlc;
 
 /// One element of an application's instruction stream: `gap` non-memory
 /// instructions followed by one memory instruction at `addr`.
@@ -312,7 +313,44 @@ impl Core {
     }
 
     /// Execute one CPU cycle, possibly issuing memory requests to `mc`.
+    /// Equivalent to [`step_llc`](Self::step_llc) without a shared LLC.
     pub fn step(&mut self, now: u64, mc: &mut MemoryController) {
+        self.step_llc(now, mc, None);
+    }
+
+    /// Route a dirty L2 victim toward DRAM: through the shared LLC when one
+    /// is present (only a dirty *LLC* victim then reaches the controller),
+    /// straight to the controller otherwise.
+    fn spill_l2_victim(
+        &mut self,
+        wb: u64,
+        now: u64,
+        mc: &mut MemoryController,
+        llc: &mut Option<&mut SharedLlc>,
+    ) {
+        let dram_wb = match llc.as_deref_mut() {
+            Some(l) => l.writeback(self.app, wb),
+            None => Some(wb),
+        };
+        if let Some(w) = dram_wb {
+            self.counters.mem_writes += 1;
+            mc.enqueue(MemRequest::write(self.app, w, now));
+        }
+    }
+
+    /// Execute one CPU cycle with an optional shared LLC between the
+    /// private L2 and the memory controller. With `llc` absent this is
+    /// exactly the private-hierarchy [`step`](Self::step); with it present,
+    /// L2 misses probe the LLC first — an LLC hit serializes the LLC hit
+    /// penalty through the same wait machinery as an L2 hit (so the
+    /// event-driven fast-forward stays bit-identical), and only LLC misses
+    /// and dirty LLC victims produce DRAM traffic.
+    pub fn step_llc(
+        &mut self,
+        now: u64,
+        mc: &mut MemoryController,
+        mut llc: Option<&mut SharedLlc>,
+    ) {
         if self.l2_wait > 0 {
             self.l2_wait -= 1;
             return;
@@ -347,13 +385,12 @@ impl Core {
                     if let Some(wb) = writeback {
                         // L1 dirty victim installs into L2 (no memory fetch:
                         // the data moves downward); L2's own dirty victim
-                        // goes to DRAM.
+                        // goes to the LLC or DRAM.
                         if let CacheOutcome::Miss {
                             writeback: Some(l2wb),
                         } = self.l2.access(wb, true)
                         {
-                            self.counters.mem_writes += 1;
-                            mc.enqueue(MemRequest::write(self.app, l2wb, now));
+                            self.spill_l2_victim(l2wb, now, mc, &mut llc);
                         }
                     }
                     // Demand fill from L2 (the L1 copy carries dirtiness for
@@ -369,8 +406,27 @@ impl Core {
                         CacheOutcome::Miss { writeback: l2wb } => {
                             self.counters.l2_misses += 1;
                             if let Some(wb) = l2wb {
-                                self.counters.mem_writes += 1;
-                                mc.enqueue(MemRequest::write(self.app, wb, now));
+                                self.spill_l2_victim(wb, now, mc, &mut llc);
+                            }
+                            // Shared-LLC probe: a hit is absorbed before
+                            // DRAM, serializing the LLC hit penalty exactly
+                            // like an L2 hit does.
+                            if let Some(l) = llc.as_deref_mut() {
+                                match l.access(self.app, addr, false) {
+                                    CacheOutcome::Hit => {
+                                        let penalty = l.hit_penalty();
+                                        self.retire_mem();
+                                        self.l2_wait = penalty;
+                                        progressed = true;
+                                        break;
+                                    }
+                                    CacheOutcome::Miss { writeback: lwb } => {
+                                        if let Some(w) = lwb {
+                                            self.counters.mem_writes += 1;
+                                            mc.enqueue(MemRequest::write(self.app, w, now));
+                                        }
+                                    }
+                                }
                             }
                             let line = addr & !63u64;
                             // MSHR merge: a pending miss to the same line

@@ -17,6 +17,8 @@
 //! * [`cache`] — set-associative write-back/write-allocate caches with LRU
 //!   and proper dirty-eviction traffic.
 //! * [`core`] — the core model and the [`Workload`] trait it executes.
+//! * [`llc`] — the shared, way-partitioned last-level cache between the
+//!   private L2s and the memory controller (fill-time mask enforcement).
 //! * [`system`] — [`CmpSystem`]: cores × caches × controller × DRAM on a
 //!   global CPU-cycle loop.
 //! * [`runner`] — the paper's phase methodology (warm-up → profile →
@@ -32,6 +34,7 @@
 pub mod cache;
 pub mod core;
 pub mod hybrid;
+pub mod llc;
 pub mod obs;
 pub mod runner;
 pub mod stats;
@@ -40,6 +43,7 @@ pub mod system;
 pub use crate::core::{Access, Core, CoreConfig, IdleState, Workload};
 pub use cache::{Cache, CacheConfig};
 pub use hybrid::HybridConfig;
+pub use llc::{LlcAppCounters, LlcConfig, SharedLlc};
 pub use obs::{CmpObsHooks, RunObserver};
 pub use runner::{PhaseConfig, Runner, ShareSource, SimOutcome};
 pub use stats::AppStats;

@@ -1,0 +1,373 @@
+//! The shared last-level cache with per-application way partitioning.
+//!
+//! Sits between the private per-core L2s and the memory controller: L2
+//! demand misses and dirty L2 victims probe the LLC, and only LLC misses
+//! (plus dirty LLC victims) reach DRAM — so the memory controller's
+//! profiler sees *cache-share-dependent* demand, which is what the
+//! coordinated analytical model (`bwpart_core::mrc`) needs.
+//!
+//! Partitioning is enforced at **fill time** (way masks restrict victim
+//! selection), the standard hardware mechanism (Intel CAT, Cache
+//! Partitioning via way masks): an application's fills may only evict
+//! lines from its assigned ways, but the *hit* probe covers all ways.
+//! After a repartition, lines resident in ways an application no longer
+//! owns keep hitting and drain by natural eviction — they never teleport.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{Cache, CacheConfig, CacheOutcome};
+
+/// Geometry and timing of the shared LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LlcConfig {
+    /// Cache geometry (capacity, ways, line size).
+    pub cache: CacheConfig,
+    /// Serialized penalty cycles charged per LLC hit (the un-overlapped
+    /// remainder of the LLC latency in an OoO core — larger than the L2
+    /// hit penalty, far smaller than a DRAM round trip).
+    pub hit_penalty: u32,
+}
+
+impl Default for LlcConfig {
+    /// A 2 MB, 16-way, 64 B-line shared LLC with a 12-cycle serialized hit
+    /// penalty — sized to sit between the paper's 256 KB private L2s and
+    /// DRAM.
+    fn default() -> Self {
+        LlcConfig {
+            cache: CacheConfig {
+                capacity: 2 * 1024 * 1024,
+                ways: 16,
+                line_bytes: 64,
+            },
+            hit_penalty: 12,
+        }
+    }
+}
+
+/// Per-application LLC counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LlcAppCounters {
+    /// LLC hits (L2 misses absorbed before DRAM).
+    pub hits: u64,
+    /// LLC misses (demand traffic that reached DRAM).
+    pub misses: u64,
+    /// Dirty L2 victims absorbed by the LLC (no DRAM write needed).
+    pub writebacks_absorbed: u64,
+}
+
+impl LlcAppCounters {
+    /// Demand accesses observed (hits + misses).
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio so far (0 when idle).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// The shared, way-partitioned LLC.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SharedLlc {
+    cfg: LlcConfig,
+    cache: Cache,
+    /// Per-application way masks (bit `i` enables way `i` for fills).
+    masks: Vec<u64>,
+    /// Per-application way counts behind the masks (reporting).
+    ways: Vec<usize>,
+    /// Per-application counters.
+    counters: Vec<LlcAppCounters>,
+}
+
+impl SharedLlc {
+    /// Build an LLC shared by `n_apps` applications, ways split as evenly
+    /// as possible (contiguous mask ranges, deterministic).
+    ///
+    /// # Panics
+    /// Panics if the geometry is invalid, `n_apps` is zero, or there are
+    /// fewer ways than applications.
+    pub fn new(cfg: LlcConfig, n_apps: usize) -> Self {
+        assert!(n_apps > 0, "at least one application required");
+        assert!(
+            cfg.cache.ways >= n_apps,
+            "LLC needs at least one way per application"
+        );
+        assert!(cfg.cache.ways <= 64, "way masks are 64-bit");
+        let cache = Cache::new(cfg.cache);
+        let mut llc = SharedLlc {
+            cfg,
+            cache,
+            masks: vec![0; n_apps],
+            ways: vec![0; n_apps],
+            counters: vec![LlcAppCounters::default(); n_apps],
+        };
+        let n = n_apps;
+        let total = cfg.cache.ways;
+        let even: Vec<usize> = (0..n)
+            .map(|i| total / n + usize::from(i < total % n))
+            .collect();
+        llc.set_ways(&even);
+        llc
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LlcConfig {
+        &self.cfg
+    }
+
+    /// Serialized hit penalty in cycles.
+    pub fn hit_penalty(&self) -> u32 {
+        self.cfg.hit_penalty
+    }
+
+    /// Current per-application way counts.
+    pub fn way_allocation(&self) -> &[usize] {
+        &self.ways
+    }
+
+    /// Current per-application way masks.
+    pub fn way_masks(&self) -> &[u64] {
+        &self.masks
+    }
+
+    /// Per-application counters.
+    pub fn counters(&self, app: usize) -> &LlcAppCounters {
+        &self.counters[app]
+    }
+
+    /// Repartition: assign `ways[i]` contiguous ways to application `i`.
+    /// Only future fills are affected — resident lines stay where they are
+    /// and drain by natural eviction (see the module docs). Deterministic:
+    /// the same vector always produces the same masks.
+    ///
+    /// # Panics
+    /// Panics if the counts don't sum to the total ways or any app gets 0.
+    pub fn set_ways(&mut self, ways: &[usize]) {
+        assert_eq!(ways.len(), self.masks.len(), "one way count per app");
+        assert_eq!(
+            ways.iter().sum::<usize>(),
+            self.cfg.cache.ways,
+            "way counts must sum to the LLC's associativity"
+        );
+        assert!(
+            ways.iter().all(|&w| w >= 1),
+            "every application needs at least one way"
+        );
+        let mut base = 0usize;
+        for (i, &w) in ways.iter().enumerate() {
+            let mask = if w >= 64 {
+                u64::MAX
+            } else {
+                ((1u64 << w) - 1) << base
+            };
+            self.masks[i] = mask;
+            self.ways[i] = w;
+            base += w;
+        }
+    }
+
+    /// Demand access from application `app` (an L2 miss). Fill-time way
+    /// enforcement; the returned outcome carries the dirty LLC victim's
+    /// address when one must be written back to DRAM.
+    pub fn access(&mut self, app: usize, addr: u64, is_write: bool) -> CacheOutcome {
+        let out = self.cache.access_masked(addr, is_write, self.masks[app]);
+        match out {
+            CacheOutcome::Hit => self.counters[app].hits += 1,
+            CacheOutcome::Miss { .. } => self.counters[app].misses += 1,
+        }
+        out
+    }
+
+    /// Install a dirty L2 victim from application `app` (full-line write,
+    /// no DRAM fetch needed). Returns the dirty LLC victim's address when
+    /// the install displaces one.
+    pub fn writeback(&mut self, app: usize, addr: u64) -> Option<u64> {
+        match self.cache.access_masked(addr, true, self.masks[app]) {
+            CacheOutcome::Hit => {
+                self.counters[app].writebacks_absorbed += 1;
+                None
+            }
+            CacheOutcome::Miss { writeback } => {
+                if writeback.is_none() {
+                    self.counters[app].writebacks_absorbed += 1;
+                }
+                writeback
+            }
+        }
+    }
+
+    /// Probe without modifying state (diagnostics).
+    pub fn contains(&self, addr: u64) -> bool {
+        self.cache.contains(addr)
+    }
+
+    /// Reset per-app and underlying cache counters (state persists, like
+    /// the private caches across phase boundaries).
+    pub fn reset_counters(&mut self) {
+        for c in &mut self.counters {
+            *c = LlcAppCounters::default();
+        }
+        self.cache.reset_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> LlcConfig {
+        // 4 sets × 4 ways × 64 B = 1 KB.
+        LlcConfig {
+            cache: CacheConfig {
+                capacity: 1024,
+                ways: 4,
+                line_bytes: 64,
+            },
+            hit_penalty: 12,
+        }
+    }
+
+    #[test]
+    fn even_split_by_default() {
+        let llc = SharedLlc::new(small_cfg(), 2);
+        assert_eq!(llc.way_allocation(), &[2, 2]);
+        assert_eq!(llc.way_masks(), &[0b0011, 0b1100]);
+        let llc3 = SharedLlc::new(LlcConfig::default(), 3);
+        assert_eq!(llc3.way_allocation().iter().sum::<usize>(), 16);
+        assert_eq!(llc3.way_allocation(), &[6, 5, 5]);
+    }
+
+    #[test]
+    fn fills_stay_within_the_mask() {
+        let mut llc = SharedLlc::new(small_cfg(), 2);
+        // App 0 streams through set 0 (stride = sets × line = 256 B): with
+        // only 2 ways it can keep at most 2 lines of the set resident.
+        for i in 0..8u64 {
+            llc.access(0, i * 256, false);
+        }
+        // The two most recent lines are resident, older ones evicted.
+        assert!(llc.contains(7 * 256));
+        assert!(llc.contains(6 * 256));
+        assert!(!llc.contains(5 * 256));
+        // App 1's ways are untouched: filling two lines for app 1 evicts
+        // nothing of app 0's.
+        llc.access(1, 0x10000, false);
+        llc.access(1, 0x10000 + 256, false);
+        assert!(llc.contains(7 * 256));
+        assert!(llc.contains(6 * 256));
+    }
+
+    #[test]
+    fn one_way_minimum_allocation_works() {
+        let mut llc = SharedLlc::new(small_cfg(), 2);
+        llc.set_ways(&[1, 3]);
+        // App 0 with a single way: two alternating lines in one set thrash.
+        for _ in 0..4 {
+            llc.access(0, 0, false);
+            llc.access(0, 256, false);
+        }
+        assert_eq!(llc.counters(0).hits, 0);
+        assert_eq!(llc.counters(0).misses, 8);
+        // App 1 with three ways keeps three lines of the same set warm.
+        for _ in 0..2 {
+            llc.access(1, 512, false);
+            llc.access(1, 768, false);
+            llc.access(1, 1024 + 256, false);
+        }
+        assert_eq!(llc.counters(1).misses, 3);
+        assert_eq!(llc.counters(1).hits, 3);
+    }
+
+    #[test]
+    fn all_ways_to_one_app() {
+        let mut llc = SharedLlc::new(small_cfg(), 2);
+        // Degenerate but legal only via masks ≥1; the nearest extreme is
+        // 3-vs-1. App 0 with 3 ways holds a 3-line working set.
+        llc.set_ways(&[3, 1]);
+        for _ in 0..2 {
+            for i in 0..3u64 {
+                llc.access(0, i * 256, false);
+            }
+        }
+        assert_eq!(llc.counters(0).misses, 3);
+        assert_eq!(llc.counters(0).hits, 3);
+    }
+
+    #[test]
+    fn repartition_drains_by_natural_eviction() {
+        let mut llc = SharedLlc::new(small_cfg(), 2);
+        // App 0 warms lines into its ways {0,1}.
+        llc.access(0, 0, false);
+        llc.access(0, 256, false);
+        // Repartition: app 0 shrinks to way {0}, app 1 takes {1,2,3}.
+        llc.set_ways(&[1, 3]);
+        // Old lines still hit — no teleport, no flush.
+        assert_eq!(llc.access(0, 0, false), CacheOutcome::Hit);
+        assert_eq!(llc.access(0, 256, false), CacheOutcome::Hit);
+        // App 1 filling the set evicts app 0's stale line in way 1 (LRU
+        // among app 1's mask: invalid ways 2,3 first, then way 1).
+        llc.access(1, 512, false);
+        llc.access(1, 768, false);
+        assert!(llc.contains(0) && llc.contains(256)); // ways 2,3 were free
+        llc.access(1, 1024 + 512, false); // now evicts from way 1
+        assert!(!llc.contains(0) || !llc.contains(256));
+        // App 0 can still hit whatever survived and fills only way 0.
+        let survivors = [0u64, 256].iter().filter(|&&a| llc.contains(a)).count();
+        assert_eq!(survivors, 1);
+    }
+
+    #[test]
+    fn repartition_is_deterministic() {
+        let run = || {
+            let mut llc = SharedLlc::new(small_cfg(), 2);
+            for i in 0..16u64 {
+                llc.access((i % 2) as usize, i * 64, i % 3 == 0);
+            }
+            llc.set_ways(&[3, 1]);
+            for i in 0..16u64 {
+                llc.access((i % 2) as usize, i * 128, false);
+            }
+            llc.set_ways(&[2, 2]);
+            for i in 0..16u64 {
+                llc.access((i % 2) as usize, i * 192, false);
+            }
+            (
+                llc.way_masks().to_vec(),
+                (0..2).map(|a| llc.counters(a).clone()).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn writeback_absorption_and_spill() {
+        let mut llc = SharedLlc::new(small_cfg(), 2);
+        // A dirty L2 victim installs without DRAM traffic.
+        assert_eq!(llc.writeback(0, 0), None);
+        assert_eq!(llc.counters(0).writebacks_absorbed, 1);
+        // Installing two more dirty lines into app 0's 2 ways displaces
+        // the first — now a DRAM write.
+        assert_eq!(llc.writeback(0, 256), None);
+        assert_eq!(llc.writeback(0, 512), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to the LLC's associativity")]
+    fn bad_way_counts_panic() {
+        let mut llc = SharedLlc::new(small_cfg(), 2);
+        llc.set_ways(&[2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panic() {
+        let mut llc = SharedLlc::new(small_cfg(), 2);
+        llc.set_ways(&[4, 0]);
+    }
+}

@@ -380,9 +380,42 @@ impl Runner {
         apc_alone_ref: Vec<f64>,
         api_ref: Vec<f64>,
     ) -> SimOutcome {
+        self.run_with_allocation(
+            shares,
+            None,
+            label,
+            workloads,
+            core_cfgs,
+            apc_alone_ref,
+            api_ref,
+        )
+    }
+
+    /// Run a mix under an explicit multi-resource allocation: a bandwidth
+    /// share vector enforced by start-time-fair scheduling plus, when
+    /// `ways` is given, an LLC way partition installed before warm-up so
+    /// the caches warm under the enforced regime (the coordinated-solver
+    /// enforcement path; requires [`CmpConfig::llc`] to be set).
+    // The seven knobs mirror the coordinated enforcement tuple (shares,
+    // way masks, workloads, references); a builder would obscure the
+    // one-call experiment surface.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_allocation(
+        &self,
+        shares: Vec<f64>,
+        ways: Option<&[usize]>,
+        label: &str,
+        workloads: Vec<Box<dyn Workload>>,
+        core_cfgs: Vec<CoreConfig>,
+        apc_alone_ref: Vec<f64>,
+        api_ref: Vec<f64>,
+    ) -> SimOutcome {
         let n = workloads.len();
         assert_eq!(shares.len(), n);
         let mut sys = CmpSystem::new(&self.cmp, workloads, core_cfgs, Policy::fcfs(n));
+        if let Some(w) = ways {
+            sys.set_llc_ways(w);
+        }
         sys.set_hybrid_armed(false);
         sys.run(self.phases.warmup + self.phases.profile);
         sys.set_hybrid_armed(true);

@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 use crate::cache::CacheConfig;
 use crate::core::{Core, CoreConfig, IdleState, Workload};
 use crate::hybrid::{HybridConfig, HybridSnap, HybridState};
+use crate::llc::{LlcConfig, SharedLlc};
 use crate::obs::CmpObsHooks;
 use crate::stats::AppStats;
 
@@ -48,6 +49,11 @@ pub struct CmpConfig {
     /// instead of simulating every cycle. Tolerance-certified rather than
     /// bit-identical — see [`crate::hybrid`].
     pub hybrid: Option<HybridConfig>,
+    /// Shared, way-partitioned LLC between the private L2s and the memory
+    /// controller (default `None` = the paper's private-hierarchy Table II
+    /// system, bit-identical to builds without this field). See
+    /// [`crate::llc`].
+    pub llc: Option<LlcConfig>,
 }
 
 impl Default for CmpConfig {
@@ -61,6 +67,7 @@ impl Default for CmpConfig {
             fast_forward: true,
             parallel_channels: false,
             hybrid: None,
+            llc: None,
         }
     }
 }
@@ -84,6 +91,8 @@ pub struct Snapshot {
 pub struct CmpSystem {
     cores: Vec<Core>,
     mc: MemoryController,
+    /// Shared way-partitioned LLC (None: private hierarchies only).
+    llc: Option<SharedLlc>,
     cycle: u64,
     /// Lifetime retired-instruction counters (survive per-phase resets).
     lifetime_instr: Vec<u64>,
@@ -147,6 +156,7 @@ impl CmpSystem {
         CmpSystem {
             cores,
             mc,
+            llc: cfg.llc.map(|lc| SharedLlc::new(lc, n)),
             cycle: 0,
             lifetime_instr: vec![0; n],
             fast_forward: cfg.fast_forward,
@@ -202,6 +212,27 @@ impl CmpSystem {
         &self.cores[i]
     }
 
+    /// The shared LLC, when configured.
+    pub fn llc(&self) -> Option<&SharedLlc> {
+        self.llc.as_ref()
+    }
+
+    /// Repartition the shared LLC's ways (`ways[i]` ways to application
+    /// `i`). Takes effect at fill time only — resident lines drain by
+    /// natural eviction, so the change is non-disruptive like programming
+    /// a hardware way-mask register.
+    ///
+    /// # Panics
+    /// Panics if the system has no LLC or the counts are inconsistent
+    /// (see [`SharedLlc::set_ways`]).
+    pub fn set_llc_ways(&mut self, ways: &[usize]) {
+        self.llc
+            .as_mut()
+            // lint: allow(R1): misconfiguration — callers gate on llc()
+            .expect("set_llc_ways on a system built without an LLC")
+            .set_ways(ways);
+    }
+
     /// Advance one CPU cycle.
     ///
     /// Step accounting (`cmp_steps_total`) is batched by the run loops —
@@ -217,7 +248,7 @@ impl CmpSystem {
             }
         }
         for core in &mut self.cores {
-            core.step(now, &mut self.mc);
+            core.step_llc(now, &mut self.mc, self.llc.as_mut());
         }
         self.cycle += 1;
     }
@@ -488,11 +519,15 @@ impl CmpSystem {
     }
 
     /// Reset per-phase core counters while preserving lifetime instruction
-    /// counts (cache/DRAM state is untouched).
+    /// counts (cache/DRAM state is untouched; LLC hit/miss counters reset
+    /// like the private-cache counters, LLC contents stay warm).
     pub fn reset_phase_counters(&mut self) {
         for (i, core) in self.cores.iter_mut().enumerate() {
             self.lifetime_instr[i] += core.counters.retired;
             core.reset_counters();
+        }
+        if let Some(llc) = &mut self.llc {
+            llc.reset_counters();
         }
     }
 }
@@ -728,6 +763,165 @@ mod tests {
             );
             assert!(c("cmp_ff_jumps_total") > 0, "skip path never taken");
         }
+    }
+
+    /// Cyclic sweep over a fixed footprint (a tunable working set).
+    struct Cyclic {
+        gap: u32,
+        next: u64,
+        footprint: u64,
+    }
+    impl Workload for Cyclic {
+        fn next_access(&mut self) -> Access {
+            let a = self.next;
+            self.next = (self.next + 64) % self.footprint;
+            Access {
+                gap: self.gap,
+                addr: a,
+                is_write: false,
+            }
+        }
+        fn name(&self) -> &str {
+            "cyclic"
+        }
+    }
+
+    fn mk_llc(workloads: Vec<Box<dyn Workload>>, llc: Option<LlcConfig>) -> CmpSystem {
+        let cfg = CmpConfig {
+            llc,
+            ..CmpConfig::default()
+        };
+        let n = workloads.len();
+        CmpSystem::new(
+            &cfg,
+            workloads,
+            vec![CoreConfig::default(); n],
+            Policy::fcfs(n),
+        )
+    }
+
+    /// A 1 MB, 16-way LLC: small enough that a test can warm it quickly at
+    /// DDR2-400 fill rates.
+    fn small_llc() -> LlcConfig {
+        LlcConfig {
+            cache: CacheConfig {
+                capacity: 1024 * 1024,
+                ways: 16,
+                line_bytes: 64,
+            },
+            hit_penalty: 12,
+        }
+    }
+
+    #[test]
+    fn llc_absorbs_l2_miss_traffic() {
+        // 320 KB cyclic working set: overflows the 256 KB L2 (cyclic + LRU
+        // thrashes), fits the 1 MB LLC. Once warm, demand reads stop
+        // reaching DRAM entirely.
+        let wl = || -> Vec<Box<dyn Workload>> {
+            vec![Box::new(Cyclic {
+                gap: 4,
+                next: 0,
+                footprint: 320 * 1024,
+            })]
+        };
+        let mut with = mk_llc(wl(), Some(small_llc()));
+        with.run(900_000);
+        with.reset_phase_counters();
+        with.run(200_000);
+        assert_eq!(
+            with.core(0).counters.mem_reads,
+            0,
+            "warm LLC-resident set must produce no DRAM reads"
+        );
+        assert!(with.llc().unwrap().counters(0).hits > 0);
+        // Without the LLC the same workload keeps streaming from DRAM.
+        let mut without = mk_llc(wl(), None);
+        without.run(900_000);
+        without.reset_phase_counters();
+        without.run(200_000);
+        assert!(without.core(0).counters.mem_reads > 0);
+    }
+
+    #[test]
+    fn repartitioning_ways_shifts_llc_behaviour() {
+        // App 0: 320 KB working set, LLC-sensitive. App 1: streaming hog.
+        // With 2 ways (128 KB) app 0 thrashes; repartitioned mid-run to
+        // 14 ways (896 KB) it warms its expanded share and stops missing.
+        let wl: Vec<Box<dyn Workload>> = vec![
+            Box::new(Cyclic {
+                gap: 4,
+                next: 0,
+                footprint: 320 * 1024,
+            }),
+            Box::new(Uniform {
+                gap: 4,
+                next: 0,
+                stride: 64,
+            }),
+        ];
+        let mut sys = mk_llc(wl, Some(small_llc()));
+        sys.set_llc_ways(&[2, 14]);
+        sys.run(600_000);
+        sys.llc.as_mut().unwrap().reset_counters();
+        sys.run(300_000);
+        let tight = sys.llc().unwrap().counters(0).clone();
+        assert!(
+            tight.miss_ratio() > 0.8,
+            "128 KB share must thrash a 320 KB cyclic set: {}",
+            tight.miss_ratio()
+        );
+        // Mid-run repartition: app 0's own fills populate the new ways.
+        sys.set_llc_ways(&[14, 2]);
+        assert_eq!(sys.llc().unwrap().way_allocation(), &[14, 2]);
+        sys.run(1_500_000);
+        sys.llc.as_mut().unwrap().reset_counters();
+        sys.run(300_000);
+        let wide = sys.llc().unwrap().counters(0).clone();
+        assert!(
+            wide.miss_ratio() < 0.2,
+            "896 KB share must absorb the set: {} -> {}",
+            tight.miss_ratio(),
+            wide.miss_ratio()
+        );
+    }
+
+    #[test]
+    fn llc_fast_forward_is_counter_identical_to_per_cycle() {
+        let wl = || -> Vec<Box<dyn Workload>> {
+            vec![
+                Box::new(Cyclic {
+                    gap: 10,
+                    next: 0,
+                    footprint: 512 * 1024,
+                }),
+                Box::new(Uniform {
+                    gap: 10,
+                    next: 0,
+                    stride: 64,
+                }),
+            ]
+        };
+        let mut skipped = mk_llc(wl(), Some(LlcConfig::default()));
+        skipped.run(150_000);
+        let mut stepped = mk_llc(wl(), Some(LlcConfig::default()));
+        stepped.run_per_cycle(150_000);
+        assert_eq!(digest(&skipped), digest(&stepped));
+        assert_eq!(
+            skipped.llc().unwrap().counters(0),
+            stepped.llc().unwrap().counters(0)
+        );
+        assert_eq!(
+            skipped.llc().unwrap().counters(1),
+            stepped.llc().unwrap().counters(1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "without an LLC")]
+    fn set_llc_ways_without_llc_panics() {
+        let mut sys = mk(1, 10);
+        sys.set_llc_ways(&[16]);
     }
 
     #[test]

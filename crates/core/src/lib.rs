@@ -54,6 +54,12 @@
 //! * [`qos`] — the QoS-guarantee extension of Section III-G (Eq. 11).
 //! * [`weighted`] — priority-weighted objectives and their optima (the
 //!   Section II-B motivation, derived).
+//! * [`resource`] — the generic N-resource abstraction ([`Resource`],
+//!   certified [`Allocation`]s); the paper schemes are the
+//!   single-resource special case.
+//! * [`mrc`] — fitted miss-ratio curves making `APC_alone(w)` a function
+//!   of allocated LLC ways ([`CacheAwareProfile`]).
+//! * [`coord`] — the coordinated (bandwidth × LLC ways) solver.
 //!
 //! ## Quick example
 //!
@@ -85,27 +91,38 @@
 pub mod app;
 pub mod closed_form;
 pub mod contracts;
+pub mod coord;
 pub mod error;
 pub mod metrics;
+pub mod mrc;
 pub mod predict;
 pub mod qos;
+pub mod resource;
 pub mod schemes;
 pub mod solver;
 pub mod weighted;
 
 pub use app::AppProfile;
+pub use coord::{solve_coordinated, solve_coordinated_scaled, CoordConfig, CoordOutcome};
 pub use error::ModelError;
 pub use metrics::Metric;
+pub use mrc::{CacheAwareProfile, MissRatioCurve};
+pub use resource::{Allocation, MultiAllocation, Resource, ResourceKind};
 pub use schemes::{PartitionScheme, SharesOutcome};
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
     pub use crate::app::AppProfile;
     pub use crate::contracts;
+    pub use crate::coord::{
+        self, solve_coordinated, solve_coordinated_scaled, CoordConfig, CoordOutcome,
+    };
     pub use crate::error::ModelError;
     pub use crate::metrics::{self, Metric};
+    pub use crate::mrc::{CacheAwareProfile, MissRatioCurve};
     pub use crate::predict;
     pub use crate::qos::{self, QosRequest};
+    pub use crate::resource::{Allocation, MultiAllocation, Resource, ResourceKind};
     pub use crate::schemes::{PartitionScheme, SharesOutcome};
     pub use crate::solver;
     pub use crate::weighted;

@@ -1,0 +1,348 @@
+//! Miss-ratio curves and cache-aware application profiles.
+//!
+//! The paper treats `APC_alone` as a constant per application. Under
+//! coordinated bandwidth + LLC-way partitioning it becomes a function of
+//! the ways `w` the application holds: fewer ways raise the LLC miss ratio
+//! `m(w)`, which raises the DDR traffic per instruction
+//! (`API(w) = API_llc · m(w)`) and the standalone CPI
+//! (`CPI(w) = CPI_base + API_llc · m(w) · penalty`), so
+//!
+//! ```text
+//! APC_alone(w) = API(w) / CPI(w)            (Eq. 1 composed with m(w))
+//! ```
+//!
+//! Everything downstream of [`AppProfile`] — Eq. 1–8, the schemes, the
+//! QoS admission — composes unchanged: [`CacheAwareProfile::profile_at`]
+//! materializes a plain profile for any way count.
+//!
+//! Miss-ratio curves are *sampled* (short standalone profiling runs at a
+//! grid of way counts — see `bwpart-workloads`' sampler) and fitted here:
+//! samples are pool-adjacent-violators-isotonized to be non-increasing in
+//! ways, then monotone piecewise-linearly interpolated. Isotonization makes
+//! the curve robust to simulation noise without losing the physical shape.
+
+use serde::{Deserialize, Serialize};
+
+use crate::app::AppProfile;
+use crate::error::ModelError;
+
+/// A fitted, monotone non-increasing miss-ratio curve `m(ways)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissRatioCurve {
+    /// Fitted `(ways, miss_ratio)` knots, strictly increasing in ways and
+    /// non-increasing in miss ratio.
+    points: Vec<(f64, f64)>,
+}
+
+impl MissRatioCurve {
+    /// Fit a curve from raw `(ways, miss_ratio)` samples. Samples are
+    /// sorted by ways, averaged at duplicate way counts, clamped into
+    /// `[0, 1]`, and isotonized (pool adjacent violators) so the fitted
+    /// curve is non-increasing — a cache never misses more with more ways.
+    pub fn fit(samples: &[(f64, f64)]) -> Result<Self, ModelError> {
+        if samples.is_empty() {
+            return Err(ModelError::NoApplications);
+        }
+        for &(w, m) in samples {
+            if !(w.is_finite() && w > 0.0) {
+                return Err(ModelError::InvalidInput {
+                    what: "mrc ways sample",
+                    value: w,
+                });
+            }
+            if !m.is_finite() || !(0.0..=1.0 + 1e-9).contains(&m) {
+                return Err(ModelError::InvalidInput {
+                    what: "mrc miss-ratio sample",
+                    value: m,
+                });
+            }
+        }
+        let mut sorted: Vec<(f64, f64)> = samples.to_vec();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Average duplicate way counts.
+        let mut merged: Vec<(f64, f64, f64)> = Vec::with_capacity(sorted.len()); // (w, sum, count)
+        for (w, m) in sorted {
+            match merged.last_mut() {
+                Some(last) if (last.0 - w).abs() < 1e-12 => {
+                    last.1 += m;
+                    last.2 += 1.0;
+                }
+                _ => merged.push((w, m, 1.0)),
+            }
+        }
+        // Pool adjacent violators for a non-increasing sequence: walking
+        // left to right, whenever a block's mean exceeds its predecessor's
+        // (an *increase*), merge them. Operating on the negated values
+        // would be the textbook non-decreasing PAV; this is the mirrored
+        // form.
+        struct Block {
+            sum: f64,
+            count: f64,
+        }
+        let ws: Vec<f64> = merged.iter().map(|&(w, _, _)| w).collect();
+        let mut blocks: Vec<(Block, usize)> = Vec::with_capacity(merged.len()); // (block, span)
+        for &(_, sum, count) in &merged {
+            let mut blk = Block { sum, count };
+            let mut span = 1usize;
+            while let Some((prev, pspan)) = blocks.last() {
+                if blk.sum / blk.count > prev.sum / prev.count + 1e-15 {
+                    blk.sum += prev.sum;
+                    blk.count += prev.count;
+                    span += pspan;
+                    blocks.pop();
+                } else {
+                    break;
+                }
+            }
+            blocks.push((blk, span));
+        }
+        let mut points = Vec::with_capacity(ws.len());
+        let mut idx = 0usize;
+        for (blk, span) in blocks {
+            let mean = (blk.sum / blk.count).clamp(0.0, 1.0);
+            for _ in 0..span {
+                points.push((ws[idx], mean));
+                idx += 1;
+            }
+        }
+        Ok(MissRatioCurve { points })
+    }
+
+    /// Evaluate the fitted curve at `ways` (monotone piecewise-linear,
+    /// clamped to the end knots outside the sampled range).
+    pub fn at(&self, ways: f64) -> f64 {
+        let pts = &self.points;
+        if ways <= pts[0].0 {
+            return pts[0].1;
+        }
+        if ways >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        for pair in pts.windows(2) {
+            let (w0, m0) = pair[0];
+            let (w1, m1) = pair[1];
+            if ways <= w1 {
+                let t = (ways - w0) / (w1 - w0);
+                return m0 + t * (m1 - m0);
+            }
+        }
+        pts[pts.len() - 1].1
+    }
+
+    /// The fitted knots (diagnostics, serialization surfaces).
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+/// A cache-aware application descriptor: the paper's two-number profile
+/// generalized so `API` and `APC_alone` become functions of allocated LLC
+/// ways through a fitted [`MissRatioCurve`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheAwareProfile {
+    /// Identifier used in reports.
+    pub name: String,
+    /// LLC-incoming accesses per instruction (the app's L2 miss rate —
+    /// invariant under way partitioning, which only filters *below* L2).
+    pub api_llc: f64,
+    /// Standalone CPI with a fully hitting LLC (core + L1/L2 + LLC-hit
+    /// latency folded in).
+    pub cpi_base: f64,
+    /// Standalone stall cycles charged per DDR access (the un-overlapped
+    /// remainder of the memory latency at the app's MLP).
+    pub mem_penalty: f64,
+    /// Fitted LLC miss-ratio curve.
+    pub mrc: MissRatioCurve,
+}
+
+impl CacheAwareProfile {
+    /// Build a profile, validating all rates.
+    pub fn new(
+        name: impl Into<String>,
+        api_llc: f64,
+        cpi_base: f64,
+        mem_penalty: f64,
+        mrc: MissRatioCurve,
+    ) -> Result<Self, ModelError> {
+        if !(api_llc.is_finite() && api_llc > 0.0) {
+            return Err(ModelError::InvalidInput {
+                what: "api_llc",
+                value: api_llc,
+            });
+        }
+        if !(cpi_base.is_finite() && cpi_base > 0.0) {
+            return Err(ModelError::InvalidInput {
+                what: "cpi_base",
+                value: cpi_base,
+            });
+        }
+        if !(mem_penalty.is_finite() && mem_penalty >= 0.0) {
+            return Err(ModelError::InvalidInput {
+                what: "mem_penalty",
+                value: mem_penalty,
+            });
+        }
+        Ok(CacheAwareProfile {
+            name: name.into(),
+            api_llc,
+            cpi_base,
+            mem_penalty,
+            mrc,
+        })
+    }
+
+    /// Miss ratio at `ways`.
+    pub fn miss_ratio(&self, ways: f64) -> f64 {
+        self.mrc.at(ways)
+    }
+
+    /// DDR accesses per instruction at `ways`: `API_llc · m(w)`, floored
+    /// so the derived [`AppProfile`] stays valid even for a fully fitting
+    /// working set.
+    pub fn api_at(&self, ways: f64) -> f64 {
+        (self.api_llc * self.miss_ratio(ways)).max(1e-9)
+    }
+
+    /// Standalone CPI at `ways`.
+    pub fn cpi_alone_at(&self, ways: f64) -> f64 {
+        self.cpi_base + self.api_llc * self.miss_ratio(ways) * self.mem_penalty
+    }
+
+    /// Standalone DDR access rate at `ways` (Eq. 1 composed with the MRC):
+    /// `APC_alone(w) = API(w) / CPI(w)`.
+    pub fn apc_alone_at(&self, ways: f64) -> f64 {
+        self.api_at(ways) / self.cpi_alone_at(ways)
+    }
+
+    /// Materialize the paper's two-number profile at `ways`, optionally
+    /// scaled by a calibration factor (`bwpartd` scales the analytic
+    /// `APC_alone` so it matches the Eq. 12–13 telemetry estimate at the
+    /// currently enforced way count; pass 1.0 for the pure model).
+    pub fn profile_at(&self, ways: f64, apc_scale: f64) -> Result<AppProfile, ModelError> {
+        if !(apc_scale.is_finite() && apc_scale > 0.0) {
+            return Err(ModelError::InvalidInput {
+                what: "apc_scale",
+                value: apc_scale,
+            });
+        }
+        AppProfile::new(
+            self.name.clone(),
+            self.api_at(ways),
+            self.apc_alone_at(ways) * apc_scale,
+        )
+    }
+}
+
+#[cfg(test)]
+// exact float equality is intentional: these check pass-through/zero paths
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    fn steep_mrc() -> MissRatioCurve {
+        MissRatioCurve::fit(&[(1.0, 0.9), (2.0, 0.6), (4.0, 0.2), (8.0, 0.05)]).unwrap()
+    }
+
+    #[test]
+    fn fit_orders_and_interpolates() {
+        let mrc = MissRatioCurve::fit(&[(4.0, 0.2), (1.0, 0.9), (2.0, 0.6)]).unwrap();
+        assert_eq!(mrc.at(1.0), 0.9);
+        assert_eq!(mrc.at(4.0), 0.2);
+        assert!((mrc.at(3.0) - 0.4).abs() < 1e-12);
+        // Clamped outside the sampled range.
+        assert_eq!(mrc.at(0.5), 0.9);
+        assert_eq!(mrc.at(16.0), 0.2);
+    }
+
+    #[test]
+    fn fit_isotonizes_noisy_samples() {
+        // The (2, 0.75) sample violates monotonicity against (1, 0.7): PAV
+        // pools them to their mean.
+        let mrc = MissRatioCurve::fit(&[(1.0, 0.7), (2.0, 0.75), (4.0, 0.3)]).unwrap();
+        assert!((mrc.at(1.0) - 0.725).abs() < 1e-12);
+        assert!((mrc.at(2.0) - 0.725).abs() < 1e-12);
+        assert_eq!(mrc.at(4.0), 0.3);
+        // The fitted curve is non-increasing everywhere.
+        let mut prev = f64::INFINITY;
+        for w in 1..=16 {
+            let m = mrc.at(w as f64);
+            assert!(m <= prev + 1e-12);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn fit_averages_duplicate_way_counts() {
+        let mrc = MissRatioCurve::fit(&[(2.0, 0.4), (2.0, 0.6), (4.0, 0.1)]).unwrap();
+        assert!((mrc.at(2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_rejects_bad_samples() {
+        assert!(MissRatioCurve::fit(&[]).is_err());
+        assert!(MissRatioCurve::fit(&[(0.0, 0.5)]).is_err());
+        assert!(MissRatioCurve::fit(&[(1.0, -0.1)]).is_err());
+        assert!(MissRatioCurve::fit(&[(1.0, 1.5)]).is_err());
+        assert!(MissRatioCurve::fit(&[(1.0, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn apc_alone_rises_with_ways_for_latency_bound_apps() {
+        // A latency-sensitive app (large mem_penalty): more ways → fewer
+        // misses → much lower CPI → higher IPC; APC_alone may fall (less
+        // traffic) but IPC_alone must rise.
+        let p = CacheAwareProfile::new("latsens", 0.02, 1.0, 400.0, steep_mrc()).unwrap();
+        let ipc_few = 1.0 / p.cpi_alone_at(1.0);
+        let ipc_many = 1.0 / p.cpi_alone_at(8.0);
+        assert!(ipc_many > ipc_few * 2.0, "{ipc_few} vs {ipc_many}");
+        // API falls with ways (less DDR traffic per instruction).
+        assert!(p.api_at(8.0) < p.api_at(1.0));
+    }
+
+    #[test]
+    fn flat_mrc_means_way_insensitive() {
+        let flat = MissRatioCurve::fit(&[(1.0, 0.98), (8.0, 0.97)]).unwrap();
+        let p = CacheAwareProfile::new("stream", 0.05, 0.5, 50.0, flat).unwrap();
+        let a1 = p.apc_alone_at(1.0);
+        let a8 = p.apc_alone_at(8.0);
+        assert!((a1 - a8).abs() / a1 < 0.02, "{a1} vs {a8}");
+    }
+
+    #[test]
+    fn profile_at_composes_with_eq1() {
+        let p = CacheAwareProfile::new("latsens", 0.02, 1.0, 400.0, steep_mrc()).unwrap();
+        let prof = p.profile_at(4.0, 1.0).unwrap();
+        assert_eq!(prof.name, "latsens");
+        assert!((prof.api - p.api_at(4.0)).abs() < 1e-15);
+        assert!((prof.apc_alone - p.apc_alone_at(4.0)).abs() < 1e-15);
+        // Eq. 1: IPC_alone = APC_alone / API = 1 / CPI.
+        assert!((prof.ipc_alone() - 1.0 / p.cpi_alone_at(4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_scales_apc_only() {
+        let p = CacheAwareProfile::new("latsens", 0.02, 1.0, 400.0, steep_mrc()).unwrap();
+        let base = p.profile_at(4.0, 1.0).unwrap();
+        let scaled = p.profile_at(4.0, 1.1).unwrap();
+        assert_eq!(scaled.api, base.api);
+        assert!((scaled.apc_alone - base.apc_alone * 1.1).abs() < 1e-15);
+        assert!(p.profile_at(4.0, 0.0).is_err());
+        assert!(p.profile_at(4.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_profiles() {
+        let mrc = steep_mrc();
+        assert!(CacheAwareProfile::new("x", 0.0, 1.0, 10.0, mrc.clone()).is_err());
+        assert!(CacheAwareProfile::new("x", 0.01, 0.0, 10.0, mrc.clone()).is_err());
+        assert!(CacheAwareProfile::new("x", 0.01, 1.0, -1.0, mrc).is_err());
+    }
+
+    #[test]
+    fn curves_serialize_round_trip() {
+        let p = CacheAwareProfile::new("latsens", 0.02, 1.0, 400.0, steep_mrc()).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: CacheAwareProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -47,6 +47,11 @@ pub enum PartitionScheme {
     /// Strict priority to applications with low `API` — the fractional
     /// knapsack solution maximizing sum of IPCs.
     PriorityApi,
+    /// Coordinated multi-resource partitioning: alternating descent over
+    /// (bandwidth shares × LLC way allocations). It has no bandwidth-only
+    /// analytic rule — the solve needs cache-aware profiles and lives in
+    /// [`crate::coord::solve_coordinated`].
+    Coordinated,
 }
 
 impl PartitionScheme {
@@ -85,6 +90,7 @@ impl PartitionScheme {
             PartitionScheme::Power(a) => format!("Power({a})"),
             PartitionScheme::PriorityApc => "Priority_APC".into(),
             PartitionScheme::PriorityApi => "Priority_API".into(),
+            PartitionScheme::Coordinated => "Coordinated".into(),
         }
     }
 
@@ -103,6 +109,7 @@ impl PartitionScheme {
             PartitionScheme::Power(a) => format!("power:{a}"),
             PartitionScheme::PriorityApc => "priority-apc".into(),
             PartitionScheme::PriorityApi => "priority-api".into(),
+            PartitionScheme::Coordinated => "coordinated".into(),
         }
     }
 
@@ -117,7 +124,8 @@ impl PartitionScheme {
             PartitionScheme::Power(a) => Some(a),
             PartitionScheme::NoPartitioning
             | PartitionScheme::PriorityApc
-            | PartitionScheme::PriorityApi => None,
+            | PartitionScheme::PriorityApi
+            | PartitionScheme::Coordinated => None,
         }
     }
 
@@ -154,6 +162,11 @@ impl PartitionScheme {
                     value: f64::NAN,
                 })
             }
+            PartitionScheme::Coordinated => return Err(ModelError::InvalidInput {
+                what:
+                    "scheme (Coordinated needs cache-aware profiles; use coord::solve_coordinated)",
+                value: f64::NAN,
+            }),
             PartitionScheme::PriorityApc => {
                 let keys: Vec<f64> = apps.iter().map(|a| a.apc_alone).collect();
                 solver::knapsack_greedy(&keys, &caps, b)
@@ -265,6 +278,7 @@ impl std::str::FromStr for PartitionScheme {
             "two-thirds-power" | "2/3-power" => Ok(PartitionScheme::TwoThirdsPower),
             "priority-apc" => Ok(PartitionScheme::PriorityApc),
             "priority-api" => Ok(PartitionScheme::PriorityApi),
+            "coordinated" | "coord" => Ok(PartitionScheme::Coordinated),
             _ => Err(ModelError::UnknownScheme { name: s.into() }),
         }
     }
@@ -434,6 +448,32 @@ mod tests {
         assert!(PartitionScheme::NoPartitioning
             .allocation(&four_apps(), B)
             .is_err());
+    }
+
+    #[test]
+    fn coordinated_has_no_bandwidth_only_allocation() {
+        // The coordinated scheme needs cache-aware profiles; its bare
+        // bandwidth solve errors (see `coord::solve_coordinated`).
+        assert!(PartitionScheme::Coordinated
+            .allocation(&four_apps(), B)
+            .is_err());
+        assert!(PartitionScheme::Coordinated
+            .shares(&four_apps(), B)
+            .is_err());
+        assert_eq!(PartitionScheme::Coordinated.power_exponent(), None);
+    }
+
+    #[test]
+    fn coordinated_names_round_trip() {
+        assert_eq!(PartitionScheme::Coordinated.to_string(), "coordinated");
+        assert_eq!(PartitionScheme::Coordinated.name(), "Coordinated");
+        for alias in ["coordinated", "coord", "Coordinated", " COORD "] {
+            assert_eq!(
+                alias.parse::<PartitionScheme>().unwrap(),
+                PartitionScheme::Coordinated,
+                "{alias}"
+            );
+        }
     }
 
     #[test]

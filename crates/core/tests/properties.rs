@@ -330,3 +330,154 @@ proptest! {
         }
     }
 }
+
+/// Strategy: every scheme variant, including the generalized power family
+/// and the coordinated multi-resource scheme.
+fn arb_scheme() -> impl Strategy<Value = PartitionScheme> {
+    (0usize..9, 0.01f64..4.0).prop_map(|(variant, alpha)| match variant {
+        0 => PartitionScheme::NoPartitioning,
+        1 => PartitionScheme::Equal,
+        2 => PartitionScheme::Proportional,
+        3 => PartitionScheme::SquareRoot,
+        4 => PartitionScheme::TwoThirdsPower,
+        5 => PartitionScheme::Power(alpha),
+        6 => PartitionScheme::PriorityApc,
+        7 => PartitionScheme::PriorityApi,
+        _ => PartitionScheme::Coordinated,
+    })
+}
+
+/// Strategy: cache-aware profiles with monotone three-knot miss-ratio
+/// curves (the shape `MrcProbe` produces) over a 16-way LLC.
+fn arb_cache_apps() -> impl Strategy<Value = Vec<CacheAwareProfile>> {
+    prop::collection::vec(
+        (
+            1e-3f64..0.05,
+            0.5f64..2.0,
+            20.0f64..120.0,
+            0.05f64..1.0,
+            0.0f64..0.9,
+        ),
+        2..=4,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (api_llc, cpi_base, penalty, m_one, keep))| {
+                let m_full = m_one * keep;
+                let mrc = MissRatioCurve::fit(&[
+                    (1.0, m_one),
+                    (8.0, (m_one + m_full) / 2.0),
+                    (16.0, m_full),
+                ])
+                .unwrap();
+                CacheAwareProfile::new(format!("app{i}"), api_llc, cpi_base, penalty, mrc).unwrap()
+            })
+            .collect()
+    })
+}
+
+/// Flip each alphabetic character's case and swap `-`/`_` according to
+/// `bits` — every mangled spelling must still parse (the parser lowercases
+/// and normalizes underscores).
+fn mangle(name: &str, bits: u64) -> String {
+    name.chars()
+        .enumerate()
+        .map(|(i, c)| {
+            let flip = bits >> (i % 64) & 1 == 1;
+            match c {
+                '-' | '_' if flip => {
+                    if c == '-' {
+                        '_'
+                    } else {
+                        '-'
+                    }
+                }
+                c if c.is_ascii_alphabetic() && flip => {
+                    if c.is_ascii_lowercase() {
+                        c.to_ascii_uppercase()
+                    } else {
+                        c.to_ascii_lowercase()
+                    }
+                }
+                c => c,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// Every scheme round-trips through its canonical name and its
+    /// `Display` form, for every variant including `Coordinated` and
+    /// arbitrary power exponents.
+    #[test]
+    fn scheme_round_trips_canonical_and_display(scheme in arb_scheme()) {
+        let canon: PartitionScheme = scheme.canonical_name().parse().unwrap();
+        prop_assert_eq!(canon, scheme);
+        let display: PartitionScheme = scheme.to_string().parse().unwrap();
+        prop_assert_eq!(display, scheme);
+    }
+
+    /// Parsing is case-insensitive and treats `-`/`_` interchangeably, so
+    /// the paper's spellings (`Square_root`, `Priority_APC`, ...) and any
+    /// mixed-case variant resolve to the same scheme.
+    #[test]
+    fn scheme_parse_tolerates_case_and_separator_mangling(
+        scheme in arb_scheme(),
+        bits in any::<u64>(),
+    ) {
+        let mangled = mangle(&scheme.canonical_name(), bits);
+        let parsed: PartitionScheme = mangled.parse().unwrap();
+        prop_assert_eq!(parsed, scheme);
+    }
+
+    /// The coordinated solve returns a certified multi-resource outcome on
+    /// arbitrary cache-aware workloads: ways form an integral partition,
+    /// both per-resource allocations lie on the simplex and mirror the
+    /// outcome's own fields, and the objective never trails the best
+    /// single-resource baseline.
+    #[test]
+    fn coordinated_outcome_is_certified_and_beats_baselines(
+        apps in arb_cache_apps(),
+        bfrac in 0.3f64..0.9,
+        scale in 0.5f64..1.5,
+    ) {
+        let n = apps.len();
+        let b = bfrac * apps.iter().map(|a| a.apc_alone_at(16.0)).sum::<f64>();
+        let cfg = CoordConfig::new(b, 16);
+        let scales = vec![scale; n];
+        for out in [
+            solve_coordinated(&apps, &cfg).unwrap(),
+            solve_coordinated_scaled(&apps, &scales, &cfg).unwrap(),
+        ] {
+            prop_assert_eq!(out.ways.len(), n);
+            prop_assert!(out.ways.iter().all(|&w| w >= cfg.min_ways));
+            prop_assert_eq!(out.ways.iter().sum::<usize>(), cfg.total_ways);
+            for kind in ResourceKind::ALL {
+                let alloc = out.allocation.get(kind).unwrap();
+                prop_assert_eq!(alloc.len(), n);
+                let sum: f64 = alloc.shares.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-9, "{kind} shares sum {sum}");
+                prop_assert!(alloc.shares.iter().all(|&s| s >= 0.0));
+            }
+            let lw = out.allocation.get(ResourceKind::LlcWays).unwrap();
+            for (amt, &w) in lw.amounts.iter().zip(&out.ways) {
+                prop_assert!((amt - w as f64).abs() < 1e-12);
+            }
+            let bw = out.allocation.get(ResourceKind::Bandwidth).unwrap();
+            for (amt, a) in bw.amounts.iter().zip(&out.bandwidth.allocation) {
+                prop_assert!((amt - a).abs() < 1e-12);
+            }
+            let beta_sum: f64 = out.bandwidth.beta.iter().sum();
+            prop_assert!((beta_sum - 1.0).abs() < 1e-9);
+            prop_assert!(
+                out.objective_value
+                    >= out.baseline_value - out.baseline_value.abs() * 1e-9,
+                "objective {} trails baseline {}",
+                out.objective_value,
+                out.baseline_value
+            );
+            prop_assert!(out.rounds <= cfg.max_rounds);
+        }
+    }
+}

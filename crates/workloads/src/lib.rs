@@ -25,15 +25,20 @@
 //! * [`trace`] — record/replay of access streams ([`Trace`]).
 //! * [`phased`] — behaviour-changing workloads ([`PhasedWorkload`]) for
 //!   the adaptive-repartitioning experiments.
+//! * [`mrcprobe`] — miss-ratio-curve sampling for the coordinated
+//!   multi-resource model ([`MrcSampler`]): standalone probe runs at a
+//!   grid of LLC way counts, fitted into `CacheAwareProfile`s.
 
 pub mod mixes;
+pub mod mrcprobe;
 pub mod phased;
 pub mod profile;
 pub mod stream;
 pub mod trace;
 
 pub use mixes::Mix;
+pub use mrcprobe::{MrcSampler, ProbePoint};
 pub use phased::PhasedWorkload;
-pub use profile::{table3_profiles, BenchProfile};
+pub use profile::{cache_profiles, table3_profiles, BenchProfile};
 pub use stream::SyntheticWorkload;
 pub use trace::{Trace, TraceWorkload};

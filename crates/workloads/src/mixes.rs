@@ -109,6 +109,18 @@ pub fn qos_mixes() -> Vec<Mix> {
     ]
 }
 
+/// Cache-hostile mixes for the coordinated multi-resource experiments: an
+/// LLC-fitting latency-sensitive application sharing the chip with
+/// streaming bandwidth hogs that pollute an unpartitioned LLC without
+/// benefiting from it. Bandwidth-only partitioning cannot protect `llcfit`
+/// here; coordinated way + bandwidth allocation can.
+pub fn cache_mixes() -> Vec<Mix> {
+    vec![
+        Mix::new("cache-1", &["llcfit", "lbm"]),
+        Mix::new("cache-2", &["llcfit", "lbm", "libquantum", "gobmk"]),
+    ]
+}
+
 /// The paper's Table IV heterogeneity values `(mix, RSD)` for reference.
 pub const PAPER_TABLE4_RSD: [(&str, f64); 14] = [
     ("homo-1", 12.27),
@@ -147,9 +159,25 @@ mod tests {
             .into_iter()
             .chain([fig1_mix()])
             .chain(qos_mixes())
+            .chain(cache_mixes())
         {
             let profiles = m.profiles();
             assert_eq!(profiles.len(), m.len());
+        }
+    }
+
+    #[test]
+    fn cache_mixes_pair_the_llc_app_with_streamers() {
+        let mixes = cache_mixes();
+        assert_eq!(mixes.len(), 2);
+        for m in &mixes {
+            assert_eq!(m.benches[0], "llcfit", "{}", m.name);
+            assert!(m.benches.contains(&"lbm".to_string()), "{}", m.name);
+            // The streamer's footprint must dwarf any LLC; the protected
+            // app's hot set must not.
+            let ps = m.profiles();
+            assert!(ps[0].hot_bytes < (1 << 20));
+            assert!(ps[1].footprint > (64 << 20));
         }
     }
 

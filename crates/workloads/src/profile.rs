@@ -59,9 +59,13 @@ impl BenchProfile {
         }
     }
 
-    /// Find a Table III profile by benchmark name.
+    /// Find a profile by benchmark name (Table III first, then the
+    /// cache-study additions).
     pub fn by_name(name: &str) -> Option<BenchProfile> {
-        table3_profiles().into_iter().find(|p| p.name == name)
+        table3_profiles()
+            .into_iter()
+            .chain(cache_profiles())
+            .find(|p| p.name == name)
     }
 }
 
@@ -283,6 +287,32 @@ pub fn table3_profiles() -> Vec<BenchProfile> {
     ]
 }
 
+/// Cache-study benchmarks beyond Table III: LLC-sensitive applications for
+/// the coordinated multi-resource experiments. Not part of the Table III
+/// calibration set.
+pub fn cache_profiles() -> Vec<BenchProfile> {
+    vec![
+        // An LLC-fitting latency-sensitive app: its hot set is far bigger
+        // than the 256 KB private L2 and than *half* a megabyte-class LLC
+        // (so a fair way split thrashes it), but fits a coordinated
+        // majority share — the canonical CAT beneficiary. Uniform-random
+        // hot accesses (row_run 1) give a smooth, nearly linear MRC.
+        BenchProfile {
+            name: "llcfit",
+            gap: 7,
+            stream_ratio: 0.02,
+            write_ratio: 0.10,
+            footprint: 32 * MB,
+            hot_bytes: 704 * KB,
+            miss_burst: 1,
+            row_run: 1,
+            mlp: 2,
+            width: 4,
+            seed_salt: 0x11,
+        },
+    ]
+}
+
 /// The paper's measured Table III values `(name, APKC_alone, APKI)` for
 /// reference and for paper-vs-measured reporting.
 pub const PAPER_TABLE3: [(&str, f64, f64); 16] = [
@@ -341,10 +371,26 @@ mod tests {
 
     #[test]
     fn seed_salts_are_unique() {
-        let mut salts: Vec<u64> = table3_profiles().iter().map(|p| p.seed_salt).collect();
+        let mut salts: Vec<u64> = table3_profiles()
+            .iter()
+            .chain(cache_profiles().iter())
+            .map(|p| p.seed_salt)
+            .collect();
+        let n = salts.len();
         salts.sort_unstable();
         salts.dedup();
-        assert_eq!(salts.len(), 16);
+        assert_eq!(salts.len(), n, "seed salts must stay unique across sets");
+    }
+
+    #[test]
+    fn cache_profiles_resolve_by_name_and_are_llc_sized() {
+        let llcfit = BenchProfile::by_name("llcfit").expect("llcfit registered");
+        // The whole point: bigger than the private L2, smaller than an LLC.
+        assert!(llcfit.hot_bytes > 256 * KB, "must overflow the 256 KB L2");
+        assert!(llcfit.hot_bytes < MB, "must fit a megabyte-class LLC");
+        assert!(llcfit.stream_ratio < 0.1, "hot-set dominated by design");
+        // Cache additions must not leak into the Table III set.
+        assert!(!table3_profiles().iter().any(|p| p.name == "llcfit"));
     }
 
     #[test]

@@ -10,10 +10,12 @@
 //!   call, or per-event registry resolution may be *reachable* from the
 //!   R9/R14 hot simulator functions, to a bounded call depth. The finding
 //!   reports the full call path from the hot fn to the danger site.
-//! * **A2 — contract reachability.** A public share-vector producer (in
-//!   `crates/core` / `crates/bwpartd`) must certify its output either
-//!   directly (rule R3's certifiers) or via a callee that does — the
-//!   per-file R3 rule cannot see certification one call away.
+//! * **A2 — contract reachability.** A public share producer — returning
+//!   a bare `Vec<f64>` or an owned `Allocation` / `MultiAllocation` /
+//!   `CoordOutcome` wrapper (in `crates/core` / `crates/bwpartd`) — must
+//!   certify its output either directly (rule R3's certifiers) or via a
+//!   callee that does — the per-file R3 rule cannot see certification one
+//!   call away. Reference accessors (`&Allocation`) are exempt.
 //! * **A3 — interprocedural unit flow.** R11's `_cycles` / `_ns` /
 //!   share-fraction naming discipline is checked across call boundaries:
 //!   an argument named in one unit must not flow into a parameter named in
@@ -105,7 +107,7 @@ impl ARule {
                 "no allocation, locking, or blocking reachable from hot simulator fns"
             }
             ARule::A2ContractReachability => {
-                "share-vector producers must certify directly or via a certified callee"
+                "share/allocation producers must certify directly or via a certified callee"
             }
             ARule::A3UnitFlow => {
                 "unit-suffixed values must not cross call boundaries into another unit"
@@ -146,16 +148,20 @@ impl ARule {
             ARule::A2ContractReachability => {
                 "A2 — certification must be reachable, not just local.\n\
                  \n\
-                 Rule R3 requires public fns returning a share vector (Vec<f64>) in\n\
+                 Rule R3 requires public fns returning shares — a bare Vec<f64>, or\n\
+                 an owned Allocation / MultiAllocation / CoordOutcome wrapper — in\n\
                  crates/core and crates/bwpartd to call a certifier\n\
-                 (validate_shares / ensures_simplex / ensures_capped / invariant!)\n\
-                 before returning. R3 scans one function body; a producer that\n\
-                 delegates certification to a helper is invisible to it. A2 redoes\n\
-                 the check over the call graph: the producer passes if a certifier\n\
-                 call is reachable within 3 call hops through resolved callees.\n\
+                 (validate_shares / ensures_simplex / ensures_capped /\n\
+                 Allocation::certified / invariant!) before returning. R3 scans one\n\
+                 function body; a producer that delegates certification to a helper\n\
+                 is invisible to it. A2 redoes the check over the call graph: the\n\
+                 producer passes if a certifier call is reachable within 3 call hops\n\
+                 through resolved callees. Reference-returning accessors\n\
+                 (`&Allocation`) are exempt: they hand out an already-certified\n\
+                 value.\n\
                  \n\
-                 A2 fails only when *no* certification is reachable: the share vector\n\
-                 leaves the crate unchecked, and the paper's simplex invariant\n\
+                 A2 fails only when *no* certification is reachable: the shares\n\
+                 leave the crate unchecked, and the paper's simplex invariant\n\
                  (shares sum to 1, each within [floor, cap]) is unenforced at the\n\
                  boundary. Fix by certifying in the producer or a callee; suppress\n\
                  with `lint: allow(A2)` (or R3's own allow) when the return type is\n\
@@ -472,7 +478,7 @@ fn rule_a2(ws: &Workspace, g: &CallGraph, srcs: &[&str]) -> Vec<AFinding> {
             continue;
         }
         for (fj, f) in file.fns.iter().enumerate() {
-            if !f.is_pub || f.in_test || !f.ret_text.contains("Vec<f64>") {
+            if !f.is_pub || f.in_test || !crate::engine::is_share_producer_ret(&f.ret_text) {
                 continue;
             }
             let certified = f.certifies
@@ -494,9 +500,11 @@ fn rule_a2(ws: &Workspace, g: &CallGraph, srcs: &[&str]) -> Vec<AFinding> {
                 ARule::A2ContractReachability,
                 Some("R3"),
                 format!(
-                    "pub fn `{}` returns a share vector but neither it nor any callee \
-                     within {A2_DEPTH} calls certifies it (validate_shares / \
-                     ensures_simplex / ensures_capped / invariant!)",
+                    "pub fn `{}` returns shares (Vec<f64> / Allocation / \
+                     MultiAllocation / CoordOutcome) but neither it nor any callee \
+                     within {A2_DEPTH} calls certifies them (validate_shares / \
+                     ensures_simplex / ensures_capped / Allocation::certified / \
+                     invariant!)",
                     f.name
                 ),
             ));
@@ -1192,6 +1200,47 @@ fn finish(shares: &[f64]) { validate_shares(shares); }
             "pub fn raw_shares(n: usize) -> Vec<f64> { vec![0.0; n] }\n",
         )]);
         assert_eq!(active_codes(&r), vec!["A2"], "{:?}", r.findings);
+    }
+
+    #[test]
+    fn a2_covers_owned_allocation_wrappers() {
+        // An owned CoordOutcome producer passes when certification is
+        // reachable through a callee (the thin-delegator shape)...
+        let delegator = report_for(&[(
+            "crates/core/src/coord.rs",
+            "
+pub fn solve(n: usize) -> Result<CoordOutcome, ModelError> {
+    solve_scaled(n)
+}
+fn solve_scaled(n: usize) -> Result<CoordOutcome, ModelError> {
+    let beta = vec![0.0; n];
+    ensures_simplex(&beta);
+    build(beta)
+}
+",
+        )]);
+        assert!(
+            !active_codes(&delegator).contains(&"A2"),
+            "{:?}",
+            delegator.findings
+        );
+        // ...an owned MultiAllocation producer with no reachable
+        // certifier trips A2...
+        let bare = report_for(&[(
+            "crates/core/src/resource.rs",
+            "pub fn raw_split(n: usize) -> MultiAllocation { build(n) }\n",
+        )]);
+        assert_eq!(active_codes(&bare), vec!["A2"], "{:?}", bare.findings);
+        // ...and a reference accessor is exempt.
+        let accessor = report_for(&[(
+            "crates/core/src/resource.rs",
+            "pub fn get(m: &MultiAllocation) -> Option<&Allocation> { m.first() }\n",
+        )]);
+        assert!(
+            active_codes(&accessor).is_empty(),
+            "{:?}",
+            accessor.findings
+        );
     }
 
     #[test]

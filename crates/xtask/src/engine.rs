@@ -238,8 +238,24 @@ fn rule_r2(f: &SourceFile, out: &mut Vec<Finding>) {
 }
 
 /// The certification calls R3 accepts inside a producer's body.
-pub(crate) const R3_CERTIFIERS: [&str; 3] =
-    ["validate_shares", "ensures_simplex", "ensures_capped"];
+/// `certified` covers `Allocation::certified`, the typed-allocation
+/// constructor that runs the simplex/cap contracts internally.
+pub(crate) const R3_CERTIFIERS: [&str; 4] = [
+    "validate_shares",
+    "ensures_simplex",
+    "ensures_capped",
+    "certified",
+];
+
+/// Return types R3 (and A2, which mirrors this predicate over
+/// `ret_text`) treat as share/allocation producers: a bare share vector,
+/// or one of the owned multi-resource wrappers (`Allocation`,
+/// `MultiAllocation`, `CoordOutcome`). Reference returns (`&Allocation`
+/// accessors) hand out an already-certified value and are exempt.
+pub(crate) fn is_share_producer_ret(ret: &str) -> bool {
+    ret.contains("Vec<f64>")
+        || ((ret.contains("Allocation") || ret.contains("CoordOutcome")) && !ret.contains('&'))
+}
 
 fn rule_r3(f: &SourceFile, out: &mut Vec<Finding>) {
     for info in &f.fns {
@@ -260,7 +276,7 @@ fn rule_r3(f: &SourceFile, out: &mut Vec<Finding>) {
             }
             ret.push_str(f.text(k));
         }
-        if !ret.contains("Vec<f64>") {
+        if !is_share_producer_ret(&ret) {
             continue;
         }
         let certified = (body_open + 1..body_close).any(|k| {
@@ -276,8 +292,10 @@ fn rule_r3(f: &SourceFile, out: &mut Vec<Finding>) {
                 Rule::R3,
                 info.anchor,
                 format!(
-                    "pub fn {name} returns a Vec<f64> without certifying it via \
-                     validate_shares / ensures_simplex! / ensures_capped! / invariant!"
+                    "pub fn {name} returns shares (Vec<f64> / Allocation / \
+                     MultiAllocation / CoordOutcome) without certifying them via \
+                     validate_shares / ensures_simplex! / ensures_capped! / \
+                     Allocation::certified / invariant!"
                 ),
             );
         }

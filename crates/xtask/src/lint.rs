@@ -26,9 +26,11 @@
 //!   `.partial_cmp(...)` calls. Ordering goes through `f64::total_cmp`;
 //!   tolerance comparisons go through `bwpart_core::contracts`.
 //! * **R3** — in the share-producing crates (`bwpart-core` and the
-//!   `bwpartd` epoch engine), every `pub fn` returning a share/allocation
-//!   vector (`Vec<f64>` anywhere in the return type) must certify its
-//!   output via `validate_shares` or a contract macro (`ensures_simplex!`,
+//!   `bwpartd` epoch engine), every `pub fn` returning shares — a bare
+//!   `Vec<f64>` anywhere in the return type, or an owned `Allocation` /
+//!   `MultiAllocation` / `CoordOutcome` wrapper (reference accessors are
+//!   exempt) — must certify its output via `validate_shares`,
+//!   `Allocation::certified`, or a contract macro (`ensures_simplex!`,
 //!   `ensures_capped!`, `invariant!`).
 //! * **R4** — no `#[allow(clippy::...)]` without a justification comment
 //!   (a plain `//` comment attached to the attribute).
@@ -174,8 +176,9 @@ impl Rule {
             Rule::R1 => "no unwrap()/expect()/panic!/unreachable! in non-test library code",
             Rule::R2 => "no ==/!= against float literals, no bare partial_cmp (use total_cmp)",
             Rule::R3 => {
-                "pub fns returning share/allocation Vec<f64> in bwpart-core or the \
-                         bwpartd engine must route through validate_shares or a contract macro"
+                "pub fns returning shares (Vec<f64>, or owned Allocation/MultiAllocation/\
+                         CoordOutcome) in bwpart-core or the bwpartd engine must route \
+                         through validate_shares, Allocation::certified, or a contract macro"
             }
             Rule::R4 => "#[allow(clippy::...)] requires a justification comment",
             Rule::R5 => {
@@ -245,10 +248,13 @@ impl Rule {
             }
             Rule::R3 => {
                 "Eq. 9-11 of the paper require share vectors to lie on the capped \
-                 simplex. Every public producer of a Vec<f64> share/allocation in \
+                 simplex. Every public producer of shares — a bare Vec<f64>, or an \
+                 owned Allocation / MultiAllocation / CoordOutcome wrapper — in \
                  bwpart-core or the bwpartd engine must route its output through \
-                 validate_shares, ensures_simplex!, ensures_capped! or invariant! so \
-                 the certification is part of the function, not the caller's homework."
+                 validate_shares, Allocation::certified, ensures_simplex!, \
+                 ensures_capped! or invariant! so the certification is part of the \
+                 function, not the caller's homework. Reference accessors \
+                 (`&Allocation`) are exempt: they return an already-certified value."
             }
             Rule::R4 => {
                 "A clippy suppression with no reason rots: nobody can tell whether it \
@@ -971,6 +977,43 @@ pub fn allocation(b: f64) -> Result<Vec<f64>, ModelError> {
 "#;
         let vs = lint_source("core.rs", src, true, false, false);
         assert_eq!(codes(&vs), vec!["R3"]);
+    }
+
+    #[test]
+    fn r3_covers_owned_allocation_wrappers() {
+        // The typed multi-resource wrappers are share producers just like
+        // a bare Vec<f64>: an uncertified owned return trips R3...
+        let bad = r#"
+pub fn split(r: &Resource) -> MultiAllocation {
+    MultiAllocation { allocations: vec![] }
+}
+pub fn outcome(r: &Resource) -> Result<CoordOutcome, ModelError> {
+    todo_build()
+}
+"#;
+        let vs = lint_source("core.rs", bad, true, false, false);
+        assert_eq!(codes(&vs), vec!["R3", "R3"]);
+        // ...a producer that routes through Allocation::certified (or a
+        // contract macro) passes...
+        let good = r#"
+pub fn split(r: &Resource, amounts: Vec<f64>) -> Result<Allocation, ModelError> {
+    Allocation::certified(r, amounts, None)
+}
+pub fn outcome(apps: &[App]) -> Result<CoordOutcome, ModelError> {
+    let beta = inner(apps)?;
+    crate::ensures_simplex!(beta);
+    assemble(beta)
+}
+"#;
+        assert!(lint_source("core.rs", good, true, false, false).is_empty());
+        // ...and reference accessors are exempt: they hand out a value
+        // that was certified at construction.
+        let accessor = r#"
+pub fn get(&self, kind: &str) -> Option<&Allocation> {
+    self.allocations.iter().find(|a| a.kind == kind)
+}
+"#;
+        assert!(lint_source("core.rs", accessor, true, false, false).is_empty());
     }
 
     #[test]
